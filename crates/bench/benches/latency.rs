@@ -1,0 +1,83 @@
+//! E5 — per-turn response latency of the data-aware policy with and
+//! without the integrated statistics cache (paper §4: "An integrated
+//! caching strategy leads to an average response latency of only a few
+//! milliseconds").
+//!
+//! Criterion times `DataAwarePolicy::choose` on the full candidate set of
+//! tables from 1k to 50k rows, cold (no cache) and warm (cache primed).
+//!
+//! Run with: `cargo bench -p cat-bench --bench latency`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cat_bench::{f, print_table};
+use cat_corpus::{generate_cinema, CinemaConfig};
+use cat_policy::{CandidateSet, DataAwareConfig, DataAwarePolicy, SlotSelector};
+
+fn db_with_customers(n: usize) -> cat_txdb::Database {
+    generate_cinema(&CinemaConfig { customers: n, ..CinemaConfig::default() }).expect("db")
+}
+
+fn bench_choose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_choose");
+    group.sample_size(20);
+    for &n in &[1000usize, 10_000, 50_000] {
+        let db = db_with_customers(n);
+        let cs = CandidateSet::all(&db, "customer").expect("candidates");
+        group.bench_with_input(BenchmarkId::new("cold_no_cache", n), &n, |b, _| {
+            let mut policy = DataAwarePolicy::new(DataAwareConfig {
+                use_cache: false,
+                ..DataAwareConfig::default()
+            });
+            b.iter(|| policy.choose(&db, &cs, &[]));
+        });
+        group.bench_with_input(BenchmarkId::new("warm_cached", n), &n, |b, _| {
+            let mut policy = DataAwarePolicy::default();
+            policy.choose(&db, &cs, &[]); // prime
+            b.iter(|| policy.choose(&db, &cs, &[]));
+        });
+    }
+    group.finish();
+
+    // Paper-style summary table with wall-clock means.
+    let mut rows = Vec::new();
+    for &n in &[1000usize, 10_000, 50_000] {
+        let db = db_with_customers(n);
+        let cs = CandidateSet::all(&db, "customer").expect("candidates");
+        let mut cold = DataAwarePolicy::new(DataAwareConfig {
+            use_cache: false,
+            ..DataAwareConfig::default()
+        });
+        let reps = 10;
+        let t = Instant::now();
+        for _ in 0..reps {
+            cold.choose(&db, &cs, &[]);
+        }
+        let cold_ms = t.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+        let mut warm = DataAwarePolicy::default();
+        warm.choose(&db, &cs, &[]);
+        let reps = 200;
+        let t = Instant::now();
+        for _ in 0..reps {
+            warm.choose(&db, &cs, &[]);
+        }
+        let warm_ms = t.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+        rows.push(vec![
+            n.to_string(),
+            f(cold_ms, 3),
+            f(warm_ms, 3),
+            f(cold_ms / warm_ms.max(1e-9), 1),
+        ]);
+    }
+    print_table(
+        "E5: per-turn policy latency, cold vs cached (paper §4: 'a few ms')",
+        &["customers", "no cache (ms)", "cached (ms)", "speedup x"],
+        &rows,
+    );
+}
+
+criterion_group!(benches, bench_choose);
+criterion_main!(benches);

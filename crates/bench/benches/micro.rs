@@ -1,0 +1,111 @@
+//! M1 — substrate microbenchmarks: raw txdb operations, entropy
+//! computation, candidate refinement and NLU parse throughput. Not a paper
+//! table; these guard the performance assumptions the experiment harness
+//! rests on.
+//!
+//! Run with: `cargo bench -p cat-bench --bench micro`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cat_core::{AnnotationFile, CatBuilder};
+use cat_corpus::{generate_cinema, CinemaConfig, CINEMA_ANNOTATIONS};
+use cat_policy::{candidate_entropy, Attribute, CandidateSet};
+use cat_txdb::{row, DataType, Database, Predicate, TableSchema, Value};
+
+fn setup_table(n: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("t")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("bucket", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    db.table_mut("t").unwrap().create_index("bucket").unwrap();
+    for i in 0..n as i64 {
+        db.insert("t", row![i, format!("name-{}", i % 997), i % 50]).expect("insert");
+    }
+    db
+}
+
+fn bench_txdb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txdb");
+    group.bench_function("insert_10k_rows", |b| {
+        b.iter_batched(
+            || setup_table(0),
+            |mut db| {
+                for i in 0..10_000i64 {
+                    db.insert("t", row![i, "x", i % 50]).expect("insert");
+                }
+                db
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    let db = setup_table(100_000);
+    group.bench_function("indexed_lookup_100k", |b| {
+        b.iter(|| {
+            black_box(db.table("t").unwrap().lookup("bucket", &Value::Int(7)));
+        });
+    });
+    group.bench_function("predicate_scan_100k", |b| {
+        b.iter(|| {
+            black_box(
+                db.select("t", &Predicate::contains("name", "name-99")).expect("select").len(),
+            );
+        });
+    });
+    group.bench_function("transaction_roundtrip", |b| {
+        let mut db = setup_table(1000);
+        b.iter(|| {
+            let mut txn = db.begin();
+            txn.insert("t", row![1_000_001i64, "temp", 3]).expect("insert");
+            txn.rollback();
+        });
+    });
+    group.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy");
+    let db = generate_cinema(&CinemaConfig { customers: 10_000, ..CinemaConfig::default() })
+        .expect("db");
+    let cs = CandidateSet::all(&db, "customer").expect("candidates");
+    let name = Attribute::local("customer", "name");
+    group.bench_function("entropy_10k_candidates", |b| {
+        b.iter(|| black_box(candidate_entropy(&db, &cs, &name).expect("entropy")));
+    });
+    group.bench_function("refine_10k_candidates", |b| {
+        b.iter_batched(
+            || cs.clone(),
+            |mut cs| {
+                cs.refine(&db, &name, &Value::Text("Ada Adler".into())).expect("refine");
+                cs
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_nlu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlu");
+    group.sample_size(10);
+    let db = generate_cinema(&CinemaConfig::small(1)).expect("db");
+    let annotations = AnnotationFile::parse(CINEMA_ANNOTATIONS).expect("annotations");
+    let (agent, _) = CatBuilder::new(db)
+        .with_annotations(&annotations)
+        .expect("apply")
+        .synthesize();
+    group.bench_function("parse_utterance", |b| {
+        b.iter(|| black_box(agent.nlu().parse("i want to watch Forrest Gump tonight")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_txdb, bench_policy, bench_nlu);
+criterion_main!(benches);

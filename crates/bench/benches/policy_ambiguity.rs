@@ -1,0 +1,121 @@
+//! E4 — systematic identification problems from data characteristics
+//! (paper §4): the static strategy "cannot react to systematic problems in
+//! uniquely identifying entries of some tables (caused by data
+//! characteristics like almost identical entries)".
+//!
+//! Protocol: inject clusters of near-duplicate customers (same name, same
+//! city, same street — differing only in attributes users rarely know) and
+//! compare policies on targets drawn from inside vs outside the clusters.
+//!
+//! Run with: `cargo bench -p cat-bench --bench policy_ambiguity`
+
+use cat_bench::{f, print_table};
+use cat_policy::{
+    run_identification, DataAwarePolicy, RandomPolicy, SimulationConfig, SlotSelector,
+    StaticPolicy,
+};
+use cat_txdb::{DataType, Database, Row, RowId, TableSchema, Value};
+
+/// A customer table where `clustered` of the rows form near-identical
+/// groups of five (distinguishable only by email, which users know with
+/// probability 0.6).
+fn ambiguous_db(total: usize, clustered: usize) -> (Database, Vec<RowId>, Vec<RowId>) {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("customer")
+            .column("customer_id", DataType::Int)
+            .column("name", DataType::Text)
+            .awareness(0.95)
+            .column("city", DataType::Text)
+            .awareness(0.9)
+            .column("street", DataType::Text)
+            .awareness(0.85)
+            .column("email", DataType::Text)
+            .awareness(0.6)
+            .primary_key(&["customer_id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    let mut cluster_rids = Vec::new();
+    let mut normal_rids = Vec::new();
+    for i in 0..total {
+        let (name, city, street) = if i < clustered {
+            // Groups of 5 identical (name, city, street) triples.
+            let g = i / 5;
+            (format!("Kim Lee {g}"), "Berlin".to_string(), "Main St".to_string())
+        } else {
+            (format!("Person {i}"), format!("City {}", i % 23), format!("Street {}", i % 31))
+        };
+        let rid = db
+            .insert(
+                "customer",
+                Row::new(vec![
+                    Value::Int(i as i64),
+                    name.into(),
+                    city.into(),
+                    street.into(),
+                    format!("user{i}@example.org").into(),
+                ]),
+            )
+            .expect("insert");
+        if i < clustered {
+            cluster_rids.push(rid);
+        } else {
+            normal_rids.push(rid);
+        }
+    }
+    (db, cluster_rids, normal_rids)
+}
+
+fn eval(
+    db: &Database,
+    targets: &[RowId],
+    policy: &mut dyn SlotSelector,
+    cfg: &SimulationConfig,
+) -> (f64, f64) {
+    let mut turns = 0usize;
+    let mut ok = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        let r = run_identification(db, "customer", t, policy, cfg, 31 * i as u64 + 7)
+            .expect("episode");
+        turns += r.turns;
+        ok += usize::from(r.identified);
+    }
+    (turns as f64 / targets.len() as f64, ok as f64 / targets.len() as f64)
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let (db, cluster_rids, normal_rids) = ambiguous_db(1000, 200);
+    let cfg = SimulationConfig { max_turns: 10, ..SimulationConfig::default() };
+    let cluster_targets: Vec<RowId> = cluster_rids.iter().step_by(2).copied().take(60).collect();
+    let normal_targets: Vec<RowId> = normal_rids.iter().step_by(7).copied().take(60).collect();
+
+    let mut rows = Vec::new();
+    for (group, targets) in
+        [("near-duplicates", &cluster_targets), ("regular rows", &normal_targets)]
+    {
+        let mut aware = DataAwarePolicy::default();
+        let (at, asr) = eval(&db, targets, &mut aware, &cfg);
+        let mut stat = StaticPolicy::from_snapshot(&db, "customer", 0).expect("static");
+        let (st, ssr) = eval(&db, targets, &mut stat, &cfg);
+        let mut rand_p = RandomPolicy::new(3, 0);
+        let (rt, rsr) = eval(&db, targets, &mut rand_p, &cfg);
+        rows.push(vec![group.to_string(), "data-aware".into(), f(at, 2), f(asr, 2)]);
+        rows.push(vec![group.to_string(), "static".into(), f(st, 2), f(ssr, 2)]);
+        rows.push(vec![group.to_string(), "random".into(), f(rt, 2), f(rsr, 2)]);
+    }
+    print_table(
+        "E4: near-identical entries — systematic identification problems (paper §4)",
+        &["target group", "policy", "mean turns", "success rate"],
+        &rows,
+    );
+    println!(
+        "\nshape check: on near-duplicate targets the data-aware policy routes to\n\
+         the discriminating attribute (email) once name/city/street stop reducing\n\
+         the candidate set, while the static order burns its turns first.\n\
+         total time: {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}

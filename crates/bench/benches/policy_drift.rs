@@ -1,0 +1,127 @@
+//! E3 — runtime adaptation to data-distribution change (paper §4): the
+//! static strategy "will not adapt to data distribution changes at
+//! runtime"; the data-aware policy needs no retraining.
+//!
+//! Protocol: at training time, `city` is the most informative attribute
+//! (30 distinct cities, only a handful of distinct names), so the static
+//! snapshot order asks for the city first. At runtime the distribution
+//! inverts — everyone is in one city and names diversify. The data-aware
+//! policy re-ranks from live entropies; the static one keeps asking the
+//! now-worthless question.
+//!
+//! Run with: `cargo bench -p cat-bench --bench policy_drift`
+
+use cat_bench::{f, print_table};
+use cat_policy::{run_batch, DataAwarePolicy, SimulationConfig, SlotSelector, StaticPolicy};
+use cat_txdb::{DataType, Database, Row, TableSchema, Value};
+
+const EPISODES: usize = 150;
+const N: usize = 2000;
+
+fn base_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("customer")
+            .column("customer_id", DataType::Int)
+            .column("name", DataType::Text)
+            .awareness(0.95)
+            .column("city", DataType::Text)
+            .awareness(0.95)
+            .column("street", DataType::Text)
+            .awareness(0.8)
+            .primary_key(&["customer_id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    // Training-time distribution: names are heavily shared (8 distinct),
+    // cities are diverse (30 distinct), streets mid (15 distinct).
+    // Attribute assignments are decorrelated via multiplicative hashing so
+    // the joint distribution has full support (8×30×15 combinations).
+    let h = |i: usize, salt: u64| {
+        let mut x = (i as u64).wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        x
+    };
+    for i in 0..N {
+        db.insert(
+            "customer",
+            Row::new(vec![
+                Value::Int(i as i64),
+                format!("Common Name {}", h(i, 1) % 8).into(),
+                format!("City {}", h(i, 2) % 30).into(),
+                format!("Street {}", h(i, 3) % 15).into(),
+            ]),
+        )
+        .expect("insert");
+    }
+    db
+}
+
+fn apply_drift(db: &mut Database) {
+    // Runtime distribution flip: one city, diverse names.
+    let rids: Vec<_> = db.table("customer").unwrap().scan().map(|(r, _)| r).collect();
+    for (i, rid) in rids.iter().enumerate() {
+        db.update("customer", *rid, "city", Value::Text("Berlin".into())).unwrap();
+        db.update("customer", *rid, "name", Value::Text(format!("Unique Name {}", i / 2)))
+            .unwrap();
+    }
+}
+
+fn measure(db: &Database, label: &str, stat: &mut StaticPolicy) -> Vec<Vec<String>> {
+    let cfg = SimulationConfig { max_turns: 10, ..SimulationConfig::default() };
+    let mut aware = DataAwarePolicy::default();
+    let aware_res = run_batch(db, "customer", &mut aware, EPISODES, &cfg).expect("aware");
+    let stat_res = run_batch(db, "customer", stat, EPISODES, &cfg).expect("static");
+    let first_aware = aware
+        .choose(db, &cat_policy::CandidateSet::all(db, "customer").unwrap(), &[])
+        .map(|a| a.key())
+        .unwrap_or_default();
+    let first_static = stat.order().first().map(|a| a.key()).unwrap_or_default();
+    vec![
+        vec![
+            label.to_string(),
+            "data-aware".into(),
+            first_aware,
+            f(aware_res.mean_turns, 2),
+            f(aware_res.success_rate, 2),
+        ],
+        vec![
+            label.to_string(),
+            "static (train-time order)".into(),
+            first_static,
+            f(stat_res.mean_turns, 2),
+            f(stat_res.success_rate, 2),
+        ],
+    ]
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut db = base_db();
+    let mut stat = StaticPolicy::from_snapshot(&db, "customer", 0).expect("snapshot");
+    println!(
+        "static ask order (train time): {}",
+        stat.order().iter().map(|a| a.key()).collect::<Vec<_>>().join(" -> ")
+    );
+
+    let mut rows = measure(&db, "before drift", &mut stat);
+    apply_drift(&mut db);
+    rows.extend(measure(&db, "after drift", &mut stat));
+
+    print_table(
+        "E3: adaptation to data drift without retraining (paper §4)",
+        &["phase", "policy", "first question", "mean turns", "success"],
+        &rows,
+    );
+    println!(
+        "\nshape check: equal before drift; after the distribution flip the static\n\
+         policy still opens with the collapsed city question (one wasted turn per\n\
+         dialogue) while the data-aware policy switches to names immediately —\n\
+         with no retraining step anywhere.\n\
+         total time: {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,163 @@
+//! E2 — the paper's §4 "Initial Evaluation Results": interaction-turn
+//! comparison of the data-aware selection policy against static and random
+//! baselines, sweeping table size and the number of joinable dimensions.
+//! Paper claim: "The speedup (in terms of interaction turns) compared to a
+//! random strategy can be up to 80 % for large tables with many dimensions
+//! to join", and the static strategy can be competitive on stationary data.
+//!
+//! Run with: `cargo bench -p cat-bench --bench policy_turns`
+
+use cat_bench::{f, print_table, speedup_pct};
+use cat_corpus::{generate_cinema, generate_flights, CinemaConfig, FlightConfig};
+use cat_policy::{
+    run_batch, DataAwareConfig, DataAwarePolicy, RandomPolicy, SimulationConfig, StaticPolicy,
+};
+
+const EPISODES: usize = 120;
+
+fn sweep_customers() -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for &n in &[100usize, 500, 2000, 8000] {
+        let db = generate_cinema(&CinemaConfig {
+            customers: n,
+            ..CinemaConfig::default()
+        })
+        .expect("db");
+        let cfg = SimulationConfig::default();
+        let mut aware = DataAwarePolicy::default();
+        let aware_res = run_batch(&db, "customer", &mut aware, EPISODES, &cfg).expect("aware");
+        let mut stat = StaticPolicy::from_snapshot(&db, "customer", 3).expect("static");
+        let stat_res = run_batch(&db, "customer", &mut stat, EPISODES, &cfg).expect("static");
+        let mut rand_p = RandomPolicy::new(5, 3);
+        let rand_res = run_batch(&db, "customer", &mut rand_p, EPISODES, &cfg).expect("random");
+        rows.push(vec![
+            "customer".into(),
+            n.to_string(),
+            f(aware_res.mean_turns, 2),
+            f(stat_res.mean_turns, 2),
+            f(rand_res.mean_turns, 2),
+            format!("{}%", f(speedup_pct(rand_res.mean_turns, aware_res.mean_turns), 0)),
+            f(aware_res.success_rate, 2),
+        ]);
+    }
+    rows
+}
+
+fn sweep_movies_by_join_dims() -> Vec<Vec<String>> {
+    // Movies have a genuine join dimension (actors). Sweep how many FK
+    // hops the policy may exploit.
+    let db = generate_cinema(&CinemaConfig {
+        movies: 250,
+        actors: 400,
+        screenings: 600,
+        ..CinemaConfig::default()
+    })
+    .expect("db");
+    let cfg = SimulationConfig::default();
+    let mut rows = Vec::new();
+    for &hops in &[0usize, 1, 2, 3] {
+        let mut aware = DataAwarePolicy::new(DataAwareConfig {
+            max_join_hops: hops,
+            use_joins: hops > 0,
+            ..DataAwareConfig::default()
+        });
+        let aware_res = run_batch(&db, "movie", &mut aware, EPISODES, &cfg).expect("aware");
+        let mut rand_p = RandomPolicy::new(6, hops);
+        let rand_res = run_batch(&db, "movie", &mut rand_p, EPISODES, &cfg).expect("random");
+        rows.push(vec![
+            "movie".into(),
+            format!("{hops} hops"),
+            f(aware_res.mean_turns, 2),
+            "-".into(),
+            f(rand_res.mean_turns, 2),
+            format!("{}%", f(speedup_pct(rand_res.mean_turns, aware_res.mean_turns), 0)),
+            f(aware_res.success_rate, 2),
+        ]);
+    }
+    rows
+}
+
+fn sweep_flights() -> Vec<Vec<String>> {
+    // The ATIS-side policy experiment: identifying flights, which join to
+    // airlines and two airport roles ("large tables with many dimensions").
+    let mut rows = Vec::new();
+    for &n in &[500usize, 2000, 8000] {
+        let db = generate_flights(&FlightConfig {
+            flights: n,
+            ..FlightConfig::default()
+        })
+        .expect("db");
+        let cfg = SimulationConfig { max_turns: 16, ..SimulationConfig::default() };
+        let mut aware = DataAwarePolicy::default();
+        let aware_res = run_batch(&db, "flight", &mut aware, EPISODES, &cfg).expect("aware");
+        let mut stat = StaticPolicy::from_snapshot(&db, "flight", 3).expect("static");
+        let stat_res = run_batch(&db, "flight", &mut stat, EPISODES, &cfg).expect("static");
+        let mut rand_p = RandomPolicy::new(7, 3);
+        let rand_res = run_batch(&db, "flight", &mut rand_p, EPISODES, &cfg).expect("random");
+        rows.push(vec![
+            "flight".into(),
+            n.to_string(),
+            f(aware_res.mean_turns, 2),
+            f(stat_res.mean_turns, 2),
+            f(rand_res.mean_turns, 2),
+            format!("{}%", f(speedup_pct(rand_res.mean_turns, aware_res.mean_turns), 0)),
+            f(aware_res.success_rate, 2),
+        ]);
+    }
+    rows
+}
+
+fn ablations() -> Vec<Vec<String>> {
+    let db = generate_cinema(&CinemaConfig {
+        customers: 2000,
+        ..CinemaConfig::default()
+    })
+    .expect("db");
+    let cfg = SimulationConfig::default();
+    let mut rows = Vec::new();
+    let variants: Vec<(&str, DataAwareConfig)> = vec![
+        ("full data-aware", DataAwareConfig::default()),
+        (
+            "no awareness weighting",
+            DataAwareConfig { use_awareness: false, ..DataAwareConfig::default() },
+        ),
+        (
+            "distinct-count informativeness",
+            DataAwareConfig { use_entropy: false, ..DataAwareConfig::default() },
+        ),
+        ("single table only", DataAwareConfig { use_joins: false, ..DataAwareConfig::default() }),
+    ];
+    for (name, config) in variants {
+        let mut policy = DataAwarePolicy::new(config);
+        let res = run_batch(&db, "customer", &mut policy, EPISODES, &cfg).expect("batch");
+        rows.push(vec![
+            name.to_string(),
+            f(res.mean_turns, 2),
+            f(res.success_rate, 2),
+        ]);
+    }
+    rows
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut rows = sweep_customers();
+    rows.extend(sweep_movies_by_join_dims());
+    rows.extend(sweep_flights());
+    print_table(
+        "E2: identification turns — data-aware vs static vs random (paper §4)",
+        &["entity", "size/dims", "data-aware", "static", "random", "speedup vs random", "success"],
+        &rows,
+    );
+    print_table(
+        "E2b: design-choice ablations (customers, n=2000)",
+        &["policy variant", "mean turns", "success"],
+        &ablations(),
+    );
+    println!(
+        "\nshape check: data-aware <= static <= random in turns; speedup grows with\n\
+         table size and join dimensions (paper: up to ~80% on large joined tables).\n\
+         total time: {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,442 @@
+//! The schema-annotation file format — the machine form of the GUI in the
+//! paper's Figure 4.
+//!
+//! A developer synthesizing an agent writes (or clicks together) exactly
+//! three kinds of information, and this is the only database-specific
+//! manual input CAT needs:
+//!
+//! * per-column dialogue annotations (`ask=`, `awareness=`, `display=`),
+//! * a few request templates per task,
+//! * a few inform templates per slot, with the slot's value source.
+//!
+//! The format is a simple line-based text file (hand-rolled parser, no
+//! extra dependencies):
+//!
+//! ```text
+//! table customer
+//!   column name ask=preferred awareness=0.95 display="customer name"
+//!   column customer_id ask=avoid awareness=0.05
+//!
+//! task ticket_reservation
+//!   request "i want to buy {ticket_amount} tickets"
+//!
+//! slot movie_title source=movie.title
+//!   inform "the movie title is {movie_title}"
+//! slot ticket_amount source=range:1..10
+//! ```
+
+use std::fmt;
+
+use cat_datagen::{TemplateSet, ValueSource};
+use cat_txdb::{AskPreference, Database};
+
+/// Errors from parsing or applying an annotation file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnnotationError {
+    /// Malformed line with its 1-based line number.
+    Syntax { line: usize, message: String },
+    /// Annotation references an unknown table/column.
+    UnknownTarget(String),
+}
+
+impl fmt::Display for AnnotationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnotationError::Syntax { line, message } => {
+                write!(f, "annotation syntax error at line {line}: {message}")
+            }
+            AnnotationError::UnknownTarget(t) => {
+                write!(f, "annotation references unknown target: {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnnotationError {}
+
+/// Per-column annotation overrides.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnAnnotation {
+    pub column: String,
+    pub ask: Option<AskPreference>,
+    pub awareness: Option<f64>,
+    pub display: Option<String>,
+}
+
+/// Annotations for one table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableAnnotation {
+    pub table: String,
+    pub columns: Vec<ColumnAnnotation>,
+}
+
+/// Request templates for one task.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskAnnotation {
+    pub task: String,
+    pub request: Vec<String>,
+}
+
+/// Declaration of one slot: its value source and inform templates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotAnnotationDecl {
+    pub slot: String,
+    pub source: ValueSource,
+    pub inform: Vec<String>,
+}
+
+/// A parsed annotation file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnnotationFile {
+    pub tables: Vec<TableAnnotation>,
+    pub tasks: Vec<TaskAnnotation>,
+    pub slots: Vec<SlotAnnotationDecl>,
+}
+
+impl AnnotationFile {
+    /// Parse the text format.
+    pub fn parse(text: &str) -> Result<AnnotationFile, AnnotationError> {
+        enum Section {
+            None,
+            Table(usize),
+            Task(usize),
+            Slot(usize),
+        }
+        let mut file = AnnotationFile::default();
+        let mut section = Section::None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let n = lineno + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let syntax = |message: &str| AnnotationError::Syntax {
+                line: n,
+                message: message.to_string(),
+            };
+            let (head, rest) = match line.split_once(char::is_whitespace) {
+                Some((h, r)) => (h, r.trim()),
+                None => (line, ""),
+            };
+            match head {
+                "table" => {
+                    if rest.is_empty() {
+                        return Err(syntax("expected table name"));
+                    }
+                    file.tables
+                        .push(TableAnnotation { table: rest.to_string(), columns: Vec::new() });
+                    section = Section::Table(file.tables.len() - 1);
+                }
+                "task" => {
+                    if rest.is_empty() {
+                        return Err(syntax("expected task name"));
+                    }
+                    file.tasks
+                        .push(TaskAnnotation { task: rest.to_string(), request: Vec::new() });
+                    section = Section::Task(file.tasks.len() - 1);
+                }
+                "slot" => {
+                    let mut parts = rest.split_whitespace();
+                    let slot =
+                        parts.next().ok_or_else(|| syntax("expected slot name"))?.to_string();
+                    let mut source = None;
+                    for p in parts {
+                        if let Some(spec) = p.strip_prefix("source=") {
+                            source = Some(parse_source(spec).map_err(|m| syntax(&m))?);
+                        } else {
+                            return Err(syntax(&format!("unexpected token `{p}`")));
+                        }
+                    }
+                    let source = source.ok_or_else(|| syntax("slot needs source=..."))?;
+                    file.slots.push(SlotAnnotationDecl { slot, source, inform: Vec::new() });
+                    section = Section::Slot(file.slots.len() - 1);
+                }
+                "column" => {
+                    let Section::Table(idx) = section else {
+                        return Err(syntax("`column` outside a table section"));
+                    };
+                    let mut parts = tokenize_quoted(rest);
+                    let column = parts
+                        .next()
+                        .ok_or_else(|| syntax("expected column name"))?;
+                    let mut ann = ColumnAnnotation { column, ..Default::default() };
+                    for p in parts {
+                        if let Some(v) = p.strip_prefix("ask=") {
+                            ann.ask = Some(
+                                AskPreference::from_keyword(v)
+                                    .ok_or_else(|| syntax(&format!("bad ask value `{v}`")))?,
+                            );
+                        } else if let Some(v) = p.strip_prefix("awareness=") {
+                            let x: f64 = v
+                                .parse()
+                                .map_err(|_| syntax(&format!("bad awareness `{v}`")))?;
+                            if !(0.0..=1.0).contains(&x) {
+                                return Err(syntax("awareness must be in [0,1]"));
+                            }
+                            ann.awareness = Some(x);
+                        } else if let Some(v) = p.strip_prefix("display=") {
+                            ann.display = Some(v.to_string());
+                        } else {
+                            return Err(syntax(&format!("unexpected token `{p}`")));
+                        }
+                    }
+                    file.tables[idx].columns.push(ann);
+                }
+                "request" => {
+                    let Section::Task(idx) = section else {
+                        return Err(syntax("`request` outside a task section"));
+                    };
+                    file.tasks[idx].request.push(unquote(rest).map_err(|m| syntax(&m))?);
+                }
+                "inform" => {
+                    let Section::Slot(idx) = section else {
+                        return Err(syntax("`inform` outside a slot section"));
+                    };
+                    file.slots[idx].inform.push(unquote(rest).map_err(|m| syntax(&m))?);
+                }
+                other => return Err(syntax(&format!("unknown directive `{other}`"))),
+            }
+        }
+        Ok(file)
+    }
+
+    /// Render back to the text format (parse∘render is the identity on the
+    /// structured form).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# CAT schema annotation file\n");
+        for t in &self.tables {
+            out.push_str(&format!("\ntable {}\n", t.table));
+            for c in &t.columns {
+                out.push_str(&format!("  column {}", c.column));
+                if let Some(a) = c.ask {
+                    out.push_str(&format!(" ask={}", a.keyword()));
+                }
+                if let Some(w) = c.awareness {
+                    out.push_str(&format!(" awareness={w}"));
+                }
+                if let Some(d) = &c.display {
+                    out.push_str(&format!(" display=\"{d}\""));
+                }
+                out.push('\n');
+            }
+        }
+        for t in &self.tasks {
+            out.push_str(&format!("\ntask {}\n", t.task));
+            for r in &t.request {
+                out.push_str(&format!("  request \"{r}\"\n"));
+            }
+        }
+        for s in &self.slots {
+            out.push_str(&format!("\nslot {} source={}\n", s.slot, render_source(&s.source)));
+            for i in &s.inform {
+                out.push_str(&format!("  inform \"{i}\"\n"));
+            }
+        }
+        out
+    }
+
+    /// Apply the column annotations to a live database schema.
+    pub fn apply_to(&self, db: &mut Database) -> Result<(), AnnotationError> {
+        for t in &self.tables {
+            let table = db
+                .table_mut(&t.table)
+                .map_err(|_| AnnotationError::UnknownTarget(t.table.clone()))?;
+            for c in &t.columns {
+                let col = table.schema_mut().column_mut(&c.column).ok_or_else(|| {
+                    AnnotationError::UnknownTarget(format!("{}.{}", t.table, c.column))
+                })?;
+                if let Some(a) = c.ask {
+                    col.ask = a;
+                }
+                if let Some(w) = c.awareness {
+                    col.awareness_prior = w;
+                }
+                if let Some(d) = &c.display {
+                    col.display_name = Some(d.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert the task/slot sections into a datagen [`TemplateSet`].
+    pub fn template_set(&self) -> TemplateSet {
+        let mut ts = TemplateSet::new();
+        for t in &self.tasks {
+            for r in &t.request {
+                ts.add_request(&t.task, r);
+            }
+        }
+        for s in &self.slots {
+            ts.add_source(&s.slot, s.source.clone());
+            for i in &s.inform {
+                ts.add_inform(&s.slot, i);
+            }
+        }
+        ts
+    }
+}
+
+fn parse_source(spec: &str) -> Result<ValueSource, String> {
+    if let Some(range) = spec.strip_prefix("range:") {
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or_else(|| format!("bad range `{range}` (want lo..hi)"))?;
+        let lo: i64 = lo.parse().map_err(|_| format!("bad range bound `{lo}`"))?;
+        let hi: i64 = hi.parse().map_err(|_| format!("bad range bound `{hi}`"))?;
+        return Ok(ValueSource::Range { lo, hi });
+    }
+    if let Some(list) = spec.strip_prefix("oneof:") {
+        return Ok(ValueSource::OneOf(list.split(',').map(str::to_string).collect()));
+    }
+    match spec.split_once('.') {
+        Some((table, column)) => {
+            Ok(ValueSource::Column { table: table.to_string(), column: column.to_string() })
+        }
+        None => Err(format!("bad source `{spec}` (want table.column, range:a..b or oneof:x,y)")),
+    }
+}
+
+fn render_source(s: &ValueSource) -> String {
+    match s {
+        ValueSource::Column { table, column } => format!("{table}.{column}"),
+        ValueSource::Range { lo, hi } => format!("range:{lo}..{hi}"),
+        ValueSource::OneOf(opts) => format!("oneof:{}", opts.join(",")),
+    }
+}
+
+/// Split a line into whitespace-separated tokens, where `key="a b"` keeps
+/// quoted values intact (quotes stripped).
+fn tokenize_quoted(s: &str) -> impl Iterator<Item = String> + '_ {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens.into_iter()
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    let s = s.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Ok(s[1..s.len() - 1].to_string())
+    } else {
+        Err(format!("expected a quoted string, got `{s}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cat_txdb::{DataType, TableSchema};
+
+    const SAMPLE: &str = r#"
+# demo annotations
+table customer
+  column name ask=preferred awareness=0.95 display="customer name"
+  column customer_id ask=avoid awareness=0.05
+
+task ticket_reservation
+  request "i want to buy {ticket_amount} tickets"
+  request "book tickets for me"
+
+slot movie_title source=movie.title
+  inform "the movie title is {movie_title}"
+  inform "i want to watch {movie_title}"
+slot ticket_amount source=range:1..10
+slot mood source=oneof:happy,sad
+"#;
+
+    #[test]
+    fn parses_the_sample() {
+        let f = AnnotationFile::parse(SAMPLE).unwrap();
+        assert_eq!(f.tables.len(), 1);
+        assert_eq!(f.tables[0].columns.len(), 2);
+        let name = &f.tables[0].columns[0];
+        assert_eq!(name.ask, Some(AskPreference::Preferred));
+        assert_eq!(name.awareness, Some(0.95));
+        assert_eq!(name.display.as_deref(), Some("customer name"));
+        assert_eq!(f.tasks[0].request.len(), 2);
+        assert_eq!(f.slots.len(), 3);
+        assert_eq!(
+            f.slots[0].source,
+            ValueSource::Column { table: "movie".into(), column: "title".into() }
+        );
+        assert_eq!(f.slots[1].source, ValueSource::Range { lo: 1, hi: 10 });
+        assert_eq!(
+            f.slots[2].source,
+            ValueSource::OneOf(vec!["happy".into(), "sad".into()])
+        );
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let f = AnnotationFile::parse(SAMPLE).unwrap();
+        let rendered = f.render();
+        let reparsed = AnnotationFile::parse(&rendered).unwrap();
+        assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = AnnotationFile::parse("table t\ncolumn c ask=maybe").unwrap_err();
+        match err {
+            AnnotationError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+        assert!(AnnotationFile::parse("column c ask=avoid").is_err(), "column outside table");
+        assert!(AnnotationFile::parse("slot s").is_err(), "slot without source");
+        assert!(AnnotationFile::parse("bogus directive").is_err());
+        assert!(AnnotationFile::parse("table t\ncolumn c awareness=1.5").is_err());
+        assert!(AnnotationFile::parse("task t\nrequest unquoted").is_err());
+    }
+
+    #[test]
+    fn apply_to_database() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("customer")
+                .column("customer_id", DataType::Int)
+                .column("name", DataType::Text)
+                .primary_key(&["customer_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let f = AnnotationFile::parse(
+            "table customer\n  column name ask=preferred awareness=0.9 display=\"full name\"",
+        )
+        .unwrap();
+        f.apply_to(&mut db).unwrap();
+        let col = db.table("customer").unwrap().schema().column("name").unwrap().clone();
+        assert_eq!(col.ask, AskPreference::Preferred);
+        assert_eq!(col.awareness_prior, 0.9);
+        assert_eq!(col.human_name(), "full name");
+        // Unknown targets error.
+        let bad = AnnotationFile::parse("table nope\n  column x ask=avoid").unwrap();
+        assert!(bad.apply_to(&mut db).is_err());
+        let bad2 = AnnotationFile::parse("table customer\n  column nope ask=avoid").unwrap();
+        assert!(bad2.apply_to(&mut db).is_err());
+    }
+
+    #[test]
+    fn template_set_conversion() {
+        let f = AnnotationFile::parse(SAMPLE).unwrap();
+        let ts = f.template_set();
+        assert_eq!(ts.request["ticket_reservation"].len(), 2);
+        assert_eq!(ts.inform["movie_title"].len(), 2);
+        assert!(ts.sources.contains_key("ticket_amount"));
+    }
+}

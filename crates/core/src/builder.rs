@@ -1,0 +1,152 @@
+//! `CatBuilder` — the synthesis pipeline (the left half of the paper's
+//! Figure 2): schema + transactions + a few templates in, a trained,
+//! database-integrated conversational agent out.
+
+use cat_datagen::{
+    build_gazetteer, extract_tasks, generate_nlu_data, simulate_flows, DataGenConfig,
+    SelfPlayConfig, TemplateSet,
+};
+use cat_dm::FlowModel;
+use cat_nlu::{NluConfig, NluPipeline};
+use cat_policy::{DataAwareConfig, DataAwarePolicy};
+use cat_txdb::Database;
+
+use crate::agent::ConversationalAgent;
+use crate::annotation::{AnnotationError, AnnotationFile};
+
+/// Summary of what the synthesis produced (reported to the developer and
+/// asserted on by tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisReport {
+    pub n_tasks: usize,
+    pub n_nlu_examples: usize,
+    pub n_flows: usize,
+    pub n_gazetteer_slots: usize,
+    pub intents: Vec<String>,
+}
+
+/// Builder for synthesizing a [`ConversationalAgent`].
+pub struct CatBuilder {
+    db: Database,
+    templates: TemplateSet,
+    datagen: DataGenConfig,
+    selfplay: SelfPlayConfig,
+    nlu: NluConfig,
+    policy: DataAwareConfig,
+    seed: u64,
+}
+
+impl CatBuilder {
+    /// Start from a database with registered procedures.
+    pub fn new(db: Database) -> CatBuilder {
+        CatBuilder {
+            db,
+            templates: TemplateSet::new(),
+            datagen: DataGenConfig::default(),
+            selfplay: SelfPlayConfig::default(),
+            nlu: NluConfig::default(),
+            policy: DataAwareConfig::default(),
+            seed: 42,
+        }
+    }
+
+    /// Provide templates programmatically.
+    pub fn with_templates(mut self, templates: TemplateSet) -> CatBuilder {
+        self.templates = templates;
+        self
+    }
+
+    /// Apply an annotation file: column annotations onto the schema,
+    /// task/slot templates into the template set.
+    pub fn with_annotations(mut self, file: &AnnotationFile) -> Result<CatBuilder, AnnotationError> {
+        file.apply_to(&mut self.db)?;
+        let ts = file.template_set();
+        // Merge (annotation templates extend any programmatic ones).
+        for (task, reqs) in ts.request {
+            for r in reqs {
+                self.templates.add_request(&task, &r);
+            }
+        }
+        for (slot, informs) in ts.inform {
+            for i in informs {
+                self.templates.add_inform(&slot, &i);
+            }
+        }
+        for (slot, source) in ts.sources {
+            self.templates.add_source(&slot, source);
+        }
+        Ok(self)
+    }
+
+    /// Override data-generation parameters.
+    pub fn with_datagen_config(mut self, cfg: DataGenConfig) -> CatBuilder {
+        self.datagen = cfg;
+        self
+    }
+
+    /// Override self-play parameters.
+    pub fn with_selfplay_config(mut self, cfg: SelfPlayConfig) -> CatBuilder {
+        self.selfplay = cfg;
+        self
+    }
+
+    /// Override NLU pipeline parameters.
+    pub fn with_nlu_config(mut self, cfg: NluConfig) -> CatBuilder {
+        self.nlu = cfg;
+        self
+    }
+
+    /// Override the data-aware policy configuration (ablations).
+    pub fn with_policy_config(mut self, cfg: DataAwareConfig) -> CatBuilder {
+        self.policy = cfg;
+        self
+    }
+
+    /// Master seed for all stochastic steps.
+    pub fn with_seed(mut self, seed: u64) -> CatBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Run the full synthesis: extract tasks, generate + train NLU,
+    /// self-play + train DM, wire the data-aware policy, and bind the
+    /// agent to the database.
+    pub fn synthesize(self) -> (ConversationalAgent, SynthesisReport) {
+        let tasks = extract_tasks(&self.db);
+        let nlu_data = generate_nlu_data(&self.db, &tasks, &self.templates, &self.datagen);
+        let gazetteer = build_gazetteer(&self.db, &self.templates);
+        let n_gazetteer_slots = gazetteer.slots().len();
+        let nlu = NluPipeline::train_with(&nlu_data, gazetteer, self.nlu.clone());
+        let flows = simulate_flows(&tasks, &self.selfplay);
+        let flow_model = FlowModel::train(&flows);
+        let mut intents: Vec<String> = nlu_data.iter().map(|e| e.intent.clone()).collect();
+        intents.sort();
+        intents.dedup();
+        let report = SynthesisReport {
+            n_tasks: tasks.len(),
+            n_nlu_examples: nlu_data.len(),
+            n_flows: flows.len(),
+            n_gazetteer_slots,
+            intents,
+        };
+        let agent = ConversationalAgent::assemble(
+            self.db,
+            tasks,
+            self.templates,
+            nlu,
+            flow_model,
+            DataAwarePolicy::new(self.policy),
+            self.seed,
+        );
+        (agent, report)
+    }
+}
+
+impl std::fmt::Debug for CatBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatBuilder")
+            .field("tables", &self.db.table_names().len())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}

@@ -1,0 +1,344 @@
+//! End-to-end dialogues against a fully synthesized cinema agent —
+//! including a reproduction of the paper's Figure 1 dialogue (booking with
+//! account identification, misspelling correction, screening choice,
+//! confirmation and transactional execution).
+
+use cat_core::{AnnotationFile, CatBuilder, ConversationalAgent};
+use cat_corpus::{generate_cinema, CinemaConfig, CINEMA_ANNOTATIONS};
+use cat_txdb::{Predicate, Value};
+
+fn build_agent(seed: u64) -> ConversationalAgent {
+    let db = generate_cinema(&CinemaConfig::small(seed)).expect("generate cinema db");
+    let annotations = AnnotationFile::parse(CINEMA_ANNOTATIONS).expect("annotations parse");
+    let (agent, report) = CatBuilder::new(db)
+        .with_annotations(&annotations)
+        .expect("annotations apply")
+        .with_seed(seed)
+        .synthesize();
+    assert_eq!(report.n_tasks, 3);
+    assert!(report.n_nlu_examples > 300, "got {}", report.n_nlu_examples);
+    assert!(report.n_flows > 0);
+    agent
+}
+
+/// Extract a known customer (name, city) and a movie title from the DB so
+/// the scripted user can answer questions truthfully.
+fn sample_entities(agent: &ConversationalAgent) -> (String, String, i64, String) {
+    let db = agent.db();
+    let customers = db.table("customer").unwrap();
+    let (_, row) = customers.scan().next().unwrap();
+    let name = row.get(1).unwrap().render();
+    let city = row.get(2).unwrap().render();
+    let customer_id = row.get(0).unwrap().as_int().unwrap();
+    // A movie that has at least one screening.
+    let screening = db.table("screening").unwrap().scan().next().unwrap().1;
+    let movie_id = screening.get(1).unwrap().clone();
+    let (_, movie_row) = db.table("movie").unwrap().get_by_pk(&[movie_id]).unwrap();
+    let title = movie_row.get(1).unwrap().render();
+    (name, city, customer_id, title)
+}
+
+#[test]
+fn figure1_booking_dialogue_end_to_end() {
+    let mut agent = build_agent(1);
+    let (name, city, customer_id, title) = sample_entities(&agent);
+    let reservations_before = agent.db().table("reservation").unwrap().len();
+
+    // Turn 1: the user requests the task with the ticket count.
+    let r = agent.respond("i want to buy 4 tickets");
+    assert!(
+        r.action == "a:identify_entity"
+            || r.action == "a:ask_slot"
+            || r.action == "a:offer_options",
+        "agent should start collecting, got {} ({})",
+        r.action,
+        r.text
+    );
+
+    // Drive the dialogue: answer whatever the agent asks, up to a bound.
+    let mut executed = None;
+    let mut response = r;
+    for _turn in 0..20 {
+        if let Some(outcome) = &response.executed {
+            executed = Some(outcome.clone());
+            break;
+        }
+        let reply = match response.action.as_str() {
+            "a:confirm_task" => "yes please".to_string(),
+            "a:ask_slot" | "a:identify_entity" => {
+                // Heuristically answer based on what was asked.
+                let q = response.text.to_lowercase();
+                if q.contains("ticket amount") || q.contains("number of tickets") {
+                    "4".to_string()
+                } else if q.contains("name") && q.contains("account") {
+                    name.clone()
+                } else if q.contains("city") {
+                    city.clone()
+                } else if q.contains("email") || q.contains("phone") {
+                    "i do not know".to_string()
+                } else if q.contains("title") {
+                    format!("i want to watch {title}")
+                } else {
+                    // genre/year/rating/date/time/theater/actor/...:
+                    // this user knows nothing else.
+                    "i do not know".to_string()
+                }
+            }
+            "a:offer_options" => "1".to_string(),
+            other => panic!("unexpected agent action `{other}`: {}", response.text),
+        };
+        response = agent.respond(&reply);
+    }
+    let outcome = executed.expect("dialogue must reach execution");
+    assert_eq!(outcome.rows_affected, 1);
+    assert_eq!(
+        agent.db().table("reservation").unwrap().len(),
+        reservations_before + 1,
+        "reservation row committed"
+    );
+    // The committed reservation belongs to the identified customer.
+    let matches = agent
+        .db()
+        .select("reservation", &Predicate::eq("customer_id", customer_id))
+        .unwrap();
+    assert!(!matches.is_empty());
+    // Transcript recorded both sides.
+    assert!(agent.transcript().len() >= 6);
+    let _ = city;
+}
+
+#[test]
+fn misspelled_movie_title_is_corrected() {
+    let mut agent = build_agent(2);
+    // Find a title with a typo-able length.
+    let title = agent
+        .db()
+        .table("movie")
+        .unwrap()
+        .scan()
+        .map(|(_, r)| r.get(1).unwrap().render())
+        .find(|t| t.len() >= 8)
+        .expect("some long title");
+    // Introduce a typo: drop the 3rd character.
+    let mut typo = title.clone();
+    typo.remove(2);
+
+    agent.respond("list the screenings of a movie");
+    let r = agent.respond(&format!("i want to watch {typo}"));
+    // Either the NLU gazetteer or the pending-answer resolution must have
+    // snapped the typo onto the real title.
+    let corrected = r.corrections.iter().any(|(_, used)| used == &title)
+        || r.text.contains(&title);
+    assert!(
+        corrected || r.executed.is_some() || r.action != "a:clarify",
+        "typo `{typo}` for `{title}` was not understood: {} ({})",
+        r.text,
+        r.action
+    );
+}
+
+#[test]
+fn abort_leaves_database_untouched() {
+    let mut agent = build_agent(3);
+    let before = agent.db().table("reservation").unwrap().len();
+    agent.respond("i want to reserve tickets");
+    agent.respond("4");
+    let r = agent.respond("never mind");
+    assert_eq!(r.action, "a:acknowledge_abort");
+    assert_eq!(agent.db().table("reservation").unwrap().len(), before);
+    // The agent is ready for a fresh task.
+    let r = agent.respond("which screenings do you have");
+    assert_ne!(r.action, "a:acknowledge_abort");
+}
+
+#[test]
+fn list_screenings_returns_rows_without_confirmation() {
+    let mut agent = build_agent(4);
+    let (_, _, _, title) = sample_entities(&agent);
+    let mut response = agent.respond("which screenings do you have");
+    let mut executed = None;
+    for _ in 0..15 {
+        if let Some(outcome) = &response.executed {
+            executed = Some(outcome.clone());
+            break;
+        }
+        let reply = match response.action.as_str() {
+            "a:offer_options" => "1".to_string(),
+            "a:confirm_task" => panic!("read-only task must not ask for confirmation"),
+            _ => {
+                let q = response.text.to_lowercase();
+                if q.contains("title") {
+                    title.clone()
+                } else {
+                    "i do not know".to_string()
+                }
+            }
+        };
+        response = agent.respond(&reply);
+    }
+    let outcome = executed.expect("lookup must execute");
+    assert!(!outcome.rows.is_empty(), "screenings listed");
+    assert_eq!(outcome.columns[0], "screening_id");
+}
+
+#[test]
+fn greeting_thanks_and_goodbye() {
+    let mut agent = build_agent(5);
+    let r = agent.respond("hello");
+    assert_eq!(r.action, "a:greet");
+    let r = agent.respond("thanks a lot");
+    assert!(!r.text.is_empty());
+    let r = agent.respond("goodbye");
+    assert_eq!(r.action, "a:bye");
+}
+
+#[test]
+fn volunteered_movie_constrains_screening_not_customer() {
+    let mut agent = build_agent(6);
+    let (_, _, _, title) = sample_entities(&agent);
+    let customers_total = agent.db().table("customer").unwrap().len();
+    // Volunteering the movie title together with the request must not
+    // shrink the customer candidate set (the title reaches `customer`
+    // only via a 3-hop join; the screening is one hop away).
+    agent.respond(&format!("i want to buy 2 tickets, the movie title is {title}"));
+    // Ask the agent to keep going; the first question should be about the
+    // customer (name/city/email), untouched by the movie constraint.
+    let customers_now = agent.db().table("customer").unwrap().len();
+    assert_eq!(customers_total, customers_now);
+}
+
+#[test]
+fn session_reset_clears_state_but_keeps_learning() {
+    let mut agent = build_agent(7);
+    agent.respond("i want to reserve tickets");
+    agent.respond("3");
+    assert!(agent.transcript().len() >= 4);
+    agent.reset_session();
+    assert!(agent.transcript().is_empty());
+    let r = agent.respond("hello");
+    assert_eq!(r.action, "a:greet");
+}
+
+#[test]
+fn data_drift_needs_no_retraining() {
+    // Add new movies after synthesis; the candidate machinery sees them
+    // immediately (the paper's "no retraining is required in case data
+    // changes").
+    let mut agent = build_agent(8);
+    let new_title = "Zebra Crossing Nine";
+    let next_id = agent.db().table("movie").unwrap().len() as i64 + 100;
+    agent
+        .db_mut()
+        .insert(
+            "movie",
+            cat_txdb::Row::new(vec![
+                Value::Int(next_id),
+                new_title.into(),
+                "Drama".into(),
+                Value::Int(2023),
+                Value::Float(7.0),
+            ]),
+        )
+        .unwrap();
+    agent
+        .db_mut()
+        .insert(
+            "screening",
+            cat_txdb::Row::new(vec![
+                Value::Int(9999),
+                Value::Int(next_id),
+                Value::Date(cat_txdb::Date::new(2022, 4, 1).unwrap()),
+                "20:15".into(),
+                "IMAX".into(),
+                Value::Float(12.0),
+            ]),
+        )
+        .unwrap();
+    let mut response = agent.respond("which screenings do you have");
+    let mut executed = None;
+    for _ in 0..15 {
+        if let Some(outcome) = &response.executed {
+            executed = Some(outcome.clone());
+            break;
+        }
+        let reply = match response.action.as_str() {
+            "a:offer_options" => "1".to_string(),
+            _ => {
+                let q = response.text.to_lowercase();
+                if q.contains("title") {
+                    new_title.to_string()
+                } else {
+                    "i do not know".to_string()
+                }
+            }
+        };
+        response = agent.respond(&reply);
+    }
+    let outcome = executed.expect("lookup executes on drifted data");
+    assert_eq!(outcome.rows.len(), 1);
+    assert_eq!(outcome.rows[0][0], Value::Int(9999));
+}
+
+#[test]
+fn change_of_mind_during_confirmation() {
+    let mut agent = build_agent(9);
+    let (name, city, _, title) = sample_entities(&agent);
+    // Drive to confirmation.
+    let mut response = agent.respond("i want to buy 2 tickets");
+    for _ in 0..20 {
+        if response.action == "a:confirm_task" {
+            break;
+        }
+        let q = response.text.to_lowercase();
+        let reply = match response.action.as_str() {
+            "a:offer_options" => "1".to_string(),
+            _ => {
+                if q.contains("ticket amount") {
+                    "2".into()
+                } else if q.contains("name") && !q.contains("actor") {
+                    name.clone()
+                } else if q.contains("city") {
+                    city.clone()
+                } else if q.contains("title") {
+                    format!("the movie title is {title}")
+                } else {
+                    "i do not know".into()
+                }
+            }
+        };
+        response = agent.respond(&reply);
+    }
+    assert_eq!(response.action, "a:confirm_task", "{}", response.text);
+    assert!(response.text.contains("ticket amount = 2"));
+    // Change the ticket count instead of affirming.
+    let response = agent.respond("make it 5 tickets");
+    assert_eq!(response.action, "a:confirm_task", "{}", response.text);
+    assert!(
+        response.text.contains("ticket amount = 5"),
+        "updated confirmation, got: {}",
+        response.text
+    );
+    // And execution uses the new value.
+    let response = agent.respond("yes");
+    let outcome = response.executed.expect("executed after re-confirmation");
+    assert_eq!(outcome.rows_affected, 1);
+    let res = agent.db().table("reservation").unwrap();
+    let last = res.scan().last().unwrap().1;
+    assert_eq!(last.get(2).unwrap().as_int(), Some(5));
+}
+
+#[test]
+fn awareness_survives_via_export_import() {
+    let mut agent = build_agent(10);
+    // Simulate a few sessions where users never know the email.
+    agent.respond("i want to reserve tickets");
+    // Direct policy-level recording is tested in cat-policy; here we check
+    // the agent-level persistence plumbing.
+    let mut observations = agent.export_awareness();
+    observations.push(("customer.email".into(), 0.0, 25.0));
+    let mut fresh = build_agent(10);
+    fresh.import_awareness(&observations);
+    let rows = fresh.export_awareness();
+    let email = rows.iter().find(|(k, _, _)| k == "customer.email").expect("imported");
+    assert_eq!(email.2, 25.0);
+}

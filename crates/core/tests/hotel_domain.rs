@@ -1,0 +1,68 @@
+//! Domain transfer: the hotel domain (the paper's other motivating
+//! application) synthesized with zero framework changes.
+
+use cat_core::{AnnotationFile, CatBuilder};
+use cat_corpus::{generate_hotel, HotelConfig, HOTEL_ANNOTATIONS};
+
+#[test]
+fn hotel_agent_books_a_room_end_to_end() {
+    let db = generate_hotel(&HotelConfig::small(71)).expect("db");
+    let annotations = AnnotationFile::parse(HOTEL_ANNOTATIONS).expect("annotations");
+    let (mut agent, report) = CatBuilder::new(db)
+        .with_annotations(&annotations)
+        .expect("apply")
+        .with_seed(71)
+        .synthesize();
+    assert_eq!(report.n_tasks, 2);
+    assert!(report.intents.contains(&"request_book_room".to_string()));
+
+    let (guest_name, guest_city, hotel_name, room_type) = {
+        let db = agent.db();
+        let (_, g) = db.table("guest").unwrap().scan().next().unwrap();
+        let (_, r) = db.table("room").unwrap().scan().next().unwrap();
+        let hotel_id = r.get(1).unwrap().clone();
+        let (_, h) = db.table("hotel").unwrap().get_by_pk(&[hotel_id]).unwrap();
+        (
+            g.get(1).unwrap().render(),
+            g.get(2).unwrap().render(),
+            h.get(1).unwrap().render(),
+            r.get(2).unwrap().render(),
+        )
+    };
+    let bookings_before = agent.db().table("booking").unwrap().len();
+    let mut response = agent.respond("i want to book a room");
+    let mut executed = false;
+    for _ in 0..25 {
+        if response.executed.is_some() {
+            executed = true;
+            break;
+        }
+        let q = response.text.to_lowercase();
+        let reply = match response.action.as_str() {
+            "a:confirm_task" => "yes".to_string(),
+            "a:offer_options" => "1".to_string(),
+            _ => {
+                if q.contains("nights") {
+                    "3".into()
+                } else if q.contains("name") && q.contains("booking") {
+                    guest_name.clone()
+                } else if q.contains("name") && q.contains("hotel") {
+                    hotel_name.clone()
+                } else if q.contains("city") && q.contains("guest") {
+                    guest_city.clone()
+                } else if q.contains("room type") {
+                    room_type.clone()
+                } else if q.contains("city") {
+                    // ambiguous "city": try the guest's city first; the
+                    // no-match guard protects against misapplication.
+                    guest_city.clone()
+                } else {
+                    "i do not know".into()
+                }
+            }
+        };
+        response = agent.respond(&reply);
+    }
+    assert!(executed, "hotel booking did not execute; last: {}", response.text);
+    assert_eq!(agent.db().table("booking").unwrap().len(), bookings_before + 1);
+}

@@ -1,0 +1,55 @@
+//! End-to-end natural-language evaluation: batches of simulated users
+//! (with typos) against the fully synthesized cinema agent.
+
+use cat_core::{
+    random_cinema_goal, reservation_exists_for, run_nl_batch, run_nl_dialogue, AnnotationFile,
+    CatBuilder, NlUserConfig,
+};
+use cat_corpus::{generate_cinema, CinemaConfig, CINEMA_ANNOTATIONS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn agent(seed: u64) -> cat_core::ConversationalAgent {
+    let db = generate_cinema(&CinemaConfig::small(seed)).expect("db");
+    let ann = AnnotationFile::parse(CINEMA_ANNOTATIONS).expect("annotations");
+    CatBuilder::new(db).with_annotations(&ann).expect("apply").with_seed(seed).synthesize().0
+}
+
+#[test]
+fn single_nl_dialogue_executes_booking() {
+    let mut a = agent(61);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (goal, opening) = random_cinema_goal(&a, &mut rng);
+    let cfg = NlUserConfig { p_misspell: 0.0, ..NlUserConfig::default() };
+    let outcome = run_nl_dialogue(&mut a, &goal, &opening, &cfg);
+    assert!(outcome.executed, "dialogue did not execute within {} turns", outcome.turns);
+    assert!(outcome.turns <= 25);
+    assert!(reservation_exists_for(&a, &goal));
+}
+
+#[test]
+fn nl_batch_mostly_succeeds_even_with_typos() {
+    let mut a = agent(62);
+    let cfg = NlUserConfig { p_misspell: 0.3, noise_rate: 1.0, ..NlUserConfig::default() };
+    let batch = run_nl_batch(&mut a, 12, &cfg, random_cinema_goal);
+    assert!(
+        batch.success_rate >= 0.7,
+        "NL success rate {} (mean turns {})",
+        batch.success_rate,
+        batch.mean_turns
+    );
+    assert!(batch.mean_turns < 20.0, "mean turns {}", batch.mean_turns);
+}
+
+#[test]
+fn misspelling_users_trigger_corrections() {
+    let mut a = agent(63);
+    let cfg = NlUserConfig { p_misspell: 0.9, noise_rate: 1.5, seed: 5, ..NlUserConfig::default() };
+    let batch = run_nl_batch(&mut a, 10, &cfg, random_cinema_goal);
+    // At this typo level some answers should get visibly corrected.
+    assert!(
+        batch.total_corrections > 0,
+        "expected at least one correction across {} dialogues",
+        batch.dialogues
+    );
+}

@@ -1,0 +1,267 @@
+//! Synthetic ATIS-like corpus generator.
+//!
+//! The real ATIS corpus (Hemphill et al., 1990) is licence-gated LDC data,
+//! so the paper's §3 evaluation is reproduced on a synthetic corpus that
+//! preserves its experimentally relevant shape: a heavily skewed intent
+//! distribution (~70 % `flight`), a closed entity inventory (cities,
+//! airlines, weekdays), shared surface vocabulary across intents, and
+//! slot-annotated utterances.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+use cat_nlg::Template;
+use cat_nlu::{NluExample, SlotAnnotation};
+
+use crate::names;
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone)]
+pub struct AtisConfig {
+    /// Number of utterances to generate.
+    pub size: usize,
+    pub seed: u64,
+    /// Probability of applying a politeness/prefix variation.
+    pub variation: f64,
+}
+
+impl Default for AtisConfig {
+    fn default() -> Self {
+        AtisConfig { size: 1000, seed: 42, variation: 0.35 }
+    }
+}
+
+/// The intent inventory with its (approximate real-ATIS) skew.
+pub const INTENT_WEIGHTS: &[(&str, f64)] = &[
+    ("flight", 0.70),
+    ("airfare", 0.08),
+    ("ground_service", 0.05),
+    ("airline", 0.04),
+    ("abbreviation", 0.04),
+    ("aircraft", 0.03),
+    ("flight_time", 0.03),
+    ("quantity", 0.03),
+];
+
+/// Template bank per intent. Placeholders name ATIS-style slots.
+fn templates_for(intent: &str) -> &'static [&'static str] {
+    match intent {
+        "flight" => &[
+            "show me flights from {fromloc} to {toloc}",
+            "i want to fly from {fromloc} to {toloc} on {day_name}",
+            "what flights go from {fromloc} to {toloc} in the {period}",
+            "are there any {airline_name} flights from {fromloc} to {toloc}",
+            "list flights from {fromloc} to {toloc} on {day_name} {period}",
+            "i need a flight from {fromloc} to {toloc} leaving in the {period}",
+            "find me a {day_name} flight from {fromloc} to {toloc}",
+            "flights from {fromloc} to {toloc}",
+            "what are the {period} flights between {fromloc} and {toloc}",
+            "which flights leave {fromloc} for {toloc} on {day_name}",
+        ],
+        "airfare" => &[
+            "how much is a ticket from {fromloc} to {toloc}",
+            "what is the cheapest fare from {fromloc} to {toloc}",
+            "show me the airfare from {fromloc} to {toloc} on {day_name}",
+            "what does a {airline_name} flight from {fromloc} to {toloc} cost",
+            "fares from {fromloc} to {toloc} in the {period}",
+        ],
+        "ground_service" => &[
+            "what ground transportation is available in {toloc}",
+            "how do i get from the {toloc} airport to downtown",
+            "is there a shuttle service in {toloc}",
+            "rental cars in {toloc}",
+        ],
+        "airline" => &[
+            "which airlines fly from {fromloc} to {toloc}",
+            "what airline is flight code {airline_name}",
+            "does {airline_name} fly to {toloc}",
+            "list the airlines serving {toloc}",
+        ],
+        "abbreviation" => &[
+            "what does the fare code q mean",
+            "what is the abbreviation for {airline_name}",
+            "what does code y stand for",
+            "explain the meaning of fare class b",
+        ],
+        "aircraft" => &[
+            "what kind of aircraft is used from {fromloc} to {toloc}",
+            "what type of plane is a {aircraft}",
+            "which aircraft does {airline_name} use on the {fromloc} {toloc} route",
+        ],
+        "flight_time" => &[
+            "how long is the flight from {fromloc} to {toloc}",
+            "what is the flight time between {fromloc} and {toloc}",
+            "when does the {period} flight from {fromloc} arrive in {toloc}",
+        ],
+        "quantity" => &[
+            "how many flights does {airline_name} have from {fromloc} to {toloc}",
+            "how many {day_name} flights go to {toloc}",
+            "number of flights between {fromloc} and {toloc}",
+        ],
+        _ => &[],
+    }
+}
+
+/// Prefix variations applied with probability `variation`.
+const VARIATIONS: &[&str] =
+    &["please ", "hi, ", "okay ", "yes ", "could you ", "i would like to know ", "um, "];
+
+fn sample_value<'a>(rng: &mut StdRng, slot: &str) -> &'a str {
+    match slot {
+        "fromloc" | "toloc" => names::CITIES.choose(rng).expect("non-empty"),
+        "day_name" => names::DAY_NAMES.choose(rng).expect("non-empty"),
+        "period" => names::PERIODS.choose(rng).expect("non-empty"),
+        "airline_name" => names::AIRLINES.choose(rng).expect("non-empty"),
+        "aircraft" => names::AIRCRAFT.choose(rng).expect("non-empty"),
+        other => panic!("unknown ATIS slot `{other}`"),
+    }
+}
+
+/// Generate a labelled, slot-annotated ATIS-like corpus.
+pub fn generate_atis(config: &AtisConfig) -> Vec<NluExample> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let total_weight: f64 = INTENT_WEIGHTS.iter().map(|(_, w)| w).sum();
+    let mut out = Vec::with_capacity(config.size);
+    while out.len() < config.size {
+        // Weighted intent draw.
+        let mut x = rng.random_range(0.0..total_weight);
+        let mut intent = INTENT_WEIGHTS[0].0;
+        for &(name, w) in INTENT_WEIGHTS {
+            if x < w {
+                intent = name;
+                break;
+            }
+            x -= w;
+        }
+        let template_src = templates_for(intent).choose(&mut rng).expect("non-empty bank");
+        let template = Template::parse(template_src).expect("static templates are valid");
+        // Bind each placeholder occurrence; fromloc/toloc must differ.
+        let placeholders = template.placeholders();
+        let mut bindings: Vec<(String, String)> = Vec::new();
+        for ph in &placeholders {
+            let mut v = sample_value(&mut rng, ph).to_string();
+            if *ph == "toloc" {
+                if let Some((_, from)) = bindings.iter().find(|(n, _)| n == "fromloc") {
+                    while &v == from {
+                        v = sample_value(&mut rng, ph).to_string();
+                    }
+                }
+            }
+            bindings.push((ph.to_string(), v));
+        }
+        let binding_refs: Vec<(&str, &str)> =
+            bindings.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+        let (mut text, mut slots) = template.render(&binding_refs).expect("all bound");
+        // Optional prefix variation (shifts spans).
+        if rng.random_bool(config.variation) {
+            let prefix = VARIATIONS.choose(&mut rng).expect("non-empty");
+            text = format!("{prefix}{text}");
+            for s in &mut slots {
+                s.start += prefix.len();
+                s.end += prefix.len();
+            }
+        }
+        out.push(NluExample {
+            text,
+            intent: intent.to_string(),
+            slots: slots
+                .into_iter()
+                .map(|s| SlotAnnotation { slot: s.slot, start: s.start, end: s.end, value: s.value })
+                .collect(),
+        });
+    }
+    out
+}
+
+/// Split a corpus into train/test by a deterministic shuffle.
+pub fn train_test_split(
+    mut data: Vec<NluExample>,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<NluExample>, Vec<NluExample>) {
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(seed);
+    data.shuffle(&mut rng);
+    let n_test = ((data.len() as f64) * test_fraction).round() as usize;
+    let test = data.split_off(data.len().saturating_sub(n_test));
+    (data, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn corpus_has_requested_size_and_valid_spans() {
+        let corpus = generate_atis(&AtisConfig { size: 300, seed: 1, variation: 0.5 });
+        assert_eq!(corpus.len(), 300);
+        for ex in &corpus {
+            for s in &ex.slots {
+                assert!(s.end <= ex.text.len());
+                assert_eq!(&ex.text[s.start..s.end], s.value, "span mismatch in `{}`", ex.text);
+            }
+        }
+    }
+
+    #[test]
+    fn intent_distribution_is_skewed_toward_flight() {
+        let corpus = generate_atis(&AtisConfig { size: 2000, seed: 2, variation: 0.3 });
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for ex in &corpus {
+            *counts.entry(ex.intent.as_str()).or_insert(0) += 1;
+        }
+        let flight_frac = counts["flight"] as f64 / corpus.len() as f64;
+        assert!((0.6..0.8).contains(&flight_frac), "flight fraction {flight_frac}");
+        // All intents appear at this size.
+        assert_eq!(counts.len(), INTENT_WEIGHTS.len());
+    }
+
+    #[test]
+    fn from_and_to_cities_differ() {
+        let corpus = generate_atis(&AtisConfig { size: 500, seed: 3, variation: 0.0 });
+        for ex in &corpus {
+            let from = ex.slots.iter().find(|s| s.slot == "fromloc");
+            let to = ex.slots.iter().find(|s| s.slot == "toloc");
+            if let (Some(f), Some(t)) = (from, to) {
+                assert_ne!(f.value, t.value, "in `{}`", ex.text);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = AtisConfig { size: 50, seed: 9, variation: 0.4 };
+        let a = generate_atis(&cfg);
+        let b = generate_atis(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_partitions_cleanly() {
+        let corpus = generate_atis(&AtisConfig { size: 100, seed: 4, variation: 0.2 });
+        let (train, test) = train_test_split(corpus.clone(), 0.2, 7);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 20);
+        // Same seed -> same split.
+        let (train2, _) = train_test_split(corpus, 0.2, 7);
+        assert_eq!(train, train2);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let z: f64 = INTENT_WEIGHTS.iter().map(|(_, w)| w).sum();
+        assert!((z - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_intent_has_templates() {
+        for &(intent, _) in INTENT_WEIGHTS {
+            assert!(!templates_for(intent).is_empty(), "no templates for {intent}");
+            for t in templates_for(intent) {
+                Template::parse(t).expect("template parses");
+            }
+        }
+    }
+}

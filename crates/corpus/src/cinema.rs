@@ -1,0 +1,547 @@
+//! Generator for the cinema OLTP database of the paper's demo scenario
+//! (Figure 3 schema plus the actor dimension used by the join-aware
+//! policy discussion).
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+use cat_txdb::{
+    AskPreference, DataType, Database, Date, ParamDef, ParamExpr, ProcOp, Procedure, Row,
+    TableSchema, Value,
+};
+
+use crate::names;
+
+/// The canonical schema-annotation file for the cinema domain — exactly
+/// what a developer would click together in the paper's Figure 4 GUI:
+/// per-column ask preferences, request templates per transaction, and
+/// inform templates per slot with database-backed value sources.
+pub const CINEMA_ANNOTATIONS: &str = r#"
+# CAT schema annotations for the cinema demo (paper Figure 4).
+table customer
+  column name ask=preferred awareness=0.98 display="name on the account"
+  column city awareness=0.95
+  column email awareness=0.6
+  column phone awareness=0.5
+
+table movie
+  column title ask=preferred awareness=0.9 display="title of the movie"
+  column genre awareness=0.7
+  column year awareness=0.4
+  column rating ask=avoid awareness=0.15
+
+table screening
+  column date awareness=0.85
+  column time awareness=0.75
+  column theater ask=avoid awareness=0.3
+  column price ask=avoid awareness=0.25
+
+task ticket_reservation
+  request "i want to buy {ticket_amount} tickets"
+  request "i want to reserve tickets"
+  request "book tickets for me"
+  request "i would like to reserve {ticket_amount} seats"
+  request "can i get tickets for a movie"
+
+task cancel_reservation
+  request "i want to cancel my reservation"
+  request "please cancel my booking"
+  request "drop my reservation"
+
+task list_screenings
+  request "which screenings do you have"
+  request "list the screenings of a movie"
+  request "when is the movie showing"
+
+slot customer_name source=customer.name
+  inform "my name is {customer_name}"
+  inform "the account is under {customer_name}"
+  inform "i am {customer_name}"
+
+slot customer_city source=customer.city
+  inform "i live in {customer_city}"
+  inform "my city is {customer_city}"
+
+slot customer_email source=customer.email
+  inform "my email is {customer_email}"
+
+slot movie_title source=movie.title
+  inform "the movie title is {movie_title}"
+  inform "i want to watch {movie_title}"
+  inform "the film is called {movie_title}"
+
+slot movie_genre source=movie.genre
+  inform "it is a {movie_genre} movie"
+  inform "the genre is {movie_genre}"
+
+slot actor_name source=actor.name
+  inform "{actor_name} plays in it"
+  inform "the movie stars {actor_name}"
+
+slot screening_date source=screening.date
+  inform "the screening is on the {screening_date}"
+  inform "i want to go on {screening_date}"
+
+slot screening_time source=screening.time
+  inform "the show starts at {screening_time}"
+  inform "at {screening_time}"
+
+slot ticket_amount source=range:1..8
+  inform "i need {ticket_amount} tickets"
+  inform "{ticket_amount} seats please"
+  inform "make it {ticket_amount} tickets"
+"#;
+
+/// Size parameters for the generated database.
+#[derive(Debug, Clone)]
+pub struct CinemaConfig {
+    pub movies: usize,
+    pub actors: usize,
+    pub customers: usize,
+    pub screenings: usize,
+    pub reservations: usize,
+    pub seed: u64,
+}
+
+impl Default for CinemaConfig {
+    fn default() -> Self {
+        CinemaConfig {
+            movies: 60,
+            actors: 120,
+            customers: 200,
+            screenings: 300,
+            reservations: 150,
+            seed: 42,
+        }
+    }
+}
+
+impl CinemaConfig {
+    /// A small configuration for fast tests.
+    pub fn small(seed: u64) -> CinemaConfig {
+        CinemaConfig {
+            movies: 12,
+            actors: 20,
+            customers: 30,
+            screenings: 40,
+            reservations: 15,
+            seed,
+        }
+    }
+}
+
+/// Build the cinema schema (no data).
+pub fn cinema_schema(db: &mut Database) -> cat_txdb::Result<()> {
+    db.create_table(
+        TableSchema::builder("movie")
+            .column("movie_id", DataType::Int)
+            .column("title", DataType::Text)
+            .ask(AskPreference::Preferred)
+            .awareness(0.9)
+            .column("genre", DataType::Text)
+            .awareness(0.7)
+            .column("year", DataType::Int)
+            .awareness(0.4)
+            .nullable_column("rating", DataType::Float)
+            .awareness(0.2)
+            .primary_key(&["movie_id"])
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("actor")
+            .column("actor_id", DataType::Int)
+            .column("name", DataType::Text)
+            .ask(AskPreference::Preferred)
+            .awareness(0.6)
+            .primary_key(&["actor_id"])
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("movie_actor")
+            .column("movie_id", DataType::Int)
+            .column("actor_id", DataType::Int)
+            .primary_key(&["movie_id", "actor_id"])
+            .foreign_key("movie_id", "movie", "movie_id")
+            .foreign_key("actor_id", "actor", "actor_id")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("customer")
+            .column("customer_id", DataType::Int)
+            .column("name", DataType::Text)
+            .ask(AskPreference::Preferred)
+            .awareness(0.98)
+            .column("city", DataType::Text)
+            .awareness(0.95)
+            .column("email", DataType::Text)
+            .unique()
+            .awareness(0.6)
+            .nullable_column("phone", DataType::Text)
+            .awareness(0.5)
+            .primary_key(&["customer_id"])
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("screening")
+            .column("screening_id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("date", DataType::Date)
+            .awareness(0.8)
+            .column("time", DataType::Text)
+            .awareness(0.7)
+            .column("theater", DataType::Text)
+            .awareness(0.3)
+            .column("price", DataType::Float)
+            .awareness(0.25)
+            .primary_key(&["screening_id"])
+            .foreign_key("movie_id", "movie", "movie_id")
+            .build()?,
+    )?;
+    db.create_table(
+        TableSchema::builder("reservation")
+            .column("customer_id", DataType::Int)
+            .column("screening_id", DataType::Int)
+            .column("no_tickets", DataType::Int)
+            .awareness(0.9)
+            .primary_key(&["customer_id", "screening_id"])
+            .foreign_key("customer_id", "customer", "customer_id")
+            .foreign_key("screening_id", "screening", "screening_id")
+            .build()?,
+    )?;
+    Ok(())
+}
+
+/// Register the demo transactions: reserve, cancel, list.
+pub fn cinema_procedures(db: &mut Database) -> cat_txdb::Result<()> {
+    db.register_procedure(
+        Procedure::builder("ticket_reservation")
+            .describe("Reserve tickets for a screening")
+            .param(
+                ParamDef::entity("customer_id", DataType::Int, "customer", "customer_id")
+                    .describe("customer account"),
+            )
+            .param(
+                ParamDef::entity("screening_id", DataType::Int, "screening", "screening_id")
+                    .describe("screening to book"),
+            )
+            .param(ParamDef::scalar("ticket_amount", DataType::Int).describe("number of tickets"))
+            .op(ProcOp::Insert {
+                table: "reservation".into(),
+                columns: vec!["customer_id".into(), "screening_id".into(), "no_tickets".into()],
+                values: vec![
+                    ParamExpr::param("customer_id"),
+                    ParamExpr::param("screening_id"),
+                    ParamExpr::param("ticket_amount"),
+                ],
+            })
+            .build()?,
+    )?;
+    db.register_procedure(
+        Procedure::builder("cancel_reservation")
+            .describe("Cancel an existing reservation")
+            .param(
+                ParamDef::entity("customer_id", DataType::Int, "customer", "customer_id")
+                    .describe("customer account"),
+            )
+            .param(
+                ParamDef::entity("screening_id", DataType::Int, "screening", "screening_id")
+                    .describe("reserved screening"),
+            )
+            .op(ProcOp::Delete {
+                table: "reservation".into(),
+                filter: vec![
+                    ("customer_id".into(), ParamExpr::param("customer_id")),
+                    ("screening_id".into(), ParamExpr::param("screening_id")),
+                ],
+            })
+            .build()?,
+    )?;
+    db.register_procedure(
+        Procedure::builder("list_screenings")
+            .describe("List screenings of a movie")
+            .param(
+                ParamDef::entity("movie_id", DataType::Int, "movie", "movie_id")
+                    .describe("movie of interest"),
+            )
+            .op(ProcOp::Select {
+                table: "screening".into(),
+                filter: vec![("movie_id".into(), ParamExpr::param("movie_id"))],
+                columns: Some(vec![
+                    "screening_id".into(),
+                    "date".into(),
+                    "time".into(),
+                    "theater".into(),
+                    "price".into(),
+                ]),
+            })
+            .build()?,
+    )?;
+    Ok(())
+}
+
+/// Generate the full cinema database: schema, procedures and data.
+pub fn generate_cinema(config: &CinemaConfig) -> cat_txdb::Result<Database> {
+    let mut db = Database::new();
+    cinema_schema(&mut db)?;
+    cinema_procedures(&mut db)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Movies: real bank first, synthetic combinations beyond.
+    let mut titles: Vec<String> =
+        names::MOVIE_TITLES.iter().map(|s| s.to_string()).collect();
+    'outer: for adj in names::TITLE_ADJECTIVES {
+        for noun in names::TITLE_NOUNS {
+            if titles.len() >= config.movies {
+                break 'outer;
+            }
+            titles.push(format!("The {adj} {noun}"));
+        }
+    }
+    titles.truncate(config.movies.max(1));
+    for (i, title) in titles.iter().enumerate() {
+        let genre = *names::GENRES.choose(&mut rng).expect("non-empty");
+        let year = rng.random_range(1950..=2022);
+        let rating = (rng.random_range(40..=95) as f64) / 10.0;
+        db.insert(
+            "movie",
+            Row::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::Text(title.clone()),
+                Value::Text(genre.into()),
+                Value::Int(year),
+                Value::Float(rating),
+            ]),
+        )?;
+    }
+    let n_movies = titles.len() as i64;
+
+    // Actors.
+    let mut actor_names = Vec::new();
+    'actors: for last in names::LAST_NAMES {
+        for first in names::FIRST_NAMES {
+            if actor_names.len() >= config.actors {
+                break 'actors;
+            }
+            actor_names.push(format!("{first} {last}"));
+        }
+    }
+    for (i, name) in actor_names.iter().enumerate() {
+        db.insert("actor", Row::new(vec![Value::Int(i as i64 + 1), Value::Text(name.clone())]))?;
+    }
+    let n_actors = actor_names.len() as i64;
+
+    // Movie-actor links: 2-5 actors per movie.
+    for m in 1..=n_movies {
+        let k = rng.random_range(2..=5usize).min(n_actors as usize);
+        let mut chosen: Vec<i64> = Vec::new();
+        while chosen.len() < k {
+            let a = rng.random_range(1..=n_actors);
+            if !chosen.contains(&a) {
+                chosen.push(a);
+            }
+        }
+        for a in chosen {
+            db.insert("movie_actor", Row::new(vec![Value::Int(m), Value::Int(a)]))?;
+        }
+    }
+
+    // Customers. Names are sampled with replacement so larger tables
+    // naturally contain duplicate names — the ambiguity the data-aware
+    // identification policy exists to resolve.
+    for i in 0..config.customers {
+        let first = *names::FIRST_NAMES.choose(&mut rng).expect("non-empty");
+        let last = *names::LAST_NAMES.choose(&mut rng).expect("non-empty");
+        let city = *names::CITIES.choose(&mut rng).expect("non-empty");
+        let domain = *names::EMAIL_DOMAINS.choose(&mut rng).expect("non-empty");
+        let email = format!("{}.{}{}@{}", first.to_lowercase(), last.to_lowercase(), i, domain);
+        let phone = if rng.random_bool(0.8) {
+            Value::Text(format!("+49-{:04}-{:06}", rng.random_range(100..9999u32), i))
+        } else {
+            Value::Null
+        };
+        db.insert(
+            "customer",
+            Row::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::Text(format!("{first} {last}")),
+                Value::Text(city.into()),
+                Value::Text(email),
+                phone,
+            ]),
+        )?;
+    }
+
+    // Screenings over a two-week window.
+    let base = Date::new(2022, 3, 21).expect("valid date");
+    for i in 0..config.screenings {
+        let movie = rng.random_range(1..=n_movies);
+        let date = base.plus_days(rng.random_range(0..14));
+        let time = *names::SHOW_TIMES.choose(&mut rng).expect("non-empty");
+        let theater = *names::THEATERS.choose(&mut rng).expect("non-empty");
+        let price = [9.5, 10.0, 11.0, 12.5, 15.0][rng.random_range(0..5usize)];
+        db.insert(
+            "screening",
+            Row::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(movie),
+                Value::Date(date),
+                Value::Text(time.into()),
+                Value::Text(theater.into()),
+                Value::Float(price),
+            ]),
+        )?;
+    }
+
+    // Reservations (unique customer-screening pairs).
+    let mut made = 0usize;
+    let mut attempts = 0usize;
+    while made < config.reservations && attempts < config.reservations * 20 {
+        attempts += 1;
+        let c = rng.random_range(1..=config.customers as i64);
+        let s = rng.random_range(1..=config.screenings as i64);
+        let n = rng.random_range(1..=6i64);
+        if db
+            .insert("reservation", Row::new(vec![Value::Int(c), Value::Int(s), Value::Int(n)]))
+            .is_ok()
+        {
+            made += 1;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cat_txdb::Predicate;
+
+    #[test]
+    fn generates_consistent_database() {
+        let db = generate_cinema(&CinemaConfig::small(1)).unwrap();
+        assert_eq!(db.table("movie").unwrap().len(), 12);
+        assert_eq!(db.table("customer").unwrap().len(), 30);
+        assert_eq!(db.table("screening").unwrap().len(), 40);
+        assert!(!db.table("reservation").unwrap().is_empty());
+        assert!(db.table("movie_actor").unwrap().len() >= 24, "2+ actors per movie");
+        // Procedures registered.
+        assert!(db.procedure("ticket_reservation").is_ok());
+        assert!(db.procedure("cancel_reservation").is_ok());
+        assert!(db.procedure("list_screenings").is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_cinema(&CinemaConfig::small(7)).unwrap();
+        let b = generate_cinema(&CinemaConfig::small(7)).unwrap();
+        let titles = |db: &Database| -> Vec<String> {
+            db.table("movie")
+                .unwrap()
+                .scan()
+                .map(|(_, r)| r.get(1).unwrap().render())
+                .collect()
+        };
+        assert_eq!(titles(&a), titles(&b));
+        let c = generate_cinema(&CinemaConfig::small(8)).unwrap();
+        // Different seed differs somewhere (genres/ratings).
+        let genres = |db: &Database| -> Vec<String> {
+            db.table("movie")
+                .unwrap()
+                .scan()
+                .map(|(_, r)| r.get(2).unwrap().render())
+                .collect()
+        };
+        assert_ne!(genres(&a), genres(&c));
+    }
+
+    #[test]
+    fn foreign_keys_hold() {
+        let db = generate_cinema(&CinemaConfig::small(3)).unwrap();
+        for (_, row) in db.table("screening").unwrap().scan() {
+            let movie_id = row.get(1).unwrap().clone();
+            assert!(!db.table("movie").unwrap().lookup("movie_id", &movie_id).is_empty());
+        }
+        for (_, row) in db.table("reservation").unwrap().scan() {
+            let c = row.get(0).unwrap().clone();
+            let s = row.get(1).unwrap().clone();
+            assert!(!db.table("customer").unwrap().lookup("customer_id", &c).is_empty());
+            assert!(!db.table("screening").unwrap().lookup("screening_id", &s).is_empty());
+        }
+    }
+
+    #[test]
+    fn ticket_reservation_procedure_runs() {
+        let mut db = generate_cinema(&CinemaConfig::small(5)).unwrap();
+        let before = db.table("reservation").unwrap().len();
+        // Find a free (customer, screening) pair.
+        let mut args = None;
+        'search: for c in 1..=30i64 {
+            for s in 1..=40i64 {
+                let pred = Predicate::eq("customer_id", c).and(Predicate::eq("screening_id", s));
+                if db.select("reservation", &pred).unwrap().is_empty() {
+                    args = Some((c, s));
+                    break 'search;
+                }
+            }
+        }
+        let (c, s) = args.expect("some free pair exists");
+        db.call(
+            "ticket_reservation",
+            &[
+                ("customer_id".into(), Value::Int(c)),
+                ("screening_id".into(), Value::Int(s)),
+                ("ticket_amount".into(), Value::Int(2)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(db.table("reservation").unwrap().len(), before + 1);
+        // And cancel it again.
+        db.call(
+            "cancel_reservation",
+            &[("customer_id".into(), Value::Int(c)), ("screening_id".into(), Value::Int(s))],
+        )
+        .unwrap();
+        assert_eq!(db.table("reservation").unwrap().len(), before);
+    }
+
+    #[test]
+    fn list_screenings_returns_rows() {
+        let mut db = generate_cinema(&CinemaConfig::small(9)).unwrap();
+        // Movie 1 almost surely has a screening in 40 draws over 12 movies;
+        // search for a movie that does.
+        let movie_with_screening = db
+            .table("screening")
+            .unwrap()
+            .scan()
+            .next()
+            .map(|(_, r)| r.get(1).unwrap().clone())
+            .expect("screenings exist");
+        let out = db
+            .call("list_screenings", &[("movie_id".into(), movie_with_screening)])
+            .unwrap();
+        assert!(!out.rows.is_empty());
+        assert_eq!(out.columns, vec!["screening_id", "date", "time", "theater", "price"]);
+    }
+
+    #[test]
+    fn large_config_scales() {
+        let db = generate_cinema(&CinemaConfig {
+            movies: 200,
+            actors: 300,
+            customers: 1000,
+            screenings: 800,
+            reservations: 400,
+            seed: 2,
+        })
+        .unwrap();
+        assert_eq!(db.table("movie").unwrap().len(), 200);
+        assert_eq!(db.table("customer").unwrap().len(), 1000);
+        // Duplicate customer names exist at this scale (identification is
+        // genuinely ambiguous, as the policy experiments require).
+        let mut names = std::collections::HashMap::new();
+        for (_, r) in db.table("customer").unwrap().scan() {
+            *names.entry(r.get(1).unwrap().render()).or_insert(0usize) += 1;
+        }
+        assert!(names.values().any(|&c| c > 1), "expected duplicate names at n=1000");
+    }
+}

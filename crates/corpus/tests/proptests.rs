@@ -1,0 +1,87 @@
+//! Property tests for the corpus generators: referential integrity and
+//! annotation validity must hold for every configuration and seed.
+
+use proptest::prelude::*;
+
+use cat_corpus::{
+    generate_atis, generate_cinema, generate_flights, AtisConfig, CinemaConfig, FlightConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cinema databases keep every foreign key valid at all sizes/seeds.
+    #[test]
+    fn cinema_fks_hold_for_all_seeds(
+        seed in 0u64..1000,
+        movies in 3usize..30,
+        customers in 3usize..60,
+        screenings in 3usize..80,
+    ) {
+        let db = generate_cinema(&CinemaConfig {
+            movies,
+            actors: 10,
+            customers,
+            screenings,
+            reservations: customers / 2,
+            seed,
+        })
+        .expect("generate");
+        prop_assert_eq!(db.table("movie").unwrap().len(), movies);
+        for (_, row) in db.table("screening").unwrap().scan() {
+            let m = row.get(1).unwrap();
+            prop_assert!(!db.table("movie").unwrap().lookup("movie_id", m).is_empty());
+        }
+        for (_, row) in db.table("movie_actor").unwrap().scan() {
+            prop_assert!(!db.table("movie").unwrap().lookup("movie_id", row.get(0).unwrap()).is_empty());
+            prop_assert!(!db.table("actor").unwrap().lookup("actor_id", row.get(1).unwrap()).is_empty());
+        }
+        for (_, row) in db.table("reservation").unwrap().scan() {
+            prop_assert!(!db.table("customer").unwrap().lookup("customer_id", row.get(0).unwrap()).is_empty());
+            prop_assert!(!db.table("screening").unwrap().lookup("screening_id", row.get(1).unwrap()).is_empty());
+        }
+    }
+
+    /// Flight databases: FKs valid, no self-loop routes, prices positive.
+    #[test]
+    fn flights_invariants(seed in 0u64..1000, flights in 5usize..80) {
+        let db = generate_flights(&FlightConfig {
+            airlines: 6,
+            airports: 12,
+            flights,
+            passengers: 10,
+            seed,
+        })
+        .expect("generate");
+        for (_, row) in db.table("flight").unwrap().scan() {
+            prop_assert!(!db.table("airline").unwrap().lookup("airline_id", row.get(1).unwrap()).is_empty());
+            prop_assert!(!db.table("airport").unwrap().lookup("airport_id", row.get(2).unwrap()).is_empty());
+            prop_assert!(!db.table("airport").unwrap().lookup("airport_id", row.get(3).unwrap()).is_empty());
+            prop_assert_ne!(row.get(2), row.get(3), "self-loop route");
+            prop_assert!(row.get(6).unwrap().as_float().unwrap() > 0.0);
+        }
+    }
+
+    /// ATIS corpora: every slot span is valid, every intent is from the
+    /// inventory, and requested sizes are exact.
+    #[test]
+    fn atis_annotations_always_valid(
+        seed in 0u64..1000,
+        size in 1usize..120,
+        variation in 0.0f64..1.0,
+    ) {
+        let corpus = generate_atis(&AtisConfig { size, seed, variation });
+        prop_assert_eq!(corpus.len(), size);
+        let intents: Vec<&str> =
+            cat_corpus::INTENT_WEIGHTS.iter().map(|&(i, _)| i).collect();
+        for ex in &corpus {
+            prop_assert!(intents.contains(&ex.intent.as_str()), "intent {}", ex.intent);
+            for s in &ex.slots {
+                prop_assert!(s.end <= ex.text.len());
+                prop_assert!(ex.text.is_char_boundary(s.start));
+                prop_assert!(ex.text.is_char_boundary(s.end));
+                prop_assert_eq!(&ex.text[s.start..s.end], s.value.as_str());
+            }
+        }
+    }
+}

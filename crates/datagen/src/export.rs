@@ -1,0 +1,198 @@
+//! JSON export/import of synthesized training data.
+//!
+//! The paper's pipeline hands RASA-format training files to the model
+//! trainer; this module is the equivalent serialization boundary (and the
+//! reason the workspace carries `serde`/`serde_json` — see DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+
+use cat_dm::{DialogueFlow, FlowTurn, Speaker};
+use cat_nlu::{NluExample, SlotAnnotation};
+
+/// Serializable mirror of one NLU example.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct NluExampleDto {
+    pub text: String,
+    pub intent: String,
+    #[serde(default)]
+    pub slots: Vec<SlotDto>,
+}
+
+/// Serializable mirror of a slot annotation.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SlotDto {
+    pub slot: String,
+    pub start: usize,
+    pub end: usize,
+    pub value: String,
+}
+
+/// Serializable mirror of one dialogue flow.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct FlowDto {
+    pub turns: Vec<TurnDto>,
+}
+
+/// Serializable mirror of one flow turn.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TurnDto {
+    pub speaker: String,
+    pub label: String,
+}
+
+/// A complete training-data bundle.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+pub struct TrainingBundle {
+    pub nlu: Vec<NluExampleDto>,
+    pub flows: Vec<FlowDto>,
+}
+
+impl From<&NluExample> for NluExampleDto {
+    fn from(e: &NluExample) -> Self {
+        NluExampleDto {
+            text: e.text.clone(),
+            intent: e.intent.clone(),
+            slots: e
+                .slots
+                .iter()
+                .map(|s| SlotDto {
+                    slot: s.slot.clone(),
+                    start: s.start,
+                    end: s.end,
+                    value: s.value.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl From<&NluExampleDto> for NluExample {
+    fn from(d: &NluExampleDto) -> Self {
+        NluExample {
+            text: d.text.clone(),
+            intent: d.intent.clone(),
+            slots: d
+                .slots
+                .iter()
+                .map(|s| SlotAnnotation {
+                    slot: s.slot.clone(),
+                    start: s.start,
+                    end: s.end,
+                    value: s.value.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl From<&DialogueFlow> for FlowDto {
+    fn from(f: &DialogueFlow) -> Self {
+        FlowDto {
+            turns: f
+                .turns
+                .iter()
+                .map(|t| TurnDto { speaker: t.speaker.to_string(), label: t.label.clone() })
+                .collect(),
+        }
+    }
+}
+
+impl From<&FlowDto> for DialogueFlow {
+    fn from(d: &FlowDto) -> Self {
+        DialogueFlow {
+            turns: d
+                .turns
+                .iter()
+                .map(|t| FlowTurn {
+                    speaker: if t.speaker == "agent" { Speaker::Agent } else { Speaker::User },
+                    label: t.label.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Bundle NLU examples and flows for export.
+pub fn to_bundle(nlu: &[NluExample], flows: &[DialogueFlow]) -> TrainingBundle {
+    TrainingBundle {
+        nlu: nlu.iter().map(NluExampleDto::from).collect(),
+        flows: flows.iter().map(FlowDto::from).collect(),
+    }
+}
+
+/// Unpack a bundle back into runtime types.
+pub fn from_bundle(bundle: &TrainingBundle) -> (Vec<NluExample>, Vec<DialogueFlow>) {
+    (
+        bundle.nlu.iter().map(NluExample::from).collect(),
+        bundle.flows.iter().map(DialogueFlow::from).collect(),
+    )
+}
+
+/// Serialize a bundle to pretty JSON.
+pub fn to_json(bundle: &TrainingBundle) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(bundle)
+}
+
+/// Parse a bundle from JSON.
+pub fn from_json(json: &str) -> serde_json::Result<TrainingBundle> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cat_dm::{AgentAct, UserAct};
+
+    fn sample_data() -> (Vec<NluExample>, Vec<DialogueFlow>) {
+        let text = "i want to watch Heat".to_string();
+        let nlu = vec![NluExample {
+            text: text.clone(),
+            intent: "inform".into(),
+            slots: vec![SlotAnnotation {
+                slot: "movie_title".into(),
+                start: 16,
+                end: 20,
+                value: "Heat".into(),
+            }],
+        }];
+        let mut flow = DialogueFlow::default();
+        flow.push_user(&UserAct::Greet);
+        flow.push_agent(&AgentAct::Greet);
+        (nlu, vec![flow])
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (nlu, flows) = sample_data();
+        let bundle = to_bundle(&nlu, &flows);
+        let json = to_json(&bundle).unwrap();
+        assert!(json.contains("movie_title"));
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed, bundle);
+        let (nlu2, flows2) = from_bundle(&parsed);
+        assert_eq!(nlu2, nlu);
+        assert_eq!(flows2, flows);
+    }
+
+    #[test]
+    fn empty_bundle_roundtrip() {
+        let bundle = TrainingBundle::default();
+        let json = to_json(&bundle).unwrap();
+        assert_eq!(from_json(&json).unwrap(), bundle);
+    }
+
+    #[test]
+    fn speaker_encoding() {
+        let (_, flows) = sample_data();
+        let dto = FlowDto::from(&flows[0]);
+        assert_eq!(dto.turns[0].speaker, "user");
+        assert_eq!(dto.turns[1].speaker, "agent");
+        let back = DialogueFlow::from(&dto);
+        assert_eq!(back.turns[1].speaker, Speaker::Agent);
+    }
+
+    #[test]
+    fn malformed_json_is_error() {
+        assert!(from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Task extraction: deriving the conversational task model from the
+//! database schema and its stored procedures (paper §2 — "all this
+//! information … is typically already available in the given database and
+//! the set of its transactions").
+
+use cat_txdb::{DataType, Database};
+
+/// One parameter of a conversational task (= one slot to fill).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskParam {
+    /// Parameter/slot name, e.g. `screening_id`.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// If the parameter identifies an entity: the `(table, key column)` it
+    /// references. Such parameters are filled by the data-aware
+    /// identification dialogue instead of being asked verbatim.
+    pub entity: Option<(String, String)>,
+    /// Human-readable phrasing for prompts.
+    pub human_name: String,
+}
+
+impl TaskParam {
+    /// Whether filling this parameter requires entity identification.
+    pub fn needs_identification(&self) -> bool {
+        self.entity.is_some()
+    }
+}
+
+/// A conversational task extracted from one stored procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Task name (= procedure name = intent suffix).
+    pub name: String,
+    /// Developer description (used in confirmations).
+    pub description: String,
+    /// Parameters in declaration order.
+    pub params: Vec<TaskParam>,
+    /// Whether executing the task mutates the database (drives whether a
+    /// confirmation step is inserted before execution).
+    pub is_write: bool,
+}
+
+impl TaskSpec {
+    /// The intent name used for "the user wants this task".
+    pub fn request_intent(&self) -> String {
+        format!("request_{}", self.name)
+    }
+
+    /// Parameter by name.
+    pub fn param(&self, name: &str) -> Option<&TaskParam> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Names of all parameters.
+    pub fn param_names(&self) -> Vec<String> {
+        self.params.iter().map(|p| p.name.clone()).collect()
+    }
+}
+
+/// Extract the task model from every registered procedure.
+pub fn extract_tasks(db: &Database) -> Vec<TaskSpec> {
+    db.procedures()
+        .map(|proc| TaskSpec {
+            name: proc.name().to_string(),
+            description: if proc.description().is_empty() {
+                proc.name().replace('_', " ")
+            } else {
+                proc.description().to_string()
+            },
+            params: proc
+                .params()
+                .iter()
+                .map(|p| TaskParam {
+                    name: p.name.clone(),
+                    ty: p.ty,
+                    entity: p.references.clone(),
+                    human_name: if p.description.is_empty() {
+                        p.name.replace('_', " ")
+                    } else {
+                        p.description.clone()
+                    },
+                })
+                .collect(),
+            is_write: proc.is_write(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cat_txdb::{ParamDef, ParamExpr, ProcOp, Procedure, Row, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("customer")
+                .column("customer_id", DataType::Int)
+                .column("name", DataType::Text)
+                .primary_key(&["customer_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("reservation")
+                .column("customer_id", DataType::Int)
+                .column("no_tickets", DataType::Int)
+                .foreign_key("customer_id", "customer", "customer_id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("customer", Row::new(vec![Value::Int(1), "Ada".into()])).unwrap();
+        db.register_procedure(
+            Procedure::builder("ticket_reservation")
+                .describe("Reserve tickets")
+                .param(
+                    ParamDef::entity("customer_id", DataType::Int, "customer", "customer_id")
+                        .describe("the customer account"),
+                )
+                .param(ParamDef::scalar("ticket_amount", DataType::Int))
+                .op(ProcOp::Insert {
+                    table: "reservation".into(),
+                    columns: vec!["customer_id".into(), "no_tickets".into()],
+                    values: vec![
+                        ParamExpr::param("customer_id"),
+                        ParamExpr::param("ticket_amount"),
+                    ],
+                })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.register_procedure(
+            Procedure::builder("lookup_customer")
+                .param(ParamDef::entity("customer_id", DataType::Int, "customer", "customer_id"))
+                .op(ProcOp::Select {
+                    table: "customer".into(),
+                    filter: vec![("customer_id".into(), ParamExpr::param("customer_id"))],
+                    columns: None,
+                })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn extracts_all_procedures() {
+        let tasks = extract_tasks(&db());
+        assert_eq!(tasks.len(), 2);
+        let reserve = tasks.iter().find(|t| t.name == "ticket_reservation").unwrap();
+        assert_eq!(reserve.description, "Reserve tickets");
+        assert_eq!(reserve.params.len(), 2);
+        assert!(reserve.is_write);
+        assert_eq!(reserve.request_intent(), "request_ticket_reservation");
+    }
+
+    #[test]
+    fn entity_bindings_flow_through() {
+        let tasks = extract_tasks(&db());
+        let reserve = tasks.iter().find(|t| t.name == "ticket_reservation").unwrap();
+        let cust = reserve.param("customer_id").unwrap();
+        assert!(cust.needs_identification());
+        assert_eq!(cust.entity, Some(("customer".into(), "customer_id".into())));
+        assert_eq!(cust.human_name, "the customer account");
+        let amount = reserve.param("ticket_amount").unwrap();
+        assert!(!amount.needs_identification());
+        assert_eq!(amount.human_name, "ticket amount");
+    }
+
+    #[test]
+    fn read_only_tasks_marked() {
+        let tasks = extract_tasks(&db());
+        let lookup = tasks.iter().find(|t| t.name == "lookup_customer").unwrap();
+        assert!(!lookup.is_write);
+        // Missing description falls back to a humanized name.
+        assert_eq!(lookup.description, "lookup customer");
+    }
+}

@@ -1,0 +1,30 @@
+//! # cat-datagen — training-data synthesis for CAT (paper §3)
+//!
+//! The offline half of CAT: given a database, its stored procedures and a
+//! handful of developer templates, synthesize all the training data the
+//! conversational models need.
+//!
+//! * [`extract`] — derive the task model (tasks, slots, entity bindings)
+//!   from the procedure definitions and schema, automatically.
+//! * [`nlu_gen`] — render the developer's `{placeholder}` templates
+//!   against live database values to produce slot-annotated utterances,
+//!   expanded by rule-based paraphrasing and typo noise, plus built-in
+//!   examples for the domain-independent intents.
+//! * [`selfplay`] — dialogue self-play producing high-level flows for the
+//!   DM model, over a configurable user-behaviour mixture (aborts,
+//!   cannot-answer, deny-then-fix, over-informing).
+//! * [`export`] — JSON serialization of the synthesized bundles (the
+//!   RASA-file equivalent of the paper's pipeline).
+
+pub mod export;
+pub mod extract;
+pub mod nlu_gen;
+pub mod selfplay;
+
+pub use export::{from_bundle, from_json, to_bundle, to_json, TrainingBundle};
+pub use extract::{extract_tasks, TaskParam, TaskSpec};
+pub use nlu_gen::{
+    build_gazetteer, builtin_general_examples, generate_nlu_data, DataGenConfig, TemplateSet,
+    ValueSource,
+};
+pub use selfplay::{simulate_flows, SelfPlayConfig};

@@ -1,0 +1,280 @@
+//! Dialogue self-play: synthesizing training flows for the dialogue
+//! manager by simulating users with mixed behaviours against a rule agent
+//! (paper §3, following Shah et al.'s dialogue self-play — but, as in the
+//! paper, *without* modelling the entity-identification sub-dialogue,
+//! which is resolved at runtime by the data-aware policy).
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+use cat_dm::{AgentAct, DialogueFlow, UserAct};
+
+use crate::extract::TaskSpec;
+
+/// Behaviour mixture of the simulated user population.
+#[derive(Debug, Clone)]
+pub struct SelfPlayConfig {
+    /// Number of dialogues to simulate.
+    pub dialogues: usize,
+    /// Probability the user opens with a greeting.
+    pub p_greet: f64,
+    /// Probability of aborting mid-task (per collection step).
+    pub p_abort: f64,
+    /// Probability of failing to answer an identification question.
+    pub p_cannot_answer: f64,
+    /// Probability of denying the confirmation (then fixing one slot).
+    pub p_deny_confirm: f64,
+    /// Probability of thanking before closing.
+    pub p_thank: f64,
+    /// Probability the user proactively informs a slot before being asked.
+    pub p_overinform: f64,
+    pub seed: u64,
+}
+
+impl Default for SelfPlayConfig {
+    fn default() -> Self {
+        SelfPlayConfig {
+            dialogues: 200,
+            p_greet: 0.5,
+            p_abort: 0.06,
+            p_cannot_answer: 0.15,
+            p_deny_confirm: 0.12,
+            p_thank: 0.4,
+            p_overinform: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+/// Simulate `config.dialogues` flows over the given tasks.
+pub fn simulate_flows(tasks: &[TaskSpec], config: &SelfPlayConfig) -> Vec<DialogueFlow> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut flows = Vec::with_capacity(config.dialogues);
+    for _ in 0..config.dialogues {
+        if tasks.is_empty() {
+            break;
+        }
+        let task = tasks.choose(&mut rng).expect("non-empty");
+        flows.push(simulate_one(task, config, &mut rng));
+    }
+    flows
+}
+
+fn simulate_one(task: &TaskSpec, cfg: &SelfPlayConfig, rng: &mut StdRng) -> DialogueFlow {
+    let mut flow = DialogueFlow::default();
+    if rng.random_bool(cfg.p_greet) {
+        flow.push_user(&UserAct::Greet);
+        flow.push_agent(&AgentAct::Greet);
+    }
+    // Request, possibly with proactive slot values.
+    if rng.random_bool(cfg.p_overinform) && !task.params.is_empty() {
+        flow.push_user(&UserAct::Inform {
+            slots: task.params.iter().take(1).map(|p| p.name.clone()).collect(),
+        });
+    }
+    flow.push_user(&UserAct::RequestTask { task: task.name.clone() });
+
+    let mut aborted = false;
+    'collect: for param in &task.params {
+        // One collection step per parameter.
+        if rng.random_bool(cfg.p_abort) {
+            flow.push_user(&UserAct::Abort);
+            flow.push_agent(&AgentAct::AcknowledgeAbort);
+            aborted = true;
+            break 'collect;
+        }
+        if param.needs_identification() {
+            flow.push_agent(&AgentAct::IdentifyEntity { param: param.name.clone() });
+            // A short identification exchange; the concrete attribute
+            // choices happen at runtime, so self-play only samples how
+            // many rounds it takes and whether the user can answer.
+            let rounds = rng.random_range(1..=3usize);
+            for _ in 0..rounds {
+                if rng.random_bool(cfg.p_cannot_answer) {
+                    flow.push_user(&UserAct::CannotAnswer);
+                } else {
+                    flow.push_user(&UserAct::AnswerIdentify);
+                }
+            }
+            if rng.random_bool(0.35) {
+                flow.push_agent(&AgentAct::OfferOptions { param: param.name.clone() });
+                flow.push_user(&UserAct::AnswerIdentify);
+            }
+        } else {
+            flow.push_agent(&AgentAct::AskSlot { slot: param.name.clone() });
+            flow.push_user(&UserAct::Inform { slots: vec![param.name.clone()] });
+        }
+    }
+
+    if !aborted {
+        if task.is_write {
+            flow.push_agent(&AgentAct::ConfirmTask { task: task.name.clone() });
+            if rng.random_bool(cfg.p_deny_confirm) && !task.params.is_empty() {
+                flow.push_user(&UserAct::Deny);
+                let p = task.params.choose(rng).expect("non-empty");
+                flow.push_user(&UserAct::ChangeMind { slot: p.name.clone() });
+                flow.push_agent(&AgentAct::ConfirmTask { task: task.name.clone() });
+            }
+            flow.push_user(&UserAct::Affirm);
+        }
+        flow.push_agent(&AgentAct::Execute { task: task.name.clone() });
+        flow.push_agent(&AgentAct::ReportSuccess);
+    }
+    if rng.random_bool(cfg.p_thank) {
+        flow.push_user(&UserAct::Thank);
+    }
+    flow.push_user(&UserAct::Bye);
+    flow.push_agent(&AgentAct::Bye);
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cat_txdb::DataType;
+
+    use crate::extract::TaskParam;
+
+    fn tasks() -> Vec<TaskSpec> {
+        vec![
+            TaskSpec {
+                name: "ticket_reservation".into(),
+                description: "Reserve tickets".into(),
+                params: vec![
+                    TaskParam {
+                        name: "customer_id".into(),
+                        ty: DataType::Int,
+                        entity: Some(("customer".into(), "customer_id".into())),
+                        human_name: "customer".into(),
+                    },
+                    TaskParam {
+                        name: "ticket_amount".into(),
+                        ty: DataType::Int,
+                        entity: None,
+                        human_name: "number of tickets".into(),
+                    },
+                ],
+                is_write: true,
+            },
+            TaskSpec {
+                name: "list_screenings".into(),
+                description: "List screenings".into(),
+                params: vec![TaskParam {
+                    name: "movie_id".into(),
+                    ty: DataType::Int,
+                    entity: Some(("movie".into(), "movie_id".into())),
+                    human_name: "movie".into(),
+                }],
+                is_write: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn produces_requested_number_of_flows() {
+        let cfg = SelfPlayConfig { dialogues: 50, ..Default::default() };
+        let flows = simulate_flows(&tasks(), &cfg);
+        assert_eq!(flows.len(), 50);
+        assert!(flows.iter().all(|f| !f.is_empty()));
+    }
+
+    #[test]
+    fn flows_contain_expected_structures() {
+        let cfg = SelfPlayConfig { dialogues: 300, seed: 1, ..Default::default() };
+        let flows = simulate_flows(&tasks(), &cfg);
+        let all_labels: Vec<String> =
+            flows.iter().flat_map(|f| f.labels().into_iter().map(String::from)).collect();
+        // The behaviour mixture must exercise every major pattern.
+        for needed in [
+            "u:greet",
+            "u:request_task",
+            "a:identify_entity",
+            "u:answer_identify",
+            "u:cannot_answer",
+            "a:ask_slot",
+            "u:inform",
+            "a:confirm_task",
+            "u:affirm",
+            "u:deny",
+            "u:abort",
+            "a:acknowledge_abort",
+            "a:execute",
+            "a:report_success",
+            "a:bye",
+        ] {
+            assert!(
+                all_labels.iter().any(|l| l == needed),
+                "pattern `{needed}` never simulated"
+            );
+        }
+    }
+
+    #[test]
+    fn every_execution_is_preceded_by_affirm_for_writes() {
+        let cfg = SelfPlayConfig { dialogues: 200, seed: 2, ..Default::default() };
+        let flows = simulate_flows(&tasks()[..1], &cfg); // write task only
+        for flow in &flows {
+            let labels = flow.labels();
+            for (i, l) in labels.iter().enumerate() {
+                if *l == "a:execute" {
+                    assert_eq!(labels[i - 1], "u:affirm", "unconfirmed execute in {labels:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_tasks_skip_confirmation() {
+        let cfg = SelfPlayConfig {
+            dialogues: 50,
+            p_abort: 0.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let flows = simulate_flows(&tasks()[1..], &cfg);
+        for flow in &flows {
+            assert!(
+                !flow.labels().contains(&"a:confirm_task"),
+                "read-only task should not confirm"
+            );
+            assert!(flow.labels().contains(&"a:execute"));
+        }
+    }
+
+    #[test]
+    fn aborted_flows_never_execute() {
+        let cfg = SelfPlayConfig {
+            dialogues: 400,
+            p_abort: 0.5,
+            seed: 4,
+            ..Default::default()
+        };
+        let flows = simulate_flows(&tasks(), &cfg);
+        let mut aborted_count = 0;
+        for flow in &flows {
+            let labels = flow.labels();
+            if labels.contains(&"u:abort") {
+                aborted_count += 1;
+                assert!(!labels.contains(&"a:execute"), "aborted flow executed: {labels:?}");
+            }
+        }
+        assert!(aborted_count > 50, "abort rate 0.5 should produce many aborts");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SelfPlayConfig { dialogues: 30, seed: 9, ..Default::default() };
+        assert_eq!(simulate_flows(&tasks(), &cfg), simulate_flows(&tasks(), &cfg));
+    }
+
+    #[test]
+    fn trains_a_useful_flow_model() {
+        let cfg = SelfPlayConfig { dialogues: 400, seed: 5, ..Default::default() };
+        let flows = simulate_flows(&tasks(), &cfg);
+        let (train, test) = flows.split_at(300);
+        let model = cat_dm::FlowModel::train(train);
+        let eval = model.evaluate(test);
+        assert!(eval.accuracy > 0.6, "held-out accuracy {}", eval.accuracy);
+    }
+}

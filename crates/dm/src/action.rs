@@ -1,0 +1,229 @@
+//! The dialogue action vocabulary.
+//!
+//! Self-play (paper §3) simulates dialogues as sequences of *high-level*
+//! actions. Deliberately, "which attribute to ask for when identifying an
+//! entity" is NOT part of the action space — that decision is made at
+//! runtime by the data-aware policy (§4). The flow model only sees
+//! `identify_entity` as one abstract step.
+
+use std::fmt;
+
+/// Who produced a turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Speaker {
+    User,
+    Agent,
+}
+
+impl fmt::Display for Speaker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Speaker::User => write!(f, "user"),
+            Speaker::Agent => write!(f, "agent"),
+        }
+    }
+}
+
+/// User dialogue acts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UserAct {
+    /// Opening greeting.
+    Greet,
+    /// Request a task (e.g. `ticket_reservation`).
+    RequestTask { task: String },
+    /// Provide one or more slot values.
+    Inform { slots: Vec<String> },
+    /// Answer an identification question.
+    AnswerIdentify,
+    /// Cannot answer the asked attribute ("I don't know").
+    CannotAnswer,
+    /// Confirm.
+    Affirm,
+    /// Reject.
+    Deny,
+    /// Abort the current task.
+    Abort,
+    /// Change a previously given value.
+    ChangeMind { slot: String },
+    /// Thank the agent.
+    Thank,
+    /// End the conversation.
+    Bye,
+    /// Unintelligible input.
+    Unknown,
+}
+
+impl UserAct {
+    /// Abstract label used by the flow model (argument-free).
+    pub fn label(&self) -> &'static str {
+        match self {
+            UserAct::Greet => "u:greet",
+            UserAct::RequestTask { .. } => "u:request_task",
+            UserAct::Inform { .. } => "u:inform",
+            UserAct::AnswerIdentify => "u:answer_identify",
+            UserAct::CannotAnswer => "u:cannot_answer",
+            UserAct::Affirm => "u:affirm",
+            UserAct::Deny => "u:deny",
+            UserAct::Abort => "u:abort",
+            UserAct::ChangeMind { .. } => "u:change_mind",
+            UserAct::Thank => "u:thank",
+            UserAct::Bye => "u:bye",
+            UserAct::Unknown => "u:unknown",
+        }
+    }
+}
+
+/// Agent dialogue acts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AgentAct {
+    /// Opening greeting.
+    Greet,
+    /// Ask for a scalar slot value (e.g. number of tickets).
+    AskSlot { slot: String },
+    /// Run one step of entity identification for a parameter: the
+    /// data-aware policy decides *which* attribute to request.
+    IdentifyEntity { param: String },
+    /// Offer a short list of remaining candidates to choose from.
+    OfferOptions { param: String },
+    /// Summarize and ask for confirmation.
+    ConfirmTask { task: String },
+    /// Execute the transaction.
+    Execute { task: String },
+    /// Report success after execution.
+    ReportSuccess,
+    /// Report failure after execution.
+    ReportFailure,
+    /// Acknowledge a user abort.
+    AcknowledgeAbort,
+    /// Ask the user to rephrase.
+    Clarify,
+    /// Close the conversation.
+    Bye,
+}
+
+impl AgentAct {
+    /// Abstract label used by the flow model (argument-free).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AgentAct::Greet => "a:greet",
+            AgentAct::AskSlot { .. } => "a:ask_slot",
+            AgentAct::IdentifyEntity { .. } => "a:identify_entity",
+            AgentAct::OfferOptions { .. } => "a:offer_options",
+            AgentAct::ConfirmTask { .. } => "a:confirm_task",
+            AgentAct::Execute { .. } => "a:execute",
+            AgentAct::ReportSuccess => "a:report_success",
+            AgentAct::ReportFailure => "a:report_failure",
+            AgentAct::AcknowledgeAbort => "a:acknowledge_abort",
+            AgentAct::Clarify => "a:clarify",
+            AgentAct::Bye => "a:bye",
+        }
+    }
+
+    /// All abstract agent labels (the flow model's output space).
+    pub const LABELS: [&'static str; 11] = [
+        "a:greet",
+        "a:ask_slot",
+        "a:identify_entity",
+        "a:offer_options",
+        "a:confirm_task",
+        "a:execute",
+        "a:report_success",
+        "a:report_failure",
+        "a:acknowledge_abort",
+        "a:clarify",
+        "a:bye",
+    ];
+}
+
+/// One turn of a dialogue flow: a speaker plus an abstract action label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlowTurn {
+    pub speaker: Speaker,
+    pub label: String,
+}
+
+impl FlowTurn {
+    pub fn user(act: &UserAct) -> FlowTurn {
+        FlowTurn { speaker: Speaker::User, label: act.label().to_string() }
+    }
+
+    pub fn agent(act: &AgentAct) -> FlowTurn {
+        FlowTurn { speaker: Speaker::Agent, label: act.label().to_string() }
+    }
+}
+
+/// A complete simulated dialogue at the flow level.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DialogueFlow {
+    pub turns: Vec<FlowTurn>,
+}
+
+impl DialogueFlow {
+    pub fn push_user(&mut self, act: &UserAct) {
+        self.turns.push(FlowTurn::user(act));
+    }
+
+    pub fn push_agent(&mut self, act: &AgentAct) {
+        self.turns.push(FlowTurn::agent(act));
+    }
+
+    /// Length in turns.
+    pub fn len(&self) -> usize {
+        self.turns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.turns.is_empty()
+    }
+
+    /// Labels only.
+    pub fn labels(&self) -> Vec<&str> {
+        self.turns.iter().map(|t| t.label.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_argument_free() {
+        let a = AgentAct::AskSlot { slot: "no_tickets".into() };
+        let b = AgentAct::AskSlot { slot: "date".into() };
+        assert_eq!(a.label(), b.label());
+        let u = UserAct::RequestTask { task: "x".into() };
+        assert_eq!(u.label(), "u:request_task");
+    }
+
+    #[test]
+    fn all_agent_labels_covered() {
+        let acts = [
+            AgentAct::Greet,
+            AgentAct::AskSlot { slot: "s".into() },
+            AgentAct::IdentifyEntity { param: "p".into() },
+            AgentAct::OfferOptions { param: "p".into() },
+            AgentAct::ConfirmTask { task: "t".into() },
+            AgentAct::Execute { task: "t".into() },
+            AgentAct::ReportSuccess,
+            AgentAct::ReportFailure,
+            AgentAct::AcknowledgeAbort,
+            AgentAct::Clarify,
+            AgentAct::Bye,
+        ];
+        for act in &acts {
+            assert!(AgentAct::LABELS.contains(&act.label()));
+        }
+        assert_eq!(acts.len(), AgentAct::LABELS.len());
+    }
+
+    #[test]
+    fn flow_building() {
+        let mut flow = DialogueFlow::default();
+        flow.push_user(&UserAct::Greet);
+        flow.push_agent(&AgentAct::Greet);
+        flow.push_user(&UserAct::RequestTask { task: "book".into() });
+        assert_eq!(flow.len(), 3);
+        assert_eq!(flow.labels(), vec!["u:greet", "a:greet", "u:request_task"]);
+        assert_eq!(flow.turns[0].speaker, Speaker::User);
+    }
+}

@@ -1,0 +1,19 @@
+//! # cat-dm — dialogue management for CAT
+//!
+//! High-level dialogue management for the CAT reproduction:
+//!
+//! * [`action`] — the dialogue-act vocabulary. Agent actions are abstract
+//!   (e.g. `identify_entity`) — *which* attribute to request is decided at
+//!   runtime by the data-aware policy in `cat-policy`, exactly as the paper
+//!   separates dialogue self-play from low-level slot selection.
+//! * [`state`] — dialogue state tracking (task, bound parameters, phase).
+//! * [`policy`] — a smoothed Markov next-action model ([`FlowModel`])
+//!   trained on self-play flows, standing in for RASA's DM model.
+
+pub mod action;
+pub mod policy;
+pub mod state;
+
+pub use action::{AgentAct, DialogueFlow, FlowTurn, Speaker, UserAct};
+pub use policy::{FlowEval, FlowModel, FlowModelConfig};
+pub use state::{DialogueState, Phase};

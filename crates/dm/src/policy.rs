@@ -1,0 +1,247 @@
+//! The learned dialogue-flow policy: a smoothed k-th order Markov model
+//! over action labels, trained on self-play flows.
+//!
+//! This is the classical stand-in for RASA's dialogue-management model: it
+//! predicts the next *high-level agent action* given the recent action
+//! history. Low-level decisions (which attribute to request) are delegated
+//! to the data-aware policy at runtime.
+
+use std::collections::HashMap;
+
+use crate::action::{AgentAct, DialogueFlow, Speaker};
+
+/// Configuration for the Markov flow model.
+#[derive(Debug, Clone)]
+pub struct FlowModelConfig {
+    /// Context length (number of preceding labels conditioned on).
+    pub order: usize,
+    /// Additive smoothing constant.
+    pub alpha: f64,
+}
+
+impl Default for FlowModelConfig {
+    fn default() -> Self {
+        FlowModelConfig { order: 2, alpha: 0.1 }
+    }
+}
+
+/// A trained next-agent-action model.
+#[derive(Debug, Clone)]
+pub struct FlowModel {
+    config: FlowModelConfig,
+    /// context (joined labels) -> next agent label -> count.
+    counts: HashMap<String, HashMap<String, f64>>,
+    /// Backoff unigram counts over agent labels.
+    unigram: HashMap<String, f64>,
+}
+
+impl FlowModel {
+    /// Train from dialogue flows. Only transitions *into agent turns* are
+    /// learned (user behaviour is the environment, not the policy).
+    pub fn train(flows: &[DialogueFlow]) -> FlowModel {
+        Self::train_with(flows, FlowModelConfig::default())
+    }
+
+    /// Train with explicit configuration.
+    pub fn train_with(flows: &[DialogueFlow], config: FlowModelConfig) -> FlowModel {
+        let mut counts: HashMap<String, HashMap<String, f64>> = HashMap::new();
+        let mut unigram: HashMap<String, f64> = HashMap::new();
+        for flow in flows {
+            for (i, turn) in flow.turns.iter().enumerate() {
+                if turn.speaker != Speaker::Agent {
+                    continue;
+                }
+                let ctx = context_key(&flow.turns[..i], config.order);
+                *counts.entry(ctx).or_default().entry(turn.label.clone()).or_insert(0.0) += 1.0;
+                *unigram.entry(turn.label.clone()).or_insert(0.0) += 1.0;
+            }
+        }
+        FlowModel { config, counts, unigram }
+    }
+
+    /// Probability distribution over the next agent action given the
+    /// history of labels so far. Falls back to shorter contexts and the
+    /// unigram when the full context is unseen.
+    pub fn next_action_distribution(&self, history: &[&str]) -> Vec<(String, f64)> {
+        let vocab: Vec<&str> = AgentAct::LABELS.to_vec();
+        // Try contexts from longest to empty.
+        for k in (0..=self.config.order.min(history.len())).rev() {
+            let ctx = history[history.len() - k..].join("|");
+            if let Some(next_counts) = self.counts.get(&ctx) {
+                let total: f64 = next_counts.values().sum();
+                let alpha = self.config.alpha;
+                let z = total + alpha * vocab.len() as f64;
+                let mut dist: Vec<(String, f64)> = vocab
+                    .iter()
+                    .map(|&l| {
+                        let c = next_counts.get(l).copied().unwrap_or(0.0);
+                        (l.to_string(), (c + alpha) / z)
+                    })
+                    .collect();
+                dist.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                return dist;
+            }
+        }
+        // Unigram backoff.
+        let total: f64 = self.unigram.values().sum();
+        let alpha = self.config.alpha;
+        let z = total + alpha * vocab.len() as f64;
+        let mut dist: Vec<(String, f64)> = vocab
+            .iter()
+            .map(|&l| {
+                let c = self.unigram.get(l).copied().unwrap_or(0.0);
+                (l.to_string(), (c + alpha) / z)
+            })
+            .collect();
+        dist.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        dist
+    }
+
+    /// Most likely next agent action.
+    pub fn predict(&self, history: &[&str]) -> (String, f64) {
+        self.next_action_distribution(history)
+            .into_iter()
+            .next()
+            .expect("label vocabulary is non-empty")
+    }
+
+    /// Held-out evaluation: accuracy of predicting each agent turn from
+    /// its true history, and per-token perplexity.
+    pub fn evaluate(&self, flows: &[DialogueFlow]) -> FlowEval {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        let mut log_prob = 0.0f64;
+        for flow in flows {
+            for (i, turn) in flow.turns.iter().enumerate() {
+                if turn.speaker != Speaker::Agent {
+                    continue;
+                }
+                let history: Vec<&str> =
+                    flow.turns[..i].iter().map(|t| t.label.as_str()).collect();
+                let dist = self.next_action_distribution(&history);
+                total += 1;
+                if dist[0].0 == turn.label {
+                    correct += 1;
+                }
+                let p = dist
+                    .iter()
+                    .find(|(l, _)| l == &turn.label)
+                    .map(|&(_, p)| p)
+                    .unwrap_or(1e-9);
+                log_prob += p.ln();
+            }
+        }
+        FlowEval {
+            accuracy: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
+            perplexity: if total == 0 { f64::NAN } else { (-log_prob / total as f64).exp() },
+            n_turns: total,
+        }
+    }
+
+    /// Number of distinct contexts learned.
+    pub fn n_contexts(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+fn context_key(prefix: &[crate::action::FlowTurn], order: usize) -> String {
+    let n = prefix.len();
+    let k = order.min(n);
+    prefix[n - k..].iter().map(|t| t.label.as_str()).collect::<Vec<_>>().join("|")
+}
+
+/// Flow-model evaluation result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEval {
+    pub accuracy: f64,
+    pub perplexity: f64,
+    pub n_turns: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{AgentAct, DialogueFlow, UserAct};
+
+    fn happy_flow() -> DialogueFlow {
+        let mut f = DialogueFlow::default();
+        f.push_user(&UserAct::Greet);
+        f.push_agent(&AgentAct::Greet);
+        f.push_user(&UserAct::RequestTask { task: "book".into() });
+        f.push_agent(&AgentAct::IdentifyEntity { param: "screening_id".into() });
+        f.push_user(&UserAct::AnswerIdentify);
+        f.push_agent(&AgentAct::ConfirmTask { task: "book".into() });
+        f.push_user(&UserAct::Affirm);
+        f.push_agent(&AgentAct::Execute { task: "book".into() });
+        f.push_agent(&AgentAct::ReportSuccess);
+        f.push_user(&UserAct::Bye);
+        f.push_agent(&AgentAct::Bye);
+        f
+    }
+
+    fn abort_flow() -> DialogueFlow {
+        let mut f = DialogueFlow::default();
+        f.push_user(&UserAct::Greet);
+        f.push_agent(&AgentAct::Greet);
+        f.push_user(&UserAct::RequestTask { task: "book".into() });
+        f.push_agent(&AgentAct::IdentifyEntity { param: "screening_id".into() });
+        f.push_user(&UserAct::Abort);
+        f.push_agent(&AgentAct::AcknowledgeAbort);
+        f.push_user(&UserAct::Bye);
+        f.push_agent(&AgentAct::Bye);
+        f
+    }
+
+    #[test]
+    fn learns_happy_path_transitions() {
+        let flows = vec![happy_flow(), happy_flow(), abort_flow()];
+        let model = FlowModel::train(&flows);
+        assert!(model.n_contexts() > 0);
+        // After a user affirm following confirm_task -> execute.
+        let (next, p) = model.predict(&["a:confirm_task", "u:affirm"]);
+        assert_eq!(next, "a:execute");
+        assert!(p > 0.5);
+        // After a user abort -> acknowledge.
+        let (next, _) = model.predict(&["a:identify_entity", "u:abort"]);
+        assert_eq!(next, "a:acknowledge_abort");
+    }
+
+    #[test]
+    fn distribution_is_normalized() {
+        let model = FlowModel::train(&[happy_flow()]);
+        let dist = model.next_action_distribution(&["u:greet"]);
+        let z: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((z - 1.0).abs() < 1e-9);
+        assert_eq!(dist.len(), AgentAct::LABELS.len());
+    }
+
+    #[test]
+    fn backoff_on_unseen_context() {
+        let model = FlowModel::train(&[happy_flow()]);
+        // Nonsense context falls back without panicking.
+        let (next, p) = model.predict(&["u:unknown", "u:unknown"]);
+        assert!(!next.is_empty());
+        assert!(p > 0.0);
+    }
+
+    #[test]
+    fn evaluation_on_training_data_is_high() {
+        let flows: Vec<DialogueFlow> =
+            (0..5).flat_map(|_| [happy_flow(), abort_flow()]).collect();
+        let model = FlowModel::train(&flows);
+        let eval = model.evaluate(&flows);
+        assert!(eval.accuracy > 0.8, "accuracy {}", eval.accuracy);
+        assert!(eval.perplexity < 3.0, "perplexity {}", eval.perplexity);
+        assert_eq!(eval.n_turns, 5 * (6 + 4));
+    }
+
+    #[test]
+    fn empty_model_degrades() {
+        let model = FlowModel::train(&[]);
+        let (label, p) = model.predict(&[]);
+        assert!(AgentAct::LABELS.contains(&label.as_str()));
+        assert!(p > 0.0);
+        let eval = model.evaluate(&[]);
+        assert_eq!(eval.n_turns, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Dialogue state tracking.
+
+use std::collections::BTreeMap;
+
+use crate::action::{AgentAct, UserAct};
+
+/// Phase of the current task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// No task active.
+    Idle,
+    /// Collecting parameters (scalar slots and entity identification).
+    Collecting,
+    /// All parameters bound; awaiting user confirmation.
+    Confirming,
+    /// Transaction executed; wrap-up.
+    Done,
+}
+
+/// The tracked state of one dialogue session.
+#[derive(Debug, Clone)]
+pub struct DialogueState {
+    /// Active task (procedure name), if any.
+    pub task: Option<String>,
+    /// Bound parameter values (rendered as text; typed at execution).
+    pub bound: BTreeMap<String, String>,
+    /// The parameter currently being identified/asked.
+    pub pending_param: Option<String>,
+    /// Phase of the task.
+    pub phase: Phase,
+    /// Abstract label history (inputs to the flow model).
+    pub history: Vec<String>,
+    /// Number of turns so far.
+    pub turns: usize,
+}
+
+impl Default for DialogueState {
+    fn default() -> Self {
+        DialogueState {
+            task: None,
+            bound: BTreeMap::new(),
+            pending_param: None,
+            phase: Phase::Idle,
+            history: Vec::new(),
+            turns: 0,
+        }
+    }
+}
+
+impl DialogueState {
+    pub fn new() -> DialogueState {
+        DialogueState::default()
+    }
+
+    /// Record a user act in the history and update the phase machine.
+    pub fn observe_user(&mut self, act: &UserAct) {
+        self.history.push(act.label().to_string());
+        self.turns += 1;
+        match act {
+            UserAct::RequestTask { task } => {
+                self.task = Some(task.clone());
+                self.bound.clear();
+                self.pending_param = None;
+                self.phase = Phase::Collecting;
+            }
+            UserAct::Abort => {
+                self.reset_task();
+            }
+            UserAct::Affirm if self.phase == Phase::Confirming => {
+                // Execution happens on the agent side; phase moves there.
+            }
+            UserAct::Deny if self.phase == Phase::Confirming => {
+                self.phase = Phase::Collecting;
+            }
+            _ => {}
+        }
+    }
+
+    /// Record an agent act in the history and update the phase machine.
+    pub fn observe_agent(&mut self, act: &AgentAct) {
+        self.history.push(act.label().to_string());
+        self.turns += 1;
+        match act {
+            AgentAct::AskSlot { slot } => self.pending_param = Some(slot.clone()),
+            AgentAct::IdentifyEntity { param } | AgentAct::OfferOptions { param } => {
+                self.pending_param = Some(param.clone())
+            }
+            AgentAct::ConfirmTask { .. } => self.phase = Phase::Confirming,
+            AgentAct::Execute { .. } => self.phase = Phase::Done,
+            AgentAct::AcknowledgeAbort => self.reset_task(),
+            _ => {}
+        }
+    }
+
+    /// Bind a parameter value.
+    pub fn bind(&mut self, param: &str, value: impl Into<String>) {
+        self.bound.insert(param.to_string(), value.into());
+        if self.pending_param.as_deref() == Some(param) {
+            self.pending_param = None;
+        }
+    }
+
+    /// Unbind a parameter (change-of-mind).
+    pub fn unbind(&mut self, param: &str) -> Option<String> {
+        self.bound.remove(param)
+    }
+
+    /// Whether all of `params` are bound.
+    pub fn all_bound<'a, I: IntoIterator<Item = &'a str>>(&self, params: I) -> bool {
+        params.into_iter().all(|p| self.bound.contains_key(p))
+    }
+
+    /// First unbound parameter of `params`, in order.
+    pub fn next_unbound<'a>(&self, params: &'a [String]) -> Option<&'a str> {
+        params.iter().map(String::as_str).find(|p| !self.bound.contains_key(*p))
+    }
+
+    /// Clear the active task.
+    pub fn reset_task(&mut self) {
+        self.task = None;
+        self.bound.clear();
+        self.pending_param = None;
+        self.phase = Phase::Idle;
+    }
+
+    /// History as `&str` slices (flow-model input).
+    pub fn history_labels(&self) -> Vec<&str> {
+        self.history.iter().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_lifecycle() {
+        let mut s = DialogueState::new();
+        assert_eq!(s.phase, Phase::Idle);
+        s.observe_user(&UserAct::RequestTask { task: "book".into() });
+        assert_eq!(s.phase, Phase::Collecting);
+        assert_eq!(s.task.as_deref(), Some("book"));
+        s.observe_agent(&AgentAct::AskSlot { slot: "no_tickets".into() });
+        assert_eq!(s.pending_param.as_deref(), Some("no_tickets"));
+        s.bind("no_tickets", "4");
+        assert_eq!(s.pending_param, None);
+        assert_eq!(s.bound["no_tickets"], "4");
+        s.observe_agent(&AgentAct::ConfirmTask { task: "book".into() });
+        assert_eq!(s.phase, Phase::Confirming);
+        s.observe_user(&UserAct::Affirm);
+        s.observe_agent(&AgentAct::Execute { task: "book".into() });
+        assert_eq!(s.phase, Phase::Done);
+    }
+
+    #[test]
+    fn abort_resets() {
+        let mut s = DialogueState::new();
+        s.observe_user(&UserAct::RequestTask { task: "book".into() });
+        s.bind("x", "1");
+        s.observe_user(&UserAct::Abort);
+        assert_eq!(s.phase, Phase::Idle);
+        assert!(s.task.is_none());
+        assert!(s.bound.is_empty());
+        // History survives resets (the flow model needs it).
+        assert_eq!(s.history.len(), 2);
+    }
+
+    #[test]
+    fn deny_returns_to_collecting() {
+        let mut s = DialogueState::new();
+        s.observe_user(&UserAct::RequestTask { task: "book".into() });
+        s.observe_agent(&AgentAct::ConfirmTask { task: "book".into() });
+        s.observe_user(&UserAct::Deny);
+        assert_eq!(s.phase, Phase::Collecting);
+    }
+
+    #[test]
+    fn next_unbound_order() {
+        let mut s = DialogueState::new();
+        let params = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        assert_eq!(s.next_unbound(&params), Some("a"));
+        s.bind("a", "1");
+        assert_eq!(s.next_unbound(&params), Some("b"));
+        s.bind("b", "2");
+        s.bind("c", "3");
+        assert_eq!(s.next_unbound(&params), None);
+        assert!(s.all_bound(params.iter().map(String::as_str)));
+    }
+
+    #[test]
+    fn unbind_for_change_of_mind() {
+        let mut s = DialogueState::new();
+        s.bind("x", "old");
+        assert_eq!(s.unbind("x").as_deref(), Some("old"));
+        assert_eq!(s.unbind("x"), None);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for dialogue management: flow-model distribution laws
+//! and state-machine invariants under arbitrary action sequences.
+
+use proptest::prelude::*;
+
+use cat_dm::{AgentAct, DialogueFlow, DialogueState, FlowModel, Phase, Speaker, UserAct};
+
+fn arb_user_act() -> impl Strategy<Value = UserAct> {
+    prop_oneof![
+        Just(UserAct::Greet),
+        "[a-z]{1,8}".prop_map(|t| UserAct::RequestTask { task: t }),
+        Just(UserAct::Inform { slots: vec!["s".into()] }),
+        Just(UserAct::AnswerIdentify),
+        Just(UserAct::CannotAnswer),
+        Just(UserAct::Affirm),
+        Just(UserAct::Deny),
+        Just(UserAct::Abort),
+        Just(UserAct::Thank),
+        Just(UserAct::Bye),
+        Just(UserAct::Unknown),
+    ]
+}
+
+fn arb_agent_act() -> impl Strategy<Value = AgentAct> {
+    prop_oneof![
+        Just(AgentAct::Greet),
+        "[a-z]{1,8}".prop_map(|s| AgentAct::AskSlot { slot: s }),
+        "[a-z]{1,8}".prop_map(|p| AgentAct::IdentifyEntity { param: p }),
+        "[a-z]{1,8}".prop_map(|p| AgentAct::OfferOptions { param: p }),
+        "[a-z]{1,8}".prop_map(|t| AgentAct::ConfirmTask { task: t }),
+        "[a-z]{1,8}".prop_map(|t| AgentAct::Execute { task: t }),
+        Just(AgentAct::ReportSuccess),
+        Just(AgentAct::ReportFailure),
+        Just(AgentAct::AcknowledgeAbort),
+        Just(AgentAct::Clarify),
+        Just(AgentAct::Bye),
+    ]
+}
+
+/// Tiny local Either so the tests avoid an extra dependency.
+#[derive(Debug, Clone)]
+enum Turn {
+    User(UserAct),
+    Agent(AgentAct),
+}
+
+fn arb_flow() -> impl Strategy<Value = DialogueFlow> {
+    proptest::collection::vec((arb_user_act(), arb_agent_act()), 1..10).prop_map(|pairs| {
+        let mut f = DialogueFlow::default();
+        for (u, a) in pairs {
+            f.push_user(&u);
+            f.push_agent(&a);
+        }
+        f
+    })
+}
+
+proptest! {
+    /// The flow model's next-action distribution is a proper probability
+    /// distribution for any training set and any history.
+    #[test]
+    fn distribution_is_normalized(
+        flows in proptest::collection::vec(arb_flow(), 0..10),
+        history in proptest::collection::vec("[a-z:_]{1,12}", 0..5),
+    ) {
+        let model = FlowModel::train(&flows);
+        let hist: Vec<&str> = history.iter().map(String::as_str).collect();
+        let dist = model.next_action_distribution(&hist);
+        let z: f64 = dist.iter().map(|(_, p)| p).sum();
+        prop_assert!((z - 1.0).abs() < 1e-9, "sum {z}");
+        prop_assert!(dist.iter().all(|&(_, p)| p > 0.0));
+        // Sorted descending.
+        prop_assert!(dist.windows(2).all(|w| w[0].1 >= w[1].1));
+        // Prediction = argmax.
+        let (top, p) = model.predict(&hist);
+        prop_assert_eq!(&top, &dist[0].0);
+        prop_assert_eq!(p, dist[0].1);
+    }
+
+    /// Evaluation accuracy and perplexity are well-defined on any corpus
+    /// that contains at least one agent turn.
+    #[test]
+    fn evaluation_is_well_defined(flows in proptest::collection::vec(arb_flow(), 1..8)) {
+        let model = FlowModel::train(&flows);
+        let eval = model.evaluate(&flows);
+        prop_assert!(eval.n_turns > 0);
+        prop_assert!((0.0..=1.0).contains(&eval.accuracy));
+        prop_assert!(eval.perplexity >= 1.0 - 1e-9);
+    }
+
+    /// State tracking: history length equals observed turns; abort always
+    /// lands in Idle with no bindings.
+    #[test]
+    fn state_machine_invariants(
+        acts in proptest::collection::vec(
+            prop_oneof![arb_user_act().prop_map(Turn::User), arb_agent_act().prop_map(Turn::Agent)],
+            0..30,
+        )
+    ) {
+        let mut state = DialogueState::new();
+        for act in &acts {
+            match act {
+                Turn::User(u) => state.observe_user(u),
+                Turn::Agent(a) => state.observe_agent(a),
+            }
+        }
+        prop_assert_eq!(state.turns, acts.len());
+        prop_assert_eq!(state.history.len(), acts.len());
+        if matches!(acts.last(), Some(Turn::User(UserAct::Abort))) {
+            prop_assert_eq!(state.phase, Phase::Idle);
+            prop_assert!(state.bound.is_empty());
+            prop_assert!(state.task.is_none());
+        }
+    }
+
+    /// Flow turns preserve speaker alternation information.
+    #[test]
+    fn flow_speakers_recorded(flow in arb_flow()) {
+        for (i, turn) in flow.turns.iter().enumerate() {
+            let expected = if i % 2 == 0 { Speaker::User } else { Speaker::Agent };
+            prop_assert_eq!(turn.speaker, expected);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Built-in paraphrase lexicon: synonym groups, phrase rewrites, and
+//! politeness frames. Deliberately generic (not cinema-specific) so that
+//! the same lexicon serves every domain a CAT deployment targets.
+
+/// Groups of interchangeable words/phrases (lowercase). Substituting within
+//  a group preserves intent.
+pub const SYNONYM_GROUPS: &[&[&str]] = &[
+    &["want", "would like", "wish", "need"],
+    &["book", "reserve", "get", "order"],
+    &["cancel", "drop", "call off", "revoke"],
+    &["tickets", "seats"],
+    &["ticket", "seat"],
+    &["movie", "film"],
+    &["show", "screening", "showing"],
+    &["tonight", "this evening"],
+    &["tomorrow", "the day after today"],
+    &["list", "show me", "display"],
+    &["tell", "inform"],
+    &["please", "kindly"],
+    &["hello", "hi", "hey"],
+    &["yes", "yeah", "yep", "sure", "correct"],
+    &["no", "nope", "nah"],
+    &["thanks", "thank you", "cheers"],
+];
+
+/// Polite/filler prefixes that can precede any user utterance.
+/// Deliberately free of greeting words ("hi", "hello") — those are the
+/// surface form of the standalone `greet` intent, and using them as
+/// paraphrase prefixes would blur the intent boundary in synthesized data.
+pub const PREFIXES: &[&str] = &[
+    "please ",
+    "could you ",
+    "can you ",
+    "i'd like to ",
+    "uh, ",
+    "well, ",
+    "so, ",
+];
+
+/// Suffixes that can follow any user utterance.
+pub const SUFFIXES: &[&str] = &[" please", " thanks", " if possible", ", thank you", " now"];
+
+/// Contraction rewrites applied to literal text (left -> right).
+pub const CONTRACTIONS: &[(&str, &str)] = &[
+    ("i would", "i'd"),
+    ("i will", "i'll"),
+    ("i am", "i'm"),
+    ("do not", "don't"),
+    ("does not", "doesn't"),
+    ("cannot", "can't"),
+    ("it is", "it's"),
+    ("what is", "what's"),
+    ("that is", "that's"),
+];
+
+/// The synonym group containing a word/phrase, if any.
+pub fn synonyms_of(word: &str) -> Option<&'static [&'static str]> {
+    let w = word.to_lowercase();
+    SYNONYM_GROUPS.iter().copied().find(|g| g.contains(&w.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synonym_lookup() {
+        let g = synonyms_of("book").unwrap();
+        assert!(g.contains(&"reserve"));
+        assert!(synonyms_of("BOOK").is_some(), "case-insensitive");
+        assert!(synonyms_of("xylophone").is_none());
+    }
+
+    #[test]
+    fn groups_have_no_duplicates_across_sets() {
+        // A word appearing in two groups would make substitution ambiguous.
+        let mut seen = std::collections::HashSet::new();
+        for g in SYNONYM_GROUPS {
+            for w in *g {
+                assert!(seen.insert(*w), "word `{w}` appears in two synonym groups");
+            }
+        }
+    }
+
+    #[test]
+    fn prefixes_end_sensibly() {
+        for p in PREFIXES {
+            assert!(p.ends_with(' ') || p.ends_with(", "), "prefix `{p}` needs a separator");
+        }
+    }
+}

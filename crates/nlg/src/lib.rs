@@ -1,0 +1,24 @@
+//! # cat-nlg — templates, paraphrasing and surface realization for CAT
+//!
+//! Natural-language generation substrate for the CAT reproduction:
+//!
+//! * [`template`] — `{placeholder}` templates that render to utterances
+//!   *with exact slot spans*, the self-annotation trick behind CAT's
+//!   synthesized NLU training data (paper Figure 3).
+//! * [`paraphrase`] — rule-based paraphrasing over templates (the stand-in
+//!   for the paper's automated neural paraphrasing): synonym substitution,
+//!   contractions and politeness frames, all slot-span preserving.
+//! * [`noise`] — a QWERTY typo model for robustness augmentation and for
+//!   simulating sloppy users.
+//! * [`surface`] — agent-side response generation.
+
+pub mod lexicon;
+pub mod noise;
+pub mod paraphrase;
+pub mod surface;
+pub mod template;
+
+pub use noise::NoiseModel;
+pub use paraphrase::Paraphraser;
+pub use surface::SurfaceRealizer;
+pub use template::{RenderedSlot, Segment, Template, TemplateError};

@@ -1,0 +1,243 @@
+//! Typo noise model: inject realistic keyboard errors into rendered
+//! utterances while keeping slot spans consistent.
+//!
+//! Used two ways: (1) augmenting NLU training data so the models tolerate
+//! misspellings, and (2) simulating sloppy users in evaluation (the demo's
+//! "corrects misspellings" behaviour needs misspellings to correct).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use crate::template::RenderedSlot;
+
+/// Kinds of single-character edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EditKind {
+    SwapAdjacent,
+    Delete,
+    Duplicate,
+    NeighborKey,
+}
+
+/// Typo injection model.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// Expected number of edits per 20 characters (≥ 0).
+    pub rate: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel { rate: 1.0 }
+    }
+}
+
+/// QWERTY neighbour map used for substitution errors.
+fn neighbor(c: char) -> Option<char> {
+    const ROWS: [&str; 3] = ["qwertyuiop", "asdfghjkl", "zxcvbnm"];
+    let lower = c.to_ascii_lowercase();
+    for row in ROWS {
+        if let Some(i) = row.find(lower) {
+            let n = if i + 1 < row.len() { row.as_bytes()[i + 1] } else { row.as_bytes()[i - 1] };
+            let n = n as char;
+            return Some(if c.is_uppercase() { n.to_ascii_uppercase() } else { n });
+        }
+    }
+    None
+}
+
+impl NoiseModel {
+    pub fn new(rate: f64) -> NoiseModel {
+        NoiseModel { rate }
+    }
+
+    /// Apply typos to `text`, adjusting `slots` spans so they still cover
+    /// the (possibly corrupted) values. Only ASCII-alphabetic positions are
+    /// edited, which keeps UTF-8 boundaries intact. Deterministic given the
+    /// RNG state.
+    pub fn corrupt(
+        &self,
+        text: &str,
+        slots: &[RenderedSlot],
+        rng: &mut StdRng,
+    ) -> (String, Vec<RenderedSlot>) {
+        let mut text = text.to_string();
+        let mut slots = slots.to_vec();
+        let n_edits = ((text.len() as f64 / 20.0) * self.rate).round().max(0.0) as usize;
+        for _ in 0..n_edits {
+            // Candidate positions: ascii alphabetic byte positions.
+            let positions: Vec<usize> = text
+                .bytes()
+                .enumerate()
+                .filter(|&(_, b)| b.is_ascii_alphabetic())
+                .map(|(i, _)| i)
+                .collect();
+            if positions.is_empty() {
+                break;
+            }
+            let pos = positions[rng.random_range(0..positions.len())];
+            let kind = match rng.random_range(0..4u8) {
+                0 => EditKind::SwapAdjacent,
+                1 => EditKind::Delete,
+                2 => EditKind::Duplicate,
+                _ => EditKind::NeighborKey,
+            };
+            let delta: isize = match kind {
+                EditKind::SwapAdjacent => {
+                    let next = pos + 1;
+                    if next < text.len() && text.as_bytes()[next].is_ascii_alphabetic() {
+                        let bytes = unsafe { text.as_bytes_mut() };
+                        bytes.swap(pos, next);
+                    }
+                    0
+                }
+                EditKind::Delete => {
+                    // Avoid deleting a 1-char word entirely.
+                    text.remove(pos);
+                    -1
+                }
+                EditKind::Duplicate => {
+                    let c = text.as_bytes()[pos] as char;
+                    text.insert(pos, c);
+                    1
+                }
+                EditKind::NeighborKey => {
+                    let c = text.as_bytes()[pos] as char;
+                    if let Some(n) = neighbor(c) {
+                        let bytes = unsafe { text.as_bytes_mut() };
+                        bytes[pos] = n as u8;
+                    }
+                    0
+                }
+            };
+            if delta != 0 {
+                for slot in &mut slots {
+                    if slot.start > pos {
+                        slot.start = (slot.start as isize + delta) as usize;
+                        slot.end = (slot.end as isize + delta) as usize;
+                    } else if slot.end > pos {
+                        slot.end = (slot.end as isize + delta) as usize;
+                    }
+                }
+            }
+        }
+        for slot in &mut slots {
+            slot.value = text[slot.start..slot.end].to_string();
+        }
+        (text, slots)
+    }
+
+    /// Convenience: corrupt with a fresh seeded RNG.
+    pub fn corrupt_seeded(
+        &self,
+        text: &str,
+        slots: &[RenderedSlot],
+        seed: u64,
+    ) -> (String, Vec<RenderedSlot>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.corrupt(text, slots, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+
+    fn render() -> (String, Vec<RenderedSlot>) {
+        let t = Template::parse("i want to watch {movie_title} tonight").unwrap();
+        t.render(&[("movie_title", "Forrest Gump")]).unwrap()
+    }
+
+    #[test]
+    fn corruption_changes_text_but_keeps_span_consistency() {
+        let (text, slots) = render();
+        let noise = NoiseModel::new(2.0);
+        let mut changed = 0;
+        for seed in 0..20 {
+            let (corrupted, new_slots) = noise.corrupt_seeded(&text, &slots, seed);
+            if corrupted != text {
+                changed += 1;
+            }
+            assert_eq!(new_slots.len(), 1);
+            let s = &new_slots[0];
+            assert!(s.start <= s.end && s.end <= corrupted.len());
+            // Value matches the covered text exactly (the invariant the
+            // NLU training data needs).
+            assert_eq!(&corrupted[s.start..s.end], s.value);
+        }
+        assert!(changed >= 15, "noise at rate 2.0 should usually change text");
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let (text, slots) = render();
+        let noise = NoiseModel::new(0.0);
+        let (t2, s2) = noise.corrupt_seeded(&text, &slots, 1);
+        assert_eq!(t2, text);
+        assert_eq!(s2, slots);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (text, slots) = render();
+        let noise = NoiseModel::new(1.5);
+        let a = noise.corrupt_seeded(&text, &slots, 99);
+        let b = noise.corrupt_seeded(&text, &slots, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupted_value_is_near_original() {
+        let (text, slots) = render();
+        let noise = NoiseModel::new(1.0);
+        for seed in 0..10 {
+            let (_, new_slots) = noise.corrupt_seeded(&text, &slots, seed);
+            let v = &new_slots[0].value;
+            // Within a few edits of the original.
+            let dist = edit_distance(v, "Forrest Gump");
+            assert!(dist <= 4, "value drifted too far: `{v}` (distance {dist})");
+        }
+    }
+
+    fn edit_distance(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0; b.len() + 1];
+        for (i, &ca) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                cur[j + 1] =
+                    (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + usize::from(ca != cb));
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn unicode_text_survives() {
+        let t = Template::parse("watch {m} in {c}").unwrap();
+        let (text, slots) = t.render(&[("m", "Amélie"), ("c", "Zürich")]).unwrap();
+        let noise = NoiseModel::new(2.0);
+        for seed in 0..10 {
+            let (corrupted, new_slots) = noise.corrupt_seeded(&text, &slots, seed);
+            // Must remain valid UTF-8 with consistent spans.
+            for s in &new_slots {
+                assert!(corrupted.is_char_boundary(s.start));
+                assert!(corrupted.is_char_boundary(s.end));
+                assert_eq!(&corrupted[s.start..s.end], s.value);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_map() {
+        assert_eq!(neighbor('q'), Some('w'));
+        assert_eq!(neighbor('Q'), Some('W'));
+        assert_eq!(neighbor('m'), Some('n')); // end of row: previous key
+        assert_eq!(neighbor('7'), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! Rule-based paraphrasing over templates.
+//!
+//! The paper augments synthesized utterances with *automated paraphrasing*
+//! (following DB-Pal) instead of crowdsourcing. We paraphrase at the
+//! template level — rewriting only literal segments and never placeholders —
+//! so every variant still renders with exact slot annotations.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::lexicon::{CONTRACTIONS, PREFIXES, SUFFIXES, SYNONYM_GROUPS};
+use crate::template::{Segment, Template};
+
+/// Paraphrase generator configuration.
+#[derive(Debug, Clone)]
+pub struct Paraphraser {
+    /// Maximum number of variants returned per template.
+    pub max_variants: usize,
+    /// Shuffle seed (generation is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for Paraphraser {
+    fn default() -> Self {
+        Paraphraser { max_variants: 12, seed: 17 }
+    }
+}
+
+impl Paraphraser {
+    pub fn new(max_variants: usize, seed: u64) -> Paraphraser {
+        Paraphraser { max_variants, seed }
+    }
+
+    /// Produce paraphrase variants of a template (the original is not
+    /// included). Variants substitute one synonym, apply one contraction,
+    /// or wrap the utterance in a politeness frame.
+    pub fn paraphrase(&self, template: &Template) -> Vec<Template> {
+        let mut variants: Vec<Template> = Vec::new();
+
+        // 1. Single synonym substitutions in literal segments.
+        for (i, seg) in template.segments().iter().enumerate() {
+            let Segment::Literal(text) = seg else { continue };
+            for group in SYNONYM_GROUPS {
+                for &from in *group {
+                    if let Some(pos) = find_word(text, from) {
+                        for &to in *group {
+                            if to == from {
+                                continue;
+                            }
+                            let mut new_text = text.clone();
+                            new_text.replace_range(pos..pos + from.len(), to);
+                            let mut segs = template.segments().to_vec();
+                            segs[i] = Segment::Literal(new_text);
+                            variants.push(Template::from_segments(segs));
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Contractions.
+        for (i, seg) in template.segments().iter().enumerate() {
+            let Segment::Literal(text) = seg else { continue };
+            for &(from, to) in CONTRACTIONS {
+                if let Some(pos) = find_word(text, from) {
+                    let mut new_text = text.clone();
+                    new_text.replace_range(pos..pos + from.len(), to);
+                    let mut segs = template.segments().to_vec();
+                    segs[i] = Segment::Literal(new_text);
+                    variants.push(Template::from_segments(segs));
+                }
+            }
+        }
+
+        // 3. Politeness frames.
+        for &prefix in PREFIXES {
+            let mut segs = template.segments().to_vec();
+            match segs.first_mut() {
+                Some(Segment::Literal(first)) => {
+                    let mut t = prefix.to_string();
+                    t.push_str(&lowercase_first(first));
+                    *first = t;
+                }
+                _ => segs.insert(0, Segment::Literal(prefix.to_string())),
+            }
+            variants.push(Template::from_segments(segs));
+        }
+        for &suffix in SUFFIXES {
+            let mut segs = template.segments().to_vec();
+            match segs.last_mut() {
+                Some(Segment::Literal(last)) => {
+                    let trimmed = last.trim_end().to_string();
+                    *last = format!("{trimmed}{suffix}");
+                }
+                _ => segs.push(Segment::Literal(suffix.to_string())),
+            }
+            variants.push(Template::from_segments(segs));
+        }
+
+        // Dedup (substitutions can coincide), deterministic shuffle, cap.
+        variants.sort_by(|a, b| a.source().cmp(b.source()));
+        variants.dedup_by(|a, b| a.source() == b.source());
+        variants.retain(|v| v.source() != template.source());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        variants.shuffle(&mut rng);
+        variants.truncate(self.max_variants);
+        variants
+    }
+
+    /// Paraphrase and include the original as the first element.
+    pub fn expand(&self, template: &Template) -> Vec<Template> {
+        let mut out = vec![template.clone()];
+        out.extend(self.paraphrase(template));
+        out
+    }
+}
+
+/// Find `needle` in `haystack` at word boundaries (case-sensitive on the
+/// lowercase plane; templates are conventionally lowercase).
+fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(rel) = haystack[start..].find(needle) {
+        let pos = start + rel;
+        let before_ok = pos == 0
+            || !haystack[..pos].chars().next_back().is_some_and(|c| c.is_alphanumeric());
+        let after = pos + needle.len();
+        let after_ok =
+            after == haystack.len() || !haystack[after..].chars().next().is_some_and(|c| c.is_alphanumeric());
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + needle.len().max(1);
+        if start >= haystack.len() {
+            break;
+        }
+    }
+    None
+}
+
+fn lowercase_first(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_lowercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+
+    #[test]
+    fn generates_synonym_variants() {
+        let t = Template::parse("i want to book {no} tickets").unwrap();
+        let p = Paraphraser::new(100, 1);
+        let variants = p.paraphrase(&t);
+        assert!(!variants.is_empty());
+        let sources: Vec<&str> = variants.iter().map(|v| v.source()).collect();
+        assert!(
+            sources.iter().any(|s| s.contains("reserve")),
+            "expected a reserve variant in {sources:?}"
+        );
+        // Placeholders intact in every variant.
+        for v in &variants {
+            assert_eq!(v.placeholders(), vec!["no"], "variant `{v}` lost its slot");
+        }
+    }
+
+    #[test]
+    fn variants_render_with_correct_spans() {
+        let t = Template::parse("i want to watch {movie_title} tonight").unwrap();
+        let p = Paraphraser::new(100, 3);
+        for v in p.expand(&t) {
+            let (text, slots) = v.render(&[("movie_title", "Heat")]).unwrap();
+            assert_eq!(slots.len(), 1);
+            assert_eq!(&text[slots[0].start..slots[0].end], "Heat", "bad span in `{text}`");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = Template::parse("i want {x} tickets").unwrap();
+        let a = Paraphraser::new(5, 9).paraphrase(&t);
+        let b = Paraphraser::new(5, 9).paraphrase(&t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_max_variants() {
+        let t = Template::parse("i want to book tickets for the movie tonight").unwrap();
+        let variants = Paraphraser::new(3, 1).paraphrase(&t);
+        assert_eq!(variants.len(), 3);
+    }
+
+    #[test]
+    fn no_variant_equals_original() {
+        let t = Template::parse("please book {x}").unwrap();
+        for v in Paraphraser::new(100, 1).paraphrase(&t) {
+            assert_ne!(v.source(), t.source());
+        }
+    }
+
+    #[test]
+    fn word_boundary_matching() {
+        // "show" must not match inside "showing" when substituting.
+        assert_eq!(find_word("the showing time", "show"), None);
+        assert_eq!(find_word("show me", "show"), Some(0));
+        assert_eq!(find_word("please show", "show"), Some(7));
+        assert_eq!(find_word("", "x"), None);
+    }
+
+    #[test]
+    fn placeholder_only_template_gets_frames() {
+        let t = Template::parse("{city}").unwrap();
+        let variants = Paraphraser::new(100, 1).paraphrase(&t);
+        assert!(!variants.is_empty());
+        for v in &variants {
+            assert_eq!(v.placeholders(), vec!["city"]);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Agent-side surface realization: turning dialogue acts into natural
+//! language responses ("OK. Can you tell me the title of the movie?").
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+/// Deterministic (seeded) response generator with light variation.
+#[derive(Debug)]
+pub struct SurfaceRealizer {
+    rng: StdRng,
+}
+
+impl Default for SurfaceRealizer {
+    fn default() -> Self {
+        SurfaceRealizer::new(23)
+    }
+}
+
+impl SurfaceRealizer {
+    pub fn new(seed: u64) -> SurfaceRealizer {
+        SurfaceRealizer { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn pick(&mut self, options: &[&str]) -> String {
+        options.choose(&mut self.rng).expect("non-empty options").to_string()
+    }
+
+    /// Ask the user for one attribute, by its human-readable name.
+    pub fn ask_slot(&mut self, human_name: &str) -> String {
+        let frame = self.pick(&[
+            "Can you tell me the {}?",
+            "OK. Can you tell me the {}?",
+            "What is the {}?",
+            "Could you give me the {}?",
+            "Please tell me the {}.",
+        ]);
+        frame.replace("{}", human_name)
+    }
+
+    /// Offer an explicit choice among a few remaining candidates.
+    pub fn offer_options(&mut self, human_name: &str, options: &[String]) -> String {
+        let list = options.join(", ");
+        let frame = self.pick(&[
+            "Which {} do you mean: {}?",
+            "I found several matches. Which {} would you like: {}?",
+            "Please choose a {}: {}.",
+        ]);
+        frame.replacen("{}", human_name, 1).replacen("{}", &list, 1)
+    }
+
+    /// Ask for confirmation before executing a transaction.
+    pub fn confirm_task(&mut self, task_name: &str, args: &[(String, String)]) -> String {
+        let detail = args
+            .iter()
+            .map(|(k, v)| format!("{} = {v}", k.replace('_', " ")))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let frame = self.pick(&[
+            "I will execute {} with {}. Shall I proceed?",
+            "To confirm: {} ({}). Is that correct?",
+            "Ready to run {} with {}. OK?",
+        ]);
+        frame.replacen("{}", &task_name.replace('_', " "), 1).replacen("{}", &detail, 1)
+    }
+
+    /// Report a successfully executed transaction.
+    pub fn report_success(&mut self, task_name: &str) -> String {
+        let frame = self.pick(&[
+            "Done! Your {} is complete.",
+            "All set — {} executed successfully.",
+            "Great, the {} went through.",
+        ]);
+        frame.replace("{}", &task_name.replace('_', " "))
+    }
+
+    /// Report a failure with a reason.
+    pub fn report_failure(&mut self, reason: &str) -> String {
+        let frame = self.pick(&[
+            "I'm sorry, that did not work: {}.",
+            "Unfortunately that failed: {}.",
+            "That could not be completed: {}.",
+        ]);
+        frame.replace("{}", reason)
+    }
+
+    /// Greet the user.
+    pub fn greeting(&mut self) -> String {
+        self.pick(&[
+            "Hello! How can I help you today?",
+            "Hi! What can I do for you?",
+            "Welcome! How may I assist you?",
+        ])
+    }
+
+    /// Close the conversation.
+    pub fn goodbye(&mut self) -> String {
+        self.pick(&["Goodbye!", "Thanks, bye!", "Have a nice day!"])
+    }
+
+    /// Acknowledge an aborted task.
+    pub fn acknowledge_abort(&mut self) -> String {
+        self.pick(&[
+            "No problem, I cancelled that.",
+            "OK, task aborted.",
+            "Alright, I stopped the task.",
+        ])
+    }
+
+    /// Respond to thanks.
+    pub fn you_are_welcome(&mut self) -> String {
+        self.pick(&["You're welcome!", "Happy to help!", "Any time!"])
+    }
+
+    /// Ask the user to rephrase.
+    pub fn clarify(&mut self) -> String {
+        self.pick(&[
+            "Sorry, I did not understand that. Could you rephrase?",
+            "I didn't catch that — can you say it differently?",
+            "Could you put that another way?",
+        ])
+    }
+
+    /// Tell the user a value was corrected ("did you mean ...").
+    pub fn note_correction(&mut self, raw: &str, corrected: &str) -> String {
+        let frame = self.pick(&[
+            "I assume you meant '{b}' (you wrote '{a}').",
+            "Interpreting '{a}' as '{b}'.",
+        ]);
+        frame.replace("{a}", raw).replace("{b}", corrected)
+    }
+
+    /// Tell the user no candidate matches their constraints.
+    pub fn no_matches(&mut self, entity: &str) -> String {
+        let frame = self.pick(&[
+            "I could not find any {} matching that. Let's start over.",
+            "No {} matches those details. Could you double-check?",
+        ]);
+        frame.replace("{}", entity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_contain_their_arguments() {
+        let mut sr = SurfaceRealizer::new(1);
+        let q = sr.ask_slot("title of the movie");
+        assert!(q.contains("title of the movie"));
+        let offer = sr.offer_options("screening", &["7pm".into(), "9pm".into()]);
+        assert!(offer.contains("7pm") && offer.contains("9pm"));
+        let confirm = sr.confirm_task(
+            "ticket_reservation",
+            &[("no_tickets".into(), "4".into())],
+        );
+        assert!(confirm.contains("ticket reservation"));
+        assert!(confirm.contains("no tickets = 4"));
+        let corr = sr.note_correction("Forest Gump", "Forrest Gump");
+        assert!(corr.contains("Forest Gump") && corr.contains("Forrest Gump"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SurfaceRealizer::new(5);
+        let mut b = SurfaceRealizer::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.greeting(), b.greeting());
+            assert_eq!(a.ask_slot("x"), b.ask_slot("x"));
+        }
+    }
+
+    #[test]
+    fn varies_over_time() {
+        let mut sr = SurfaceRealizer::new(2);
+        let responses: std::collections::HashSet<String> =
+            (0..20).map(|_| sr.ask_slot("date")).collect();
+        assert!(responses.len() > 1, "should produce varied phrasings");
+    }
+}

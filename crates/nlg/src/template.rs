@@ -1,0 +1,256 @@
+//! Natural-language templates with `{placeholder}` slots.
+//!
+//! Templates are the only hand-written linguistic input CAT requires from
+//! a developer ("The movie title is {title}", paper Figure 3). Rendering a
+//! template against concrete values produces an utterance *plus* exact slot
+//! spans — which is what makes the synthesized NLU training data
+//! self-annotating.
+
+use std::fmt;
+
+/// One segment of a parsed template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Literal text.
+    Literal(String),
+    /// A `{name}` placeholder.
+    Placeholder(String),
+}
+
+/// Error type for template parsing/rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// Unbalanced or nested braces.
+    Syntax(String),
+    /// A placeholder had no value at render time.
+    MissingValue(String),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Syntax(s) => write!(f, "template syntax error: {s}"),
+            TemplateError::MissingValue(p) => write!(f, "no value for placeholder `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// A span of the rendered text covered by a placeholder value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderedSlot {
+    /// Placeholder (slot) name.
+    pub slot: String,
+    /// Byte offset of the value start in the rendered text.
+    pub start: usize,
+    /// Byte offset one past the value end.
+    pub end: usize,
+    /// The substituted value.
+    pub value: String,
+}
+
+/// A parsed template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    segments: Vec<Segment>,
+    source: String,
+}
+
+impl Template {
+    /// Parse `{name}` placeholders; `{{`/`}}` escape literal braces.
+    pub fn parse(source: &str) -> Result<Template, TemplateError> {
+        let mut segments = Vec::new();
+        let mut literal = String::new();
+        let mut chars = source.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '{' => {
+                    if chars.peek() == Some(&'{') {
+                        chars.next();
+                        literal.push('{');
+                        continue;
+                    }
+                    if !literal.is_empty() {
+                        segments.push(Segment::Literal(std::mem::take(&mut literal)));
+                    }
+                    let mut name = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('}') => break,
+                            Some('{') => {
+                                return Err(TemplateError::Syntax(format!(
+                                    "nested brace in `{source}`"
+                                )))
+                            }
+                            Some(c) => name.push(c),
+                            None => {
+                                return Err(TemplateError::Syntax(format!(
+                                    "unclosed brace in `{source}`"
+                                )))
+                            }
+                        }
+                    }
+                    if name.trim().is_empty() {
+                        return Err(TemplateError::Syntax(format!(
+                            "empty placeholder in `{source}`"
+                        )));
+                    }
+                    segments.push(Segment::Placeholder(name.trim().to_string()));
+                }
+                '}' => {
+                    if chars.peek() == Some(&'}') {
+                        chars.next();
+                        literal.push('}');
+                    } else {
+                        return Err(TemplateError::Syntax(format!(
+                            "stray `}}` in `{source}`"
+                        )));
+                    }
+                }
+                c => literal.push(c),
+            }
+        }
+        if !literal.is_empty() {
+            segments.push(Segment::Literal(literal));
+        }
+        Ok(Template { segments, source: source.to_string() })
+    }
+
+    /// The original template text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Parsed segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Names of all placeholders, in order of appearance (deduplicated).
+    pub fn placeholders(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.segments {
+            if let Segment::Placeholder(name) = s {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render against `(name, value)` pairs, producing the final text and
+    /// the exact spans of every substituted value.
+    pub fn render(
+        &self,
+        values: &[(&str, &str)],
+    ) -> Result<(String, Vec<RenderedSlot>), TemplateError> {
+        let mut text = String::new();
+        let mut slots = Vec::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Literal(s) => text.push_str(s),
+                Segment::Placeholder(name) => {
+                    let value = values
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| *v)
+                        .ok_or_else(|| TemplateError::MissingValue(name.clone()))?;
+                    let start = text.len();
+                    text.push_str(value);
+                    slots.push(RenderedSlot {
+                        slot: name.clone(),
+                        start,
+                        end: text.len(),
+                        value: value.to_string(),
+                    });
+                }
+            }
+        }
+        Ok((text, slots))
+    }
+
+    /// Construct directly from segments (used by the paraphraser).
+    pub fn from_segments(segments: Vec<Segment>) -> Template {
+        let source = segments
+            .iter()
+            .map(|s| match s {
+                Segment::Literal(l) => l.replace('{', "{{").replace('}', "}}"),
+                Segment::Placeholder(p) => format!("{{{p}}}"),
+            })
+            .collect();
+        Template { segments, source }
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_render_with_spans() {
+        let t = Template::parse("I need {no_tickets} tickets for {movie_title}").unwrap();
+        assert_eq!(t.placeholders(), vec!["no_tickets", "movie_title"]);
+        let (text, slots) =
+            t.render(&[("no_tickets", "4"), ("movie_title", "Heat")]).unwrap();
+        assert_eq!(text, "I need 4 tickets for Heat");
+        assert_eq!(slots.len(), 2);
+        assert_eq!(&text[slots[0].start..slots[0].end], "4");
+        assert_eq!(&text[slots[1].start..slots[1].end], "Heat");
+        assert_eq!(slots[1].slot, "movie_title");
+    }
+
+    #[test]
+    fn escaped_braces() {
+        let t = Template::parse("literal {{braces}} and {slot}").unwrap();
+        let (text, slots) = t.render(&[("slot", "v")]).unwrap();
+        assert_eq!(text, "literal {braces} and v");
+        assert_eq!(slots.len(), 1);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(Template::parse("unclosed {slot").is_err());
+        assert!(Template::parse("empty {} here").is_err());
+        assert!(Template::parse("stray } brace").is_err());
+        assert!(Template::parse("nested {a{b}}").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let t = Template::parse("need {x}").unwrap();
+        assert_eq!(t.render(&[]), Err(TemplateError::MissingValue("x".into())));
+    }
+
+    #[test]
+    fn repeated_placeholder_renders_twice() {
+        let t = Template::parse("{a} and {a}").unwrap();
+        let (text, slots) = t.render(&[("a", "x")]).unwrap();
+        assert_eq!(text, "x and x");
+        assert_eq!(slots.len(), 2);
+        assert_eq!(t.placeholders(), vec!["a"]);
+    }
+
+    #[test]
+    fn from_segments_roundtrip() {
+        let t = Template::parse("go to {city} now").unwrap();
+        let t2 = Template::from_segments(t.segments().to_vec());
+        assert_eq!(t, t2);
+        assert_eq!(t2.source(), "go to {city} now");
+    }
+
+    #[test]
+    fn unicode_values() {
+        let t = Template::parse("watch {m} at {c}").unwrap();
+        let (text, slots) = t.render(&[("m", "Amélie"), ("c", "Zürich")]).unwrap();
+        assert_eq!(&text[slots[0].start..slots[0].end], "Amélie");
+        assert_eq!(&text[slots[1].start..slots[1].end], "Zürich");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the NLG substrate: the slot-span invariants that the
+//! entire self-annotating training-data pipeline rests on.
+
+use proptest::prelude::*;
+
+use cat_nlg::{NoiseModel, Paraphraser, Template};
+
+/// Arbitrary literal text that is safe inside templates (no braces).
+fn arb_literal() -> impl Strategy<Value = String> {
+    "[a-z ]{0,16}"
+}
+
+/// Arbitrary slot values (non-empty, no braces).
+fn arb_value() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9 ]{1,20}"
+}
+
+proptest! {
+    /// Rendering any template against any values produces spans that
+    /// exactly cover the substituted values.
+    #[test]
+    fn render_spans_cover_values(
+        pre in arb_literal(),
+        mid in arb_literal(),
+        post in arb_literal(),
+        v1 in arb_value(),
+        v2 in arb_value(),
+    ) {
+        let src = format!("{pre}{{a}}{mid}{{b}}{post}");
+        let t = Template::parse(&src).expect("valid template");
+        let (text, slots) = t.render(&[("a", &v1), ("b", &v2)]).expect("render");
+        prop_assert_eq!(slots.len(), 2);
+        prop_assert_eq!(&text[slots[0].start..slots[0].end], v1.as_str());
+        prop_assert_eq!(&text[slots[1].start..slots[1].end], v2.as_str());
+        prop_assert_eq!(&slots[0].slot, "a");
+        prop_assert_eq!(&slots[1].slot, "b");
+    }
+
+    /// parse(render(source)) round-trips template sources built from
+    /// segments (placeholders preserved, literals preserved).
+    #[test]
+    fn template_source_roundtrip(pre in arb_literal(), post in arb_literal()) {
+        let src = format!("{pre}{{slot}}{post}");
+        let t = Template::parse(&src).expect("parse");
+        let t2 = Template::parse(t.source()).expect("reparse");
+        prop_assert_eq!(t, t2);
+    }
+
+    /// Every paraphrase variant of any template keeps the placeholder set
+    /// intact and renders with correct spans.
+    #[test]
+    fn paraphrases_preserve_slots(
+        pre in "[a-z ]{1,12}",
+        post in "[a-z ]{0,12}",
+        value in arb_value(),
+        seed in 0u64..50,
+    ) {
+        let src = format!("i want {pre}{{x}}{post}");
+        let t = Template::parse(&src).expect("parse");
+        let p = Paraphraser::new(32, seed);
+        for variant in p.expand(&t) {
+            prop_assert_eq!(variant.placeholders(), vec!["x"], "variant `{}`", variant);
+            let (text, slots) = variant.render(&[("x", &value)]).expect("render");
+            prop_assert_eq!(slots.len(), 1);
+            prop_assert_eq!(&text[slots[0].start..slots[0].end], value.as_str());
+        }
+    }
+
+    /// Noise corruption at any rate keeps every span consistent with the
+    /// corrupted text (value == covered substring) and the text valid UTF-8
+    /// (implicit: slicing would panic otherwise).
+    #[test]
+    fn noise_preserves_span_consistency(
+        pre in arb_literal(),
+        value in arb_value(),
+        post in arb_literal(),
+        rate in 0.0f64..4.0,
+        seed in 0u64..100,
+    ) {
+        let src = format!("{pre}{{x}}{post}");
+        let t = Template::parse(&src).expect("parse");
+        let (text, slots) = t.render(&[("x", &value)]).expect("render");
+        let noise = NoiseModel::new(rate);
+        let (corrupted, new_slots) = noise.corrupt_seeded(&text, &slots, seed);
+        prop_assert_eq!(new_slots.len(), slots.len());
+        for s in &new_slots {
+            prop_assert!(s.start <= s.end);
+            prop_assert!(s.end <= corrupted.len());
+            prop_assert!(corrupted.is_char_boundary(s.start));
+            prop_assert!(corrupted.is_char_boundary(s.end));
+            prop_assert_eq!(&corrupted[s.start..s.end], s.value.as_str());
+        }
+    }
+
+    /// Noise length drift is bounded: each edit changes length by at most
+    /// one byte, and the number of edits is rate-bounded.
+    #[test]
+    fn noise_length_drift_bounded(
+        text in "[a-z ]{10,60}",
+        rate in 0.0f64..2.0,
+        seed in 0u64..50,
+    ) {
+        let noise = NoiseModel::new(rate);
+        let (corrupted, _) = noise.corrupt_seeded(&text, &[], seed);
+        let max_edits = ((text.len() as f64 / 20.0) * rate).round() as usize + 1;
+        let drift = corrupted.len().abs_diff(text.len());
+        prop_assert!(drift <= max_edits, "drift {drift} > max {max_edits}");
+    }
+}

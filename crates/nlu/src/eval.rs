@@ -1,0 +1,280 @@
+//! Evaluation metrics: intent accuracy, slot precision/recall/F1 and
+//! confusion matrices — the measurements behind the paper's §3 evaluation.
+
+use std::collections::BTreeMap;
+
+use crate::intent::IntentClassifier;
+use crate::types::{NluExample, SlotAnnotation};
+
+/// Intent accuracy of a classifier on a labelled set.
+pub fn intent_accuracy(model: &dyn IntentClassifier, data: &[NluExample]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct =
+        data.iter().filter(|ex| model.predict(&ex.text).0 == ex.intent).count();
+    correct as f64 / data.len() as f64
+}
+
+/// Confusion matrix over intents: `matrix[gold][predicted] = count`.
+pub fn confusion_matrix(
+    model: &dyn IntentClassifier,
+    data: &[NluExample],
+) -> BTreeMap<String, BTreeMap<String, usize>> {
+    let mut m: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    for ex in data {
+        let (pred, _) = model.predict(&ex.text);
+        *m.entry(ex.intent.clone()).or_default().entry(pred).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Precision/recall/F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub true_positives: usize,
+    pub predicted: usize,
+    pub gold: usize,
+}
+
+impl Prf {
+    fn from_counts(tp: usize, predicted: usize, gold: usize) -> Prf {
+        let precision = if predicted == 0 { 0.0 } else { tp as f64 / predicted as f64 };
+        let recall = if gold == 0 { 0.0 } else { tp as f64 / gold as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf { precision, recall, f1, true_positives: tp, predicted, gold }
+    }
+}
+
+/// Micro-averaged slot P/R/F1: a predicted slot counts as a true positive
+/// when an identically-named gold slot covers the same span (exact match).
+pub fn slot_prf(
+    predictions: &[(Vec<SlotAnnotation>, Vec<SlotAnnotation>)], // (predicted, gold) per example
+) -> Prf {
+    let mut tp = 0usize;
+    let mut n_pred = 0usize;
+    let mut n_gold = 0usize;
+    for (pred, gold) in predictions {
+        n_pred += pred.len();
+        n_gold += gold.len();
+        for p in pred {
+            if gold.iter().any(|g| g.slot == p.slot && g.start == p.start && g.end == p.end) {
+                tp += 1;
+            }
+        }
+    }
+    Prf::from_counts(tp, n_pred, n_gold)
+}
+
+/// Per-slot-name P/R/F1 breakdown.
+pub fn slot_prf_by_name(
+    predictions: &[(Vec<SlotAnnotation>, Vec<SlotAnnotation>)],
+) -> BTreeMap<String, Prf> {
+    let mut names: Vec<String> = Vec::new();
+    for (pred, gold) in predictions {
+        for s in pred.iter().chain(gold) {
+            if !names.contains(&s.slot) {
+                names.push(s.slot.clone());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for name in names {
+        let filtered: Vec<(Vec<SlotAnnotation>, Vec<SlotAnnotation>)> = predictions
+            .iter()
+            .map(|(p, g)| {
+                (
+                    p.iter().filter(|s| s.slot == name).cloned().collect(),
+                    g.iter().filter(|s| s.slot == name).cloned().collect(),
+                )
+            })
+            .collect();
+        out.insert(name, slot_prf(&filtered));
+    }
+    out
+}
+
+/// Empirical intent distribution of a labelled set (sorted descending).
+pub fn intent_distribution(data: &[NluExample]) -> Vec<(String, f64)> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for ex in data {
+        *counts.entry(ex.intent.as_str()).or_insert(0) += 1;
+    }
+    let total = data.len().max(1) as f64;
+    let mut out: Vec<(String, f64)> =
+        counts.into_iter().map(|(k, c)| (k.to_string(), c as f64 / total)).collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    out
+}
+
+/// K-fold cross-validated intent accuracy: train a model with `train_fn`
+/// on k-1 folds, evaluate on the held-out fold, and average. Folds are
+/// assigned round-robin (deterministic).
+pub fn cross_validate<F>(data: &[NluExample], k: usize, train_fn: F) -> f64
+where
+    F: Fn(&[NluExample]) -> Box<dyn IntentClassifier>,
+{
+    if data.is_empty() || k < 2 {
+        return 0.0;
+    }
+    let mut total_acc = 0.0;
+    for fold in 0..k {
+        let train: Vec<NluExample> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, e)| e.clone())
+            .collect();
+        let test: Vec<NluExample> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k == fold)
+            .map(|(_, e)| e.clone())
+            .collect();
+        let model = train_fn(&train);
+        total_acc += intent_accuracy(model.as_ref(), &test);
+    }
+    total_acc / k as f64
+}
+
+/// Render a confusion matrix as an aligned text table.
+pub fn render_confusion(matrix: &BTreeMap<String, BTreeMap<String, usize>>) -> String {
+    let mut labels: Vec<&String> = matrix.keys().collect();
+    for preds in matrix.values() {
+        for p in preds.keys() {
+            if !labels.contains(&p) {
+                labels.push(p);
+            }
+        }
+    }
+    labels.sort();
+    labels.dedup();
+    let width = labels.iter().map(|l| l.len()).max().unwrap_or(4).max(6);
+    let mut out = format!("{:width$} ", "gold\\pred");
+    for l in &labels {
+        out.push_str(&format!("{l:>width$} "));
+    }
+    out.push('\n');
+    for gold in &labels {
+        out.push_str(&format!("{gold:width$} "));
+        for pred in &labels {
+            let c = matrix.get(*gold).and_then(|m| m.get(*pred)).copied().unwrap_or(0);
+            out.push_str(&format!("{c:>width$} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::MajorityClassifier;
+
+    #[test]
+    fn accuracy_of_majority() {
+        let data = vec![
+            NluExample::plain("a", "x"),
+            NluExample::plain("b", "x"),
+            NluExample::plain("c", "y"),
+        ];
+        let m = MajorityClassifier::train(&data);
+        assert!((intent_accuracy(&m, &data) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(intent_accuracy(&m, &[]), 0.0);
+    }
+
+    fn span(slot: &str, start: usize, end: usize) -> SlotAnnotation {
+        SlotAnnotation { slot: slot.into(), start, end, value: String::new() }
+    }
+
+    #[test]
+    fn slot_prf_exact_match() {
+        let preds = vec![
+            (vec![span("a", 0, 4), span("b", 5, 9)], vec![span("a", 0, 4)]),
+            (vec![], vec![span("a", 2, 6)]),
+        ];
+        let prf = slot_prf(&preds);
+        assert_eq!(prf.true_positives, 1);
+        assert_eq!(prf.predicted, 2);
+        assert_eq!(prf.gold, 2);
+        assert!((prf.precision - 0.5).abs() < 1e-12);
+        assert!((prf.recall - 0.5).abs() < 1e-12);
+        assert!((prf.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_prf_wrong_span_is_not_tp() {
+        let preds = vec![(vec![span("a", 0, 3)], vec![span("a", 0, 4)])];
+        let prf = slot_prf(&preds);
+        assert_eq!(prf.true_positives, 0);
+    }
+
+    #[test]
+    fn per_slot_breakdown() {
+        let preds = vec![(
+            vec![span("a", 0, 4), span("b", 5, 9)],
+            vec![span("a", 0, 4), span("b", 10, 12)],
+        )];
+        let by_name = slot_prf_by_name(&preds);
+        assert!((by_name["a"].f1 - 1.0).abs() < 1e-12);
+        assert_eq!(by_name["b"].true_positives, 0);
+    }
+
+    #[test]
+    fn empty_prf_is_zero_not_nan() {
+        let prf = slot_prf(&[]);
+        assert_eq!(prf.f1, 0.0);
+        assert_eq!(prf.precision, 0.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let data = vec![
+            NluExample::plain("a", "x"),
+            NluExample::plain("b", "x"),
+            NluExample::plain("c", "y"),
+            NluExample::plain("d", "z"),
+        ];
+        let dist = intent_distribution(&data);
+        let z: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((z - 1.0).abs() < 1e-12);
+        assert_eq!(dist[0].0, "x");
+        assert!(intent_distribution(&[]).is_empty());
+    }
+
+    #[test]
+    fn cross_validation_runs() {
+        let data: Vec<NluExample> = (0..20)
+            .map(|i| {
+                let (text, intent) = if i % 2 == 0 {
+                    (format!("book tickets {i}"), "book")
+                } else {
+                    (format!("cancel it {i}"), "cancel")
+                };
+                NluExample::plain(text, intent)
+            })
+            .collect();
+        let acc = cross_validate(&data, 4, |train| {
+            Box::new(crate::intent::NaiveBayesClassifier::train(train))
+        });
+        assert!(acc > 0.9, "cv accuracy {acc}");
+        assert_eq!(cross_validate(&[], 4, |_| Box::new(MajorityClassifier::train(&[]))), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_renders() {
+        let data = vec![NluExample::plain("a", "x"), NluExample::plain("b", "y")];
+        let m = MajorityClassifier::train(&data);
+        let matrix = confusion_matrix(&m, &data);
+        let rendered = render_confusion(&matrix);
+        assert!(rendered.contains("gold\\pred"));
+        assert!(rendered.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Fuzzy string matching: edit distances and best-candidate search.
+//!
+//! The paper's demo agent "corrects misspellings" by snapping user-provided
+//! slot values onto the closest value actually present in the database.
+//! These are the string metrics that implement that.
+
+/// Levenshtein edit distance (insert/delete/substitute, all cost 1).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Damerau–Levenshtein distance (adds adjacent transposition, cost 1),
+/// restricted-edit variant. Catches the most common typo class.
+#[allow(clippy::needless_range_loop)]
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut d = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=m {
+        d[0][j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[i - 2][j - 2] + 1);
+            }
+            d[i][j] = best;
+        }
+    }
+    d[n][m]
+}
+
+/// Jaro similarity in `[0,1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_match_idx = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                matches += 1;
+                a_match_idx.push((i, j));
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let b_order: Vec<usize> = a_match_idx.iter().map(|&(_, j)| j).collect();
+    let mut transpositions = 0usize;
+    for w in b_order.windows(2) {
+        if w[0] > w[1] {
+            transpositions += 1;
+        }
+    }
+    // Count properly: half the number of out-of-order pairs in sequence.
+    let t = {
+        let mut sorted = b_order.clone();
+        sorted.sort_unstable();
+        b_order.iter().zip(&sorted).filter(|(x, y)| x != y).count() / 2
+    };
+    let _ = transpositions;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t as f64) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by shared prefix (up to 4 chars).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Normalized similarity in `[0,1]` from Damerau–Levenshtein.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Find the best fuzzy match for `query` among `candidates`, case
+/// insensitively. Returns `(index, similarity)` when the best similarity
+/// reaches `min_similarity`.
+pub fn best_match<'a, I>(query: &str, candidates: I, min_similarity: f64) -> Option<(usize, f64)>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let q = query.to_lowercase();
+    let mut best: Option<(usize, f64)> = None;
+    for (i, cand) in candidates.into_iter().enumerate() {
+        let s = similarity(&q, &cand.to_lowercase());
+        if best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((i, s));
+        }
+    }
+    best.filter(|&(_, s)| s >= min_similarity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("forrest", "forest"), 1);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_as_one() {
+        assert_eq!(levenshtein("gump", "gupm"), 2);
+        assert_eq!(damerau_levenshtein("gump", "gupm"), 1);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+        assert_eq!(damerau_levenshtein("ca", "abc"), 3);
+    }
+
+    #[test]
+    fn jaro_winkler_prefix_boost() {
+        let plain = jaro("martha", "marhta");
+        let boosted = jaro_winkler("martha", "marhta");
+        assert!(boosted > plain);
+        assert!((jaro("abc", "abc") - 1.0).abs() < 1e-12);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert!((jaro_winkler("", "") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_normalized() {
+        assert!((similarity("heat", "heat") - 1.0).abs() < 1e-12);
+        assert!(similarity("heat", "heta") > 0.7);
+        assert!(similarity("heat", "frozen") < 0.35);
+    }
+
+    #[test]
+    fn best_match_finds_misspelled_title() {
+        let titles = ["Forrest Gump", "Heat", "Alien", "The Godfather"];
+        let (idx, sim) = best_match("forest gump", titles.iter().copied(), 0.8).unwrap();
+        assert_eq!(idx, 0);
+        assert!(sim > 0.9);
+        // Garbage stays unmatched at a sane threshold.
+        assert!(best_match("zzzzqqqq", titles.iter().copied(), 0.8).is_none());
+    }
+
+    #[test]
+    fn best_match_is_case_insensitive() {
+        let cands = ["Berlin"];
+        let (idx, sim) = best_match("BERLIN", cands.iter().copied(), 0.99).unwrap();
+        assert_eq!(idx, 0);
+        assert!((sim - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Keyword-rule baseline: picks the intent whose most-discriminative
+//! training words overlap the utterance best.
+
+use std::collections::HashMap;
+
+use crate::text::{is_stopword, lower_tokens};
+use crate::types::NluExample;
+
+use super::IntentClassifier;
+
+/// For each intent, the classifier keeps the words whose frequency in that
+/// intent is at least twice their frequency elsewhere; prediction counts
+/// keyword hits. This mirrors the hand-written keyword rules a developer
+/// would otherwise ship.
+#[derive(Debug, Clone)]
+pub struct KeywordClassifier {
+    /// intent -> discriminative word -> weight.
+    keywords: HashMap<String, HashMap<String, f64>>,
+    fallback: String,
+}
+
+impl KeywordClassifier {
+    /// Extract keyword rules from labelled data.
+    pub fn train(data: &[NluExample]) -> KeywordClassifier {
+        // word -> (intent -> count)
+        let mut per_intent: HashMap<String, HashMap<String, f64>> = HashMap::new();
+        let mut global: HashMap<String, f64> = HashMap::new();
+        let mut intent_counts: HashMap<String, usize> = HashMap::new();
+        for ex in data {
+            *intent_counts.entry(ex.intent.clone()).or_insert(0) += 1;
+            for tok in lower_tokens(&ex.text) {
+                if is_stopword(&tok) {
+                    continue;
+                }
+                *global.entry(tok.clone()).or_insert(0.0) += 1.0;
+                *per_intent.entry(ex.intent.clone()).or_default().entry(tok).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut keywords: HashMap<String, HashMap<String, f64>> = HashMap::new();
+        for (intent, words) in &per_intent {
+            let selected: HashMap<String, f64> = words
+                .iter()
+                .filter(|(w, &c)| {
+                    let elsewhere = global[*w] - c;
+                    c >= 2.0 * elsewhere.max(0.5)
+                })
+                .map(|(w, &c)| (w.clone(), c))
+                .collect();
+            keywords.insert(intent.clone(), selected);
+        }
+        let fallback = intent_counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| "<unknown>".to_string());
+        KeywordClassifier { keywords, fallback }
+    }
+
+    /// The keyword set learned for an intent (for inspection/tests).
+    pub fn keywords_for(&self, intent: &str) -> Option<&HashMap<String, f64>> {
+        self.keywords.get(intent)
+    }
+}
+
+impl IntentClassifier for KeywordClassifier {
+    fn predict(&self, text: &str) -> (String, f64) {
+        let toks = lower_tokens(text);
+        let mut best: Option<(&str, f64)> = None;
+        for (intent, kws) in &self.keywords {
+            let score: f64 = toks.iter().filter_map(|t| kws.get(t)).sum();
+            if score > 0.0 && best.is_none_or(|(_, s)| score > s) {
+                best = Some((intent, score));
+            }
+        }
+        match best {
+            Some((intent, score)) => {
+                let conf = (score / (score + 1.0)).clamp(0.0, 1.0);
+                (intent.to_string(), conf)
+            }
+            None => (self.fallback.clone(), 0.1),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "keyword-rules"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::toy_training_set;
+
+    #[test]
+    fn learns_discriminative_keywords() {
+        let model = KeywordClassifier::train(&toy_training_set());
+        let cancel_kws = model.keywords_for("cancel_reservation").unwrap();
+        assert!(cancel_kws.contains_key("cancel"));
+        // "tickets" appears across intents, so it should not be a cancel keyword.
+        assert!(!cancel_kws.contains_key("tickets") || cancel_kws["tickets"] < 2.0);
+    }
+
+    #[test]
+    fn predicts_by_keyword_hits() {
+        let model = KeywordClassifier::train(&toy_training_set());
+        assert_eq!(model.predict("cancel everything").0, "cancel_reservation");
+        assert_eq!(model.predict("show me the schedule").0, "list_screenings");
+    }
+
+    #[test]
+    fn falls_back_on_no_hits() {
+        let model = KeywordClassifier::train(&toy_training_set());
+        let (label, conf) = model.predict("zzz qqq");
+        assert!(!label.is_empty());
+        assert!(conf <= 0.2);
+    }
+}

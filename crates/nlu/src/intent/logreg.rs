@@ -1,0 +1,172 @@
+//! Multinomial logistic regression trained with mini-batch SGD.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::features::{featurize, featurize_train, LabelDict, SparseVec, Vocabulary};
+use crate::types::NluExample;
+
+use super::IntentClassifier;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct LogRegConfig {
+    pub epochs: usize,
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// RNG seed for shuffling (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig { epochs: 30, learning_rate: 0.1, l2: 1e-4, seed: 7 }
+    }
+}
+
+/// Multinomial (softmax) logistic regression over sparse features.
+#[derive(Debug, Clone)]
+pub struct LogRegClassifier {
+    vocab: Vocabulary,
+    labels: LabelDict,
+    /// Row-major weights: `weights[class][feature]`.
+    weights: Vec<Vec<f64>>,
+}
+
+impl LogRegClassifier {
+    /// Train with default hyperparameters.
+    pub fn train(data: &[NluExample]) -> LogRegClassifier {
+        Self::train_with(data, &LogRegConfig::default())
+    }
+
+    /// Train with explicit hyperparameters.
+    pub fn train_with(data: &[NluExample], cfg: &LogRegConfig) -> LogRegClassifier {
+        let mut vocab = Vocabulary::new();
+        let mut labels = LabelDict::default();
+        let examples: Vec<(SparseVec, usize)> = data
+            .iter()
+            .map(|ex| (featurize_train(&mut vocab, &ex.text), labels.intern(&ex.intent)))
+            .collect();
+        let n_classes = labels.len();
+        let n_features = vocab.len();
+        let mut weights = vec![vec![0.0; n_features]; n_classes];
+        if n_classes == 0 || n_features == 0 {
+            return LogRegClassifier { vocab, labels, weights };
+        }
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let lr = cfg.learning_rate / (1.0 + 0.1 * epoch as f64);
+            for &i in &order {
+                let (x, y) = &examples[i];
+                let probs = class_probs(&weights, x);
+                for c in 0..n_classes {
+                    let err = probs[c] - if c == *y { 1.0 } else { 0.0 };
+                    if err == 0.0 {
+                        continue;
+                    }
+                    let w = &mut weights[c];
+                    for &(fid, count) in x {
+                        w[fid] -= lr * (err * count + cfg.l2 * w[fid]);
+                    }
+                }
+            }
+        }
+        LogRegClassifier { vocab, labels, weights }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+fn class_probs(weights: &[Vec<f64>], x: &SparseVec) -> Vec<f64> {
+    let scores: Vec<f64> = weights
+        .iter()
+        .map(|w| x.iter().map(|&(fid, c)| c * w[fid]).sum::<f64>())
+        .collect();
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+impl IntentClassifier for LogRegClassifier {
+    fn predict(&self, text: &str) -> (String, f64) {
+        if self.labels.is_empty() {
+            return ("<unknown>".to_string(), 0.0);
+        }
+        let x = featurize(&self.vocab, text);
+        let probs = class_probs(&self.weights, &x);
+        let (best, &p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        (self.labels.name(best).to_string(), p)
+    }
+
+    fn predict_proba(&self, text: &str) -> Vec<(String, f64)> {
+        let x = featurize(&self.vocab, text);
+        class_probs(&self.weights, &x)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (self.labels.name(i).to_string(), p))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "logreg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::toy_training_set;
+
+    #[test]
+    fn learns_toy_intents() {
+        let model = LogRegClassifier::train(&toy_training_set());
+        assert_eq!(model.predict("book four tickets please").0, "book_ticket");
+        assert_eq!(model.predict("cancel my booking").0, "cancel_reservation");
+        assert_eq!(model.predict("list the screenings").0, "list_screenings");
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let data = toy_training_set();
+        let cfg = LogRegConfig { seed: 42, ..LogRegConfig::default() };
+        let a = LogRegClassifier::train_with(&data, &cfg);
+        let b = LogRegClassifier::train_with(&data, &cfg);
+        for text in ["book tickets", "cancel please", "what is on"] {
+            assert_eq!(a.predict(text), b.predict(text));
+        }
+    }
+
+    #[test]
+    fn fits_training_set() {
+        let data = toy_training_set();
+        let model = LogRegClassifier::train(&data);
+        let correct = data.iter().filter(|ex| model.predict(&ex.text).0 == ex.intent).count();
+        assert!(correct as f64 / data.len() as f64 >= 0.9, "train accuracy {correct}/{}", data.len());
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let model = LogRegClassifier::train(&toy_training_set());
+        let probs = model.predict_proba("book tickets tonight");
+        let z: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!((z - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_training_degrades() {
+        let model = LogRegClassifier::train(&[]);
+        assert_eq!(model.predict("x").0, "<unknown>");
+    }
+}

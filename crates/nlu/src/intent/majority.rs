@@ -1,0 +1,67 @@
+//! Majority-class baseline: always predicts the most frequent training
+//! intent. The floor every real model must beat — particularly relevant on
+//! ATIS-like corpora where one intent (`flight`) dominates.
+
+use std::collections::HashMap;
+
+use crate::types::NluExample;
+
+use super::IntentClassifier;
+
+/// Majority-class classifier.
+#[derive(Debug, Clone)]
+pub struct MajorityClassifier {
+    label: String,
+    confidence: f64,
+}
+
+impl MajorityClassifier {
+    /// Count intents and remember the winner and its empirical frequency.
+    pub fn train(data: &[NluExample]) -> MajorityClassifier {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for ex in data {
+            *counts.entry(ex.intent.as_str()).or_insert(0) += 1;
+        }
+        match counts.iter().max_by_key(|&(_, &c)| c) {
+            Some((&label, &c)) => MajorityClassifier {
+                label: label.to_string(),
+                confidence: c as f64 / data.len() as f64,
+            },
+            None => MajorityClassifier { label: "<unknown>".into(), confidence: 0.0 },
+        }
+    }
+}
+
+impl IntentClassifier for MajorityClassifier {
+    fn predict(&self, _text: &str) -> (String, f64) {
+        (self.label.clone(), self.confidence)
+    }
+
+    fn name(&self) -> &'static str {
+        "majority-class"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_most_frequent() {
+        let data = vec![
+            NluExample::plain("a", "x"),
+            NluExample::plain("b", "x"),
+            NluExample::plain("c", "y"),
+        ];
+        let model = MajorityClassifier::train(&data);
+        let (label, conf) = model.predict("anything at all");
+        assert_eq!(label, "x");
+        assert!((conf - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_training() {
+        let model = MajorityClassifier::train(&[]);
+        assert_eq!(model.predict("x").0, "<unknown>");
+    }
+}

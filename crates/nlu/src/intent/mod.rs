@@ -1,0 +1,56 @@
+//! Intent classification: the trait plus four implementations.
+//!
+//! * [`NaiveBayesClassifier`] — multinomial naive Bayes (the CAT model).
+//! * [`LogRegClassifier`] — multinomial logistic regression with SGD.
+//! * [`KeywordClassifier`] — rule baseline keyed on discriminative words.
+//! * [`MajorityClassifier`] — majority-class floor baseline.
+
+mod keyword;
+mod logreg;
+mod majority;
+mod naive_bayes;
+
+pub use keyword::KeywordClassifier;
+pub use logreg::{LogRegClassifier, LogRegConfig};
+pub use majority::MajorityClassifier;
+pub use naive_bayes::NaiveBayesClassifier;
+
+#[cfg(test)]
+use crate::types::NluExample;
+
+/// A trained intent classifier.
+pub trait IntentClassifier: Send + Sync {
+    /// Predict the intent of an utterance, with a confidence in `[0,1]`.
+    fn predict(&self, text: &str) -> (String, f64);
+
+    /// Short model name used in evaluation tables.
+    fn name(&self) -> &'static str;
+
+    /// Full distribution over intents (optional; default = point mass).
+    fn predict_proba(&self, text: &str) -> Vec<(String, f64)> {
+        let (label, conf) = self.predict(text);
+        vec![(label, conf)]
+    }
+}
+
+/// Train/predict smoke shared by the concrete classifier tests.
+#[cfg(test)]
+pub(crate) fn toy_training_set() -> Vec<NluExample> {
+    vec![
+        NluExample::plain("i want to book four tickets", "book_ticket"),
+        NluExample::plain("book a ticket for tonight please", "book_ticket"),
+        NluExample::plain("reserve two seats for the late show", "book_ticket"),
+        NluExample::plain("i would like to reserve tickets", "book_ticket"),
+        NluExample::plain("cancel my reservation", "cancel_reservation"),
+        NluExample::plain("please cancel the booking", "cancel_reservation"),
+        NluExample::plain("i need to cancel my tickets", "cancel_reservation"),
+        NluExample::plain("drop my reservation for tomorrow", "cancel_reservation"),
+        NluExample::plain("what movies are showing tonight", "list_screenings"),
+        NluExample::plain("which screenings do you have", "list_screenings"),
+        NluExample::plain("show me the schedule", "list_screenings"),
+        NluExample::plain("list all showings this weekend", "list_screenings"),
+    ]
+}
+
+#[allow(unused)]
+fn _assert_object_safe(_: &dyn IntentClassifier) {}

@@ -1,0 +1,184 @@
+//! Multinomial naive Bayes intent classifier with Laplace smoothing.
+
+use std::collections::HashMap;
+
+use crate::features::{featurize, featurize_train, LabelDict, Vocabulary};
+use crate::types::NluExample;
+
+use super::IntentClassifier;
+
+/// Multinomial naive Bayes over unigram+bigram counts.
+#[derive(Debug, Clone)]
+pub struct NaiveBayesClassifier {
+    vocab: Vocabulary,
+    labels: LabelDict,
+    /// Per-class log prior.
+    log_prior: Vec<f64>,
+    /// Per-class feature log likelihoods, dense per class: feature id ->
+    /// log P(feature | class).
+    log_likelihood: Vec<Vec<f64>>,
+    /// Smoothing constant.
+    alpha: f64,
+}
+
+impl NaiveBayesClassifier {
+    /// Train with Laplace smoothing `alpha = 1`.
+    pub fn train(data: &[NluExample]) -> NaiveBayesClassifier {
+        Self::train_with_alpha(data, 1.0)
+    }
+
+    /// Train with a custom smoothing constant.
+    pub fn train_with_alpha(data: &[NluExample], alpha: f64) -> NaiveBayesClassifier {
+        let mut vocab = Vocabulary::new();
+        let mut labels = LabelDict::default();
+        // First pass: count features per class.
+        let mut class_docs: Vec<usize> = Vec::new();
+        let mut class_feature_counts: Vec<HashMap<usize, f64>> = Vec::new();
+        let mut class_total: Vec<f64> = Vec::new();
+        for ex in data {
+            let y = labels.intern(&ex.intent);
+            if y == class_docs.len() {
+                class_docs.push(0);
+                class_feature_counts.push(HashMap::new());
+                class_total.push(0.0);
+            }
+            class_docs[y] += 1;
+            for (fid, count) in featurize_train(&mut vocab, &ex.text) {
+                *class_feature_counts[y].entry(fid).or_insert(0.0) += count;
+                class_total[y] += count;
+            }
+        }
+        let n_docs: usize = class_docs.iter().sum();
+        let v = vocab.len() as f64;
+        let log_prior: Vec<f64> = class_docs
+            .iter()
+            .map(|&c| ((c as f64 + alpha) / (n_docs as f64 + alpha * class_docs.len() as f64)).ln())
+            .collect();
+        let log_likelihood: Vec<Vec<f64>> = class_feature_counts
+            .iter()
+            .zip(&class_total)
+            .map(|(counts, &total)| {
+                (0..vocab.len())
+                    .map(|fid| {
+                        let c = counts.get(&fid).copied().unwrap_or(0.0);
+                        ((c + alpha) / (total + alpha * v)).ln()
+                    })
+                    .collect()
+            })
+            .collect();
+        NaiveBayesClassifier { vocab, labels, log_prior, log_likelihood, alpha }
+    }
+
+    /// Log-posterior (unnormalized) per class for a text.
+    fn scores(&self, text: &str) -> Vec<f64> {
+        let x = featurize(&self.vocab, text);
+        self.log_prior
+            .iter()
+            .enumerate()
+            .map(|(y, &lp)| {
+                lp + x
+                    .iter()
+                    .map(|&(fid, count)| count * self.log_likelihood[y][fid])
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Smoothing constant in use.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+impl IntentClassifier for NaiveBayesClassifier {
+    fn predict(&self, text: &str) -> (String, f64) {
+        if self.labels.is_empty() {
+            return ("<unknown>".to_string(), 0.0);
+        }
+        let probs = softmax(&self.scores(text));
+        let (best, &p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .expect("non-empty");
+        (self.labels.name(best).to_string(), p)
+    }
+
+    fn predict_proba(&self, text: &str) -> Vec<(String, f64)> {
+        let probs = softmax(&self.scores(text));
+        probs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (self.labels.name(i).to_string(), p))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::toy_training_set;
+
+    #[test]
+    fn learns_toy_intents() {
+        let model = NaiveBayesClassifier::train(&toy_training_set());
+        assert_eq!(model.n_classes(), 3);
+        assert_eq!(model.predict("i want to book tickets").0, "book_ticket");
+        assert_eq!(model.predict("cancel my booking please").0, "cancel_reservation");
+        assert_eq!(model.predict("what is showing tonight").0, "list_screenings");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let model = NaiveBayesClassifier::train(&toy_training_set());
+        let probs = model.predict_proba("book tickets");
+        let z: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!((z - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn unknown_words_fall_back_to_prior() {
+        let mut data = toy_training_set();
+        // Skew priors: duplicate book_ticket examples.
+        for _ in 0..10 {
+            data.push(crate::types::NluExample::plain("book it", "book_ticket"));
+        }
+        let model = NaiveBayesClassifier::train(&data);
+        // Text with no overlapping vocabulary -> prior wins.
+        let (label, _) = model.predict("zzz qqq xxx");
+        assert_eq!(label, "book_ticket");
+    }
+
+    #[test]
+    fn empty_model_degrades_gracefully() {
+        let model = NaiveBayesClassifier::train(&[]);
+        assert_eq!(model.predict("anything").0, "<unknown>");
+    }
+
+    #[test]
+    fn higher_alpha_flattens_confidence() {
+        let data = toy_training_set();
+        let sharp = NaiveBayesClassifier::train_with_alpha(&data, 0.1);
+        let flat = NaiveBayesClassifier::train_with_alpha(&data, 50.0);
+        let p_sharp = sharp.predict("cancel my reservation").1;
+        let p_flat = flat.predict("cancel my reservation").1;
+        assert!(p_sharp > p_flat);
+    }
+}

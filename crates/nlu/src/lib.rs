@@ -1,0 +1,46 @@
+//! # cat-nlu — natural language understanding for CAT
+//!
+//! From-scratch NLU substrate for the CAT reproduction: where the paper
+//! trains RASA models on synthesized data, this crate provides classical
+//! models with the same interface contract — train on `(text, intent,
+//! slots)` examples, then map utterances to intents and filled slots.
+//!
+//! * [`intent`] — naive Bayes and logistic-regression classifiers plus
+//!   keyword-rule and majority-class baselines (the comparison set for the
+//!   paper's §3 evaluation).
+//! * [`slots`] — an averaged-perceptron BIO tagger with Viterbi decoding,
+//!   and a database-backed [`slots::Gazetteer`] for exact/fuzzy value
+//!   resolution (misspelling correction).
+//! * [`pipeline`] — the combined [`NluPipeline`].
+//! * [`eval`] — accuracy / precision / recall / F1 / confusion matrices.
+//!
+//! ```
+//! use cat_nlu::{NluPipeline, NluExample, Gazetteer};
+//!
+//! let data = vec![
+//!     NluExample::plain("i want to book tickets", "book_ticket"),
+//!     NluExample::plain("book a seat please", "book_ticket"),
+//!     NluExample::plain("cancel my reservation", "cancel"),
+//!     NluExample::plain("please cancel the booking", "cancel"),
+//! ];
+//! let nlu = NluPipeline::train(&data, Gazetteer::new());
+//! assert_eq!(nlu.parse("book tickets now").intent, "book_ticket");
+//! ```
+
+pub mod eval;
+pub mod features;
+pub mod fuzzy;
+pub mod intent;
+pub mod pipeline;
+pub mod slots;
+pub mod text;
+pub mod types;
+
+pub use eval::{confusion_matrix, cross_validate, intent_accuracy, intent_distribution, slot_prf, slot_prf_by_name, Prf};
+pub use intent::{
+    IntentClassifier, KeywordClassifier, LogRegClassifier, LogRegConfig, MajorityClassifier,
+    NaiveBayesClassifier,
+};
+pub use pipeline::{NluConfig, NluPipeline};
+pub use slots::{Gazetteer, SlotTagger, TaggerConfig};
+pub use types::{FilledSlot, NluExample, NluResult, SlotAnnotation};

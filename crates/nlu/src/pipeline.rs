@@ -1,0 +1,213 @@
+//! The complete NLU pipeline: intent classification + slot tagging +
+//! gazetteer resolution.
+
+use crate::intent::{IntentClassifier, NaiveBayesClassifier};
+use crate::slots::{Gazetteer, SlotTagger, TaggerConfig};
+use crate::types::{FilledSlot, NluExample, NluResult};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct NluConfig {
+    /// Minimum fuzzy similarity for snapping a slot value onto a database
+    /// value.
+    pub min_resolve_similarity: f64,
+    /// Maximum n-gram window for gazetteer span search.
+    pub max_gazetteer_ngram: usize,
+    /// Tagger hyperparameters.
+    pub tagger: TaggerConfig,
+}
+
+impl Default for NluConfig {
+    fn default() -> Self {
+        NluConfig {
+            min_resolve_similarity: 0.72,
+            max_gazetteer_ngram: 4,
+            tagger: TaggerConfig::default(),
+        }
+    }
+}
+
+/// A trained NLU pipeline.
+///
+/// `parse` runs three stages:
+/// 1. intent classification (pluggable model, naive Bayes by default),
+/// 2. BIO slot tagging,
+/// 3. gazetteer resolution — tagged values are snapped onto database values
+///    (misspelling correction), and exact database matches the tagger
+///    missed are added.
+pub struct NluPipeline {
+    intent: Box<dyn IntentClassifier>,
+    tagger: SlotTagger,
+    gazetteer: Gazetteer,
+    config: NluConfig,
+}
+
+impl NluPipeline {
+    /// Train with the default intent model (naive Bayes).
+    pub fn train(data: &[NluExample], gazetteer: Gazetteer) -> NluPipeline {
+        Self::train_with(data, gazetteer, NluConfig::default())
+    }
+
+    /// Train with explicit configuration.
+    pub fn train_with(data: &[NluExample], gazetteer: Gazetteer, config: NluConfig) -> NluPipeline {
+        let intent = Box::new(NaiveBayesClassifier::train(data));
+        let tagger = SlotTagger::train_with(data, &config.tagger);
+        NluPipeline { intent, tagger, gazetteer, config }
+    }
+
+    /// Train with a caller-supplied intent classifier.
+    pub fn with_intent_model(
+        data: &[NluExample],
+        gazetteer: Gazetteer,
+        config: NluConfig,
+        intent: Box<dyn IntentClassifier>,
+    ) -> NluPipeline {
+        let tagger = SlotTagger::train_with(data, &config.tagger);
+        NluPipeline { intent, tagger, gazetteer, config }
+    }
+
+    /// The gazetteer in use (e.g. to refresh values after data changes).
+    pub fn gazetteer_mut(&mut self) -> &mut Gazetteer {
+        &mut self.gazetteer
+    }
+
+    /// Name of the intent model.
+    pub fn intent_model_name(&self) -> &'static str {
+        self.intent.name()
+    }
+
+    /// Parse an utterance.
+    pub fn parse(&self, text: &str) -> NluResult {
+        let (intent, intent_confidence) = self.intent.predict(text);
+        let mut slots: Vec<FilledSlot> = Vec::new();
+
+        // Stage 2: statistical tagger.
+        for span in self.tagger.extract(text) {
+            let (value, confidence) = match self.gazetteer.resolve(
+                &span.slot,
+                &span.value,
+                self.config.min_resolve_similarity,
+            ) {
+                Some((v, sim)) => (v, sim),
+                // Open-vocabulary slots (numbers, dates) have no inventory.
+                None => (span.value.clone(), if self.gazetteer.values(&span.slot).is_empty() { 1.0 } else { 0.5 }),
+            };
+            slots.push(FilledSlot { slot: span.slot, raw: span.value, value, confidence });
+        }
+
+        // Stage 3: gazetteer catches exact values the tagger missed.
+        for span in self.gazetteer.find_spans(text, self.config.max_gazetteer_ngram) {
+            if !slots.iter().any(|s| s.slot == span.slot) {
+                slots.push(FilledSlot {
+                    slot: span.slot,
+                    raw: text[span.start..span.end].to_string(),
+                    value: span.value,
+                    confidence: 1.0,
+                });
+            }
+        }
+
+        NluResult { intent, intent_confidence, slots }
+    }
+}
+
+impl std::fmt::Debug for NluPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NluPipeline")
+            .field("intent_model", &self.intent.name())
+            .field("tags", &self.tagger.tag_set().len())
+            .field("gazetteer_slots", &self.gazetteer.slots().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SlotAnnotation;
+
+    fn training_data() -> Vec<NluExample> {
+        let mut data = Vec::new();
+        let mk = |prefix: &str, slot: &str, value: &str, suffix: &str, intent: &str| {
+            let text = format!("{prefix}{value}{suffix}");
+            NluExample {
+                text: text.clone(),
+                intent: intent.into(),
+                slots: vec![SlotAnnotation {
+                    slot: slot.into(),
+                    start: prefix.len(),
+                    end: prefix.len() + value.len(),
+                    value: value.into(),
+                }],
+            }
+        };
+        for m in ["Forrest Gump", "Heat", "Alien", "Casablanca"] {
+            data.push(mk("i want to watch ", "movie_title", m, "", "book_ticket"));
+            data.push(mk("the movie title is ", "movie_title", m, "", "inform"));
+        }
+        for c in ["2", "3", "4"] {
+            data.push(mk("i need ", "no_tickets", c, " tickets", "inform"));
+        }
+        data.push(NluExample::plain("cancel my reservation", "cancel_reservation"));
+        data.push(NluExample::plain("please cancel the booking", "cancel_reservation"));
+        data.push(NluExample::plain("yes that is right", "affirm"));
+        data.push(NluExample::plain("yes please", "affirm"));
+        data.push(NluExample::plain("no thanks", "deny"));
+        data.push(NluExample::plain("no that is wrong", "deny"));
+        data
+    }
+
+    fn gaz() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.add_all("movie_title", ["Forrest Gump", "Heat", "Alien", "Casablanca"]);
+        g
+    }
+
+    #[test]
+    fn full_parse_with_correction() {
+        let nlu = NluPipeline::train(&training_data(), gaz());
+        let r = nlu.parse("i want to watch Forest Gump");
+        assert_eq!(r.intent, "book_ticket");
+        let slot = r.slot("movie_title").expect("slot found");
+        assert_eq!(slot.value, "Forrest Gump", "misspelling corrected");
+        assert_eq!(slot.raw, "Forest Gump");
+        assert!(slot.confidence > 0.85 && slot.confidence < 1.0);
+    }
+
+    #[test]
+    fn open_vocabulary_slots_pass_through() {
+        let nlu = NluPipeline::train(&training_data(), gaz());
+        let r = nlu.parse("i need 4 tickets");
+        let slot = r.slot("no_tickets").expect("number slot");
+        assert_eq!(slot.value, "4");
+        assert_eq!(slot.confidence, 1.0);
+    }
+
+    #[test]
+    fn gazetteer_rescues_missed_values() {
+        // Minimal training so the tagger likely misses "Casablanca" in an
+        // unseen carrier phrase; the gazetteer must still find it.
+        let nlu = NluPipeline::train(&training_data(), gaz());
+        let r = nlu.parse("Casablanca");
+        let slot = r.slot("movie_title").expect("gazetteer span");
+        assert_eq!(slot.value, "Casablanca");
+    }
+
+    #[test]
+    fn intent_only_utterances() {
+        let nlu = NluPipeline::train(&training_data(), gaz());
+        let r = nlu.parse("yes please");
+        assert_eq!(r.intent, "affirm");
+        let r = nlu.parse("no thanks");
+        assert_eq!(r.intent, "deny");
+        let r = nlu.parse("cancel my reservation");
+        assert_eq!(r.intent, "cancel_reservation");
+    }
+
+    #[test]
+    fn debug_does_not_explode() {
+        let nlu = NluPipeline::train(&training_data(), gaz());
+        let s = format!("{nlu:?}");
+        assert!(s.contains("naive-bayes"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Slot filling: a BIO sequence tagger plus a database-backed gazetteer.
+
+mod gazetteer;
+mod tagger;
+
+pub use gazetteer::Gazetteer;
+pub use tagger::{SlotTagger, TaggerConfig};

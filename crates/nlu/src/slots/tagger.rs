@@ -1,0 +1,415 @@
+//! Averaged-perceptron BIO slot tagger with Viterbi decoding.
+//!
+//! This is the from-scratch stand-in for RASA's neural slot filler: a
+//! classical structured perceptron over lexical/shape features with a
+//! first-order transition model, decoded with Viterbi under the hard
+//! constraint that `I-x` may only follow `B-x` or `I-x`.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::text::{word_shape, Token};
+use crate::types::{spans_from_bio, NluExample, SlotAnnotation};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TaggerConfig {
+    pub epochs: usize,
+    pub seed: u64,
+}
+
+impl Default for TaggerConfig {
+    fn default() -> Self {
+        TaggerConfig { epochs: 8, seed: 11 }
+    }
+}
+
+/// Trained BIO tagger.
+#[derive(Debug, Clone)]
+pub struct SlotTagger {
+    tags: Vec<String>,
+    /// Emission weights: feature -> per-tag weight vector.
+    weights: HashMap<String, Vec<f64>>,
+    /// Transition weights: `trans[prev][next]`.
+    trans: Vec<Vec<f64>>,
+    /// Initial-tag weights.
+    init: Vec<f64>,
+}
+
+const NEG_INF: f64 = f64::NEG_INFINITY;
+
+impl SlotTagger {
+    /// Train on annotated examples with default hyperparameters.
+    pub fn train(data: &[NluExample]) -> SlotTagger {
+        Self::train_with(data, &TaggerConfig::default())
+    }
+
+    /// Train with explicit hyperparameters. Uses the averaged perceptron
+    /// (weights averaged over all update steps) for stability.
+    pub fn train_with(data: &[NluExample], cfg: &TaggerConfig) -> SlotTagger {
+        // Collect the tag set.
+        let mut tags = vec!["O".to_string()];
+        let mut tag_ids: HashMap<String, usize> = HashMap::new();
+        tag_ids.insert("O".to_string(), 0);
+        let prepared: Vec<(Vec<Token>, Vec<usize>)> = data
+            .iter()
+            .map(|ex| {
+                let (tokens, tag_strs) = ex.bio_tags();
+                let ids = tag_strs
+                    .iter()
+                    .map(|t| {
+                        *tag_ids.entry(t.clone()).or_insert_with(|| {
+                            tags.push(t.clone());
+                            tags.len() - 1
+                        })
+                    })
+                    .collect();
+                (tokens, ids)
+            })
+            .collect();
+        let n_tags = tags.len();
+
+        let mut model = SlotTagger {
+            tags: tags.clone(),
+            weights: HashMap::new(),
+            trans: vec![vec![0.0; n_tags]; n_tags],
+            init: vec![0.0; n_tags],
+        };
+        // Averaging accumulators.
+        let mut w_total: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut w_stamp: HashMap<String, usize> = HashMap::new();
+        let mut t_total = vec![vec![0.0; n_tags]; n_tags];
+        let mut t_stamp = vec![vec![0usize; n_tags]; n_tags];
+        let mut i_total = vec![0.0; n_tags];
+        let mut i_stamp = vec![0usize; n_tags];
+        let mut step = 0usize;
+
+        let mut order: Vec<usize> = (0..prepared.len()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let (tokens, gold) = &prepared[idx];
+                if tokens.is_empty() {
+                    continue;
+                }
+                step += 1;
+                let feats: Vec<Vec<String>> =
+                    (0..tokens.len()).map(|i| position_features(tokens, i)).collect();
+                let pred = model.viterbi(&feats);
+                if &pred == gold {
+                    continue;
+                }
+                // Perceptron update: +gold, -pred.
+                for (i, fs) in feats.iter().enumerate() {
+                    if pred[i] == gold[i] {
+                        continue;
+                    }
+                    for f in fs {
+                        let w = model
+                            .weights
+                            .entry(f.clone())
+                            .or_insert_with(|| vec![0.0; n_tags]);
+                        let tot =
+                            w_total.entry(f.clone()).or_insert_with(|| vec![0.0; n_tags]);
+                        let stamp = w_stamp.entry(f.clone()).or_insert(0);
+                        // Lazy-average both affected tags.
+                        let elapsed = (step - *stamp) as f64;
+                        for t in [gold[i], pred[i]] {
+                            tot[t] += elapsed * w[t];
+                        }
+                        *stamp = step;
+                        w[gold[i]] += 1.0;
+                        w[pred[i]] -= 1.0;
+                    }
+                }
+                // Transition / init updates.
+                let mut upd_trans = |prev: usize, next: usize, delta: f64, model: &mut SlotTagger| {
+                    let elapsed = (step - t_stamp[prev][next]) as f64;
+                    t_total[prev][next] += elapsed * model.trans[prev][next];
+                    t_stamp[prev][next] = step;
+                    model.trans[prev][next] += delta;
+                };
+                let mut upd_init = |t: usize, delta: f64, model: &mut SlotTagger| {
+                    let elapsed = (step - i_stamp[t]) as f64;
+                    i_total[t] += elapsed * model.init[t];
+                    i_stamp[t] = step;
+                    model.init[t] += delta;
+                };
+                if gold[0] != pred[0] {
+                    upd_init(gold[0], 1.0, &mut model);
+                    upd_init(pred[0], -1.0, &mut model);
+                }
+                for i in 1..tokens.len() {
+                    if gold[i - 1] != pred[i - 1] || gold[i] != pred[i] {
+                        upd_trans(gold[i - 1], gold[i], 1.0, &mut model);
+                        upd_trans(pred[i - 1], pred[i], -1.0, &mut model);
+                    }
+                }
+            }
+        }
+        // Finalize averaging.
+        if step > 0 {
+            let steps = step as f64;
+            for (f, w) in model.weights.iter_mut() {
+                let tot = w_total.entry(f.clone()).or_insert_with(|| vec![0.0; n_tags]);
+                let stamp = w_stamp.get(f).copied().unwrap_or(0);
+                let elapsed = (step - stamp) as f64;
+                for t in 0..n_tags {
+                    tot[t] += elapsed * w[t];
+                    w[t] = tot[t] / steps;
+                }
+            }
+            for p in 0..n_tags {
+                for n in 0..n_tags {
+                    let elapsed = (step - t_stamp[p][n]) as f64;
+                    t_total[p][n] += elapsed * model.trans[p][n];
+                    model.trans[p][n] = t_total[p][n] / steps;
+                }
+                let elapsed = (step - i_stamp[p]) as f64;
+                i_total[p] += elapsed * model.init[p];
+                model.init[p] = i_total[p] / steps;
+            }
+        }
+        model
+    }
+
+    /// Tag a tokenized utterance; returns BIO tag strings per token.
+    pub fn tag(&self, tokens: &[Token]) -> Vec<String> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let feats: Vec<Vec<String>> =
+            (0..tokens.len()).map(|i| position_features(tokens, i)).collect();
+        self.viterbi(&feats).into_iter().map(|t| self.tags[t].clone()).collect()
+    }
+
+    /// Extract slot annotations from raw text.
+    pub fn extract(&self, text: &str) -> Vec<SlotAnnotation> {
+        let tokens = crate::text::tokenize(text);
+        let tags = self.tag(&tokens);
+        spans_from_bio(text, &tokens, &tags)
+    }
+
+    /// The tag inventory.
+    pub fn tag_set(&self) -> &[String] {
+        &self.tags
+    }
+
+    /// Whether `next` may follow `prev` under BIO constraints.
+    fn allowed(&self, prev: Option<usize>, next: usize) -> bool {
+        let next_tag = &self.tags[next];
+        if let Some(slot) = next_tag.strip_prefix("I-") {
+            match prev {
+                None => false,
+                Some(p) => {
+                    let pt = &self.tags[p];
+                    pt.strip_prefix("B-") == Some(slot) || pt.strip_prefix("I-") == Some(slot)
+                }
+            }
+        } else {
+            true
+        }
+    }
+
+    fn emission(&self, feats: &[String], tag: usize) -> f64 {
+        feats
+            .iter()
+            .filter_map(|f| self.weights.get(f))
+            .map(|w| w[tag])
+            .sum()
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn viterbi(&self, feats: &[Vec<String>]) -> Vec<usize> {
+        let n = feats.len();
+        let k = self.tags.len();
+        let mut score = vec![vec![NEG_INF; k]; n];
+        let mut back = vec![vec![0usize; k]; n];
+        for t in 0..k {
+            if self.allowed(None, t) {
+                score[0][t] = self.init[t] + self.emission(&feats[0], t);
+            }
+        }
+        for i in 1..n {
+            for t in 0..k {
+                let em = self.emission(&feats[i], t);
+                let mut best = NEG_INF;
+                let mut best_p = 0;
+                for p in 0..k {
+                    if score[i - 1][p] == NEG_INF || !self.allowed(Some(p), t) {
+                        continue;
+                    }
+                    let s = score[i - 1][p] + self.trans[p][t];
+                    if s > best {
+                        best = s;
+                        best_p = p;
+                    }
+                }
+                if best > NEG_INF {
+                    score[i][t] = best + em;
+                    back[i][t] = best_p;
+                }
+            }
+        }
+        // Backtrack.
+        let mut last = (0..k)
+            .max_by(|&a, &b| {
+                score[n - 1][a].partial_cmp(&score[n - 1][b]).expect("comparable")
+            })
+            .expect("k > 0");
+        let mut path = vec![0usize; n];
+        path[n - 1] = last;
+        for i in (1..n).rev() {
+            last = back[i][last];
+            path[i - 1] = last;
+        }
+        path
+    }
+}
+
+/// Feature strings for one token position.
+fn position_features(tokens: &[Token], i: usize) -> Vec<String> {
+    let tok = &tokens[i];
+    let lower = tok.lower();
+    let mut f = Vec::with_capacity(12);
+    f.push("bias".to_string());
+    f.push(format!("w={lower}"));
+    f.push(format!("shape={}", word_shape(&tok.text)));
+    let chars: Vec<char> = lower.chars().collect();
+    let n = chars.len();
+    f.push(format!("pre2={}", chars.iter().take(2).collect::<String>()));
+    f.push(format!("pre3={}", chars.iter().take(3).collect::<String>()));
+    f.push(format!("suf2={}", chars[n.saturating_sub(2)..].iter().collect::<String>()));
+    f.push(format!("suf3={}", chars[n.saturating_sub(3)..].iter().collect::<String>()));
+    if chars.iter().all(|c| c.is_ascii_digit()) {
+        f.push("all-digit".to_string());
+    }
+    if tok.text.chars().next().is_some_and(|c| c.is_uppercase()) {
+        f.push("init-cap".to_string());
+    }
+    if i == 0 {
+        f.push("BOS".to_string());
+    } else {
+        f.push(format!("w-1={}", tokens[i - 1].lower()));
+    }
+    if i + 1 == tokens.len() {
+        f.push("EOS".to_string());
+    } else {
+        f.push(format!("w+1={}", tokens[i + 1].lower()));
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SlotAnnotation;
+
+    fn slot_example(prefix: &str, slot: &str, value: &str, suffix: &str) -> NluExample {
+        let text = format!("{prefix}{value}{suffix}");
+        NluExample {
+            text: text.clone(),
+            intent: "inform".into(),
+            slots: vec![SlotAnnotation {
+                slot: slot.into(),
+                start: prefix.len(),
+                end: prefix.len() + value.len(),
+                value: value.into(),
+            }],
+        }
+    }
+
+    fn training_data() -> Vec<NluExample> {
+        let movies = ["Forrest Gump", "Heat", "Alien", "The Godfather", "Casablanca", "Up"];
+        let counts = ["2", "3", "4", "5", "7"];
+        let mut data = Vec::new();
+        for m in movies {
+            data.push(slot_example("i want to watch ", "movie_title", m, " tonight"));
+            data.push(slot_example("the movie title is ", "movie_title", m, ""));
+            data.push(slot_example("show me ", "movie_title", m, " please"));
+        }
+        for c in counts {
+            data.push(slot_example("i need ", "no_tickets", c, " tickets"));
+            data.push(slot_example("book ", "no_tickets", c, " seats for me"));
+        }
+        data.push(NluExample::plain("hello there", "greet"));
+        data.push(NluExample::plain("thanks a lot", "thank"));
+        data
+    }
+
+    #[test]
+    fn learns_slot_patterns() {
+        let tagger = SlotTagger::train(&training_data());
+        // Unseen movie name in a seen carrier phrase.
+        let spans = tagger.extract("i want to watch Blade Runner tonight");
+        assert_eq!(spans.len(), 1, "spans: {spans:?}");
+        assert_eq!(spans[0].slot, "movie_title");
+        assert_eq!(spans[0].value, "Blade Runner");
+        // Digit slot generalizes by shape.
+        let spans = tagger.extract("i need 6 tickets");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].slot, "no_tickets");
+        assert_eq!(spans[0].value, "6");
+    }
+
+    #[test]
+    fn no_slots_in_plain_text() {
+        let tagger = SlotTagger::train(&training_data());
+        assert!(tagger.extract("hello there").is_empty());
+        assert!(tagger.extract("").is_empty());
+    }
+
+    #[test]
+    fn bio_constraint_holds_on_arbitrary_input() {
+        let tagger = SlotTagger::train(&training_data());
+        for text in [
+            "watch watch tickets tickets 4 4 Gump Gump",
+            "tonight i want 9 Heat please tickets",
+            "Alien Alien Alien",
+        ] {
+            let tokens = crate::text::tokenize(text);
+            let tags = tagger.tag(&tokens);
+            let mut prev: Option<&str> = None;
+            for tag in &tags {
+                if let Some(slot) = tag.strip_prefix("I-") {
+                    let ok = prev.is_some_and(|p| {
+                        p.strip_prefix("B-") == Some(slot) || p.strip_prefix("I-") == Some(slot)
+                    });
+                    assert!(ok, "invalid BIO sequence {tags:?} on `{text}`");
+                }
+                prev = Some(tag);
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = training_data();
+        let a = SlotTagger::train(&data);
+        let b = SlotTagger::train(&data);
+        for text in ["i want to watch Heat tonight", "book 4 seats for me"] {
+            assert_eq!(a.extract(text), b.extract(text));
+        }
+    }
+
+    #[test]
+    fn fits_training_data_well() {
+        let data = training_data();
+        let tagger = SlotTagger::train(&data);
+        let mut correct = 0;
+        let mut total = 0;
+        for ex in &data {
+            let spans = tagger.extract(&ex.text);
+            total += ex.slots.len();
+            correct += ex.slots.iter().filter(|s| spans.contains(s)).count();
+        }
+        assert!(
+            correct as f64 >= total as f64 * 0.9,
+            "train recall too low: {correct}/{total}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Tokenization and text normalization.
+
+/// A token with its character span in the original text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text as it appeared (original casing).
+    pub text: String,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Token {
+    /// Lowercased form used for features.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+}
+
+/// Split text into word tokens. Words are maximal runs of alphanumerics
+/// plus internal apostrophes/hyphens (`o'hara`, `twenty-two`); everything
+/// else separates tokens. Spans are byte offsets into the input.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut prev_end = 0;
+    for (i, c) in text.char_indices() {
+        let is_word = c.is_alphanumeric()
+            || ((c == '\'' || c == '-') && start.is_some() && {
+                // internal only: previous char was a word char and next is too
+                text[i + c.len_utf8()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|n| n.is_alphanumeric())
+            });
+        if is_word {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            tokens.push(Token { text: text[s..i].to_string(), start: s, end: i });
+        }
+        prev_end = i + c.len_utf8();
+    }
+    if let Some(s) = start {
+        tokens.push(Token { text: text[s..prev_end].to_string(), start: s, end: prev_end });
+    }
+    tokens
+}
+
+/// Lowercase tokens of a text (the most common feature input).
+pub fn lower_tokens(text: &str) -> Vec<String> {
+    tokenize(text).iter().map(Token::lower).collect()
+}
+
+/// Normalize text for matching: lowercase, collapse whitespace, strip
+/// punctuation at token boundaries.
+pub fn normalize(text: &str) -> String {
+    lower_tokens(text).join(" ")
+}
+
+/// Consecutive n-grams over a token sequence, joined by `_`.
+pub fn ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    tokens.windows(n).map(|w| w.join("_")).collect()
+}
+
+/// The coarse "word shape" of a token: letters -> `a`/`A`, digits -> `9`,
+/// other -> `-`, with runs collapsed. `Gump` -> `Aa`, `8pm` -> `9a`.
+pub fn word_shape(token: &str) -> String {
+    let mut shape = String::new();
+    let mut last = '\0';
+    for c in token.chars() {
+        let s = if c.is_ascii_digit() || c.is_numeric() {
+            '9'
+        } else if c.is_uppercase() {
+            'A'
+        } else if c.is_alphabetic() {
+            'a'
+        } else {
+            '-'
+        };
+        if s != last {
+            shape.push(s);
+            last = s;
+        }
+    }
+    shape
+}
+
+/// A minimal English stoplist (function words that carry little intent
+/// signal on their own; classifiers may down-weight them).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "is", "are", "was", "to", "of", "in", "on", "at", "for", "and", "or",
+    "do", "does", "did", "be", "been", "am", "it", "this", "that", "me", "my", "i", "you",
+    "we", "us", "please", "would", "could", "can", "will",
+];
+
+/// Whether a lowercase token is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.contains(&token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_words_and_spans() {
+        let toks = tokenize("I want 4 tickets!");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["I", "want", "4", "tickets"]);
+        assert_eq!(&"I want 4 tickets!"[toks[2].start..toks[2].end], "4");
+    }
+
+    #[test]
+    fn tokenize_internal_apostrophe_and_hyphen() {
+        let toks = tokenize("O'Hara's twenty-two");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["O'Hara's", "twenty-two"]);
+        // Leading/trailing apostrophes are not glued:
+        let toks = tokenize("'quoted'");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "quoted");
+    }
+
+    #[test]
+    fn tokenize_unicode() {
+        let toks = tokenize("Amélie à 20h");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Amélie", "à", "20h"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!...").is_empty());
+    }
+
+    #[test]
+    fn normalize_collapses() {
+        assert_eq!(normalize("  The   MOVIE, please! "), "the movie please");
+    }
+
+    #[test]
+    fn ngram_generation() {
+        let toks: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(ngrams(&toks, 2), vec!["a_b", "b_c"]);
+        assert_eq!(ngrams(&toks, 3), vec!["a_b_c"]);
+        assert!(ngrams(&toks, 4).is_empty());
+        assert!(ngrams(&toks, 0).is_empty());
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(word_shape("Gump"), "Aa");
+        assert_eq!(word_shape("8pm"), "9a");
+        assert_eq!(word_shape("ABC-12"), "A-9");
+        assert_eq!(word_shape(""), "");
+    }
+
+    #[test]
+    fn stopwords() {
+        assert!(is_stopword("the"));
+        assert!(!is_stopword("ticket"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared NLU data types: annotated examples and parse results.
+
+use crate::text::{tokenize, Token};
+
+/// A slot annotation: a named span of the utterance carrying a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotAnnotation {
+    /// Slot name, e.g. `movie_title`.
+    pub slot: String,
+    /// Byte offset of the span start in the utterance text.
+    pub start: usize,
+    /// Byte offset one past the span end.
+    pub end: usize,
+    /// The canonical value (usually the covered text; may be normalized).
+    pub value: String,
+}
+
+/// One labelled training/evaluation example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NluExample {
+    pub text: String,
+    pub intent: String,
+    pub slots: Vec<SlotAnnotation>,
+}
+
+impl NluExample {
+    /// An example without slots.
+    pub fn plain(text: impl Into<String>, intent: impl Into<String>) -> NluExample {
+        NluExample { text: text.into(), intent: intent.into(), slots: Vec::new() }
+    }
+
+    /// Tokenize and compute per-token BIO tags from the slot annotations.
+    /// A token is tagged `B-slot` when it starts inside a slot span whose
+    /// first covered token it is, `I-slot` for subsequent covered tokens,
+    /// `O` otherwise.
+    pub fn bio_tags(&self) -> (Vec<Token>, Vec<String>) {
+        let tokens = tokenize(&self.text);
+        let mut tags = vec!["O".to_string(); tokens.len()];
+        for ann in &self.slots {
+            let mut first = true;
+            for (i, tok) in tokens.iter().enumerate() {
+                // token inside [start, end)?
+                if tok.start >= ann.start && tok.end <= ann.end {
+                    tags[i] = if first {
+                        first = false;
+                        format!("B-{}", ann.slot)
+                    } else {
+                        format!("I-{}", ann.slot)
+                    };
+                }
+            }
+        }
+        (tokens, tags)
+    }
+}
+
+/// A slot produced by parsing, including the raw surface form and the
+/// (possibly spell-corrected) resolved value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilledSlot {
+    pub slot: String,
+    /// The text as the user typed it.
+    pub raw: String,
+    /// The resolved value (snapped to a database value when possible).
+    pub value: String,
+    /// Match confidence in `[0,1]` (1.0 = exact).
+    pub confidence: f64,
+}
+
+/// Full NLU parse of one utterance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NluResult {
+    pub intent: String,
+    pub intent_confidence: f64,
+    pub slots: Vec<FilledSlot>,
+}
+
+impl NluResult {
+    /// First filled slot with the given name.
+    pub fn slot(&self, name: &str) -> Option<&FilledSlot> {
+        self.slots.iter().find(|s| s.slot == name)
+    }
+}
+
+/// Reconstruct slot annotations from tokens + BIO tags (inverse of
+/// [`NluExample::bio_tags`], used at prediction time).
+pub fn spans_from_bio(text: &str, tokens: &[Token], tags: &[String]) -> Vec<SlotAnnotation> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(slot) = tags[i].strip_prefix("B-") {
+            let start = tokens[i].start;
+            let mut end = tokens[i].end;
+            let mut j = i + 1;
+            while j < tokens.len() && tags[j] == format!("I-{slot}") {
+                end = tokens[j].end;
+                j += 1;
+            }
+            out.push(SlotAnnotation {
+                slot: slot.to_string(),
+                start,
+                end,
+                value: text[start..end].to_string(),
+            });
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> NluExample {
+        let text = "I want to watch Forrest Gump tonight".to_string();
+        let start = text.find("Forrest Gump").unwrap();
+        NluExample {
+            text: text.clone(),
+            intent: "inform_movie".into(),
+            slots: vec![SlotAnnotation {
+                slot: "movie_title".into(),
+                start,
+                end: start + "Forrest Gump".len(),
+                value: "Forrest Gump".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn bio_tags_mark_slot_tokens() {
+        let ex = example();
+        let (tokens, tags) = ex.bio_tags();
+        let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["I", "want", "to", "watch", "Forrest", "Gump", "tonight"]);
+        assert_eq!(tags, vec!["O", "O", "O", "O", "B-movie_title", "I-movie_title", "O"]);
+    }
+
+    #[test]
+    fn bio_roundtrip() {
+        let ex = example();
+        let (tokens, tags) = ex.bio_tags();
+        let spans = spans_from_bio(&ex.text, &tokens, &tags);
+        assert_eq!(spans, ex.slots);
+    }
+
+    #[test]
+    fn multiple_slots_roundtrip() {
+        let text = "book 4 tickets for Heat".to_string();
+        let ex = NluExample {
+            text: text.clone(),
+            intent: "book".into(),
+            slots: vec![
+                SlotAnnotation { slot: "no_tickets".into(), start: 5, end: 6, value: "4".into() },
+                SlotAnnotation {
+                    slot: "movie_title".into(),
+                    start: text.find("Heat").unwrap(),
+                    end: text.len(),
+                    value: "Heat".into(),
+                },
+            ],
+        };
+        let (tokens, tags) = ex.bio_tags();
+        assert_eq!(tags, vec!["O", "B-no_tickets", "O", "O", "B-movie_title"]);
+        assert_eq!(spans_from_bio(&ex.text, &tokens, &tags), ex.slots);
+    }
+
+    #[test]
+    fn empty_tags_give_no_spans() {
+        let ex = NluExample::plain("hello there", "greet");
+        let (tokens, tags) = ex.bio_tags();
+        assert!(spans_from_bio(&ex.text, &tokens, &tags).is_empty());
+    }
+}

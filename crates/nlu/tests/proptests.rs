@@ -1,0 +1,136 @@
+//! Property tests for the NLU substrate: tokenizer span validity, string
+//! metric laws, BIO round-trips and classifier sanity.
+
+use proptest::prelude::*;
+
+use cat_nlu::fuzzy::{damerau_levenshtein, jaro_winkler, levenshtein, similarity};
+use cat_nlu::text::{tokenize, word_shape};
+use cat_nlu::types::{spans_from_bio, NluExample, SlotAnnotation};
+use cat_nlu::{MajorityClassifier, NaiveBayesClassifier, IntentClassifier};
+
+proptest! {
+    /// Token spans are within bounds, non-overlapping, increasing, and
+    /// slicing the input at a span reproduces the token text.
+    #[test]
+    fn tokenizer_spans_are_consistent(text in "[a-zA-Z0-9 .,!?'-éüö]{0,60}") {
+        let tokens = tokenize(&text);
+        let mut prev_end = 0usize;
+        for tok in &tokens {
+            prop_assert!(tok.start >= prev_end);
+            prop_assert!(tok.end <= text.len());
+            prop_assert!(tok.start < tok.end);
+            prop_assert!(text.is_char_boundary(tok.start) && text.is_char_boundary(tok.end));
+            prop_assert_eq!(&text[tok.start..tok.end], tok.text.as_str());
+            prev_end = tok.end;
+        }
+    }
+
+    /// Tokenization is idempotent on the joined token text.
+    #[test]
+    fn tokenize_idempotent(text in "[a-zA-Z0-9 .,!?]{0,60}") {
+        let once: Vec<String> = tokenize(&text).iter().map(|t| t.text.clone()).collect();
+        let joined = once.join(" ");
+        let twice: Vec<String> = tokenize(&joined).iter().map(|t| t.text.clone()).collect();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Bounded by max length.
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+    }
+
+    /// Damerau-Levenshtein never exceeds Levenshtein (transpositions only
+    /// help) and both agree on identity.
+    #[test]
+    fn damerau_at_most_levenshtein(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        if a == b {
+            prop_assert_eq!(damerau_levenshtein(&a, &b), 0);
+        }
+    }
+
+    /// Similarity and Jaro-Winkler stay in [0,1]; equal strings score 1.
+    #[test]
+    fn similarities_bounded(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        let s = similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&jw));
+        prop_assert!((similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Word shapes only contain the four shape characters and are at most
+    /// as long as the input.
+    #[test]
+    fn shapes_well_formed(w in "[a-zA-Z0-9-]{0,16}") {
+        let s = word_shape(&w);
+        prop_assert!(s.chars().all(|c| ['a', 'A', '9', '-'].contains(&c)));
+        prop_assert!(s.chars().count() <= w.chars().count());
+    }
+
+    /// bio_tags -> spans_from_bio is the identity on token-aligned slots.
+    #[test]
+    fn bio_roundtrip_on_aligned_slots(
+        n_before in 0usize..4,
+        value_words in 1usize..3,
+        n_after in 0usize..4,
+    ) {
+        let mut words: Vec<String> = (0..n_before).map(|i| format!("pre{i}")).collect();
+        let start_word = words.len();
+        for i in 0..value_words {
+            words.push(format!("val{i}"));
+        }
+        let end_word = words.len();
+        for i in 0..n_after {
+            words.push(format!("post{i}"));
+        }
+        let text = words.join(" ");
+        // Character offsets of the value words.
+        let char_start: usize =
+            words[..start_word].iter().map(|w| w.len() + 1).sum();
+        let covered: usize = words[start_word..end_word]
+            .iter()
+            .map(|w| w.len())
+            .sum::<usize>()
+            + (value_words - 1);
+        let ex = NluExample {
+            text: text.clone(),
+            intent: "i".into(),
+            slots: vec![SlotAnnotation {
+                slot: "s".into(),
+                start: char_start,
+                end: char_start + covered,
+                value: text[char_start..char_start + covered].to_string(),
+            }],
+        };
+        let (tokens, tags) = ex.bio_tags();
+        let spans = spans_from_bio(&ex.text, &tokens, &tags);
+        prop_assert_eq!(spans, ex.slots);
+    }
+
+    /// Classifier predictions always return a trained label with a
+    /// probability in (0,1].
+    #[test]
+    fn classifier_outputs_are_sane(
+        texts in proptest::collection::vec("[a-z]{1,8}( [a-z]{1,8}){0,4}", 2..12),
+        probe in "[a-z ]{0,30}",
+    ) {
+        let data: Vec<NluExample> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| NluExample::plain(t.clone(), format!("intent{}", i % 3)))
+            .collect();
+        let nb = NaiveBayesClassifier::train(&data);
+        let (label, p) = nb.predict(&probe);
+        prop_assert!(label.starts_with("intent"));
+        prop_assert!(p > 0.0 && p <= 1.0 + 1e-9);
+        let mc = MajorityClassifier::train(&data);
+        let (label, _) = mc.predict(&probe);
+        prop_assert!(label.starts_with("intent"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Askable attributes: columns of the entity table itself, or columns of
+//! tables reachable over foreign keys.
+//!
+//! The paper notes that "the optimal attribute is not necessarily part of
+//! the table storing the entity" — to narrow down screenings it may be best
+//! to ask for an actor. An [`Attribute`] therefore carries the join path
+//! from the entity table to the table owning the column.
+
+use cat_txdb::{reachable_tables, AskPreference, Database, JoinHop};
+
+/// A column the agent could ask the user about, relative to an entity
+/// table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Table owning the column.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// FK path from the entity table to `table` (empty = local column).
+    pub path: Vec<JoinHop>,
+}
+
+impl Attribute {
+    /// A column on the entity table itself.
+    pub fn local(table: impl Into<String>, column: impl Into<String>) -> Attribute {
+        Attribute { table: table.into(), column: column.into(), path: Vec::new() }
+    }
+
+    /// Stable key for maps/caches: `table.column`.
+    pub fn key(&self) -> String {
+        format!("{}.{}", self.table, self.column)
+    }
+
+    /// Whether this attribute requires joins.
+    pub fn is_joined(&self) -> bool {
+        !self.path.is_empty()
+    }
+
+    /// The developer annotation for this column.
+    pub fn ask_preference(&self, db: &Database) -> AskPreference {
+        db.table(&self.table)
+            .ok()
+            .and_then(|t| t.schema().column(&self.column).map(|c| c.ask))
+            .unwrap_or(AskPreference::Neutral)
+    }
+
+    /// The schema awareness prior for this column.
+    pub fn awareness_prior(&self, db: &Database) -> f64 {
+        db.table(&self.table)
+            .ok()
+            .and_then(|t| t.schema().column(&self.column).map(|c| c.awareness_prior))
+            .unwrap_or(0.5)
+    }
+
+    /// Human-readable name for surface realization, qualified by the
+    /// owning table when joined ("name of the actor").
+    pub fn human_name(&self, db: &Database) -> String {
+        let col_name = db
+            .table(&self.table)
+            .ok()
+            .and_then(|t| t.schema().column(&self.column).map(|c| c.human_name()))
+            .unwrap_or_else(|| self.column.replace('_', " "));
+        let table_human = self.table.replace('_', " ");
+        // Qualify joined attributes, unless the display name already names
+        // the table ("title of the movie" must not become "title of the
+        // movie of the movie").
+        if self.is_joined() && !col_name.to_lowercase().contains(&table_human.to_lowercase()) {
+            format!("{col_name} of the {table_human}")
+        } else {
+            col_name
+        }
+    }
+}
+
+impl std::fmt::Display for Attribute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+/// Enumerate candidate attributes for identifying entities of `table`:
+/// all local columns plus columns of tables within `max_join_hops` FK hops.
+/// Columns annotated `Never` are excluded here; other preferences are
+/// handled by scoring. FK columns themselves (pure join glue) are skipped.
+pub fn enumerate_attributes(db: &Database, table: &str, max_join_hops: usize) -> Vec<Attribute> {
+    let mut out = Vec::new();
+    if let Ok(t) = db.table(table) {
+        for col in t.schema().columns() {
+            if col.ask == AskPreference::Never {
+                continue;
+            }
+            if t.schema().foreign_key_on(&col.name).is_some() {
+                continue; // join glue, never meaningful to ask directly
+            }
+            out.push(Attribute::local(table, &col.name));
+        }
+    }
+    for (other, path) in reachable_tables(db, table, max_join_hops) {
+        let Ok(t) = db.table(&other) else { continue };
+        for col in t.schema().columns() {
+            if col.ask == AskPreference::Never {
+                continue;
+            }
+            if t.schema().foreign_key_on(&col.name).is_some() {
+                continue;
+            }
+            // Skip the joined table's own primary key — those are
+            // technical ids a user will not know, and they blow up the
+            // attribute space on link tables.
+            if t.schema().is_pk_column(&col.name) {
+                continue;
+            }
+            out.push(Attribute {
+                table: other.clone(),
+                column: col.name.clone(),
+                path: path.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cat_txdb::{DataType, Row, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("movie")
+                .column("movie_id", DataType::Int)
+                .column("title", DataType::Text)
+                .column("genre", DataType::Text)
+                .primary_key(&["movie_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("screening")
+                .column("screening_id", DataType::Int)
+                .column("movie_id", DataType::Int)
+                .column("time", DataType::Text)
+                .primary_key(&["screening_id"])
+                .foreign_key("movie_id", "movie", "movie_id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("movie", Row::new(vec![Value::Int(1), "Heat".into(), "Crime".into()]))
+            .unwrap();
+        db.insert(
+            "screening",
+            Row::new(vec![Value::Int(10), Value::Int(1), "20:15".into()]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn enumerates_local_and_joined() {
+        let db = db();
+        let attrs = enumerate_attributes(&db, "screening", 2);
+        let keys: Vec<String> = attrs.iter().map(Attribute::key).collect();
+        assert!(keys.contains(&"screening.screening_id".to_string()));
+        assert!(keys.contains(&"screening.time".to_string()));
+        assert!(keys.contains(&"movie.title".to_string()), "joined attribute via FK");
+        assert!(keys.contains(&"movie.genre".to_string()));
+        // FK glue column excluded.
+        assert!(!keys.contains(&"screening.movie_id".to_string()));
+        // Joined PK excluded.
+        assert!(!keys.contains(&"movie.movie_id".to_string()));
+    }
+
+    #[test]
+    fn zero_hops_is_local_only() {
+        let db = db();
+        let attrs = enumerate_attributes(&db, "screening", 0);
+        assert!(attrs.iter().all(|a| !a.is_joined()));
+    }
+
+    #[test]
+    fn joined_attributes_carry_paths() {
+        let db = db();
+        let attrs = enumerate_attributes(&db, "screening", 2);
+        let title = attrs.iter().find(|a| a.key() == "movie.title").unwrap();
+        assert_eq!(title.path.len(), 1);
+        assert_eq!(title.path[0].to_table, "movie");
+        assert!(title.is_joined());
+    }
+
+    #[test]
+    fn human_names() {
+        let db = db();
+        let attrs = enumerate_attributes(&db, "screening", 2);
+        let title = attrs.iter().find(|a| a.key() == "movie.title").unwrap();
+        assert_eq!(title.human_name(&db), "title of the movie");
+        let time = attrs.iter().find(|a| a.key() == "screening.time").unwrap();
+        assert_eq!(time.human_name(&db), "time");
+    }
+
+    #[test]
+    fn preferences_and_priors_flow_through() {
+        let db = db();
+        let attrs = enumerate_attributes(&db, "screening", 2);
+        let sid = attrs.iter().find(|a| a.key() == "screening.screening_id").unwrap();
+        assert_eq!(sid.ask_preference(&db), AskPreference::Avoid);
+        assert!(sid.awareness_prior(&db) < 0.1);
+    }
+}

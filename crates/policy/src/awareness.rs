@@ -1,0 +1,157 @@
+//! The user-awareness model: how likely is a user to *know* an attribute?
+//!
+//! Entropy alone would make the agent ask for primary keys — maximally
+//! informative, but users don't know their customer id (paper §4). CAT
+//! combines two signals: a developer-provided prior from the schema
+//! annotations, and online learning from sessions ("we learn from
+//! interactions … which attributes the users are likely to know"). This is
+//! a Beta-Bernoulli posterior per attribute.
+
+use std::collections::HashMap;
+
+/// Online awareness estimator.
+#[derive(Debug, Clone)]
+pub struct AwarenessModel {
+    /// attribute key -> (times answered, times asked).
+    counts: HashMap<String, (f64, f64)>,
+    /// Pseudo-count weight given to the schema prior.
+    prior_strength: f64,
+}
+
+impl Default for AwarenessModel {
+    fn default() -> Self {
+        AwarenessModel::new(4.0)
+    }
+}
+
+impl AwarenessModel {
+    /// `prior_strength` is the number of pseudo-observations the schema
+    /// prior is worth; higher = slower adaptation.
+    pub fn new(prior_strength: f64) -> AwarenessModel {
+        AwarenessModel { counts: HashMap::new(), prior_strength }
+    }
+
+    /// Posterior mean probability that a user can answer `attr_key`,
+    /// given the schema prior for that attribute.
+    pub fn probability(&self, attr_key: &str, prior: f64) -> f64 {
+        let (known, asked) = self.counts.get(attr_key).copied().unwrap_or((0.0, 0.0));
+        (known + prior * self.prior_strength) / (asked + self.prior_strength)
+    }
+
+    /// Record the outcome of asking for `attr_key`.
+    pub fn record(&mut self, attr_key: &str, user_knew: bool) {
+        let entry = self.counts.entry(attr_key.to_string()).or_insert((0.0, 0.0));
+        entry.1 += 1.0;
+        if user_knew {
+            entry.0 += 1.0;
+        }
+    }
+
+    /// Number of observations recorded for an attribute.
+    pub fn observations(&self, attr_key: &str) -> usize {
+        self.counts.get(attr_key).map_or(0, |&(_, asked)| asked as usize)
+    }
+
+    /// Forget all online observations (prior only).
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Export all observations as `(attribute key, known, asked)` rows,
+    /// sorted by key — the persistence format for carrying learned
+    /// awareness across sessions (the paper learns "from interactions with
+    /// the conversational agent"; this is how those interactions survive a
+    /// restart).
+    pub fn export(&self) -> Vec<(String, f64, f64)> {
+        let mut rows: Vec<(String, f64, f64)> =
+            self.counts.iter().map(|(k, &(known, asked))| (k.clone(), known, asked)).collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Merge exported observations into this model (additive).
+    pub fn import(&mut self, rows: &[(String, f64, f64)]) {
+        for (key, known, asked) in rows {
+            let entry = self.counts.entry(key.clone()).or_insert((0.0, 0.0));
+            entry.0 += known;
+            entry.1 += asked;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prior_dominates_before_observations() {
+        let m = AwarenessModel::new(4.0);
+        assert!((m.probability("customer.name", 0.9) - 0.9).abs() < 1e-12);
+        assert!((m.probability("customer.customer_id", 0.05) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observations_shift_the_posterior() {
+        let mut m = AwarenessModel::new(4.0);
+        // Schema says users know emails (0.6) but nobody actually does.
+        for _ in 0..20 {
+            m.record("customer.email", false);
+        }
+        let p = m.probability("customer.email", 0.6);
+        assert!(p < 0.15, "posterior should drop, got {p}");
+        // And the reverse.
+        let mut m2 = AwarenessModel::new(4.0);
+        for _ in 0..20 {
+            m2.record("movie.year", true);
+        }
+        assert!(m2.probability("movie.year", 0.2) > 0.7);
+    }
+
+    #[test]
+    fn probability_stays_in_unit_interval() {
+        let mut m = AwarenessModel::new(2.0);
+        for i in 0..50 {
+            m.record("x", i % 3 == 0);
+            let p = m.probability("x", 0.5);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn reset_restores_prior() {
+        let mut m = AwarenessModel::new(4.0);
+        for _ in 0..10 {
+            m.record("a", false);
+        }
+        assert!(m.probability("a", 0.8) < 0.4);
+        m.reset();
+        assert!((m.probability("a", 0.8) - 0.8).abs() < 1e-12);
+        assert_eq!(m.observations("a"), 0);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut m = AwarenessModel::new(4.0);
+        m.record("a", true);
+        m.record("a", false);
+        m.record("b", true);
+        let exported = m.export();
+        assert_eq!(exported.len(), 2);
+        let mut fresh = AwarenessModel::new(4.0);
+        fresh.import(&exported);
+        assert_eq!(fresh.probability("a", 0.5), m.probability("a", 0.5));
+        assert_eq!(fresh.observations("b"), 1);
+        // Import is additive.
+        fresh.import(&exported);
+        assert_eq!(fresh.observations("a"), 4);
+    }
+
+    #[test]
+    fn observation_counting() {
+        let mut m = AwarenessModel::default();
+        assert_eq!(m.observations("z"), 0);
+        m.record("z", true);
+        m.record("z", false);
+        assert_eq!(m.observations("z"), 2);
+    }
+}

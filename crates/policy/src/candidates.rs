@@ -1,0 +1,269 @@
+//! The candidate set: the entities that still match everything the user
+//! has said, tracked explicitly at runtime (paper §4: "we … explicitly keep
+//! track of the candidates").
+
+use cat_txdb::{follow_path, Database, Result, RowId, TxdbError, Value};
+
+use crate::attribute::Attribute;
+
+/// The set of candidate rows of one entity table, plus the constraints
+/// that produced it.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// The entity table being identified.
+    pub table: String,
+    /// Row ids still in play.
+    pub rows: Vec<RowId>,
+    /// Constraints applied so far (attribute key, value).
+    pub constraints: Vec<(String, Value)>,
+}
+
+impl CandidateSet {
+    /// All rows of `table`.
+    pub fn all(db: &Database, table: &str) -> Result<CandidateSet> {
+        let t = db.table(table)?;
+        Ok(CandidateSet {
+            table: table.to_string(),
+            rows: t.scan().map(|(rid, _)| rid).collect(),
+            constraints: Vec::new(),
+        })
+    }
+
+    /// Number of remaining candidates.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether exactly one candidate remains.
+    pub fn is_unique(&self) -> bool {
+        self.rows.len() == 1
+    }
+
+    /// The unique candidate, if identification is complete.
+    pub fn unique(&self) -> Option<RowId> {
+        match self.rows.as_slice() {
+            [rid] => Some(*rid),
+            _ => None,
+        }
+    }
+
+    /// The values a candidate row exhibits for an attribute. Local columns
+    /// give at most one value; joined attributes may give several (e.g.
+    /// all actors of a movie). NULLs are omitted.
+    pub fn values_for_row(db: &Database, attr: &Attribute, rid: RowId) -> Result<Vec<Value>> {
+        if attr.path.is_empty() {
+            let v = db.table(&attr.table)?.value_of(rid, &attr.column)?;
+            return Ok(if v.is_null() { Vec::new() } else { vec![v] });
+        }
+        let target = db.table(&attr.table)?;
+        let mut out = Vec::new();
+        for reached in follow_path(db, &attr.path, rid) {
+            let v = target.value_of(reached, &attr.column)?;
+            if !v.is_null() && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Restrict to candidates whose attribute values contain `value`.
+    /// Returns the number of remaining candidates. The constraint is
+    /// recorded (it keys the statistics cache and drives explanations).
+    pub fn refine(&mut self, db: &Database, attr: &Attribute, value: &Value) -> Result<usize> {
+        let mut kept = Vec::with_capacity(self.rows.len());
+        for &rid in &self.rows {
+            if Self::values_for_row(db, attr, rid)?.iter().any(|v| v == value) {
+                kept.push(rid);
+            }
+        }
+        self.rows = kept;
+        self.constraints.push((attr.key(), value.clone()));
+        Ok(self.rows.len())
+    }
+
+    /// A short signature of the constraint list, used as a cache key
+    /// component. Order-sensitive by design: dialogue order is stable
+    /// within a session, and collisions across sessions are harmless
+    /// (the table version still guards correctness).
+    pub fn signature(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.table.hash(&mut h);
+        for (k, v) in &self.constraints {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
+        // The row list itself matters when the table changed underneath.
+        self.rows.len().hash(&mut h);
+        h.finish()
+    }
+
+    /// Render the first `limit` candidates using a display column.
+    pub fn render_options(
+        &self,
+        db: &Database,
+        display_column: &str,
+        limit: usize,
+    ) -> Result<Vec<String>> {
+        let t = db.table(&self.table)?;
+        t.schema().require_column(display_column)?;
+        self.rows
+            .iter()
+            .take(limit)
+            .map(|&rid| Ok(t.value_of(rid, display_column)?.render()))
+            .collect()
+    }
+
+    /// The primary-key value(s) of the unique candidate, if identified.
+    /// Errors if the table has no primary key.
+    pub fn unique_pk(&self, db: &Database) -> Result<Option<Vec<Value>>> {
+        let Some(rid) = self.unique() else { return Ok(None) };
+        let t = db.table(&self.table)?;
+        if t.schema().primary_key().is_empty() {
+            return Err(TxdbError::InvalidValue(format!(
+                "table `{}` has no primary key",
+                self.table
+            )));
+        }
+        let row = t.get(rid).ok_or_else(|| TxdbError::NoSuchRow { table: self.table.clone() })?;
+        Ok(Some(t.pk_of(row)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cat_corpus_testlike::*;
+
+    /// A tiny local fixture (cinema-shaped, but self-contained so this
+    /// crate does not depend on cat-corpus).
+    mod cat_corpus_testlike {
+        use cat_txdb::{DataType, Database, Row, TableSchema, Value};
+
+        pub fn movie_db() -> Database {
+            let mut db = Database::new();
+            db.create_table(
+                TableSchema::builder("movie")
+                    .column("movie_id", DataType::Int)
+                    .column("title", DataType::Text)
+                    .column("genre", DataType::Text)
+                    .primary_key(&["movie_id"])
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            db.create_table(
+                TableSchema::builder("actor")
+                    .column("actor_id", DataType::Int)
+                    .column("name", DataType::Text)
+                    .primary_key(&["actor_id"])
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            db.create_table(
+                TableSchema::builder("movie_actor")
+                    .column("movie_id", DataType::Int)
+                    .column("actor_id", DataType::Int)
+                    .primary_key(&["movie_id", "actor_id"])
+                    .foreign_key("movie_id", "movie", "movie_id")
+                    .foreign_key("actor_id", "actor", "actor_id")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            let movies =
+                [(1, "Heat", "Crime"), (2, "Alien", "Horror"), (3, "Fargo", "Crime")];
+            for (id, t, g) in movies {
+                db.insert("movie", Row::new(vec![Value::Int(id), t.into(), g.into()])).unwrap();
+            }
+            let actors = [(1, "Al Pacino"), (2, "Robert De Niro"), (3, "Sigourney Weaver")];
+            for (id, n) in actors {
+                db.insert("actor", Row::new(vec![Value::Int(id), n.into()])).unwrap();
+            }
+            for (m, a) in [(1, 1), (1, 2), (2, 3), (3, 2)] {
+                db.insert("movie_actor", Row::new(vec![Value::Int(m), Value::Int(a)])).unwrap();
+            }
+            db
+        }
+    }
+    use crate::attribute::{enumerate_attributes, Attribute};
+    use cat_txdb::Value;
+
+    #[test]
+    fn all_and_refine_local() {
+        let db = movie_db();
+        let mut cs = CandidateSet::all(&db, "movie").unwrap();
+        assert_eq!(cs.len(), 3);
+        assert!(!cs.is_unique());
+        let genre = Attribute::local("movie", "genre");
+        let n = cs.refine(&db, &genre, &Value::Text("Crime".into())).unwrap();
+        assert_eq!(n, 2);
+        let title = Attribute::local("movie", "title");
+        cs.refine(&db, &title, &Value::Text("Heat".into())).unwrap();
+        assert!(cs.is_unique());
+        assert_eq!(cs.unique_pk(&db).unwrap().unwrap(), vec![Value::Int(1)]);
+        assert_eq!(cs.constraints.len(), 2);
+    }
+
+    #[test]
+    fn refine_via_join_path() {
+        let db = movie_db();
+        let attrs = enumerate_attributes(&db, "movie", 2);
+        let actor_name = attrs.iter().find(|a| a.key() == "actor.name").unwrap();
+        let mut cs = CandidateSet::all(&db, "movie").unwrap();
+        // De Niro appears in Heat and Fargo.
+        let n = cs.refine(&db, actor_name, &Value::Text("Robert De Niro".into())).unwrap();
+        assert_eq!(n, 2);
+        // Pacino narrows to Heat.
+        let n = cs.refine(&db, actor_name, &Value::Text("Al Pacino".into())).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(cs.unique_pk(&db).unwrap().unwrap(), vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn refine_to_empty_on_contradiction() {
+        let db = movie_db();
+        let mut cs = CandidateSet::all(&db, "movie").unwrap();
+        let genre = Attribute::local("movie", "genre");
+        cs.refine(&db, &genre, &Value::Text("Crime".into())).unwrap();
+        cs.refine(&db, &genre, &Value::Text("Horror".into())).unwrap();
+        assert!(cs.is_empty());
+        assert_eq!(cs.unique(), None);
+    }
+
+    #[test]
+    fn values_for_row_multi_valued() {
+        let db = movie_db();
+        let attrs = enumerate_attributes(&db, "movie", 2);
+        let actor_name = attrs.iter().find(|a| a.key() == "actor.name").unwrap();
+        let (heat_rid, _) =
+            db.table("movie").unwrap().get_by_pk(&[Value::Int(1)]).unwrap();
+        let values = CandidateSet::values_for_row(&db, actor_name, heat_rid).unwrap();
+        assert_eq!(values.len(), 2, "Heat has two actors");
+    }
+
+    #[test]
+    fn signature_changes_with_constraints() {
+        let db = movie_db();
+        let mut cs = CandidateSet::all(&db, "movie").unwrap();
+        let s0 = cs.signature();
+        cs.refine(&db, &Attribute::local("movie", "genre"), &Value::Text("Crime".into()))
+            .unwrap();
+        assert_ne!(s0, cs.signature());
+    }
+
+    #[test]
+    fn render_options() {
+        let db = movie_db();
+        let cs = CandidateSet::all(&db, "movie").unwrap();
+        let opts = cs.render_options(&db, "title", 2).unwrap();
+        assert_eq!(opts.len(), 2);
+        assert!(cs.render_options(&db, "bogus", 2).is_err());
+    }
+}

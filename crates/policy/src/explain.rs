@@ -1,0 +1,175 @@
+//! Explanations: why the data-aware policy asks what it asks.
+//!
+//! The GUI of the paper (Figure 4) is where a developer tunes annotations;
+//! an explanation API is what makes that tuning loop workable — it shows
+//! the per-attribute score decomposition (entropy, coverage, awareness,
+//! annotation weight) over a live candidate set.
+
+use cat_txdb::Database;
+
+use crate::attribute::{enumerate_attributes, Attribute};
+use crate::candidates::CandidateSet;
+use crate::select::{entropy_and_coverage, DataAwarePolicy};
+
+/// Score breakdown of one candidate attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeExplanation {
+    pub attribute: Attribute,
+    /// Raw Shannon entropy over the candidate set (bits).
+    pub entropy: f64,
+    /// Entropy normalized by `log2(|candidates|)`.
+    pub normalized_entropy: f64,
+    /// Fraction of candidates with at least one value.
+    pub coverage: f64,
+    /// Posterior probability the user knows this attribute.
+    pub awareness: f64,
+    /// Annotation weight (`AskPreference`).
+    pub annotation_weight: f64,
+    /// The final combined score used for selection.
+    pub score: f64,
+}
+
+impl DataAwarePolicy {
+    /// Explain the ranking over all candidate attributes for the current
+    /// candidate set, best first. Attributes already asked are excluded.
+    pub fn explain(
+        &self,
+        db: &Database,
+        cs: &CandidateSet,
+        asked: &[String],
+    ) -> Vec<AttributeExplanation> {
+        let hops = if self.config.use_joins { self.config.max_join_hops } else { 0 };
+        let max_h = (cs.len().max(2) as f64).log2();
+        let mut out: Vec<AttributeExplanation> = enumerate_attributes(db, &cs.table, hops)
+            .into_iter()
+            .filter(|a| !asked.contains(&a.key()))
+            .map(|attribute| {
+                let (entropy, coverage) =
+                    entropy_and_coverage(db, cs, &attribute).unwrap_or((0.0, 0.0));
+                let awareness = self
+                    .awareness
+                    .probability(&attribute.key(), attribute.awareness_prior(db));
+                let annotation_weight = attribute.ask_preference(db).weight();
+                let score = self.score(db, cs, &attribute);
+                AttributeExplanation {
+                    normalized_entropy: entropy / max_h,
+                    entropy,
+                    coverage,
+                    awareness,
+                    annotation_weight,
+                    score,
+                    attribute,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.attribute.key().cmp(&b.attribute.key()))
+        });
+        out
+    }
+}
+
+/// Render explanations as an aligned text table (for CLIs and debugging).
+pub fn render_explanations(explanations: &[AttributeExplanation]) -> String {
+    let mut out = String::from(
+        "attribute                         score  entropy  coverage  aware  weight\n",
+    );
+    for e in explanations {
+        out.push_str(&format!(
+            "{:<32} {:>6.3}  {:>7.3}  {:>8.2}  {:>5.2}  {:>6.2}\n",
+            e.attribute.key(),
+            e.score,
+            e.entropy,
+            e.coverage,
+            e.awareness,
+            e.annotation_weight,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cat_txdb::{DataType, Row, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("customer")
+                .column("customer_id", DataType::Int)
+                .column("name", DataType::Text)
+                .awareness(0.9)
+                .column("city", DataType::Text)
+                .awareness(0.8)
+                .primary_key(&["customer_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..12i64 {
+            db.insert(
+                "customer",
+                Row::new(vec![
+                    Value::Int(i),
+                    format!("name{}", i % 6).into(),
+                    format!("city{}", i % 2).into(),
+                ]),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn explanation_matches_choice() {
+        let db = db();
+        let cs = CandidateSet::all(&db, "customer").unwrap();
+        let mut policy = DataAwarePolicy::default();
+        let explanations = policy.explain(&db, &cs, &[]);
+        assert!(!explanations.is_empty());
+        let chosen = crate::select::SlotSelector::choose(&mut policy, &db, &cs, &[]).unwrap();
+        assert_eq!(explanations[0].attribute.key(), chosen.key());
+        // Scores descending.
+        assert!(explanations.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn explanation_components_are_bounded() {
+        let db = db();
+        let cs = CandidateSet::all(&db, "customer").unwrap();
+        let policy = DataAwarePolicy::default();
+        for e in policy.explain(&db, &cs, &[]) {
+            assert!(e.entropy >= 0.0);
+            assert!((0.0..=1.0 + 1e-9).contains(&e.normalized_entropy));
+            assert!((0.0..=1.0).contains(&e.coverage));
+            assert!((0.0..=1.0).contains(&e.awareness));
+            assert!(e.annotation_weight >= 0.0);
+            assert!(e.score >= 0.0);
+        }
+    }
+
+    #[test]
+    fn asked_attributes_excluded() {
+        let db = db();
+        let cs = CandidateSet::all(&db, "customer").unwrap();
+        let policy = DataAwarePolicy::default();
+        let all = policy.explain(&db, &cs, &[]);
+        let filtered = policy.explain(&db, &cs, &[all[0].attribute.key()]);
+        assert_eq!(filtered.len(), all.len() - 1);
+        assert!(filtered.iter().all(|e| e.attribute.key() != all[0].attribute.key()));
+    }
+
+    #[test]
+    fn rendering_contains_all_attributes() {
+        let db = db();
+        let cs = CandidateSet::all(&db, "customer").unwrap();
+        let policy = DataAwarePolicy::default();
+        let text = render_explanations(&policy.explain(&db, &cs, &[]));
+        assert!(text.contains("customer.name"));
+        assert!(text.contains("customer.city"));
+    }
+}

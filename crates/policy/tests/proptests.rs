@@ -1,0 +1,157 @@
+//! Property tests for the data-aware policy: candidate-set refinement
+//! soundness, entropy bounds and scoring invariants over randomly
+//! generated databases.
+
+use proptest::prelude::*;
+
+use cat_policy::{
+    candidate_entropy, enumerate_attributes, run_identification, Attribute, CandidateSet,
+    DataAwarePolicy, SimulationConfig, SlotSelector,
+};
+use cat_txdb::{DataType, Database, Row, RowId, TableSchema, Value};
+
+/// Build a random single-table database from generated (name, city) pairs.
+fn build_db(rows: &[(u8, u8)]) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("customer")
+            .column("customer_id", DataType::Int)
+            .column("name", DataType::Text)
+            .awareness(0.9)
+            .column("city", DataType::Text)
+            .awareness(0.8)
+            .primary_key(&["customer_id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    for (i, (n, c)) in rows.iter().enumerate() {
+        db.insert(
+            "customer",
+            Row::new(vec![
+                Value::Int(i as i64),
+                format!("name{}", n % 6).into(),
+                format!("city{}", c % 4).into(),
+            ]),
+        )
+        .expect("insert");
+    }
+    db
+}
+
+proptest! {
+    /// Refinement is sound and complete: exactly the rows whose attribute
+    /// equals the probe value survive, and the result is a subset.
+    #[test]
+    fn refine_keeps_exactly_matching_rows(
+        rows in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..60),
+        probe in any::<u8>(),
+    ) {
+        let db = build_db(&rows);
+        let mut cs = CandidateSet::all(&db, "customer").expect("all");
+        let before: Vec<RowId> = cs.rows.clone();
+        let attr = Attribute::local("customer", "name");
+        let value = Value::Text(format!("name{}", probe % 6));
+        cs.refine(&db, &attr, &value).expect("refine");
+        // Subset.
+        prop_assert!(cs.rows.iter().all(|r| before.contains(r)));
+        // Exactness.
+        let expected: Vec<RowId> = before
+            .iter()
+            .copied()
+            .filter(|&rid| {
+                db.table("customer").unwrap().value_of(rid, "name").unwrap() == value
+            })
+            .collect();
+        prop_assert_eq!(cs.rows.clone(), expected);
+    }
+
+    /// Repeated refinement on the same (attribute, value) is idempotent.
+    #[test]
+    fn refine_is_idempotent(
+        rows in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..40),
+        probe in any::<u8>(),
+    ) {
+        let db = build_db(&rows);
+        let mut cs = CandidateSet::all(&db, "customer").expect("all");
+        let attr = Attribute::local("customer", "city");
+        let value = Value::Text(format!("city{}", probe % 4));
+        cs.refine(&db, &attr, &value).expect("refine");
+        let after_first = cs.rows.clone();
+        cs.refine(&db, &attr, &value).expect("refine again");
+        prop_assert_eq!(cs.rows, after_first);
+    }
+
+    /// Candidate entropy is bounded by log2(candidate count) and never
+    /// negative; refinement on an attribute zeroes that attribute's
+    /// entropy.
+    #[test]
+    fn entropy_bounds_and_collapse(
+        rows in proptest::collection::vec((any::<u8>(), any::<u8>()), 2..60),
+    ) {
+        let db = build_db(&rows);
+        let mut cs = CandidateSet::all(&db, "customer").expect("all");
+        let name = Attribute::local("customer", "name");
+        let h = candidate_entropy(&db, &cs, &name).expect("entropy");
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (cs.len() as f64).log2() + 1e-9);
+        // Refine on the first row's name: entropy of name over the
+        // surviving set is exactly 0 (all share that name).
+        let v = db.table("customer").unwrap().value_of(cs.rows[0], "name").unwrap();
+        cs.refine(&db, &name, &v).expect("refine");
+        prop_assert!(!cs.is_empty());
+        let h2 = candidate_entropy(&db, &cs, &name).expect("entropy");
+        prop_assert!(h2.abs() < 1e-12, "entropy after collapse: {h2}");
+    }
+
+    /// Scores are non-negative, zero for singleton candidate sets, and the
+    /// chosen attribute is never one that was already asked.
+    #[test]
+    fn scoring_and_choice_invariants(
+        rows in proptest::collection::vec((any::<u8>(), any::<u8>()), 2..50),
+    ) {
+        let db = build_db(&rows);
+        let cs = CandidateSet::all(&db, "customer").expect("all");
+        let mut policy = DataAwarePolicy::default();
+        for attr in enumerate_attributes(&db, "customer", 0) {
+            prop_assert!(policy.score(&db, &cs, &attr) >= 0.0);
+        }
+        if let Some(first) = policy.choose(&db, &cs, &[]) {
+            let key = first.key();
+            if let Some(second) = policy.choose(&db, &cs, std::slice::from_ref(&key)) {
+                prop_assert_ne!(second.key(), key);
+            }
+        }
+        // Singleton set: nothing to ask.
+        let single = CandidateSet {
+            table: "customer".into(),
+            rows: vec![cs.rows[0]],
+            constraints: vec![],
+        };
+        prop_assert!(policy.choose(&db, &single, &[]).is_none());
+    }
+
+    /// Identification episodes terminate within the turn bound and, when
+    /// they succeed, really found the target.
+    #[test]
+    fn episodes_terminate_and_are_honest(
+        rows in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..50),
+        target_idx in any::<prop::sample::Index>(),
+        seed in 0u64..1000,
+    ) {
+        let db = build_db(&rows);
+        let all: Vec<RowId> =
+            db.table("customer").unwrap().scan().map(|(r, _)| r).collect();
+        let target = all[target_idx.index(all.len())];
+        let mut policy = DataAwarePolicy::default();
+        let cfg = SimulationConfig { max_turns: 8, offer_threshold: 2, seed };
+        let result = run_identification(&db, "customer", target, &mut policy, &cfg, seed)
+            .expect("episode");
+        prop_assert!(result.turns <= cfg.max_turns + 1);
+        // asked attribute keys are unique.
+        let mut asked = result.asked.clone();
+        asked.sort();
+        asked.dedup();
+        prop_assert_eq!(asked.len(), result.asked.len());
+    }
+}

@@ -1,0 +1,322 @@
+//! Schema-graph utilities: foreign-key topology and join paths.
+//!
+//! The data-aware policy treats the schema as an undirected graph whose
+//! edges are foreign keys. To offer a user attributes from *related* tables
+//! (ask for an actor to narrow down screenings), it needs to enumerate FK
+//! neighbours and find join paths between tables.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::database::Database;
+use crate::row::RowId;
+use crate::value::Value;
+
+/// Direction of a join hop relative to the starting table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinDirection {
+    /// The FK lives on the *from* side: many `from` rows per `to` row.
+    ManyToOne,
+    /// The FK lives on the *to* side: one `from` row has many `to` rows.
+    OneToMany,
+}
+
+/// One traversable foreign-key edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JoinHop {
+    pub from_table: String,
+    pub from_column: String,
+    pub to_table: String,
+    pub to_column: String,
+    pub direction: JoinDirection,
+}
+
+impl JoinHop {
+    /// The same edge traversed the other way.
+    pub fn reversed(&self) -> JoinHop {
+        JoinHop {
+            from_table: self.to_table.clone(),
+            from_column: self.to_column.clone(),
+            to_table: self.from_table.clone(),
+            to_column: self.from_column.clone(),
+            direction: match self.direction {
+                JoinDirection::ManyToOne => JoinDirection::OneToMany,
+                JoinDirection::OneToMany => JoinDirection::ManyToOne,
+            },
+        }
+    }
+}
+
+/// All FK edges leaving `table`, in both directions.
+pub fn fk_neighbors(db: &Database, table: &str) -> Vec<JoinHop> {
+    let mut hops = Vec::new();
+    // Outgoing FKs declared on `table`.
+    if let Ok(t) = db.table(table) {
+        for fk in t.schema().foreign_keys() {
+            hops.push(JoinHop {
+                from_table: table.to_string(),
+                from_column: fk.column.clone(),
+                to_table: fk.ref_table.clone(),
+                to_column: fk.ref_column.clone(),
+                direction: JoinDirection::ManyToOne,
+            });
+        }
+    }
+    // Incoming FKs declared on other tables referencing `table`.
+    for other in db.table_names() {
+        if other == table {
+            continue;
+        }
+        let ot = db.table(other).expect("name from table_names");
+        for fk in ot.schema().foreign_keys() {
+            if fk.ref_table == table {
+                hops.push(JoinHop {
+                    from_table: table.to_string(),
+                    from_column: fk.ref_column.clone(),
+                    to_table: other.to_string(),
+                    to_column: fk.column.clone(),
+                    direction: JoinDirection::OneToMany,
+                });
+            }
+        }
+    }
+    hops
+}
+
+/// Shortest FK path between two tables (BFS over the undirected FK graph),
+/// or `None` if the tables are not connected. The path starts at `from`.
+pub fn join_path(db: &Database, from: &str, to: &str) -> Option<Vec<JoinHop>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let mut visited: HashMap<String, (String, JoinHop)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from.to_string());
+    while let Some(current) = queue.pop_front() {
+        for hop in fk_neighbors(db, &current) {
+            let next = hop.to_table.clone();
+            if next == from || visited.contains_key(&next) {
+                continue;
+            }
+            visited.insert(next.clone(), (current.clone(), hop));
+            if next == to {
+                // Reconstruct.
+                let mut path = Vec::new();
+                let mut cur = to.to_string();
+                while cur != from {
+                    let (prev, hop) = visited.remove(&cur).expect("path recorded");
+                    path.push(hop);
+                    cur = prev;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(next);
+        }
+    }
+    None
+}
+
+/// Tables reachable from `table` within `max_hops` FK hops, with the path
+/// to each (excluding the table itself). Breadth-first, so paths are
+/// shortest.
+pub fn reachable_tables(db: &Database, table: &str, max_hops: usize) -> Vec<(String, Vec<JoinHop>)> {
+    let mut out = Vec::new();
+    let mut visited: HashMap<String, Vec<JoinHop>> = HashMap::new();
+    visited.insert(table.to_string(), Vec::new());
+    let mut queue = VecDeque::new();
+    queue.push_back((table.to_string(), 0usize));
+    while let Some((current, depth)) = queue.pop_front() {
+        if depth == max_hops {
+            continue;
+        }
+        let base_path = visited[&current].clone();
+        for hop in fk_neighbors(db, &current) {
+            let next = hop.to_table.clone();
+            if visited.contains_key(&next) {
+                continue;
+            }
+            let mut path = base_path.clone();
+            path.push(hop);
+            visited.insert(next.clone(), path.clone());
+            out.push((next.clone(), path));
+            queue.push_back((next, depth + 1));
+        }
+    }
+    out
+}
+
+/// Follow one join hop from a concrete row: the ids of related rows in
+/// `hop.to_table`.
+pub fn follow_hop(db: &Database, hop: &JoinHop, from_rid: RowId) -> Vec<RowId> {
+    let Ok(from_t) = db.table(&hop.from_table) else { return Vec::new() };
+    let Ok(key) = from_t.value_of(from_rid, &hop.from_column) else { return Vec::new() };
+    if key == Value::Null {
+        return Vec::new();
+    }
+    match db.table(&hop.to_table) {
+        Ok(to_t) => to_t.lookup(&hop.to_column, &key),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Follow a multi-hop path from a concrete row, collecting the reachable
+/// row ids in the final table (deduplicated).
+pub fn follow_path(db: &Database, path: &[JoinHop], from_rid: RowId) -> Vec<RowId> {
+    let mut frontier = vec![from_rid];
+    for hop in path {
+        let mut next = Vec::new();
+        for rid in frontier {
+            next.extend(follow_hop(db, hop, rid));
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::TableSchema;
+    use crate::value::{DataType, Date};
+
+    /// movie <- screening <- reservation -> customer, movie <- movie_actor -> actor
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("movie")
+                .column("movie_id", DataType::Int)
+                .column("title", DataType::Text)
+                .primary_key(&["movie_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("actor")
+                .column("actor_id", DataType::Int)
+                .column("name", DataType::Text)
+                .primary_key(&["actor_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("movie_actor")
+                .column("movie_id", DataType::Int)
+                .column("actor_id", DataType::Int)
+                .primary_key(&["movie_id", "actor_id"])
+                .foreign_key("movie_id", "movie", "movie_id")
+                .foreign_key("actor_id", "actor", "actor_id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("screening")
+                .column("screening_id", DataType::Int)
+                .column("movie_id", DataType::Int)
+                .column("date", DataType::Date)
+                .primary_key(&["screening_id"])
+                .foreign_key("movie_id", "movie", "movie_id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("movie", row![1, "Forrest Gump"]).unwrap();
+        db.insert("movie", row![2, "Heat"]).unwrap();
+        db.insert("actor", row![1, "Tom Hanks"]).unwrap();
+        db.insert("actor", row![2, "Al Pacino"]).unwrap();
+        db.insert("actor", row![3, "Robert De Niro"]).unwrap();
+        db.insert("movie_actor", row![1, 1]).unwrap();
+        db.insert("movie_actor", row![2, 2]).unwrap();
+        db.insert("movie_actor", row![2, 3]).unwrap();
+        db.insert("screening", row![10, 1, Date::new(2022, 3, 26).unwrap()]).unwrap();
+        db.insert("screening", row![11, 2, Date::new(2022, 3, 27).unwrap()]).unwrap();
+        db.insert("screening", row![12, 2, Date::new(2022, 3, 28).unwrap()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn neighbors_both_directions() {
+        let db = db();
+        let hops = fk_neighbors(&db, "movie");
+        // Incoming from movie_actor and screening.
+        assert_eq!(hops.len(), 2);
+        assert!(hops.iter().all(|h| h.direction == JoinDirection::OneToMany));
+        let hops = fk_neighbors(&db, "screening");
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].direction, JoinDirection::ManyToOne);
+        assert_eq!(hops[0].to_table, "movie");
+    }
+
+    #[test]
+    fn join_path_screening_to_actor() {
+        let db = db();
+        let path = join_path(&db, "screening", "actor").unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0].to_table, "movie");
+        assert_eq!(path[1].to_table, "movie_actor");
+        assert_eq!(path[2].to_table, "actor");
+        assert_eq!(join_path(&db, "screening", "screening").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn join_path_disconnected() {
+        let mut db = db();
+        db.create_table(
+            TableSchema::builder("island").column("x", DataType::Int).build().unwrap(),
+        )
+        .unwrap();
+        assert!(join_path(&db, "screening", "island").is_none());
+    }
+
+    #[test]
+    fn reachable_tables_respects_hop_limit() {
+        let db = db();
+        let r1: Vec<String> =
+            reachable_tables(&db, "screening", 1).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(r1, vec!["movie"]);
+        let r3: Vec<String> =
+            reachable_tables(&db, "screening", 3).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(r3, vec!["movie", "movie_actor", "actor"]);
+    }
+
+    #[test]
+    fn follow_hop_and_path() {
+        let db = db();
+        // screening 11 (Heat) -> movie -> movie_actor -> actor = {Pacino, De Niro}
+        let (srid, _) = db.table("screening").unwrap().get_by_pk(&[Value::Int(11)]).unwrap();
+        let path = join_path(&db, "screening", "actor").unwrap();
+        let actors = follow_path(&db, &path, srid);
+        assert_eq!(actors.len(), 2);
+        let names: Vec<String> = actors
+            .iter()
+            .map(|&rid| {
+                db.table("actor").unwrap().value_of(rid, "name").unwrap().render()
+            })
+            .collect();
+        assert!(names.contains(&"Al Pacino".to_string()));
+        assert!(names.contains(&"Robert De Niro".to_string()));
+        // Reverse direction: movie 2 (Heat) has two screenings.
+        let (mrid, _) = db.table("movie").unwrap().get_by_pk(&[Value::Int(2)]).unwrap();
+        let hop = fk_neighbors(&db, "movie")
+            .into_iter()
+            .find(|h| h.to_table == "screening")
+            .unwrap();
+        assert_eq!(follow_hop(&db, &hop, mrid).len(), 2);
+    }
+
+    #[test]
+    fn reversed_hop_is_involution() {
+        let db = db();
+        for hop in fk_neighbors(&db, "screening") {
+            assert_eq!(hop.reversed().reversed(), hop);
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The database facade: catalog of tables, stored procedures, foreign-key
+//! enforcement and transactional execution.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, TxdbError};
+use crate::predicate::Predicate;
+use crate::procedure::{ProcOp, ProcOutcome, Procedure};
+use crate::row::{Row, RowId};
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::txn::{Transaction, UndoOp};
+use crate::value::Value;
+
+/// An in-memory relational database with foreign keys, stored procedures
+/// and undo-log transactions.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    procedures: BTreeMap<String, Procedure>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    // ----- catalog -----
+
+    /// Create a table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        if self.tables.contains_key(schema.name()) {
+            return Err(TxdbError::DuplicateTable(schema.name().to_string()));
+        }
+        let name = schema.name().to_string();
+        self.tables.insert(name, Table::new(schema)?);
+        Ok(())
+    }
+
+    /// Drop a table and all of its rows.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| TxdbError::UnknownTable(name.to_string()))
+    }
+
+    /// Immutable access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables.get(name).ok_or_else(|| TxdbError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access to a table. Prefer the typed operations below; this
+    /// escape hatch bypasses foreign-key enforcement.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables.get_mut(name).ok_or_else(|| TxdbError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Schema of a table.
+    pub fn schema_of(&self, name: &str) -> Result<&TableSchema> {
+        Ok(self.table(name)?.schema())
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    // ----- procedures -----
+
+    /// Register a stored procedure.
+    pub fn register_procedure(&mut self, proc: Procedure) -> Result<()> {
+        // Validate table/column references eagerly so a broken procedure
+        // fails at registration, not mid-dialogue.
+        for op in proc.ops() {
+            let table = self.table(op.table())?;
+            match op {
+                ProcOp::Insert { columns, .. } => {
+                    for c in columns {
+                        table.schema().require_column(c)?;
+                    }
+                }
+                ProcOp::Delete { filter, .. } | ProcOp::Select { filter, .. } => {
+                    for (c, _) in filter {
+                        table.schema().require_column(c)?;
+                    }
+                }
+                ProcOp::Update { set, filter, .. } => {
+                    for (c, _) in set.iter().chain(filter) {
+                        table.schema().require_column(c)?;
+                    }
+                }
+            }
+        }
+        for p in proc.params() {
+            if let Some((t, c)) = &p.references {
+                self.table(t)?.schema().require_column(c)?;
+            }
+        }
+        self.procedures.insert(proc.name().to_string(), proc);
+        Ok(())
+    }
+
+    /// Look up a procedure by name.
+    pub fn procedure(&self, name: &str) -> Result<&Procedure> {
+        self.procedures.get(name).ok_or_else(|| TxdbError::UnknownProcedure(name.to_string()))
+    }
+
+    /// All registered procedures, sorted by name.
+    pub fn procedures(&self) -> impl Iterator<Item = &Procedure> + '_ {
+        self.procedures.values()
+    }
+
+    // ----- typed data operations (FK-enforcing) -----
+
+    /// Insert a row, enforcing foreign keys. Returns the new row id.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<RowId> {
+        let (rid, _undo) = self.insert_op(table, row)?;
+        Ok(rid)
+    }
+
+    /// Delete a row, enforcing referential integrity (RESTRICT).
+    pub fn delete(&mut self, table: &str, rid: RowId) -> Result<Row> {
+        let (row, _undo) = self.delete_op(table, rid)?;
+        Ok(row)
+    }
+
+    /// Update one column of a row, enforcing foreign keys.
+    pub fn update(&mut self, table: &str, rid: RowId, column: &str, value: Value) -> Result<Value> {
+        let (old, _undo) = self.update_op(table, rid, column, value)?;
+        Ok(old)
+    }
+
+    /// Rows matching a predicate (cloned out of storage).
+    pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        Ok(self
+            .table(table)?
+            .select(pred)?
+            .into_iter()
+            .map(|(rid, row)| (rid, row.clone()))
+            .collect())
+    }
+
+    /// Begin an explicit transaction. All operations through the returned
+    /// handle are rolled back unless `commit` is called.
+    pub fn begin(&mut self) -> Transaction<'_> {
+        Transaction::new(self)
+    }
+
+    /// Execute a stored procedure atomically with named arguments.
+    pub fn call(&mut self, name: &str, args: &[(String, Value)]) -> Result<ProcOutcome> {
+        let proc = self.procedure(name)?.clone();
+        let bound = proc.bind_args(args)?;
+        let mut txn = self.begin();
+        let outcome = txn.run_procedure(&proc, &bound)?;
+        txn.commit();
+        Ok(outcome)
+    }
+
+    // ----- internal ops returning undo records (used by Transaction) -----
+
+    pub(crate) fn insert_op(&mut self, table: &str, row: Row) -> Result<(RowId, UndoOp)> {
+        self.check_fk_parents(table, &row)?;
+        let t = self.table_mut(table)?;
+        let rid = t.insert(row)?;
+        Ok((rid, UndoOp::Insert { table: table.to_string(), rid }))
+    }
+
+    pub(crate) fn delete_op(&mut self, table: &str, rid: RowId) -> Result<(Row, UndoOp)> {
+        self.check_fk_children(table, rid)?;
+        let t = self.table_mut(table)?;
+        let row = t.delete(rid)?;
+        Ok((row.clone(), UndoOp::Delete { table: table.to_string(), rid, row }))
+    }
+
+    pub(crate) fn update_op(
+        &mut self,
+        table: &str,
+        rid: RowId,
+        column: &str,
+        value: Value,
+    ) -> Result<(Value, UndoOp)> {
+        // FK enforcement: updating an FK column must point at an existing
+        // parent; updating a referenced key column must not orphan children.
+        let schema = self.table(table)?.schema();
+        if let Some(fk) = schema.foreign_key_on(column).cloned() {
+            if !value.is_null() {
+                let parent = self.table(&fk.ref_table)?;
+                if parent.lookup(&fk.ref_column, &value).is_empty() {
+                    return Err(TxdbError::ForeignKeyViolation {
+                        table: table.to_string(),
+                        detail: format!("{column}={value} has no parent in {}", fk.ref_table),
+                    });
+                }
+            }
+        }
+        if self.is_referenced_column(table, column) {
+            let old = self.table(table)?.value_of(rid, column)?;
+            if old != value && self.has_children(table, column, &old)? {
+                return Err(TxdbError::ForeignKeyViolation {
+                    table: table.to_string(),
+                    detail: format!("rows reference {table}.{column}={old}"),
+                });
+            }
+        }
+        let col_idx = self.table(table)?.schema().require_column(column)?;
+        let t = self.table_mut(table)?;
+        let old = t.update(rid, column, value)?;
+        Ok((old.clone(), UndoOp::Update { table: table.to_string(), rid, col_idx, old }))
+    }
+
+    pub(crate) fn apply_undo(&mut self, op: UndoOp) {
+        match op {
+            UndoOp::Insert { table, rid } => {
+                if let Some(t) = self.tables.get_mut(&table) {
+                    t.remove_physical(rid);
+                }
+            }
+            UndoOp::Delete { table, rid, row } => {
+                if let Some(t) = self.tables.get_mut(&table) {
+                    t.insert_physical(rid, row);
+                }
+            }
+            UndoOp::Update { table, rid, col_idx, old } => {
+                if let Some(t) = self.tables.get_mut(&table) {
+                    t.set_physical(rid, col_idx, old);
+                }
+            }
+        }
+    }
+
+    // ----- foreign-key machinery -----
+
+    /// Every FK column of `row` must point at an existing parent row.
+    fn check_fk_parents(&self, table: &str, row: &Row) -> Result<()> {
+        let schema = self.table(table)?.schema();
+        for fk in schema.foreign_keys() {
+            let idx = schema.require_column(&fk.column)?;
+            let v = row.get(idx).cloned().unwrap_or(Value::Null);
+            if v.is_null() {
+                continue;
+            }
+            let parent = self.table(&fk.ref_table)?;
+            if parent.lookup(&fk.ref_column, &v).is_empty() {
+                return Err(TxdbError::ForeignKeyViolation {
+                    table: table.to_string(),
+                    detail: format!(
+                        "{}={v} has no parent row in {}({})",
+                        fk.column, fk.ref_table, fk.ref_column
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// No child row may reference the row about to be deleted.
+    fn check_fk_children(&self, table: &str, rid: RowId) -> Result<()> {
+        let target = self.table(table)?;
+        for (child_name, child) in &self.tables {
+            for fk in child.schema().foreign_keys() {
+                if fk.ref_table != table {
+                    continue;
+                }
+                let key = target.value_of(rid, &fk.ref_column)?;
+                if key.is_null() {
+                    continue;
+                }
+                if !child.lookup(&fk.column, &key).is_empty() {
+                    return Err(TxdbError::ForeignKeyViolation {
+                        table: table.to_string(),
+                        detail: format!(
+                            "{child_name}.{} references {table}.{}={key}",
+                            fk.column, fk.ref_column
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn is_referenced_column(&self, table: &str, column: &str) -> bool {
+        self.tables.values().any(|t| {
+            t.schema()
+                .foreign_keys()
+                .iter()
+                .any(|fk| fk.ref_table == table && fk.ref_column == column)
+        })
+    }
+
+    fn has_children(&self, table: &str, column: &str, key: &Value) -> Result<bool> {
+        for child in self.tables.values() {
+            for fk in child.schema().foreign_keys() {
+                if fk.ref_table == table
+                    && fk.ref_column == column
+                    && !child.lookup(&fk.column, key).is_empty()
+                {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procedure::{ParamDef, ParamExpr, ProcOp};
+    use crate::row;
+    use crate::value::DataType;
+
+    /// The cinema schema from the paper's Figure 3.
+    pub(crate) fn cinema_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("movie")
+                .column("movie_id", DataType::Int)
+                .column("title", DataType::Text)
+                .primary_key(&["movie_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("customer")
+                .column("customer_id", DataType::Int)
+                .column("name", DataType::Text)
+                .primary_key(&["customer_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("screening")
+                .column("screening_id", DataType::Int)
+                .column("movie_id", DataType::Int)
+                .column("date", DataType::Date)
+                .primary_key(&["screening_id"])
+                .foreign_key("movie_id", "movie", "movie_id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("reservation")
+                .column("customer_id", DataType::Int)
+                .column("screening_id", DataType::Int)
+                .column("no_tickets", DataType::Int)
+                .primary_key(&["customer_id", "screening_id"])
+                .foreign_key("customer_id", "customer", "customer_id")
+                .foreign_key("screening_id", "screening", "screening_id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("movie", row![1, "Forrest Gump"]).unwrap();
+        db.insert("movie", row![2, "Heat"]).unwrap();
+        db.insert("customer", row![1, "Ada Lovelace"]).unwrap();
+        db.insert("screening", row![10, 1, crate::value::Date::new(2022, 3, 26).unwrap()])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_drop_table() {
+        let mut db = Database::new();
+        let schema =
+            TableSchema::builder("t").column("a", DataType::Int).build().unwrap();
+        db.create_table(schema.clone()).unwrap();
+        assert!(matches!(db.create_table(schema).unwrap_err(), TxdbError::DuplicateTable(_)));
+        assert_eq!(db.table_names(), vec!["t"]);
+        db.drop_table("t").unwrap();
+        assert!(db.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn fk_parent_enforced_on_insert() {
+        let mut db = cinema_db();
+        // movie 99 does not exist.
+        let err = db
+            .insert("screening", row![11, 99, crate::value::Date::new(2022, 1, 1).unwrap()])
+            .unwrap_err();
+        assert!(matches!(err, TxdbError::ForeignKeyViolation { .. }));
+        db.insert("screening", row![11, 2, crate::value::Date::new(2022, 1, 1).unwrap()])
+            .unwrap();
+    }
+
+    #[test]
+    fn fk_children_block_delete() {
+        let mut db = cinema_db();
+        let (movie_rid, _) = db.table("movie").unwrap().get_by_pk(&[Value::Int(1)]).unwrap();
+        // screening 10 references movie 1.
+        assert!(matches!(
+            db.delete("movie", movie_rid).unwrap_err(),
+            TxdbError::ForeignKeyViolation { .. }
+        ));
+        // Unreferenced movie 2 can be deleted.
+        let (rid2, _) = db.table("movie").unwrap().get_by_pk(&[Value::Int(2)]).unwrap();
+        db.delete("movie", rid2).unwrap();
+    }
+
+    #[test]
+    fn fk_enforced_on_update() {
+        let mut db = cinema_db();
+        let (srid, _) = db.table("screening").unwrap().get_by_pk(&[Value::Int(10)]).unwrap();
+        assert!(db.update("screening", srid, "movie_id", Value::Int(99)).is_err());
+        db.update("screening", srid, "movie_id", Value::Int(2)).unwrap();
+        // Updating a referenced key away from its children fails.
+        let (mrid, _) = db.table("movie").unwrap().get_by_pk(&[Value::Int(2)]).unwrap();
+        assert!(db.update("movie", mrid, "movie_id", Value::Int(5)).is_err());
+    }
+
+    #[test]
+    fn procedure_registration_validates_references() {
+        let mut db = cinema_db();
+        let bad = Procedure::builder("p")
+            .param(ParamDef::scalar("x", DataType::Int))
+            .op(ProcOp::Delete {
+                table: "nope".into(),
+                filter: vec![("x".into(), ParamExpr::param("x"))],
+            })
+            .build()
+            .unwrap();
+        assert!(db.register_procedure(bad).is_err());
+
+        let bad_col = Procedure::builder("p")
+            .param(ParamDef::scalar("x", DataType::Int))
+            .op(ProcOp::Delete {
+                table: "movie".into(),
+                filter: vec![("bogus".into(), ParamExpr::param("x"))],
+            })
+            .build()
+            .unwrap();
+        assert!(db.register_procedure(bad_col).is_err());
+    }
+
+    #[test]
+    fn call_procedure_end_to_end() {
+        let mut db = cinema_db();
+        let proc = Procedure::builder("ticket_reservation")
+            .param(ParamDef::entity("customer_id", DataType::Int, "customer", "customer_id"))
+            .param(ParamDef::entity("screening_id", DataType::Int, "screening", "screening_id"))
+            .param(ParamDef::scalar("ticket_amount", DataType::Int))
+            .op(ProcOp::Insert {
+                table: "reservation".into(),
+                columns: vec!["customer_id".into(), "screening_id".into(), "no_tickets".into()],
+                values: vec![
+                    ParamExpr::param("customer_id"),
+                    ParamExpr::param("screening_id"),
+                    ParamExpr::param("ticket_amount"),
+                ],
+            })
+            .build()
+            .unwrap();
+        db.register_procedure(proc).unwrap();
+        let outcome = db
+            .call(
+                "ticket_reservation",
+                &[
+                    ("customer_id".into(), Value::Int(1)),
+                    ("screening_id".into(), Value::Int(10)),
+                    ("ticket_amount".into(), Value::Int(4)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(outcome.rows_affected, 1);
+        assert_eq!(db.table("reservation").unwrap().len(), 1);
+
+        // FK violation inside a call leaves the database unchanged.
+        let before = db.table("reservation").unwrap().version();
+        let err = db.call(
+            "ticket_reservation",
+            &[
+                ("customer_id".into(), Value::Int(77)),
+                ("screening_id".into(), Value::Int(10)),
+                ("ticket_amount".into(), Value::Int(1)),
+            ],
+        );
+        assert!(err.is_err());
+        assert_eq!(db.table("reservation").unwrap().len(), 1);
+        assert_eq!(db.table("reservation").unwrap().version(), before);
+    }
+
+    #[test]
+    fn unknown_procedure() {
+        let mut db = cinema_db();
+        assert!(matches!(db.call("nope", &[]).unwrap_err(), TxdbError::UnknownProcedure(_)));
+    }
+}

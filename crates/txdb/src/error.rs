@@ -1,0 +1,107 @@
+//! Error types for the transactional database substrate.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// All errors that the database engine can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxdbError {
+    /// Referenced a table that does not exist in the catalog.
+    UnknownTable(String),
+    /// Referenced a column that does not exist on the given table.
+    UnknownColumn { table: String, column: String },
+    /// Attempted to create a table whose name is already taken.
+    DuplicateTable(String),
+    /// Attempted to create an index that already exists.
+    DuplicateIndex { table: String, column: String },
+    /// A value did not match the declared column type.
+    TypeMismatch {
+        expected: DataType,
+        got: String,
+        context: String,
+    },
+    /// A row violated a primary-key or unique constraint.
+    DuplicateKey { table: String, key: String },
+    /// A row referenced a non-existent parent row, or a delete would
+    /// orphan child rows (referential actions are `RESTRICT`).
+    ForeignKeyViolation { table: String, detail: String },
+    /// A `NOT NULL` column received a null value.
+    NotNullViolation { table: String, column: String },
+    /// Row arity did not match the table schema.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// Referenced a stored procedure that does not exist.
+    UnknownProcedure(String),
+    /// Procedure invoked with missing or unexpected arguments.
+    BadProcedureArgs { procedure: String, detail: String },
+    /// The requested row id does not exist (possibly deleted).
+    NoSuchRow { table: String },
+    /// A value literal could not be parsed as the requested type.
+    InvalidValue(String),
+    /// SQL text could not be lexed or parsed.
+    Parse(String),
+    /// A transaction was explicitly aborted.
+    Aborted(String),
+}
+
+impl fmt::Display for TxdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxdbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            TxdbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` on table `{table}`")
+            }
+            TxdbError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            TxdbError::DuplicateIndex { table, column } => {
+                write!(f, "index on `{table}.{column}` already exists")
+            }
+            TxdbError::TypeMismatch { expected, got, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, got {got}")
+            }
+            TxdbError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key {key} for table `{table}`")
+            }
+            TxdbError::ForeignKeyViolation { table, detail } => {
+                write!(f, "foreign key violation on `{table}`: {detail}")
+            }
+            TxdbError::NotNullViolation { table, column } => {
+                write!(f, "null value in NOT NULL column `{table}.{column}`")
+            }
+            TxdbError::ArityMismatch { table, expected, got } => {
+                write!(f, "row arity mismatch for `{table}`: expected {expected} values, got {got}")
+            }
+            TxdbError::UnknownProcedure(p) => write!(f, "unknown procedure `{p}`"),
+            TxdbError::BadProcedureArgs { procedure, detail } => {
+                write!(f, "bad arguments for procedure `{procedure}`: {detail}")
+            }
+            TxdbError::NoSuchRow { table } => write!(f, "no such row in table `{table}`"),
+            TxdbError::InvalidValue(s) => write!(f, "invalid value: {s}"),
+            TxdbError::Parse(s) => write!(f, "SQL parse error: {s}"),
+            TxdbError::Aborted(s) => write!(f, "transaction aborted: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TxdbError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TxdbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_human_readable() {
+        let e = TxdbError::UnknownColumn { table: "movie".into(), column: "titel".into() };
+        assert_eq!(e.to_string(), "unknown column `titel` on table `movie`");
+        let e = TxdbError::NotNullViolation { table: "customer".into(), column: "name".into() };
+        assert!(e.to_string().contains("NOT NULL"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&TxdbError::UnknownTable("x".into()));
+    }
+}

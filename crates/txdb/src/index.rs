@@ -1,0 +1,198 @@
+//! Ordered secondary indexes for range predicates.
+//!
+//! Hash indexes (in [`crate::table`]) serve equality lookups; this module
+//! adds B-tree-backed ordered indexes so `price <= 10` or date-window
+//! scans don't have to touch every row.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::row::RowId;
+use crate::value::Value;
+
+/// A total-order wrapper over [`Value`].
+///
+/// Values within one column are homogeneously typed, where `partial_cmp`
+/// is already total; across types (which only happens transiently, e.g.
+/// NULL markers are excluded before indexing) we order by a type rank so
+/// `Ord`'s contract holds unconditionally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrdKey(pub Value);
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Text(_) => 3,
+        Value::Date(_) => 4,
+    }
+}
+
+impl Eq for OrdKey {}
+
+impl PartialOrd for OrdKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.0.partial_cmp(&other.0) {
+            Some(ord) => ord,
+            None => type_rank(&self.0).cmp(&type_rank(&other.0)),
+        }
+    }
+}
+
+/// An ordered index: sorted map from value to the row ids holding it.
+#[derive(Debug, Clone, Default)]
+pub struct RangeIndex {
+    map: BTreeMap<OrdKey, Vec<RowId>>,
+}
+
+impl RangeIndex {
+    pub fn new() -> RangeIndex {
+        RangeIndex::default()
+    }
+
+    /// Register a row's value (NULLs are never indexed).
+    pub fn insert(&mut self, value: Value, rid: RowId) {
+        if value.is_null() {
+            return;
+        }
+        self.map.entry(OrdKey(value)).or_default().push(rid);
+    }
+
+    /// Remove a row's value.
+    pub fn remove(&mut self, value: &Value, rid: RowId) {
+        if value.is_null() {
+            return;
+        }
+        let key = OrdKey(value.clone());
+        if let Some(ids) = self.map.get_mut(&key) {
+            ids.retain(|&r| r != rid);
+            if ids.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Row ids with values in the given (inclusive/exclusive) bounds.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RowId> {
+        let conv = |b: Bound<&Value>| match b {
+            Bound::Included(v) => Bound::Included(OrdKey(v.clone())),
+            Bound::Excluded(v) => Bound::Excluded(OrdKey(v.clone())),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut out: Vec<RowId> = self
+            .map
+            .range((conv(lo), conv(hi)))
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, value: &Value) -> Vec<RowId> {
+        self.map.get(&OrdKey(value.clone())).cloned().unwrap_or_default()
+    }
+
+    /// Number of distinct values.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Smallest and largest indexed value.
+    pub fn min_max(&self) -> Option<(&Value, &Value)> {
+        let min = self.map.keys().next()?;
+        let max = self.map.keys().next_back()?;
+        Some((&min.0, &max.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RangeIndex {
+        let mut idx = RangeIndex::new();
+        for (i, v) in [5i64, 3, 9, 3, 7].into_iter().enumerate() {
+            idx.insert(Value::Int(v), RowId(i as u64 + 1));
+        }
+        idx
+    }
+
+    #[test]
+    fn range_queries() {
+        let idx = sample();
+        let ids = idx.range(Bound::Included(&Value::Int(3)), Bound::Included(&Value::Int(5)));
+        assert_eq!(ids, vec![RowId(1), RowId(2), RowId(4)]);
+        let ids = idx.range(Bound::Excluded(&Value::Int(3)), Bound::Unbounded);
+        assert_eq!(ids, vec![RowId(1), RowId(3), RowId(5)]);
+        let ids = idx.range(Bound::Unbounded, Bound::Excluded(&Value::Int(3)));
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn insert_remove_consistency() {
+        let mut idx = sample();
+        idx.remove(&Value::Int(3), RowId(2));
+        assert_eq!(idx.get(&Value::Int(3)), vec![RowId(4)]);
+        idx.remove(&Value::Int(3), RowId(4));
+        assert!(idx.get(&Value::Int(3)).is_empty());
+        assert_eq!(idx.distinct(), 3);
+        // NULLs are ignored.
+        idx.insert(Value::Null, RowId(99));
+        assert_eq!(idx.distinct(), 3);
+    }
+
+    #[test]
+    fn min_max_and_text_ordering() {
+        let mut idx = RangeIndex::new();
+        for (i, s) in ["mango", "apple", "peach"].iter().enumerate() {
+            idx.insert(Value::Text(s.to_string()), RowId(i as u64));
+        }
+        let (min, max) = idx.min_max().unwrap();
+        assert_eq!(min.render(), "apple");
+        assert_eq!(max.render(), "peach");
+        let ids = idx.range(
+            Bound::Included(&Value::Text("b".into())),
+            Bound::Excluded(&Value::Text("n".into())),
+        );
+        assert_eq!(ids, vec![RowId(0)]); // mango only
+    }
+
+    #[test]
+    fn int_float_interleave() {
+        // Ints and floats compare numerically in Value; the index must
+        // honour that.
+        let mut idx = RangeIndex::new();
+        idx.insert(Value::Int(2), RowId(1));
+        idx.insert(Value::Float(2.5), RowId(2));
+        idx.insert(Value::Int(3), RowId(3));
+        let ids = idx.range(Bound::Included(&Value::Float(2.1)), Bound::Unbounded);
+        assert_eq!(ids, vec![RowId(2), RowId(3)]);
+    }
+
+    #[test]
+    fn ordkey_total_order_is_antisymmetric() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(1),
+            Value::Float(2.5),
+            Value::Text("x".into()),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = OrdKey(a.clone()).cmp(&OrdKey(b.clone()));
+                let ba = OrdKey(b.clone()).cmp(&OrdKey(a.clone()));
+                assert_eq!(ab, ba.reverse(), "{a:?} vs {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # cat-txdb — transactional database substrate for CAT
+//!
+//! An in-memory relational OLTP engine built for the CAT reproduction
+//! (Gassen et al., *Demonstrating CAT*, VLDB 2022). It provides everything
+//! the conversational layers need from "the backbone database":
+//!
+//! * **Schemas** with primary keys, foreign keys, uniqueness, NOT NULL, and
+//!   the conversational annotations from the paper's Figure 4
+//!   ([`schema::AskPreference`], awareness priors, display names).
+//! * **Storage** with hash indexes, predicate scans and stable row ids.
+//! * **Transactions** via an undo log — stored procedures execute
+//!   atomically when the user confirms a task.
+//! * **Stored procedures** declared declaratively so that the datagen layer
+//!   can extract tasks/slots automatically.
+//! * **Statistics** (distinct counts, MCVs, histograms, Shannon entropy,
+//!   selectivities) — the raw material of the data-aware dialogue policy.
+//! * A small **SQL subset** for loading example data and cross-checking the
+//!   typed API.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cat_txdb::{Database, TableSchema, DataType, Predicate, row};
+//!
+//! let mut db = Database::new();
+//! db.create_table(
+//!     TableSchema::builder("movie")
+//!         .column("movie_id", DataType::Int)
+//!         .column("title", DataType::Text)
+//!         .primary_key(&["movie_id"])
+//!         .build()
+//!         .unwrap(),
+//! ).unwrap();
+//! db.insert("movie", row![1, "Forrest Gump"]).unwrap();
+//! let hits = db.select("movie", &Predicate::eq("title", "Forrest Gump")).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod catalog;
+pub mod database;
+pub mod dump;
+pub mod error;
+pub mod index;
+pub mod predicate;
+pub mod procedure;
+pub mod row;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod table;
+pub mod txn;
+pub mod value;
+
+pub use catalog::{fk_neighbors, follow_hop, follow_path, join_path, reachable_tables, JoinDirection, JoinHop};
+pub use database::Database;
+pub use dump::{dump_sql, restore_sql};
+pub use error::{Result, TxdbError};
+pub use index::{OrdKey, RangeIndex};
+pub use predicate::{CmpOp, Predicate};
+pub use procedure::{ParamDef, ParamExpr, ProcOp, ProcOutcome, Procedure};
+pub use row::{Row, RowId};
+pub use schema::{AskPreference, ColumnDef, ForeignKey, TableSchema};
+pub use stats::{entropy_of_counts, subset_entropy, ColumnStats, Histogram, TableStats};
+pub use table::Table;
+pub use txn::Transaction;
+pub use value::{DataType, Date, Value};

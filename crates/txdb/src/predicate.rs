@@ -1,0 +1,322 @@
+//! Row predicates: a small boolean algebra over column comparisons.
+//!
+//! Predicates are used by the query layer, by the SQL `WHERE` clause and —
+//! most importantly for CAT — by the candidate-set tracker, which represents
+//! "everything the user has told us so far" as a conjunction of predicates.
+
+use std::fmt;
+
+use crate::error::Result;
+use crate::row::Row;
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// Comparison operator between a column and a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison; `None` for incomparable cross-type pairs.
+    pub fn eval(self, left: &Value, right: &Value) -> Option<bool> {
+        match self {
+            CmpOp::Eq => Some(left == right),
+            CmpOp::Ne => Some(left != right),
+            _ => {
+                let ord = left.partial_cmp(right)?;
+                Some(match self {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                    CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                })
+            }
+        }
+    }
+
+    /// SQL symbol for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A boolean predicate over a single table's rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (the neutral element of `and`).
+    True,
+    /// Always false.
+    False,
+    /// `column <op> literal`.
+    Cmp { column: String, op: CmpOp, value: Value },
+    /// Case-insensitive substring match on a text column.
+    Contains { column: String, needle: String },
+    /// `column IS NULL`.
+    IsNull { column: String },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = value`, the workhorse of slot filling.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp { column: column.into(), op: CmpOp::Eq, value: value.into() }
+    }
+
+    /// `column <op> value`.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp { column: column.into(), op, value: value.into() }
+    }
+
+    /// Case-insensitive substring match.
+    pub fn contains(column: impl Into<String>, needle: impl Into<String>) -> Predicate {
+        Predicate::Contains { column: column.into(), needle: needle.into() }
+    }
+
+    /// Conjunction that simplifies away `True`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::False, _) | (_, Predicate::False) => Predicate::False,
+            (a, b) => Predicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction that simplifies away `False`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::False, p) | (p, Predicate::False) => p,
+            (Predicate::True, _) | (_, Predicate::True) => Predicate::True,
+            (a, b) => Predicate::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        match self {
+            Predicate::True => Predicate::False,
+            Predicate::False => Predicate::True,
+            Predicate::Not(inner) => *inner,
+            p => Predicate::Not(Box::new(p)),
+        }
+    }
+
+    /// Conjunction of many predicates.
+    pub fn all(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
+        preds.into_iter().fold(Predicate::True, Predicate::and)
+    }
+
+    /// Evaluate against a row. Comparisons involving NULL are false
+    /// (three-valued logic collapsed to false, as in SQL `WHERE`), except
+    /// for explicit `IsNull`.
+    pub fn eval(&self, schema: &TableSchema, row: &Row) -> Result<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Cmp { column, op, value } => {
+                let idx = schema.require_column(column)?;
+                let cell = row.get(idx).unwrap_or(&Value::Null);
+                if cell.is_null() || value.is_null() {
+                    // SQL semantics: NULL = NULL is not true in WHERE.
+                    false
+                } else {
+                    op.eval(cell, value).unwrap_or(false)
+                }
+            }
+            Predicate::Contains { column, needle } => {
+                let idx = schema.require_column(column)?;
+                match row.get(idx).and_then(|v| v.as_text()) {
+                    Some(hay) => hay.to_lowercase().contains(&needle.to_lowercase()),
+                    None => false,
+                }
+            }
+            Predicate::IsNull { column } => {
+                let idx = schema.require_column(column)?;
+                row.get(idx).is_none_or(Value::is_null)
+            }
+            Predicate::And(a, b) => a.eval(schema, row)? && b.eval(schema, row)?,
+            Predicate::Or(a, b) => a.eval(schema, row)? || b.eval(schema, row)?,
+            Predicate::Not(p) => !p.eval(schema, row)?,
+        })
+    }
+
+    /// Column names referenced by this predicate (with duplicates).
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::Cmp { column, .. }
+            | Predicate::Contains { column, .. }
+            | Predicate::IsNull { column } => out.push(column),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// If this predicate is a conjunction of equality constraints, return
+    /// them as (column, value) pairs; `None` otherwise. Used to route
+    /// lookups through hash indexes.
+    pub fn as_equality_conjunction(&self) -> Option<Vec<(&str, &Value)>> {
+        let mut out = Vec::new();
+        if self.collect_equalities(&mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn collect_equalities<'a>(&'a self, out: &mut Vec<(&'a str, &'a Value)>) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { column, op: CmpOp::Eq, value } => {
+                out.push((column.as_str(), value));
+                true
+            }
+            Predicate::And(a, b) => a.collect_equalities(out) && b.collect_equalities(out),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::False => write!(f, "FALSE"),
+            Predicate::Cmp { column, op, value } => {
+                write!(f, "{column} {} {}", op.symbol(), value.to_sql_literal())
+            }
+            Predicate::Contains { column, needle } => {
+                write!(f, "{column} LIKE '%{needle}%'")
+            }
+            Predicate::IsNull { column } => write!(f, "{column} IS NULL"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT ({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema::builder("movie")
+            .column("movie_id", DataType::Int)
+            .column("title", DataType::Text)
+            .nullable_column("rating", DataType::Float)
+            .primary_key(&["movie_id"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn equality_and_comparison() {
+        let s = schema();
+        let r = row![1, "Forrest Gump", 8.8];
+        assert!(Predicate::eq("title", "Forrest Gump").eval(&s, &r).unwrap());
+        assert!(!Predicate::eq("title", "Heat").eval(&s, &r).unwrap());
+        assert!(Predicate::cmp("rating", CmpOp::Gt, 8.0).eval(&s, &r).unwrap());
+        assert!(Predicate::cmp("rating", CmpOp::Le, 8.8).eval(&s, &r).unwrap());
+        assert!(!Predicate::cmp("rating", CmpOp::Lt, 8.8).eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        let s = schema();
+        let r = row![1, "Forrest Gump", 8.8];
+        assert!(Predicate::contains("title", "gump").eval(&s, &r).unwrap());
+        assert!(!Predicate::contains("title", "heat").eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn null_semantics() {
+        let s = schema();
+        let r = Row::new(vec![Value::Int(1), Value::Text("X".into()), Value::Null]);
+        // NULL compares false under every operator...
+        assert!(!Predicate::eq("rating", 8.8).eval(&s, &r).unwrap());
+        assert!(!Predicate::cmp("rating", CmpOp::Lt, 9.0).eval(&s, &r).unwrap());
+        assert!(!Predicate::Cmp {
+            column: "rating".into(),
+            op: CmpOp::Ne,
+            value: Value::Float(1.0)
+        }
+        .eval(&s, &r)
+        .unwrap());
+        // ...but IS NULL sees it.
+        assert!(Predicate::IsNull { column: "rating".into() }.eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn boolean_algebra_simplification() {
+        let p = Predicate::eq("title", "Heat");
+        assert_eq!(Predicate::True.and(p.clone()), p);
+        assert_eq!(p.clone().and(Predicate::False), Predicate::False);
+        assert_eq!(Predicate::False.or(p.clone()), p);
+        assert_eq!(p.clone().or(Predicate::True), Predicate::True);
+        assert_eq!(p.clone().not().not(), p);
+        assert_eq!(Predicate::True.not(), Predicate::False);
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let s = schema();
+        let r = row![1, "X", 1.0];
+        assert!(Predicate::eq("nope", 1).eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn equality_conjunction_extraction() {
+        let p = Predicate::eq("a", 1).and(Predicate::eq("b", "x"));
+        let eqs = p.as_equality_conjunction().unwrap();
+        assert_eq!(eqs.len(), 2);
+        assert_eq!(eqs[0].0, "a");
+        let q = Predicate::eq("a", 1).or(Predicate::eq("b", 2));
+        assert!(q.as_equality_conjunction().is_none());
+        assert_eq!(Predicate::True.as_equality_conjunction().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn columns_collection() {
+        let p = Predicate::eq("a", 1).and(Predicate::contains("b", "x").or(Predicate::eq("a", 2)));
+        let mut cols = p.columns();
+        cols.sort_unstable();
+        assert_eq!(cols, vec!["a", "a", "b"]);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let p = Predicate::eq("title", "O'Hara").and(Predicate::cmp("rating", CmpOp::Ge, 8));
+        assert_eq!(p.to_string(), "(title = 'O''Hara' AND rating >= 8)");
+    }
+}

@@ -1,0 +1,428 @@
+//! Stored procedures (the paper's "transactions").
+//!
+//! A CAT deployment exposes a set of database transactions to end users —
+//! e.g. `ticket_reservation(customer_id, screening_id, ticket_amount)`.
+//! Procedures here are *declarative*: a typed parameter list plus a list of
+//! relational operations over those parameters. Keeping them declarative is
+//! what lets the datagen layer extract tasks, slots and their table bindings
+//! automatically (paper §2, "Extracted Tasks and Schema Information").
+
+use std::fmt;
+
+use crate::error::{Result, TxdbError};
+use crate::value::{DataType, Value};
+
+/// An expression usable inside a procedure body: either a reference to one
+/// of the procedure's parameters or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamExpr {
+    /// Reference to a declared parameter by name.
+    Param(String),
+    /// A literal constant.
+    Const(Value),
+}
+
+impl ParamExpr {
+    /// Shorthand for a parameter reference.
+    pub fn param(name: impl Into<String>) -> ParamExpr {
+        ParamExpr::Param(name.into())
+    }
+
+    /// Shorthand for a constant.
+    pub fn constant(v: impl Into<Value>) -> ParamExpr {
+        ParamExpr::Const(v.into())
+    }
+
+    /// Resolve against a bound argument list.
+    pub fn resolve(&self, proc_name: &str, args: &[(String, Value)]) -> Result<Value> {
+        match self {
+            ParamExpr::Const(v) => Ok(v.clone()),
+            ParamExpr::Param(p) => args
+                .iter()
+                .find(|(n, _)| n == p)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| TxdbError::BadProcedureArgs {
+                    procedure: proc_name.to_string(),
+                    detail: format!("missing argument `{p}`"),
+                }),
+        }
+    }
+}
+
+impl fmt::Display for ParamExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamExpr::Param(p) => write!(f, ":{p}"),
+            ParamExpr::Const(v) => write!(f, "{}", v.to_sql_literal()),
+        }
+    }
+}
+
+/// One relational operation inside a procedure body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcOp {
+    /// Insert a row; `columns` and `values` are aligned; unmentioned
+    /// columns receive NULL.
+    Insert { table: String, columns: Vec<String>, values: Vec<ParamExpr> },
+    /// Delete rows matching the equality filter.
+    Delete { table: String, filter: Vec<(String, ParamExpr)> },
+    /// Update `set` columns on rows matching the equality filter.
+    Update {
+        table: String,
+        set: Vec<(String, ParamExpr)>,
+        filter: Vec<(String, ParamExpr)>,
+    },
+    /// Read rows matching the equality filter (projected to `columns`,
+    /// or all columns when `None`); results are returned to the caller.
+    Select { table: String, filter: Vec<(String, ParamExpr)>, columns: Option<Vec<String>> },
+}
+
+impl ProcOp {
+    /// The table this operation touches.
+    pub fn table(&self) -> &str {
+        match self {
+            ProcOp::Insert { table, .. }
+            | ProcOp::Delete { table, .. }
+            | ProcOp::Update { table, .. }
+            | ProcOp::Select { table, .. } => table,
+        }
+    }
+
+    /// Whether this op mutates data.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, ProcOp::Select { .. })
+    }
+}
+
+/// A declared procedure parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDef {
+    /// Parameter name; doubles as the slot name in the dialogue layer.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// When the parameter identifies an entity, the `(table, column)` it
+    /// references — e.g. `customer_id` references `customer.customer_id`.
+    /// This is the hook for data-aware entity identification.
+    pub references: Option<(String, String)>,
+    /// Human-readable description (surfaced in generated utterances).
+    pub description: String,
+}
+
+impl ParamDef {
+    /// A plain scalar parameter.
+    pub fn scalar(name: impl Into<String>, ty: DataType) -> ParamDef {
+        ParamDef { name: name.into(), ty, references: None, description: String::new() }
+    }
+
+    /// A parameter that identifies an entity in `table.column`.
+    pub fn entity(
+        name: impl Into<String>,
+        ty: DataType,
+        table: impl Into<String>,
+        column: impl Into<String>,
+    ) -> ParamDef {
+        ParamDef {
+            name: name.into(),
+            ty,
+            references: Some((table.into(), column.into())),
+            description: String::new(),
+        }
+    }
+
+    /// Attach a description.
+    pub fn describe(mut self, d: impl Into<String>) -> ParamDef {
+        self.description = d.into();
+        self
+    }
+}
+
+/// A stored procedure: the unit of work a conversational task completes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    name: String,
+    description: String,
+    params: Vec<ParamDef>,
+    ops: Vec<ProcOp>,
+}
+
+impl Procedure {
+    /// Start building a procedure.
+    pub fn builder(name: impl Into<String>) -> ProcedureBuilder {
+        ProcedureBuilder {
+            proc: Procedure {
+                name: name.into(),
+                description: String::new(),
+                params: Vec::new(),
+                ops: Vec::new(),
+            },
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    pub fn ops(&self) -> &[ProcOp] {
+        &self.ops
+    }
+
+    /// Find a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamDef> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Whether any op writes.
+    pub fn is_write(&self) -> bool {
+        self.ops.iter().any(ProcOp::is_write)
+    }
+
+    /// Validate and coerce an argument list against the parameter
+    /// declarations; returns arguments in declaration order.
+    pub fn bind_args(&self, args: &[(String, Value)]) -> Result<Vec<(String, Value)>> {
+        let mut bound = Vec::with_capacity(self.params.len());
+        for p in &self.params {
+            let raw = args.iter().find(|(n, _)| n == &p.name).map(|(_, v)| v).ok_or_else(|| {
+                TxdbError::BadProcedureArgs {
+                    procedure: self.name.clone(),
+                    detail: format!("missing argument `{}`", p.name),
+                }
+            })?;
+            let coerced = raw.coerce_to(p.ty).map_err(|_| TxdbError::BadProcedureArgs {
+                procedure: self.name.clone(),
+                detail: format!("argument `{}` must be {} (got `{raw}`)", p.name, p.ty),
+            })?;
+            bound.push((p.name.clone(), coerced));
+        }
+        for (n, _) in args {
+            if self.param(n).is_none() {
+                return Err(TxdbError::BadProcedureArgs {
+                    procedure: self.name.clone(),
+                    detail: format!("unexpected argument `{n}`"),
+                });
+            }
+        }
+        Ok(bound)
+    }
+}
+
+/// Fluent builder for [`Procedure`].
+#[derive(Debug, Clone)]
+pub struct ProcedureBuilder {
+    proc: Procedure,
+}
+
+impl ProcedureBuilder {
+    /// Attach a human-readable description.
+    pub fn describe(mut self, d: impl Into<String>) -> Self {
+        self.proc.description = d.into();
+        self
+    }
+
+    /// Declare a parameter.
+    pub fn param(mut self, def: ParamDef) -> Self {
+        self.proc.params.push(def);
+        self
+    }
+
+    /// Append an operation.
+    pub fn op(mut self, op: ProcOp) -> Self {
+        self.proc.ops.push(op);
+        self
+    }
+
+    /// Insert helper: `columns` and parameter names coincide.
+    pub fn insert_params(mut self, table: &str, columns: &[&str]) -> Self {
+        self.proc.ops.push(ProcOp::Insert {
+            table: table.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            values: columns.iter().map(|c| ParamExpr::param(*c)).collect(),
+        });
+        self
+    }
+
+    /// Delete helper with `column = :param` filters where column == param.
+    pub fn delete_by_params(mut self, table: &str, columns: &[&str]) -> Self {
+        self.proc.ops.push(ProcOp::Delete {
+            table: table.to_string(),
+            filter: columns.iter().map(|c| (c.to_string(), ParamExpr::param(*c))).collect(),
+        });
+        self
+    }
+
+    /// Select helper with `column = :param` filters.
+    pub fn select_by_params(mut self, table: &str, columns: &[&str]) -> Self {
+        self.proc.ops.push(ProcOp::Select {
+            table: table.to_string(),
+            filter: columns.iter().map(|c| (c.to_string(), ParamExpr::param(*c))).collect(),
+            columns: None,
+        });
+        self
+    }
+
+    /// Finish, validating that every referenced parameter is declared.
+    pub fn build(self) -> Result<Procedure> {
+        let p = &self.proc;
+        let check_expr = |e: &ParamExpr| -> Result<()> {
+            if let ParamExpr::Param(name) = e {
+                if p.param(name).is_none() {
+                    return Err(TxdbError::BadProcedureArgs {
+                        procedure: p.name.clone(),
+                        detail: format!("body references undeclared parameter `{name}`"),
+                    });
+                }
+            }
+            Ok(())
+        };
+        for op in &p.ops {
+            match op {
+                ProcOp::Insert { columns, values, .. } => {
+                    if columns.len() != values.len() {
+                        return Err(TxdbError::BadProcedureArgs {
+                            procedure: p.name.clone(),
+                            detail: "insert columns/values length mismatch".into(),
+                        });
+                    }
+                    for v in values {
+                        check_expr(v)?;
+                    }
+                }
+                ProcOp::Delete { filter, .. } => {
+                    for (_, v) in filter {
+                        check_expr(v)?;
+                    }
+                }
+                ProcOp::Update { set, filter, .. } => {
+                    for (_, v) in set.iter().chain(filter) {
+                        check_expr(v)?;
+                    }
+                }
+                ProcOp::Select { filter, .. } => {
+                    for (_, v) in filter {
+                        check_expr(v)?;
+                    }
+                }
+            }
+        }
+        Ok(self.proc)
+    }
+}
+
+/// Result of executing a procedure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcOutcome {
+    /// Rows inserted + deleted + updated across all ops.
+    pub rows_affected: usize,
+    /// Rows returned by `Select` ops, in op order.
+    pub rows: Vec<Vec<Value>>,
+    /// Column names of the last `Select` (if any).
+    pub columns: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reservation_proc() -> Procedure {
+        Procedure::builder("ticket_reservation")
+            .describe("Reserve tickets for a screening")
+            .param(ParamDef::entity("customer_id", DataType::Int, "customer", "customer_id"))
+            .param(ParamDef::entity("screening_id", DataType::Int, "screening", "screening_id"))
+            .param(ParamDef::scalar("ticket_amount", DataType::Int).describe("number of tickets"))
+            .op(ProcOp::Insert {
+                table: "reservation".into(),
+                columns: vec!["customer_id".into(), "screening_id".into(), "no_tickets".into()],
+                values: vec![
+                    ParamExpr::param("customer_id"),
+                    ParamExpr::param("screening_id"),
+                    ParamExpr::param("ticket_amount"),
+                ],
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let p = reservation_proc();
+        assert_eq!(p.name(), "ticket_reservation");
+        assert_eq!(p.params().len(), 3);
+        assert!(p.is_write());
+        assert_eq!(
+            p.param("customer_id").unwrap().references,
+            Some(("customer".into(), "customer_id".into()))
+        );
+        assert_eq!(p.ops()[0].table(), "reservation");
+    }
+
+    #[test]
+    fn bind_args_validates_and_coerces() {
+        let p = reservation_proc();
+        let bound = p
+            .bind_args(&[
+                ("ticket_amount".into(), Value::Text("4".into())),
+                ("customer_id".into(), Value::Int(1)),
+                ("screening_id".into(), Value::Int(2)),
+            ])
+            .unwrap();
+        // Declaration order, coerced to INT.
+        assert_eq!(bound[0], ("customer_id".to_string(), Value::Int(1)));
+        assert_eq!(bound[2], ("ticket_amount".to_string(), Value::Int(4)));
+
+        assert!(p.bind_args(&[("customer_id".into(), Value::Int(1))]).is_err());
+        assert!(p
+            .bind_args(&[
+                ("customer_id".into(), Value::Int(1)),
+                ("screening_id".into(), Value::Int(2)),
+                ("ticket_amount".into(), Value::Int(1)),
+                ("bogus".into(), Value::Int(9)),
+            ])
+            .is_err());
+    }
+
+    #[test]
+    fn build_rejects_undeclared_param_reference() {
+        let r = Procedure::builder("p")
+            .param(ParamDef::scalar("a", DataType::Int))
+            .op(ProcOp::Delete {
+                table: "t".into(),
+                filter: vec![("x".into(), ParamExpr::param("b"))],
+            })
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn param_expr_resolution() {
+        let args = vec![("a".to_string(), Value::Int(1))];
+        assert_eq!(ParamExpr::param("a").resolve("p", &args).unwrap(), Value::Int(1));
+        assert_eq!(ParamExpr::constant(9).resolve("p", &args).unwrap(), Value::Int(9));
+        assert!(ParamExpr::param("z").resolve("p", &args).is_err());
+        assert_eq!(ParamExpr::param("a").to_string(), ":a");
+    }
+
+    #[test]
+    fn helper_builders() {
+        let p = Procedure::builder("cancel")
+            .param(ParamDef::scalar("customer_id", DataType::Int))
+            .param(ParamDef::scalar("screening_id", DataType::Int))
+            .delete_by_params("reservation", &["customer_id", "screening_id"])
+            .build()
+            .unwrap();
+        match &p.ops()[0] {
+            ProcOp::Delete { table, filter } => {
+                assert_eq!(table, "reservation");
+                assert_eq!(filter.len(), 2);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+}

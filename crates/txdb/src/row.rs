@@ -1,0 +1,118 @@
+//! Rows and row identifiers.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Opaque, stable identifier of a row within one table.
+///
+/// Row ids are assigned by the table on insert, never reused, and survive
+/// updates. They are the engine's internal handle — primary keys are the
+/// user-visible identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A tuple of values, positionally matching a table schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row(Vec<Value>);
+
+impl Row {
+    /// Construct from a vector of values.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row(values)
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Value at a column index.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// Replace the value at `idx`; returns the old value.
+    pub fn set(&mut self, idx: usize, value: Value) -> Option<Value> {
+        let slot = self.0.get_mut(idx)?;
+        Some(std::mem::replace(slot, value))
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Build a [`Row`] from a list of expressions convertible to [`Value`].
+///
+/// ```
+/// use cat_txdb::row;
+/// let r = row![1, "Forrest Gump", 8.8];
+/// assert_eq!(r.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::row::Row::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_accessors() {
+        let mut r = row![1, "hi", 2.5];
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(1).unwrap().as_text(), Some("hi"));
+        assert_eq!(r.get(3), None);
+        let old = r.set(0, Value::Int(9)).unwrap();
+        assert_eq!(old, Value::Int(1));
+        assert_eq!(r.get(0).unwrap().as_int(), Some(9));
+        assert_eq!(r.set(7, Value::Null), None);
+    }
+
+    #[test]
+    fn row_display() {
+        let r = row![1, "hi"];
+        assert_eq!(r.to_string(), "(1, hi)");
+    }
+
+    #[test]
+    fn row_id_ordering_and_display() {
+        assert!(RowId(1) < RowId(2));
+        assert_eq!(RowId(7).to_string(), "#7");
+    }
+}

@@ -1,0 +1,420 @@
+//! Table schemas: columns, keys, foreign keys and the conversational
+//! annotations CAT attaches to them.
+//!
+//! The annotations ([`AskPreference`] and the awareness prior) are the
+//! machine form of the schema-annotation GUI shown in the paper's Figure 4:
+//! a developer marks technical columns (IDs, hashes) as things an agent
+//! should avoid asking a user for, and may seed a prior probability that
+//! users know each attribute.
+
+use std::fmt;
+
+use crate::error::{Result, TxdbError};
+use crate::value::DataType;
+
+/// How eagerly the dialogue policy may ask a user for this column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AskPreference {
+    /// Fine to ask (default).
+    #[default]
+    Neutral,
+    /// A good human-friendly attribute; prefer it on ties.
+    Preferred,
+    /// Technical field (ID, hash, …): ask only as a last resort.
+    Avoid,
+    /// Never ask the user for this (e.g. internal bookkeeping columns).
+    Never,
+}
+
+impl AskPreference {
+    /// Multiplicative weight applied to the policy score.
+    pub fn weight(self) -> f64 {
+        match self {
+            AskPreference::Preferred => 1.25,
+            AskPreference::Neutral => 1.0,
+            AskPreference::Avoid => 0.15,
+            AskPreference::Never => 0.0,
+        }
+    }
+
+    /// Parse the annotation-file keyword.
+    pub fn from_keyword(kw: &str) -> Option<AskPreference> {
+        match kw.to_ascii_lowercase().as_str() {
+            "neutral" => Some(AskPreference::Neutral),
+            "preferred" => Some(AskPreference::Preferred),
+            "avoid" => Some(AskPreference::Avoid),
+            "never" => Some(AskPreference::Never),
+            _ => None,
+        }
+    }
+
+    /// Keyword used in the annotation file format.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AskPreference::Neutral => "neutral",
+            AskPreference::Preferred => "preferred",
+            AskPreference::Avoid => "avoid",
+            AskPreference::Never => "never",
+        }
+    }
+}
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+    /// Whether a standalone UNIQUE constraint applies.
+    pub unique: bool,
+    /// Dialogue annotation: how eagerly the agent may ask for this column.
+    pub ask: AskPreference,
+    /// Prior probability (0..=1) that an end user knows this attribute's
+    /// value. Used to seed the awareness model; refined online.
+    pub awareness_prior: f64,
+    /// Optional human-friendly name used in generated utterances
+    /// (e.g. `no_tickets` -> "number of tickets").
+    pub display_name: Option<String>,
+}
+
+impl ColumnDef {
+    /// A column with defaults: non-nullable, non-unique, neutral annotation.
+    pub fn new(name: impl Into<String>, ty: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+            unique: false,
+            ask: AskPreference::Neutral,
+            awareness_prior: 0.5,
+            display_name: None,
+        }
+    }
+
+    /// The name shown to end users: the display name if set, otherwise the
+    /// column name with underscores replaced by spaces.
+    pub fn human_name(&self) -> String {
+        self.display_name.clone().unwrap_or_else(|| self.name.replace('_', " "))
+    }
+}
+
+/// A foreign-key constraint: `column` references `ref_table.ref_column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ForeignKey {
+    pub column: String,
+    pub ref_table: String,
+    pub ref_column: String,
+}
+
+impl fmt::Display for ForeignKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}({})", self.column, self.ref_table, self.ref_column)
+    }
+}
+
+/// Complete schema of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+    /// Primary key column names (possibly composite; empty = row-id only).
+    primary_key: Vec<String>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Start building a schema with the given table name.
+    pub fn builder(name: impl Into<String>) -> TableSchemaBuilder {
+        TableSchemaBuilder {
+            schema: TableSchema {
+                name: name.into(),
+                columns: Vec::new(),
+                primary_key: Vec::new(),
+                foreign_keys: Vec::new(),
+            },
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn primary_key(&self) -> &[String] {
+        &self.primary_key
+    }
+
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Mutable column definition by name (used when applying annotations).
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut ColumnDef> {
+        self.columns.iter_mut().find(|c| c.name == name)
+    }
+
+    /// Like [`Self::column_index`] but produces the crate error type.
+    pub fn require_column(&self, name: &str) -> Result<usize> {
+        self.column_index(name).ok_or_else(|| TxdbError::UnknownColumn {
+            table: self.name.clone(),
+            column: name.to_string(),
+        })
+    }
+
+    /// Whether `column` is (part of) the primary key.
+    pub fn is_pk_column(&self, column: &str) -> bool {
+        self.primary_key.iter().any(|c| c == column)
+    }
+
+    /// The foreign key (if any) declared on `column`.
+    pub fn foreign_key_on(&self, column: &str) -> Option<&ForeignKey> {
+        self.foreign_keys.iter().find(|fk| fk.column == column)
+    }
+
+    /// Validate internal consistency: known PK/FK columns, no duplicate
+    /// column names. Called when a table is created.
+    pub fn validate(&self) -> Result<()> {
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(TxdbError::InvalidValue(format!(
+                    "duplicate column `{}` in table `{}`",
+                    c.name, self.name
+                )));
+            }
+            if !(0.0..=1.0).contains(&c.awareness_prior) {
+                return Err(TxdbError::InvalidValue(format!(
+                    "awareness prior for `{}.{}` must be in [0,1]",
+                    self.name, c.name
+                )));
+            }
+        }
+        for pk in &self.primary_key {
+            self.require_column(pk)?;
+        }
+        for fk in &self.foreign_keys {
+            self.require_column(&fk.column)?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`TableSchema`].
+#[derive(Debug, Clone)]
+pub struct TableSchemaBuilder {
+    schema: TableSchema,
+}
+
+impl TableSchemaBuilder {
+    /// Add a plain column.
+    pub fn column(mut self, name: &str, ty: DataType) -> Self {
+        self.schema.columns.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Add a column with full control over its definition.
+    pub fn column_def(mut self, def: ColumnDef) -> Self {
+        self.schema.columns.push(def);
+        self
+    }
+
+    /// Add a nullable column.
+    pub fn nullable_column(mut self, name: &str, ty: DataType) -> Self {
+        let mut def = ColumnDef::new(name, ty);
+        def.nullable = true;
+        self.schema.columns.push(def);
+        self
+    }
+
+    /// Declare the primary key (replaces any previous declaration).
+    /// Primary-key ID columns default to `AskPreference::Avoid` with a low
+    /// awareness prior — the paper's observation that users rarely know IDs.
+    pub fn primary_key(mut self, cols: &[&str]) -> Self {
+        self.schema.primary_key = cols.iter().map(|s| s.to_string()).collect();
+        for col in cols {
+            if let Some(def) = self.schema.column_mut(col) {
+                if def.ask == AskPreference::Neutral {
+                    def.ask = AskPreference::Avoid;
+                    def.awareness_prior = 0.05;
+                }
+            }
+        }
+        self
+    }
+
+    /// Declare a foreign key on `column` referencing `ref_table.ref_column`.
+    pub fn foreign_key(mut self, column: &str, ref_table: &str, ref_column: &str) -> Self {
+        self.schema.foreign_keys.push(ForeignKey {
+            column: column.to_string(),
+            ref_table: ref_table.to_string(),
+            ref_column: ref_column.to_string(),
+        });
+        // FK columns are technical IDs from the user's perspective.
+        if let Some(def) = self.schema.column_mut(column) {
+            if def.ask == AskPreference::Neutral {
+                def.ask = AskPreference::Avoid;
+                def.awareness_prior = 0.05;
+            }
+        }
+        self
+    }
+
+    /// Set the ask preference of the most recently added column.
+    pub fn ask(mut self, pref: AskPreference) -> Self {
+        if let Some(last) = self.schema.columns.last_mut() {
+            last.ask = pref;
+        }
+        self
+    }
+
+    /// Set the awareness prior of the most recently added column.
+    pub fn awareness(mut self, prior: f64) -> Self {
+        if let Some(last) = self.schema.columns.last_mut() {
+            last.awareness_prior = prior;
+        }
+        self
+    }
+
+    /// Set the display name of the most recently added column.
+    pub fn display(mut self, name: &str) -> Self {
+        if let Some(last) = self.schema.columns.last_mut() {
+            last.display_name = Some(name.to_string());
+        }
+        self
+    }
+
+    /// Mark the most recently added column UNIQUE.
+    pub fn unique(mut self) -> Self {
+        if let Some(last) = self.schema.columns.last_mut() {
+            last.unique = true;
+        }
+        self
+    }
+
+    /// Finish, validating the schema.
+    pub fn build(self) -> Result<TableSchema> {
+        self.schema.validate()?;
+        Ok(self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_schema() -> TableSchema {
+        TableSchema::builder("movie")
+            .column("movie_id", DataType::Int)
+            .column("title", DataType::Text)
+            .ask(AskPreference::Preferred)
+            .awareness(0.9)
+            .column("genre", DataType::Text)
+            .nullable_column("rating", DataType::Float)
+            .primary_key(&["movie_id"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_schema() {
+        let s = movie_schema();
+        assert_eq!(s.name(), "movie");
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.primary_key(), &["movie_id".to_string()]);
+        assert_eq!(s.column_index("genre"), Some(2));
+        assert!(s.column("rating").unwrap().nullable);
+        assert!(s.is_pk_column("movie_id"));
+        assert!(!s.is_pk_column("title"));
+    }
+
+    #[test]
+    fn pk_columns_get_avoid_annotation() {
+        let s = movie_schema();
+        assert_eq!(s.column("movie_id").unwrap().ask, AskPreference::Avoid);
+        assert!(s.column("movie_id").unwrap().awareness_prior < 0.1);
+        // Explicit annotation is not overridden:
+        assert_eq!(s.column("title").unwrap().ask, AskPreference::Preferred);
+    }
+
+    #[test]
+    fn fk_columns_get_avoid_annotation() {
+        let s = TableSchema::builder("screening")
+            .column("screening_id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("date", DataType::Date)
+            .primary_key(&["screening_id"])
+            .foreign_key("movie_id", "movie", "movie_id")
+            .build()
+            .unwrap();
+        assert_eq!(s.column("movie_id").unwrap().ask, AskPreference::Avoid);
+        assert_eq!(s.foreign_key_on("movie_id").unwrap().ref_table, "movie");
+        assert!(s.foreign_key_on("date").is_none());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_columns() {
+        let r = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .column("a", DataType::Text)
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_pk() {
+        let r = TableSchema::builder("t").column("a", DataType::Int).primary_key(&["b"]).build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn human_names() {
+        let s = TableSchema::builder("t")
+            .column("no_tickets", DataType::Int)
+            .column("seat", DataType::Int)
+            .display("seat number")
+            .build()
+            .unwrap();
+        assert_eq!(s.column("no_tickets").unwrap().human_name(), "no tickets");
+        assert_eq!(s.column("seat").unwrap().human_name(), "seat number");
+    }
+
+    #[test]
+    fn ask_preference_weights_ordered() {
+        assert!(AskPreference::Preferred.weight() > AskPreference::Neutral.weight());
+        assert!(AskPreference::Neutral.weight() > AskPreference::Avoid.weight());
+        assert_eq!(AskPreference::Never.weight(), 0.0);
+    }
+
+    #[test]
+    fn ask_preference_keyword_roundtrip() {
+        for p in [
+            AskPreference::Neutral,
+            AskPreference::Preferred,
+            AskPreference::Avoid,
+            AskPreference::Never,
+        ] {
+            assert_eq!(AskPreference::from_keyword(p.keyword()), Some(p));
+        }
+        assert_eq!(AskPreference::from_keyword("sometimes"), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Abstract syntax for the SQL subset.
+
+use crate::predicate::CmpOp;
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// A possibly table-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn unqualified(column: impl Into<String>) -> ColumnRef {
+        ColumnRef { table: None, column: column.into() }
+    }
+
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColumnRef {
+        ColumnRef { table: Some(table.into()), column: column.into() }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Boolean expression in a `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Cmp { column: ColumnRef, op: CmpOp, value: Value },
+    Like { column: ColumnRef, pattern: String },
+    IsNull { column: ColumnRef, negated: bool },
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    Not(Box<SqlExpr>),
+}
+
+/// `JOIN <table> ON <left> = <right>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: String,
+    pub left: ColumnRef,
+    pub right: ColumnRef,
+}
+
+/// Aggregate functions of the SQL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// SQL keyword (lowercase).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Parse a function keyword.
+    pub fn from_keyword(kw: &str) -> Option<AggFunc> {
+        match kw.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// One item of a projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column reference.
+    Column(ColumnRef),
+    /// `FUNC(column)` or `COUNT(*)` (arg `None`).
+    Aggregate { func: AggFunc, arg: Option<ColumnRef> },
+}
+
+/// Projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    Star,
+    Items(Vec<SelectItem>),
+}
+
+impl Projection {
+    /// Convenience constructor for plain column projections.
+    pub fn columns(cols: Vec<ColumnRef>) -> Projection {
+        Projection::Items(cols.into_iter().map(SelectItem::Column).collect())
+    }
+
+    /// Whether any item is an aggregate.
+    pub fn has_aggregates(&self) -> bool {
+        match self {
+            Projection::Star => false,
+            Projection::Items(items) => {
+                items.iter().any(|i| matches!(i, SelectItem::Aggregate { .. }))
+            }
+        }
+    }
+}
+
+/// A parsed `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub table: String,
+    pub joins: Vec<JoinClause>,
+    pub projection: Projection,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<ColumnRef>,
+    pub order_by: Option<(ColumnRef, bool)>, // (column, descending)
+    pub limit: Option<usize>,
+}
+
+/// Any statement of the subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable(TableSchema),
+    Insert { table: String, columns: Option<Vec<String>>, rows: Vec<Vec<Value>> },
+    Select(SelectStmt),
+    Update { table: String, set: Vec<(String, Value)>, where_clause: Option<SqlExpr> },
+    Delete { table: String, where_clause: Option<SqlExpr> },
+}

@@ -1,0 +1,803 @@
+//! Executor for the SQL subset.
+
+use crate::database::Database;
+use crate::error::{Result, TxdbError};
+use crate::predicate::Predicate;
+use crate::row::{Row, RowId};
+use crate::value::{DataType, Value};
+
+use super::ast::{AggFunc, ColumnRef, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
+use super::parser::parse_statement;
+
+/// Tabular result of a `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names (qualified as `table.column` for joins).
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Index of an output column (exact match first, then suffix match on
+    /// the unqualified name).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .or_else(|| self.columns.iter().position(|c| c.ends_with(&format!(".{name}"))))
+    }
+}
+
+/// Outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// `CREATE TABLE` succeeded.
+    Created,
+    /// Number of rows inserted.
+    Inserted(usize),
+    /// Number of rows updated.
+    Updated(usize),
+    /// Number of rows deleted.
+    Deleted(usize),
+    /// Rows returned by a `SELECT`.
+    Rows(ResultSet),
+}
+
+impl QueryResult {
+    /// The result set, if this was a `SELECT`.
+    pub fn rows(&self) -> Option<&ResultSet> {
+        match self {
+            QueryResult::Rows(rs) => Some(rs),
+            _ => None,
+        }
+    }
+}
+
+/// Parse and execute one statement.
+pub fn execute(db: &mut Database, sql: &str) -> Result<QueryResult> {
+    let stmt = parse_statement(sql)?;
+    execute_statement(db, stmt)
+}
+
+/// Execute a whole script: statements separated by `;`. Returns the result
+/// of each statement. Statement boundaries respect string literals.
+pub fn execute_script(db: &mut Database, script: &str) -> Result<Vec<QueryResult>> {
+    let mut results = Vec::new();
+    for stmt_text in split_statements(script) {
+        let trimmed = stmt_text.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        results.push(execute(db, trimmed)?);
+    }
+    Ok(results)
+}
+
+fn split_statements(script: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    let mut chars = script.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            current.push(c);
+            if c == '\'' {
+                if chars.peek() == Some(&'\'') {
+                    current.push(chars.next().expect("peeked"));
+                } else {
+                    in_string = false;
+                }
+            }
+        } else {
+            match c {
+                '\'' => {
+                    in_string = true;
+                    current.push(c);
+                }
+                ';' => {
+                    out.push(std::mem::take(&mut current));
+                }
+                _ => current.push(c),
+            }
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> {
+    match stmt {
+        Statement::CreateTable(schema) => {
+            db.create_table(schema)?;
+            Ok(QueryResult::Created)
+        }
+        Statement::Insert { table, columns, rows } => {
+            let schema = db.schema_of(&table)?.clone();
+            let mut txn = db.begin();
+            let mut n = 0;
+            for literal_row in rows {
+                let cells: Vec<Value> = match &columns {
+                    None => {
+                        if literal_row.len() != schema.arity() {
+                            return Err(TxdbError::ArityMismatch {
+                                table: table.clone(),
+                                expected: schema.arity(),
+                                got: literal_row.len(),
+                            });
+                        }
+                        literal_row
+                            .into_iter()
+                            .zip(schema.columns())
+                            .map(|(v, c)| coerce_literal_to(&v, c.ty))
+                            .collect::<Result<_>>()?
+                    }
+                    Some(cols) => {
+                        let mut cells = vec![Value::Null; schema.arity()];
+                        if cols.len() != literal_row.len() {
+                            return Err(TxdbError::ArityMismatch {
+                                table: table.clone(),
+                                expected: cols.len(),
+                                got: literal_row.len(),
+                            });
+                        }
+                        for (col, v) in cols.iter().zip(literal_row) {
+                            let idx = schema.require_column(col)?;
+                            cells[idx] = coerce_literal_to(&v, schema.columns()[idx].ty)?;
+                        }
+                        cells
+                    }
+                };
+                txn.insert(&table, Row::new(cells))?;
+                n += 1;
+            }
+            txn.commit();
+            Ok(QueryResult::Inserted(n))
+        }
+        Statement::Select(sel) => execute_select(db, &sel).map(QueryResult::Rows),
+        Statement::Update { table, set, where_clause } => {
+            let pred = single_table_predicate(db, &table, where_clause.as_ref())?;
+            let rids: Vec<RowId> =
+                db.select(&table, &pred)?.into_iter().map(|(r, _)| r).collect();
+            let schema = db.schema_of(&table)?.clone();
+            let mut txn = db.begin();
+            for rid in &rids {
+                for (col, v) in &set {
+                    let idx = schema.require_column(col)?;
+                    let coerced = coerce_literal_to(v, schema.columns()[idx].ty)?;
+                    txn.update(&table, *rid, col, coerced)?;
+                }
+            }
+            txn.commit();
+            Ok(QueryResult::Updated(rids.len()))
+        }
+        Statement::Delete { table, where_clause } => {
+            let pred = single_table_predicate(db, &table, where_clause.as_ref())?;
+            let rids: Vec<RowId> =
+                db.select(&table, &pred)?.into_iter().map(|(r, _)| r).collect();
+            let mut txn = db.begin();
+            for rid in &rids {
+                txn.delete(&table, *rid)?;
+            }
+            txn.commit();
+            Ok(QueryResult::Deleted(rids.len()))
+        }
+    }
+}
+
+/// Convert a `WHERE` expression on a single table into an engine predicate,
+/// coercing literals to the column types (so `date = '2022-01-01'` works).
+fn single_table_predicate(
+    db: &Database,
+    table: &str,
+    expr: Option<&SqlExpr>,
+) -> Result<Predicate> {
+    let Some(expr) = expr else { return Ok(Predicate::True) };
+    let schema = db.schema_of(table)?;
+    fn convert(schema: &crate::schema::TableSchema, e: &SqlExpr) -> Result<Predicate> {
+        Ok(match e {
+            SqlExpr::Cmp { column, op, value } => {
+                let idx = schema.require_column(&column.column)?;
+                let coerced = coerce_literal_to(value, schema.columns()[idx].ty)?;
+                Predicate::Cmp { column: column.column.clone(), op: *op, value: coerced }
+            }
+            SqlExpr::Like { column, pattern } => {
+                Predicate::contains(column.column.clone(), pattern.clone())
+            }
+            SqlExpr::IsNull { column, negated } => {
+                let p = Predicate::IsNull { column: column.column.clone() };
+                if *negated {
+                    p.not()
+                } else {
+                    p
+                }
+            }
+            SqlExpr::And(a, b) => convert(schema, a)?.and(convert(schema, b)?),
+            SqlExpr::Or(a, b) => convert(schema, a)?.or(convert(schema, b)?),
+            SqlExpr::Not(a) => convert(schema, a)?.not(),
+        })
+    }
+    convert(schema, expr)
+}
+
+fn coerce_literal_to(v: &Value, ty: DataType) -> Result<Value> {
+    v.coerce_to(ty)
+}
+
+/// Column layout of a (possibly joined) row stream.
+struct Layout {
+    /// (table, column) per output position.
+    cols: Vec<(String, String)>,
+    /// Data types per position.
+    types: Vec<DataType>,
+}
+
+impl Layout {
+    fn resolve(&self, r: &ColumnRef) -> Result<usize> {
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, c))| {
+                c == &r.column && r.table.as_ref().is_none_or(|rt| rt == t)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(TxdbError::UnknownColumn {
+                table: r.table.clone().unwrap_or_else(|| "<any>".into()),
+                column: r.column.clone(),
+            }),
+            _ => Err(TxdbError::Parse(format!("ambiguous column reference `{r}`"))),
+        }
+    }
+}
+
+fn execute_select(db: &Database, sel: &SelectStmt) -> Result<ResultSet> {
+    // Build the joined row stream with a layout.
+    let base = db.table(&sel.table)?;
+    let mut layout = Layout { cols: Vec::new(), types: Vec::new() };
+    for c in base.schema().columns() {
+        layout.cols.push((sel.table.clone(), c.name.clone()));
+        layout.types.push(c.ty);
+    }
+    let mut rows: Vec<Vec<Value>> =
+        base.scan().map(|(_, r)| r.values().to_vec()).collect();
+
+    for join in &sel.joins {
+        let right = db.table(&join.table)?;
+        // Positions: left key must resolve in the current layout; right key
+        // in the joined table.
+        let (cur_ref, new_ref) = if join
+            .left
+            .table
+            .as_deref()
+            .is_some_and(|t| t == join.table)
+        {
+            (&join.right, &join.left)
+        } else {
+            (&join.left, &join.right)
+        };
+        let left_idx = layout.resolve(cur_ref)?;
+        let right_idx = right.schema().require_column(&new_ref.column)?;
+        let right_col_name = right.schema().columns()[right_idx].name.clone();
+        let mut out = Vec::new();
+        for row in rows {
+            let key = &row[left_idx];
+            if key.is_null() {
+                continue;
+            }
+            for rid in right.lookup(&right_col_name, key) {
+                let rrow = right.get(rid).expect("lookup returned live id");
+                let mut combined = row.clone();
+                combined.extend(rrow.values().iter().cloned());
+                out.push(combined);
+            }
+        }
+        rows = out;
+        for c in right.schema().columns() {
+            layout.cols.push((join.table.clone(), c.name.clone()));
+            layout.types.push(c.ty);
+        }
+    }
+
+    // WHERE filter.
+    if let Some(expr) = &sel.where_clause {
+        let mut filtered = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval_expr(&layout, expr, &row)? {
+                filtered.push(row);
+            }
+        }
+        rows = filtered;
+    }
+
+    // Aggregation path (any aggregate in the projection or a GROUP BY).
+    if sel.projection.has_aggregates() || !sel.group_by.is_empty() {
+        return execute_aggregation(sel, &layout, rows);
+    }
+
+    // ORDER BY.
+    if let Some((col, desc)) = &sel.order_by {
+        let idx = layout.resolve(col)?;
+        rows.sort_by(|a, b| {
+            let ord = a[idx].partial_cmp(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
+            if *desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+
+    // LIMIT.
+    if let Some(n) = sel.limit {
+        rows.truncate(n);
+    }
+
+    // Projection.
+    let qualified = !sel.joins.is_empty();
+    let name_of = |i: usize| -> String {
+        let (t, c) = &layout.cols[i];
+        if qualified {
+            format!("{t}.{c}")
+        } else {
+            c.clone()
+        }
+    };
+    match &sel.projection {
+        Projection::Star => Ok(ResultSet {
+            columns: (0..layout.cols.len()).map(name_of).collect(),
+            rows,
+        }),
+        Projection::Items(items) => {
+            let cols: Vec<&ColumnRef> = items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Column(c) => Ok(c),
+                    SelectItem::Aggregate { .. } => unreachable!("handled above"),
+                })
+                .collect::<Result<_>>()?;
+            let idxs: Vec<usize> =
+                cols.iter().map(|c| layout.resolve(c)).collect::<Result<_>>()?;
+            Ok(ResultSet {
+                columns: idxs.iter().map(|&i| name_of(i)).collect(),
+                rows: rows
+                    .into_iter()
+                    .map(|row| idxs.iter().map(|&i| row[i].clone()).collect())
+                    .collect(),
+            })
+        }
+    }
+}
+
+/// Grouped aggregation over the filtered row stream.
+fn execute_aggregation(
+    sel: &SelectStmt,
+    layout: &Layout,
+    rows: Vec<Vec<Value>>,
+) -> Result<ResultSet> {
+    use std::collections::BTreeMap;
+    let Projection::Items(items) = &sel.projection else {
+        return Err(TxdbError::Parse("SELECT * cannot be combined with GROUP BY".into()));
+    };
+    let group_idxs: Vec<usize> =
+        sel.group_by.iter().map(|c| layout.resolve(c)).collect::<Result<_>>()?;
+    // Validate: plain columns must appear in GROUP BY.
+    for item in items {
+        if let SelectItem::Column(c) = item {
+            let idx = layout.resolve(c)?;
+            if !group_idxs.contains(&idx) {
+                return Err(TxdbError::Parse(format!(
+                    "column `{c}` must appear in GROUP BY or inside an aggregate"
+                )));
+            }
+        }
+    }
+    // Group rows. BTreeMap keys are not directly possible on Value (no Ord),
+    // so key on the SQL-literal rendering (injective for our value types).
+    let mut groups: BTreeMap<String, (Vec<Value>, Vec<Vec<Value>>)> = BTreeMap::new();
+    for row in rows {
+        let key_vals: Vec<Value> = group_idxs.iter().map(|&i| row[i].clone()).collect();
+        let key: String =
+            key_vals.iter().map(Value::to_sql_literal).collect::<Vec<_>>().join("\u{1}");
+        groups.entry(key).or_insert_with(|| (key_vals, Vec::new())).1.push(row);
+    }
+    // A global aggregate over zero rows still yields one output row.
+    if groups.is_empty() && group_idxs.is_empty() {
+        groups.insert(String::new(), (Vec::new(), Vec::new()));
+    }
+
+    let qualified = !sel.joins.is_empty();
+    let name_of_idx = |i: usize| -> String {
+        let (t, c) = &layout.cols[i];
+        if qualified {
+            format!("{t}.{c}")
+        } else {
+            c.clone()
+        }
+    };
+    let columns: Vec<String> = items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Column(c) => layout.resolve(c).map(name_of_idx),
+            SelectItem::Aggregate { func, arg } => Ok(match arg {
+                Some(c) => format!("{}({})", func.keyword(), c),
+                None => format!("{}(*)", func.keyword()),
+            }),
+        })
+        .collect::<Result<_>>()?;
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for (_, (key_vals, group_rows)) in groups {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                SelectItem::Column(c) => {
+                    let idx = layout.resolve(c)?;
+                    let pos = group_idxs.iter().position(|&g| g == idx).expect("validated");
+                    out.push(key_vals[pos].clone());
+                }
+                SelectItem::Aggregate { func, arg } => {
+                    out.push(compute_aggregate(*func, arg.as_ref(), layout, &group_rows)?);
+                }
+            }
+        }
+        out_rows.push(out);
+    }
+
+    // ORDER BY over output columns (group keys or aggregate names).
+    if let Some((col, desc)) = &sel.order_by {
+        let target = col.to_string();
+        let idx = columns
+            .iter()
+            .position(|c| c == &target || c.ends_with(&format!(".{target}")))
+            .ok_or_else(|| TxdbError::Parse(format!(
+                "ORDER BY `{target}` must reference an output column of the aggregation"
+            )))?;
+        out_rows.sort_by(|a, b| {
+            let ord = a[idx].partial_cmp(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
+            if *desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(n) = sel.limit {
+        out_rows.truncate(n);
+    }
+    Ok(ResultSet { columns, rows: out_rows })
+}
+
+fn compute_aggregate(
+    func: AggFunc,
+    arg: Option<&ColumnRef>,
+    layout: &Layout,
+    rows: &[Vec<Value>],
+) -> Result<Value> {
+    let values: Vec<&Value> = match arg {
+        None => return Ok(Value::Int(rows.len() as i64)), // COUNT(*)
+        Some(c) => {
+            let idx = layout.resolve(c)?;
+            rows.iter().map(|r| &r[idx]).filter(|v| !v.is_null()).collect()
+        }
+    };
+    Ok(match func {
+        AggFunc::Count => Value::Int(values.len() as i64),
+        AggFunc::Sum | AggFunc::Avg => {
+            let mut sum = 0.0;
+            let mut all_int = true;
+            for v in &values {
+                match v {
+                    Value::Int(i) => sum += *i as f64,
+                    Value::Float(x) => {
+                        all_int = false;
+                        sum += x;
+                    }
+                    other => {
+                        return Err(TxdbError::TypeMismatch {
+                            expected: crate::value::DataType::Float,
+                            got: format!("{other}"),
+                            context: format!("{}()", func.keyword()),
+                        })
+                    }
+                }
+            }
+            if func == AggFunc::Avg {
+                if values.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(sum / values.len() as f64)
+                }
+            } else if all_int {
+                Value::Int(sum as i64)
+            } else {
+                Value::Float(sum)
+            }
+        }
+        AggFunc::Min => values
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Max => values
+            .iter()
+            .copied()
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .cloned()
+            .unwrap_or(Value::Null),
+    })
+}
+
+fn eval_expr(layout: &Layout, expr: &SqlExpr, row: &[Value]) -> Result<bool> {
+    Ok(match expr {
+        SqlExpr::Cmp { column, op, value } => {
+            let idx = layout.resolve(column)?;
+            let cell = &row[idx];
+            if cell.is_null() || value.is_null() {
+                false
+            } else {
+                let coerced = value.coerce_to(layout.types[idx]).unwrap_or_else(|_| value.clone());
+                op.eval(cell, &coerced).unwrap_or(false)
+            }
+        }
+        SqlExpr::Like { column, pattern } => {
+            let idx = layout.resolve(column)?;
+            row[idx]
+                .as_text()
+                .is_some_and(|s| s.to_lowercase().contains(&pattern.to_lowercase()))
+        }
+        SqlExpr::IsNull { column, negated } => {
+            let idx = layout.resolve(column)?;
+            row[idx].is_null() != *negated
+        }
+        SqlExpr::And(a, b) => eval_expr(layout, a, row)? && eval_expr(layout, b, row)?,
+        SqlExpr::Or(a, b) => eval_expr(layout, a, row)? || eval_expr(layout, b, row)?,
+        SqlExpr::Not(a) => !eval_expr(layout, a, row)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE movie (movie_id INT PRIMARY KEY, title TEXT NOT NULL, genre TEXT, rating FLOAT);
+             CREATE TABLE screening (screening_id INT PRIMARY KEY,
+                                     movie_id INT NOT NULL REFERENCES movie(movie_id),
+                                     date DATE NOT NULL, price FLOAT);
+             INSERT INTO movie VALUES (1, 'Forrest Gump', 'Drama', 8.8),
+                                      (2, 'Heat', 'Crime', 8.3),
+                                      (3, 'Alien', 'Horror', 8.5);
+             INSERT INTO screening VALUES (10, 1, '2022-03-26', 12.5),
+                                          (11, 2, '2022-03-26', 10.0),
+                                          (12, 2, '2022-03-27', 10.0);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut db = setup();
+        let r = execute(&mut db, "SELECT title FROM movie WHERE rating >= 8.5 ORDER BY title")
+            .unwrap();
+        let rs = r.rows().unwrap();
+        assert_eq!(rs.columns, vec!["title"]);
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Text("Alien".into()));
+        assert_eq!(rs.rows[1][0], Value::Text("Forrest Gump".into()));
+    }
+
+    #[test]
+    fn select_star_and_limit() {
+        let mut db = setup();
+        let r = execute(&mut db, "SELECT * FROM movie ORDER BY rating DESC LIMIT 1").unwrap();
+        let rs = r.rows().unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][1], Value::Text("Forrest Gump".into()));
+        assert_eq!(rs.column_index("genre"), Some(2));
+    }
+
+    #[test]
+    fn join_produces_qualified_columns() {
+        let mut db = setup();
+        let r = execute(
+            &mut db,
+            "SELECT movie.title, screening.date FROM screening \
+             JOIN movie ON screening.movie_id = movie.movie_id \
+             WHERE movie.title = 'Heat' ORDER BY screening.date",
+        )
+        .unwrap();
+        let rs = r.rows().unwrap();
+        assert_eq!(rs.columns, vec!["movie.title", "screening.date"]);
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][1].render(), "2022-03-26");
+        assert_eq!(rs.column_index("date"), Some(1));
+    }
+
+    #[test]
+    fn date_literals_coerced_in_where() {
+        let mut db = setup();
+        let r = execute(&mut db, "SELECT * FROM screening WHERE date = '2022-03-26'").unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 2);
+        let r = execute(&mut db, "SELECT * FROM screening WHERE date > '2022-03-26'").unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut db = setup();
+        let r = execute(&mut db, "UPDATE movie SET rating = 9.0 WHERE title = 'Heat'").unwrap();
+        assert_eq!(r, QueryResult::Updated(1));
+        let r = execute(&mut db, "SELECT rating FROM movie WHERE title = 'Heat'").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Float(9.0));
+        // Delete must respect FKs: movie 2 has screenings.
+        assert!(execute(&mut db, "DELETE FROM movie WHERE movie_id = 2").is_err());
+        let r = execute(&mut db, "DELETE FROM screening WHERE movie_id = 2").unwrap();
+        assert_eq!(r, QueryResult::Deleted(2));
+        let r = execute(&mut db, "DELETE FROM movie WHERE movie_id = 2").unwrap();
+        assert_eq!(r, QueryResult::Deleted(1));
+    }
+
+    #[test]
+    fn insert_respects_fk() {
+        let mut db = setup();
+        let err = execute(&mut db, "INSERT INTO screening VALUES (99, 42, '2022-01-01', 1.0)");
+        assert!(err.is_err());
+        // And the failed multi-row insert is atomic:
+        let before = db.table("screening").unwrap().len();
+        let err = execute(
+            &mut db,
+            "INSERT INTO screening VALUES (20, 1, '2022-01-01', 1.0), (21, 42, '2022-01-01', 1.0)",
+        );
+        assert!(err.is_err());
+        assert_eq!(db.table("screening").unwrap().len(), before);
+    }
+
+    #[test]
+    fn like_and_null_handling() {
+        let mut db = setup();
+        execute(&mut db, "INSERT INTO movie (movie_id, title) VALUES (4, 'Gump II')").unwrap();
+        let r = execute(&mut db, "SELECT title FROM movie WHERE title LIKE '%gump%'").unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 2);
+        let r = execute(&mut db, "SELECT title FROM movie WHERE rating IS NULL").unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 1);
+        let r = execute(&mut db, "SELECT title FROM movie WHERE rating IS NOT NULL").unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 3);
+    }
+
+    #[test]
+    fn ambiguous_column_is_error() {
+        let mut db = setup();
+        let err = execute(
+            &mut db,
+            "SELECT movie_id FROM screening JOIN movie ON screening.movie_id = movie.movie_id",
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn count_star_and_count_column() {
+        let mut db = setup();
+        let r = execute(&mut db, "SELECT count(*) FROM movie").unwrap();
+        let rs = r.rows().unwrap();
+        assert_eq!(rs.columns, vec!["count(*)"]);
+        assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
+        // COUNT(col) skips NULLs.
+        execute(&mut db, "INSERT INTO movie (movie_id, title) VALUES (9, 'NoRating')").unwrap();
+        let r = execute(&mut db, "SELECT count(rating) FROM movie").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Int(3));
+        let r = execute(&mut db, "SELECT count(*) FROM movie").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let mut db = setup();
+        let r = execute(&mut db, "SELECT min(rating), max(rating), avg(rating) FROM movie")
+            .unwrap();
+        let rs = r.rows().unwrap();
+        assert_eq!(rs.rows[0][0], Value::Float(8.3));
+        assert_eq!(rs.rows[0][1], Value::Float(8.8));
+        let avg = rs.rows[0][2].as_float().unwrap();
+        assert!((avg - (8.8 + 8.3 + 8.5) / 3.0).abs() < 1e-9);
+        // SUM over ints stays integral.
+        let r = execute(&mut db, "SELECT sum(movie_id) FROM movie").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Int(6));
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let mut db = setup();
+        let r = execute(
+            &mut db,
+            "SELECT movie_id, count(*), sum(price) FROM screening              GROUP BY movie_id ORDER BY movie_id",
+        )
+        .unwrap();
+        let rs = r.rows().unwrap();
+        assert_eq!(rs.columns, vec!["movie_id", "count(*)", "sum(price)"]);
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(1), Value::Float(12.5)]);
+        assert_eq!(rs.rows[1], vec![Value::Int(2), Value::Int(2), Value::Float(20.0)]);
+    }
+
+    #[test]
+    fn group_by_over_join() {
+        let mut db = setup();
+        let r = execute(
+            &mut db,
+            "SELECT movie.title, count(*) FROM screening              JOIN movie ON screening.movie_id = movie.movie_id              GROUP BY movie.title ORDER BY title DESC",
+        )
+        .unwrap();
+        let rs = r.rows().unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Text("Heat".into()));
+        assert_eq!(rs.rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn aggregate_validation_errors() {
+        let mut db = setup();
+        // Non-grouped plain column.
+        assert!(execute(&mut db, "SELECT title, count(*) FROM movie").is_err());
+        // star + group by
+        assert!(execute(&mut db, "SELECT * FROM movie GROUP BY genre").is_err());
+        // SUM over text.
+        assert!(execute(&mut db, "SELECT sum(title) FROM movie").is_err());
+        // Unknown function.
+        assert!(execute(&mut db, "SELECT median(rating) FROM movie").is_err());
+        // `*` only for COUNT.
+        assert!(execute(&mut db, "SELECT sum(*) FROM movie").is_err());
+    }
+
+    #[test]
+    fn aggregates_over_empty_input() {
+        let mut db = setup();
+        let r = execute(&mut db, "SELECT count(*), min(rating) FROM movie WHERE movie_id > 99")
+            .unwrap();
+        let rs = r.rows().unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        assert_eq!(rs.rows[0][1], Value::Null);
+        // Grouped over empty input: no groups, no rows.
+        let r = execute(
+            &mut db,
+            "SELECT genre, count(*) FROM movie WHERE movie_id > 99 GROUP BY genre",
+        )
+        .unwrap();
+        assert!(r.rows().unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn group_by_limit() {
+        let mut db = setup();
+        let r = execute(
+            &mut db,
+            "SELECT genre, count(*) FROM movie GROUP BY genre ORDER BY genre LIMIT 2",
+        )
+        .unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn script_splitting_respects_strings() {
+        let mut db = Database::new();
+        let results = execute_script(
+            &mut db,
+            "CREATE TABLE t (id INT PRIMARY KEY, s TEXT);
+             INSERT INTO t VALUES (1, 'semi;colon');",
+        )
+        .unwrap();
+        assert_eq!(results.len(), 2);
+        let r = execute(&mut db, "SELECT s FROM t").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Text("semi;colon".into()));
+    }
+}

@@ -1,0 +1,205 @@
+//! SQL tokenizer.
+
+use crate::error::{Result, TxdbError};
+
+/// A lexical token. Keywords are not distinguished here — the parser
+/// matches identifiers case-insensitively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (integer or float), unparsed.
+    Number(String),
+    /// Single-quoted string literal with `''` unescaped.
+    Str(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// If this token is an identifier, its text.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Whether this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Token::Punct(q) if *q == p)
+    }
+}
+
+/// Tokenize SQL text. Supports `--` line comments.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(TxdbError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Consume one UTF-8 scalar.
+                        let rest = &input[i..];
+                        let ch = rest.chars().next().expect("in-bounds");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))))
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Number(input[start..i].to_string()));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = input[i..].chars().next().expect("in-bounds");
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Punct("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Punct("<>"));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Punct("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Punct(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Punct(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Punct("<>"));
+                    i += 2;
+                } else {
+                    return Err(TxdbError::Parse("unexpected `!`".into()));
+                }
+            }
+            '=' => {
+                tokens.push(Token::Punct("="));
+                i += 1;
+            }
+            '(' | ')' | ',' | '.' | '*' | ';' => {
+                tokens.push(Token::Punct(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    ';' => ";",
+                    _ => unreachable!(),
+                }));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Punct("-"));
+                i += 1;
+            }
+            other => {
+                return Err(TxdbError::Parse(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basic_statement() {
+        let toks = tokenize("SELECT title FROM movie WHERE rating >= 8.5;").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks[4].is_kw("WHERE"));
+        assert!(toks.iter().any(|t| t.is_punct(">=")));
+        assert!(toks.iter().any(|t| matches!(t, Token::Number(n) if n == "8.5")));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'O''Hara'").unwrap();
+        assert_eq!(toks, vec![Token::Str("O'Hara".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT -- the projection\n * FROM t").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn neq_variants() {
+        assert_eq!(tokenize("a <> b").unwrap()[1], Token::Punct("<>"));
+        assert_eq!(tokenize("a != b").unwrap()[1], Token::Punct("<>"));
+    }
+
+    #[test]
+    fn unicode_in_strings_and_idents() {
+        let toks = tokenize("INSERT INTO movie VALUES ('Amélie')").unwrap();
+        assert!(toks.iter().any(|t| matches!(t, Token::Str(s) if s == "Amélie")));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT @ FROM t").is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! A small SQL subset: `CREATE TABLE`, `INSERT`, `SELECT` (with inner
+//! joins, `WHERE`, `ORDER BY`, `LIMIT`), `UPDATE` and `DELETE`.
+//!
+//! The conversational layers use the typed API; the SQL layer exists so
+//! that example databases can be loaded from `.sql` scripts, that tests can
+//! cross-check the typed API against a second implementation path, and that
+//! the repository is usable as a standalone mini database.
+
+mod ast;
+mod exec;
+mod lexer;
+mod parser;
+
+pub use ast::{AggFunc, ColumnRef, JoinClause, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
+pub use exec::{execute, execute_script, QueryResult, ResultSet};
+pub use lexer::{tokenize, Token};
+pub use parser::parse_statement;

@@ -1,0 +1,567 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::error::{Result, TxdbError};
+use crate::predicate::CmpOp;
+use crate::schema::{TableSchema, TableSchemaBuilder};
+use crate::value::{DataType, Value};
+
+use super::ast::{AggFunc, ColumnRef, JoinClause, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
+use super::lexer::{tokenize, Token};
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_punct(";");
+    if !p.at_end() {
+        return Err(TxdbError::Parse(format!("trailing tokens after statement: {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| TxdbError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(TxdbError::Parse(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(TxdbError::Parse(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(TxdbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let Some(first) = self.peek() else {
+            return Err(TxdbError::Parse("empty statement".into()));
+        };
+        if first.is_kw("create") {
+            self.create_table()
+        } else if first.is_kw("insert") {
+            self.insert()
+        } else if first.is_kw("select") {
+            self.select().map(Statement::Select)
+        } else if first.is_kw("update") {
+            self.update()
+        } else if first.is_kw("delete") {
+            self.delete()
+        } else {
+            Err(TxdbError::Parse(format!("unsupported statement start: {first:?}")))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_kw("create")?;
+        self.expect_kw("table")?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut builder = TableSchema::builder(&name);
+        let mut table_pk: Option<Vec<String>> = None;
+        let mut column_pks: Vec<String> = Vec::new();
+        loop {
+            if self.peek().is_some_and(|t| t.is_kw("primary")) {
+                // table-level PRIMARY KEY (a, b)
+                self.expect_kw("primary")?;
+                self.expect_kw("key")?;
+                self.expect_punct("(")?;
+                let mut cols = vec![self.ident()?];
+                while self.eat_punct(",") {
+                    cols.push(self.ident()?);
+                }
+                self.expect_punct(")")?;
+                table_pk = Some(cols);
+            } else {
+                builder = self.column_def(builder, &mut column_pks)?;
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        let pk: Vec<String> = table_pk.unwrap_or(column_pks);
+        if !pk.is_empty() {
+            let refs: Vec<&str> = pk.iter().map(String::as_str).collect();
+            builder = builder.primary_key(&refs);
+        }
+        Ok(Statement::CreateTable(builder.build()?))
+    }
+
+    fn column_def(
+        &mut self,
+        mut builder: TableSchemaBuilder,
+        column_pks: &mut Vec<String>,
+    ) -> Result<TableSchemaBuilder> {
+        let col_name = self.ident()?;
+        let ty_kw = self.ident()?;
+        let ty = DataType::from_keyword(&ty_kw)
+            .ok_or_else(|| TxdbError::Parse(format!("unknown type `{ty_kw}`")))?;
+        let mut nullable = true;
+        let mut unique = false;
+        let mut fk: Option<(String, String)> = None;
+        loop {
+            if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                nullable = false;
+            } else if self.eat_kw("null") {
+                nullable = true;
+            } else if self.eat_kw("primary") {
+                self.expect_kw("key")?;
+                column_pks.push(col_name.clone());
+                nullable = false;
+            } else if self.eat_kw("unique") {
+                unique = true;
+            } else if self.eat_kw("references") {
+                let ref_table = self.ident()?;
+                self.expect_punct("(")?;
+                let ref_col = self.ident()?;
+                self.expect_punct(")")?;
+                fk = Some((ref_table, ref_col));
+            } else {
+                break;
+            }
+        }
+        // Columns are NOT NULL by default in this engine unless NULL appears;
+        // SQL convention is nullable-by-default, which we honour here.
+        let mut def = crate::schema::ColumnDef::new(&col_name, ty);
+        def.nullable = nullable && !column_pks.contains(&col_name);
+        def.unique = unique;
+        builder = builder.column_def(def);
+        if let Some((rt, rc)) = fk {
+            builder = builder.foreign_key(&col_name, &rt, &rc);
+        }
+        Ok(builder)
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let columns = if self.eat_punct("(") {
+            let mut cols = vec![self.ident()?];
+            while self.eat_punct(",") {
+                cols.push(self.ident()?);
+            }
+            self.expect_punct(")")?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_punct("(")?;
+            let mut row = vec![self.literal()?];
+            while self.eat_punct(",") {
+                row.push(self.literal()?);
+            }
+            self.expect_punct(")")?;
+            rows.push(row);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, rows })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let projection = if self.eat_punct("*") {
+            Projection::Star
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.eat_punct(",") {
+                items.push(self.select_item()?);
+            }
+            Projection::Items(items)
+        };
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_kw("inner");
+            if self.eat_kw("join") {
+                let jt = self.ident()?;
+                self.expect_kw("on")?;
+                let left = self.column_ref()?;
+                self.expect_punct("=")?;
+                let right = self.column_ref()?;
+                joins.push(JoinClause { table: jt, left, right });
+            } else if inner {
+                return Err(TxdbError::Parse("expected JOIN after INNER".into()));
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.column_ref()?);
+            while self.eat_punct(",") {
+                group_by.push(self.column_ref()?);
+            }
+        }
+        let order_by = if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            let col = self.column_ref()?;
+            let desc = if self.eat_kw("desc") {
+                true
+            } else {
+                self.eat_kw("asc");
+                false
+            };
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("limit") {
+            match self.next()? {
+                Token::Number(n) => Some(n.parse::<usize>().map_err(|_| {
+                    TxdbError::Parse(format!("bad LIMIT value `{n}`"))
+                })?),
+                other => return Err(TxdbError::Parse(format!("bad LIMIT: {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { table, joins, projection, where_clause, group_by, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // Lookahead: IDENT '(' means an aggregate call.
+        if let (Some(Token::Ident(name)), Some(next)) =
+            (self.tokens.get(self.pos), self.tokens.get(self.pos + 1))
+        {
+            if next.is_punct("(") {
+                let func = AggFunc::from_keyword(name).ok_or_else(|| {
+                    TxdbError::Parse(format!("unknown function `{name}`"))
+                })?;
+                self.pos += 2; // consume ident and '('
+                let arg = if self.eat_punct("*") {
+                    if func != AggFunc::Count {
+                        return Err(TxdbError::Parse(format!(
+                            "`*` argument only valid for COUNT, not {}",
+                            func.keyword()
+                        )));
+                    }
+                    None
+                } else {
+                    Some(self.column_ref()?)
+                };
+                self.expect_punct(")")?;
+                return Ok(SelectItem::Aggregate { func, arg });
+            }
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw("update")?;
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut set = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_punct("=")?;
+            set.push((col, self.literal()?));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, set, where_clause })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, where_clause })
+    }
+
+    // expr := and_expr (OR and_expr)*
+    fn expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // and_expr := unary_expr (AND unary_expr)*
+    fn and_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.unary_expr()?;
+        while self.eat_kw("and") {
+            let right = self.unary_expr()?;
+            left = SqlExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<SqlExpr> {
+        if self.eat_kw("not") {
+            return Ok(SqlExpr::Not(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        let column = self.column_ref()?;
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(SqlExpr::IsNull { column, negated });
+        }
+        if self.eat_kw("like") {
+            match self.next()? {
+                Token::Str(s) => {
+                    return Ok(SqlExpr::Like { column, pattern: s.trim_matches('%').to_string() })
+                }
+                other => return Err(TxdbError::Parse(format!("bad LIKE pattern: {other:?}"))),
+            }
+        }
+        let op = match self.next()? {
+            Token::Punct("=") => CmpOp::Eq,
+            Token::Punct("<>") => CmpOp::Ne,
+            Token::Punct("<") => CmpOp::Lt,
+            Token::Punct("<=") => CmpOp::Le,
+            Token::Punct(">") => CmpOp::Gt,
+            Token::Punct(">=") => CmpOp::Ge,
+            other => return Err(TxdbError::Parse(format!("expected comparison, found {other:?}"))),
+        };
+        let value = self.literal()?;
+        Ok(SqlExpr::Cmp { column, op, value })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat_punct(".") {
+            let col = self.ident()?;
+            Ok(ColumnRef::qualified(first, col))
+        } else {
+            Ok(ColumnRef::unqualified(first))
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next()? {
+            Token::Number(n) => {
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    n.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| TxdbError::Parse(format!("bad number `{n}`")))
+                } else {
+                    n.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| TxdbError::Parse(format!("bad number `{n}`")))
+                }
+            }
+            Token::Punct("-") => match self.literal()? {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(x) => Ok(Value::Float(-x)),
+                other => Err(TxdbError::Parse(format!("cannot negate {other}"))),
+            },
+            Token::Str(s) => Ok(Value::Text(s)),
+            Token::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            Token::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Token::Ident(s) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            other => Err(TxdbError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let stmt = parse_statement(
+            "CREATE TABLE screening (
+                screening_id INT PRIMARY KEY,
+                movie_id INT NOT NULL REFERENCES movie(movie_id),
+                date DATE,
+                price FLOAT
+            );",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(s) => {
+                assert_eq!(s.name(), "screening");
+                assert_eq!(s.primary_key(), &["screening_id".to_string()]);
+                assert_eq!(s.foreign_keys().len(), 1);
+                assert!(!s.column("movie_id").unwrap().nullable);
+                assert!(s.column("date").unwrap().nullable);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_composite_pk() {
+        let stmt = parse_statement(
+            "CREATE TABLE reservation (customer_id INT, screening_id INT, no_tickets INT,
+             PRIMARY KEY (customer_id, screening_id))",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(s) => {
+                assert_eq!(s.primary_key().len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_multi_row() {
+        let stmt = parse_statement(
+            "INSERT INTO movie (movie_id, title) VALUES (1, 'Forrest Gump'), (2, 'Heat')",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { table, columns, rows } => {
+                assert_eq!(table, "movie");
+                assert_eq!(columns.unwrap().len(), 2);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], Value::Text("Heat".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_with_join_where_order_limit() {
+        let stmt = parse_statement(
+            "SELECT movie.title, screening.date FROM screening \
+             JOIN movie ON screening.movie_id = movie.movie_id \
+             WHERE movie.title = 'Heat' AND screening.date >= '2022-01-01' \
+             ORDER BY screening.date DESC LIMIT 5",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.table, "screening");
+                assert_eq!(s.joins.len(), 1);
+                assert!(matches!(s.projection, Projection::Items(ref c) if c.len() == 2));
+                assert!(s.where_clause.is_some());
+                let (col, desc) = s.order_by.unwrap();
+                assert_eq!(col.column, "date");
+                assert!(desc);
+                assert_eq!(s.limit, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_boolean_operators_with_precedence() {
+        let stmt =
+            parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3").unwrap();
+        match stmt {
+            Statement::Select(s) => match s.where_clause.unwrap() {
+                SqlExpr::Or(l, r) => {
+                    assert!(matches!(*l, SqlExpr::Cmp { .. }));
+                    assert!(matches!(*r, SqlExpr::And(_, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_and_delete() {
+        let stmt = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE id = 3").unwrap();
+        assert!(matches!(stmt, Statement::Update { ref set, .. } if set.len() == 2));
+        let stmt = parse_statement("DELETE FROM t WHERE id IS NOT NULL").unwrap();
+        match stmt {
+            Statement::Delete { where_clause: Some(SqlExpr::IsNull { negated, .. }), .. } => {
+                assert!(negated)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negative_numbers_and_like() {
+        let stmt = parse_statement("SELECT * FROM t WHERE a = -3 AND b LIKE '%gump%'").unwrap();
+        match stmt {
+            Statement::Select(s) => match s.where_clause.unwrap() {
+                SqlExpr::And(l, r) => {
+                    assert!(
+                        matches!(*l, SqlExpr::Cmp { ref value, .. } if *value == Value::Int(-3))
+                    );
+                    assert!(
+                        matches!(*r, SqlExpr::Like { ref pattern, .. } if pattern == "gump")
+                    );
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_starts() {
+        assert!(parse_statement("SELECT * FROM t garbage garbage").is_err());
+        assert!(parse_statement("DROP TABLE t").is_err());
+        assert!(parse_statement("").is_err());
+    }
+}

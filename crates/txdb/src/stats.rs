@@ -1,0 +1,388 @@
+//! Column statistics: distinct counts, most-common values, histograms,
+//! entropy and selectivity estimates.
+//!
+//! These are the "database statistics (e.g., selectivities)" the paper's
+//! data-aware policy consumes. They are computed from live data (the engine
+//! is in-memory, so a full pass is cheap at demo scale) and cached by the
+//! policy layer keyed on the table version.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// Shannon entropy (bits) of a discrete distribution given by counts.
+/// Zero-count entries are ignored; an empty or single-class distribution
+/// has entropy 0.
+pub fn entropy_of_counts<I: IntoIterator<Item = usize>>(counts: I) -> f64 {
+    let counts: Vec<usize> = counts.into_iter().filter(|&c| c > 0).collect();
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total_f;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// An equi-width histogram over numeric values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub min: f64,
+    pub max: f64,
+    pub buckets: Vec<usize>,
+}
+
+impl Histogram {
+    /// Build with `n_buckets` equal-width buckets. Returns `None` for an
+    /// empty input.
+    pub fn build(values: &[f64], n_buckets: usize) -> Option<Histogram> {
+        if values.is_empty() || n_buckets == 0 {
+            return None;
+        }
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut buckets = vec![0usize; n_buckets];
+        let width = (max - min) / n_buckets as f64;
+        for &v in values {
+            let idx = if width == 0.0 {
+                0
+            } else {
+                (((v - min) / width) as usize).min(n_buckets - 1)
+            };
+            buckets[idx] += 1;
+        }
+        Some(Histogram { min, max, buckets })
+    }
+
+    /// Estimated fraction of values in `[lo, hi]` assuming uniform spread
+    /// within each bucket.
+    pub fn range_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        let total: usize = self.buckets.iter().sum();
+        if total == 0 || hi < lo {
+            return 0.0;
+        }
+        if self.max == self.min {
+            return if lo <= self.min && self.min <= hi { 1.0 } else { 0.0 };
+        }
+        let width = (self.max - self.min) / self.buckets.len() as f64;
+        let mut hit = 0.0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let b_lo = self.min + i as f64 * width;
+            let b_hi = b_lo + width;
+            let overlap = (hi.min(b_hi) - lo.max(b_lo)).max(0.0);
+            if overlap > 0.0 {
+                hit += c as f64 * (overlap / width).min(1.0);
+            }
+        }
+        (hit / total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of non-null values.
+    pub count: usize,
+    /// Number of nulls.
+    pub null_count: usize,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Shannon entropy (bits) of the value distribution.
+    pub entropy: f64,
+    /// Most common values with their counts, descending, capped.
+    pub most_common: Vec<(Value, usize)>,
+    /// Histogram for numeric/date columns.
+    pub histogram: Option<Histogram>,
+    /// Minimum / maximum (comparable types only).
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+}
+
+/// Cap on the most-common-values list.
+pub const MCV_LIMIT: usize = 16;
+/// Default histogram bucket count.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+impl ColumnStats {
+    /// Compute statistics from an iterator of values.
+    pub fn compute<'a, I: IntoIterator<Item = &'a Value>>(ty: DataType, values: I) -> ColumnStats {
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        let mut null_count = 0usize;
+        let mut numeric: Vec<f64> = Vec::new();
+        let mut min: Option<&Value> = None;
+        let mut max: Option<&Value> = None;
+        for v in values {
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            *counts.entry(v).or_insert(0) += 1;
+            if let Some(x) = numeric_key(ty, v) {
+                numeric.push(x);
+            }
+            min = Some(match min {
+                Some(m) if m.partial_cmp(v).is_none_or(|o| o.is_le()) => m,
+                _ => v,
+            });
+            max = Some(match max {
+                Some(m) if m.partial_cmp(v).is_none_or(|o| o.is_ge()) => m,
+                _ => v,
+            });
+        }
+        let count: usize = counts.values().sum();
+        let entropy = entropy_of_counts(counts.values().copied());
+        let mut mcv: Vec<(Value, usize)> =
+            counts.iter().map(|(v, &c)| ((*v).clone(), c)).collect();
+        mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        }));
+        let distinct = mcv.len();
+        mcv.truncate(MCV_LIMIT);
+        let histogram = Histogram::build(&numeric, HISTOGRAM_BUCKETS);
+        ColumnStats {
+            count,
+            null_count,
+            distinct,
+            entropy,
+            most_common: mcv,
+            histogram,
+            min: min.cloned(),
+            max: max.cloned(),
+        }
+    }
+
+    /// Estimated selectivity of `column = value`: exact from the MCV list
+    /// when the value is tracked, otherwise a uniform estimate over the
+    /// remaining distinct values.
+    pub fn eq_selectivity(&self, value: &Value) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if let Some((_, c)) = self.most_common.iter().find(|(v, _)| v == value) {
+            return *c as f64 / self.count as f64;
+        }
+        let mcv_total: usize = self.most_common.iter().map(|(_, c)| c).sum();
+        let rest_distinct = self.distinct.saturating_sub(self.most_common.len());
+        if rest_distinct == 0 {
+            // Value unseen: treat as very selective.
+            return 1.0 / (self.count as f64 + 1.0);
+        }
+        let rest = self.count.saturating_sub(mcv_total) as f64;
+        (rest / rest_distinct as f64) / self.count as f64
+    }
+
+    /// Normalized entropy in `[0,1]`: entropy divided by `log2(count)`.
+    /// 1 means every value unique; 0 means a single value dominates.
+    pub fn normalized_entropy(&self) -> f64 {
+        if self.count <= 1 {
+            return 0.0;
+        }
+        (self.entropy / (self.count as f64).log2()).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of non-null values.
+    pub fn fill_rate(&self) -> f64 {
+        let total = self.count + self.null_count;
+        if total == 0 {
+            0.0
+        } else {
+            self.count as f64 / total as f64
+        }
+    }
+}
+
+fn numeric_key(ty: DataType, v: &Value) -> Option<f64> {
+    match (ty, v) {
+        (DataType::Int | DataType::Float, _) => v.as_float(),
+        (DataType::Date, Value::Date(d)) => Some(d.day_number() as f64),
+        _ => None,
+    }
+}
+
+/// Statistics for every column of a table, plus the table version they
+/// were computed at.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub table: String,
+    pub row_count: usize,
+    pub version: u64,
+    pub columns: Vec<(String, ColumnStats)>,
+}
+
+impl TableStats {
+    /// Full statistics pass over a table.
+    pub fn compute(table: &Table) -> TableStats {
+        let schema = table.schema();
+        let mut columns = Vec::with_capacity(schema.arity());
+        for (i, col) in schema.columns().iter().enumerate() {
+            let values: Vec<&Value> =
+                table.scan().map(|(_, row)| row.get(i).unwrap_or(&Value::Null)).collect();
+            columns.push((col.name.clone(), ColumnStats::compute(col.ty, values)));
+        }
+        TableStats {
+            table: schema.name().to_string(),
+            row_count: table.len(),
+            version: table.version(),
+            columns,
+        }
+    }
+
+    /// Stats of one column.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Whether these stats are stale with respect to the live table.
+    pub fn is_stale(&self, table: &Table) -> bool {
+        table.version() != self.version
+    }
+}
+
+/// Entropy of a specific column restricted to a subset of rows, given by
+/// the value of that column for each row in the subset. This is the core
+/// quantity of the data-aware policy (computed over the candidate set).
+pub fn subset_entropy(values: impl IntoIterator<Item = Value>) -> Result<f64> {
+    let mut counts: HashMap<Value, usize> = HashMap::new();
+    for v in values {
+        if !v.is_null() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    Ok(entropy_of_counts(counts.into_values()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::TableSchema;
+    use crate::table::Table;
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy_of_counts([]), 0.0);
+        assert_eq!(entropy_of_counts([5]), 0.0);
+        assert!((entropy_of_counts([1, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy_of_counts([1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        // Skew lowers entropy.
+        assert!(entropy_of_counts([9, 1]) < entropy_of_counts([5, 5]));
+        // Zero counts are ignored.
+        assert_eq!(entropy_of_counts([3, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_upper_bound_is_log2_n() {
+        let h = entropy_of_counts(vec![1usize; 1000]);
+        assert!((h - 1000f64.log2()).abs() < 1e-9);
+    }
+
+    fn table_with_genres() -> Table {
+        let schema = TableSchema::builder("movie")
+            .column("movie_id", DataType::Int)
+            .column("genre", DataType::Text)
+            .nullable_column("rating", DataType::Float)
+            .primary_key(&["movie_id"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema).unwrap();
+        for i in 0..10i64 {
+            let genre = if i < 6 { "Drama" } else if i < 9 { "Action" } else { "Noir" };
+            let rating =
+                if i == 0 { Value::Null } else { Value::Float(5.0 + (i % 5) as f64) };
+            t.insert(Row::new(vec![Value::Int(i), genre.into(), rating])).unwrap();
+        }
+        t
+    }
+    use crate::row::Row;
+
+    #[test]
+    fn column_stats_distinct_mcv_entropy() {
+        let t = table_with_genres();
+        let stats = TableStats::compute(&t);
+        let genre = stats.column("genre").unwrap();
+        assert_eq!(genre.distinct, 3);
+        assert_eq!(genre.count, 10);
+        assert_eq!(genre.most_common[0], (Value::Text("Drama".into()), 6));
+        assert!(genre.entropy > 0.0 && genre.entropy < 3f64.log2() + 0.01);
+        let rating = stats.column("rating").unwrap();
+        assert_eq!(rating.null_count, 1);
+        assert!((rating.fill_rate() - 0.9).abs() < 1e-12);
+        let id = stats.column("movie_id").unwrap();
+        assert_eq!(id.distinct, 10);
+        assert!((id.normalized_entropy() - 1.0).abs() < 1e-9, "ids are maximally informative");
+    }
+
+    #[test]
+    fn eq_selectivity_estimates() {
+        let t = table_with_genres();
+        let stats = TableStats::compute(&t);
+        let genre = stats.column("genre").unwrap();
+        assert!((genre.eq_selectivity(&Value::Text("Drama".into())) - 0.6).abs() < 1e-12);
+        assert!((genre.eq_selectivity(&Value::Text("Noir".into())) - 0.1).abs() < 1e-12);
+        // Unseen value: small but nonzero.
+        let s = genre.eq_selectivity(&Value::Text("Western".into()));
+        assert!(s > 0.0 && s < 0.2);
+    }
+
+    #[test]
+    fn stats_staleness_via_version() {
+        let mut t = table_with_genres();
+        let stats = TableStats::compute(&t);
+        assert!(!stats.is_stale(&t));
+        t.insert(row![100, "Drama", 5.0]).unwrap();
+        assert!(stats.is_stale(&t));
+    }
+
+    #[test]
+    fn histogram_selectivity() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 10).unwrap();
+        assert_eq!(h.buckets.iter().sum::<usize>(), 100);
+        let s = h.range_selectivity(0.0, 49.5);
+        assert!((s - 0.5).abs() < 0.06, "got {s}");
+        assert_eq!(h.range_selectivity(200.0, 300.0), 0.0);
+        assert_eq!(h.range_selectivity(50.0, 40.0), 0.0);
+        // Degenerate all-equal histogram.
+        let h1 = Histogram::build(&[2.0, 2.0], 4).unwrap();
+        assert_eq!(h1.range_selectivity(1.0, 3.0), 1.0);
+        assert_eq!(h1.range_selectivity(3.0, 4.0), 0.0);
+        assert!(Histogram::build(&[], 4).is_none());
+    }
+
+    #[test]
+    fn subset_entropy_over_candidate_values() {
+        let h = subset_entropy(vec![
+            Value::Text("a".into()),
+            Value::Text("a".into()),
+            Value::Text("b".into()),
+            Value::Null,
+        ])
+        .unwrap();
+        // 2x a, 1x b -> H = 0.918 bits
+        assert!((h - 0.9182958340544896).abs() < 1e-9);
+    }
+
+    #[test]
+    fn date_columns_get_histograms() {
+        let schema = TableSchema::builder("s")
+            .column("id", DataType::Int)
+            .column("d", DataType::Date)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema).unwrap();
+        for i in 0..30i64 {
+            let d = crate::value::Date::new(2022, 1, 1).unwrap().plus_days(i);
+            t.insert(Row::new(vec![Value::Int(i), Value::Date(d)])).unwrap();
+        }
+        let stats = TableStats::compute(&t);
+        assert!(stats.column("d").unwrap().histogram.is_some());
+    }
+}

@@ -1,0 +1,748 @@
+//! Row storage for a single table, with primary-key and secondary indexes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::{Result, TxdbError};
+use crate::index::RangeIndex;
+use crate::predicate::Predicate;
+use crate::row::{Row, RowId};
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// One table: schema + rows + indexes.
+///
+/// All mutations bump a `version` counter; readers (notably the policy's
+/// statistics cache) use it to detect staleness cheaply.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<RowId, Row>,
+    next_row_id: u64,
+    version: u64,
+    /// Composite-PK index (empty map when the table has no declared PK).
+    pk_index: HashMap<Vec<Value>, RowId>,
+    /// Secondary hash indexes: column name -> value -> row ids.
+    indexes: HashMap<String, HashMap<Value, Vec<RowId>>>,
+    /// Ordered indexes for range predicates: column name -> B-tree index.
+    range_indexes: HashMap<String, RangeIndex>,
+}
+
+impl Table {
+    /// Create an empty table. Secondary indexes are automatically created
+    /// for every primary-key, unique and foreign-key column.
+    pub fn new(schema: TableSchema) -> Result<Table> {
+        schema.validate()?;
+        let mut auto_indexed: Vec<String> = Vec::new();
+        for pk in schema.primary_key() {
+            auto_indexed.push(pk.clone());
+        }
+        for c in schema.columns() {
+            if c.unique && !auto_indexed.contains(&c.name) {
+                auto_indexed.push(c.name.clone());
+            }
+        }
+        for fk in schema.foreign_keys() {
+            if !auto_indexed.contains(&fk.column) {
+                auto_indexed.push(fk.column.clone());
+            }
+        }
+        let mut t = Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_row_id: 1,
+            version: 0,
+            pk_index: HashMap::new(),
+            indexes: HashMap::new(),
+            range_indexes: HashMap::new(),
+        };
+        for col in auto_indexed {
+            t.indexes.insert(col, HashMap::new());
+        }
+        Ok(t)
+    }
+
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Mutable access to the schema, for applying annotations after the
+    /// fact. Does not affect stored data.
+    pub fn schema_mut(&mut self) -> &mut TableSchema {
+        &mut self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Monotonically increasing mutation counter.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Create an additional secondary index on `column`.
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        self.schema.require_column(column)?;
+        if self.indexes.contains_key(column) {
+            return Err(TxdbError::DuplicateIndex {
+                table: self.schema.name().to_string(),
+                column: column.to_string(),
+            });
+        }
+        let idx = self.schema.column_index(column).expect("checked above");
+        let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
+        for (&rid, row) in &self.rows {
+            let v = row.get(idx).cloned().unwrap_or(Value::Null);
+            if !v.is_null() {
+                map.entry(v).or_default().push(rid);
+            }
+        }
+        self.indexes.insert(column.to_string(), map);
+        Ok(())
+    }
+
+    /// Whether a secondary index exists on `column`.
+    pub fn has_index(&self, column: &str) -> bool {
+        self.indexes.contains_key(column)
+    }
+
+    /// Create an ordered (range) index on `column`.
+    pub fn create_range_index(&mut self, column: &str) -> Result<()> {
+        self.schema.require_column(column)?;
+        if self.range_indexes.contains_key(column) {
+            return Err(TxdbError::DuplicateIndex {
+                table: self.schema.name().to_string(),
+                column: column.to_string(),
+            });
+        }
+        let idx = self.schema.column_index(column).expect("checked above");
+        let mut index = RangeIndex::new();
+        for (&rid, row) in &self.rows {
+            index.insert(row.get(idx).cloned().unwrap_or(Value::Null), rid);
+        }
+        self.range_indexes.insert(column.to_string(), index);
+        Ok(())
+    }
+
+    /// Whether an ordered index exists on `column`.
+    pub fn has_range_index(&self, column: &str) -> bool {
+        self.range_indexes.contains_key(column)
+    }
+
+    /// Row ids whose `column` value lies within the bounds, via the
+    /// ordered index (falls back to a scan when no index exists).
+    pub fn range_lookup(
+        &self,
+        column: &str,
+        lo: std::ops::Bound<&Value>,
+        hi: std::ops::Bound<&Value>,
+    ) -> Result<Vec<RowId>> {
+        if let Some(index) = self.range_indexes.get(column) {
+            return Ok(index.range(lo, hi));
+        }
+        let idx = self.schema.require_column(column)?;
+        let in_lo = |v: &Value| match lo {
+            std::ops::Bound::Included(b) => v.partial_cmp(b).is_some_and(|o| o.is_ge()),
+            std::ops::Bound::Excluded(b) => v.partial_cmp(b).is_some_and(|o| o.is_gt()),
+            std::ops::Bound::Unbounded => true,
+        };
+        let in_hi = |v: &Value| match hi {
+            std::ops::Bound::Included(b) => v.partial_cmp(b).is_some_and(|o| o.is_le()),
+            std::ops::Bound::Excluded(b) => v.partial_cmp(b).is_some_and(|o| o.is_lt()),
+            std::ops::Bound::Unbounded => true,
+        };
+        Ok(self
+            .rows
+            .iter()
+            .filter(|(_, row)| {
+                row.get(idx).is_some_and(|v| !v.is_null() && in_lo(v) && in_hi(v))
+            })
+            .map(|(&rid, _)| rid)
+            .collect())
+    }
+
+    /// Validate a row against the schema (arity, types, NOT NULL) without
+    /// inserting it.
+    pub fn validate_row(&self, row: &Row) -> Result<()> {
+        if row.arity() != self.schema.arity() {
+            return Err(TxdbError::ArityMismatch {
+                table: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                got: row.arity(),
+            });
+        }
+        for (i, col) in self.schema.columns().iter().enumerate() {
+            let v = row.get(i).expect("arity checked");
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(TxdbError::NotNullViolation {
+                        table: self.schema.name().to_string(),
+                        column: col.name.clone(),
+                    });
+                }
+            } else if !v.conforms_to(col.ty) {
+                return Err(TxdbError::TypeMismatch {
+                    expected: col.ty,
+                    got: format!("{v} ({:?})", v.data_type()),
+                    context: format!("{}.{}", self.schema.name(), col.name),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Primary-key tuple of a row (empty if no declared PK).
+    pub fn pk_of(&self, row: &Row) -> Vec<Value> {
+        self.schema
+            .primary_key()
+            .iter()
+            .map(|c| {
+                let idx = self.schema.column_index(c).expect("validated schema");
+                row.get(idx).cloned().unwrap_or(Value::Null)
+            })
+            .collect()
+    }
+
+    /// Insert a row, enforcing type, NOT NULL, PK and UNIQUE constraints.
+    /// (Foreign keys are enforced one level up by the database, which can
+    /// see the referenced tables.)
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        self.validate_row(&row)?;
+        let pk = self.pk_of(&row);
+        if !pk.is_empty() && self.pk_index.contains_key(&pk) {
+            return Err(TxdbError::DuplicateKey {
+                table: self.schema.name().to_string(),
+                key: format!("{pk:?}"),
+            });
+        }
+        for (i, col) in self.schema.columns().iter().enumerate() {
+            if col.unique && !self.schema.is_pk_column(&col.name) {
+                let v = row.get(i).expect("arity checked");
+                if !v.is_null() && !self.lookup(&col.name, v).is_empty() {
+                    return Err(TxdbError::DuplicateKey {
+                        table: self.schema.name().to_string(),
+                        key: format!("{}={v}", col.name),
+                    });
+                }
+            }
+        }
+        let rid = RowId(self.next_row_id);
+        self.next_row_id += 1;
+        self.index_row(rid, &row);
+        if !pk.is_empty() {
+            self.pk_index.insert(pk, rid);
+        }
+        self.rows.insert(rid, row);
+        self.version += 1;
+        Ok(rid)
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.rows.get(&rid)
+    }
+
+    /// Fetch a row by primary-key tuple.
+    pub fn get_by_pk(&self, pk: &[Value]) -> Option<(RowId, &Row)> {
+        let rid = *self.pk_index.get(pk)?;
+        self.rows.get(&rid).map(|r| (rid, r))
+    }
+
+    /// Delete a row by id, returning it.
+    pub fn delete(&mut self, rid: RowId) -> Result<Row> {
+        let row = self
+            .rows
+            .remove(&rid)
+            .ok_or_else(|| TxdbError::NoSuchRow { table: self.schema.name().to_string() })?;
+        self.unindex_row(rid, &row);
+        let pk = self.pk_of(&row);
+        if !pk.is_empty() {
+            self.pk_index.remove(&pk);
+        }
+        self.version += 1;
+        Ok(row)
+    }
+
+    /// Update one column of a row, returning the previous value.
+    pub fn update(&mut self, rid: RowId, column: &str, value: Value) -> Result<Value> {
+        let idx = self.schema.require_column(column)?;
+        let col = &self.schema.columns()[idx];
+        if value.is_null() && !col.nullable {
+            return Err(TxdbError::NotNullViolation {
+                table: self.schema.name().to_string(),
+                column: column.to_string(),
+            });
+        }
+        if !value.conforms_to(col.ty) {
+            return Err(TxdbError::TypeMismatch {
+                expected: col.ty,
+                got: format!("{value}"),
+                context: format!("{}.{}", self.schema.name(), column),
+            });
+        }
+        if !self.rows.contains_key(&rid) {
+            return Err(TxdbError::NoSuchRow { table: self.schema.name().to_string() });
+        }
+        // Uniqueness / PK checks against the *other* rows.
+        let is_unique = col.unique || self.schema.is_pk_column(column);
+        if is_unique && !value.is_null() {
+            if let Some(existing) = self.lookup(column, &value).iter().find(|&&r| r != rid) {
+                return Err(TxdbError::DuplicateKey {
+                    table: self.schema.name().to_string(),
+                    key: format!("{column}={value} (held by {existing})"),
+                });
+            }
+        }
+        let row = self.rows.get_mut(&rid).expect("presence checked");
+        let old_pk_needed = self.schema.is_pk_column(column);
+        let old_row_pk = if old_pk_needed { Some(row.clone()) } else { None };
+        let old = row.set(idx, value.clone()).expect("index in range");
+        // Maintain secondary indexes.
+        let row_snapshot = row.clone();
+        if let Some(map) = self.indexes.get_mut(column) {
+            if !old.is_null() {
+                if let Some(ids) = map.get_mut(&old) {
+                    ids.retain(|&r| r != rid);
+                    if ids.is_empty() {
+                        map.remove(&old);
+                    }
+                }
+            }
+            if !value.is_null() {
+                map.entry(value.clone()).or_default().push(rid);
+            }
+        }
+        if let Some(index) = self.range_indexes.get_mut(column) {
+            index.remove(&old, rid);
+            index.insert(value, rid);
+        }
+        // Maintain PK index.
+        if let Some(old_row) = old_row_pk {
+            let old_pk = self.pk_of(&old_row);
+            let new_pk = self.pk_of(&row_snapshot);
+            if old_pk != new_pk {
+                self.pk_index.remove(&old_pk);
+                self.pk_index.insert(new_pk, rid);
+            }
+        }
+        self.version += 1;
+        Ok(old)
+    }
+
+    /// Row ids matching `column = value`, via index when available.
+    pub fn lookup(&self, column: &str, value: &Value) -> Vec<RowId> {
+        if let Some(map) = self.indexes.get(column) {
+            return map.get(value).cloned().unwrap_or_default();
+        }
+        let Some(idx) = self.schema.column_index(column) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter(|(_, row)| row.get(idx) == Some(value))
+            .map(|(&rid, _)| rid)
+            .collect()
+    }
+
+    /// Iterate all `(RowId, &Row)` pairs in insertion order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.rows.iter().map(|(&rid, row)| (rid, row))
+    }
+
+    /// Rows satisfying a predicate. Uses a hash index when the predicate is
+    /// an equality conjunction touching an indexed column.
+    pub fn select(&self, pred: &Predicate) -> Result<Vec<(RowId, &Row)>> {
+        if let Some(eqs) = pred.as_equality_conjunction() {
+            if let Some((col, val)) =
+                eqs.iter().find(|(c, _)| self.indexes.contains_key(*c)).copied()
+            {
+                let mut out = Vec::new();
+                for rid in self.lookup(col, val) {
+                    let row = &self.rows[&rid];
+                    if pred.eval(&self.schema, row)? {
+                        out.push((rid, row));
+                    }
+                }
+                out.sort_by_key(|(rid, _)| *rid);
+                return Ok(out);
+            }
+        }
+        let mut out = Vec::new();
+        for (&rid, row) in &self.rows {
+            if pred.eval(&self.schema, row)? {
+                out.push((rid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Value of `column` for the given row.
+    pub fn value_of(&self, rid: RowId, column: &str) -> Result<Value> {
+        let idx = self.schema.require_column(column)?;
+        let row = self
+            .rows
+            .get(&rid)
+            .ok_or_else(|| TxdbError::NoSuchRow { table: self.schema.name().to_string() })?;
+        Ok(row.get(idx).cloned().unwrap_or(Value::Null))
+    }
+
+    fn index_row(&mut self, rid: RowId, row: &Row) {
+        for (col, map) in self.indexes.iter_mut() {
+            let idx = self.schema.column_index(col).expect("validated schema");
+            let v = row.get(idx).cloned().unwrap_or(Value::Null);
+            if !v.is_null() {
+                map.entry(v).or_default().push(rid);
+            }
+        }
+        for (col, index) in self.range_indexes.iter_mut() {
+            let idx = self.schema.column_index(col).expect("validated schema");
+            index.insert(row.get(idx).cloned().unwrap_or(Value::Null), rid);
+        }
+    }
+
+    fn unindex_row(&mut self, rid: RowId, row: &Row) {
+        for (col, map) in self.indexes.iter_mut() {
+            let idx = self.schema.column_index(col).expect("validated schema");
+            let v = row.get(idx).cloned().unwrap_or(Value::Null);
+            if !v.is_null() {
+                if let Some(ids) = map.get_mut(&v) {
+                    ids.retain(|&r| r != rid);
+                    if ids.is_empty() {
+                        map.remove(&v);
+                    }
+                }
+            }
+        }
+        for (col, index) in self.range_indexes.iter_mut() {
+            let idx = self.schema.column_index(col).expect("validated schema");
+            index.remove(row.get(idx).unwrap_or(&Value::Null), rid);
+        }
+    }
+
+    // ----- physical operations used by transaction rollback -----
+    // These bypass constraint checks (the state being restored was valid)
+    // but keep every index consistent.
+
+    /// Re-insert a row under its original id (rollback of a delete).
+    pub(crate) fn insert_physical(&mut self, rid: RowId, row: Row) {
+        self.index_row(rid, &row);
+        let pk = self.pk_of(&row);
+        if !pk.is_empty() {
+            self.pk_index.insert(pk, rid);
+        }
+        self.next_row_id = self.next_row_id.max(rid.0 + 1);
+        self.rows.insert(rid, row);
+        self.version += 1;
+    }
+
+    /// Remove a row (rollback of an insert).
+    pub(crate) fn remove_physical(&mut self, rid: RowId) {
+        if let Some(row) = self.rows.remove(&rid) {
+            self.unindex_row(rid, &row);
+            let pk = self.pk_of(&row);
+            if !pk.is_empty() {
+                self.pk_index.remove(&pk);
+            }
+            self.version += 1;
+        }
+    }
+
+    /// Restore a single cell (rollback of an update).
+    pub(crate) fn set_physical(&mut self, rid: RowId, col_idx: usize, value: Value) {
+        let col_name = self.schema.columns()[col_idx].name.clone();
+        let Some(row) = self.rows.get_mut(&rid) else { return };
+        let old = row.set(col_idx, value.clone()).expect("index in range");
+        let new_row = row.clone();
+        if let Some(map) = self.indexes.get_mut(&col_name) {
+            if !old.is_null() {
+                if let Some(ids) = map.get_mut(&old) {
+                    ids.retain(|&r| r != rid);
+                    if ids.is_empty() {
+                        map.remove(&old);
+                    }
+                }
+            }
+            if !value.is_null() {
+                map.entry(value.clone()).or_default().push(rid);
+            }
+        }
+        if let Some(index) = self.range_indexes.get_mut(&col_name) {
+            index.remove(&old, rid);
+            index.insert(value, rid);
+        }
+        if self.schema.is_pk_column(&col_name) {
+            // Rebuild this row's PK entry.
+            let mut old_row = new_row.clone();
+            old_row.set(col_idx, old);
+            let old_pk = self.pk_of(&old_row);
+            let new_pk = self.pk_of(&new_row);
+            if old_pk != new_pk {
+                self.pk_index.remove(&old_pk);
+                self.pk_index.insert(new_pk, rid);
+            }
+        }
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::TableSchema;
+    use crate::value::DataType;
+
+    fn movie_table() -> Table {
+        let schema = TableSchema::builder("movie")
+            .column("movie_id", DataType::Int)
+            .column("title", DataType::Text)
+            .column("genre", DataType::Text)
+            .nullable_column("rating", DataType::Float)
+            .primary_key(&["movie_id"])
+            .build()
+            .unwrap();
+        Table::new(schema).unwrap()
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut t = movie_table();
+        let rid = t.insert(row![1, "Forrest Gump", "Drama", 8.8]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(rid).unwrap().get(1).unwrap().as_text(), Some("Forrest Gump"));
+        let deleted = t.delete(rid).unwrap();
+        assert_eq!(deleted.get(0).unwrap().as_int(), Some(1));
+        assert!(t.is_empty());
+        assert!(t.get(rid).is_none());
+        assert!(t.delete(rid).is_err());
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut t = movie_table();
+        t.insert(row![1, "A", "Drama", 5.0]).unwrap();
+        let err = t.insert(row![1, "B", "Action", 6.0]).unwrap_err();
+        assert!(matches!(err, TxdbError::DuplicateKey { .. }));
+        // After deleting, the key is free again.
+        let (rid, _) = t.get_by_pk(&[Value::Int(1)]).unwrap();
+        t.delete(rid).unwrap();
+        t.insert(row![1, "B", "Action", 6.0]).unwrap();
+    }
+
+    #[test]
+    fn type_and_null_validation() {
+        let mut t = movie_table();
+        assert!(matches!(
+            t.insert(row!["one", "A", "Drama", 5.0]).unwrap_err(),
+            TxdbError::TypeMismatch { .. }
+        ));
+        assert!(matches!(
+            t.insert(Row::new(vec![Value::Int(1), Value::Null, "g".into(), Value::Null]))
+                .unwrap_err(),
+            TxdbError::NotNullViolation { .. }
+        ));
+        // Nullable column accepts NULL.
+        t.insert(Row::new(vec![Value::Int(1), "A".into(), "g".into(), Value::Null])).unwrap();
+        assert!(matches!(
+            t.insert(row![2, "B", "g"]).unwrap_err(),
+            TxdbError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn unique_column_enforced() {
+        let schema = TableSchema::builder("customer")
+            .column("customer_id", DataType::Int)
+            .column("email", DataType::Text)
+            .unique()
+            .primary_key(&["customer_id"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema).unwrap();
+        t.insert(row![1, "a@x.org"]).unwrap();
+        assert!(t.insert(row![2, "a@x.org"]).is_err());
+        t.insert(row![2, "b@x.org"]).unwrap();
+        assert!(t.update(RowId(2), "email", "a@x.org".into()).is_err());
+        t.update(RowId(2), "email", "c@x.org".into()).unwrap();
+    }
+
+    #[test]
+    fn lookup_uses_index_and_scan_consistently() {
+        let mut t = movie_table();
+        t.create_index("genre").unwrap();
+        for i in 0..20 {
+            let genre = if i % 2 == 0 { "Drama" } else { "Action" };
+            t.insert(row![i, format!("M{i}"), genre, 5.0]).unwrap();
+        }
+        let via_index = t.lookup("genre", &Value::Text("Drama".into()));
+        assert_eq!(via_index.len(), 10);
+        // title is unindexed -> scan path.
+        let via_scan = t.lookup("title", &Value::Text("M3".into()));
+        assert_eq!(via_scan.len(), 1);
+        assert!(t.has_index("genre"));
+        assert!(!t.has_index("title"));
+    }
+
+    #[test]
+    fn select_with_predicate() {
+        let mut t = movie_table();
+        for i in 0..10 {
+            let genre = if i < 3 { "Drama" } else { "Action" };
+            t.insert(row![i, format!("M{i}"), genre, i as f64]).unwrap();
+        }
+        let pred = Predicate::eq("genre", "Drama");
+        assert_eq!(t.select(&pred).unwrap().len(), 3);
+        let pred2 = Predicate::eq("genre", "Action")
+            .and(Predicate::cmp("rating", crate::predicate::CmpOp::Ge, 8.0));
+        assert_eq!(t.select(&pred2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn select_via_index_matches_full_scan() {
+        let mut t = movie_table();
+        t.create_index("genre").unwrap();
+        for i in 0..50 {
+            let genre = ["Drama", "Action", "Comedy"][i % 3];
+            t.insert(row![i as i64, format!("M{i}"), genre, 1.0]).unwrap();
+        }
+        let pred = Predicate::eq("genre", "Comedy");
+        let with_index: Vec<_> = t.select(&pred).unwrap().iter().map(|(r, _)| *r).collect();
+        // Force the scan path with a non-equality predicate wrapper.
+        let scan_pred = Predicate::contains("genre", "Comedy");
+        let scanned: Vec<_> = t.select(&scan_pred).unwrap().iter().map(|(r, _)| *r).collect();
+        assert_eq!(with_index, scanned);
+    }
+
+    #[test]
+    fn update_maintains_indexes_and_pk() {
+        let mut t = movie_table();
+        t.create_index("genre").unwrap();
+        let rid = t.insert(row![1, "A", "Drama", 5.0]).unwrap();
+        t.update(rid, "genre", "Action".into()).unwrap();
+        assert!(t.lookup("genre", &Value::Text("Drama".into())).is_empty());
+        assert_eq!(t.lookup("genre", &Value::Text("Action".into())), vec![rid]);
+        // PK update moves the pk index entry.
+        t.update(rid, "movie_id", Value::Int(42)).unwrap();
+        assert!(t.get_by_pk(&[Value::Int(1)]).is_none());
+        assert_eq!(t.get_by_pk(&[Value::Int(42)]).unwrap().0, rid);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut t = movie_table();
+        let v0 = t.version();
+        let rid = t.insert(row![1, "A", "Drama", 5.0]).unwrap();
+        assert!(t.version() > v0);
+        let v1 = t.version();
+        t.update(rid, "title", "B".into()).unwrap();
+        assert!(t.version() > v1);
+        let v2 = t.version();
+        t.delete(rid).unwrap();
+        assert!(t.version() > v2);
+    }
+
+    #[test]
+    fn physical_ops_restore_state() {
+        let mut t = movie_table();
+        t.create_index("genre").unwrap();
+        let rid = t.insert(row![1, "A", "Drama", 5.0]).unwrap();
+        let row = t.get(rid).unwrap().clone();
+        t.remove_physical(rid);
+        assert!(t.is_empty());
+        assert!(t.lookup("genre", &Value::Text("Drama".into())).is_empty());
+        t.insert_physical(rid, row);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("genre", &Value::Text("Drama".into())), vec![rid]);
+        assert_eq!(t.get_by_pk(&[Value::Int(1)]).unwrap().0, rid);
+        // next_row_id must not collide with the restored row.
+        let rid2 = t.insert(row![2, "B", "Action", 1.0]).unwrap();
+        assert_ne!(rid, rid2);
+    }
+
+    #[test]
+    fn range_index_maintained_through_mutations() {
+        use std::ops::Bound;
+        let mut t = movie_table();
+        t.create_range_index("rating").unwrap();
+        for i in 0..10 {
+            t.insert(row![i, format!("M{i}"), "Drama", i as f64]).unwrap();
+        }
+        let ids = t
+            .range_lookup("rating", Bound::Included(&Value::Float(3.0)), Bound::Excluded(&Value::Float(6.0)))
+            .unwrap();
+        assert_eq!(ids.len(), 3); // ratings 3,4,5
+        // Update moves a row across the boundary.
+        let rid = ids[0];
+        t.update(rid, "rating", Value::Float(9.5)).unwrap();
+        let ids = t
+            .range_lookup("rating", Bound::Included(&Value::Float(3.0)), Bound::Excluded(&Value::Float(6.0)))
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        // Delete removes from the index.
+        let high = t
+            .range_lookup("rating", Bound::Included(&Value::Float(9.0)), Bound::Unbounded)
+            .unwrap();
+        assert_eq!(high, vec![rid, RowId(10)]);
+        t.delete(rid).unwrap();
+        let high = t
+            .range_lookup("rating", Bound::Included(&Value::Float(9.0)), Bound::Unbounded)
+            .unwrap();
+        assert_eq!(high, vec![RowId(10)]);
+        // Physical rollback ops keep it consistent too.
+        let row9 = t.get(RowId(10)).unwrap().clone();
+        t.remove_physical(RowId(10));
+        assert!(t
+            .range_lookup("rating", Bound::Included(&Value::Float(9.0)), Bound::Unbounded)
+            .unwrap()
+            .is_empty());
+        t.insert_physical(RowId(10), row9);
+        assert_eq!(
+            t.range_lookup("rating", Bound::Included(&Value::Float(9.0)), Bound::Unbounded)
+                .unwrap(),
+            vec![RowId(10)]
+        );
+    }
+
+    #[test]
+    fn range_lookup_without_index_scans() {
+        use std::ops::Bound;
+        let mut t = movie_table();
+        for i in 0..10 {
+            t.insert(row![i, format!("M{i}"), "Drama", i as f64]).unwrap();
+        }
+        assert!(!t.has_range_index("rating"));
+        let scan = t
+            .range_lookup("rating", Bound::Included(&Value::Float(2.0)), Bound::Included(&Value::Float(4.0)))
+            .unwrap();
+        assert_eq!(scan.len(), 3);
+        // Agreement with the indexed path.
+        t.create_range_index("rating").unwrap();
+        let indexed = t
+            .range_lookup("rating", Bound::Included(&Value::Float(2.0)), Bound::Included(&Value::Float(4.0)))
+            .unwrap();
+        assert_eq!(scan, indexed);
+        assert!(t.create_range_index("rating").is_err(), "duplicate index");
+    }
+
+    #[test]
+    fn composite_pk() {
+        let schema = TableSchema::builder("reservation")
+            .column("customer_id", DataType::Int)
+            .column("screening_id", DataType::Int)
+            .column("no_tickets", DataType::Int)
+            .primary_key(&["customer_id", "screening_id"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema).unwrap();
+        t.insert(row![1, 10, 2]).unwrap();
+        t.insert(row![1, 11, 2]).unwrap();
+        t.insert(row![2, 10, 1]).unwrap();
+        assert!(t.insert(row![1, 10, 5]).is_err());
+        assert_eq!(t.get_by_pk(&[Value::Int(1), Value::Int(11)]).unwrap().1.get(2), Some(&Value::Int(2)));
+    }
+}

@@ -1,0 +1,260 @@
+//! Undo-log transactions.
+//!
+//! The engine uses a simple single-writer model: a [`Transaction`] borrows
+//! the database mutably, records an undo entry for every mutation, and rolls
+//! the log back in reverse order on drop unless committed. This gives the
+//! atomicity the conversational agent needs — a multi-statement stored
+//! procedure either fully happens when the user confirms, or not at all.
+
+use crate::error::Result;
+use crate::predicate::Predicate;
+use crate::procedure::{ProcOp, ProcOutcome, Procedure};
+use crate::row::{Row, RowId};
+use crate::value::Value;
+use crate::Database;
+
+/// One entry of the undo log.
+#[derive(Debug, Clone)]
+pub(crate) enum UndoOp {
+    Insert { table: String, rid: RowId },
+    Delete { table: String, rid: RowId, row: Row },
+    Update { table: String, rid: RowId, col_idx: usize, old: Value },
+}
+
+/// An open transaction. Mutations made through this handle are atomic:
+/// either `commit` is called, or everything is undone when the handle drops.
+#[derive(Debug)]
+pub struct Transaction<'db> {
+    db: &'db mut Database,
+    undo: Vec<UndoOp>,
+    finished: bool,
+}
+
+impl<'db> Transaction<'db> {
+    pub(crate) fn new(db: &'db mut Database) -> Transaction<'db> {
+        Transaction { db, undo: Vec::new(), finished: false }
+    }
+
+    /// Insert a row (FK-enforcing).
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<RowId> {
+        let (rid, undo) = self.db.insert_op(table, row)?;
+        self.undo.push(undo);
+        Ok(rid)
+    }
+
+    /// Delete a row (referential RESTRICT).
+    pub fn delete(&mut self, table: &str, rid: RowId) -> Result<Row> {
+        let (row, undo) = self.db.delete_op(table, rid)?;
+        self.undo.push(undo);
+        Ok(row)
+    }
+
+    /// Update one column of a row.
+    pub fn update(&mut self, table: &str, rid: RowId, column: &str, value: Value) -> Result<Value> {
+        let (old, undo) = self.db.update_op(table, rid, column, value)?;
+        self.undo.push(undo);
+        Ok(old)
+    }
+
+    /// Read rows (sees the transaction's own uncommitted writes).
+    pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        self.db.select(table, pred)
+    }
+
+    /// Read-only view of the underlying database.
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+
+    /// Number of mutations recorded so far.
+    pub fn pending_ops(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Execute a procedure's ops with bound (validated) arguments.
+    pub(crate) fn run_procedure(
+        &mut self,
+        proc: &Procedure,
+        bound: &[(String, Value)],
+    ) -> Result<ProcOutcome> {
+        let mut outcome = ProcOutcome::default();
+        for op in proc.ops() {
+            match op {
+                ProcOp::Insert { table, columns, values } => {
+                    let schema = self.db.schema_of(table)?.clone();
+                    let mut cells = vec![Value::Null; schema.arity()];
+                    for (col, expr) in columns.iter().zip(values) {
+                        let idx = schema.require_column(col)?;
+                        let v = expr.resolve(proc.name(), bound)?;
+                        cells[idx] = v.coerce_to(schema.columns()[idx].ty)?;
+                    }
+                    self.insert(table, Row::new(cells))?;
+                    outcome.rows_affected += 1;
+                }
+                ProcOp::Delete { table, filter } => {
+                    let pred = filter_predicate(proc, bound, filter)?;
+                    let rids: Vec<RowId> =
+                        self.select(table, &pred)?.into_iter().map(|(r, _)| r).collect();
+                    for rid in &rids {
+                        self.delete(table, *rid)?;
+                    }
+                    outcome.rows_affected += rids.len();
+                }
+                ProcOp::Update { table, set, filter } => {
+                    let pred = filter_predicate(proc, bound, filter)?;
+                    let rids: Vec<RowId> =
+                        self.select(table, &pred)?.into_iter().map(|(r, _)| r).collect();
+                    for rid in &rids {
+                        for (col, expr) in set {
+                            let v = expr.resolve(proc.name(), bound)?;
+                            self.update(table, *rid, col, v)?;
+                        }
+                    }
+                    outcome.rows_affected += rids.len();
+                }
+                ProcOp::Select { table, filter, columns } => {
+                    let pred = filter_predicate(proc, bound, filter)?;
+                    let schema = self.db.schema_of(table)?.clone();
+                    let proj: Vec<usize> = match columns {
+                        Some(cols) => cols
+                            .iter()
+                            .map(|c| schema.require_column(c))
+                            .collect::<Result<_>>()?,
+                        None => (0..schema.arity()).collect(),
+                    };
+                    outcome.columns = match columns {
+                        Some(cols) => cols.clone(),
+                        None => schema.columns().iter().map(|c| c.name.clone()).collect(),
+                    };
+                    for (_, row) in self.select(table, &pred)? {
+                        outcome
+                            .rows
+                            .push(proj.iter().map(|&i| row.get(i).cloned().unwrap()).collect());
+                    }
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Make all changes permanent.
+    pub fn commit(mut self) {
+        self.finished = true;
+        self.undo.clear();
+    }
+
+    /// Explicitly roll back (equivalent to dropping the handle).
+    pub fn rollback(mut self) {
+        self.do_rollback();
+        self.finished = true;
+    }
+
+    fn do_rollback(&mut self) {
+        while let Some(op) = self.undo.pop() {
+            self.db.apply_undo(op);
+        }
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.do_rollback();
+        }
+    }
+}
+
+fn filter_predicate(
+    proc: &Procedure,
+    bound: &[(String, Value)],
+    filter: &[(String, crate::procedure::ParamExpr)],
+) -> Result<Predicate> {
+    let mut pred = Predicate::True;
+    for (col, expr) in filter {
+        let v = expr.resolve(proc.name(), bound)?;
+        pred = pred.and(Predicate::eq(col.clone(), v));
+    }
+    Ok(pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::TableSchema;
+    use crate::value::DataType;
+
+    fn db_with_t() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("t")
+                .column("id", DataType::Int)
+                .column("name", DataType::Text)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn commit_persists() {
+        let mut db = db_with_t();
+        let mut txn = db.begin();
+        txn.insert("t", row![1, "a"]).unwrap();
+        txn.insert("t", row![2, "b"]).unwrap();
+        assert_eq!(txn.pending_ops(), 2);
+        txn.commit();
+        assert_eq!(db.table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn drop_rolls_back() {
+        let mut db = db_with_t();
+        {
+            let mut txn = db.begin();
+            txn.insert("t", row![1, "a"]).unwrap();
+        }
+        assert_eq!(db.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn explicit_rollback() {
+        let mut db = db_with_t();
+        db.insert("t", row![1, "a"]).unwrap();
+        let mut txn = db.begin();
+        let rid = txn.select("t", &Predicate::eq("id", 1)).unwrap()[0].0;
+        txn.update("t", rid, "name", "z".into()).unwrap();
+        txn.delete("t", rid).unwrap();
+        txn.insert("t", row![2, "b"]).unwrap();
+        txn.rollback();
+        let rows = db.select("t", &Predicate::True).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.get(1).unwrap().as_text(), Some("a"));
+    }
+
+    #[test]
+    fn rollback_restores_in_reverse_order() {
+        let mut db = db_with_t();
+        db.insert("t", row![1, "a"]).unwrap();
+        {
+            let mut txn = db.begin();
+            let rid = txn.select("t", &Predicate::eq("id", 1)).unwrap()[0].0;
+            // Update the same cell twice; rollback must restore the oldest.
+            txn.update("t", rid, "name", "x".into()).unwrap();
+            txn.update("t", rid, "name", "y".into()).unwrap();
+        }
+        let rows = db.select("t", &Predicate::True).unwrap();
+        assert_eq!(rows[0].1.get(1).unwrap().as_text(), Some("a"));
+    }
+
+    #[test]
+    fn transaction_sees_own_writes() {
+        let mut db = db_with_t();
+        let mut txn = db.begin();
+        txn.insert("t", row![1, "a"]).unwrap();
+        assert_eq!(txn.select("t", &Predicate::eq("id", 1)).unwrap().len(), 1);
+        txn.commit();
+    }
+}

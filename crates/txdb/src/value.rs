@@ -1,0 +1,566 @@
+//! Dynamically-typed values stored in the database.
+//!
+//! The engine is schemaful: every column has a declared [`DataType`] and the
+//! storage layer rejects values of the wrong type. [`Value`] nonetheless has
+//! to be self-describing so that predicates, statistics and the conversational
+//! layers can be written generically.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{Result, TxdbError};
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Calendar date (no time zone).
+    Date,
+}
+
+impl DataType {
+    /// All data types, useful for exhaustive testing.
+    pub const ALL: [DataType; 5] =
+        [DataType::Int, DataType::Float, DataType::Text, DataType::Bool, DataType::Date];
+
+    /// SQL-ish keyword for this type (used by the SQL layer and `Display`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Date => "DATE",
+        }
+    }
+
+    /// Parse a SQL type keyword (case-insensitive); accepts common aliases.
+    pub fn from_keyword(kw: &str) -> Option<DataType> {
+        match kw.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SERIAL" => Some(DataType::Int),
+            "FLOAT" | "REAL" | "DOUBLE" | "NUMERIC" | "DECIMAL" => Some(DataType::Float),
+            "TEXT" | "VARCHAR" | "STRING" | "CHAR" => Some(DataType::Text),
+            "BOOL" | "BOOLEAN" => Some(DataType::Bool),
+            "DATE" => Some(DataType::Date),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A calendar date. Ordered chronologically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Construct a date, validating month/day ranges (including leap years).
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Date> {
+        if !(1..=12).contains(&month) {
+            return Err(TxdbError::InvalidValue(format!("month {month} out of range")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(TxdbError::InvalidValue(format!(
+                "day {day} out of range for {year}-{month:02}"
+            )));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Date> {
+        let mut parts = s.splitn(3, '-');
+        let bad = || TxdbError::InvalidValue(format!("`{s}` is not a YYYY-MM-DD date"));
+        let year: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let month: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let day: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Date::new(year, month, day)
+    }
+
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Day offset from 0000-03-01 (a standard trick that makes leap-day
+    /// arithmetic uniform); only relative differences are meaningful.
+    pub fn day_number(&self) -> i64 {
+        let y = if self.month <= 2 { self.year as i64 - 1 } else { self.year as i64 };
+        let m = if self.month <= 2 { self.month as i64 + 12 } else { self.month as i64 };
+        365 * y + y / 4 - y / 100 + y / 400 + (153 * (m - 3) + 2) / 5 + self.day as i64 - 1
+    }
+
+    /// The date `days` after `self` (negative goes backwards).
+    pub fn plus_days(&self, days: i64) -> Date {
+        let mut n = self.day_number() + days;
+        // Invert day_number by scanning years (dates in this system are
+        // always within a few thousand years; the loop is short).
+        let mut year = (n / 366) as i32; // lower bound
+        loop {
+            let jan1 = Date { year: year + 1, month: 3, day: 1 };
+            if jan1.day_number() > n {
+                break;
+            }
+            year += 1;
+        }
+        // Now 0 <= n - day_number(year-03-01) < ~366
+        n -= (Date { year, month: 3, day: 1 }).day_number();
+        let mut month = 3u8;
+        let mut y = year;
+        loop {
+            let dim = days_in_month(y, month) as i64;
+            if n < dim {
+                return Date { year: y, month, day: (n + 1) as u8 };
+            }
+            n -= dim;
+            month += 1;
+            if month > 12 {
+                month = 1;
+                y += 1;
+            }
+        }
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday.
+    pub fn weekday(&self) -> u8 {
+        // 2000-03-01 was a Wednesday (weekday 2 in our encoding).
+        let anchor = Date { year: 2000, month: 3, day: 1 };
+        let diff = self.day_number() - anchor.day_number();
+        let wd = ((diff % 7) + 7) % 7;
+        ((wd + 2) % 7) as u8
+    }
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A single dynamically-typed value.
+///
+/// `Value` implements `Eq`/`Hash` so that it can key hash indexes; floats are
+/// compared by bit pattern with all NaNs normalized to a canonical NaN.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Bool(bool),
+    Date(Date),
+}
+
+impl Value {
+    /// The runtime type, or `None` for `Null` (which inhabits every type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True if this value may be stored in a column of type `ty`
+    /// (i.e. it is null or has exactly that type).
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        self.data_type().is_none_or(|t| t == ty)
+    }
+
+    /// Parse a string literal as the given type. Used by template filling,
+    /// the SQL layer and slot-value normalization.
+    pub fn parse_as(ty: DataType, s: &str) -> Result<Value> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("null") {
+            return Ok(Value::Null);
+        }
+        match ty {
+            DataType::Int => s
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| TxdbError::InvalidValue(format!("`{s}` is not an integer"))),
+            DataType::Float => s
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| TxdbError::InvalidValue(format!("`{s}` is not a float"))),
+            DataType::Text => Ok(Value::Text(s.to_string())),
+            DataType::Bool => match s.to_ascii_lowercase().as_str() {
+                "true" | "t" | "yes" | "1" => Ok(Value::Bool(true)),
+                "false" | "f" | "no" | "0" => Ok(Value::Bool(false)),
+                _ => Err(TxdbError::InvalidValue(format!("`{s}` is not a boolean"))),
+            },
+            DataType::Date => Date::parse(s).map(Value::Date),
+        }
+    }
+
+    /// Best-effort coercion between numeric types; identity otherwise.
+    pub fn coerce_to(&self, ty: DataType) -> Result<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Float(x), DataType::Int) if x.fract() == 0.0 => Ok(Value::Int(*x as i64)),
+            (Value::Text(s), t) if t != DataType::Text => Value::parse_as(t, s),
+            (v, t) if v.conforms_to(t) => Ok(v.clone()),
+            (v, t) => Err(TxdbError::TypeMismatch {
+                expected: t,
+                got: format!("{v}"),
+                context: "coercion".into(),
+            }),
+        }
+    }
+
+    /// Extract text, if this is a `Text` value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Extract an integer, if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract a float, coercing ints.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// A user-facing rendering (no quotes around text). This is what the
+    /// conversational layers show to end users and fill into templates.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "unknown".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    format!("{:.1}", x)
+                } else {
+                    format!("{x}")
+                }
+            }
+            Value::Text(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::Date(d) => d.to_string(),
+        }
+    }
+
+    /// SQL-literal rendering (text quoted and escaped).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Date(d) => format!("'{d}'"),
+            other => other.render(),
+        }
+    }
+
+    fn canonical_float_bits(x: f64) -> u64 {
+        if x.is_nan() {
+            f64::NAN.to_bits()
+        } else if x == 0.0 {
+            0 // normalize -0.0 and +0.0
+        } else {
+            x.to_bits()
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Value::canonical_float_bits(*a) == Value::canonical_float_bits(*b)
+            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *b == *a as f64
+            }
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Ints and equal-valued floats must hash identically because
+            // they compare equal.
+            Value::Int(i) => {
+                1u8.hash(state);
+                Value::canonical_float_bits(*i as f64).hash(state);
+            }
+            Value::Float(x) => {
+                1u8.hash(state);
+                Value::canonical_float_bits(*x).hash(state);
+            }
+            Value::Text(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    /// Values of the same type are totally ordered; `Null` sorts first;
+    /// cross-type comparison (other than int/float) yields `None`.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, Value::Null) => Some(Ordering::Equal),
+            (Value::Null, _) => Some(Ordering::Less),
+            (_, Value::Null) => Some(Ordering::Greater),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b).or(Some(Ordering::Equal)),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn date_parse_roundtrip() {
+        let d = Date::parse("2022-03-26").unwrap();
+        assert_eq!(d.to_string(), "2022-03-26");
+        assert_eq!(d.year(), 2022);
+        assert_eq!(d.month(), 3);
+        assert_eq!(d.day(), 26);
+    }
+
+    #[test]
+    fn date_rejects_invalid() {
+        assert!(Date::parse("2022-13-01").is_err());
+        assert!(Date::parse("2022-02-30").is_err());
+        assert!(Date::parse("not-a-date").is_err());
+        assert!(Date::new(2021, 2, 29).is_err()); // not a leap year
+        assert!(Date::new(2020, 2, 29).is_ok()); // leap year
+        assert!(Date::new(2000, 2, 29).is_ok()); // 400-rule leap year
+        assert!(Date::new(1900, 2, 29).is_err()); // 100-rule non-leap
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let d = Date::new(2022, 12, 31).unwrap();
+        assert_eq!(d.plus_days(1).to_string(), "2023-01-01");
+        assert_eq!(d.plus_days(0), d);
+        let e = Date::new(2020, 2, 28).unwrap();
+        assert_eq!(e.plus_days(1).to_string(), "2020-02-29");
+        assert_eq!(e.plus_days(2).to_string(), "2020-03-01");
+        assert_eq!(e.plus_days(-28).to_string(), "2020-01-31");
+    }
+
+    #[test]
+    fn date_day_number_monotone() {
+        let a = Date::new(1999, 12, 31).unwrap();
+        let b = Date::new(2000, 1, 1).unwrap();
+        assert_eq!(b.day_number() - a.day_number(), 1);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn value_parse_as_all_types() {
+        assert_eq!(Value::parse_as(DataType::Int, "42").unwrap(), Value::Int(42));
+        assert_eq!(Value::parse_as(DataType::Float, "3.5").unwrap(), Value::Float(3.5));
+        assert_eq!(Value::parse_as(DataType::Text, " hi ").unwrap(), Value::Text("hi".into()));
+        assert_eq!(Value::parse_as(DataType::Bool, "yes").unwrap(), Value::Bool(true));
+        assert_eq!(
+            Value::parse_as(DataType::Date, "2020-01-02").unwrap(),
+            Value::Date(Date::new(2020, 1, 2).unwrap())
+        );
+        assert_eq!(Value::parse_as(DataType::Int, "NULL").unwrap(), Value::Null);
+        assert!(Value::parse_as(DataType::Int, "forty").is_err());
+    }
+
+    #[test]
+    fn int_float_equality_and_hash_agree() {
+        let i = Value::Int(7);
+        let f = Value::Float(7.0);
+        assert_eq!(i, f);
+        assert_eq!(hash_of(&i), hash_of(&f));
+    }
+
+    #[test]
+    fn negative_zero_and_nan_normalized() {
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+        let nan1 = Value::Float(f64::NAN);
+        let nan2 = Value::Float(-f64::NAN);
+        assert_eq!(hash_of(&nan1), hash_of(&nan2));
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Text("a".into()) < Value::Text("b".into()));
+        assert!(Value::Null < Value::Int(0));
+        assert_eq!(
+            Value::Text("a".into()).partial_cmp(&Value::Int(1)),
+            None,
+            "cross-type comparison is undefined"
+        );
+    }
+
+    #[test]
+    fn render_and_sql_literal() {
+        assert_eq!(Value::Text("O'Hara".into()).to_sql_literal(), "'O''Hara'");
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Int(3).render(), "3");
+        assert_eq!(Value::Float(3.0).render(), "3.0");
+        assert_eq!(Value::Null.render(), "unknown");
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(Value::Int(2).coerce_to(DataType::Float).unwrap(), Value::Float(2.0));
+        assert_eq!(Value::Float(2.0).coerce_to(DataType::Int).unwrap(), Value::Int(2));
+        assert!(Value::Float(2.5).coerce_to(DataType::Int).is_err());
+        assert_eq!(
+            Value::Text("2021-05-05".into()).coerce_to(DataType::Date).unwrap(),
+            Value::Date(Date::new(2021, 5, 5).unwrap())
+        );
+    }
+
+    #[test]
+    fn datatype_keyword_roundtrip() {
+        for ty in DataType::ALL {
+            assert_eq!(DataType::from_keyword(ty.keyword()), Some(ty));
+        }
+        assert_eq!(DataType::from_keyword("varchar"), Some(DataType::Text));
+        assert_eq!(DataType::from_keyword("blob"), None);
+    }
+
+    #[test]
+    fn weekday_known_dates() {
+        // 2022-03-26 was a Saturday.
+        assert_eq!(Date::new(2022, 3, 26).unwrap().weekday(), 5);
+        // 2000-01-01 was a Saturday.
+        assert_eq!(Date::new(2000, 1, 1).unwrap().weekday(), 5);
+        // 2026-06-11 is a Thursday.
+        assert_eq!(Date::new(2026, 6, 11).unwrap().weekday(), 3);
+    }
+}

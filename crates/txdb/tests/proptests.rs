@@ -1,0 +1,313 @@
+//! Property-based tests for the txdb engine: value codec round-trips,
+//! predicate algebra laws, transaction atomicity and index consistency.
+
+use proptest::prelude::*;
+
+use cat_txdb::{
+    entropy_of_counts, row, CmpOp, Database, DataType, Date, Predicate, Row, TableSchema, Value,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::Float),
+        "[a-zA-Z0-9 '_-]{0,24}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        (1970i32..2100, 1u8..=12, 1u8..=28)
+            .prop_map(|(y, m, d)| Value::Date(Date::new(y, m, d).unwrap())),
+    ]
+}
+
+proptest! {
+    /// Rendering a value and re-parsing it as its own type is the identity
+    /// (for non-null values; text is trimmed on parse so we pre-trim).
+    #[test]
+    fn value_render_parse_roundtrip(v in arb_value()) {
+        if let Some(ty) = v.data_type() {
+            let rendered = v.render();
+            if ty == DataType::Text {
+                let trimmed = rendered.trim();
+                // "null" deliberately parses as NULL, so skip that collision.
+                prop_assume!(!trimmed.eq_ignore_ascii_case("null"));
+                let back = Value::parse_as(ty, &rendered).unwrap();
+                prop_assert_eq!(back, Value::Text(trimmed.to_string()));
+            } else if ty == DataType::Float {
+                let back = Value::parse_as(ty, &rendered).unwrap();
+                let (Some(a), Some(b)) = (v.as_float(), back.as_float()) else {
+                    return Err(TestCaseError::fail("float extract"));
+                };
+                prop_assert!((a - b).abs() <= a.abs() * 1e-12 + 1e-12);
+            } else {
+                let back = Value::parse_as(ty, &rendered).unwrap();
+                prop_assert_eq!(back, v);
+            }
+        }
+    }
+
+    /// Value equality implies equal hashes.
+    #[test]
+    fn value_eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// Date arithmetic: plus_days is consistent with day_number.
+    #[test]
+    fn date_plus_days_consistent(y in 1900i32..2100, m in 1u8..=12, d in 1u8..=28, delta in -50_000i64..50_000) {
+        let date = Date::new(y, m, d).unwrap();
+        let shifted = date.plus_days(delta);
+        prop_assert_eq!(shifted.day_number() - date.day_number(), delta);
+    }
+
+    /// Double negation is the identity on predicate evaluation.
+    #[test]
+    fn predicate_double_negation(x in any::<i64>(), threshold in any::<i64>()) {
+        let schema = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .build()
+            .unwrap();
+        let r = row![x];
+        let p = Predicate::cmp("a", CmpOp::Lt, threshold);
+        let direct = p.eval(&schema, &r).unwrap();
+        let doubled = p.not().not().eval(&schema, &r).unwrap();
+        prop_assert_eq!(direct, doubled);
+    }
+
+    /// De Morgan: NOT (a AND b) == (NOT a) OR (NOT b).
+    #[test]
+    fn predicate_de_morgan(x in -20i64..20, lo in -20i64..20, hi in -20i64..20) {
+        let schema = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .build()
+            .unwrap();
+        let r = row![x];
+        let a = Predicate::cmp("a", CmpOp::Ge, lo);
+        let b = Predicate::cmp("a", CmpOp::Le, hi);
+        let lhs = a.clone().and(b.clone()).not().eval(&schema, &r).unwrap();
+        let rhs = a.not().or(b.not()).eval(&schema, &r).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Entropy bounds: 0 <= H <= log2(number of classes).
+    #[test]
+    fn entropy_bounds(counts in proptest::collection::vec(1usize..1000, 1..40)) {
+        let h = entropy_of_counts(counts.clone());
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (counts.len() as f64).log2() + 1e-9);
+    }
+}
+
+/// A random sequence of operations inside an aborted transaction leaves the
+/// database byte-identical (modulo version counters) to its prior state.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, String),
+    Delete(i64),
+    Update(i64, String),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..50, "[a-z]{1,8}").prop_map(|(k, s)| Op::Insert(k, s)),
+        (0i64..50).prop_map(Op::Delete),
+        (0i64..50, "[a-z]{1,8}").prop_map(|(k, s)| Op::Update(k, s)),
+    ]
+}
+
+fn snapshot(db: &Database) -> Vec<(i64, String)> {
+    let mut rows: Vec<(i64, String)> = db
+        .table("t")
+        .unwrap()
+        .scan()
+        .map(|(_, r)| {
+            (r.get(0).unwrap().as_int().unwrap(), r.get(1).unwrap().as_text().unwrap().to_string())
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn seed_db(initial: &[(i64, String)]) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("t")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for (k, s) in initial {
+        let _ = db.insert("t", Row::new(vec![Value::Int(*k), Value::Text(s.clone())]));
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Atomicity: rollback restores the exact pre-transaction state even
+    /// when individual operations inside the transaction fail.
+    #[test]
+    fn aborted_transaction_is_invisible(
+        initial in proptest::collection::vec((0i64..50, "[a-z]{1,8}"), 0..20),
+        ops in proptest::collection::vec(arb_op(), 1..30),
+    ) {
+        let mut db = seed_db(&initial);
+        let before = snapshot(&db);
+        {
+            let mut txn = db.begin();
+            for op in &ops {
+                match op {
+                    Op::Insert(k, s) => {
+                        let _ = txn.insert("t", Row::new(vec![Value::Int(*k), Value::Text(s.clone())]));
+                    }
+                    Op::Delete(k) => {
+                        let rids: Vec<_> = txn
+                            .select("t", &Predicate::eq("id", *k))
+                            .unwrap()
+                            .into_iter()
+                            .map(|(r, _)| r)
+                            .collect();
+                        for rid in rids {
+                            let _ = txn.delete("t", rid);
+                        }
+                    }
+                    Op::Update(k, s) => {
+                        let rids: Vec<_> = txn
+                            .select("t", &Predicate::eq("id", *k))
+                            .unwrap()
+                            .into_iter()
+                            .map(|(r, _)| r)
+                            .collect();
+                        for rid in rids {
+                            let _ = txn.update("t", rid, "name", Value::Text(s.clone()));
+                        }
+                    }
+                }
+            }
+            // txn dropped without commit -> rollback
+        }
+        prop_assert_eq!(snapshot(&db), before);
+    }
+
+    /// Committed transactions match applying the same ops directly.
+    #[test]
+    fn committed_transaction_equals_direct_application(
+        initial in proptest::collection::vec((0i64..50, "[a-z]{1,8}"), 0..20),
+        ops in proptest::collection::vec(arb_op(), 1..30),
+    ) {
+        let mut tx_db = seed_db(&initial);
+        let mut direct_db = seed_db(&initial);
+
+        let mut txn = tx_db.begin();
+        for op in &ops {
+            match op {
+                Op::Insert(k, s) => {
+                    let _ = txn.insert("t", Row::new(vec![Value::Int(*k), Value::Text(s.clone())]));
+                }
+                Op::Delete(k) => {
+                    let rids: Vec<_> = txn
+                        .select("t", &Predicate::eq("id", *k))
+                        .unwrap()
+                        .into_iter().map(|(r, _)| r).collect();
+                    for rid in rids { let _ = txn.delete("t", rid); }
+                }
+                Op::Update(k, s) => {
+                    let rids: Vec<_> = txn
+                        .select("t", &Predicate::eq("id", *k))
+                        .unwrap()
+                        .into_iter().map(|(r, _)| r).collect();
+                    for rid in rids { let _ = txn.update("t", rid, "name", Value::Text(s.clone())); }
+                }
+            }
+        }
+        txn.commit();
+
+        for op in &ops {
+            match op {
+                Op::Insert(k, s) => {
+                    let _ = direct_db.insert("t", Row::new(vec![Value::Int(*k), Value::Text(s.clone())]));
+                }
+                Op::Delete(k) => {
+                    let rids: Vec<_> = direct_db
+                        .select("t", &Predicate::eq("id", *k))
+                        .unwrap()
+                        .into_iter().map(|(r, _)| r).collect();
+                    for rid in rids { let _ = direct_db.delete("t", rid); }
+                }
+                Op::Update(k, s) => {
+                    let rids: Vec<_> = direct_db
+                        .select("t", &Predicate::eq("id", *k))
+                        .unwrap()
+                        .into_iter().map(|(r, _)| r).collect();
+                    for rid in rids { let _ = direct_db.update("t", rid, "name", Value::Text(s.clone())); }
+                }
+            }
+        }
+        prop_assert_eq!(snapshot(&tx_db), snapshot(&direct_db));
+    }
+
+    /// Index lookups agree with predicate scans after arbitrary mutations.
+    #[test]
+    fn index_agrees_with_scan(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        probe in 0i64..50,
+    ) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("t")
+                .column("id", DataType::Int)
+                .column("name", DataType::Text)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.table_mut("t").unwrap().create_index("name").unwrap();
+        for op in &ops {
+            match op {
+                Op::Insert(k, s) => {
+                    let _ = db.insert("t", Row::new(vec![Value::Int(*k), Value::Text(s.clone())]));
+                }
+                Op::Delete(k) => {
+                    let rids: Vec<_> = db
+                        .select("t", &Predicate::eq("id", *k))
+                        .unwrap()
+                        .into_iter().map(|(r, _)| r).collect();
+                    for rid in rids { let _ = db.delete("t", rid); }
+                }
+                Op::Update(k, s) => {
+                    let rids: Vec<_> = db
+                        .select("t", &Predicate::eq("id", *k))
+                        .unwrap()
+                        .into_iter().map(|(r, _)| r).collect();
+                    for rid in rids { let _ = db.update("t", rid, "name", Value::Text(s.clone())); }
+                }
+            }
+        }
+        // Probe by id (pk index) and by a name value that may or may not exist.
+        let t = db.table("t").unwrap();
+        let via_idx = {
+            let mut v = t.lookup("id", &Value::Int(probe));
+            v.sort();
+            v
+        };
+        let via_scan: Vec<_> = t
+            .scan()
+            .filter(|(_, r)| r.get(0) == Some(&Value::Int(probe)))
+            .map(|(rid, _)| rid)
+            .collect();
+        prop_assert_eq!(via_idx, via_scan);
+    }
+}

@@ -1,0 +1,83 @@
+//! Interactive chat with the synthesized cinema agent (the live half of
+//! the paper's demo). Type natural language; `quit` exits.
+//!
+//! Run with: `cargo run -p cat-examples --bin chat`
+//!
+//! Useful things to try (entity names depend on the seed; the agent
+//! prints a few on startup):
+//!   i want to buy 4 tickets
+//!   my name is `<customer name>`
+//!   i want to watch `<movie title, misspellings welcome>`
+//!   i do not know
+//!   yes / no / never mind
+//!   which screenings do you have
+
+use std::io::{self, BufRead, Write};
+
+use cat_core::{AnnotationFile, CatBuilder};
+use cat_corpus::{generate_cinema, CinemaConfig, CINEMA_ANNOTATIONS};
+
+fn main() {
+    println!("Synthesizing the cinema agent (a few seconds)...");
+    let db = generate_cinema(&CinemaConfig::default()).expect("generate db");
+    let annotations = AnnotationFile::parse(CINEMA_ANNOTATIONS).expect("annotations");
+    let (mut agent, report) = CatBuilder::new(db)
+        .with_annotations(&annotations)
+        .expect("apply annotations")
+        .with_seed(2022)
+        .synthesize();
+    println!(
+        "ready: {} tasks, {} NLU examples, {} flows",
+        report.n_tasks, report.n_nlu_examples, report.n_flows
+    );
+    {
+        let db = agent.db();
+        let customers: Vec<String> = db
+            .table("customer")
+            .unwrap()
+            .scan()
+            .take(3)
+            .map(|(_, r)| r.get(1).unwrap().render())
+            .collect();
+        let movies: Vec<String> = db
+            .table("movie")
+            .unwrap()
+            .scan()
+            .take(3)
+            .map(|(_, r)| r.get(1).unwrap().render())
+            .collect();
+        println!("some customers: {}", customers.join(", "));
+        println!("some movies:    {}", movies.join(", "));
+    }
+    println!("---- type `quit` to exit ----");
+
+    let stdin = io::stdin();
+    loop {
+        print!("you>  ");
+        io::stdout().flush().expect("flush");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        let reply = agent.respond(line);
+        println!("agent> {}", reply.text);
+        if let Some(outcome) = reply.executed {
+            if !outcome.rows.is_empty() {
+                for row in outcome.rows.iter().take(8) {
+                    println!(
+                        "       | {}",
+                        row.iter().map(|v| v.render()).collect::<Vec<_>>().join(" | ")
+                    );
+                }
+            }
+        }
+    }
+    println!("bye!");
+}

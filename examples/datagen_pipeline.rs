@@ -1,0 +1,75 @@
+//! Reproduction of the paper's Figure 3: the inputs and outputs of CAT's
+//! training-data generation pipeline — extracted tasks, the developer's
+//! templates, and samples of the synthesized NLU and DM training data.
+//!
+//! Run with: `cargo run -p cat-examples --bin datagen_pipeline`
+
+use cat_core::AnnotationFile;
+use cat_corpus::{generate_cinema, CinemaConfig, CINEMA_ANNOTATIONS};
+use cat_datagen::{
+    extract_tasks, generate_nlu_data, simulate_flows, to_bundle, to_json, DataGenConfig,
+    SelfPlayConfig,
+};
+
+fn main() {
+    let mut db = generate_cinema(&CinemaConfig::small(3)).expect("generate db");
+    let annotations = AnnotationFile::parse(CINEMA_ANNOTATIONS).expect("annotations");
+    annotations.apply_to(&mut db).expect("apply");
+    let templates = annotations.template_set();
+
+    println!("== Database and Transactions (input) ==");
+    for t in db.table_names() {
+        let table = db.table(t).unwrap();
+        let cols: Vec<String> =
+            table.schema().columns().iter().map(|c| c.name.clone()).collect();
+        println!("  {t}({})  [{} rows]", cols.join(", "), table.len());
+    }
+    println!();
+    for proc in db.procedures() {
+        let params: Vec<String> = proc.params().iter().map(|p| format!("IN {}", p.name)).collect();
+        println!("  FUNCTION {}({})", proc.name(), params.join(", "));
+    }
+
+    println!("\n== Extracted Tasks and Schema Information ==");
+    let tasks = extract_tasks(&db);
+    for task in &tasks {
+        let params: Vec<String> = task
+            .params
+            .iter()
+            .map(|p| match &p.entity {
+                Some((table, _)) => format!("{} ({table})", p.name),
+                None => format!("{} ({})", p.name, p.ty.keyword().to_lowercase()),
+            })
+            .collect();
+        println!("  {}: {}", task.name, params.join(", "));
+    }
+
+    println!("\n== Natural Language Templates (manually defined) ==");
+    for (slot, temps) in &templates.inform {
+        for t in temps.iter().take(1) {
+            println!("  [{slot}] {t}");
+        }
+    }
+
+    println!("\n== Generated NLU Training Data (sample) ==");
+    let cfg = DataGenConfig { per_template: 2, ..DataGenConfig::default() };
+    let nlu_data = generate_nlu_data(&db, &tasks, &templates, &cfg);
+    println!("  {} examples total; a sample:", nlu_data.len());
+    for ex in nlu_data.iter().filter(|e| !e.slots.is_empty()).take(5) {
+        let slots: Vec<String> =
+            ex.slots.iter().map(|s| format!("{}='{}'", s.slot, s.value)).collect();
+        println!("  \"{}\"", ex.text);
+        println!("     -> intent: {} ; slots: {}", ex.intent, slots.join(", "));
+    }
+
+    println!("\n== Generated DM Training Data (sample flow) ==");
+    let flows = simulate_flows(&tasks, &SelfPlayConfig { dialogues: 40, ..Default::default() });
+    println!("  {} flows total; the first:", flows.len());
+    for turn in &flows[0].turns {
+        println!("  {}: {}", turn.speaker, &turn.label[2..]);
+    }
+
+    println!("\n== JSON export (RASA-file equivalent) ==");
+    let bundle = to_bundle(&nlu_data[..3.min(nlu_data.len())], &flows[..1]);
+    println!("{}", to_json(&bundle).expect("serialize"));
+}

@@ -1,0 +1,85 @@
+//! A second domain, zero code changes: synthesize an agent for the flight
+//! database (the ATIS-like domain of the paper's evaluation) from its own
+//! annotation file, then book a flight conversationally.
+//!
+//! Run with: `cargo run -p cat-examples --bin flight_info`
+
+use cat_core::{AnnotationFile, CatBuilder};
+use cat_corpus::{generate_flights, FlightConfig, FLIGHT_ANNOTATIONS};
+use cat_examples::print_exchange;
+
+fn main() {
+    let db = generate_flights(&FlightConfig::default()).expect("generate flights db");
+    println!(
+        "flight database: {} airlines, {} airports, {} flights, {} passengers",
+        db.table("airline").unwrap().len(),
+        db.table("airport").unwrap().len(),
+        db.table("flight").unwrap().len(),
+        db.table("passenger").unwrap().len(),
+    );
+    let annotations = AnnotationFile::parse(FLIGHT_ANNOTATIONS).expect("annotations");
+    let (mut agent, report) = CatBuilder::new(db)
+        .with_annotations(&annotations)
+        .expect("apply")
+        .with_seed(1990)
+        .synthesize();
+    println!(
+        "synthesized: {} tasks ({}), {} NLU examples\n",
+        report.n_tasks,
+        agent.tasks().iter().map(|t| t.name.clone()).collect::<Vec<_>>().join(", "),
+        report.n_nlu_examples
+    );
+
+    // A truthful scripted passenger.
+    let (pname, pcity, airline, day) = {
+        let db = agent.db();
+        let (_, p) = db.table("passenger").unwrap().scan().next().unwrap();
+        let (_, f) = db.table("flight").unwrap().scan().next().unwrap();
+        let airline_id = f.get(1).unwrap().clone();
+        let (_, a) = db.table("airline").unwrap().get_by_pk(&[airline_id]).unwrap();
+        (
+            p.get(1).unwrap().render(),
+            p.get(2).unwrap().render(),
+            a.get(1).unwrap().render(),
+            f.get(4).unwrap().render(),
+        )
+    };
+
+    println!("== Booking dialogue ==");
+    let bookings_before = agent.db().table("booking").unwrap().len();
+    let mut response = agent.respond("i want to book a flight");
+    print_exchange("i want to book a flight", &response);
+    let mut guard = 0;
+    while response.executed.is_none() && guard < 25 {
+        guard += 1;
+        let q = response.text.to_lowercase();
+        let reply = match response.action.as_str() {
+            "a:confirm_task" => "yes".to_string(),
+            "a:offer_options" => "1".to_string(),
+            _ => {
+                if q.contains("seats") {
+                    "2".into()
+                } else if q.contains("name") {
+                    format!("my name is {pname}")
+                } else if q.contains("city") && q.contains("passenger") {
+                    pcity.clone()
+                } else if q.contains("airline") {
+                    format!("i fly with {airline}")
+                } else if q.contains("time of day") {
+                    "i do not know".into()
+                } else if q.contains("day") {
+                    day.clone()
+                } else {
+                    "i do not know".into()
+                }
+            }
+        };
+        response = agent.respond(&reply);
+        print_exchange(&reply, &response);
+    }
+    println!(
+        "\nbookings: {} -> {}",
+        bookings_before,
+        agent.db().table("booking").unwrap().len()
+    );
+}

@@ -1,0 +1,80 @@
+//! Third domain, zero code changes: the hotel-booking application the
+//! paper's abstract names alongside cinema ticketing. Synthesizes an agent
+//! for the hotel database from its annotation file and books a room.
+//!
+//! Run with: `cargo run -p cat-examples --bin hotel_booking`
+
+use cat_core::{AnnotationFile, CatBuilder};
+use cat_corpus::{generate_hotel, HotelConfig, HOTEL_ANNOTATIONS};
+use cat_examples::print_exchange;
+
+fn main() {
+    let db = generate_hotel(&HotelConfig::default()).expect("generate hotel db");
+    println!(
+        "hotel database: {} hotels, {} rooms, {} guests, {} bookings",
+        db.table("hotel").unwrap().len(),
+        db.table("room").unwrap().len(),
+        db.table("guest").unwrap().len(),
+        db.table("booking").unwrap().len(),
+    );
+    let annotations = AnnotationFile::parse(HOTEL_ANNOTATIONS).expect("annotations");
+    let (mut agent, report) = CatBuilder::new(db)
+        .with_annotations(&annotations)
+        .expect("apply")
+        .with_seed(7)
+        .synthesize();
+    println!(
+        "synthesized: {} tasks, {} NLU examples\n",
+        report.n_tasks, report.n_nlu_examples
+    );
+
+    let (guest, city, hotel, room_type) = {
+        let db = agent.db();
+        let (_, g) = db.table("guest").unwrap().scan().next().unwrap();
+        let (_, r) = db.table("room").unwrap().scan().next().unwrap();
+        let hid = r.get(1).unwrap().clone();
+        let (_, h) = db.table("hotel").unwrap().get_by_pk(&[hid]).unwrap();
+        (
+            g.get(1).unwrap().render(),
+            g.get(2).unwrap().render(),
+            h.get(1).unwrap().render(),
+            r.get(2).unwrap().render(),
+        )
+    };
+
+    println!("== Booking dialogue ==");
+    let before = agent.db().table("booking").unwrap().len();
+    let mut response = agent.respond("i want to book a room");
+    print_exchange("i want to book a room", &response);
+    let mut guard = 0;
+    while response.executed.is_none() && guard < 25 {
+        guard += 1;
+        let q = response.text.to_lowercase();
+        let reply = match response.action.as_str() {
+            "a:confirm_task" => "yes".to_string(),
+            "a:offer_options" => "1".to_string(),
+            _ => {
+                if q.contains("nights") {
+                    "3".into()
+                } else if q.contains("name") && q.contains("booking") {
+                    format!("my name is {guest}")
+                } else if q.contains("name") && q.contains("hotel") {
+                    format!("the hotel is {hotel}")
+                } else if q.contains("room type") {
+                    format!("a {room_type} room please")
+                } else if q.contains("city") {
+                    city.clone()
+                } else {
+                    "i do not know".into()
+                }
+            }
+        };
+        response = agent.respond(&reply);
+        print_exchange(&reply, &response);
+    }
+    println!(
+        "\nbookings: {} -> {}",
+        before,
+        agent.db().table("booking").unwrap().len()
+    );
+}

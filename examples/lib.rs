@@ -1,0 +1,36 @@
+//! Shared helpers for the CAT example binaries.
+
+use cat_core::AgentResponse;
+
+/// Print one dialogue exchange in the style of the paper's Figure 1.
+pub fn print_exchange(user: &str, reply: &AgentResponse) {
+    println!("  user:  {user}");
+    println!("  agent: {}", reply.text);
+}
+
+/// Drive an agent with a scripted answer function until a transaction
+/// executes or the turn budget is exhausted. Returns the number of turns
+/// and whether execution happened.
+pub fn drive<F>(
+    agent: &mut cat_core::ConversationalAgent,
+    opening: &str,
+    mut answer: F,
+    max_turns: usize,
+) -> (usize, bool)
+where
+    F: FnMut(&AgentResponse) -> String,
+{
+    let mut response = agent.respond(opening);
+    print_exchange(opening, &response);
+    let mut turns = 1;
+    for _ in 0..max_turns {
+        if response.executed.is_some() {
+            return (turns, true);
+        }
+        let reply = answer(&response);
+        response = agent.respond(&reply);
+        print_exchange(&reply, &response);
+        turns += 1;
+    }
+    (turns, response.executed.is_some())
+}

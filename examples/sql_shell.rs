@@ -1,0 +1,54 @@
+//! Interactive SQL shell over the generated cinema database — the
+//! substrate on its own. Supports the SQL subset of `cat-txdb`:
+//! CREATE TABLE / INSERT / SELECT (joins, WHERE, GROUP BY + aggregates,
+//! ORDER BY, LIMIT) / UPDATE / DELETE.
+//!
+//! Run with: `cargo run -p cat-examples --bin sql_shell`
+
+use std::io::{self, BufRead, Write};
+
+use cat_corpus::{generate_cinema, CinemaConfig};
+use cat_txdb::sql::{execute, QueryResult};
+
+fn main() {
+    let mut db = generate_cinema(&CinemaConfig::default()).expect("generate db");
+    println!("cinema database loaded; tables: {}", db.table_names().join(", "));
+    println!("example: SELECT genre, count(*) FROM movie GROUP BY genre ORDER BY genre;");
+    println!("---- type `quit` to exit ----");
+    let stdin = io::stdin();
+    loop {
+        print!("sql> ");
+        io::stdout().flush().expect("flush");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim().trim_end_matches(';');
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match execute(&mut db, line) {
+            Ok(QueryResult::Rows(rs)) => {
+                println!("{}", rs.columns.join(" | "));
+                for row in rs.rows.iter().take(40) {
+                    println!(
+                        "{}",
+                        row.iter().map(|v| v.render()).collect::<Vec<_>>().join(" | ")
+                    );
+                }
+                if rs.rows.len() > 40 {
+                    println!("... ({} rows total)", rs.rows.len());
+                }
+            }
+            Ok(QueryResult::Created) => println!("ok: table created"),
+            Ok(QueryResult::Inserted(n)) => println!("ok: {n} row(s) inserted"),
+            Ok(QueryResult::Updated(n)) => println!("ok: {n} row(s) updated"),
+            Ok(QueryResult::Deleted(n)) => println!("ok: {n} row(s) deleted"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye!");
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the CAT cross-crate integration tests.
+
+use cat_core::{AgentResponse, AnnotationFile, CatBuilder, ConversationalAgent};
+use cat_corpus::{generate_cinema, CinemaConfig, CINEMA_ANNOTATIONS};
+
+/// Synthesize the standard small cinema agent used across tests.
+pub fn cinema_agent(seed: u64) -> ConversationalAgent {
+    let db = generate_cinema(&CinemaConfig::small(seed)).expect("generate cinema db");
+    let annotations = AnnotationFile::parse(CINEMA_ANNOTATIONS).expect("annotations");
+    let (agent, _) = CatBuilder::new(db)
+        .with_annotations(&annotations)
+        .expect("apply annotations")
+        .with_seed(seed)
+        .synthesize();
+    agent
+}
+
+/// Drive an agent with a scripted answering function until execution or
+/// the turn budget runs out. Returns the last response.
+pub fn drive<F>(
+    agent: &mut ConversationalAgent,
+    opening: &str,
+    mut answer: F,
+    max_turns: usize,
+) -> AgentResponse
+where
+    F: FnMut(&AgentResponse) -> String,
+{
+    let mut response = agent.respond(opening);
+    for _ in 0..max_turns {
+        if response.executed.is_some() {
+            break;
+        }
+        let reply = answer(&response);
+        response = agent.respond(&reply);
+    }
+    response
+}

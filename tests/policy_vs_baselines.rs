@@ -1,0 +1,152 @@
+//! Integration of the §4 policy experiments on the realistic corpus
+//! databases: data-aware vs static vs random identification, drift
+//! adaptation, and ambiguity handling.
+
+use cat_corpus::{generate_cinema, generate_flights, CinemaConfig, FlightConfig};
+use cat_policy::{
+    run_batch, DataAwareConfig, DataAwarePolicy, RandomPolicy, SimulationConfig, StaticPolicy,
+};
+use cat_txdb::Value;
+
+#[test]
+fn data_aware_beats_random_on_cinema_customers() {
+    let db = generate_cinema(&CinemaConfig {
+        customers: 500,
+        ..CinemaConfig::default()
+    })
+    .expect("db");
+    let cfg = SimulationConfig::default();
+    let mut aware = DataAwarePolicy::default();
+    let aware_res = run_batch(&db, "customer", &mut aware, 60, &cfg).expect("aware batch");
+    let mut random = RandomPolicy::new(9, 3);
+    let random_res = run_batch(&db, "customer", &mut random, 60, &cfg).expect("random batch");
+    assert!(
+        aware_res.mean_turns < random_res.mean_turns,
+        "aware {} vs random {}",
+        aware_res.mean_turns,
+        random_res.mean_turns
+    );
+    assert!(aware_res.success_rate >= random_res.success_rate - 0.05);
+}
+
+#[test]
+fn data_aware_beats_random_on_flights() {
+    let db = generate_flights(&FlightConfig::default()).expect("db");
+    let cfg = SimulationConfig::default();
+    let mut aware = DataAwarePolicy::default();
+    let aware_res = run_batch(&db, "flight", &mut aware, 50, &cfg).expect("aware");
+    let mut random = RandomPolicy::new(10, 3);
+    let random_res = run_batch(&db, "flight", &mut random, 50, &cfg).expect("random");
+    assert!(
+        aware_res.mean_turns <= random_res.mean_turns,
+        "aware {} vs random {}",
+        aware_res.mean_turns,
+        random_res.mean_turns
+    );
+}
+
+#[test]
+fn static_policy_does_not_adapt_to_drift() {
+    // Train-time: customers spread over many cities. Run-time: everyone
+    // moved to Berlin (city becomes useless). The data-aware policy reacts;
+    // the static one keeps asking for the city.
+    let mut db = generate_cinema(&CinemaConfig { customers: 300, ..CinemaConfig::default() })
+        .expect("db");
+    let mut static_policy = StaticPolicy::from_snapshot(&db, "customer", 2).expect("snapshot");
+    let static_order_head: Vec<String> =
+        static_policy.order().iter().take(3).map(|a| a.key()).collect();
+
+    // Drift: collapse the city column.
+    let rids: Vec<_> = db.table("customer").unwrap().scan().map(|(r, _)| r).collect();
+    for rid in rids {
+        db.update("customer", rid, "city", Value::Text("Berlin".into())).unwrap();
+    }
+
+    let cfg = SimulationConfig::default();
+    let mut aware = DataAwarePolicy::default();
+    let aware_res = run_batch(&db, "customer", &mut aware, 50, &cfg).expect("aware");
+    let static_res = run_batch(&db, "customer", &mut static_policy, 50, &cfg).expect("static");
+    assert!(
+        aware_res.mean_turns <= static_res.mean_turns,
+        "after drift, aware ({}) must not be worse than static ({})",
+        aware_res.mean_turns,
+        static_res.mean_turns
+    );
+    // The static order was computed before the drift and references city
+    // early — demonstrating what it keeps asking.
+    assert!(
+        static_order_head.iter().any(|k| k == "customer.city"),
+        "static head {static_order_head:?}"
+    );
+}
+
+#[test]
+fn join_dimensions_help_identification() {
+    // Identifying movies with vs without access to the actor dimension.
+    let db = generate_cinema(&CinemaConfig {
+        movies: 150,
+        actors: 200,
+        ..CinemaConfig::default()
+    })
+    .expect("db");
+    let cfg = SimulationConfig::default();
+    let mut with_joins = DataAwarePolicy::new(DataAwareConfig::default());
+    let with_res = run_batch(&db, "movie", &mut with_joins, 50, &cfg).expect("with joins");
+    let mut without_joins = DataAwarePolicy::new(DataAwareConfig {
+        use_joins: false,
+        ..DataAwareConfig::default()
+    });
+    let without_res = run_batch(&db, "movie", &mut without_joins, 50, &cfg).expect("no joins");
+    // With joined attributes available the policy can only do better or
+    // equal (it has a superset of questions to choose from).
+    assert!(
+        with_res.mean_turns <= without_res.mean_turns + 0.3,
+        "joins should help: with {} vs without {}",
+        with_res.mean_turns,
+        without_res.mean_turns
+    );
+}
+
+#[test]
+fn awareness_learning_stops_asking_unanswerable_questions() {
+    let db = generate_cinema(&CinemaConfig::default()).expect("db");
+    let cfg = SimulationConfig { seed: 77, ..SimulationConfig::default() };
+    let mut policy = DataAwarePolicy::default();
+    // Warm-up phase: the policy learns which attributes users answer.
+    run_batch(&db, "customer", &mut policy, 80, &cfg).expect("warmup");
+    // After warm-up, attributes with low schema priors that users in fact
+    // never knew should have many negative observations.
+    let observed = policy.awareness.observations("customer.email")
+        + policy.awareness.observations("customer.phone")
+        + policy.awareness.observations("customer.name")
+        + policy.awareness.observations("customer.city");
+    assert!(observed > 0, "the policy should have recorded outcomes");
+    // And a second batch should not be slower than the first.
+    let cfg2 = SimulationConfig { seed: 78, ..SimulationConfig::default() };
+    let mut fresh = DataAwarePolicy::default();
+    let first = run_batch(&db, "customer", &mut fresh, 60, &cfg2).expect("fresh");
+    let second = run_batch(&db, "customer", &mut policy, 60, &cfg2).expect("warm");
+    assert!(
+        second.mean_turns <= first.mean_turns + 0.3,
+        "learned awareness must not degrade performance: warm {} vs fresh {}",
+        second.mean_turns,
+        first.mean_turns
+    );
+}
+
+#[test]
+fn cache_is_effective_across_episodes() {
+    let db = generate_cinema(&CinemaConfig::default()).expect("db");
+    let cfg = SimulationConfig::default();
+    let mut policy = DataAwarePolicy::default();
+    run_batch(&db, "customer", &mut policy, 40, &cfg).expect("batch");
+    let (hits, misses) = policy.cache.stats();
+    assert!(hits + misses > 0);
+    // Identification always starts from the full table, so at least the
+    // first-question entropies are shared across all episodes.
+    assert!(
+        policy.cache.hit_rate() > 0.3,
+        "cache hit rate {} (hits {hits}, misses {misses})",
+        policy.cache.hit_rate()
+    );
+}

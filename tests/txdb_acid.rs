@@ -1,0 +1,155 @@
+//! Transactional integrity of the database substrate under the actual
+//! workload shape the agent produces (procedure calls over the cinema
+//! schema), plus property-based atomicity checks.
+
+use cat_corpus::{generate_cinema, CinemaConfig};
+use cat_txdb::{Predicate, TxdbError, Value};
+use proptest::prelude::*;
+
+#[test]
+fn procedure_failures_never_leak_partial_state() {
+    let mut db = generate_cinema(&CinemaConfig::small(31)).expect("db");
+    let versions_before: Vec<(String, u64)> = db
+        .table_names()
+        .iter()
+        .map(|t| (t.to_string(), db.table(t).unwrap().version()))
+        .collect();
+    // Fail in every way the reservation procedure can fail.
+    let attempts: Vec<Vec<(String, Value)>> = vec![
+        // Unknown customer.
+        vec![
+            ("customer_id".into(), Value::Int(999_999)),
+            ("screening_id".into(), Value::Int(1)),
+            ("ticket_amount".into(), Value::Int(2)),
+        ],
+        // Unknown screening.
+        vec![
+            ("customer_id".into(), Value::Int(1)),
+            ("screening_id".into(), Value::Int(999_999)),
+            ("ticket_amount".into(), Value::Int(2)),
+        ],
+        // Type error.
+        vec![
+            ("customer_id".into(), Value::Text("not a number".into())),
+            ("screening_id".into(), Value::Int(1)),
+            ("ticket_amount".into(), Value::Int(2)),
+        ],
+        // Missing argument (only two given).
+        vec![("customer_id".into(), Value::Int(1)), ("screening_id".into(), Value::Int(1))],
+    ];
+    for args in attempts {
+        assert!(db.call("ticket_reservation", &args).is_err());
+    }
+    for (t, v) in versions_before {
+        assert_eq!(
+            db.table(&t).unwrap().version(),
+            v,
+            "table {t} mutated by a failed procedure"
+        );
+    }
+}
+
+#[test]
+fn referential_integrity_is_global() {
+    let mut db = generate_cinema(&CinemaConfig::small(32)).expect("db");
+    // Deleting any movie with screenings must fail...
+    let (srid_movie, _) = {
+        let s = db.table("screening").unwrap().scan().next().unwrap().1;
+        let movie_id = s.get(1).unwrap().clone();
+        db.table("movie").unwrap().get_by_pk(&[movie_id]).unwrap()
+    };
+    assert!(matches!(
+        db.delete("movie", srid_movie).unwrap_err(),
+        TxdbError::ForeignKeyViolation { .. }
+    ));
+    // ...until its screenings (and their reservations) are gone.
+    let movie_id = db.table("movie").unwrap().get(srid_movie).unwrap().get(0).unwrap().clone();
+    let screening_rids: Vec<_> = db
+        .select("screening", &Predicate::eq("movie_id", movie_id.clone()))
+        .unwrap()
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+    let mut txn = db.begin();
+    for srid in &screening_rids {
+        let sid = txn.db().table("screening").unwrap().value_of(*srid, "screening_id").unwrap();
+        let res_rids: Vec<_> = txn
+            .select("reservation", &Predicate::eq("screening_id", sid))
+            .unwrap()
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        for rr in res_rids {
+            txn.delete("reservation", rr).unwrap();
+        }
+        txn.delete("screening", *srid).unwrap();
+    }
+    // The actor link table references movies too.
+    let link_rids: Vec<_> = txn
+        .select("movie_actor", &Predicate::eq("movie_id", movie_id))
+        .unwrap()
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+    for lr in link_rids {
+        txn.delete("movie_actor", lr).unwrap();
+    }
+    txn.delete("movie", srid_movie).unwrap();
+    txn.commit();
+    assert!(db.table("movie").unwrap().get(srid_movie).is_none());
+}
+
+#[test]
+fn cascading_cleanup_rolls_back_atomically() {
+    let mut db = generate_cinema(&CinemaConfig::small(33)).expect("db");
+    let total_before: usize = db.total_rows();
+    {
+        let mut txn = db.begin();
+        // Delete a bunch of reservations, then drop the txn (rollback).
+        let rids: Vec<_> = txn
+            .select("reservation", &Predicate::True)
+            .unwrap()
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        for r in rids {
+            txn.delete("reservation", r).unwrap();
+        }
+        assert_eq!(txn.db().table("reservation").unwrap().len(), 0);
+        // no commit
+    }
+    assert_eq!(db.total_rows(), total_before);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings of valid/invalid procedure calls keep every
+    /// foreign key intact.
+    #[test]
+    fn random_procedure_workload_preserves_integrity(
+        calls in proptest::collection::vec((0i64..40, 0i64..50, 1i64..6, any::<bool>()), 1..40)
+    ) {
+        let mut db = generate_cinema(&CinemaConfig::small(34)).expect("db");
+        for (c, s, n, cancel) in calls {
+            let args = vec![
+                ("customer_id".to_string(), Value::Int(c)),
+                ("screening_id".to_string(), Value::Int(s)),
+            ];
+            if cancel {
+                let _ = db.call("cancel_reservation", &args);
+            } else {
+                let mut args = args;
+                args.push(("ticket_amount".to_string(), Value::Int(n)));
+                let _ = db.call("ticket_reservation", &args);
+            }
+        }
+        // Every reservation references live parents.
+        for (_, row) in db.table("reservation").unwrap().scan() {
+            let c = row.get(0).unwrap();
+            let s = row.get(1).unwrap();
+            prop_assert!(!db.table("customer").unwrap().lookup("customer_id", c).is_empty());
+            prop_assert!(!db.table("screening").unwrap().lookup("screening_id", s).is_empty());
+        }
+    }
+}
