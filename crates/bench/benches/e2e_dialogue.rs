@@ -14,8 +14,11 @@ fn main() {
     let t0 = std::time::Instant::now();
     let db = generate_cinema(&CinemaConfig::default()).expect("db");
     let ann = AnnotationFile::parse(CINEMA_ANNOTATIONS).expect("annotations");
-    let (mut agent, report) =
-        CatBuilder::new(db).with_annotations(&ann).expect("apply").with_seed(2022).synthesize();
+    let (mut agent, report) = CatBuilder::new(db)
+        .with_annotations(&ann)
+        .expect("apply")
+        .with_seed(2022)
+        .synthesize();
     println!(
         "agent: {} tasks, {} NLU examples, {} flows (synthesis {:.1}s)",
         report.n_tasks,
@@ -31,7 +34,12 @@ fn main() {
         ("50% typo turns", 0.5, 1.0, 27),
         ("90% heavy typos", 0.9, 1.5, 37),
     ] {
-        let cfg = NlUserConfig { p_misspell, noise_rate, max_turns: 30, seed };
+        let cfg = NlUserConfig {
+            p_misspell,
+            noise_rate,
+            max_turns: 30,
+            seed,
+        };
         let batch = run_nl_batch(&mut agent, 25, &cfg, random_cinema_goal);
         rows.push(vec![
             label.to_string(),
@@ -42,12 +50,20 @@ fn main() {
     }
     print_table(
         "E6: end-to-end NL dialogues (ticket_reservation, 25 dialogues per row)",
-        &["user population", "task success", "mean NL turns", "corrections"],
+        &[
+            "user population",
+            "task success",
+            "mean NL turns",
+            "corrections",
+        ],
         &rows,
     );
     // Awareness learned across the batches (the agent persists it).
     let learned = agent.export_awareness();
-    println!("\nawareness observations accumulated: {} attributes", learned.len());
+    println!(
+        "\nawareness observations accumulated: {} attributes",
+        learned.len()
+    );
     let (hits, misses) = agent.policy().cache.stats();
     println!("entropy cache: {hits} hits / {misses} misses");
     println!("total time: {:.1}s", t0.elapsed().as_secs_f64());

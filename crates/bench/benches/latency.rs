@@ -17,7 +17,11 @@ use cat_corpus::{generate_cinema, CinemaConfig};
 use cat_policy::{CandidateSet, DataAwareConfig, DataAwarePolicy, SlotSelector};
 
 fn db_with_customers(n: usize) -> cat_txdb::Database {
-    generate_cinema(&CinemaConfig { customers: n, ..CinemaConfig::default() }).expect("db")
+    generate_cinema(&CinemaConfig {
+        customers: n,
+        ..CinemaConfig::default()
+    })
+    .expect("db")
 }
 
 fn bench_choose(c: &mut Criterion) {

@@ -27,7 +27,8 @@ fn setup_table(n: usize) -> Database {
     .expect("create");
     db.table_mut("t").unwrap().create_index("bucket").unwrap();
     for i in 0..n as i64 {
-        db.insert("t", row![i, format!("name-{}", i % 997), i % 50]).expect("insert");
+        db.insert("t", row![i, format!("name-{}", i % 997), i % 50])
+            .expect("insert");
     }
     db
 }
@@ -55,7 +56,9 @@ fn bench_txdb(c: &mut Criterion) {
     group.bench_function("predicate_scan_100k", |b| {
         b.iter(|| {
             black_box(
-                db.select("t", &Predicate::contains("name", "name-99")).expect("select").len(),
+                db.select("t", &Predicate::contains("name", "name-99"))
+                    .expect("select")
+                    .len(),
             );
         });
     });
@@ -63,7 +66,8 @@ fn bench_txdb(c: &mut Criterion) {
         let mut db = setup_table(1000);
         b.iter(|| {
             let mut txn = db.begin();
-            txn.insert("t", row![1_000_001i64, "temp", 3]).expect("insert");
+            txn.insert("t", row![1_000_001i64, "temp", 3])
+                .expect("insert");
             txn.rollback();
         });
     });
@@ -72,8 +76,11 @@ fn bench_txdb(c: &mut Criterion) {
 
 fn bench_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy");
-    let db = generate_cinema(&CinemaConfig { customers: 10_000, ..CinemaConfig::default() })
-        .expect("db");
+    let db = generate_cinema(&CinemaConfig {
+        customers: 10_000,
+        ..CinemaConfig::default()
+    })
+    .expect("db");
     let cs = CandidateSet::all(&db, "customer").expect("candidates");
     let name = Attribute::local("customer", "name");
     group.bench_function("entropy_10k_candidates", |b| {
@@ -83,7 +90,8 @@ fn bench_policy(c: &mut Criterion) {
         b.iter_batched(
             || cs.clone(),
             |mut cs| {
-                cs.refine(&db, &name, &Value::Text("Ada Adler".into())).expect("refine");
+                cs.refine(&db, &name, &Value::Text("Ada Adler".into()))
+                    .expect("refine");
                 cs
             },
             BatchSize::LargeInput,

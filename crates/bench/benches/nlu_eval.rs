@@ -24,41 +24,62 @@ use cat_nlu::{
 fn cat_templates() -> TemplateSet {
     let mut ts = TemplateSet::new();
     let requests: &[(&str, &[&str])] = &[
-        ("flight", &[
-            "i need to get from {fromloc} to {toloc}",
-            "find flights {fromloc} to {toloc} on {day_name}",
-            "show me a connection from {fromloc} to {toloc} in the {period}",
-            "any {airline_name} flights to {toloc} from {fromloc}",
-        ]),
-        ("airfare", &[
-            "what would a trip from {fromloc} to {toloc} cost",
-            "price of a ticket from {fromloc} to {toloc}",
-            "how expensive is flying {fromloc} to {toloc}",
-        ]),
-        ("ground_service", &[
-            "how do i get around in {toloc}",
-            "ground transportation options in {toloc}",
-        ]),
-        ("airline", &[
-            "who flies between {fromloc} and {toloc}",
-            "does {airline_name} serve {toloc}",
-        ]),
-        ("abbreviation", &[
-            "what does fare code q mean",
-            "meaning of fare class y",
-        ]),
-        ("aircraft", &[
-            "which plane flies {fromloc} to {toloc}",
-            "what is a {aircraft}",
-        ]),
-        ("flight_time", &[
-            "how long does {fromloc} to {toloc} take",
-            "duration of the flight between {fromloc} and {toloc}",
-        ]),
-        ("quantity", &[
-            "how many departures from {fromloc} to {toloc}",
-            "count the {airline_name} flights to {toloc}",
-        ]),
+        (
+            "flight",
+            &[
+                "i need to get from {fromloc} to {toloc}",
+                "find flights {fromloc} to {toloc} on {day_name}",
+                "show me a connection from {fromloc} to {toloc} in the {period}",
+                "any {airline_name} flights to {toloc} from {fromloc}",
+            ],
+        ),
+        (
+            "airfare",
+            &[
+                "what would a trip from {fromloc} to {toloc} cost",
+                "price of a ticket from {fromloc} to {toloc}",
+                "how expensive is flying {fromloc} to {toloc}",
+            ],
+        ),
+        (
+            "ground_service",
+            &[
+                "how do i get around in {toloc}",
+                "ground transportation options in {toloc}",
+            ],
+        ),
+        (
+            "airline",
+            &[
+                "who flies between {fromloc} and {toloc}",
+                "does {airline_name} serve {toloc}",
+            ],
+        ),
+        (
+            "abbreviation",
+            &["what does fare code q mean", "meaning of fare class y"],
+        ),
+        (
+            "aircraft",
+            &[
+                "which plane flies {fromloc} to {toloc}",
+                "what is a {aircraft}",
+            ],
+        ),
+        (
+            "flight_time",
+            &[
+                "how long does {fromloc} to {toloc} take",
+                "duration of the flight between {fromloc} and {toloc}",
+            ],
+        ),
+        (
+            "quantity",
+            &[
+                "how many departures from {fromloc} to {toloc}",
+                "count the {airline_name} flights to {toloc}",
+            ],
+        ),
     ];
     for (task, temps) in requests {
         for t in *temps {
@@ -67,17 +88,49 @@ fn cat_templates() -> TemplateSet {
             ts.add_request(task, t);
         }
     }
-    ts.add_source("fromloc", ValueSource::Column { table: "airport".into(), column: "city".into() });
-    ts.add_source("toloc", ValueSource::Column { table: "airport".into(), column: "city".into() });
+    ts.add_source(
+        "fromloc",
+        ValueSource::Column {
+            table: "airport".into(),
+            column: "city".into(),
+        },
+    );
+    ts.add_source(
+        "toloc",
+        ValueSource::Column {
+            table: "airport".into(),
+            column: "city".into(),
+        },
+    );
     ts.add_source(
         "airline_name",
-        ValueSource::Column { table: "airline".into(), column: "name".into() },
+        ValueSource::Column {
+            table: "airline".into(),
+            column: "name".into(),
+        },
     );
-    ts.add_source("day_name", ValueSource::Column { table: "flight".into(), column: "day_name".into() });
-    ts.add_source("period", ValueSource::Column { table: "flight".into(), column: "period".into() });
+    ts.add_source(
+        "day_name",
+        ValueSource::Column {
+            table: "flight".into(),
+            column: "day_name".into(),
+        },
+    );
+    ts.add_source(
+        "period",
+        ValueSource::Column {
+            table: "flight".into(),
+            column: "period".into(),
+        },
+    );
     ts.add_source(
         "aircraft",
-        ValueSource::OneOf(cat_corpus::names::AIRCRAFT.iter().map(|s| s.to_string()).collect()),
+        ValueSource::OneOf(
+            cat_corpus::names::AIRCRAFT
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
     );
     ts
 }
@@ -95,15 +148,21 @@ fn strip_prefix(data: Vec<NluExample>) -> Vec<NluExample> {
 }
 
 fn slot_eval(tagger: &SlotTagger, test: &[NluExample]) -> cat_nlu::Prf {
-    let preds: Vec<_> =
-        test.iter().map(|ex| (tagger.extract(&ex.text), ex.slots.clone())).collect();
+    let preds: Vec<_> = test
+        .iter()
+        .map(|ex| (tagger.extract(&ex.text), ex.slots.clone()))
+        .collect();
     slot_prf(&preds)
 }
 
 fn main() {
     let t0 = std::time::Instant::now();
     // The "real" corpus: 2000 utterances, 20% held out.
-    let corpus = generate_atis(&AtisConfig { size: 2000, seed: 2022, variation: 0.35 });
+    let corpus = generate_atis(&AtisConfig {
+        size: 2000,
+        seed: 2022,
+        variation: 0.35,
+    });
     let (manual_train, test) = train_test_split(corpus, 0.2, 7);
     println!(
         "ATIS-like corpus: {} manual-train, {} test utterances",
@@ -163,41 +222,89 @@ fn main() {
 
     // ---- intent classification ----
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut add = |name: &str, train_desc: String, model: &dyn IntentClassifier, train: &[NluExample]| {
-        let acc = intent_accuracy(model, &test);
-        let tagger = SlotTagger::train(train);
-        let prf = slot_eval(&tagger, &test);
-        rows.push(vec![
-            name.to_string(),
-            train_desc,
-            f(acc, 3),
-            f(prf.precision, 3),
-            f(prf.recall, 3),
-            f(prf.f1, 3),
-        ]);
-    };
+    let mut add =
+        |name: &str, train_desc: String, model: &dyn IntentClassifier, train: &[NluExample]| {
+            let acc = intent_accuracy(model, &test);
+            let tagger = SlotTagger::train(train);
+            let prf = slot_eval(&tagger, &test);
+            rows.push(vec![
+                name.to_string(),
+                train_desc,
+                f(acc, 3),
+                f(prf.precision, 3),
+                f(prf.recall, 3),
+                f(prf.f1, 3),
+            ]);
+        };
 
     let majority = MajorityClassifier::train(&manual_train);
-    add("majority-class", format!("manual ({})", manual_train.len()), &majority, &manual_train);
+    add(
+        "majority-class",
+        format!("manual ({})", manual_train.len()),
+        &majority,
+        &manual_train,
+    );
     let keyword = KeywordClassifier::train(&manual_train);
-    add("keyword-rules", format!("manual ({})", manual_train.len()), &keyword, &manual_train);
+    add(
+        "keyword-rules",
+        format!("manual ({})", manual_train.len()),
+        &keyword,
+        &manual_train,
+    );
     let nb_manual = NaiveBayesClassifier::train(&manual_train);
-    add("naive-bayes", format!("manual ({})", manual_train.len()), &nb_manual, &manual_train);
+    add(
+        "naive-bayes",
+        format!("manual ({})", manual_train.len()),
+        &nb_manual,
+        &manual_train,
+    );
     let lr_manual = LogRegClassifier::train(&manual_train);
-    add("logreg", format!("manual ({})", manual_train.len()), &lr_manual, &manual_train);
+    add(
+        "logreg",
+        format!("manual ({})", manual_train.len()),
+        &lr_manual,
+        &manual_train,
+    );
 
     let cat_plain = NaiveBayesClassifier::train(&synth_plain);
-    add("CAT (templates)", format!("synthesized ({})", synth_plain.len()), &cat_plain, &synth_plain);
+    add(
+        "CAT (templates)",
+        format!("synthesized ({})", synth_plain.len()),
+        &cat_plain,
+        &synth_plain,
+    );
     let cat_para = NaiveBayesClassifier::train(&synth_para);
-    add("CAT (+paraphrase)", format!("synthesized ({})", synth_para.len()), &cat_para, &synth_para);
+    add(
+        "CAT (+paraphrase)",
+        format!("synthesized ({})", synth_para.len()),
+        &cat_para,
+        &synth_para,
+    );
     let cat_full = NaiveBayesClassifier::train(&synth_full);
-    add("CAT (+noise)", format!("synthesized ({})", synth_full.len()), &cat_full, &synth_full);
+    add(
+        "CAT (+noise)",
+        format!("synthesized ({})", synth_full.len()),
+        &cat_full,
+        &synth_full,
+    );
     let cat_lr = LogRegClassifier::train(&synth_para);
-    add("CAT logreg (+paraphrase)", format!("synthesized ({})", synth_para.len()), &cat_lr, &synth_para);
+    add(
+        "CAT logreg (+paraphrase)",
+        format!("synthesized ({})", synth_para.len()),
+        &cat_lr,
+        &synth_para,
+    );
 
     print_table(
         "E1: intent classification & slot filling on the ATIS-like test set (paper §3)",
-        &["model", "training data", "intent acc", "slot P", "slot R", "slot F1"],
+        &[
+            "model",
+            "training data",
+            "intent acc",
+            "slot P",
+            "slot R",
+            "slot F1",
+        ],
         &rows,
     );
     println!(

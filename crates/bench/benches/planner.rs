@@ -1,0 +1,263 @@
+//! P1 — planner/executor hot paths introduced by the index-driven query
+//! planning PR: indexed point lookups, indexed range scans, bounded top-k
+//! ORDER BY + LIMIT, and `CandidateSet::refine` over the cinema corpus.
+//!
+//! Each benchmark measures the *before* (naive reference executor /
+//! forward path walk) and *after* (planned executor / indexed
+//! intersect) implementations on identical data, then writes the medians
+//! and speedups to `BENCH_PR1.json` at the workspace root so the perf
+//! trajectory is machine-readable from PR 1 onward.
+//!
+//! Run with: `cargo bench -p cat-bench --bench planner`
+
+use std::io::Write as _;
+
+use criterion::{Criterion, Measurement};
+
+use cat_corpus::{generate_cinema, CinemaConfig};
+use cat_policy::{Attribute, CandidateSet};
+use cat_txdb::sql::{execute, execute_select_reference, parse_statement, Statement};
+use cat_txdb::{row, DataType, Database, TableSchema, Value};
+
+/// A synthetic single-table database big enough that access paths
+/// dominate: `n` rows, hash index on the PK, range index on `price`.
+fn listings(n: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("listing")
+            .column("listing_id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("bucket", DataType::Int)
+            .column("price", DataType::Float)
+            .primary_key(&["listing_id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    {
+        let t = db.table_mut("listing").unwrap();
+        t.create_index("bucket").unwrap();
+        t.create_range_index("price").unwrap();
+    }
+    for i in 0..n as i64 {
+        db.insert(
+            "listing",
+            row![
+                i,
+                format!("L{}", i % 997),
+                i % 1000,
+                (i % 5000) as f64 / 10.0
+            ],
+        )
+        .expect("insert");
+    }
+    db
+}
+
+fn run_both(c: &mut Criterion, group: &str, db: &mut Database, sql: &str) {
+    let Statement::Select(sel) = parse_statement(sql).expect("parse") else {
+        panic!("not a select")
+    };
+    // Sanity: both paths agree before we time them.
+    let planned = execute(db, sql).expect("planned");
+    let reference = execute_select_reference(db, &sel).expect("reference");
+    assert_eq!(
+        planned.rows().expect("rows"),
+        &reference,
+        "paths disagree on {sql}"
+    );
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(40);
+    g.bench_function("before_naive", |b| {
+        b.iter(|| execute_select_reference(db, &sel).expect("reference"))
+    });
+    g.finish();
+    let mut g = c.benchmark_group(group);
+    g.sample_size(40);
+    g.bench_function("after_planned", |b| {
+        // `execute` needs &mut for the general statement API; SELECT only
+        // reads (plus the interior stats cache).
+        b.iter(|| execute(db, sql).expect("planned"))
+    });
+    g.finish();
+}
+
+fn bench_point_lookup(c: &mut Criterion) {
+    let mut db = listings(50_000);
+    run_both(
+        c,
+        "planner_point_lookup_50k",
+        &mut db,
+        "SELECT name FROM listing WHERE listing_id = 31337",
+    );
+}
+
+fn bench_selective_eq(c: &mut Criterion) {
+    let mut db = listings(50_000);
+    run_both(
+        c,
+        "planner_selective_eq_50k",
+        &mut db,
+        "SELECT name FROM listing WHERE bucket = 123",
+    );
+}
+
+fn bench_range_scan(c: &mut Criterion) {
+    let mut db = listings(50_000);
+    run_both(
+        c,
+        "planner_range_50k",
+        &mut db,
+        "SELECT name, price FROM listing WHERE price >= 10.0 AND price < 25.0",
+    );
+}
+
+fn bench_top_k(c: &mut Criterion) {
+    let mut db = listings(50_000);
+    run_both(
+        c,
+        "planner_topk_50k",
+        &mut db,
+        "SELECT name, price FROM listing ORDER BY price DESC LIMIT 10",
+    );
+}
+
+fn bench_refine(c: &mut Criterion) {
+    // The cinema corpus at production-ish scale; the policy refines on an
+    // indexed local attribute and on a joined attribute.
+    let mut db = generate_cinema(&CinemaConfig {
+        movies: 400,
+        actors: 600,
+        customers: 5000,
+        screenings: 4000,
+        reservations: 2000,
+        seed: 7,
+    })
+    .expect("corpus");
+    db.table_mut("customer")
+        .unwrap()
+        .create_index("name")
+        .unwrap();
+    let cs = CandidateSet::all(&db, "customer").expect("candidates");
+    // A name guaranteed to exist: read it off the first row.
+    let name = db
+        .table("customer")
+        .unwrap()
+        .scan()
+        .next()
+        .unwrap()
+        .1
+        .get(1)
+        .unwrap()
+        .clone();
+    let attr = Attribute::local("customer", "name");
+    {
+        let mut a = cs.clone();
+        let mut b = cs.clone();
+        a.refine(&db, &attr, &name).expect("refine");
+        b.refine_by_walk(&db, &attr, &name).expect("walk");
+        assert_eq!(a.rows, b.rows, "refine paths disagree");
+    }
+    let mut g = c.benchmark_group("refine_cinema_5k");
+    g.sample_size(40);
+    g.bench_function("before_walk", |b| {
+        b.iter(|| {
+            let mut cs2 = cs.clone();
+            cs2.refine_by_walk(&db, &attr, &name).expect("walk")
+        })
+    });
+    g.bench_function("after_indexed", |b| {
+        b.iter(|| {
+            let mut cs2 = cs.clone();
+            cs2.refine(&db, &attr, &name).expect("refine")
+        })
+    });
+    g.finish();
+
+    let value = Value::Text("Crime".into());
+    let movie_cs = CandidateSet::all(&db, "movie").expect("candidates");
+    let genre = Attribute::local("movie", "genre");
+    let has_genre_col = db
+        .table("movie")
+        .unwrap()
+        .schema()
+        .column("genre")
+        .is_some();
+    if has_genre_col {
+        db.table_mut("movie").unwrap().create_index("genre").ok();
+        let mut g = c.benchmark_group("refine_cinema_movie_genre");
+        g.sample_size(40);
+        g.bench_function("before_walk", |b| {
+            b.iter(|| {
+                let mut cs2 = movie_cs.clone();
+                cs2.refine_by_walk(&db, &genre, &value).expect("walk")
+            })
+        });
+        g.bench_function("after_indexed", |b| {
+            b.iter(|| {
+                let mut cs2 = movie_cs.clone();
+                cs2.refine(&db, &genre, &value).expect("refine")
+            })
+        });
+        g.finish();
+    }
+}
+
+/// Write `BENCH_PR1.json`: one record per benchmark group with the
+/// before/after medians (ns) and the speedup factor.
+fn write_report(measurements: &[Measurement]) {
+    let mut pairs: Vec<(String, f64, f64)> = Vec::new();
+    for m in measurements {
+        let Some((group, which)) = m.id.rsplit_once('/') else {
+            continue;
+        };
+        if let Some(entry) = pairs.iter_mut().find(|(g, _, _)| g == group) {
+            match which {
+                w if w.starts_with("before") => entry.1 = m.median_ns,
+                _ => entry.2 = m.median_ns,
+            }
+        } else {
+            let (before, after) = if which.starts_with("before") {
+                (m.median_ns, 0.0)
+            } else {
+                (0.0, m.median_ns)
+            };
+            pairs.push((group.to_string(), before, after));
+        }
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_PR1.json");
+    writeln!(
+        f,
+        "{{\n  \"pr\": 1,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
+    )
+    .unwrap();
+    for (i, (group, before, after)) in pairs.iter().enumerate() {
+        let speedup = if *after > 0.0 { before / after } else { 0.0 };
+        writeln!(
+            f,
+            "    {{\"name\": \"{group}\", \"before_median_ns\": {before:.1}, \
+             \"after_median_ns\": {after:.1}, \"speedup\": {speedup:.2}}}{}",
+            if i + 1 < pairs.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(f, "  ]\n}}").unwrap();
+    println!("\nwrote {path}");
+    for (group, before, after) in &pairs {
+        if *after > 0.0 {
+            println!("  {group}: {:.1}x speedup", before / after);
+        }
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_point_lookup(&mut c);
+    bench_selective_eq(&mut c);
+    bench_range_scan(&mut c);
+    bench_top_k(&mut c);
+    bench_refine(&mut c);
+    write_report(c.measurements());
+}

@@ -11,8 +11,7 @@
 
 use cat_bench::{f, print_table};
 use cat_policy::{
-    run_identification, DataAwarePolicy, RandomPolicy, SimulationConfig, SlotSelector,
-    StaticPolicy,
+    run_identification, DataAwarePolicy, RandomPolicy, SimulationConfig, SlotSelector, StaticPolicy,
 };
 use cat_txdb::{DataType, Database, Row, RowId, TableSchema, Value};
 
@@ -43,9 +42,17 @@ fn ambiguous_db(total: usize, clustered: usize) -> (Database, Vec<RowId>, Vec<Ro
         let (name, city, street) = if i < clustered {
             // Groups of 5 identical (name, city, street) triples.
             let g = i / 5;
-            (format!("Kim Lee {g}"), "Berlin".to_string(), "Main St".to_string())
+            (
+                format!("Kim Lee {g}"),
+                "Berlin".to_string(),
+                "Main St".to_string(),
+            )
         } else {
-            (format!("Person {i}"), format!("City {}", i % 23), format!("Street {}", i % 31))
+            (
+                format!("Person {i}"),
+                format!("City {}", i % 23),
+                format!("Street {}", i % 31),
+            )
         };
         let rid = db
             .insert(
@@ -77,34 +84,56 @@ fn eval(
     let mut turns = 0usize;
     let mut ok = 0usize;
     for (i, &t) in targets.iter().enumerate() {
-        let r = run_identification(db, "customer", t, policy, cfg, 31 * i as u64 + 7)
-            .expect("episode");
+        let r =
+            run_identification(db, "customer", t, policy, cfg, 31 * i as u64 + 7).expect("episode");
         turns += r.turns;
         ok += usize::from(r.identified);
     }
-    (turns as f64 / targets.len() as f64, ok as f64 / targets.len() as f64)
+    (
+        turns as f64 / targets.len() as f64,
+        ok as f64 / targets.len() as f64,
+    )
 }
 
 fn main() {
     let t0 = std::time::Instant::now();
     let (db, cluster_rids, normal_rids) = ambiguous_db(1000, 200);
-    let cfg = SimulationConfig { max_turns: 10, ..SimulationConfig::default() };
+    let cfg = SimulationConfig {
+        max_turns: 10,
+        ..SimulationConfig::default()
+    };
     let cluster_targets: Vec<RowId> = cluster_rids.iter().step_by(2).copied().take(60).collect();
     let normal_targets: Vec<RowId> = normal_rids.iter().step_by(7).copied().take(60).collect();
 
     let mut rows = Vec::new();
-    for (group, targets) in
-        [("near-duplicates", &cluster_targets), ("regular rows", &normal_targets)]
-    {
+    for (group, targets) in [
+        ("near-duplicates", &cluster_targets),
+        ("regular rows", &normal_targets),
+    ] {
         let mut aware = DataAwarePolicy::default();
         let (at, asr) = eval(&db, targets, &mut aware, &cfg);
         let mut stat = StaticPolicy::from_snapshot(&db, "customer", 0).expect("static");
         let (st, ssr) = eval(&db, targets, &mut stat, &cfg);
         let mut rand_p = RandomPolicy::new(3, 0);
         let (rt, rsr) = eval(&db, targets, &mut rand_p, &cfg);
-        rows.push(vec![group.to_string(), "data-aware".into(), f(at, 2), f(asr, 2)]);
-        rows.push(vec![group.to_string(), "static".into(), f(st, 2), f(ssr, 2)]);
-        rows.push(vec![group.to_string(), "random".into(), f(rt, 2), f(rsr, 2)]);
+        rows.push(vec![
+            group.to_string(),
+            "data-aware".into(),
+            f(at, 2),
+            f(asr, 2),
+        ]);
+        rows.push(vec![
+            group.to_string(),
+            "static".into(),
+            f(st, 2),
+            f(ssr, 2),
+        ]);
+        rows.push(vec![
+            group.to_string(),
+            "random".into(),
+            f(rt, 2),
+            f(rsr, 2),
+        ]);
     }
     print_table(
         "E4: near-identical entries — systematic identification problems (paper §4)",

@@ -62,21 +62,39 @@ fn base_db() -> Database {
 
 fn apply_drift(db: &mut Database) {
     // Runtime distribution flip: one city, diverse names.
-    let rids: Vec<_> = db.table("customer").unwrap().scan().map(|(r, _)| r).collect();
+    let rids: Vec<_> = db
+        .table("customer")
+        .unwrap()
+        .scan()
+        .map(|(r, _)| r)
+        .collect();
     for (i, rid) in rids.iter().enumerate() {
-        db.update("customer", *rid, "city", Value::Text("Berlin".into())).unwrap();
-        db.update("customer", *rid, "name", Value::Text(format!("Unique Name {}", i / 2)))
+        db.update("customer", *rid, "city", Value::Text("Berlin".into()))
             .unwrap();
+        db.update(
+            "customer",
+            *rid,
+            "name",
+            Value::Text(format!("Unique Name {}", i / 2)),
+        )
+        .unwrap();
     }
 }
 
 fn measure(db: &Database, label: &str, stat: &mut StaticPolicy) -> Vec<Vec<String>> {
-    let cfg = SimulationConfig { max_turns: 10, ..SimulationConfig::default() };
+    let cfg = SimulationConfig {
+        max_turns: 10,
+        ..SimulationConfig::default()
+    };
     let mut aware = DataAwarePolicy::default();
     let aware_res = run_batch(db, "customer", &mut aware, EPISODES, &cfg).expect("aware");
     let stat_res = run_batch(db, "customer", stat, EPISODES, &cfg).expect("static");
     let first_aware = aware
-        .choose(db, &cat_policy::CandidateSet::all(db, "customer").unwrap(), &[])
+        .choose(
+            db,
+            &cat_policy::CandidateSet::all(db, "customer").unwrap(),
+            &[],
+        )
         .map(|a| a.key())
         .unwrap_or_default();
     let first_static = stat.order().first().map(|a| a.key()).unwrap_or_default();
@@ -104,7 +122,11 @@ fn main() {
     let mut stat = StaticPolicy::from_snapshot(&db, "customer", 0).expect("snapshot");
     println!(
         "static ask order (train time): {}",
-        stat.order().iter().map(|a| a.key()).collect::<Vec<_>>().join(" -> ")
+        stat.order()
+            .iter()
+            .map(|a| a.key())
+            .collect::<Vec<_>>()
+            .join(" -> ")
     );
 
     let mut rows = measure(&db, "before drift", &mut stat);

@@ -36,7 +36,10 @@ fn sweep_customers() -> Vec<Vec<String>> {
             f(aware_res.mean_turns, 2),
             f(stat_res.mean_turns, 2),
             f(rand_res.mean_turns, 2),
-            format!("{}%", f(speedup_pct(rand_res.mean_turns, aware_res.mean_turns), 0)),
+            format!(
+                "{}%",
+                f(speedup_pct(rand_res.mean_turns, aware_res.mean_turns), 0)
+            ),
             f(aware_res.success_rate, 2),
         ]);
     }
@@ -70,7 +73,10 @@ fn sweep_movies_by_join_dims() -> Vec<Vec<String>> {
             f(aware_res.mean_turns, 2),
             "-".into(),
             f(rand_res.mean_turns, 2),
-            format!("{}%", f(speedup_pct(rand_res.mean_turns, aware_res.mean_turns), 0)),
+            format!(
+                "{}%",
+                f(speedup_pct(rand_res.mean_turns, aware_res.mean_turns), 0)
+            ),
             f(aware_res.success_rate, 2),
         ]);
     }
@@ -87,7 +93,10 @@ fn sweep_flights() -> Vec<Vec<String>> {
             ..FlightConfig::default()
         })
         .expect("db");
-        let cfg = SimulationConfig { max_turns: 16, ..SimulationConfig::default() };
+        let cfg = SimulationConfig {
+            max_turns: 16,
+            ..SimulationConfig::default()
+        };
         let mut aware = DataAwarePolicy::default();
         let aware_res = run_batch(&db, "flight", &mut aware, EPISODES, &cfg).expect("aware");
         let mut stat = StaticPolicy::from_snapshot(&db, "flight", 3).expect("static");
@@ -100,7 +109,10 @@ fn sweep_flights() -> Vec<Vec<String>> {
             f(aware_res.mean_turns, 2),
             f(stat_res.mean_turns, 2),
             f(rand_res.mean_turns, 2),
-            format!("{}%", f(speedup_pct(rand_res.mean_turns, aware_res.mean_turns), 0)),
+            format!(
+                "{}%",
+                f(speedup_pct(rand_res.mean_turns, aware_res.mean_turns), 0)
+            ),
             f(aware_res.success_rate, 2),
         ]);
     }
@@ -119,13 +131,25 @@ fn ablations() -> Vec<Vec<String>> {
         ("full data-aware", DataAwareConfig::default()),
         (
             "no awareness weighting",
-            DataAwareConfig { use_awareness: false, ..DataAwareConfig::default() },
+            DataAwareConfig {
+                use_awareness: false,
+                ..DataAwareConfig::default()
+            },
         ),
         (
             "distinct-count informativeness",
-            DataAwareConfig { use_entropy: false, ..DataAwareConfig::default() },
+            DataAwareConfig {
+                use_entropy: false,
+                ..DataAwareConfig::default()
+            },
         ),
-        ("single table only", DataAwareConfig { use_joins: false, ..DataAwareConfig::default() }),
+        (
+            "single table only",
+            DataAwareConfig {
+                use_joins: false,
+                ..DataAwareConfig::default()
+            },
+        ),
     ];
     for (name, config) in variants {
         let mut policy = DataAwarePolicy::new(config);
@@ -146,7 +170,15 @@ fn main() {
     rows.extend(sweep_flights());
     print_table(
         "E2: identification turns — data-aware vs static vs random (paper §4)",
-        &["entity", "size/dims", "data-aware", "static", "random", "speedup vs random", "success"],
+        &[
+            "entity",
+            "size/dims",
+            "data-aware",
+            "static",
+            "random",
+            "speedup vs random",
+            "success",
+        ],
         &rows,
     );
     print_table(

@@ -30,7 +30,14 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         .collect();
     let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
     println!("{}", row(&header_cells, &widths));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for r in rows {
         println!("{}", row(r, &widths));
     }

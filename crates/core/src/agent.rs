@@ -136,7 +136,10 @@ impl ConversationalAgent {
     /// The table being identified by the active identification context.
     pub fn active_identification_table(&self) -> Option<String> {
         let param = self.active_ident.as_ref()?;
-        self.idents.iter().find(|c| &c.param == param).map(|c| c.table.clone())
+        self.idents
+            .iter()
+            .find(|c| &c.param == param)
+            .map(|c| c.table.clone())
     }
 
     /// Export the learned user-awareness observations (persist across
@@ -202,7 +205,8 @@ impl ConversationalAgent {
             response.text = format!("{} {}", notes.join(" "), response.text);
             response.corrections = corrections;
         }
-        self.transcript.push(("agent".into(), response.text.clone()));
+        self.transcript
+            .push(("agent".into(), response.text.clone()));
         response
     }
 
@@ -219,7 +223,9 @@ impl ConversationalAgent {
         // Task-independent intents first.
         if let Some(task_name) = intent.strip_prefix("request_") {
             let task_name = task_name.to_string();
-            self.state.observe_user(&UserAct::RequestTask { task: task_name.clone() });
+            self.state.observe_user(&UserAct::RequestTask {
+                task: task_name.clone(),
+            });
             self.idents.clear();
             self.active_ident = None;
             self.apply_slots(parsed)?;
@@ -329,14 +335,19 @@ impl ConversationalAgent {
     /// shortest FK path to the slot's table. Returns whether anything
     /// applied.
     fn apply_slots(&mut self, parsed: &NluResult) -> Result<bool> {
-        let Some(task_name) = self.state.task.clone() else { return Ok(false) };
+        let Some(task_name) = self.state.task.clone() else {
+            return Ok(false);
+        };
         let Some(task) = self.tasks.iter().find(|t| t.name == task_name).cloned() else {
             return Ok(false);
         };
         let mut applied = false;
         for slot in &parsed.slots {
             // Scalar parameter with the same name?
-            if task.param(&slot.slot).is_some_and(|p| !p.needs_identification()) {
+            if task
+                .param(&slot.slot)
+                .is_some_and(|p| !p.needs_identification())
+            {
                 if self.validate_scalar(&slot.slot, &slot.value) {
                     self.state.bind(&slot.slot, slot.value.clone());
                     applied = true;
@@ -362,9 +373,15 @@ impl ConversationalAgent {
                     join_path(&self.db, etable, &table).map(|path| (p.clone(), path))
                 })
                 .min_by_key(|(_, path)| path.len());
-            let Some((param, path)) = target else { continue };
+            let Some((param, path)) = target else {
+                continue;
+            };
             self.ensure_ident(&task, &param.name)?;
-            let attr = Attribute { table: table.clone(), column: column.clone(), path };
+            let attr = Attribute {
+                table: table.clone(),
+                column: column.clone(),
+                path,
+            };
             let col_ty = self
                 .db
                 .table(&table)?
@@ -408,11 +425,15 @@ impl ConversationalAgent {
         user_text: &str,
         corrections: &mut Vec<(String, String)>,
     ) -> Result<bool> {
-        let Some(param) = self.active_ident.clone() else { return Ok(false) };
+        let Some(param) = self.active_ident.clone() else {
+            return Ok(false);
+        };
         let Some(ident) = self.idents.iter().find(|c| c.param == param) else {
             return Ok(false);
         };
-        let Some(attr) = ident.pending.clone() else { return Ok(false) };
+        let Some(attr) = ident.pending.clone() else {
+            return Ok(false);
+        };
         // Inventory: distinct values of the attribute over the candidates.
         let mut inventory: Vec<Value> = Vec::new();
         for &rid in &ident.cs.rows {
@@ -431,7 +452,9 @@ impl ConversationalAgent {
             .column(&attr.column)
             .map(|c| c.ty)
             .unwrap_or(cat_txdb::DataType::Text);
-        let direct = Value::parse_as(col_ty, text).ok().filter(|v| inventory.contains(v));
+        let direct = Value::parse_as(col_ty, text)
+            .ok()
+            .filter(|v| inventory.contains(v));
         let resolved = match direct {
             Some(v) => Some(v),
             None => {
@@ -444,7 +467,9 @@ impl ConversationalAgent {
                 })
             }
         };
-        let Some(value) = resolved else { return Ok(false) };
+        let Some(value) = resolved else {
+            return Ok(false);
+        };
         let key = attr.key();
         let db = &self.db;
         let ident = self
@@ -461,8 +486,12 @@ impl ConversationalAgent {
 
     /// Resolve free text as a pick from offered options.
     fn try_offer_pick(&mut self, user_text: &str) -> Result<bool> {
-        let Some(ident) = self.active_context_mut() else { return Ok(false) };
-        let Some(options) = ident.offering.clone() else { return Ok(false) };
+        let Some(ident) = self.active_context_mut() else {
+            return Ok(false);
+        };
+        let Some(options) = ident.offering.clone() else {
+            return Ok(false);
+        };
         let labels: Vec<&str> = options.iter().map(|(l, _)| l.as_str()).collect();
         // Accept a 1-based ordinal or a (fuzzy) label.
         let pick = user_text
@@ -484,14 +513,19 @@ impl ConversationalAgent {
         if self.idents.iter().any(|c| c.param == param) {
             return Ok(());
         }
-        let p = task.param(param).ok_or_else(|| TxdbError::BadProcedureArgs {
-            procedure: task.name.clone(),
-            detail: format!("unknown parameter `{param}`"),
-        })?;
-        let (table, key_column) = p.entity.clone().ok_or_else(|| TxdbError::BadProcedureArgs {
-            procedure: task.name.clone(),
-            detail: format!("parameter `{param}` is not an entity"),
-        })?;
+        let p = task
+            .param(param)
+            .ok_or_else(|| TxdbError::BadProcedureArgs {
+                procedure: task.name.clone(),
+                detail: format!("unknown parameter `{param}`"),
+            })?;
+        let (table, key_column) = p
+            .entity
+            .clone()
+            .ok_or_else(|| TxdbError::BadProcedureArgs {
+                procedure: task.name.clone(),
+                detail: format!("parameter `{param}` is not an entity"),
+            })?;
         self.idents.push(IdentContext {
             param: param.to_string(),
             table: table.clone(),
@@ -523,7 +557,9 @@ impl ConversationalAgent {
                 continue;
             }
             if !param.needs_identification() {
-                self.state.observe_agent(&AgentAct::AskSlot { slot: param.name.clone() });
+                self.state.observe_agent(&AgentAct::AskSlot {
+                    slot: param.name.clone(),
+                });
                 self.state.pending_param = Some(param.name.clone());
                 self.active_ident = None;
                 let text = self.surface.ask_slot(&param.human_name);
@@ -533,7 +569,10 @@ impl ConversationalAgent {
             self.ensure_ident(&task, &param.name)?;
             let unique_rid = {
                 let ident = self.context_mut(&param.name).expect("ensured");
-                ident.cs.unique().map(|rid| (rid, ident.table.clone(), ident.key_column.clone()))
+                ident
+                    .cs
+                    .unique()
+                    .map(|rid| (rid, ident.table.clone(), ident.key_column.clone()))
             };
             if let Some((rid, table, key_column)) = unique_rid {
                 let key_value = self.db.table(&table)?.value_of(rid, &key_column)?;
@@ -573,8 +612,9 @@ impl ConversationalAgent {
                     ident.offering = None;
                     self.active_ident = Some(param.name.clone());
                     let text = self.surface.ask_slot(&human);
-                    self.state
-                        .observe_agent(&AgentAct::IdentifyEntity { param: param.name.clone() });
+                    self.state.observe_agent(&AgentAct::IdentifyEntity {
+                        param: param.name.clone(),
+                    });
                     return Ok(self.reply(text, "a:identify_entity"));
                 }
                 None => {
@@ -586,20 +626,32 @@ impl ConversationalAgent {
 
         // All parameters bound.
         if task.is_write && self.state.phase != Phase::Confirming {
-            let args: Vec<(String, String)> =
-                self.state.bound.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            let args: Vec<(String, String)> = self
+                .state
+                .bound
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
             let text = self.surface.confirm_task(&task.name, &args);
-            self.state.observe_agent(&AgentAct::ConfirmTask { task: task.name.clone() });
+            self.state.observe_agent(&AgentAct::ConfirmTask {
+                task: task.name.clone(),
+            });
             return Ok(self.reply(text, "a:confirm_task"));
         }
         if !task.is_write {
             return self.execute_task();
         }
         // Confirming and we got here without affirm/deny: re-confirm.
-        let args: Vec<(String, String)> =
-            self.state.bound.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let args: Vec<(String, String)> = self
+            .state
+            .bound
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         let text = self.surface.confirm_task(&task.name, &args);
-        self.state.observe_agent(&AgentAct::ConfirmTask { task: task.name.clone() });
+        self.state.observe_agent(&AgentAct::ConfirmTask {
+            task: task.name.clone(),
+        });
         Ok(self.reply(text, "a:confirm_task"))
     }
 
@@ -615,7 +667,16 @@ impl ConversationalAgent {
             .unwrap_or_else(|| param_name.replace('_', " "));
         let (table, rows) = {
             let ident = self.context_mut(param_name).expect("context exists");
-            (ident.table.clone(), ident.cs.rows.iter().take(limit).copied().collect::<Vec<_>>())
+            (
+                ident.table.clone(),
+                ident
+                    .cs
+                    .rows
+                    .iter()
+                    .take(limit)
+                    .copied()
+                    .collect::<Vec<_>>(),
+            )
         };
         let display = display_columns(&self.db, &table);
         let mut options = Vec::new();
@@ -646,7 +707,9 @@ impl ConversationalAgent {
         }
         self.active_ident = Some(param_name.to_string());
         let text = self.surface.offer_options(&human, &labels);
-        self.state.observe_agent(&AgentAct::OfferOptions { param: param_name.to_string() });
+        self.state.observe_agent(&AgentAct::OfferOptions {
+            param: param_name.to_string(),
+        });
         Ok(self.reply(text, "a:offer_options"))
     }
 
@@ -661,7 +724,9 @@ impl ConversationalAgent {
             .iter()
             .map(|(k, v)| (k.clone(), Value::Text(v.clone())))
             .collect();
-        self.state.observe_agent(&AgentAct::Execute { task: task_name.clone() });
+        self.state.observe_agent(&AgentAct::Execute {
+            task: task_name.clone(),
+        });
         match self.db.call(&task_name, &args) {
             Ok(outcome) => {
                 self.state.observe_agent(&AgentAct::ReportSuccess);
@@ -674,12 +739,21 @@ impl ConversationalAgent {
                         .rows
                         .iter()
                         .take(5)
-                        .map(|row| row.iter().map(Value::render).collect::<Vec<_>>().join(" | "))
+                        .map(|row| {
+                            row.iter()
+                                .map(Value::render)
+                                .collect::<Vec<_>>()
+                                .join(" | ")
+                        })
                         .collect();
                     text = format!(
                         "{text} I found: {}{}",
                         rendered.join("; "),
-                        if outcome.rows.len() > 5 { " (and more)" } else { "" }
+                        if outcome.rows.len() > 5 {
+                            " (and more)"
+                        } else {
+                            ""
+                        }
                     );
                 }
                 Ok(AgentResponse {
@@ -706,12 +780,20 @@ impl ConversationalAgent {
     }
 
     fn reply(&self, text: String, action: &str) -> AgentResponse {
-        AgentResponse { text, action: action.to_string(), executed: None, corrections: Vec::new() }
+        AgentResponse {
+            text,
+            action: action.to_string(),
+            executed: None,
+            corrections: Vec::new(),
+        }
     }
 
     /// Parameter spec of a scalar (non-entity) param of the active task.
     fn scalar_param(&self, name: &str) -> Option<&cat_datagen::TaskParam> {
-        let task = self.tasks.iter().find(|t| Some(&t.name) == self.state.task.as_ref())?;
+        let task = self
+            .tasks
+            .iter()
+            .find(|t| Some(&t.name) == self.state.task.as_ref())?;
         task.param(name).filter(|p| !p.needs_identification())
     }
 
@@ -728,7 +810,9 @@ impl ConversationalAgent {
 /// non-key columns with the highest awareness priors (what a user would
 /// recognize the entity by).
 fn display_columns(db: &Database, table: &str) -> Vec<String> {
-    let Ok(t) = db.table(table) else { return Vec::new() };
+    let Ok(t) = db.table(table) else {
+        return Vec::new();
+    };
     let mut cols: Vec<_> = t
         .schema()
         .columns()
@@ -737,7 +821,9 @@ fn display_columns(db: &Database, table: &str) -> Vec<String> {
         .filter(|c| t.schema().foreign_key_on(&c.name).is_none())
         .collect();
     cols.sort_by(|a, b| {
-        b.awareness_prior.partial_cmp(&a.awareness_prior).unwrap_or(std::cmp::Ordering::Equal)
+        b.awareness_prior
+            .partial_cmp(&a.awareness_prior)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut out: Vec<String> = cols.iter().take(3).map(|c| c.name.clone()).collect();
     if out.is_empty() {

@@ -123,22 +123,28 @@ impl AnnotationFile {
                     if rest.is_empty() {
                         return Err(syntax("expected table name"));
                     }
-                    file.tables
-                        .push(TableAnnotation { table: rest.to_string(), columns: Vec::new() });
+                    file.tables.push(TableAnnotation {
+                        table: rest.to_string(),
+                        columns: Vec::new(),
+                    });
                     section = Section::Table(file.tables.len() - 1);
                 }
                 "task" => {
                     if rest.is_empty() {
                         return Err(syntax("expected task name"));
                     }
-                    file.tasks
-                        .push(TaskAnnotation { task: rest.to_string(), request: Vec::new() });
+                    file.tasks.push(TaskAnnotation {
+                        task: rest.to_string(),
+                        request: Vec::new(),
+                    });
                     section = Section::Task(file.tasks.len() - 1);
                 }
                 "slot" => {
                     let mut parts = rest.split_whitespace();
-                    let slot =
-                        parts.next().ok_or_else(|| syntax("expected slot name"))?.to_string();
+                    let slot = parts
+                        .next()
+                        .ok_or_else(|| syntax("expected slot name"))?
+                        .to_string();
                     let mut source = None;
                     for p in parts {
                         if let Some(spec) = p.strip_prefix("source=") {
@@ -148,7 +154,11 @@ impl AnnotationFile {
                         }
                     }
                     let source = source.ok_or_else(|| syntax("slot needs source=..."))?;
-                    file.slots.push(SlotAnnotationDecl { slot, source, inform: Vec::new() });
+                    file.slots.push(SlotAnnotationDecl {
+                        slot,
+                        source,
+                        inform: Vec::new(),
+                    });
                     section = Section::Slot(file.slots.len() - 1);
                 }
                 "column" => {
@@ -156,10 +166,11 @@ impl AnnotationFile {
                         return Err(syntax("`column` outside a table section"));
                     };
                     let mut parts = tokenize_quoted(rest);
-                    let column = parts
-                        .next()
-                        .ok_or_else(|| syntax("expected column name"))?;
-                    let mut ann = ColumnAnnotation { column, ..Default::default() };
+                    let column = parts.next().ok_or_else(|| syntax("expected column name"))?;
+                    let mut ann = ColumnAnnotation {
+                        column,
+                        ..Default::default()
+                    };
                     for p in parts {
                         if let Some(v) = p.strip_prefix("ask=") {
                             ann.ask = Some(
@@ -186,13 +197,17 @@ impl AnnotationFile {
                     let Section::Task(idx) = section else {
                         return Err(syntax("`request` outside a task section"));
                     };
-                    file.tasks[idx].request.push(unquote(rest).map_err(|m| syntax(&m))?);
+                    file.tasks[idx]
+                        .request
+                        .push(unquote(rest).map_err(|m| syntax(&m))?);
                 }
                 "inform" => {
                     let Section::Slot(idx) = section else {
                         return Err(syntax("`inform` outside a slot section"));
                     };
-                    file.slots[idx].inform.push(unquote(rest).map_err(|m| syntax(&m))?);
+                    file.slots[idx]
+                        .inform
+                        .push(unquote(rest).map_err(|m| syntax(&m))?);
                 }
                 other => return Err(syntax(&format!("unknown directive `{other}`"))),
             }
@@ -227,7 +242,11 @@ impl AnnotationFile {
             }
         }
         for s in &self.slots {
-            out.push_str(&format!("\nslot {} source={}\n", s.slot, render_source(&s.source)));
+            out.push_str(&format!(
+                "\nslot {} source={}\n",
+                s.slot,
+                render_source(&s.source)
+            ));
             for i in &s.inform {
                 out.push_str(&format!("  inform \"{i}\"\n"));
             }
@@ -287,13 +306,18 @@ fn parse_source(spec: &str) -> Result<ValueSource, String> {
         return Ok(ValueSource::Range { lo, hi });
     }
     if let Some(list) = spec.strip_prefix("oneof:") {
-        return Ok(ValueSource::OneOf(list.split(',').map(str::to_string).collect()));
+        return Ok(ValueSource::OneOf(
+            list.split(',').map(str::to_string).collect(),
+        ));
     }
     match spec.split_once('.') {
-        Some((table, column)) => {
-            Ok(ValueSource::Column { table: table.to_string(), column: column.to_string() })
-        }
-        None => Err(format!("bad source `{spec}` (want table.column, range:a..b or oneof:x,y)")),
+        Some((table, column)) => Ok(ValueSource::Column {
+            table: table.to_string(),
+            column: column.to_string(),
+        }),
+        None => Err(format!(
+            "bad source `{spec}` (want table.column, range:a..b or oneof:x,y)"
+        )),
     }
 }
 
@@ -372,7 +396,10 @@ slot mood source=oneof:happy,sad
         assert_eq!(f.slots.len(), 3);
         assert_eq!(
             f.slots[0].source,
-            ValueSource::Column { table: "movie".into(), column: "title".into() }
+            ValueSource::Column {
+                table: "movie".into(),
+                column: "title".into()
+            }
         );
         assert_eq!(f.slots[1].source, ValueSource::Range { lo: 1, hi: 10 });
         assert_eq!(
@@ -396,8 +423,14 @@ slot mood source=oneof:happy,sad
             AnnotationError::Syntax { line, .. } => assert_eq!(line, 2),
             other => panic!("{other:?}"),
         }
-        assert!(AnnotationFile::parse("column c ask=avoid").is_err(), "column outside table");
-        assert!(AnnotationFile::parse("slot s").is_err(), "slot without source");
+        assert!(
+            AnnotationFile::parse("column c ask=avoid").is_err(),
+            "column outside table"
+        );
+        assert!(
+            AnnotationFile::parse("slot s").is_err(),
+            "slot without source"
+        );
         assert!(AnnotationFile::parse("bogus directive").is_err());
         assert!(AnnotationFile::parse("table t\ncolumn c awareness=1.5").is_err());
         assert!(AnnotationFile::parse("task t\nrequest unquoted").is_err());
@@ -420,7 +453,13 @@ slot mood source=oneof:happy,sad
         )
         .unwrap();
         f.apply_to(&mut db).unwrap();
-        let col = db.table("customer").unwrap().schema().column("name").unwrap().clone();
+        let col = db
+            .table("customer")
+            .unwrap()
+            .schema()
+            .column("name")
+            .unwrap()
+            .clone();
         assert_eq!(col.ask, AskPreference::Preferred);
         assert_eq!(col.awareness_prior, 0.9);
         assert_eq!(col.human_name(), "full name");

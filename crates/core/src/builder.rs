@@ -58,7 +58,10 @@ impl CatBuilder {
 
     /// Apply an annotation file: column annotations onto the schema,
     /// task/slot templates into the template set.
-    pub fn with_annotations(mut self, file: &AnnotationFile) -> Result<CatBuilder, AnnotationError> {
+    pub fn with_annotations(
+        mut self,
+        file: &AnnotationFile,
+    ) -> Result<CatBuilder, AnnotationError> {
         file.apply_to(&mut self.db)?;
         let ts = file.template_set();
         // Merge (annotation templates extend any programmatic ones).

@@ -43,7 +43,12 @@ pub struct NlUserConfig {
 
 impl Default for NlUserConfig {
     fn default() -> Self {
-        NlUserConfig { p_misspell: 0.2, noise_rate: 1.0, max_turns: 30, seed: 42 }
+        NlUserConfig {
+            p_misspell: 0.2,
+            noise_rate: 1.0,
+            max_turns: 30,
+            seed: 42,
+        }
     }
 }
 
@@ -120,7 +125,10 @@ pub fn run_nl_dialogue(
                 goal.scalars
                     .iter()
                     .find(|(name, _)| {
-                        response.text.to_lowercase().contains(&name.replace('_', " "))
+                        response
+                            .text
+                            .to_lowercase()
+                            .contains(&name.replace('_', " "))
                     })
                     .or_else(|| goal.scalars.first())
                     .map(|(_, v)| v.clone())
@@ -158,16 +166,17 @@ pub fn run_nl_dialogue(
     // goal's target key values appear in the executed bound parameters —
     // approximated by checking the task executed and the reservation (or
     // equivalent) references the first target's key value when available.
-    DialogueOutcome { turns, executed, correct: executed, corrections }
+    DialogueOutcome {
+        turns,
+        executed,
+        correct: executed,
+        corrections,
+    }
 }
 
 /// Look up the target row's value for the asked attribute (first value for
 /// multi-valued joined attributes).
-fn answer_from_db(
-    agent: &ConversationalAgent,
-    goal: &UserGoal,
-    attr_key: &str,
-) -> Option<String> {
+fn answer_from_db(agent: &ConversationalAgent, goal: &UserGoal, attr_key: &str) -> Option<String> {
     let (attr_table, attr_column) = attr_key.split_once('.')?;
     let table = agent.active_identification_table()?;
     // Which goal target is being identified? The one whose entity table is
@@ -215,7 +224,10 @@ where
     let mut total_corrections = 0usize;
     for i in 0..episodes {
         let (goal, opening) = make_goal(agent, &mut rng);
-        let cfg = NlUserConfig { seed: config.seed ^ (i as u64).wrapping_mul(2654435761), ..config.clone() };
+        let cfg = NlUserConfig {
+            seed: config.seed ^ (i as u64).wrapping_mul(2654435761),
+            ..config.clone()
+        };
         let outcome = run_nl_dialogue(agent, &goal, &opening, &cfg);
         successes += usize::from(outcome.executed);
         total_turns += outcome.turns;
@@ -231,26 +243,43 @@ where
 
 /// Draw a random `ticket_reservation`-style goal for the cinema agent:
 /// a random customer, a random screening, and a ticket count.
-pub fn random_cinema_goal(
-    agent: &ConversationalAgent,
-    rng: &mut StdRng,
-) -> (UserGoal, String) {
+pub fn random_cinema_goal(agent: &ConversationalAgent, rng: &mut StdRng) -> (UserGoal, String) {
     let db = agent.db();
-    let customers: Vec<RowId> =
-        db.table("customer").expect("cinema db").scan().map(|(r, _)| r).collect();
-    let screenings: Vec<RowId> =
-        db.table("screening").expect("cinema db").scan().map(|(r, _)| r).collect();
+    let customers: Vec<RowId> = db
+        .table("customer")
+        .expect("cinema db")
+        .scan()
+        .map(|(r, _)| r)
+        .collect();
+    let screenings: Vec<RowId> = db
+        .table("screening")
+        .expect("cinema db")
+        .scan()
+        .map(|(r, _)| r)
+        .collect();
     // Draw until the (customer, screening) pair has no existing
     // reservation — re-booking the same pair is a (correctly) rejected
     // duplicate, not a dialogue failure.
     let mut customer = *customers.choose(rng).expect("non-empty");
     let mut screening = *screenings.choose(rng).expect("non-empty");
     for _ in 0..200 {
-        let ckey = db.table("customer").unwrap().value_of(customer, "customer_id").unwrap();
-        let skey = db.table("screening").unwrap().value_of(screening, "screening_id").unwrap();
+        let ckey = db
+            .table("customer")
+            .unwrap()
+            .value_of(customer, "customer_id")
+            .unwrap();
+        let skey = db
+            .table("screening")
+            .unwrap()
+            .value_of(screening, "screening_id")
+            .unwrap();
         let pred = cat_txdb::Predicate::eq("customer_id", ckey)
             .and(cat_txdb::Predicate::eq("screening_id", skey));
-        if db.select("reservation", &pred).unwrap_or_default().is_empty() {
+        if db
+            .select("reservation", &pred)
+            .unwrap_or_default()
+            .is_empty()
+        {
             break;
         }
         customer = *customers.choose(rng).expect("non-empty");
@@ -275,15 +304,21 @@ pub fn reservation_exists_for(agent: &ConversationalAgent, goal: &UserGoal) -> b
         return false;
     };
     let db = agent.db();
-    let Ok(customer_table) = db.table("customer") else { return false };
-    let Ok(key) = customer_table.value_of(*customer_rid, "customer_id") else { return false };
-    match db.select("reservation", &cat_txdb::Predicate::Cmp {
-        column: "customer_id".into(),
-        op: cat_txdb::CmpOp::Eq,
-        value: key,
-    }) {
+    let Ok(customer_table) = db.table("customer") else {
+        return false;
+    };
+    let Ok(key) = customer_table.value_of(*customer_rid, "customer_id") else {
+        return false;
+    };
+    match db.select(
+        "reservation",
+        &cat_txdb::Predicate::Cmp {
+            column: "customer_id".into(),
+            op: cat_txdb::CmpOp::Eq,
+            value: key,
+        },
+    ) {
         Ok(rows) => !rows.is_empty(),
         Err(_) => false,
     }
 }
-

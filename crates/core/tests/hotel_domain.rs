@@ -63,6 +63,13 @@ fn hotel_agent_books_a_room_end_to_end() {
         };
         response = agent.respond(&reply);
     }
-    assert!(executed, "hotel booking did not execute; last: {}", response.text);
-    assert_eq!(agent.db().table("booking").unwrap().len(), bookings_before + 1);
+    assert!(
+        executed,
+        "hotel booking did not execute; last: {}",
+        response.text
+    );
+    assert_eq!(
+        agent.db().table("booking").unwrap().len(),
+        bookings_before + 1
+    );
 }

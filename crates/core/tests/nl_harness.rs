@@ -12,7 +12,12 @@ use rand::SeedableRng;
 fn agent(seed: u64) -> cat_core::ConversationalAgent {
     let db = generate_cinema(&CinemaConfig::small(seed)).expect("db");
     let ann = AnnotationFile::parse(CINEMA_ANNOTATIONS).expect("annotations");
-    CatBuilder::new(db).with_annotations(&ann).expect("apply").with_seed(seed).synthesize().0
+    CatBuilder::new(db)
+        .with_annotations(&ann)
+        .expect("apply")
+        .with_seed(seed)
+        .synthesize()
+        .0
 }
 
 #[test]
@@ -20,9 +25,16 @@ fn single_nl_dialogue_executes_booking() {
     let mut a = agent(61);
     let mut rng = StdRng::seed_from_u64(3);
     let (goal, opening) = random_cinema_goal(&a, &mut rng);
-    let cfg = NlUserConfig { p_misspell: 0.0, ..NlUserConfig::default() };
+    let cfg = NlUserConfig {
+        p_misspell: 0.0,
+        ..NlUserConfig::default()
+    };
     let outcome = run_nl_dialogue(&mut a, &goal, &opening, &cfg);
-    assert!(outcome.executed, "dialogue did not execute within {} turns", outcome.turns);
+    assert!(
+        outcome.executed,
+        "dialogue did not execute within {} turns",
+        outcome.turns
+    );
     assert!(outcome.turns <= 25);
     assert!(reservation_exists_for(&a, &goal));
 }
@@ -30,7 +42,11 @@ fn single_nl_dialogue_executes_booking() {
 #[test]
 fn nl_batch_mostly_succeeds_even_with_typos() {
     let mut a = agent(62);
-    let cfg = NlUserConfig { p_misspell: 0.3, noise_rate: 1.0, ..NlUserConfig::default() };
+    let cfg = NlUserConfig {
+        p_misspell: 0.3,
+        noise_rate: 1.0,
+        ..NlUserConfig::default()
+    };
     let batch = run_nl_batch(&mut a, 12, &cfg, random_cinema_goal);
     assert!(
         batch.success_rate >= 0.7,
@@ -44,7 +60,12 @@ fn nl_batch_mostly_succeeds_even_with_typos() {
 #[test]
 fn misspelling_users_trigger_corrections() {
     let mut a = agent(63);
-    let cfg = NlUserConfig { p_misspell: 0.9, noise_rate: 1.5, seed: 5, ..NlUserConfig::default() };
+    let cfg = NlUserConfig {
+        p_misspell: 0.9,
+        noise_rate: 1.5,
+        seed: 5,
+        ..NlUserConfig::default()
+    };
     let batch = run_nl_batch(&mut a, 10, &cfg, random_cinema_goal);
     // At this typo level some answers should get visibly corrected.
     assert!(

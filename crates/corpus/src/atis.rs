@@ -28,7 +28,11 @@ pub struct AtisConfig {
 
 impl Default for AtisConfig {
     fn default() -> Self {
-        AtisConfig { size: 1000, seed: 42, variation: 0.35 }
+        AtisConfig {
+            size: 1000,
+            seed: 42,
+            variation: 0.35,
+        }
     }
 }
 
@@ -104,8 +108,15 @@ fn templates_for(intent: &str) -> &'static [&'static str] {
 }
 
 /// Prefix variations applied with probability `variation`.
-const VARIATIONS: &[&str] =
-    &["please ", "hi, ", "okay ", "yes ", "could you ", "i would like to know ", "um, "];
+const VARIATIONS: &[&str] = &[
+    "please ",
+    "hi, ",
+    "okay ",
+    "yes ",
+    "could you ",
+    "i would like to know ",
+    "um, ",
+];
 
 fn sample_value<'a>(rng: &mut StdRng, slot: &str) -> &'a str {
     match slot {
@@ -134,7 +145,9 @@ pub fn generate_atis(config: &AtisConfig) -> Vec<NluExample> {
             }
             x -= w;
         }
-        let template_src = templates_for(intent).choose(&mut rng).expect("non-empty bank");
+        let template_src = templates_for(intent)
+            .choose(&mut rng)
+            .expect("non-empty bank");
         let template = Template::parse(template_src).expect("static templates are valid");
         // Bind each placeholder occurrence; fromloc/toloc must differ.
         let placeholders = template.placeholders();
@@ -150,8 +163,10 @@ pub fn generate_atis(config: &AtisConfig) -> Vec<NluExample> {
             }
             bindings.push((ph.to_string(), v));
         }
-        let binding_refs: Vec<(&str, &str)> =
-            bindings.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+        let binding_refs: Vec<(&str, &str)> = bindings
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+            .collect();
         let (mut text, mut slots) = template.render(&binding_refs).expect("all bound");
         // Optional prefix variation (shifts spans).
         if rng.random_bool(config.variation) {
@@ -167,7 +182,12 @@ pub fn generate_atis(config: &AtisConfig) -> Vec<NluExample> {
             intent: intent.to_string(),
             slots: slots
                 .into_iter()
-                .map(|s| SlotAnnotation { slot: s.slot, start: s.start, end: s.end, value: s.value })
+                .map(|s| SlotAnnotation {
+                    slot: s.slot,
+                    start: s.start,
+                    end: s.end,
+                    value: s.value,
+                })
                 .collect(),
         });
     }
@@ -195,32 +215,52 @@ mod tests {
 
     #[test]
     fn corpus_has_requested_size_and_valid_spans() {
-        let corpus = generate_atis(&AtisConfig { size: 300, seed: 1, variation: 0.5 });
+        let corpus = generate_atis(&AtisConfig {
+            size: 300,
+            seed: 1,
+            variation: 0.5,
+        });
         assert_eq!(corpus.len(), 300);
         for ex in &corpus {
             for s in &ex.slots {
                 assert!(s.end <= ex.text.len());
-                assert_eq!(&ex.text[s.start..s.end], s.value, "span mismatch in `{}`", ex.text);
+                assert_eq!(
+                    &ex.text[s.start..s.end],
+                    s.value,
+                    "span mismatch in `{}`",
+                    ex.text
+                );
             }
         }
     }
 
     #[test]
     fn intent_distribution_is_skewed_toward_flight() {
-        let corpus = generate_atis(&AtisConfig { size: 2000, seed: 2, variation: 0.3 });
+        let corpus = generate_atis(&AtisConfig {
+            size: 2000,
+            seed: 2,
+            variation: 0.3,
+        });
         let mut counts: HashMap<&str, usize> = HashMap::new();
         for ex in &corpus {
             *counts.entry(ex.intent.as_str()).or_insert(0) += 1;
         }
         let flight_frac = counts["flight"] as f64 / corpus.len() as f64;
-        assert!((0.6..0.8).contains(&flight_frac), "flight fraction {flight_frac}");
+        assert!(
+            (0.6..0.8).contains(&flight_frac),
+            "flight fraction {flight_frac}"
+        );
         // All intents appear at this size.
         assert_eq!(counts.len(), INTENT_WEIGHTS.len());
     }
 
     #[test]
     fn from_and_to_cities_differ() {
-        let corpus = generate_atis(&AtisConfig { size: 500, seed: 3, variation: 0.0 });
+        let corpus = generate_atis(&AtisConfig {
+            size: 500,
+            seed: 3,
+            variation: 0.0,
+        });
         for ex in &corpus {
             let from = ex.slots.iter().find(|s| s.slot == "fromloc");
             let to = ex.slots.iter().find(|s| s.slot == "toloc");
@@ -232,7 +272,11 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = AtisConfig { size: 50, seed: 9, variation: 0.4 };
+        let cfg = AtisConfig {
+            size: 50,
+            seed: 9,
+            variation: 0.4,
+        };
         let a = generate_atis(&cfg);
         let b = generate_atis(&cfg);
         assert_eq!(a, b);
@@ -240,7 +284,11 @@ mod tests {
 
     #[test]
     fn split_partitions_cleanly() {
-        let corpus = generate_atis(&AtisConfig { size: 100, seed: 4, variation: 0.2 });
+        let corpus = generate_atis(&AtisConfig {
+            size: 100,
+            seed: 4,
+            variation: 0.2,
+        });
         let (train, test) = train_test_split(corpus.clone(), 0.2, 7);
         assert_eq!(train.len() + test.len(), 100);
         assert_eq!(test.len(), 20);
@@ -258,7 +306,10 @@ mod tests {
     #[test]
     fn every_intent_has_templates() {
         for &(intent, _) in INTENT_WEIGHTS {
-            assert!(!templates_for(intent).is_empty(), "no templates for {intent}");
+            assert!(
+                !templates_for(intent).is_empty(),
+                "no templates for {intent}"
+            );
             for t in templates_for(intent) {
                 Template::parse(t).expect("template parses");
             }

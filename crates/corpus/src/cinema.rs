@@ -228,7 +228,11 @@ pub fn cinema_procedures(db: &mut Database) -> cat_txdb::Result<()> {
             .param(ParamDef::scalar("ticket_amount", DataType::Int).describe("number of tickets"))
             .op(ProcOp::Insert {
                 table: "reservation".into(),
-                columns: vec!["customer_id".into(), "screening_id".into(), "no_tickets".into()],
+                columns: vec![
+                    "customer_id".into(),
+                    "screening_id".into(),
+                    "no_tickets".into(),
+                ],
                 values: vec![
                     ParamExpr::param("customer_id"),
                     ParamExpr::param("screening_id"),
@@ -288,8 +292,7 @@ pub fn generate_cinema(config: &CinemaConfig) -> cat_txdb::Result<Database> {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Movies: real bank first, synthetic combinations beyond.
-    let mut titles: Vec<String> =
-        names::MOVIE_TITLES.iter().map(|s| s.to_string()).collect();
+    let mut titles: Vec<String> = names::MOVIE_TITLES.iter().map(|s| s.to_string()).collect();
     'outer: for adj in names::TITLE_ADJECTIVES {
         for noun in names::TITLE_NOUNS {
             if titles.len() >= config.movies {
@@ -327,7 +330,10 @@ pub fn generate_cinema(config: &CinemaConfig) -> cat_txdb::Result<Database> {
         }
     }
     for (i, name) in actor_names.iter().enumerate() {
-        db.insert("actor", Row::new(vec![Value::Int(i as i64 + 1), Value::Text(name.clone())]))?;
+        db.insert(
+            "actor",
+            Row::new(vec![Value::Int(i as i64 + 1), Value::Text(name.clone())]),
+        )?;
     }
     let n_actors = actor_names.len() as i64;
 
@@ -354,9 +360,19 @@ pub fn generate_cinema(config: &CinemaConfig) -> cat_txdb::Result<Database> {
         let last = *names::LAST_NAMES.choose(&mut rng).expect("non-empty");
         let city = *names::CITIES.choose(&mut rng).expect("non-empty");
         let domain = *names::EMAIL_DOMAINS.choose(&mut rng).expect("non-empty");
-        let email = format!("{}.{}{}@{}", first.to_lowercase(), last.to_lowercase(), i, domain);
+        let email = format!(
+            "{}.{}{}@{}",
+            first.to_lowercase(),
+            last.to_lowercase(),
+            i,
+            domain
+        );
         let phone = if rng.random_bool(0.8) {
-            Value::Text(format!("+49-{:04}-{:06}", rng.random_range(100..9999u32), i))
+            Value::Text(format!(
+                "+49-{:04}-{:06}",
+                rng.random_range(100..9999u32),
+                i
+            ))
         } else {
             Value::Null
         };
@@ -402,7 +418,10 @@ pub fn generate_cinema(config: &CinemaConfig) -> cat_txdb::Result<Database> {
         let s = rng.random_range(1..=config.screenings as i64);
         let n = rng.random_range(1..=6i64);
         if db
-            .insert("reservation", Row::new(vec![Value::Int(c), Value::Int(s), Value::Int(n)]))
+            .insert(
+                "reservation",
+                Row::new(vec![Value::Int(c), Value::Int(s), Value::Int(n)]),
+            )
             .is_ok()
         {
             made += 1;
@@ -423,7 +442,10 @@ mod tests {
         assert_eq!(db.table("customer").unwrap().len(), 30);
         assert_eq!(db.table("screening").unwrap().len(), 40);
         assert!(!db.table("reservation").unwrap().is_empty());
-        assert!(db.table("movie_actor").unwrap().len() >= 24, "2+ actors per movie");
+        assert!(
+            db.table("movie_actor").unwrap().len() >= 24,
+            "2+ actors per movie"
+        );
         // Procedures registered.
         assert!(db.procedure("ticket_reservation").is_ok());
         assert!(db.procedure("cancel_reservation").is_ok());
@@ -459,13 +481,25 @@ mod tests {
         let db = generate_cinema(&CinemaConfig::small(3)).unwrap();
         for (_, row) in db.table("screening").unwrap().scan() {
             let movie_id = row.get(1).unwrap().clone();
-            assert!(!db.table("movie").unwrap().lookup("movie_id", &movie_id).is_empty());
+            assert!(!db
+                .table("movie")
+                .unwrap()
+                .lookup("movie_id", &movie_id)
+                .is_empty());
         }
         for (_, row) in db.table("reservation").unwrap().scan() {
             let c = row.get(0).unwrap().clone();
             let s = row.get(1).unwrap().clone();
-            assert!(!db.table("customer").unwrap().lookup("customer_id", &c).is_empty());
-            assert!(!db.table("screening").unwrap().lookup("screening_id", &s).is_empty());
+            assert!(!db
+                .table("customer")
+                .unwrap()
+                .lookup("customer_id", &c)
+                .is_empty());
+            assert!(!db
+                .table("screening")
+                .unwrap()
+                .lookup("screening_id", &s)
+                .is_empty());
         }
     }
 
@@ -498,7 +532,10 @@ mod tests {
         // And cancel it again.
         db.call(
             "cancel_reservation",
-            &[("customer_id".into(), Value::Int(c)), ("screening_id".into(), Value::Int(s))],
+            &[
+                ("customer_id".into(), Value::Int(c)),
+                ("screening_id".into(), Value::Int(s)),
+            ],
         )
         .unwrap();
         assert_eq!(db.table("reservation").unwrap().len(), before);
@@ -517,10 +554,16 @@ mod tests {
             .map(|(_, r)| r.get(1).unwrap().clone())
             .expect("screenings exist");
         let out = db
-            .call("list_screenings", &[("movie_id".into(), movie_with_screening)])
+            .call(
+                "list_screenings",
+                &[("movie_id".into(), movie_with_screening)],
+            )
             .unwrap();
         assert!(!out.rows.is_empty());
-        assert_eq!(out.columns, vec!["screening_id", "date", "time", "theater", "price"]);
+        assert_eq!(
+            out.columns,
+            vec!["screening_id", "date", "time", "theater", "price"]
+        );
     }
 
     #[test]
@@ -542,6 +585,9 @@ mod tests {
         for (_, r) in db.table("customer").unwrap().scan() {
             *names.entry(r.get(1).unwrap().render()).or_insert(0usize) += 1;
         }
-        assert!(names.values().any(|&c| c > 1), "expected duplicate names at n=1000");
+        assert!(
+            names.values().any(|&c| c > 1),
+            "expected duplicate names at n=1000"
+        );
     }
 }

@@ -77,14 +77,26 @@ pub struct FlightConfig {
 
 impl Default for FlightConfig {
     fn default() -> Self {
-        FlightConfig { airlines: 12, airports: 30, flights: 500, passengers: 200, seed: 42 }
+        FlightConfig {
+            airlines: 12,
+            airports: 30,
+            flights: 500,
+            passengers: 200,
+            seed: 42,
+        }
     }
 }
 
 impl FlightConfig {
     /// Small configuration for fast tests.
     pub fn small(seed: u64) -> FlightConfig {
-        FlightConfig { airlines: 5, airports: 10, flights: 60, passengers: 30, seed }
+        FlightConfig {
+            airlines: 5,
+            airports: 10,
+            flights: 60,
+            passengers: 30,
+            seed,
+        }
     }
 }
 
@@ -209,7 +221,10 @@ pub fn generate_flights(config: &FlightConfig) -> cat_txdb::Result<Database> {
     for (i, name) in names::AIRLINES.iter().take(n_airlines).enumerate() {
         db.insert(
             "airline",
-            Row::new(vec![Value::Int(i as i64 + 1), Value::Text(name.to_string())]),
+            Row::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::Text(name.to_string()),
+            ]),
         )?;
     }
 
@@ -237,7 +252,11 @@ pub fn generate_flights(config: &FlightConfig) -> cat_txdb::Result<Database> {
         let day = *names::DAY_NAMES.choose(&mut rng).expect("non-empty");
         let period = *names::PERIODS.choose(&mut rng).expect("non-empty");
         let price = rng.random_range(59..=899) as f64;
-        let stops = if rng.random_bool(0.7) { 0 } else { rng.random_range(1..=2i64) };
+        let stops = if rng.random_bool(0.7) {
+            0
+        } else {
+            rng.random_range(1..=2i64)
+        };
         db.insert(
             "flight",
             Row::new(vec![
@@ -321,7 +340,11 @@ mod tests {
         let a = generate_flights(&FlightConfig::small(9)).unwrap();
         let b = generate_flights(&FlightConfig::small(9)).unwrap();
         let prices = |db: &Database| -> Vec<String> {
-            db.table("flight").unwrap().scan().map(|(_, r)| r.get(6).unwrap().render()).collect()
+            db.table("flight")
+                .unwrap()
+                .scan()
+                .map(|(_, r)| r.get(6).unwrap().render())
+                .collect()
         };
         assert_eq!(prices(&a), prices(&b));
     }

@@ -19,6 +19,10 @@ pub mod hotel;
 pub mod names;
 
 pub use atis::{generate_atis, train_test_split, AtisConfig, INTENT_WEIGHTS};
-pub use cinema::{cinema_procedures, cinema_schema, generate_cinema, CinemaConfig, CINEMA_ANNOTATIONS};
-pub use flightdb::{flight_procedures, flight_schema, generate_flights, FlightConfig, FLIGHT_ANNOTATIONS};
+pub use cinema::{
+    cinema_procedures, cinema_schema, generate_cinema, CinemaConfig, CINEMA_ANNOTATIONS,
+};
+pub use flightdb::{
+    flight_procedures, flight_schema, generate_flights, FlightConfig, FLIGHT_ANNOTATIONS,
+};
 pub use hotel::{generate_hotel, hotel_schema, HotelConfig, HOTEL_ANNOTATIONS};

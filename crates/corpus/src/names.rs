@@ -5,95 +5,290 @@
 /// Common first names.
 pub const FIRST_NAMES: &[&str] = &[
     "Ada", "Alan", "Alice", "Amir", "Anna", "Ben", "Bianca", "Carl", "Carla", "Chen", "Clara",
-    "Daniel", "Diana", "Elena", "Emil", "Erik", "Eva", "Felix", "Fiona", "Georg", "Grace",
-    "Hanna", "Hugo", "Ines", "Ivan", "Jana", "Jonas", "Julia", "Karim", "Karl", "Lara", "Lena",
-    "Leo", "Lina", "Luca", "Maja", "Marco", "Maria", "Marius", "Marta", "Max", "Mia", "Milan",
-    "Mina", "Nadia", "Nia", "Niko", "Nina", "Noah", "Omar", "Paul", "Petra", "Rosa", "Sam",
-    "Sara", "Sofia", "Tara", "Theo", "Tim", "Tom", "Vera", "Viktor", "Yara", "Zoe",
+    "Daniel", "Diana", "Elena", "Emil", "Erik", "Eva", "Felix", "Fiona", "Georg", "Grace", "Hanna",
+    "Hugo", "Ines", "Ivan", "Jana", "Jonas", "Julia", "Karim", "Karl", "Lara", "Lena", "Leo",
+    "Lina", "Luca", "Maja", "Marco", "Maria", "Marius", "Marta", "Max", "Mia", "Milan", "Mina",
+    "Nadia", "Nia", "Niko", "Nina", "Noah", "Omar", "Paul", "Petra", "Rosa", "Sam", "Sara",
+    "Sofia", "Tara", "Theo", "Tim", "Tom", "Vera", "Viktor", "Yara", "Zoe",
 ];
 
 /// Common last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Adler", "Baker", "Bauer", "Becker", "Berg", "Binnig", "Braun", "Busch", "Carter", "Diaz",
-    "Ebert", "Fischer", "Fraser", "Frank", "Fuchs", "Garcia", "Geisler", "Graf", "Gruber",
-    "Haas", "Hahn", "Hartmann", "Hoffmann", "Horn", "Huber", "Jung", "Kaiser", "Keller",
-    "Klein", "Koch", "Kraus", "Krueger", "Lang", "Lehmann", "Lorenz", "Ludwig", "Maier",
-    "Martin", "Mayer", "Meier", "Mueller", "Neumann", "Otto", "Peters", "Pohl", "Richter",
-    "Roth", "Sauer", "Schmidt", "Schneider", "Scholz", "Schubert", "Schulz", "Schwarz",
-    "Seidel", "Simon", "Sommer", "Stein", "Vogel", "Wagner", "Weber", "Winkler", "Wolf",
+    "Adler",
+    "Baker",
+    "Bauer",
+    "Becker",
+    "Berg",
+    "Binnig",
+    "Braun",
+    "Busch",
+    "Carter",
+    "Diaz",
+    "Ebert",
+    "Fischer",
+    "Fraser",
+    "Frank",
+    "Fuchs",
+    "Garcia",
+    "Geisler",
+    "Graf",
+    "Gruber",
+    "Haas",
+    "Hahn",
+    "Hartmann",
+    "Hoffmann",
+    "Horn",
+    "Huber",
+    "Jung",
+    "Kaiser",
+    "Keller",
+    "Klein",
+    "Koch",
+    "Kraus",
+    "Krueger",
+    "Lang",
+    "Lehmann",
+    "Lorenz",
+    "Ludwig",
+    "Maier",
+    "Martin",
+    "Mayer",
+    "Meier",
+    "Mueller",
+    "Neumann",
+    "Otto",
+    "Peters",
+    "Pohl",
+    "Richter",
+    "Roth",
+    "Sauer",
+    "Schmidt",
+    "Schneider",
+    "Scholz",
+    "Schubert",
+    "Schulz",
+    "Schwarz",
+    "Seidel",
+    "Simon",
+    "Sommer",
+    "Stein",
+    "Vogel",
+    "Wagner",
+    "Weber",
+    "Winkler",
+    "Wolf",
     "Ziegler",
 ];
 
 /// City names (double as customer cities and flight destinations).
 pub const CITIES: &[&str] = &[
-    "Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt", "Stuttgart", "Darmstadt",
-    "Leipzig", "Dresden", "Hanover", "Bremen", "Nuremberg", "Vienna", "Zurich", "Basel",
-    "Amsterdam", "Brussels", "Paris", "Lyon", "Milan", "Rome", "Madrid", "Barcelona",
-    "Lisbon", "London", "Dublin", "Oslo", "Stockholm", "Copenhagen", "Helsinki", "Warsaw",
-    "Prague", "Budapest", "Athens", "Boston", "Denver", "Atlanta", "Dallas", "Seattle",
+    "Berlin",
+    "Hamburg",
+    "Munich",
+    "Cologne",
+    "Frankfurt",
+    "Stuttgart",
+    "Darmstadt",
+    "Leipzig",
+    "Dresden",
+    "Hanover",
+    "Bremen",
+    "Nuremberg",
+    "Vienna",
+    "Zurich",
+    "Basel",
+    "Amsterdam",
+    "Brussels",
+    "Paris",
+    "Lyon",
+    "Milan",
+    "Rome",
+    "Madrid",
+    "Barcelona",
+    "Lisbon",
+    "London",
+    "Dublin",
+    "Oslo",
+    "Stockholm",
+    "Copenhagen",
+    "Helsinki",
+    "Warsaw",
+    "Prague",
+    "Budapest",
+    "Athens",
+    "Boston",
+    "Denver",
+    "Atlanta",
+    "Dallas",
+    "Seattle",
     "Pittsburgh",
 ];
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Action", "Thriller", "Horror", "Romance", "Sci-Fi", "Documentary",
-    "Animation", "Crime", "Fantasy", "Western",
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Horror",
+    "Romance",
+    "Sci-Fi",
+    "Documentary",
+    "Animation",
+    "Crime",
+    "Fantasy",
+    "Western",
 ];
 
 /// A bank of movie titles (classics; public facts).
 pub const MOVIE_TITLES: &[&str] = &[
-    "Forrest Gump", "Heat", "Alien", "The Godfather", "Casablanca", "Jaws", "Rocky",
-    "Vertigo", "Psycho", "Chinatown", "Goodfellas", "Amadeus", "Gladiator", "Titanic",
-    "Inception", "Interstellar", "Arrival", "Memento", "Seven", "Fargo", "The Matrix",
-    "Blade Runner", "Metropolis", "Nosferatu", "The Third Man", "Rear Window", "Notorious",
-    "Stalker", "Solaris", "Ran", "Rashomon", "Ikiru", "Yojimbo", "Persona", "Playtime",
-    "Amelie", "The Lives of Others", "Run Lola Run", "Downfall", "Good Bye Lenin",
-    "The White Ribbon", "Wings of Desire", "M", "The Blue Angel", "Das Boot", "Paths of Glory",
-    "Spartacus", "The Apartment", "Some Like It Hot", "Sunset Boulevard", "Double Indemnity",
-    "The Big Sleep", "Key Largo", "To Have and Have Not", "The Maltese Falcon", "Laura",
-    "Gilda", "Out of the Past", "Touch of Evil", "The Killing", "Rififi", "Le Samourai",
-    "Breathless", "Jules and Jim", "Cleo from 5 to 7", "La Haine", "Amour", "Cache",
-    "The Piano Teacher", "Toni Erdmann", "Victoria", "Phoenix", "Transit", "Undine",
-    "The Seventh Seal", "Wild Strawberries", "Fanny and Alexander", "Autumn Sonata",
-    "Winter Light", "The Silence", "Shame", "Hour of the Wolf",
+    "Forrest Gump",
+    "Heat",
+    "Alien",
+    "The Godfather",
+    "Casablanca",
+    "Jaws",
+    "Rocky",
+    "Vertigo",
+    "Psycho",
+    "Chinatown",
+    "Goodfellas",
+    "Amadeus",
+    "Gladiator",
+    "Titanic",
+    "Inception",
+    "Interstellar",
+    "Arrival",
+    "Memento",
+    "Seven",
+    "Fargo",
+    "The Matrix",
+    "Blade Runner",
+    "Metropolis",
+    "Nosferatu",
+    "The Third Man",
+    "Rear Window",
+    "Notorious",
+    "Stalker",
+    "Solaris",
+    "Ran",
+    "Rashomon",
+    "Ikiru",
+    "Yojimbo",
+    "Persona",
+    "Playtime",
+    "Amelie",
+    "The Lives of Others",
+    "Run Lola Run",
+    "Downfall",
+    "Good Bye Lenin",
+    "The White Ribbon",
+    "Wings of Desire",
+    "M",
+    "The Blue Angel",
+    "Das Boot",
+    "Paths of Glory",
+    "Spartacus",
+    "The Apartment",
+    "Some Like It Hot",
+    "Sunset Boulevard",
+    "Double Indemnity",
+    "The Big Sleep",
+    "Key Largo",
+    "To Have and Have Not",
+    "The Maltese Falcon",
+    "Laura",
+    "Gilda",
+    "Out of the Past",
+    "Touch of Evil",
+    "The Killing",
+    "Rififi",
+    "Le Samourai",
+    "Breathless",
+    "Jules and Jim",
+    "Cleo from 5 to 7",
+    "La Haine",
+    "Amour",
+    "Cache",
+    "The Piano Teacher",
+    "Toni Erdmann",
+    "Victoria",
+    "Phoenix",
+    "Transit",
+    "Undine",
+    "The Seventh Seal",
+    "Wild Strawberries",
+    "Fanny and Alexander",
+    "Autumn Sonata",
+    "Winter Light",
+    "The Silence",
+    "Shame",
+    "Hour of the Wolf",
 ];
 
 /// Adjectives for synthesizing extra movie titles at scale.
 pub const TITLE_ADJECTIVES: &[&str] = &[
-    "Silent", "Crimson", "Endless", "Broken", "Golden", "Hidden", "Lost", "Burning",
-    "Frozen", "Electric", "Midnight", "Scarlet", "Hollow", "Distant", "Savage", "Quiet",
+    "Silent", "Crimson", "Endless", "Broken", "Golden", "Hidden", "Lost", "Burning", "Frozen",
+    "Electric", "Midnight", "Scarlet", "Hollow", "Distant", "Savage", "Quiet",
 ];
 
 /// Nouns for synthesizing extra movie titles at scale.
 pub const TITLE_NOUNS: &[&str] = &[
-    "River", "Empire", "Garden", "Horizon", "Station", "Harbor", "Mirror", "Shadow",
-    "Voyage", "Signal", "Archive", "Meridian", "Lantern", "Orchard", "Summit", "Canyon",
+    "River", "Empire", "Garden", "Horizon", "Station", "Harbor", "Mirror", "Shadow", "Voyage",
+    "Signal", "Archive", "Meridian", "Lantern", "Orchard", "Summit", "Canyon",
 ];
 
 /// Cinema theater room names.
-pub const THEATERS: &[&str] =
-    &["Saal 1", "Saal 2", "Saal 3", "Lounge", "IMAX", "Studio", "Open Air"];
+pub const THEATERS: &[&str] = &[
+    "Saal 1", "Saal 2", "Saal 3", "Lounge", "IMAX", "Studio", "Open Air",
+];
 
 /// Screening start times.
 pub const SHOW_TIMES: &[&str] = &["14:00", "16:30", "18:00", "19:30", "20:15", "22:00"];
 
 /// Airline names for the flight domain.
 pub const AIRLINES: &[&str] = &[
-    "Lufthansa", "Condor", "Eurowings", "Swiss", "Austrian", "KLM", "Air France",
-    "British Airways", "Iberia", "SAS", "Finnair", "LOT", "TAP", "Delta", "United",
+    "Lufthansa",
+    "Condor",
+    "Eurowings",
+    "Swiss",
+    "Austrian",
+    "KLM",
+    "Air France",
+    "British Airways",
+    "Iberia",
+    "SAS",
+    "Finnair",
+    "LOT",
+    "TAP",
+    "Delta",
+    "United",
     "American Airlines",
 ];
 
 /// Days of the week (ATIS-style slot values).
-pub const DAY_NAMES: &[&str] =
-    &["monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday"];
+pub const DAY_NAMES: &[&str] = &[
+    "monday",
+    "tuesday",
+    "wednesday",
+    "thursday",
+    "friday",
+    "saturday",
+    "sunday",
+];
 
 /// Periods of day (ATIS-style slot values).
 pub const PERIODS: &[&str] = &["morning", "afternoon", "evening", "night"];
 
 /// Aircraft types (ATIS `aircraft` intent).
-pub const AIRCRAFT: &[&str] =
-    &["boeing 737", "boeing 747", "boeing 767", "airbus a320", "airbus a340", "embraer 190"];
+pub const AIRCRAFT: &[&str] = &[
+    "boeing 737",
+    "boeing 747",
+    "boeing 767",
+    "airbus a320",
+    "airbus a340",
+    "embraer 190",
+];
 
 /// Email domains for customer generation.
 pub const EMAIL_DOMAINS: &[&str] = &["example.org", "mail.test", "post.example", "inbox.test"];

@@ -1,25 +1,42 @@
 //! JSON export/import of synthesized training data.
 //!
 //! The paper's pipeline hands RASA-format training files to the model
-//! trainer; this module is the equivalent serialization boundary (and the
-//! reason the workspace carries `serde`/`serde_json` — see DESIGN.md).
-
-use serde::{Deserialize, Serialize};
+//! trainer; this module is the equivalent serialization boundary. The
+//! (de)serializer is hand-rolled over a tiny JSON value model so the
+//! workspace stays free of external dependencies in the offline build —
+//! the wire format matches what `serde_json` would produce for these
+//! shapes, so files remain compatible if serde is reintroduced.
 
 use cat_dm::{DialogueFlow, FlowTurn, Speaker};
 use cat_nlu::{NluExample, SlotAnnotation};
 
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serialization / parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+type JsonResult<T> = std::result::Result<T, JsonError>;
+
 /// Serializable mirror of one NLU example.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NluExampleDto {
     pub text: String,
     pub intent: String,
-    #[serde(default)]
     pub slots: Vec<SlotDto>,
 }
 
 /// Serializable mirror of a slot annotation.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlotDto {
     pub slot: String,
     pub start: usize,
@@ -28,20 +45,20 @@ pub struct SlotDto {
 }
 
 /// Serializable mirror of one dialogue flow.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowDto {
     pub turns: Vec<TurnDto>,
 }
 
 /// Serializable mirror of one flow turn.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TurnDto {
     pub speaker: String,
     pub label: String,
 }
 
 /// A complete training-data bundle.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrainingBundle {
     pub nlu: Vec<NluExampleDto>,
     pub flows: Vec<FlowDto>,
@@ -91,7 +108,10 @@ impl From<&DialogueFlow> for FlowDto {
             turns: f
                 .turns
                 .iter()
-                .map(|t| TurnDto { speaker: t.speaker.to_string(), label: t.label.clone() })
+                .map(|t| TurnDto {
+                    speaker: t.speaker.to_string(),
+                    label: t.label.clone(),
+                })
                 .collect(),
         }
     }
@@ -104,7 +124,11 @@ impl From<&FlowDto> for DialogueFlow {
                 .turns
                 .iter()
                 .map(|t| FlowTurn {
-                    speaker: if t.speaker == "agent" { Speaker::Agent } else { Speaker::User },
+                    speaker: if t.speaker == "agent" {
+                        Speaker::Agent
+                    } else {
+                        Speaker::User
+                    },
                     label: t.label.clone(),
                 })
                 .collect(),
@@ -128,14 +152,384 @@ pub fn from_bundle(bundle: &TrainingBundle) -> (Vec<NluExample>, Vec<DialogueFlo
     )
 }
 
+// ----- minimal JSON value model -----
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_str(&self) -> JsonResult<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    fn as_usize(&self) -> JsonResult<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            other => Err(JsonError(format!(
+                "expected non-negative integer, got {other:?}"
+            ))),
+        }
+    }
+
+    fn as_arr(&self) -> JsonResult<&[Json]> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            other => Err(JsonError(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    fn field<'a>(&'a self, key: &str) -> JsonResult<&'a Json> {
+        match self {
+            Json::Obj(m) => m
+                .get(key)
+                .ok_or_else(|| JsonError(format!("missing field `{key}`"))),
+            other => Err(JsonError(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    /// Optional field lookup (for defaulted fields like `slots`).
+    fn field_opt<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: &str) -> JsonResult<T> {
+        Err(JsonError(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> JsonResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> JsonResult<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Json) -> JsonResult<Json> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected `{lit}`"))
+        }
+    }
+
+    fn parse_number(&mut self) -> JsonResult<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+        }) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError("invalid utf8 in number".into()))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError(format!("bad number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> JsonResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("bad escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| JsonError("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at pos-1.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    if start + len > self.bytes.len() {
+                        return self.err("truncated utf8");
+                    }
+                    self.pos = start + len;
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| JsonError("invalid utf8".into()))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> JsonResult<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> JsonResult<Json> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ----- bundle <-> JSON -----
+
 /// Serialize a bundle to pretty JSON.
-pub fn to_json(bundle: &TrainingBundle) -> serde_json::Result<String> {
-    serde_json::to_string_pretty(bundle)
+pub fn to_json(bundle: &TrainingBundle) -> JsonResult<String> {
+    let mut out = String::with_capacity(256 + bundle.nlu.len() * 96);
+    out.push_str("{\n  \"nlu\": [");
+    for (i, e) in bundle.nlu.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"text\": ");
+        escape_into(&e.text, &mut out);
+        out.push_str(", \"intent\": ");
+        escape_into(&e.intent, &mut out);
+        out.push_str(", \"slots\": [");
+        for (j, s) in e.slots.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"slot\": ");
+            escape_into(&s.slot, &mut out);
+            out.push_str(&format!(
+                ", \"start\": {}, \"end\": {}, \"value\": ",
+                s.start, s.end
+            ));
+            escape_into(&s.value, &mut out);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if bundle.nlu.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"flows\": [");
+    for (i, f) in bundle.flows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"turns\": [");
+        for (j, t) in f.turns.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"speaker\": ");
+            escape_into(&t.speaker, &mut out);
+            out.push_str(", \"label\": ");
+            escape_into(&t.label, &mut out);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if bundle.flows.is_empty() {
+        "]\n}"
+    } else {
+        "\n  ]\n}"
+    });
+    Ok(out)
 }
 
 /// Parse a bundle from JSON.
-pub fn from_json(json: &str) -> serde_json::Result<TrainingBundle> {
-    serde_json::from_str(json)
+pub fn from_json(json: &str) -> JsonResult<TrainingBundle> {
+    let mut p = Parser::new(json);
+    let root = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data after JSON document");
+    }
+    let mut bundle = TrainingBundle::default();
+    if let Some(nlu) = root.field_opt("nlu") {
+        for e in nlu.as_arr()? {
+            let slots = match e.field_opt("slots") {
+                Some(arr) => arr
+                    .as_arr()?
+                    .iter()
+                    .map(|s| {
+                        Ok(SlotDto {
+                            slot: s.field("slot")?.as_str()?.to_string(),
+                            start: s.field("start")?.as_usize()?,
+                            end: s.field("end")?.as_usize()?,
+                            value: s.field("value")?.as_str()?.to_string(),
+                        })
+                    })
+                    .collect::<JsonResult<Vec<_>>>()?,
+                None => Vec::new(),
+            };
+            bundle.nlu.push(NluExampleDto {
+                text: e.field("text")?.as_str()?.to_string(),
+                intent: e.field("intent")?.as_str()?.to_string(),
+                slots,
+            });
+        }
+    }
+    if let Some(flows) = root.field_opt("flows") {
+        for f in flows.as_arr()? {
+            let turns = f
+                .field("turns")?
+                .as_arr()?
+                .iter()
+                .map(|t| {
+                    Ok(TurnDto {
+                        speaker: t.field("speaker")?.as_str()?.to_string(),
+                        label: t.field("label")?.as_str()?.to_string(),
+                    })
+                })
+                .collect::<JsonResult<Vec<_>>>()?;
+            bundle.flows.push(FlowDto { turns });
+        }
+    }
+    Ok(bundle)
 }
 
 #[cfg(test)]
@@ -194,5 +588,27 @@ mod tests {
     #[test]
     fn malformed_json_is_error() {
         assert!(from_json("{not json").is_err());
+        assert!(from_json("").is_err());
+        assert!(from_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let mut bundle = TrainingBundle::default();
+        bundle.nlu.push(NluExampleDto {
+            text: "quote \" backslash \\ newline \n tab \t unicode ümlaut 日本".into(),
+            intent: "inform".into(),
+            slots: Vec::new(),
+        });
+        let json = to_json(&bundle).unwrap();
+        assert_eq!(from_json(&json).unwrap(), bundle);
+    }
+
+    #[test]
+    fn missing_slots_field_defaults_to_empty() {
+        let json = r#"{"nlu": [{"text": "hi", "intent": "greet"}], "flows": []}"#;
+        let bundle = from_json(json).unwrap();
+        assert_eq!(bundle.nlu.len(), 1);
+        assert!(bundle.nlu[0].slots.is_empty());
     }
 }

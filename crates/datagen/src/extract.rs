@@ -112,7 +112,8 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.insert("customer", Row::new(vec![Value::Int(1), "Ada".into()])).unwrap();
+        db.insert("customer", Row::new(vec![Value::Int(1), "Ada".into()]))
+            .unwrap();
         db.register_procedure(
             Procedure::builder("ticket_reservation")
                 .describe("Reserve tickets")
@@ -135,7 +136,12 @@ mod tests {
         .unwrap();
         db.register_procedure(
             Procedure::builder("lookup_customer")
-                .param(ParamDef::entity("customer_id", DataType::Int, "customer", "customer_id"))
+                .param(ParamDef::entity(
+                    "customer_id",
+                    DataType::Int,
+                    "customer",
+                    "customer_id",
+                ))
                 .op(ProcOp::Select {
                     table: "customer".into(),
                     filter: vec![("customer_id".into(), ParamExpr::param("customer_id"))],
@@ -152,7 +158,10 @@ mod tests {
     fn extracts_all_procedures() {
         let tasks = extract_tasks(&db());
         assert_eq!(tasks.len(), 2);
-        let reserve = tasks.iter().find(|t| t.name == "ticket_reservation").unwrap();
+        let reserve = tasks
+            .iter()
+            .find(|t| t.name == "ticket_reservation")
+            .unwrap();
         assert_eq!(reserve.description, "Reserve tickets");
         assert_eq!(reserve.params.len(), 2);
         assert!(reserve.is_write);
@@ -162,7 +171,10 @@ mod tests {
     #[test]
     fn entity_bindings_flow_through() {
         let tasks = extract_tasks(&db());
-        let reserve = tasks.iter().find(|t| t.name == "ticket_reservation").unwrap();
+        let reserve = tasks
+            .iter()
+            .find(|t| t.name == "ticket_reservation")
+            .unwrap();
         let cust = reserve.param("customer_id").unwrap();
         assert!(cust.needs_identification());
         assert_eq!(cust.entity, Some(("customer".into(), "customer_id".into())));

@@ -45,13 +45,19 @@ impl TemplateSet {
 
     /// Add a request template for a task.
     pub fn add_request(&mut self, task: &str, template: &str) -> &mut Self {
-        self.request.entry(task.to_string()).or_default().push(template.to_string());
+        self.request
+            .entry(task.to_string())
+            .or_default()
+            .push(template.to_string());
         self
     }
 
     /// Add an inform template for a slot.
     pub fn add_inform(&mut self, slot: &str, template: &str) -> &mut Self {
-        self.inform.entry(slot.to_string()).or_default().push(template.to_string());
+        self.inform
+            .entry(slot.to_string())
+            .or_default()
+            .push(template.to_string());
         self
     }
 
@@ -100,34 +106,97 @@ impl Default for DataGenConfig {
 /// (these ship with CAT; the developer does not write them).
 pub fn builtin_general_examples() -> Vec<NluExample> {
     let bank: &[(&str, &[&str])] = &[
-        ("affirm", &[
-            "yes", "yes please", "yeah", "yep", "sure", "that is right", "correct",
-            "exactly", "sounds good", "ok do it", "go ahead", "confirm",
-        ]),
-        ("deny", &[
-            "no", "nope", "no thanks", "that is wrong", "not that one", "incorrect",
-            "no that is not right", "negative",
-        ]),
-        ("abort", &[
-            "cancel that", "abort", "stop", "forget it", "never mind", "quit",
-            "stop the task", "i changed my mind, stop", "leave it",
-        ]),
-        ("greet", &[
-            "hello", "hi", "hey", "good morning", "good evening", "hi there",
-        ]),
-        ("bye", &[
-            "bye", "goodbye", "see you", "that is all", "thanks bye", "have a nice day",
-        ]),
-        ("thank", &["thanks", "thank you", "thanks a lot", "cheers", "great, thanks"]),
-        ("cannot_answer", &[
-            "i do not know", "no idea", "i don't know that", "i can't remember",
-            "i do not have that", "not sure", "i don't recall",
-        ]),
+        (
+            "affirm",
+            &[
+                "yes",
+                "yes please",
+                "yeah",
+                "yep",
+                "sure",
+                "that is right",
+                "correct",
+                "exactly",
+                "sounds good",
+                "ok do it",
+                "go ahead",
+                "confirm",
+            ],
+        ),
+        (
+            "deny",
+            &[
+                "no",
+                "nope",
+                "no thanks",
+                "that is wrong",
+                "not that one",
+                "incorrect",
+                "no that is not right",
+                "negative",
+            ],
+        ),
+        (
+            "abort",
+            &[
+                "cancel that",
+                "abort",
+                "stop",
+                "forget it",
+                "never mind",
+                "quit",
+                "stop the task",
+                "i changed my mind, stop",
+                "leave it",
+            ],
+        ),
+        (
+            "greet",
+            &[
+                "hello",
+                "hi",
+                "hey",
+                "good morning",
+                "good evening",
+                "hi there",
+            ],
+        ),
+        (
+            "bye",
+            &[
+                "bye",
+                "goodbye",
+                "see you",
+                "that is all",
+                "thanks bye",
+                "have a nice day",
+            ],
+        ),
+        (
+            "thank",
+            &[
+                "thanks",
+                "thank you",
+                "thanks a lot",
+                "cheers",
+                "great, thanks",
+            ],
+        ),
+        (
+            "cannot_answer",
+            &[
+                "i do not know",
+                "no idea",
+                "i don't know that",
+                "i can't remember",
+                "i do not have that",
+                "not sure",
+                "i don't recall",
+            ],
+        ),
     ];
     bank.iter()
-        .flat_map(|(intent, texts)| {
-            texts.iter().map(move |t| NluExample::plain(*t, *intent))
-        })
+        .flat_map(|(intent, texts)| texts.iter().map(move |t| NluExample::plain(*t, *intent)))
         .collect()
 }
 
@@ -164,11 +233,10 @@ pub fn generate_nlu_data(
     let noise = NoiseModel::new(config.noise_rate);
     let mut out = Vec::new();
 
-    let emit = |intent: &str,
-                    template_src: &str,
-                    out: &mut Vec<NluExample>,
-                    rng: &mut StdRng| {
-        let Ok(template) = Template::parse(template_src) else { return };
+    let emit = |intent: &str, template_src: &str, out: &mut Vec<NluExample>, rng: &mut StdRng| {
+        let Ok(template) = Template::parse(template_src) else {
+            return;
+        };
         let variants = if config.paraphrase {
             paraphraser.expand(&template)
         } else {
@@ -180,7 +248,11 @@ pub fn generate_nlu_data(
                 let mut bindings: Vec<(String, String)> = Vec::new();
                 let mut ok = true;
                 for ph in variant.placeholders() {
-                    match templates.sources.get(ph).and_then(|s| sample_value(db, s, rng)) {
+                    match templates
+                        .sources
+                        .get(ph)
+                        .and_then(|s| sample_value(db, s, rng))
+                    {
                         Some(v) => bindings.push((ph.to_string(), v)),
                         None => {
                             ok = false;
@@ -191,9 +263,13 @@ pub fn generate_nlu_data(
                 if !ok {
                     continue;
                 }
-                let refs: Vec<(&str, &str)> =
-                    bindings.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
-                let Ok((text, slots)) = variant.render(&refs) else { continue };
+                let refs: Vec<(&str, &str)> = bindings
+                    .iter()
+                    .map(|(n, v)| (n.as_str(), v.as_str()))
+                    .collect();
+                let Ok((text, slots)) = variant.render(&refs) else {
+                    continue;
+                };
                 let to_example = |text: &str, slots: &[cat_nlg::RenderedSlot]| NluExample {
                     text: text.to_string(),
                     intent: intent.to_string(),
@@ -281,21 +357,31 @@ mod tests {
         )
         .unwrap();
         for (i, t) in ["Forrest Gump", "Heat", "Alien"].iter().enumerate() {
-            db.insert("movie", Row::new(vec![Value::Int(i as i64 + 1), (*t).into()])).unwrap();
+            db.insert(
+                "movie",
+                Row::new(vec![Value::Int(i as i64 + 1), (*t).into()]),
+            )
+            .unwrap();
         }
         db
     }
 
     fn template_set() -> TemplateSet {
         let mut ts = TemplateSet::new();
-        ts.add_request("ticket_reservation", "i want to buy {ticket_amount} tickets")
-            .add_inform("movie_title", "the movie title is {movie_title}")
-            .add_inform("movie_title", "i want to watch {movie_title}")
-            .add_source(
-                "movie_title",
-                ValueSource::Column { table: "movie".into(), column: "title".into() },
-            )
-            .add_source("ticket_amount", ValueSource::Range { lo: 1, hi: 8 });
+        ts.add_request(
+            "ticket_reservation",
+            "i want to buy {ticket_amount} tickets",
+        )
+        .add_inform("movie_title", "the movie title is {movie_title}")
+        .add_inform("movie_title", "i want to watch {movie_title}")
+        .add_source(
+            "movie_title",
+            ValueSource::Column {
+                table: "movie".into(),
+                column: "title".into(),
+            },
+        )
+        .add_source("ticket_amount", ValueSource::Range { lo: 1, hi: 8 });
         ts
     }
 
@@ -311,11 +397,14 @@ mod tests {
     #[test]
     fn generates_annotated_examples_from_db_values() {
         let db = movie_db();
-        let cfg = DataGenConfig { per_template: 4, noise_fraction: 0.0, ..Default::default() };
+        let cfg = DataGenConfig {
+            per_template: 4,
+            noise_fraction: 0.0,
+            ..Default::default()
+        };
         let data = generate_nlu_data(&db, &[task()], &template_set(), &cfg);
         // Inform examples carry movie_title slots filled with real titles.
-        let informs: Vec<&NluExample> =
-            data.iter().filter(|e| e.intent == "inform").collect();
+        let informs: Vec<&NluExample> = data.iter().filter(|e| e.intent == "inform").collect();
         assert!(!informs.is_empty());
         for ex in &informs {
             assert_eq!(ex.slots.len(), 1);
@@ -329,7 +418,9 @@ mod tests {
             );
         }
         // Request examples exist with the right intent.
-        assert!(data.iter().any(|e| e.intent == "request_ticket_reservation"));
+        assert!(data
+            .iter()
+            .any(|e| e.intent == "request_ticket_reservation"));
         // Built-in general intents included.
         assert!(data.iter().any(|e| e.intent == "affirm"));
         assert!(data.iter().any(|e| e.intent == "cannot_answer"));
@@ -344,14 +435,22 @@ mod tests {
             noise_fraction: 0.0,
             ..Default::default()
         };
-        let with = DataGenConfig { paraphrase: true, ..base.clone() };
+        let with = DataGenConfig {
+            paraphrase: true,
+            ..base.clone()
+        };
         let plain = generate_nlu_data(&db, &[task()], &template_set(), &base);
         let expanded = generate_nlu_data(&db, &[task()], &template_set(), &with);
         assert!(expanded.len() > plain.len());
         // Paraphrased examples keep valid spans.
         for ex in &expanded {
             for s in &ex.slots {
-                assert_eq!(&ex.text[s.start..s.end], s.value, "bad span in `{}`", ex.text);
+                assert_eq!(
+                    &ex.text[s.start..s.end],
+                    s.value,
+                    "bad span in `{}`",
+                    ex.text
+                );
             }
         }
     }
@@ -397,7 +496,10 @@ mod tests {
         let db = movie_db();
         let mut ts = template_set();
         ts.add_request("ticket_reservation", "book me {unsourced_slot} now");
-        let cfg = DataGenConfig { noise_fraction: 0.0, ..Default::default() };
+        let cfg = DataGenConfig {
+            noise_fraction: 0.0,
+            ..Default::default()
+        };
         let data = generate_nlu_data(&db, &[task()], &ts, &cfg);
         assert!(data.iter().all(|e| !e.text.contains("unsourced_slot")));
     }

@@ -73,7 +73,9 @@ fn simulate_one(task: &TaskSpec, cfg: &SelfPlayConfig, rng: &mut StdRng) -> Dial
             slots: task.params.iter().take(1).map(|p| p.name.clone()).collect(),
         });
     }
-    flow.push_user(&UserAct::RequestTask { task: task.name.clone() });
+    flow.push_user(&UserAct::RequestTask {
+        task: task.name.clone(),
+    });
 
     let mut aborted = false;
     'collect: for param in &task.params {
@@ -85,7 +87,9 @@ fn simulate_one(task: &TaskSpec, cfg: &SelfPlayConfig, rng: &mut StdRng) -> Dial
             break 'collect;
         }
         if param.needs_identification() {
-            flow.push_agent(&AgentAct::IdentifyEntity { param: param.name.clone() });
+            flow.push_agent(&AgentAct::IdentifyEntity {
+                param: param.name.clone(),
+            });
             // A short identification exchange; the concrete attribute
             // choices happen at runtime, so self-play only samples how
             // many rounds it takes and whether the user can answer.
@@ -98,27 +102,41 @@ fn simulate_one(task: &TaskSpec, cfg: &SelfPlayConfig, rng: &mut StdRng) -> Dial
                 }
             }
             if rng.random_bool(0.35) {
-                flow.push_agent(&AgentAct::OfferOptions { param: param.name.clone() });
+                flow.push_agent(&AgentAct::OfferOptions {
+                    param: param.name.clone(),
+                });
                 flow.push_user(&UserAct::AnswerIdentify);
             }
         } else {
-            flow.push_agent(&AgentAct::AskSlot { slot: param.name.clone() });
-            flow.push_user(&UserAct::Inform { slots: vec![param.name.clone()] });
+            flow.push_agent(&AgentAct::AskSlot {
+                slot: param.name.clone(),
+            });
+            flow.push_user(&UserAct::Inform {
+                slots: vec![param.name.clone()],
+            });
         }
     }
 
     if !aborted {
         if task.is_write {
-            flow.push_agent(&AgentAct::ConfirmTask { task: task.name.clone() });
+            flow.push_agent(&AgentAct::ConfirmTask {
+                task: task.name.clone(),
+            });
             if rng.random_bool(cfg.p_deny_confirm) && !task.params.is_empty() {
                 flow.push_user(&UserAct::Deny);
                 let p = task.params.choose(rng).expect("non-empty");
-                flow.push_user(&UserAct::ChangeMind { slot: p.name.clone() });
-                flow.push_agent(&AgentAct::ConfirmTask { task: task.name.clone() });
+                flow.push_user(&UserAct::ChangeMind {
+                    slot: p.name.clone(),
+                });
+                flow.push_agent(&AgentAct::ConfirmTask {
+                    task: task.name.clone(),
+                });
             }
             flow.push_user(&UserAct::Affirm);
         }
-        flow.push_agent(&AgentAct::Execute { task: task.name.clone() });
+        flow.push_agent(&AgentAct::Execute {
+            task: task.name.clone(),
+        });
         flow.push_agent(&AgentAct::ReportSuccess);
     }
     if rng.random_bool(cfg.p_thank) {
@@ -173,7 +191,10 @@ mod tests {
 
     #[test]
     fn produces_requested_number_of_flows() {
-        let cfg = SelfPlayConfig { dialogues: 50, ..Default::default() };
+        let cfg = SelfPlayConfig {
+            dialogues: 50,
+            ..Default::default()
+        };
         let flows = simulate_flows(&tasks(), &cfg);
         assert_eq!(flows.len(), 50);
         assert!(flows.iter().all(|f| !f.is_empty()));
@@ -181,10 +202,16 @@ mod tests {
 
     #[test]
     fn flows_contain_expected_structures() {
-        let cfg = SelfPlayConfig { dialogues: 300, seed: 1, ..Default::default() };
+        let cfg = SelfPlayConfig {
+            dialogues: 300,
+            seed: 1,
+            ..Default::default()
+        };
         let flows = simulate_flows(&tasks(), &cfg);
-        let all_labels: Vec<String> =
-            flows.iter().flat_map(|f| f.labels().into_iter().map(String::from)).collect();
+        let all_labels: Vec<String> = flows
+            .iter()
+            .flat_map(|f| f.labels().into_iter().map(String::from))
+            .collect();
         // The behaviour mixture must exercise every major pattern.
         for needed in [
             "u:greet",
@@ -212,13 +239,21 @@ mod tests {
 
     #[test]
     fn every_execution_is_preceded_by_affirm_for_writes() {
-        let cfg = SelfPlayConfig { dialogues: 200, seed: 2, ..Default::default() };
+        let cfg = SelfPlayConfig {
+            dialogues: 200,
+            seed: 2,
+            ..Default::default()
+        };
         let flows = simulate_flows(&tasks()[..1], &cfg); // write task only
         for flow in &flows {
             let labels = flow.labels();
             for (i, l) in labels.iter().enumerate() {
                 if *l == "a:execute" {
-                    assert_eq!(labels[i - 1], "u:affirm", "unconfirmed execute in {labels:?}");
+                    assert_eq!(
+                        labels[i - 1],
+                        "u:affirm",
+                        "unconfirmed execute in {labels:?}"
+                    );
                 }
             }
         }
@@ -256,21 +291,38 @@ mod tests {
             let labels = flow.labels();
             if labels.contains(&"u:abort") {
                 aborted_count += 1;
-                assert!(!labels.contains(&"a:execute"), "aborted flow executed: {labels:?}");
+                assert!(
+                    !labels.contains(&"a:execute"),
+                    "aborted flow executed: {labels:?}"
+                );
             }
         }
-        assert!(aborted_count > 50, "abort rate 0.5 should produce many aborts");
+        assert!(
+            aborted_count > 50,
+            "abort rate 0.5 should produce many aborts"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SelfPlayConfig { dialogues: 30, seed: 9, ..Default::default() };
-        assert_eq!(simulate_flows(&tasks(), &cfg), simulate_flows(&tasks(), &cfg));
+        let cfg = SelfPlayConfig {
+            dialogues: 30,
+            seed: 9,
+            ..Default::default()
+        };
+        assert_eq!(
+            simulate_flows(&tasks(), &cfg),
+            simulate_flows(&tasks(), &cfg)
+        );
     }
 
     #[test]
     fn trains_a_useful_flow_model() {
-        let cfg = SelfPlayConfig { dialogues: 400, seed: 5, ..Default::default() };
+        let cfg = SelfPlayConfig {
+            dialogues: 400,
+            seed: 5,
+            ..Default::default()
+        };
         let flows = simulate_flows(&tasks(), &cfg);
         let (train, test) = flows.split_at(300);
         let model = cat_dm::FlowModel::train(train);

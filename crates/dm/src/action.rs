@@ -144,11 +144,17 @@ pub struct FlowTurn {
 
 impl FlowTurn {
     pub fn user(act: &UserAct) -> FlowTurn {
-        FlowTurn { speaker: Speaker::User, label: act.label().to_string() }
+        FlowTurn {
+            speaker: Speaker::User,
+            label: act.label().to_string(),
+        }
     }
 
     pub fn agent(act: &AgentAct) -> FlowTurn {
-        FlowTurn { speaker: Speaker::Agent, label: act.label().to_string() }
+        FlowTurn {
+            speaker: Speaker::Agent,
+            label: act.label().to_string(),
+        }
     }
 }
 
@@ -188,8 +194,12 @@ mod tests {
 
     #[test]
     fn labels_are_argument_free() {
-        let a = AgentAct::AskSlot { slot: "no_tickets".into() };
-        let b = AgentAct::AskSlot { slot: "date".into() };
+        let a = AgentAct::AskSlot {
+            slot: "no_tickets".into(),
+        };
+        let b = AgentAct::AskSlot {
+            slot: "date".into(),
+        };
         assert_eq!(a.label(), b.label());
         let u = UserAct::RequestTask { task: "x".into() };
         assert_eq!(u.label(), "u:request_task");
@@ -221,7 +231,9 @@ mod tests {
         let mut flow = DialogueFlow::default();
         flow.push_user(&UserAct::Greet);
         flow.push_agent(&AgentAct::Greet);
-        flow.push_user(&UserAct::RequestTask { task: "book".into() });
+        flow.push_user(&UserAct::RequestTask {
+            task: "book".into(),
+        });
         assert_eq!(flow.len(), 3);
         assert_eq!(flow.labels(), vec!["u:greet", "a:greet", "u:request_task"]);
         assert_eq!(flow.turns[0].speaker, Speaker::User);

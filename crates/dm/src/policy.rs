@@ -21,7 +21,10 @@ pub struct FlowModelConfig {
 
 impl Default for FlowModelConfig {
     fn default() -> Self {
-        FlowModelConfig { order: 2, alpha: 0.1 }
+        FlowModelConfig {
+            order: 2,
+            alpha: 0.1,
+        }
     }
 }
 
@@ -52,11 +55,19 @@ impl FlowModel {
                     continue;
                 }
                 let ctx = context_key(&flow.turns[..i], config.order);
-                *counts.entry(ctx).or_default().entry(turn.label.clone()).or_insert(0.0) += 1.0;
+                *counts
+                    .entry(ctx)
+                    .or_default()
+                    .entry(turn.label.clone())
+                    .or_insert(0.0) += 1.0;
                 *unigram.entry(turn.label.clone()).or_insert(0.0) += 1.0;
             }
         }
-        FlowModel { config, counts, unigram }
+        FlowModel {
+            config,
+            counts,
+            unigram,
+        }
     }
 
     /// Probability distribution over the next agent action given the
@@ -116,8 +127,7 @@ impl FlowModel {
                 if turn.speaker != Speaker::Agent {
                     continue;
                 }
-                let history: Vec<&str> =
-                    flow.turns[..i].iter().map(|t| t.label.as_str()).collect();
+                let history: Vec<&str> = flow.turns[..i].iter().map(|t| t.label.as_str()).collect();
                 let dist = self.next_action_distribution(&history);
                 total += 1;
                 if dist[0].0 == turn.label {
@@ -132,8 +142,16 @@ impl FlowModel {
             }
         }
         FlowEval {
-            accuracy: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
-            perplexity: if total == 0 { f64::NAN } else { (-log_prob / total as f64).exp() },
+            accuracy: if total == 0 {
+                0.0
+            } else {
+                correct as f64 / total as f64
+            },
+            perplexity: if total == 0 {
+                f64::NAN
+            } else {
+                (-log_prob / total as f64).exp()
+            },
             n_turns: total,
         }
     }
@@ -147,7 +165,11 @@ impl FlowModel {
 fn context_key(prefix: &[crate::action::FlowTurn], order: usize) -> String {
     let n = prefix.len();
     let k = order.min(n);
-    prefix[n - k..].iter().map(|t| t.label.as_str()).collect::<Vec<_>>().join("|")
+    prefix[n - k..]
+        .iter()
+        .map(|t| t.label.as_str())
+        .collect::<Vec<_>>()
+        .join("|")
 }
 
 /// Flow-model evaluation result.
@@ -167,12 +189,20 @@ mod tests {
         let mut f = DialogueFlow::default();
         f.push_user(&UserAct::Greet);
         f.push_agent(&AgentAct::Greet);
-        f.push_user(&UserAct::RequestTask { task: "book".into() });
-        f.push_agent(&AgentAct::IdentifyEntity { param: "screening_id".into() });
+        f.push_user(&UserAct::RequestTask {
+            task: "book".into(),
+        });
+        f.push_agent(&AgentAct::IdentifyEntity {
+            param: "screening_id".into(),
+        });
         f.push_user(&UserAct::AnswerIdentify);
-        f.push_agent(&AgentAct::ConfirmTask { task: "book".into() });
+        f.push_agent(&AgentAct::ConfirmTask {
+            task: "book".into(),
+        });
         f.push_user(&UserAct::Affirm);
-        f.push_agent(&AgentAct::Execute { task: "book".into() });
+        f.push_agent(&AgentAct::Execute {
+            task: "book".into(),
+        });
         f.push_agent(&AgentAct::ReportSuccess);
         f.push_user(&UserAct::Bye);
         f.push_agent(&AgentAct::Bye);
@@ -183,8 +213,12 @@ mod tests {
         let mut f = DialogueFlow::default();
         f.push_user(&UserAct::Greet);
         f.push_agent(&AgentAct::Greet);
-        f.push_user(&UserAct::RequestTask { task: "book".into() });
-        f.push_agent(&AgentAct::IdentifyEntity { param: "screening_id".into() });
+        f.push_user(&UserAct::RequestTask {
+            task: "book".into(),
+        });
+        f.push_agent(&AgentAct::IdentifyEntity {
+            param: "screening_id".into(),
+        });
         f.push_user(&UserAct::Abort);
         f.push_agent(&AgentAct::AcknowledgeAbort);
         f.push_user(&UserAct::Bye);
@@ -226,8 +260,7 @@ mod tests {
 
     #[test]
     fn evaluation_on_training_data_is_high() {
-        let flows: Vec<DialogueFlow> =
-            (0..5).flat_map(|_| [happy_flow(), abort_flow()]).collect();
+        let flows: Vec<DialogueFlow> = (0..5).flat_map(|_| [happy_flow(), abort_flow()]).collect();
         let model = FlowModel::train(&flows);
         let eval = model.evaluate(&flows);
         assert!(eval.accuracy > 0.8, "accuracy {}", eval.accuracy);

@@ -112,7 +112,10 @@ impl DialogueState {
 
     /// First unbound parameter of `params`, in order.
     pub fn next_unbound<'a>(&self, params: &'a [String]) -> Option<&'a str> {
-        params.iter().map(String::as_str).find(|p| !self.bound.contains_key(*p))
+        params
+            .iter()
+            .map(String::as_str)
+            .find(|p| !self.bound.contains_key(*p))
     }
 
     /// Clear the active task.
@@ -137,25 +140,35 @@ mod tests {
     fn task_lifecycle() {
         let mut s = DialogueState::new();
         assert_eq!(s.phase, Phase::Idle);
-        s.observe_user(&UserAct::RequestTask { task: "book".into() });
+        s.observe_user(&UserAct::RequestTask {
+            task: "book".into(),
+        });
         assert_eq!(s.phase, Phase::Collecting);
         assert_eq!(s.task.as_deref(), Some("book"));
-        s.observe_agent(&AgentAct::AskSlot { slot: "no_tickets".into() });
+        s.observe_agent(&AgentAct::AskSlot {
+            slot: "no_tickets".into(),
+        });
         assert_eq!(s.pending_param.as_deref(), Some("no_tickets"));
         s.bind("no_tickets", "4");
         assert_eq!(s.pending_param, None);
         assert_eq!(s.bound["no_tickets"], "4");
-        s.observe_agent(&AgentAct::ConfirmTask { task: "book".into() });
+        s.observe_agent(&AgentAct::ConfirmTask {
+            task: "book".into(),
+        });
         assert_eq!(s.phase, Phase::Confirming);
         s.observe_user(&UserAct::Affirm);
-        s.observe_agent(&AgentAct::Execute { task: "book".into() });
+        s.observe_agent(&AgentAct::Execute {
+            task: "book".into(),
+        });
         assert_eq!(s.phase, Phase::Done);
     }
 
     #[test]
     fn abort_resets() {
         let mut s = DialogueState::new();
-        s.observe_user(&UserAct::RequestTask { task: "book".into() });
+        s.observe_user(&UserAct::RequestTask {
+            task: "book".into(),
+        });
         s.bind("x", "1");
         s.observe_user(&UserAct::Abort);
         assert_eq!(s.phase, Phase::Idle);
@@ -168,8 +181,12 @@ mod tests {
     #[test]
     fn deny_returns_to_collecting() {
         let mut s = DialogueState::new();
-        s.observe_user(&UserAct::RequestTask { task: "book".into() });
-        s.observe_agent(&AgentAct::ConfirmTask { task: "book".into() });
+        s.observe_user(&UserAct::RequestTask {
+            task: "book".into(),
+        });
+        s.observe_agent(&AgentAct::ConfirmTask {
+            task: "book".into(),
+        });
         s.observe_user(&UserAct::Deny);
         assert_eq!(s.phase, Phase::Collecting);
     }

@@ -9,7 +9,9 @@ fn arb_user_act() -> impl Strategy<Value = UserAct> {
     prop_oneof![
         Just(UserAct::Greet),
         "[a-z]{1,8}".prop_map(|t| UserAct::RequestTask { task: t }),
-        Just(UserAct::Inform { slots: vec!["s".into()] }),
+        Just(UserAct::Inform {
+            slots: vec!["s".into()]
+        }),
         Just(UserAct::AnswerIdentify),
         Just(UserAct::CannotAnswer),
         Just(UserAct::Affirm),

@@ -56,7 +56,10 @@ pub const CONTRACTIONS: &[(&str, &str)] = &[
 /// The synonym group containing a word/phrase, if any.
 pub fn synonyms_of(word: &str) -> Option<&'static [&'static str]> {
     let w = word.to_lowercase();
-    SYNONYM_GROUPS.iter().copied().find(|g| g.contains(&w.as_str()))
+    SYNONYM_GROUPS
+        .iter()
+        .copied()
+        .find(|g| g.contains(&w.as_str()))
 }
 
 #[cfg(test)]
@@ -85,7 +88,10 @@ mod tests {
     #[test]
     fn prefixes_end_sensibly() {
         for p in PREFIXES {
-            assert!(p.ends_with(' ') || p.ends_with(", "), "prefix `{p}` needs a separator");
+            assert!(
+                p.ends_with(' ') || p.ends_with(", "),
+                "prefix `{p}` needs a separator"
+            );
         }
     }
 }

@@ -39,9 +39,17 @@ fn neighbor(c: char) -> Option<char> {
     let lower = c.to_ascii_lowercase();
     for row in ROWS {
         if let Some(i) = row.find(lower) {
-            let n = if i + 1 < row.len() { row.as_bytes()[i + 1] } else { row.as_bytes()[i - 1] };
+            let n = if i + 1 < row.len() {
+                row.as_bytes()[i + 1]
+            } else {
+                row.as_bytes()[i - 1]
+            };
             let n = n as char;
-            return Some(if c.is_uppercase() { n.to_ascii_uppercase() } else { n });
+            return Some(if c.is_uppercase() {
+                n.to_ascii_uppercase()
+            } else {
+                n
+            });
         }
     }
     None
@@ -167,7 +175,10 @@ mod tests {
             // NLU training data needs).
             assert_eq!(&corrupted[s.start..s.end], s.value);
         }
-        assert!(changed >= 15, "noise at rate 2.0 should usually change text");
+        assert!(
+            changed >= 15,
+            "noise at rate 2.0 should usually change text"
+        );
     }
 
     #[test]
@@ -209,8 +220,9 @@ mod tests {
         for (i, &ca) in a.iter().enumerate() {
             cur[0] = i + 1;
             for (j, &cb) in b.iter().enumerate() {
-                cur[j + 1] =
-                    (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + usize::from(ca != cb));
+                cur[j + 1] = (prev[j + 1] + 1)
+                    .min(cur[j] + 1)
+                    .min(prev[j] + usize::from(ca != cb));
             }
             std::mem::swap(&mut prev, &mut cur);
         }

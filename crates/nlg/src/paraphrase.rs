@@ -23,7 +23,10 @@ pub struct Paraphraser {
 
 impl Default for Paraphraser {
     fn default() -> Self {
-        Paraphraser { max_variants: 12, seed: 17 }
+        Paraphraser {
+            max_variants: 12,
+            seed: 17,
+        }
     }
 }
 
@@ -40,7 +43,9 @@ impl Paraphraser {
 
         // 1. Single synonym substitutions in literal segments.
         for (i, seg) in template.segments().iter().enumerate() {
-            let Segment::Literal(text) = seg else { continue };
+            let Segment::Literal(text) = seg else {
+                continue;
+            };
             for group in SYNONYM_GROUPS {
                 for &from in *group {
                     if let Some(pos) = find_word(text, from) {
@@ -61,7 +66,9 @@ impl Paraphraser {
 
         // 2. Contractions.
         for (i, seg) in template.segments().iter().enumerate() {
-            let Segment::Literal(text) = seg else { continue };
+            let Segment::Literal(text) = seg else {
+                continue;
+            };
             for &(from, to) in CONTRACTIONS {
                 if let Some(pos) = find_word(text, from) {
                     let mut new_text = text.clone();
@@ -123,10 +130,16 @@ fn find_word(haystack: &str, needle: &str) -> Option<usize> {
     while let Some(rel) = haystack[start..].find(needle) {
         let pos = start + rel;
         let before_ok = pos == 0
-            || !haystack[..pos].chars().next_back().is_some_and(|c| c.is_alphanumeric());
+            || !haystack[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric());
         let after = pos + needle.len();
-        let after_ok =
-            after == haystack.len() || !haystack[after..].chars().next().is_some_and(|c| c.is_alphanumeric());
+        let after_ok = after == haystack.len()
+            || !haystack[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric());
         if before_ok && after_ok {
             return Some(pos);
         }
@@ -175,7 +188,11 @@ mod tests {
         for v in p.expand(&t) {
             let (text, slots) = v.render(&[("movie_title", "Heat")]).unwrap();
             assert_eq!(slots.len(), 1);
-            assert_eq!(&text[slots[0].start..slots[0].end], "Heat", "bad span in `{text}`");
+            assert_eq!(
+                &text[slots[0].start..slots[0].end],
+                "Heat",
+                "bad span in `{text}`"
+            );
         }
     }
 

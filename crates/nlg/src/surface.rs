@@ -19,11 +19,16 @@ impl Default for SurfaceRealizer {
 
 impl SurfaceRealizer {
     pub fn new(seed: u64) -> SurfaceRealizer {
-        SurfaceRealizer { rng: StdRng::seed_from_u64(seed) }
+        SurfaceRealizer {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     fn pick(&mut self, options: &[&str]) -> String {
-        options.choose(&mut self.rng).expect("non-empty options").to_string()
+        options
+            .choose(&mut self.rng)
+            .expect("non-empty options")
+            .to_string()
     }
 
     /// Ask the user for one attribute, by its human-readable name.
@@ -61,7 +66,9 @@ impl SurfaceRealizer {
             "To confirm: {} ({}). Is that correct?",
             "Ready to run {} with {}. OK?",
         ]);
-        frame.replacen("{}", &task_name.replace('_', " "), 1).replacen("{}", &detail, 1)
+        frame
+            .replacen("{}", &task_name.replace('_', " "), 1)
+            .replacen("{}", &detail, 1)
     }
 
     /// Report a successfully executed transaction.
@@ -151,10 +158,7 @@ mod tests {
         assert!(q.contains("title of the movie"));
         let offer = sr.offer_options("screening", &["7pm".into(), "9pm".into()]);
         assert!(offer.contains("7pm") && offer.contains("9pm"));
-        let confirm = sr.confirm_task(
-            "ticket_reservation",
-            &[("no_tickets".into(), "4".into())],
-        );
+        let confirm = sr.confirm_task("ticket_reservation", &[("no_tickets".into(), "4".into())]);
         assert!(confirm.contains("ticket reservation"));
         assert!(confirm.contains("no tickets = 4"));
         let corr = sr.note_correction("Forest Gump", "Forrest Gump");

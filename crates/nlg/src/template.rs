@@ -103,9 +103,7 @@ impl Template {
                         chars.next();
                         literal.push('}');
                     } else {
-                        return Err(TemplateError::Syntax(format!(
-                            "stray `}}` in `{source}`"
-                        )));
+                        return Err(TemplateError::Syntax(format!("stray `}}` in `{source}`")));
                     }
                 }
                 c => literal.push(c),
@@ -114,7 +112,10 @@ impl Template {
         if !literal.is_empty() {
             segments.push(Segment::Literal(literal));
         }
-        Ok(Template { segments, source: source.to_string() })
+        Ok(Template {
+            segments,
+            source: source.to_string(),
+        })
     }
 
     /// The original template text.
@@ -198,8 +199,9 @@ mod tests {
     fn parse_and_render_with_spans() {
         let t = Template::parse("I need {no_tickets} tickets for {movie_title}").unwrap();
         assert_eq!(t.placeholders(), vec!["no_tickets", "movie_title"]);
-        let (text, slots) =
-            t.render(&[("no_tickets", "4"), ("movie_title", "Heat")]).unwrap();
+        let (text, slots) = t
+            .render(&[("no_tickets", "4"), ("movie_title", "Heat")])
+            .unwrap();
         assert_eq!(text, "I need 4 tickets for Heat");
         assert_eq!(slots.len(), 2);
         assert_eq!(&text[slots[0].start..slots[0].end], "4");

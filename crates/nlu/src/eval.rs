@@ -11,8 +11,10 @@ pub fn intent_accuracy(model: &dyn IntentClassifier, data: &[NluExample]) -> f64
     if data.is_empty() {
         return 0.0;
     }
-    let correct =
-        data.iter().filter(|ex| model.predict(&ex.text).0 == ex.intent).count();
+    let correct = data
+        .iter()
+        .filter(|ex| model.predict(&ex.text).0 == ex.intent)
+        .count();
     correct as f64 / data.len() as f64
 }
 
@@ -24,7 +26,10 @@ pub fn confusion_matrix(
     let mut m: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
     for ex in data {
         let (pred, _) = model.predict(&ex.text);
-        *m.entry(ex.intent.clone()).or_default().entry(pred).or_insert(0) += 1;
+        *m.entry(ex.intent.clone())
+            .or_default()
+            .entry(pred)
+            .or_insert(0) += 1;
     }
     m
 }
@@ -42,14 +47,29 @@ pub struct Prf {
 
 impl Prf {
     fn from_counts(tp: usize, predicted: usize, gold: usize) -> Prf {
-        let precision = if predicted == 0 { 0.0 } else { tp as f64 / predicted as f64 };
-        let recall = if gold == 0 { 0.0 } else { tp as f64 / gold as f64 };
+        let precision = if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        };
+        let recall = if gold == 0 {
+            0.0
+        } else {
+            tp as f64 / gold as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Prf { precision, recall, f1, true_positives: tp, predicted, gold }
+        Prf {
+            precision,
+            recall,
+            f1,
+            true_positives: tp,
+            predicted,
+            gold,
+        }
     }
 }
 
@@ -65,7 +85,10 @@ pub fn slot_prf(
         n_pred += pred.len();
         n_gold += gold.len();
         for p in pred {
-            if gold.iter().any(|g| g.slot == p.slot && g.start == p.start && g.end == p.end) {
+            if gold
+                .iter()
+                .any(|g| g.slot == p.slot && g.start == p.start && g.end == p.end)
+            {
                 tp += 1;
             }
         }
@@ -108,8 +131,10 @@ pub fn intent_distribution(data: &[NluExample]) -> Vec<(String, f64)> {
         *counts.entry(ex.intent.as_str()).or_insert(0) += 1;
     }
     let total = data.len().max(1) as f64;
-    let mut out: Vec<(String, f64)> =
-        counts.into_iter().map(|(k, c)| (k.to_string(), c as f64 / total)).collect();
+    let mut out: Vec<(String, f64)> = counts
+        .into_iter()
+        .map(|(k, c)| (k.to_string(), c as f64 / total))
+        .collect();
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     out
 }
@@ -165,7 +190,11 @@ pub fn render_confusion(matrix: &BTreeMap<String, BTreeMap<String, usize>>) -> S
     for gold in &labels {
         out.push_str(&format!("{gold:width$} "));
         for pred in &labels {
-            let c = matrix.get(*gold).and_then(|m| m.get(*pred)).copied().unwrap_or(0);
+            let c = matrix
+                .get(*gold)
+                .and_then(|m| m.get(*pred))
+                .copied()
+                .unwrap_or(0);
             out.push_str(&format!("{c:>width$} "));
         }
         out.push('\n');
@@ -191,13 +220,21 @@ mod tests {
     }
 
     fn span(slot: &str, start: usize, end: usize) -> SlotAnnotation {
-        SlotAnnotation { slot: slot.into(), start, end, value: String::new() }
+        SlotAnnotation {
+            slot: slot.into(),
+            start,
+            end,
+            value: String::new(),
+        }
     }
 
     #[test]
     fn slot_prf_exact_match() {
         let preds = vec![
-            (vec![span("a", 0, 4), span("b", 5, 9)], vec![span("a", 0, 4)]),
+            (
+                vec![span("a", 0, 4), span("b", 5, 9)],
+                vec![span("a", 0, 4)],
+            ),
             (vec![], vec![span("a", 2, 6)]),
         ];
         let prf = slot_prf(&preds);
@@ -265,7 +302,10 @@ mod tests {
             Box::new(crate::intent::NaiveBayesClassifier::train(train))
         });
         assert!(acc > 0.9, "cv accuracy {acc}");
-        assert_eq!(cross_validate(&[], 4, |_| Box::new(MajorityClassifier::train(&[]))), 0.0);
+        assert_eq!(
+            cross_validate(&[], 4, |_| Box::new(MajorityClassifier::train(&[]))),
+            0.0
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ impl KeywordClassifier {
                     continue;
                 }
                 *global.entry(tok.clone()).or_insert(0.0) += 1.0;
-                *per_intent.entry(ex.intent.clone()).or_default().entry(tok).or_insert(0.0) += 1.0;
+                *per_intent
+                    .entry(ex.intent.clone())
+                    .or_default()
+                    .entry(tok)
+                    .or_insert(0.0) += 1.0;
             }
         }
         let mut keywords: HashMap<String, HashMap<String, f64>> = HashMap::new();

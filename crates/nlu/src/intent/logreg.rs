@@ -22,7 +22,12 @@ pub struct LogRegConfig {
 
 impl Default for LogRegConfig {
     fn default() -> Self {
-        LogRegConfig { epochs: 30, learning_rate: 0.1, l2: 1e-4, seed: 7 }
+        LogRegConfig {
+            epochs: 30,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            seed: 7,
+        }
     }
 }
 
@@ -47,13 +52,22 @@ impl LogRegClassifier {
         let mut labels = LabelDict::default();
         let examples: Vec<(SparseVec, usize)> = data
             .iter()
-            .map(|ex| (featurize_train(&mut vocab, &ex.text), labels.intern(&ex.intent)))
+            .map(|ex| {
+                (
+                    featurize_train(&mut vocab, &ex.text),
+                    labels.intern(&ex.intent),
+                )
+            })
             .collect();
         let n_classes = labels.len();
         let n_features = vocab.len();
         let mut weights = vec![vec![0.0; n_features]; n_classes];
         if n_classes == 0 || n_features == 0 {
-            return LogRegClassifier { vocab, labels, weights };
+            return LogRegClassifier {
+                vocab,
+                labels,
+                weights,
+            };
         }
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -75,7 +89,11 @@ impl LogRegClassifier {
                 }
             }
         }
-        LogRegClassifier { vocab, labels, weights }
+        LogRegClassifier {
+            vocab,
+            labels,
+            weights,
+        }
     }
 
     /// Number of classes.
@@ -140,7 +158,10 @@ mod tests {
     #[test]
     fn training_is_deterministic_given_seed() {
         let data = toy_training_set();
-        let cfg = LogRegConfig { seed: 42, ..LogRegConfig::default() };
+        let cfg = LogRegConfig {
+            seed: 42,
+            ..LogRegConfig::default()
+        };
         let a = LogRegClassifier::train_with(&data, &cfg);
         let b = LogRegClassifier::train_with(&data, &cfg);
         for text in ["book tickets", "cancel please", "what is on"] {
@@ -152,8 +173,15 @@ mod tests {
     fn fits_training_set() {
         let data = toy_training_set();
         let model = LogRegClassifier::train(&data);
-        let correct = data.iter().filter(|ex| model.predict(&ex.text).0 == ex.intent).count();
-        assert!(correct as f64 / data.len() as f64 >= 0.9, "train accuracy {correct}/{}", data.len());
+        let correct = data
+            .iter()
+            .filter(|ex| model.predict(&ex.text).0 == ex.intent)
+            .count();
+        assert!(
+            correct as f64 / data.len() as f64 >= 0.9,
+            "train accuracy {correct}/{}",
+            data.len()
+        );
     }
 
     #[test]

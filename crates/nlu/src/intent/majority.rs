@@ -27,7 +27,10 @@ impl MajorityClassifier {
                 label: label.to_string(),
                 confidence: c as f64 / data.len() as f64,
             },
-            None => MajorityClassifier { label: "<unknown>".into(), confidence: 0.0 },
+            None => MajorityClassifier {
+                label: "<unknown>".into(),
+                confidence: 0.0,
+            },
         }
     }
 }

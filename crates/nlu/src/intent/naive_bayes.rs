@@ -66,7 +66,13 @@ impl NaiveBayesClassifier {
                     .collect()
             })
             .collect();
-        NaiveBayesClassifier { vocab, labels, log_prior, log_likelihood, alpha }
+        NaiveBayesClassifier {
+            vocab,
+            labels,
+            log_prior,
+            log_likelihood,
+            alpha,
+        }
     }
 
     /// Log-posterior (unnormalized) per class for a text.
@@ -140,8 +146,14 @@ mod tests {
         let model = NaiveBayesClassifier::train(&toy_training_set());
         assert_eq!(model.n_classes(), 3);
         assert_eq!(model.predict("i want to book tickets").0, "book_ticket");
-        assert_eq!(model.predict("cancel my booking please").0, "cancel_reservation");
-        assert_eq!(model.predict("what is showing tonight").0, "list_screenings");
+        assert_eq!(
+            model.predict("cancel my booking please").0,
+            "cancel_reservation"
+        );
+        assert_eq!(
+            model.predict("what is showing tonight").0,
+            "list_screenings"
+        );
     }
 
     #[test]

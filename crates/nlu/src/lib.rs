@@ -36,7 +36,10 @@ pub mod slots;
 pub mod text;
 pub mod types;
 
-pub use eval::{confusion_matrix, cross_validate, intent_accuracy, intent_distribution, slot_prf, slot_prf_by_name, Prf};
+pub use eval::{
+    confusion_matrix, cross_validate, intent_accuracy, intent_distribution, slot_prf,
+    slot_prf_by_name, Prf,
+};
 pub use intent::{
     IntentClassifier, KeywordClassifier, LogRegClassifier, LogRegConfig, MajorityClassifier,
     NaiveBayesClassifier,

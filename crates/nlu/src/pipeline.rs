@@ -52,7 +52,12 @@ impl NluPipeline {
     pub fn train_with(data: &[NluExample], gazetteer: Gazetteer, config: NluConfig) -> NluPipeline {
         let intent = Box::new(NaiveBayesClassifier::train(data));
         let tagger = SlotTagger::train_with(data, &config.tagger);
-        NluPipeline { intent, tagger, gazetteer, config }
+        NluPipeline {
+            intent,
+            tagger,
+            gazetteer,
+            config,
+        }
     }
 
     /// Train with a caller-supplied intent classifier.
@@ -63,7 +68,12 @@ impl NluPipeline {
         intent: Box<dyn IntentClassifier>,
     ) -> NluPipeline {
         let tagger = SlotTagger::train_with(data, &config.tagger);
-        NluPipeline { intent, tagger, gazetteer, config }
+        NluPipeline {
+            intent,
+            tagger,
+            gazetteer,
+            config,
+        }
     }
 
     /// The gazetteer in use (e.g. to refresh values after data changes).
@@ -90,13 +100,28 @@ impl NluPipeline {
             ) {
                 Some((v, sim)) => (v, sim),
                 // Open-vocabulary slots (numbers, dates) have no inventory.
-                None => (span.value.clone(), if self.gazetteer.values(&span.slot).is_empty() { 1.0 } else { 0.5 }),
+                None => (
+                    span.value.clone(),
+                    if self.gazetteer.values(&span.slot).is_empty() {
+                        1.0
+                    } else {
+                        0.5
+                    },
+                ),
             };
-            slots.push(FilledSlot { slot: span.slot, raw: span.value, value, confidence });
+            slots.push(FilledSlot {
+                slot: span.slot,
+                raw: span.value,
+                value,
+                confidence,
+            });
         }
 
         // Stage 3: gazetteer catches exact values the tagger missed.
-        for span in self.gazetteer.find_spans(text, self.config.max_gazetteer_ngram) {
+        for span in self
+            .gazetteer
+            .find_spans(text, self.config.max_gazetteer_ngram)
+        {
             if !slots.iter().any(|s| s.slot == span.slot) {
                 slots.push(FilledSlot {
                     slot: span.slot,
@@ -107,7 +132,11 @@ impl NluPipeline {
             }
         }
 
-        NluResult { intent, intent_confidence, slots }
+        NluResult {
+            intent,
+            intent_confidence,
+            slots,
+        }
     }
 }
 
@@ -148,8 +177,14 @@ mod tests {
         for c in ["2", "3", "4"] {
             data.push(mk("i need ", "no_tickets", c, " tickets", "inform"));
         }
-        data.push(NluExample::plain("cancel my reservation", "cancel_reservation"));
-        data.push(NluExample::plain("please cancel the booking", "cancel_reservation"));
+        data.push(NluExample::plain(
+            "cancel my reservation",
+            "cancel_reservation",
+        ));
+        data.push(NluExample::plain(
+            "please cancel the booking",
+            "cancel_reservation",
+        ));
         data.push(NluExample::plain("yes that is right", "affirm"));
         data.push(NluExample::plain("yes please", "affirm"));
         data.push(NluExample::plain("no thanks", "deny"));
@@ -159,7 +194,10 @@ mod tests {
 
     fn gaz() -> Gazetteer {
         let mut g = Gazetteer::new();
-        g.add_all("movie_title", ["Forrest Gump", "Heat", "Alien", "Casablanca"]);
+        g.add_all(
+            "movie_title",
+            ["Forrest Gump", "Heat", "Alien", "Casablanca"],
+        );
         g
     }
 

@@ -66,8 +66,7 @@ impl Gazetteer {
             return Some((self.values[slot][idx].clone(), 1.0));
         }
         let vals = self.values.get(slot)?;
-        let (idx, sim) =
-            best_match(&norm, vals.iter().map(String::as_str), min_similarity)?;
+        let (idx, sim) = best_match(&norm, vals.iter().map(String::as_str), min_similarity)?;
         Some((vals[idx].clone(), sim))
     }
 

@@ -23,7 +23,10 @@ pub struct TaggerConfig {
 
 impl Default for TaggerConfig {
     fn default() -> Self {
-        TaggerConfig { epochs: 8, seed: 11 }
+        TaggerConfig {
+            epochs: 8,
+            seed: 11,
+        }
     }
 }
 
@@ -97,8 +100,9 @@ impl SlotTagger {
                     continue;
                 }
                 step += 1;
-                let feats: Vec<Vec<String>> =
-                    (0..tokens.len()).map(|i| position_features(tokens, i)).collect();
+                let feats: Vec<Vec<String>> = (0..tokens.len())
+                    .map(|i| position_features(tokens, i))
+                    .collect();
                 let pred = model.viterbi(&feats);
                 if &pred == gold {
                     continue;
@@ -113,8 +117,9 @@ impl SlotTagger {
                             .weights
                             .entry(f.clone())
                             .or_insert_with(|| vec![0.0; n_tags]);
-                        let tot =
-                            w_total.entry(f.clone()).or_insert_with(|| vec![0.0; n_tags]);
+                        let tot = w_total
+                            .entry(f.clone())
+                            .or_insert_with(|| vec![0.0; n_tags]);
                         let stamp = w_stamp.entry(f.clone()).or_insert(0);
                         // Lazy-average both affected tags.
                         let elapsed = (step - *stamp) as f64;
@@ -127,12 +132,13 @@ impl SlotTagger {
                     }
                 }
                 // Transition / init updates.
-                let mut upd_trans = |prev: usize, next: usize, delta: f64, model: &mut SlotTagger| {
-                    let elapsed = (step - t_stamp[prev][next]) as f64;
-                    t_total[prev][next] += elapsed * model.trans[prev][next];
-                    t_stamp[prev][next] = step;
-                    model.trans[prev][next] += delta;
-                };
+                let mut upd_trans =
+                    |prev: usize, next: usize, delta: f64, model: &mut SlotTagger| {
+                        let elapsed = (step - t_stamp[prev][next]) as f64;
+                        t_total[prev][next] += elapsed * model.trans[prev][next];
+                        t_stamp[prev][next] = step;
+                        model.trans[prev][next] += delta;
+                    };
                 let mut upd_init = |t: usize, delta: f64, model: &mut SlotTagger| {
                     let elapsed = (step - i_stamp[t]) as f64;
                     i_total[t] += elapsed * model.init[t];
@@ -155,7 +161,9 @@ impl SlotTagger {
         if step > 0 {
             let steps = step as f64;
             for (f, w) in model.weights.iter_mut() {
-                let tot = w_total.entry(f.clone()).or_insert_with(|| vec![0.0; n_tags]);
+                let tot = w_total
+                    .entry(f.clone())
+                    .or_insert_with(|| vec![0.0; n_tags]);
                 let stamp = w_stamp.get(f).copied().unwrap_or(0);
                 let elapsed = (step - stamp) as f64;
                 for t in 0..n_tags {
@@ -182,9 +190,13 @@ impl SlotTagger {
         if tokens.is_empty() {
             return Vec::new();
         }
-        let feats: Vec<Vec<String>> =
-            (0..tokens.len()).map(|i| position_features(tokens, i)).collect();
-        self.viterbi(&feats).into_iter().map(|t| self.tags[t].clone()).collect()
+        let feats: Vec<Vec<String>> = (0..tokens.len())
+            .map(|i| position_features(tokens, i))
+            .collect();
+        self.viterbi(&feats)
+            .into_iter()
+            .map(|t| self.tags[t].clone())
+            .collect()
     }
 
     /// Extract slot annotations from raw text.
@@ -258,7 +270,9 @@ impl SlotTagger {
         // Backtrack.
         let mut last = (0..k)
             .max_by(|&a, &b| {
-                score[n - 1][a].partial_cmp(&score[n - 1][b]).expect("comparable")
+                score[n - 1][a]
+                    .partial_cmp(&score[n - 1][b])
+                    .expect("comparable")
             })
             .expect("k > 0");
         let mut path = vec![0usize; n];
@@ -283,8 +297,14 @@ fn position_features(tokens: &[Token], i: usize) -> Vec<String> {
     let n = chars.len();
     f.push(format!("pre2={}", chars.iter().take(2).collect::<String>()));
     f.push(format!("pre3={}", chars.iter().take(3).collect::<String>()));
-    f.push(format!("suf2={}", chars[n.saturating_sub(2)..].iter().collect::<String>()));
-    f.push(format!("suf3={}", chars[n.saturating_sub(3)..].iter().collect::<String>()));
+    f.push(format!(
+        "suf2={}",
+        chars[n.saturating_sub(2)..].iter().collect::<String>()
+    ));
+    f.push(format!(
+        "suf3={}",
+        chars[n.saturating_sub(3)..].iter().collect::<String>()
+    ));
     if chars.iter().all(|c| c.is_ascii_digit()) {
         f.push("all-digit".to_string());
     }
@@ -324,11 +344,23 @@ mod tests {
     }
 
     fn training_data() -> Vec<NluExample> {
-        let movies = ["Forrest Gump", "Heat", "Alien", "The Godfather", "Casablanca", "Up"];
+        let movies = [
+            "Forrest Gump",
+            "Heat",
+            "Alien",
+            "The Godfather",
+            "Casablanca",
+            "Up",
+        ];
         let counts = ["2", "3", "4", "5", "7"];
         let mut data = Vec::new();
         for m in movies {
-            data.push(slot_example("i want to watch ", "movie_title", m, " tonight"));
+            data.push(slot_example(
+                "i want to watch ",
+                "movie_title",
+                m,
+                " tonight",
+            ));
             data.push(slot_example("the movie title is ", "movie_title", m, ""));
             data.push(slot_example("show me ", "movie_title", m, " please"));
         }

@@ -39,12 +39,20 @@ pub fn tokenize(text: &str) -> Vec<Token> {
                 start = Some(i);
             }
         } else if let Some(s) = start.take() {
-            tokens.push(Token { text: text[s..i].to_string(), start: s, end: i });
+            tokens.push(Token {
+                text: text[s..i].to_string(),
+                start: s,
+                end: i,
+            });
         }
         prev_end = i + c.len_utf8();
     }
     if let Some(s) = start {
-        tokens.push(Token { text: text[s..prev_end].to_string(), start: s, end: prev_end });
+        tokens.push(Token {
+            text: text[s..prev_end].to_string(),
+            start: s,
+            end: prev_end,
+        });
     }
     tokens
 }
@@ -94,9 +102,9 @@ pub fn word_shape(token: &str) -> String {
 /// A minimal English stoplist (function words that carry little intent
 /// signal on their own; classifiers may down-weight them).
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "is", "are", "was", "to", "of", "in", "on", "at", "for", "and", "or",
-    "do", "does", "did", "be", "been", "am", "it", "this", "that", "me", "my", "i", "you",
-    "we", "us", "please", "would", "could", "can", "will",
+    "a", "an", "the", "is", "are", "was", "to", "of", "in", "on", "at", "for", "and", "or", "do",
+    "does", "did", "be", "been", "am", "it", "this", "that", "me", "my", "i", "you", "we", "us",
+    "please", "would", "could", "can", "will",
 ];
 
 /// Whether a lowercase token is a stopword.

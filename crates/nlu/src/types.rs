@@ -26,7 +26,11 @@ pub struct NluExample {
 impl NluExample {
     /// An example without slots.
     pub fn plain(text: impl Into<String>, intent: impl Into<String>) -> NluExample {
-        NluExample { text: text.into(), intent: intent.into(), slots: Vec::new() }
+        NluExample {
+            text: text.into(),
+            intent: intent.into(),
+            slots: Vec::new(),
+        }
     }
 
     /// Tokenize and compute per-token BIO tags from the slot annotations.
@@ -134,8 +138,14 @@ mod tests {
         let ex = example();
         let (tokens, tags) = ex.bio_tags();
         let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
-        assert_eq!(texts, vec!["I", "want", "to", "watch", "Forrest", "Gump", "tonight"]);
-        assert_eq!(tags, vec!["O", "O", "O", "O", "B-movie_title", "I-movie_title", "O"]);
+        assert_eq!(
+            texts,
+            vec!["I", "want", "to", "watch", "Forrest", "Gump", "tonight"]
+        );
+        assert_eq!(
+            tags,
+            vec!["O", "O", "O", "O", "B-movie_title", "I-movie_title", "O"]
+        );
     }
 
     #[test]
@@ -153,7 +163,12 @@ mod tests {
             text: text.clone(),
             intent: "book".into(),
             slots: vec![
-                SlotAnnotation { slot: "no_tickets".into(), start: 5, end: 6, value: "4".into() },
+                SlotAnnotation {
+                    slot: "no_tickets".into(),
+                    start: 5,
+                    end: 6,
+                    value: "4".into(),
+                },
                 SlotAnnotation {
                     slot: "movie_title".into(),
                     start: text.find("Heat").unwrap(),

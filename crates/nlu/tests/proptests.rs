@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use cat_nlu::fuzzy::{damerau_levenshtein, jaro_winkler, levenshtein, similarity};
 use cat_nlu::text::{tokenize, word_shape};
 use cat_nlu::types::{spans_from_bio, NluExample, SlotAnnotation};
-use cat_nlu::{MajorityClassifier, NaiveBayesClassifier, IntentClassifier};
+use cat_nlu::{IntentClassifier, MajorityClassifier, NaiveBayesClassifier};
 
 proptest! {
     /// Token spans are within bounds, non-overlapping, increasing, and

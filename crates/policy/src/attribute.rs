@@ -23,7 +23,11 @@ pub struct Attribute {
 impl Attribute {
     /// A column on the entity table itself.
     pub fn local(table: impl Into<String>, column: impl Into<String>) -> Attribute {
-        Attribute { table: table.into(), column: column.into(), path: Vec::new() }
+        Attribute {
+            table: table.into(),
+            column: column.into(),
+            path: Vec::new(),
+        }
     }
 
     /// Stable key for maps/caches: `table.column`.
@@ -64,7 +68,11 @@ impl Attribute {
         // Qualify joined attributes, unless the display name already names
         // the table ("title of the movie" must not become "title of the
         // movie of the movie").
-        if self.is_joined() && !col_name.to_lowercase().contains(&table_human.to_lowercase()) {
+        if self.is_joined()
+            && !col_name
+                .to_lowercase()
+                .contains(&table_human.to_lowercase())
+        {
             format!("{col_name} of the {table_human}")
         } else {
             col_name
@@ -148,8 +156,11 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.insert("movie", Row::new(vec![Value::Int(1), "Heat".into(), "Crime".into()]))
-            .unwrap();
+        db.insert(
+            "movie",
+            Row::new(vec![Value::Int(1), "Heat".into(), "Crime".into()]),
+        )
+        .unwrap();
         db.insert(
             "screening",
             Row::new(vec![Value::Int(10), Value::Int(1), "20:15".into()]),
@@ -165,7 +176,10 @@ mod tests {
         let keys: Vec<String> = attrs.iter().map(Attribute::key).collect();
         assert!(keys.contains(&"screening.screening_id".to_string()));
         assert!(keys.contains(&"screening.time".to_string()));
-        assert!(keys.contains(&"movie.title".to_string()), "joined attribute via FK");
+        assert!(
+            keys.contains(&"movie.title".to_string()),
+            "joined attribute via FK"
+        );
         assert!(keys.contains(&"movie.genre".to_string()));
         // FK glue column excluded.
         assert!(!keys.contains(&"screening.movie_id".to_string()));
@@ -204,7 +218,10 @@ mod tests {
     fn preferences_and_priors_flow_through() {
         let db = db();
         let attrs = enumerate_attributes(&db, "screening", 2);
-        let sid = attrs.iter().find(|a| a.key() == "screening.screening_id").unwrap();
+        let sid = attrs
+            .iter()
+            .find(|a| a.key() == "screening.screening_id")
+            .unwrap();
         assert_eq!(sid.ask_preference(&db), AskPreference::Avoid);
         assert!(sid.awareness_prior(&db) < 0.1);
     }

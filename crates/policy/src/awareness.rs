@@ -28,7 +28,10 @@ impl AwarenessModel {
     /// `prior_strength` is the number of pseudo-observations the schema
     /// prior is worth; higher = slower adaptation.
     pub fn new(prior_strength: f64) -> AwarenessModel {
-        AwarenessModel { counts: HashMap::new(), prior_strength }
+        AwarenessModel {
+            counts: HashMap::new(),
+            prior_strength,
+        }
     }
 
     /// Posterior mean probability that a user can answer `attr_key`,
@@ -40,7 +43,10 @@ impl AwarenessModel {
 
     /// Record the outcome of asking for `attr_key`.
     pub fn record(&mut self, attr_key: &str, user_knew: bool) {
-        let entry = self.counts.entry(attr_key.to_string()).or_insert((0.0, 0.0));
+        let entry = self
+            .counts
+            .entry(attr_key.to_string())
+            .or_insert((0.0, 0.0));
         entry.1 += 1.0;
         if user_knew {
             entry.0 += 1.0;
@@ -49,7 +55,9 @@ impl AwarenessModel {
 
     /// Number of observations recorded for an attribute.
     pub fn observations(&self, attr_key: &str) -> usize {
-        self.counts.get(attr_key).map_or(0, |&(_, asked)| asked as usize)
+        self.counts
+            .get(attr_key)
+            .map_or(0, |&(_, asked)| asked as usize)
     }
 
     /// Forget all online observations (prior only).
@@ -63,8 +71,11 @@ impl AwarenessModel {
     /// the conversational agent"; this is how those interactions survive a
     /// restart).
     pub fn export(&self) -> Vec<(String, f64, f64)> {
-        let mut rows: Vec<(String, f64, f64)> =
-            self.counts.iter().map(|(k, &(known, asked))| (k.clone(), known, asked)).collect();
+        let mut rows: Vec<(String, f64, f64)> = self
+            .counts
+            .iter()
+            .map(|(k, &(known, asked))| (k.clone(), known, asked))
+            .collect();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
         rows
     }

@@ -2,7 +2,9 @@
 //! has said, tracked explicitly at runtime (paper §4: "we … explicitly keep
 //! track of the candidates").
 
-use cat_txdb::{follow_path, Database, Result, RowId, TxdbError, Value};
+use std::collections::HashSet;
+
+use cat_txdb::{follow_hop, follow_path, Database, Result, RowId, TxdbError, Value};
 
 use crate::attribute::Attribute;
 
@@ -73,15 +75,66 @@ impl CandidateSet {
     /// Restrict to candidates whose attribute values contain `value`.
     /// Returns the number of remaining candidates. The constraint is
     /// recorded (it keys the statistics cache and drives explanations).
+    ///
+    /// When the attribute's column is hash-indexed, the restriction is an
+    /// index-lookup-and-intersect on `RowId` sets: one probe finds every
+    /// row of the attribute table holding `value`, the FK path is walked
+    /// *backwards* from that set (each hop is an indexed lookup on the FK
+    /// columns, which the engine auto-indexes), and the result is
+    /// intersected with the candidate set. Cost scales with the number of
+    /// matches, not with |candidates| × path length. Without an index the
+    /// original per-candidate forward walk runs instead.
     pub fn refine(&mut self, db: &Database, attr: &Attribute, value: &Value) -> Result<usize> {
+        let target = db.table(&attr.table)?;
+        if target.has_index(&attr.column) {
+            // Rows of the attribute table exhibiting the value.
+            let mut frontier = target.lookup(&attr.column, value);
+            // Walk the join path in reverse back to the entity table; a
+            // candidate matches iff it can reach any row in the frontier,
+            // which (FK edges being symmetric equalities) is exactly
+            // reverse-reachability.
+            for hop in attr.path.iter().rev() {
+                let back = hop.reversed();
+                let mut next: Vec<RowId> = Vec::new();
+                for &rid in &frontier {
+                    next.extend(follow_hop(db, &back, rid));
+                }
+                next.sort_unstable();
+                next.dedup();
+                frontier = next;
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            let matching: HashSet<RowId> = frontier.into_iter().collect();
+            self.rows.retain(|rid| matching.contains(rid));
+        } else {
+            self.refine_by_walk(db, attr, value)?;
+        }
+        self.constraints.push((attr.key(), value.clone()));
+        Ok(self.rows.len())
+    }
+
+    /// The non-indexed fallback (and pre-index reference implementation):
+    /// walk the join path forward from every candidate and compare values.
+    /// Exposed for differential tests and benchmarks.
+    #[doc(hidden)]
+    pub fn refine_by_walk(
+        &mut self,
+        db: &Database,
+        attr: &Attribute,
+        value: &Value,
+    ) -> Result<usize> {
         let mut kept = Vec::with_capacity(self.rows.len());
         for &rid in &self.rows {
-            if Self::values_for_row(db, attr, rid)?.iter().any(|v| v == value) {
+            if Self::values_for_row(db, attr, rid)?
+                .iter()
+                .any(|v| v == value)
+            {
                 kept.push(rid);
             }
         }
         self.rows = kept;
-        self.constraints.push((attr.key(), value.clone()));
         Ok(self.rows.len())
     }
 
@@ -122,7 +175,9 @@ impl CandidateSet {
     /// The primary-key value(s) of the unique candidate, if identified.
     /// Errors if the table has no primary key.
     pub fn unique_pk(&self, db: &Database) -> Result<Option<Vec<Value>>> {
-        let Some(rid) = self.unique() else { return Ok(None) };
+        let Some(rid) = self.unique() else {
+            return Ok(None);
+        };
         let t = db.table(&self.table)?;
         if t.schema().primary_key().is_empty() {
             return Err(TxdbError::InvalidValue(format!(
@@ -130,7 +185,9 @@ impl CandidateSet {
                 self.table
             )));
         }
-        let row = t.get(rid).ok_or_else(|| TxdbError::NoSuchRow { table: self.table.clone() })?;
+        let row = t.get(rid).ok_or_else(|| TxdbError::NoSuchRow {
+            table: self.table.clone(),
+        })?;
         Ok(Some(t.pk_of(row)))
     }
 }
@@ -177,17 +234,27 @@ mod tests {
                     .unwrap(),
             )
             .unwrap();
-            let movies =
-                [(1, "Heat", "Crime"), (2, "Alien", "Horror"), (3, "Fargo", "Crime")];
+            let movies = [
+                (1, "Heat", "Crime"),
+                (2, "Alien", "Horror"),
+                (3, "Fargo", "Crime"),
+            ];
             for (id, t, g) in movies {
-                db.insert("movie", Row::new(vec![Value::Int(id), t.into(), g.into()])).unwrap();
+                db.insert("movie", Row::new(vec![Value::Int(id), t.into(), g.into()]))
+                    .unwrap();
             }
-            let actors = [(1, "Al Pacino"), (2, "Robert De Niro"), (3, "Sigourney Weaver")];
+            let actors = [
+                (1, "Al Pacino"),
+                (2, "Robert De Niro"),
+                (3, "Sigourney Weaver"),
+            ];
             for (id, n) in actors {
-                db.insert("actor", Row::new(vec![Value::Int(id), n.into()])).unwrap();
+                db.insert("actor", Row::new(vec![Value::Int(id), n.into()]))
+                    .unwrap();
             }
             for (m, a) in [(1, 1), (1, 2), (2, 3), (3, 2)] {
-                db.insert("movie_actor", Row::new(vec![Value::Int(m), Value::Int(a)])).unwrap();
+                db.insert("movie_actor", Row::new(vec![Value::Int(m), Value::Int(a)]))
+                    .unwrap();
             }
             db
         }
@@ -202,7 +269,9 @@ mod tests {
         assert_eq!(cs.len(), 3);
         assert!(!cs.is_unique());
         let genre = Attribute::local("movie", "genre");
-        let n = cs.refine(&db, &genre, &Value::Text("Crime".into())).unwrap();
+        let n = cs
+            .refine(&db, &genre, &Value::Text("Crime".into()))
+            .unwrap();
         assert_eq!(n, 2);
         let title = Attribute::local("movie", "title");
         cs.refine(&db, &title, &Value::Text("Heat".into())).unwrap();
@@ -218,10 +287,14 @@ mod tests {
         let actor_name = attrs.iter().find(|a| a.key() == "actor.name").unwrap();
         let mut cs = CandidateSet::all(&db, "movie").unwrap();
         // De Niro appears in Heat and Fargo.
-        let n = cs.refine(&db, actor_name, &Value::Text("Robert De Niro".into())).unwrap();
+        let n = cs
+            .refine(&db, actor_name, &Value::Text("Robert De Niro".into()))
+            .unwrap();
         assert_eq!(n, 2);
         // Pacino narrows to Heat.
-        let n = cs.refine(&db, actor_name, &Value::Text("Al Pacino".into())).unwrap();
+        let n = cs
+            .refine(&db, actor_name, &Value::Text("Al Pacino".into()))
+            .unwrap();
         assert_eq!(n, 1);
         assert_eq!(cs.unique_pk(&db).unwrap().unwrap(), vec![Value::Int(1)]);
     }
@@ -231,8 +304,10 @@ mod tests {
         let db = movie_db();
         let mut cs = CandidateSet::all(&db, "movie").unwrap();
         let genre = Attribute::local("movie", "genre");
-        cs.refine(&db, &genre, &Value::Text("Crime".into())).unwrap();
-        cs.refine(&db, &genre, &Value::Text("Horror".into())).unwrap();
+        cs.refine(&db, &genre, &Value::Text("Crime".into()))
+            .unwrap();
+        cs.refine(&db, &genre, &Value::Text("Horror".into()))
+            .unwrap();
         assert!(cs.is_empty());
         assert_eq!(cs.unique(), None);
     }
@@ -242,8 +317,11 @@ mod tests {
         let db = movie_db();
         let attrs = enumerate_attributes(&db, "movie", 2);
         let actor_name = attrs.iter().find(|a| a.key() == "actor.name").unwrap();
-        let (heat_rid, _) =
-            db.table("movie").unwrap().get_by_pk(&[Value::Int(1)]).unwrap();
+        let (heat_rid, _) = db
+            .table("movie")
+            .unwrap()
+            .get_by_pk(&[Value::Int(1)])
+            .unwrap();
         let values = CandidateSet::values_for_row(&db, actor_name, heat_rid).unwrap();
         assert_eq!(values.len(), 2, "Heat has two actors");
     }
@@ -253,9 +331,51 @@ mod tests {
         let db = movie_db();
         let mut cs = CandidateSet::all(&db, "movie").unwrap();
         let s0 = cs.signature();
-        cs.refine(&db, &Attribute::local("movie", "genre"), &Value::Text("Crime".into()))
-            .unwrap();
+        cs.refine(
+            &db,
+            &Attribute::local("movie", "genre"),
+            &Value::Text("Crime".into()),
+        )
+        .unwrap();
         assert_ne!(s0, cs.signature());
+    }
+
+    #[test]
+    fn indexed_refine_matches_forward_walk() {
+        // Same dialogue against an indexed and an unindexed database must
+        // keep identical candidates, for local and joined attributes.
+        let plain = movie_db();
+        let mut indexed = movie_db();
+        indexed
+            .table_mut("movie")
+            .unwrap()
+            .create_index("genre")
+            .unwrap();
+        indexed
+            .table_mut("actor")
+            .unwrap()
+            .create_index("name")
+            .unwrap();
+        let attrs = enumerate_attributes(&plain, "movie", 2);
+        let actor_name = attrs.iter().find(|a| a.key() == "actor.name").unwrap();
+        let genre = Attribute::local("movie", "genre");
+        let steps: [(&Attribute, Value); 2] = [
+            (&genre, Value::Text("Crime".into())),
+            (actor_name, Value::Text("Robert De Niro".into())),
+        ];
+        let mut cs_walk = CandidateSet::all(&plain, "movie").unwrap();
+        let mut cs_indexed = CandidateSet::all(&indexed, "movie").unwrap();
+        for (attr, value) in &steps {
+            cs_walk.refine_by_walk(&plain, attr, value).unwrap();
+            cs_indexed.refine(&indexed, attr, value).unwrap();
+            assert_eq!(cs_walk.rows, cs_indexed.rows, "diverged on {}", attr.key());
+        }
+        assert_eq!(cs_indexed.rows.len(), 2, "Heat and Fargo: Crime + De Niro");
+        // A value nobody has empties the set through the indexed path too.
+        cs_indexed
+            .refine(&indexed, &genre, &Value::Text("Western".into()))
+            .unwrap();
+        assert!(cs_indexed.is_empty());
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl DataAwarePolicy {
         cs: &CandidateSet,
         asked: &[String],
     ) -> Vec<AttributeExplanation> {
-        let hops = if self.config.use_joins { self.config.max_join_hops } else { 0 };
+        let hops = if self.config.use_joins {
+            self.config.max_join_hops
+        } else {
+            0
+        };
         let max_h = (cs.len().max(2) as f64).log2();
         let mut out: Vec<AttributeExplanation> = enumerate_attributes(db, &cs.table, hops)
             .into_iter()
@@ -74,9 +78,8 @@ impl DataAwarePolicy {
 
 /// Render explanations as an aligned text table (for CLIs and debugging).
 pub fn render_explanations(explanations: &[AttributeExplanation]) -> String {
-    let mut out = String::from(
-        "attribute                         score  entropy  coverage  aware  weight\n",
-    );
+    let mut out =
+        String::from("attribute                         score  entropy  coverage  aware  weight\n");
     for e in explanations {
         out.push_str(&format!(
             "{:<32} {:>6.3}  {:>7.3}  {:>8.2}  {:>5.2}  {:>6.2}\n",
@@ -160,7 +163,9 @@ mod tests {
         let all = policy.explain(&db, &cs, &[]);
         let filtered = policy.explain(&db, &cs, &[all[0].attribute.key()]);
         assert_eq!(filtered.len(), all.len() - 1);
-        assert!(filtered.iter().all(|e| e.attribute.key() != all[0].attribute.key()));
+        assert!(filtered
+            .iter()
+            .all(|e| e.attribute.key() != all[0].attribute.key()));
     }
 
     #[test]

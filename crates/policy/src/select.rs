@@ -53,18 +53,42 @@ pub fn entropy_and_coverage(
     use std::collections::HashMap;
     let mut weights: HashMap<Value, f64> = HashMap::new();
     let mut covered = 0usize;
-    for &rid in &cs.rows {
-        let values = CandidateSet::values_for_row(db, attr, rid)?;
-        if values.is_empty() {
-            continue;
+    if attr.path.is_empty() {
+        // Local column: resolve the column index once and read rows
+        // directly, instead of a name lookup + value clone round-trip per
+        // candidate. This loop dominates the policy's per-turn cost.
+        let t = db.table(&attr.table)?;
+        let idx = t.schema().require_column(&attr.column)?;
+        for &rid in &cs.rows {
+            let row = t.get(rid).ok_or_else(|| cat_txdb::TxdbError::NoSuchRow {
+                table: attr.table.clone(),
+            })?;
+            match row.get(idx) {
+                Some(v) if !v.is_null() => {
+                    covered += 1;
+                    *weights.entry(v.clone()).or_insert(0.0) += 1.0;
+                }
+                _ => {}
+            }
         }
-        covered += 1;
-        let w = 1.0 / values.len() as f64;
-        for v in values {
-            *weights.entry(v).or_insert(0.0) += w;
+    } else {
+        for &rid in &cs.rows {
+            let values = CandidateSet::values_for_row(db, attr, rid)?;
+            if values.is_empty() {
+                continue;
+            }
+            covered += 1;
+            let w = 1.0 / values.len() as f64;
+            for v in values {
+                *weights.entry(v).or_insert(0.0) += w;
+            }
         }
     }
-    let coverage = if cs.rows.is_empty() { 0.0 } else { covered as f64 / cs.rows.len() as f64 };
+    let coverage = if cs.rows.is_empty() {
+        0.0
+    } else {
+        covered as f64 / cs.rows.len() as f64
+    };
     Ok((weighted_entropy(weights.into_values()), coverage))
 }
 
@@ -141,7 +165,11 @@ impl Default for DataAwarePolicy {
 
 impl DataAwarePolicy {
     pub fn new(config: DataAwareConfig) -> DataAwarePolicy {
-        DataAwarePolicy { awareness: AwarenessModel::default(), cache: StatsCache::new(), config }
+        DataAwarePolicy {
+            awareness: AwarenessModel::default(),
+            cache: StatsCache::new(),
+            config,
+        }
     }
 
     /// Score one attribute against the candidate set.
@@ -196,7 +224,8 @@ impl DataAwarePolicy {
             }
         };
         let aware = if self.config.use_awareness {
-            self.awareness.probability(&attr.key(), attr.awareness_prior(db))
+            self.awareness
+                .probability(&attr.key(), attr.awareness_prior(db))
         } else {
             1.0
         };
@@ -206,7 +235,11 @@ impl DataAwarePolicy {
 
 impl SlotSelector for DataAwarePolicy {
     fn choose(&mut self, db: &Database, cs: &CandidateSet, asked: &[String]) -> Option<Attribute> {
-        let hops = if self.config.use_joins { self.config.max_join_hops } else { 0 };
+        let hops = if self.config.use_joins {
+            self.config.max_join_hops
+        } else {
+            0
+        };
         let mut best: Option<(Attribute, f64)> = None;
         for attr in enumerate_attributes(db, &cs.table, hops) {
             let key = attr.key();
@@ -265,7 +298,9 @@ impl StaticPolicy {
                 .expect("finite scores")
                 .then_with(|| a.0.key().cmp(&b.0.key()))
         });
-        Ok(StaticPolicy { order: scored.into_iter().map(|(a, _)| a).collect() })
+        Ok(StaticPolicy {
+            order: scored.into_iter().map(|(a, _)| a).collect(),
+        })
     }
 
     /// The precomputed ask order.
@@ -279,7 +314,10 @@ impl SlotSelector for StaticPolicy {
         if cs.len() <= 1 {
             return None;
         }
-        self.order.iter().find(|a| !asked.contains(&a.key())).cloned()
+        self.order
+            .iter()
+            .find(|a| !asked.contains(&a.key()))
+            .cloned()
     }
 
     fn name(&self) -> &'static str {
@@ -295,7 +333,10 @@ pub struct RandomPolicy {
 
 impl RandomPolicy {
     pub fn new(seed: u64, max_join_hops: usize) -> RandomPolicy {
-        RandomPolicy { rng: StdRng::seed_from_u64(seed), max_join_hops }
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+            max_join_hops,
+        }
     }
 }
 
@@ -411,7 +452,7 @@ mod tests {
         let city = Attribute::local("customer", "city");
         let h_name_before = candidate_entropy(&db, &cs, &name).unwrap();
         assert!(h_name_before > 2.9); // 8 uniform classes = 3 bits
-        // Refine on name: within one name, name entropy collapses to 0.
+                                      // Refine on name: within one name, name entropy collapses to 0.
         cs.refine(&db, &name, &Value::Text("Ada".into())).unwrap();
         assert_eq!(candidate_entropy(&db, &cs, &name).unwrap(), 0.0);
         // And the policy must now score name at 0 and prefer city.
@@ -442,7 +483,10 @@ mod tests {
             .iter()
             .map(Attribute::key)
             .collect();
-        assert!(policy.choose(&db, &cs, &all_asked).is_none(), "everything asked");
+        assert!(
+            policy.choose(&db, &cs, &all_asked).is_none(),
+            "everything asked"
+        );
     }
 
     #[test]
@@ -456,7 +500,11 @@ mod tests {
         // static policy asks name first — that is its defining failure mode.
         let mut refined = cs.clone();
         refined
-            .refine(&db, &Attribute::local("customer", "name"), &Value::Text("Ada".into()))
+            .refine(
+                &db,
+                &Attribute::local("customer", "name"),
+                &Value::Text("Ada".into()),
+            )
             .unwrap();
         let c2 = policy.choose(&db, &refined, &[]).unwrap();
         assert_eq!(c1.key(), c2.key());
@@ -507,9 +555,15 @@ mod tests {
         let name = Attribute::local("customer", "name");
         let s1 = policy.score(&db, &cs, &name);
         // Make all names identical -> entropy collapses; cache must notice.
-        let rids: Vec<_> = db.table("customer").unwrap().scan().map(|(r, _)| r).collect();
+        let rids: Vec<_> = db
+            .table("customer")
+            .unwrap()
+            .scan()
+            .map(|(r, _)| r)
+            .collect();
         for rid in rids {
-            db.update("customer", rid, "name", Value::Text("Same".into())).unwrap();
+            db.update("customer", rid, "name", Value::Text("Same".into()))
+                .unwrap();
         }
         let cs2 = CandidateSet::all(&db, "customer").unwrap();
         let s2 = policy.score(&db, &cs2, &name);

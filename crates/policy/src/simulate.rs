@@ -28,7 +28,11 @@ pub struct SimulationConfig {
 
 impl Default for SimulationConfig {
     fn default() -> Self {
-        SimulationConfig { max_turns: 12, offer_threshold: 3, seed: 42 }
+        SimulationConfig {
+            max_turns: 12,
+            offer_threshold: 3,
+            seed: 42,
+        }
     }
 }
 
@@ -55,7 +59,11 @@ pub struct SimulatedUser {
 
 impl SimulatedUser {
     pub fn new(target: RowId, seed: u64) -> SimulatedUser {
-        SimulatedUser { target, knowledge: HashMap::new(), rng: StdRng::seed_from_u64(seed) }
+        SimulatedUser {
+            target,
+            knowledge: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The row this user means.
@@ -95,22 +103,42 @@ pub fn run_identification(
     let mut turns = 0usize;
     loop {
         if cs.is_unique() {
-            return Ok(EpisodeResult { turns, identified: cs.unique() == Some(target), asked });
+            return Ok(EpisodeResult {
+                turns,
+                identified: cs.unique() == Some(target),
+                asked,
+            });
         }
         if cs.is_empty() {
-            return Ok(EpisodeResult { turns, identified: false, asked });
+            return Ok(EpisodeResult {
+                turns,
+                identified: false,
+                asked,
+            });
         }
         if cs.len() <= config.offer_threshold {
             // Offer the remaining options; the user picks theirs.
             turns += 1;
             let identified = cs.rows.contains(&target);
-            return Ok(EpisodeResult { turns, identified, asked });
+            return Ok(EpisodeResult {
+                turns,
+                identified,
+                asked,
+            });
         }
         if turns >= config.max_turns {
-            return Ok(EpisodeResult { turns, identified: false, asked });
+            return Ok(EpisodeResult {
+                turns,
+                identified: false,
+                asked,
+            });
         }
         let Some(attr) = policy.choose(db, &cs, &asked) else {
-            return Ok(EpisodeResult { turns, identified: false, asked });
+            return Ok(EpisodeResult {
+                turns,
+                identified: false,
+                asked,
+            });
         };
         turns += 1;
         let key = attr.key();
@@ -153,8 +181,14 @@ pub fn run_batch(
     let mut success_turns = 0usize;
     for i in 0..n {
         let target = rids[rng.random_range(0..rids.len())];
-        let result =
-            run_identification(db, table, target, policy, config, config.seed ^ (i as u64 * 7919))?;
+        let result = run_identification(
+            db,
+            table,
+            target,
+            policy,
+            config,
+            config.seed ^ (i as u64 * 7919),
+        )?;
         total_turns += result.turns;
         if result.identified {
             successes += 1;
@@ -302,7 +336,10 @@ mod tests {
     fn offer_threshold_caps_the_tail() {
         let db = customer_db(3, 6);
         let mut policy = DataAwarePolicy::default();
-        let cfg = SimulationConfig { offer_threshold: 3, ..SimulationConfig::default() };
+        let cfg = SimulationConfig {
+            offer_threshold: 3,
+            ..SimulationConfig::default()
+        };
         let target = db.table("customer").unwrap().scan().next().unwrap().0;
         let r = run_identification(&db, "customer", target, &mut policy, &cfg, 1).unwrap();
         // 3 candidates <= threshold: a single offer turn resolves it.
@@ -339,7 +376,11 @@ mod tests {
             .unwrap();
         }
         let mut policy = RandomPolicy::new(1, 0);
-        let cfg = SimulationConfig { max_turns: 4, offer_threshold: 1, seed: 1 };
+        let cfg = SimulationConfig {
+            max_turns: 4,
+            offer_threshold: 1,
+            seed: 1,
+        };
         let target = db.table("thing").unwrap().scan().next().unwrap().0;
         let r = run_identification(&db, "thing", target, &mut policy, &cfg, 2).unwrap();
         assert!(!r.identified);

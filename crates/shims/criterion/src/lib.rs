@@ -1,0 +1,393 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `sample_size`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is timed with
+//! `std::time::Instant` over `sample_size` samples (auto-calibrated
+//! iterations per sample) and the median/mean/min are printed in
+//! criterion's familiar one-line format.
+//!
+//! Set `CRITERION_JSON=/path/to/out.json` to additionally append one JSON
+//! object per benchmark (`{"id": ..., "median_ns": ..., ...}`) — used by
+//! the repo's perf-tracking scripts to record machine-readable medians.
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use black_box_impl::black_box;
+
+mod black_box_impl {
+    /// Re-export of `std::hint::black_box` under criterion's name.
+    pub use std::hint::black_box;
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine call
+/// per setup call for `PerIteration`/`SmallInput` alike; the distinction
+/// only matters for criterion's batching heuristics, which we don't need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A parameterized benchmark identifier, rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    /// Nanoseconds per sample, filled by `iter`/`iter_batched`.
+    samples_ns: Vec<f64>,
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_count: usize, target_sample_time: Duration) -> Bencher {
+        Bencher {
+            samples_ns: Vec::new(),
+            sample_count,
+            target_sample_time,
+        }
+    }
+
+    /// Time `routine`, auto-calibrating iterations per sample so each
+    /// sample runs for roughly `target_sample_time / sample_count`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count that takes >= ~1ms.
+        let mut iters: u64 = 1;
+        let per_sample = self.target_sample_time.as_secs_f64() / self.sample_count as f64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed().as_secs_f64();
+            if elapsed >= 1e-3 || iters >= 1 << 30 {
+                // Scale up to fill the per-sample budget (capped).
+                let scale = (per_sample / elapsed.max(1e-9)).clamp(1.0, 1e4);
+                iters = ((iters as f64) * scale).max(1.0) as u64;
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Like `iter_batched`, with a reference to the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub id: String,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub samples: usize,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        self.criterion.record(full, b.samples_ns);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b, input);
+        self.criterion.record(full, b.samples_ns);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 30,
+            measurement_time: Duration::from_millis(900),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        self.record(full, b.samples_ns);
+        self
+    }
+
+    fn record(&mut self, id: String, mut samples_ns: Vec<f64>) {
+        if samples_ns.is_empty() {
+            return;
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = samples_ns.len();
+        let median = if n % 2 == 1 {
+            samples_ns[n / 2]
+        } else {
+            (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2.0
+        };
+        let mean = samples_ns.iter().sum::<f64>() / n as f64;
+        let m = Measurement {
+            id: id.clone(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: samples_ns[0],
+            samples: n,
+        };
+        println!(
+            "{:<48} time: [min {:>10}  median {:>10}  mean {:>10}]  ({} samples)",
+            m.id,
+            fmt_ns(m.min_ns),
+            fmt_ns(m.median_ns),
+            fmt_ns(m.mean_ns),
+            m.samples
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    f,
+                    "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{}}}",
+                    m.id.replace('"', "'"),
+                    m.median_ns,
+                    m.mean_ns,
+                    m.min_ns,
+                    m.samples
+                );
+            }
+        }
+        self.results.push(m);
+    }
+
+    /// All measurements taken so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Criterion's CLI entry point — the shim just runs everything.
+    pub fn final_summary(&self) {}
+}
+
+/// Define a function that runs a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_median_and_orders_results() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("sleepless", |b| {
+            b.iter_batched(|| 41, |x| x + 1, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[1].id, "g/sleepless");
+        assert!(c.measurements()[0].median_ns >= 0.0);
+        assert_eq!(c.measurements()[1].samples, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("cold", 100).to_string(), "cold/100");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

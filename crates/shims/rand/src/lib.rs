@@ -1,0 +1,307 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no registry access, so this tiny crate
+//! provides the exact API surface the workspace uses: `rngs::StdRng`
+//! (seedable, deterministic), the [`RngExt`] extension trait
+//! (`random_range`, `random_bool`) and the slice helpers in [`seq`]
+//! (`choose`, `shuffle`). The generator is xoshiro256** seeded via
+//! SplitMix64 — statistically solid for test-data synthesis, not
+//! cryptographic.
+
+/// Core trait: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s.iter().all(|&x| x == 0) {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A type that can be sampled uniformly from a range without modulo bias
+/// beyond the negligible (rejection-free multiply-shift for integers).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $u as $t;
+                }
+                // Lemire's multiply-shift; span+1 <= 2^64-1 here.
+                let bound = span + 1;
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (bound as u128);
+                let mut l = m as u64;
+                if l < bound {
+                    let threshold = bound.wrapping_neg() % bound;
+                    while l < threshold {
+                        x = rng.next_u64();
+                        m = (x as u128) * (bound as u128);
+                        l = m as u64;
+                    }
+                }
+                let offset = (m >> 64) as u64;
+                ((lo as $u).wrapping_add(offset as $u)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    i64 => u64, u64 => u64, usize => u64, isize => u64,
+    i32 => u32, u32 => u32, i16 => u16, u16 => u16, i8 => u8, u8 => u8,
+);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        // 53 random mantissa bits in [0,1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// A range argument accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: One> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "random_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: One> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Internal helper distinguishing integer half-open ranges (sample on
+/// `[start, end-1]`) from float ranges (continuous on `[start, end)`).
+pub trait One: SampleUniform {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_one_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl One for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                <$t as SampleUniform>::sample_inclusive(rng, start, end - 1)
+            }
+        }
+    )*};
+}
+impl_one_int!(i64, u64, usize, isize, i32, u32, i16, u16, i8, u8);
+
+impl One for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+        f64::sample_inclusive(rng, start, end)
+    }
+}
+impl One for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+        f32::sample_inclusive(rng, start, end)
+    }
+}
+
+/// Extension methods on any [`RngCore`] (the shim's analogue of `Rng`).
+pub trait RngExt: RngCore {
+    /// Uniform sample from a (half-open or inclusive) range.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        f64::sample_inclusive(self, 0.0, 1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    /// Random selection from slices by index.
+    pub trait IndexedRandom {
+        type Output;
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = usize::sample_inclusive(rng, 0, self.len() - 1);
+                self.get(i)
+            }
+        }
+    }
+
+    /// In-place random permutation of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_inclusive(rng, 0, i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::{rngs::StdRng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000), b.random_range(0..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: usize = (0..100)
+            .filter(|_| a.random_range(0..1000i64) == c.random_range(0..1000i64))
+            .count();
+        assert!(same < 20, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(5..=5u8);
+            assert_eq!(y, 5);
+            let z = rng.random_range(-3..=3i64);
+            assert!((-3..=3).contains(&z));
+            let f = rng.random_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_rate_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..100 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "50 elements virtually never shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle is a permutation");
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

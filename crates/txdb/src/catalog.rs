@@ -119,7 +119,11 @@ pub fn join_path(db: &Database, from: &str, to: &str) -> Option<Vec<JoinHop>> {
 /// Tables reachable from `table` within `max_hops` FK hops, with the path
 /// to each (excluding the table itself). Breadth-first, so paths are
 /// shortest.
-pub fn reachable_tables(db: &Database, table: &str, max_hops: usize) -> Vec<(String, Vec<JoinHop>)> {
+pub fn reachable_tables(
+    db: &Database,
+    table: &str,
+    max_hops: usize,
+) -> Vec<(String, Vec<JoinHop>)> {
     let mut out = Vec::new();
     let mut visited: HashMap<String, Vec<JoinHop>> = HashMap::new();
     visited.insert(table.to_string(), Vec::new());
@@ -148,8 +152,12 @@ pub fn reachable_tables(db: &Database, table: &str, max_hops: usize) -> Vec<(Str
 /// Follow one join hop from a concrete row: the ids of related rows in
 /// `hop.to_table`.
 pub fn follow_hop(db: &Database, hop: &JoinHop, from_rid: RowId) -> Vec<RowId> {
-    let Ok(from_t) = db.table(&hop.from_table) else { return Vec::new() };
-    let Ok(key) = from_t.value_of(from_rid, &hop.from_column) else { return Vec::new() };
+    let Ok(from_t) = db.table(&hop.from_table) else {
+        return Vec::new();
+    };
+    let Ok(key) = from_t.value_of(from_rid, &hop.from_column) else {
+        return Vec::new();
+    };
     if key == Value::Null {
         return Vec::new();
     }
@@ -236,9 +244,12 @@ mod tests {
         db.insert("movie_actor", row![1, 1]).unwrap();
         db.insert("movie_actor", row![2, 2]).unwrap();
         db.insert("movie_actor", row![2, 3]).unwrap();
-        db.insert("screening", row![10, 1, Date::new(2022, 3, 26).unwrap()]).unwrap();
-        db.insert("screening", row![11, 2, Date::new(2022, 3, 27).unwrap()]).unwrap();
-        db.insert("screening", row![12, 2, Date::new(2022, 3, 28).unwrap()]).unwrap();
+        db.insert("screening", row![10, 1, Date::new(2022, 3, 26).unwrap()])
+            .unwrap();
+        db.insert("screening", row![11, 2, Date::new(2022, 3, 27).unwrap()])
+            .unwrap();
+        db.insert("screening", row![12, 2, Date::new(2022, 3, 28).unwrap()])
+            .unwrap();
         db
     }
 
@@ -270,7 +281,10 @@ mod tests {
     fn join_path_disconnected() {
         let mut db = db();
         db.create_table(
-            TableSchema::builder("island").column("x", DataType::Int).build().unwrap(),
+            TableSchema::builder("island")
+                .column("x", DataType::Int)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         assert!(join_path(&db, "screening", "island").is_none());
@@ -279,11 +293,15 @@ mod tests {
     #[test]
     fn reachable_tables_respects_hop_limit() {
         let db = db();
-        let r1: Vec<String> =
-            reachable_tables(&db, "screening", 1).into_iter().map(|(t, _)| t).collect();
+        let r1: Vec<String> = reachable_tables(&db, "screening", 1)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
         assert_eq!(r1, vec!["movie"]);
-        let r3: Vec<String> =
-            reachable_tables(&db, "screening", 3).into_iter().map(|(t, _)| t).collect();
+        let r3: Vec<String> = reachable_tables(&db, "screening", 3)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
         assert_eq!(r3, vec!["movie", "movie_actor", "actor"]);
     }
 
@@ -291,20 +309,32 @@ mod tests {
     fn follow_hop_and_path() {
         let db = db();
         // screening 11 (Heat) -> movie -> movie_actor -> actor = {Pacino, De Niro}
-        let (srid, _) = db.table("screening").unwrap().get_by_pk(&[Value::Int(11)]).unwrap();
+        let (srid, _) = db
+            .table("screening")
+            .unwrap()
+            .get_by_pk(&[Value::Int(11)])
+            .unwrap();
         let path = join_path(&db, "screening", "actor").unwrap();
         let actors = follow_path(&db, &path, srid);
         assert_eq!(actors.len(), 2);
         let names: Vec<String> = actors
             .iter()
             .map(|&rid| {
-                db.table("actor").unwrap().value_of(rid, "name").unwrap().render()
+                db.table("actor")
+                    .unwrap()
+                    .value_of(rid, "name")
+                    .unwrap()
+                    .render()
             })
             .collect();
         assert!(names.contains(&"Al Pacino".to_string()));
         assert!(names.contains(&"Robert De Niro".to_string()));
         // Reverse direction: movie 2 (Heat) has two screenings.
-        let (mrid, _) = db.table("movie").unwrap().get_by_pk(&[Value::Int(2)]).unwrap();
+        let (mrid, _) = db
+            .table("movie")
+            .unwrap()
+            .get_by_pk(&[Value::Int(2)])
+            .unwrap();
         let hop = fk_neighbors(&db, "movie")
             .into_iter()
             .find(|h| h.to_table == "screening")

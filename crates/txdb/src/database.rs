@@ -1,23 +1,40 @@
 //! The database facade: catalog of tables, stored procedures, foreign-key
 //! enforcement and transactional execution.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Mutex, PoisonError};
 
 use crate::error::{Result, TxdbError};
 use crate::predicate::Predicate;
 use crate::procedure::{ProcOp, ProcOutcome, Procedure};
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
+use crate::stats::TableStats;
 use crate::table::Table;
 use crate::txn::{Transaction, UndoOp};
 use crate::value::Value;
 
 /// An in-memory relational database with foreign keys, stored procedures
 /// and undo-log transactions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     procedures: BTreeMap<String, Procedure>,
+    /// Lazily computed per-table statistics, invalidated via the table
+    /// version counter. Interior mutability keeps the read-side query
+    /// planner working on `&Database`.
+    stats_cache: Mutex<HashMap<String, TableStats>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            tables: self.tables.clone(),
+            procedures: self.procedures.clone(),
+            // Statistics are cheap to recompute lazily; start cold.
+            stats_cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl Database {
@@ -34,27 +51,43 @@ impl Database {
             return Err(TxdbError::DuplicateTable(schema.name().to_string()));
         }
         let name = schema.name().to_string();
+        self.evict_stats(&name);
         self.tables.insert(name, Table::new(schema)?);
         Ok(())
     }
 
     /// Drop a table and all of its rows.
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.evict_stats(name);
         self.tables
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| TxdbError::UnknownTable(name.to_string()))
     }
 
+    /// Forget cached statistics for `name`. Version counters restart at
+    /// zero for a re-created table, so a stale entry could otherwise pass
+    /// the version check while describing the old table's data.
+    fn evict_stats(&mut self, name: &str) {
+        self.stats_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name);
+    }
+
     /// Immutable access to a table.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables.get(name).ok_or_else(|| TxdbError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| TxdbError::UnknownTable(name.to_string()))
     }
 
     /// Mutable access to a table. Prefer the typed operations below; this
     /// escape hatch bypasses foreign-key enforcement.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables.get_mut(name).ok_or_else(|| TxdbError::UnknownTable(name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| TxdbError::UnknownTable(name.to_string()))
     }
 
     /// Names of all tables, sorted.
@@ -70,6 +103,34 @@ impl Database {
     /// Total number of rows across all tables.
     pub fn total_rows(&self) -> usize {
         self.tables.values().map(Table::len).sum()
+    }
+
+    // ----- statistics -----
+
+    /// Run `f` over up-to-date statistics for `table`. Statistics are
+    /// computed on first use and cached until the table's version counter
+    /// moves, so steady-state planning costs one lock and one integer
+    /// compare.
+    pub fn with_stats<R>(&self, table: &str, f: impl FnOnce(&TableStats) -> R) -> Result<R> {
+        let t = self.table(table)?;
+        let mut cache = self
+            .stats_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let stats = cache
+            .entry(table.to_string())
+            .and_modify(|s| {
+                if s.version != t.version() {
+                    *s = TableStats::compute(t);
+                }
+            })
+            .or_insert_with(|| TableStats::compute(t));
+        Ok(f(stats))
+    }
+
+    /// Clone out the cached statistics for `table`.
+    pub fn stats_of(&self, table: &str) -> Result<TableStats> {
+        self.with_stats(table, Clone::clone)
     }
 
     // ----- procedures -----
@@ -109,7 +170,9 @@ impl Database {
 
     /// Look up a procedure by name.
     pub fn procedure(&self, name: &str) -> Result<&Procedure> {
-        self.procedures.get(name).ok_or_else(|| TxdbError::UnknownProcedure(name.to_string()))
+        self.procedures
+            .get(name)
+            .ok_or_else(|| TxdbError::UnknownProcedure(name.to_string()))
     }
 
     /// All registered procedures, sorted by name.
@@ -169,14 +232,27 @@ impl Database {
         self.check_fk_parents(table, &row)?;
         let t = self.table_mut(table)?;
         let rid = t.insert(row)?;
-        Ok((rid, UndoOp::Insert { table: table.to_string(), rid }))
+        Ok((
+            rid,
+            UndoOp::Insert {
+                table: table.to_string(),
+                rid,
+            },
+        ))
     }
 
     pub(crate) fn delete_op(&mut self, table: &str, rid: RowId) -> Result<(Row, UndoOp)> {
         self.check_fk_children(table, rid)?;
         let t = self.table_mut(table)?;
         let row = t.delete(rid)?;
-        Ok((row.clone(), UndoOp::Delete { table: table.to_string(), rid, row }))
+        Ok((
+            row.clone(),
+            UndoOp::Delete {
+                table: table.to_string(),
+                rid,
+                row,
+            },
+        ))
     }
 
     pub(crate) fn update_op(
@@ -212,7 +288,15 @@ impl Database {
         let col_idx = self.table(table)?.schema().require_column(column)?;
         let t = self.table_mut(table)?;
         let old = t.update(rid, column, value)?;
-        Ok((old.clone(), UndoOp::Update { table: table.to_string(), rid, col_idx, old }))
+        Ok((
+            old.clone(),
+            UndoOp::Update {
+                table: table.to_string(),
+                rid,
+                col_idx,
+                old,
+            },
+        ))
     }
 
     pub(crate) fn apply_undo(&mut self, op: UndoOp) {
@@ -227,7 +311,12 @@ impl Database {
                     t.insert_physical(rid, row);
                 }
             }
-            UndoOp::Update { table, rid, col_idx, old } => {
+            UndoOp::Update {
+                table,
+                rid,
+                col_idx,
+                old,
+            } => {
                 if let Some(t) = self.tables.get_mut(&table) {
                     t.set_physical(rid, col_idx, old);
                 }
@@ -364,18 +453,26 @@ mod tests {
         db.insert("movie", row![1, "Forrest Gump"]).unwrap();
         db.insert("movie", row![2, "Heat"]).unwrap();
         db.insert("customer", row![1, "Ada Lovelace"]).unwrap();
-        db.insert("screening", row![10, 1, crate::value::Date::new(2022, 3, 26).unwrap()])
-            .unwrap();
+        db.insert(
+            "screening",
+            row![10, 1, crate::value::Date::new(2022, 3, 26).unwrap()],
+        )
+        .unwrap();
         db
     }
 
     #[test]
     fn create_and_drop_table() {
         let mut db = Database::new();
-        let schema =
-            TableSchema::builder("t").column("a", DataType::Int).build().unwrap();
+        let schema = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .build()
+            .unwrap();
         db.create_table(schema.clone()).unwrap();
-        assert!(matches!(db.create_table(schema).unwrap_err(), TxdbError::DuplicateTable(_)));
+        assert!(matches!(
+            db.create_table(schema).unwrap_err(),
+            TxdbError::DuplicateTable(_)
+        ));
         assert_eq!(db.table_names(), vec!["t"]);
         db.drop_table("t").unwrap();
         assert!(db.drop_table("t").is_err());
@@ -386,35 +483,60 @@ mod tests {
         let mut db = cinema_db();
         // movie 99 does not exist.
         let err = db
-            .insert("screening", row![11, 99, crate::value::Date::new(2022, 1, 1).unwrap()])
+            .insert(
+                "screening",
+                row![11, 99, crate::value::Date::new(2022, 1, 1).unwrap()],
+            )
             .unwrap_err();
         assert!(matches!(err, TxdbError::ForeignKeyViolation { .. }));
-        db.insert("screening", row![11, 2, crate::value::Date::new(2022, 1, 1).unwrap()])
-            .unwrap();
+        db.insert(
+            "screening",
+            row![11, 2, crate::value::Date::new(2022, 1, 1).unwrap()],
+        )
+        .unwrap();
     }
 
     #[test]
     fn fk_children_block_delete() {
         let mut db = cinema_db();
-        let (movie_rid, _) = db.table("movie").unwrap().get_by_pk(&[Value::Int(1)]).unwrap();
+        let (movie_rid, _) = db
+            .table("movie")
+            .unwrap()
+            .get_by_pk(&[Value::Int(1)])
+            .unwrap();
         // screening 10 references movie 1.
         assert!(matches!(
             db.delete("movie", movie_rid).unwrap_err(),
             TxdbError::ForeignKeyViolation { .. }
         ));
         // Unreferenced movie 2 can be deleted.
-        let (rid2, _) = db.table("movie").unwrap().get_by_pk(&[Value::Int(2)]).unwrap();
+        let (rid2, _) = db
+            .table("movie")
+            .unwrap()
+            .get_by_pk(&[Value::Int(2)])
+            .unwrap();
         db.delete("movie", rid2).unwrap();
     }
 
     #[test]
     fn fk_enforced_on_update() {
         let mut db = cinema_db();
-        let (srid, _) = db.table("screening").unwrap().get_by_pk(&[Value::Int(10)]).unwrap();
-        assert!(db.update("screening", srid, "movie_id", Value::Int(99)).is_err());
-        db.update("screening", srid, "movie_id", Value::Int(2)).unwrap();
+        let (srid, _) = db
+            .table("screening")
+            .unwrap()
+            .get_by_pk(&[Value::Int(10)])
+            .unwrap();
+        assert!(db
+            .update("screening", srid, "movie_id", Value::Int(99))
+            .is_err());
+        db.update("screening", srid, "movie_id", Value::Int(2))
+            .unwrap();
         // Updating a referenced key away from its children fails.
-        let (mrid, _) = db.table("movie").unwrap().get_by_pk(&[Value::Int(2)]).unwrap();
+        let (mrid, _) = db
+            .table("movie")
+            .unwrap()
+            .get_by_pk(&[Value::Int(2)])
+            .unwrap();
         assert!(db.update("movie", mrid, "movie_id", Value::Int(5)).is_err());
     }
 
@@ -446,12 +568,26 @@ mod tests {
     fn call_procedure_end_to_end() {
         let mut db = cinema_db();
         let proc = Procedure::builder("ticket_reservation")
-            .param(ParamDef::entity("customer_id", DataType::Int, "customer", "customer_id"))
-            .param(ParamDef::entity("screening_id", DataType::Int, "screening", "screening_id"))
+            .param(ParamDef::entity(
+                "customer_id",
+                DataType::Int,
+                "customer",
+                "customer_id",
+            ))
+            .param(ParamDef::entity(
+                "screening_id",
+                DataType::Int,
+                "screening",
+                "screening_id",
+            ))
             .param(ParamDef::scalar("ticket_amount", DataType::Int))
             .op(ProcOp::Insert {
                 table: "reservation".into(),
-                columns: vec!["customer_id".into(), "screening_id".into(), "no_tickets".into()],
+                columns: vec![
+                    "customer_id".into(),
+                    "screening_id".into(),
+                    "no_tickets".into(),
+                ],
                 values: vec![
                     ParamExpr::param("customer_id"),
                     ParamExpr::param("screening_id"),
@@ -490,8 +626,43 @@ mod tests {
     }
 
     #[test]
+    fn stats_cache_evicted_on_drop_and_recreate() {
+        let mut db = Database::new();
+        let schema = |name: &str| {
+            TableSchema::builder(name)
+                .column("id", DataType::Int)
+                .column("v", DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .unwrap()
+        };
+        db.create_table(schema("t")).unwrap();
+        db.insert("t", row![1, 10]).unwrap();
+        db.insert("t", row![2, 10]).unwrap();
+        let distinct_before = db
+            .with_stats("t", |s| s.column("v").unwrap().distinct)
+            .unwrap();
+        assert_eq!(distinct_before, 1);
+        let version_before = db.table("t").unwrap().version();
+        // Drop and rebuild with the same number of mutations so the fresh
+        // table's version collides with the cached entry's.
+        db.drop_table("t").unwrap();
+        db.create_table(schema("t")).unwrap();
+        db.insert("t", row![1, 10]).unwrap();
+        db.insert("t", row![2, 20]).unwrap();
+        assert_eq!(db.table("t").unwrap().version(), version_before);
+        let distinct_after = db
+            .with_stats("t", |s| s.column("v").unwrap().distinct)
+            .unwrap();
+        assert_eq!(distinct_after, 2, "stale stats served for re-created table");
+    }
+
+    #[test]
     fn unknown_procedure() {
         let mut db = cinema_db();
-        assert!(matches!(db.call("nope", &[]).unwrap_err(), TxdbError::UnknownProcedure(_)));
+        assert!(matches!(
+            db.call("nope", &[]).unwrap_err(),
+            TxdbError::UnknownProcedure(_)
+        ));
     }
 }

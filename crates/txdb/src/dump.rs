@@ -153,9 +153,18 @@ mod tests {
         let restored = restore_sql(&script).expect("restore");
         assert_eq!(restored.table_names(), db.table_names());
         for t in db.table_names() {
-            let orig: Vec<_> = db.table(t).unwrap().scan().map(|(_, r)| r.clone()).collect();
-            let back: Vec<_> =
-                restored.table(t).unwrap().scan().map(|(_, r)| r.clone()).collect();
+            let orig: Vec<_> = db
+                .table(t)
+                .unwrap()
+                .scan()
+                .map(|(_, r)| r.clone())
+                .collect();
+            let back: Vec<_> = restored
+                .table(t)
+                .unwrap()
+                .scan()
+                .map(|(_, r)| r.clone())
+                .collect();
             assert_eq!(orig, back, "table {t} differs after roundtrip");
         }
         // Schema features survive.
@@ -163,7 +172,15 @@ mod tests {
         assert_eq!(schema.primary_key(), &["screening_id".to_string()]);
         assert_eq!(schema.foreign_keys().len(), 1);
         assert!(!schema.column("movie_id").unwrap().nullable);
-        assert!(restored.table("movie").unwrap().schema().column("rating").unwrap().nullable);
+        assert!(
+            restored
+                .table("movie")
+                .unwrap()
+                .schema()
+                .column("rating")
+                .unwrap()
+                .nullable
+        );
     }
 
     #[test]
@@ -174,7 +191,10 @@ mod tests {
         assert!(restored.insert("movie", row![1, "Dup", 1.0]).is_err());
         // FK enforced.
         assert!(restored
-            .insert("screening", row![11, 99, Date::new(2022, 1, 1).unwrap(), false])
+            .insert(
+                "screening",
+                row![11, 99, Date::new(2022, 1, 1).unwrap(), false]
+            )
             .is_err());
     }
 
@@ -184,7 +204,10 @@ mod tests {
         let script = dump_sql(&db);
         let movie_pos = script.find("CREATE TABLE movie").expect("movie");
         let screening_pos = script.find("CREATE TABLE screening").expect("screening");
-        assert!(movie_pos < screening_pos, "parent table must be created first");
+        assert!(
+            movie_pos < screening_pos,
+            "parent table must be created first"
+        );
     }
 
     #[test]
@@ -192,13 +215,26 @@ mod tests {
         let db = sample_db();
         let restored = restore_sql(&dump_sql(&db)).expect("restore");
         // Quote-escaped title, NULL rating, bool and date values.
-        let hits = restored.select("movie", &Predicate::eq("title", "O'Hara's Day")).unwrap();
+        let hits = restored
+            .select("movie", &Predicate::eq("title", "O'Hara's Day"))
+            .unwrap();
         assert_eq!(hits.len(), 1);
         let null_ratings = restored
-            .select("movie", &Predicate::IsNull { column: "rating".into() })
+            .select(
+                "movie",
+                &Predicate::IsNull {
+                    column: "rating".into(),
+                },
+            )
             .unwrap();
         assert_eq!(null_ratings.len(), 1);
-        let s = restored.table("screening").unwrap().scan().next().unwrap().1;
+        let s = restored
+            .table("screening")
+            .unwrap()
+            .scan()
+            .next()
+            .unwrap()
+            .1;
         assert_eq!(s.get(3), Some(&Value::Bool(true)));
         assert_eq!(s.get(2).unwrap().render(), "2022-03-26");
     }

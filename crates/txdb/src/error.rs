@@ -29,7 +29,11 @@ pub enum TxdbError {
     /// A `NOT NULL` column received a null value.
     NotNullViolation { table: String, column: String },
     /// Row arity did not match the table schema.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
     /// Referenced a stored procedure that does not exist.
     UnknownProcedure(String),
     /// Procedure invoked with missing or unexpected arguments.
@@ -55,8 +59,15 @@ impl fmt::Display for TxdbError {
             TxdbError::DuplicateIndex { table, column } => {
                 write!(f, "index on `{table}.{column}` already exists")
             }
-            TxdbError::TypeMismatch { expected, got, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, got {got}")
+            TxdbError::TypeMismatch {
+                expected,
+                got,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, got {got}"
+                )
             }
             TxdbError::DuplicateKey { table, key } => {
                 write!(f, "duplicate key {key} for table `{table}`")
@@ -67,8 +78,15 @@ impl fmt::Display for TxdbError {
             TxdbError::NotNullViolation { table, column } => {
                 write!(f, "null value in NOT NULL column `{table}.{column}`")
             }
-            TxdbError::ArityMismatch { table, expected, got } => {
-                write!(f, "row arity mismatch for `{table}`: expected {expected} values, got {got}")
+            TxdbError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "row arity mismatch for `{table}`: expected {expected} values, got {got}"
+                )
             }
             TxdbError::UnknownProcedure(p) => write!(f, "unknown procedure `{p}`"),
             TxdbError::BadProcedureArgs { procedure, detail } => {
@@ -93,9 +111,15 @@ mod tests {
 
     #[test]
     fn display_formats_are_human_readable() {
-        let e = TxdbError::UnknownColumn { table: "movie".into(), column: "titel".into() };
+        let e = TxdbError::UnknownColumn {
+            table: "movie".into(),
+            column: "titel".into(),
+        };
         assert_eq!(e.to_string(), "unknown column `titel` on table `movie`");
-        let e = TxdbError::NotNullViolation { table: "customer".into(), column: "name".into() };
+        let e = TxdbError::NotNullViolation {
+            table: "customer".into(),
+            column: "name".into(),
+        };
         assert!(e.to_string().contains("NOT NULL"));
     }
 

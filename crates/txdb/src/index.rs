@@ -30,6 +30,36 @@ fn type_rank(v: &Value) -> u8 {
     }
 }
 
+fn is_nan(v: &Value) -> bool {
+    matches!(v, Value::Float(f) if f.is_nan())
+}
+
+impl OrdKey {
+    /// The total order over borrowed values, without wrapping/cloning.
+    /// This is the canonical `ORDER BY` comparator of the SQL layer:
+    /// within a type, natural order; across types, type rank (NULLs
+    /// first). NaN sorts after every other number and compares equal to
+    /// itself — without this, same-rank incomparables would collapse to
+    /// `Equal` and break the `Ord` contract (merging NaN rows into
+    /// arbitrary numeric groups, or corrupting B-tree keys).
+    pub fn cmp_values(a: &Value, b: &Value) -> Ordering {
+        // NaN must be handled before delegating: `Value::partial_cmp`
+        // collapses float incomparables to `Equal`, which would merge NaN
+        // with every number and break transitivity (5 == NaN == 7 but
+        // 5 < 7), corrupting B-tree keys and group boundaries.
+        match (is_nan(a), is_nan(b)) {
+            (true, true) => return Ordering::Equal,
+            (true, false) if type_rank(b) == 2 => return Ordering::Greater,
+            (false, true) if type_rank(a) == 2 => return Ordering::Less,
+            _ => {}
+        }
+        match a.partial_cmp(b) {
+            Some(ord) => ord,
+            None => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
 impl Eq for OrdKey {}
 
 impl PartialOrd for OrdKey {
@@ -40,10 +70,7 @@ impl PartialOrd for OrdKey {
 
 impl Ord for OrdKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.0.partial_cmp(&other.0) {
-            Some(ord) => ord,
-            None => type_rank(&self.0).cmp(&type_rank(&other.0)),
-        }
+        OrdKey::cmp_values(&self.0, &other.0)
     }
 }
 
@@ -81,7 +108,22 @@ impl RangeIndex {
     }
 
     /// Row ids with values in the given (inclusive/exclusive) bounds.
+    /// An empty or inverted range (e.g. from contradictory predicates)
+    /// yields no rows instead of panicking.
     pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RowId> {
+        if let (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) =
+            (&lo, &hi)
+        {
+            match OrdKey::cmp_values(a, b) {
+                Ordering::Greater => return Vec::new(),
+                Ordering::Equal
+                    if matches!(lo, Bound::Excluded(_)) || matches!(hi, Bound::Excluded(_)) =>
+                {
+                    return Vec::new()
+                }
+                _ => {}
+            }
+        }
         let conv = |b: Bound<&Value>| match b {
             Bound::Included(v) => Bound::Included(OrdKey(v.clone())),
             Bound::Excluded(v) => Bound::Excluded(OrdKey(v.clone())),
@@ -98,7 +140,10 @@ impl RangeIndex {
 
     /// Exact-match lookup.
     pub fn get(&self, value: &Value) -> Vec<RowId> {
-        self.map.get(&OrdKey(value.clone())).cloned().unwrap_or_default()
+        self.map
+            .get(&OrdKey(value.clone()))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Number of distinct values.
@@ -129,12 +174,47 @@ mod tests {
     #[test]
     fn range_queries() {
         let idx = sample();
-        let ids = idx.range(Bound::Included(&Value::Int(3)), Bound::Included(&Value::Int(5)));
+        let ids = idx.range(
+            Bound::Included(&Value::Int(3)),
+            Bound::Included(&Value::Int(5)),
+        );
         assert_eq!(ids, vec![RowId(1), RowId(2), RowId(4)]);
         let ids = idx.range(Bound::Excluded(&Value::Int(3)), Bound::Unbounded);
         assert_eq!(ids, vec![RowId(1), RowId(3), RowId(5)]);
         let ids = idx.range(Bound::Unbounded, Bound::Excluded(&Value::Int(3)));
         assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn inverted_or_empty_ranges_yield_nothing() {
+        let idx = sample();
+        // start > end must not panic (contradictory WHERE bounds).
+        assert!(idx
+            .range(
+                Bound::Included(&Value::Int(9)),
+                Bound::Included(&Value::Int(3))
+            )
+            .is_empty());
+        assert!(idx
+            .range(
+                Bound::Excluded(&Value::Int(5)),
+                Bound::Excluded(&Value::Int(5))
+            )
+            .is_empty());
+        assert!(idx
+            .range(
+                Bound::Included(&Value::Int(5)),
+                Bound::Excluded(&Value::Int(5))
+            )
+            .is_empty());
+        // Equal inclusive bounds are a point query.
+        assert_eq!(
+            idx.range(
+                Bound::Included(&Value::Int(5)),
+                Bound::Included(&Value::Int(5))
+            ),
+            vec![RowId(1)]
+        );
     }
 
     #[test]
@@ -176,6 +256,38 @@ mod tests {
         idx.insert(Value::Int(3), RowId(3));
         let ids = idx.range(Bound::Included(&Value::Float(2.1)), Bound::Unbounded);
         assert_eq!(ids, vec![RowId(2), RowId(3)]);
+    }
+
+    #[test]
+    fn nan_orders_after_numbers_and_equals_itself() {
+        use std::cmp::Ordering;
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(OrdKey::cmp_values(&nan, &nan), Ordering::Equal);
+        assert_eq!(
+            OrdKey::cmp_values(&nan, &Value::Float(5.0)),
+            Ordering::Greater
+        );
+        assert_eq!(OrdKey::cmp_values(&Value::Float(5.0), &nan), Ordering::Less);
+        assert_eq!(OrdKey::cmp_values(&nan, &Value::Int(7)), Ordering::Greater);
+        assert_eq!(OrdKey::cmp_values(&Value::Null, &nan), Ordering::Less);
+        // Transitivity through NaN: 5 < NaN, NaN > 7, and 5 < 7 still holds.
+        assert_eq!(
+            OrdKey::cmp_values(&Value::Float(5.0), &Value::Float(7.0)),
+            Ordering::Less
+        );
+        // A NaN-keyed index entry is retrievable (total order intact).
+        let mut idx = RangeIndex::new();
+        idx.insert(Value::Float(1.0), RowId(1));
+        idx.insert(Value::Float(f64::NAN), RowId(2));
+        idx.insert(Value::Float(2.0), RowId(3));
+        assert_eq!(idx.get(&Value::Float(f64::NAN)), vec![RowId(2)]);
+        assert_eq!(
+            idx.range(
+                Bound::Included(&Value::Float(1.0)),
+                Bound::Included(&Value::Float(2.0))
+            ),
+            vec![RowId(1), RowId(3)]
+        );
     }
 
     #[test]

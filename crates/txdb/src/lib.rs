@@ -51,7 +51,9 @@ pub mod table;
 pub mod txn;
 pub mod value;
 
-pub use catalog::{fk_neighbors, follow_hop, follow_path, join_path, reachable_tables, JoinDirection, JoinHop};
+pub use catalog::{
+    fk_neighbors, follow_hop, follow_path, join_path, reachable_tables, JoinDirection, JoinHop,
+};
 pub use database::Database;
 pub use dump::{dump_sql, restore_sql};
 pub use error::{Result, TxdbError};

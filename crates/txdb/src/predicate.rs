@@ -62,7 +62,11 @@ pub enum Predicate {
     /// Always false.
     False,
     /// `column <op> literal`.
-    Cmp { column: String, op: CmpOp, value: Value },
+    Cmp {
+        column: String,
+        op: CmpOp,
+        value: Value,
+    },
     /// Case-insensitive substring match on a text column.
     Contains { column: String, needle: String },
     /// `column IS NULL`.
@@ -78,17 +82,28 @@ pub enum Predicate {
 impl Predicate {
     /// `column = value`, the workhorse of slot filling.
     pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Predicate {
-        Predicate::Cmp { column: column.into(), op: CmpOp::Eq, value: value.into() }
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
     }
 
     /// `column <op> value`.
     pub fn cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Predicate {
-        Predicate::Cmp { column: column.into(), op, value: value.into() }
+        Predicate::Cmp {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Case-insensitive substring match.
     pub fn contains(column: impl Into<String>, needle: impl Into<String>) -> Predicate {
-        Predicate::Contains { column: column.into(), needle: needle.into() }
+        Predicate::Contains {
+            column: column.into(),
+            needle: needle.into(),
+        }
     }
 
     /// Conjunction that simplifies away `True`.
@@ -195,7 +210,11 @@ impl Predicate {
     fn collect_equalities<'a>(&'a self, out: &mut Vec<(&'a str, &'a Value)>) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Cmp { column, op: CmpOp::Eq, value } => {
+            Predicate::Cmp {
+                column,
+                op: CmpOp::Eq,
+                value,
+            } => {
                 out.push((column.as_str(), value));
                 true
             }
@@ -246,9 +265,15 @@ mod tests {
         let r = row![1, "Forrest Gump", 8.8];
         assert!(Predicate::eq("title", "Forrest Gump").eval(&s, &r).unwrap());
         assert!(!Predicate::eq("title", "Heat").eval(&s, &r).unwrap());
-        assert!(Predicate::cmp("rating", CmpOp::Gt, 8.0).eval(&s, &r).unwrap());
-        assert!(Predicate::cmp("rating", CmpOp::Le, 8.8).eval(&s, &r).unwrap());
-        assert!(!Predicate::cmp("rating", CmpOp::Lt, 8.8).eval(&s, &r).unwrap());
+        assert!(Predicate::cmp("rating", CmpOp::Gt, 8.0)
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::cmp("rating", CmpOp::Le, 8.8)
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::cmp("rating", CmpOp::Lt, 8.8)
+            .eval(&s, &r)
+            .unwrap());
     }
 
     #[test]
@@ -265,7 +290,9 @@ mod tests {
         let r = Row::new(vec![Value::Int(1), Value::Text("X".into()), Value::Null]);
         // NULL compares false under every operator...
         assert!(!Predicate::eq("rating", 8.8).eval(&s, &r).unwrap());
-        assert!(!Predicate::cmp("rating", CmpOp::Lt, 9.0).eval(&s, &r).unwrap());
+        assert!(!Predicate::cmp("rating", CmpOp::Lt, 9.0)
+            .eval(&s, &r)
+            .unwrap());
         assert!(!Predicate::Cmp {
             column: "rating".into(),
             op: CmpOp::Ne,
@@ -274,7 +301,11 @@ mod tests {
         .eval(&s, &r)
         .unwrap());
         // ...but IS NULL sees it.
-        assert!(Predicate::IsNull { column: "rating".into() }.eval(&s, &r).unwrap());
+        assert!(Predicate::IsNull {
+            column: "rating".into()
+        }
+        .eval(&s, &r)
+        .unwrap());
     }
 
     #[test]

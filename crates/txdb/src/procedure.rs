@@ -63,9 +63,16 @@ impl fmt::Display for ParamExpr {
 pub enum ProcOp {
     /// Insert a row; `columns` and `values` are aligned; unmentioned
     /// columns receive NULL.
-    Insert { table: String, columns: Vec<String>, values: Vec<ParamExpr> },
+    Insert {
+        table: String,
+        columns: Vec<String>,
+        values: Vec<ParamExpr>,
+    },
     /// Delete rows matching the equality filter.
-    Delete { table: String, filter: Vec<(String, ParamExpr)> },
+    Delete {
+        table: String,
+        filter: Vec<(String, ParamExpr)>,
+    },
     /// Update `set` columns on rows matching the equality filter.
     Update {
         table: String,
@@ -74,7 +81,11 @@ pub enum ProcOp {
     },
     /// Read rows matching the equality filter (projected to `columns`,
     /// or all columns when `None`); results are returned to the caller.
-    Select { table: String, filter: Vec<(String, ParamExpr)>, columns: Option<Vec<String>> },
+    Select {
+        table: String,
+        filter: Vec<(String, ParamExpr)>,
+        columns: Option<Vec<String>>,
+    },
 }
 
 impl ProcOp {
@@ -112,7 +123,12 @@ pub struct ParamDef {
 impl ParamDef {
     /// A plain scalar parameter.
     pub fn scalar(name: impl Into<String>, ty: DataType) -> ParamDef {
-        ParamDef { name: name.into(), ty, references: None, description: String::new() }
+        ParamDef {
+            name: name.into(),
+            ty,
+            references: None,
+            description: String::new(),
+        }
     }
 
     /// A parameter that identifies an entity in `table.column`.
@@ -190,16 +206,20 @@ impl Procedure {
     pub fn bind_args(&self, args: &[(String, Value)]) -> Result<Vec<(String, Value)>> {
         let mut bound = Vec::with_capacity(self.params.len());
         for p in &self.params {
-            let raw = args.iter().find(|(n, _)| n == &p.name).map(|(_, v)| v).ok_or_else(|| {
-                TxdbError::BadProcedureArgs {
+            let raw = args
+                .iter()
+                .find(|(n, _)| n == &p.name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| TxdbError::BadProcedureArgs {
                     procedure: self.name.clone(),
                     detail: format!("missing argument `{}`", p.name),
-                }
-            })?;
-            let coerced = raw.coerce_to(p.ty).map_err(|_| TxdbError::BadProcedureArgs {
-                procedure: self.name.clone(),
-                detail: format!("argument `{}` must be {} (got `{raw}`)", p.name, p.ty),
-            })?;
+                })?;
+            let coerced = raw
+                .coerce_to(p.ty)
+                .map_err(|_| TxdbError::BadProcedureArgs {
+                    procedure: self.name.clone(),
+                    detail: format!("argument `{}` must be {} (got `{raw}`)", p.name, p.ty),
+                })?;
             bound.push((p.name.clone(), coerced));
         }
         for (n, _) in args {
@@ -253,7 +273,10 @@ impl ProcedureBuilder {
     pub fn delete_by_params(mut self, table: &str, columns: &[&str]) -> Self {
         self.proc.ops.push(ProcOp::Delete {
             table: table.to_string(),
-            filter: columns.iter().map(|c| (c.to_string(), ParamExpr::param(*c))).collect(),
+            filter: columns
+                .iter()
+                .map(|c| (c.to_string(), ParamExpr::param(*c)))
+                .collect(),
         });
         self
     }
@@ -262,7 +285,10 @@ impl ProcedureBuilder {
     pub fn select_by_params(mut self, table: &str, columns: &[&str]) -> Self {
         self.proc.ops.push(ProcOp::Select {
             table: table.to_string(),
-            filter: columns.iter().map(|c| (c.to_string(), ParamExpr::param(*c))).collect(),
+            filter: columns
+                .iter()
+                .map(|c| (c.to_string(), ParamExpr::param(*c)))
+                .collect(),
             columns: None,
         });
         self
@@ -284,7 +310,9 @@ impl ProcedureBuilder {
         };
         for op in &p.ops {
             match op {
-                ProcOp::Insert { columns, values, .. } => {
+                ProcOp::Insert {
+                    columns, values, ..
+                } => {
                     if columns.len() != values.len() {
                         return Err(TxdbError::BadProcedureArgs {
                             procedure: p.name.clone(),
@@ -334,12 +362,26 @@ mod tests {
     fn reservation_proc() -> Procedure {
         Procedure::builder("ticket_reservation")
             .describe("Reserve tickets for a screening")
-            .param(ParamDef::entity("customer_id", DataType::Int, "customer", "customer_id"))
-            .param(ParamDef::entity("screening_id", DataType::Int, "screening", "screening_id"))
+            .param(ParamDef::entity(
+                "customer_id",
+                DataType::Int,
+                "customer",
+                "customer_id",
+            ))
+            .param(ParamDef::entity(
+                "screening_id",
+                DataType::Int,
+                "screening",
+                "screening_id",
+            ))
             .param(ParamDef::scalar("ticket_amount", DataType::Int).describe("number of tickets"))
             .op(ProcOp::Insert {
                 table: "reservation".into(),
-                columns: vec!["customer_id".into(), "screening_id".into(), "no_tickets".into()],
+                columns: vec![
+                    "customer_id".into(),
+                    "screening_id".into(),
+                    "no_tickets".into(),
+                ],
                 values: vec![
                     ParamExpr::param("customer_id"),
                     ParamExpr::param("screening_id"),
@@ -377,7 +419,9 @@ mod tests {
         assert_eq!(bound[0], ("customer_id".to_string(), Value::Int(1)));
         assert_eq!(bound[2], ("ticket_amount".to_string(), Value::Int(4)));
 
-        assert!(p.bind_args(&[("customer_id".into(), Value::Int(1))]).is_err());
+        assert!(p
+            .bind_args(&[("customer_id".into(), Value::Int(1))])
+            .is_err());
         assert!(p
             .bind_args(&[
                 ("customer_id".into(), Value::Int(1)),
@@ -403,8 +447,14 @@ mod tests {
     #[test]
     fn param_expr_resolution() {
         let args = vec![("a".to_string(), Value::Int(1))];
-        assert_eq!(ParamExpr::param("a").resolve("p", &args).unwrap(), Value::Int(1));
-        assert_eq!(ParamExpr::constant(9).resolve("p", &args).unwrap(), Value::Int(9));
+        assert_eq!(
+            ParamExpr::param("a").resolve("p", &args).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            ParamExpr::constant(9).resolve("p", &args).unwrap(),
+            Value::Int(9)
+        );
         assert!(ParamExpr::param("z").resolve("p", &args).is_err());
         assert_eq!(ParamExpr::param("a").to_string(), ":a");
     }

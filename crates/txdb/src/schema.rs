@@ -97,7 +97,9 @@ impl ColumnDef {
     /// The name shown to end users: the display name if set, otherwise the
     /// column name with underscores replaced by spaces.
     pub fn human_name(&self) -> String {
-        self.display_name.clone().unwrap_or_else(|| self.name.replace('_', " "))
+        self.display_name
+            .clone()
+            .unwrap_or_else(|| self.name.replace('_', " "))
     }
 }
 
@@ -111,7 +113,11 @@ pub struct ForeignKey {
 
 impl fmt::Display for ForeignKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {}({})", self.column, self.ref_table, self.ref_column)
+        write!(
+            f,
+            "{} -> {}({})",
+            self.column, self.ref_table, self.ref_column
+        )
     }
 }
 
@@ -176,10 +182,11 @@ impl TableSchema {
 
     /// Like [`Self::column_index`] but produces the crate error type.
     pub fn require_column(&self, name: &str) -> Result<usize> {
-        self.column_index(name).ok_or_else(|| TxdbError::UnknownColumn {
-            table: self.name.clone(),
-            column: name.to_string(),
-        })
+        self.column_index(name)
+            .ok_or_else(|| TxdbError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
     }
 
     /// Whether `column` is (part of) the primary key.
@@ -382,7 +389,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_unknown_pk() {
-        let r = TableSchema::builder("t").column("a", DataType::Int).primary_key(&["b"]).build();
+        let r = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .primary_key(&["b"])
+            .build();
         assert!(r.is_err());
     }
 

@@ -13,11 +13,17 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn unqualified(column: impl Into<String>) -> ColumnRef {
-        ColumnRef { table: None, column: column.into() }
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
     }
 
     pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColumnRef {
-        ColumnRef { table: Some(table.into()), column: column.into() }
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
 }
 
@@ -33,9 +39,19 @@ impl std::fmt::Display for ColumnRef {
 /// Boolean expression in a `WHERE` clause.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlExpr {
-    Cmp { column: ColumnRef, op: CmpOp, value: Value },
-    Like { column: ColumnRef, pattern: String },
-    IsNull { column: ColumnRef, negated: bool },
+    Cmp {
+        column: ColumnRef,
+        op: CmpOp,
+        value: Value,
+    },
+    Like {
+        column: ColumnRef,
+        pattern: String,
+    },
+    IsNull {
+        column: ColumnRef,
+        negated: bool,
+    },
     And(Box<SqlExpr>, Box<SqlExpr>),
     Or(Box<SqlExpr>, Box<SqlExpr>),
     Not(Box<SqlExpr>),
@@ -90,7 +106,10 @@ pub enum SelectItem {
     /// A plain column reference.
     Column(ColumnRef),
     /// `FUNC(column)` or `COUNT(*)` (arg `None`).
-    Aggregate { func: AggFunc, arg: Option<ColumnRef> },
+    Aggregate {
+        func: AggFunc,
+        arg: Option<ColumnRef>,
+    },
 }
 
 /// Projection list.
@@ -110,9 +129,9 @@ impl Projection {
     pub fn has_aggregates(&self) -> bool {
         match self {
             Projection::Star => false,
-            Projection::Items(items) => {
-                items.iter().any(|i| matches!(i, SelectItem::Aggregate { .. }))
-            }
+            Projection::Items(items) => items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Aggregate { .. })),
         }
     }
 }
@@ -133,8 +152,19 @@ pub struct SelectStmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     CreateTable(TableSchema),
-    Insert { table: String, columns: Option<Vec<String>>, rows: Vec<Vec<Value>> },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Value>>,
+    },
     Select(SelectStmt),
-    Update { table: String, set: Vec<(String, Value)>, where_clause: Option<SqlExpr> },
-    Delete { table: String, where_clause: Option<SqlExpr> },
+    Update {
+        table: String,
+        set: Vec<(String, Value)>,
+        where_clause: Option<SqlExpr>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<SqlExpr>,
+    },
 }

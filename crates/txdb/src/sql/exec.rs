@@ -1,13 +1,35 @@
 //! Executor for the SQL subset.
+//!
+//! `SELECT` runs through the cost-aware planner in [`super::plan`]: the
+//! base table is reached via the chosen access path (hash index, ordered
+//! index, or scan), base-only predicates filter before joins multiply
+//! rows, and the row stream stays borrowed (`&Row` per table) until
+//! projection — values are only cloned into the result set at the very
+//! end. `ORDER BY ... LIMIT k` keeps a bounded binary heap of `k`
+//! entries instead of sorting everything; `GROUP BY` keys on
+//! [`OrdKey`] tuples instead of rendered strings.
+//!
+//! [`execute_select_reference`] retains the naive
+//! materialize-everything implementation as an executable specification:
+//! the differential test suite asserts both paths agree on every
+//! generated query.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
 
 use crate::database::Database;
 use crate::error::{Result, TxdbError};
+use crate::index::OrdKey;
 use crate::predicate::Predicate;
 use crate::row::{Row, RowId};
+use crate::table::Table;
 use crate::value::{DataType, Value};
 
-use super::ast::{AggFunc, ColumnRef, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
+use super::ast::{AggFunc, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
 use super::parser::parse_statement;
+use super::plan::{plan_select, AccessPath, Layout};
+
+const NULL_VALUE: Value = Value::Null;
 
 /// Tabular result of a `SELECT`.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,14 +39,23 @@ pub struct ResultSet {
     pub rows: Vec<Vec<Value>>,
 }
 
+/// Whether `qualified` is `<anything>.<name>` — suffix match without
+/// building a scratch string per probe.
+fn is_qualified_suffix(qualified: &str, name: &str) -> bool {
+    qualified.len() > name.len()
+        && qualified.ends_with(name)
+        && qualified.as_bytes()[qualified.len() - name.len() - 1] == b'.'
+}
+
 impl ResultSet {
     /// Index of an output column (exact match first, then suffix match on
     /// the unqualified name).
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c == name)
-            .or_else(|| self.columns.iter().position(|c| c.ends_with(&format!(".{name}"))))
+        self.columns.iter().position(|c| c == name).or_else(|| {
+            self.columns
+                .iter()
+                .position(|c| is_qualified_suffix(c, name))
+        })
     }
 }
 
@@ -73,36 +104,46 @@ pub fn execute_script(db: &mut Database, script: &str) -> Result<Vec<QueryResult
     Ok(results)
 }
 
-fn split_statements(script: &str) -> Vec<String> {
+/// Split on `;` outside string literals. Statements are contiguous slices
+/// of the input, so this borrows instead of building per-statement
+/// `String`s — a single-statement script allocates nothing.
+fn split_statements(script: &str) -> Vec<&str> {
     let mut out = Vec::new();
-    let mut current = String::new();
+    let mut start = 0usize;
     let mut in_string = false;
-    let mut chars = script.chars().peekable();
-    while let Some(c) = chars.next() {
+    let mut prev_quote = false; // last char was a quote that may pair up
+    for (i, c) in script.char_indices() {
         if in_string {
-            current.push(c);
             if c == '\'' {
-                if chars.peek() == Some(&'\'') {
-                    current.push(chars.next().expect("peeked"));
+                if prev_quote {
+                    // Escaped '' inside the literal: stay in the string.
+                    prev_quote = false;
                 } else {
-                    in_string = false;
+                    prev_quote = true;
+                }
+            } else if prev_quote {
+                // The quote closed the literal and `c` is ordinary text.
+                in_string = false;
+                prev_quote = false;
+                if c == ';' {
+                    out.push(&script[start..i]);
+                    start = i + 1;
                 }
             }
         } else {
             match c {
-                '\'' => {
-                    in_string = true;
-                    current.push(c);
-                }
+                '\'' => in_string = true,
                 ';' => {
-                    out.push(std::mem::take(&mut current));
+                    out.push(&script[start..i]);
+                    start = i + 1;
                 }
-                _ => current.push(c),
+                _ => {}
             }
         }
     }
-    if !current.trim().is_empty() {
-        out.push(current);
+    let tail = &script[start..];
+    if !tail.trim().is_empty() {
+        out.push(tail);
     }
     out
 }
@@ -113,7 +154,11 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
             db.create_table(schema)?;
             Ok(QueryResult::Created)
         }
-        Statement::Insert { table, columns, rows } => {
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
             let schema = db.schema_of(&table)?.clone();
             let mut txn = db.begin();
             let mut n = 0;
@@ -156,10 +201,17 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
             Ok(QueryResult::Inserted(n))
         }
         Statement::Select(sel) => execute_select(db, &sel).map(QueryResult::Rows),
-        Statement::Update { table, set, where_clause } => {
+        Statement::Update {
+            table,
+            set,
+            where_clause,
+        } => {
             let pred = single_table_predicate(db, &table, where_clause.as_ref())?;
-            let rids: Vec<RowId> =
-                db.select(&table, &pred)?.into_iter().map(|(r, _)| r).collect();
+            let rids: Vec<RowId> = db
+                .select(&table, &pred)?
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect();
             let schema = db.schema_of(&table)?.clone();
             let mut txn = db.begin();
             for rid in &rids {
@@ -172,10 +224,16 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
             txn.commit();
             Ok(QueryResult::Updated(rids.len()))
         }
-        Statement::Delete { table, where_clause } => {
+        Statement::Delete {
+            table,
+            where_clause,
+        } => {
             let pred = single_table_predicate(db, &table, where_clause.as_ref())?;
-            let rids: Vec<RowId> =
-                db.select(&table, &pred)?.into_iter().map(|(r, _)| r).collect();
+            let rids: Vec<RowId> = db
+                .select(&table, &pred)?
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect();
             let mut txn = db.begin();
             for rid in &rids {
                 txn.delete(&table, *rid)?;
@@ -188,25 +246,29 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
 
 /// Convert a `WHERE` expression on a single table into an engine predicate,
 /// coercing literals to the column types (so `date = '2022-01-01'` works).
-fn single_table_predicate(
-    db: &Database,
-    table: &str,
-    expr: Option<&SqlExpr>,
-) -> Result<Predicate> {
-    let Some(expr) = expr else { return Ok(Predicate::True) };
+fn single_table_predicate(db: &Database, table: &str, expr: Option<&SqlExpr>) -> Result<Predicate> {
+    let Some(expr) = expr else {
+        return Ok(Predicate::True);
+    };
     let schema = db.schema_of(table)?;
     fn convert(schema: &crate::schema::TableSchema, e: &SqlExpr) -> Result<Predicate> {
         Ok(match e {
             SqlExpr::Cmp { column, op, value } => {
                 let idx = schema.require_column(&column.column)?;
                 let coerced = coerce_literal_to(value, schema.columns()[idx].ty)?;
-                Predicate::Cmp { column: column.column.clone(), op: *op, value: coerced }
+                Predicate::Cmp {
+                    column: column.column.clone(),
+                    op: *op,
+                    value: coerced,
+                }
             }
             SqlExpr::Like { column, pattern } => {
                 Predicate::contains(column.column.clone(), pattern.clone())
             }
             SqlExpr::IsNull { column, negated } => {
-                let p = Predicate::IsNull { column: column.column.clone() };
+                let p = Predicate::IsNull {
+                    column: column.column.clone(),
+                };
                 if *negated {
                     p.not()
                 } else {
@@ -225,166 +287,389 @@ fn coerce_literal_to(v: &Value, ty: DataType) -> Result<Value> {
     v.coerce_to(ty)
 }
 
-/// Column layout of a (possibly joined) row stream.
-struct Layout {
-    /// (table, column) per output position.
-    cols: Vec<(String, String)>,
-    /// Data types per position.
-    types: Vec<DataType>,
+// ===== planned execution over borrowed row tuples =====
+
+/// A joined row is a tuple of `&Row`, one per FROM-order table. Fetch the
+/// value at a layout position without cloning.
+fn cell<'a>(layout: &Layout, tuple: &[&'a Row], pos: usize) -> &'a Value {
+    let slot = &layout.slots[pos];
+    tuple[slot.table_ord]
+        .get(slot.col_idx)
+        .unwrap_or(&NULL_VALUE)
 }
 
-impl Layout {
-    fn resolve(&self, r: &ColumnRef) -> Result<usize> {
-        let matches: Vec<usize> = self
-            .cols
-            .iter()
-            .enumerate()
-            .filter(|(_, (t, c))| {
-                c == &r.column && r.table.as_ref().is_none_or(|rt| rt == t)
-            })
-            .map(|(i, _)| i)
-            .collect();
-        match matches.len() {
-            1 => Ok(matches[0]),
-            0 => Err(TxdbError::UnknownColumn {
-                table: r.table.clone().unwrap_or_else(|| "<any>".into()),
-                column: r.column.clone(),
-            }),
-            _ => Err(TxdbError::Parse(format!("ambiguous column reference `{r}`"))),
+/// Evaluate a WHERE (sub)expression against a borrowed row tuple. Same
+/// semantics as the reference path: NULL comparisons are false, literals
+/// are coerced to the column type when possible.
+fn eval_expr(layout: &Layout, expr: &SqlExpr, tuple: &[&Row]) -> Result<bool> {
+    Ok(match expr {
+        SqlExpr::Cmp { column, op, value } => {
+            let idx = layout.resolve(column)?;
+            let cv = cell(layout, tuple, idx);
+            if cv.is_null() || value.is_null() {
+                false
+            } else {
+                let coerced = value
+                    .coerce_to(layout.slots[idx].ty)
+                    .unwrap_or_else(|_| value.clone());
+                op.eval(cv, &coerced).unwrap_or(false)
+            }
+        }
+        SqlExpr::Like { column, pattern } => {
+            let idx = layout.resolve(column)?;
+            cell(layout, tuple, idx)
+                .as_text()
+                .is_some_and(|s| s.to_lowercase().contains(&pattern.to_lowercase()))
+        }
+        SqlExpr::IsNull { column, negated } => {
+            let idx = layout.resolve(column)?;
+            cell(layout, tuple, idx).is_null() != *negated
+        }
+        SqlExpr::And(a, b) => eval_expr(layout, a, tuple)? && eval_expr(layout, b, tuple)?,
+        SqlExpr::Or(a, b) => eval_expr(layout, a, tuple)? || eval_expr(layout, b, tuple)?,
+        SqlExpr::Not(a) => !eval_expr(layout, a, tuple)?,
+    })
+}
+
+/// A WHERE conjunct pre-compiled against the layout: column references
+/// resolved to slots, literals coerced to the column type, LIKE patterns
+/// lowercased — once per statement instead of once per row.
+enum Compiled {
+    Cmp {
+        slot: usize,
+        op: crate::predicate::CmpOp,
+        value: Value,
+    },
+    Like {
+        slot: usize,
+        needle: String,
+    },
+    IsNull {
+        slot: usize,
+        negated: bool,
+    },
+    And(Box<Compiled>, Box<Compiled>),
+    Or(Box<Compiled>, Box<Compiled>),
+    Not(Box<Compiled>),
+    /// Subtree whose columns did not resolve at compile time: evaluated
+    /// per row by [`eval_expr`], preserving the executor's lazy
+    /// unknown/ambiguous-column error semantics exactly (the error only
+    /// surfaces if a row actually reaches the subtree).
+    Deferred(SqlExpr),
+}
+
+fn compile_expr(layout: &Layout, expr: &SqlExpr) -> Compiled {
+    match expr {
+        SqlExpr::Cmp { column, op, value } => match layout.resolve(column) {
+            // A NULL literal never matches (checked on the *uncoerced*
+            // literal, as in `eval_expr`); defer so the semantics —
+            // including literals that only become NULL through coercion —
+            // stay byte-identical to the reference path.
+            Ok(_) if value.is_null() => Compiled::Deferred(expr.clone()),
+            Ok(slot) => {
+                let value = value
+                    .coerce_to(layout.slots[slot].ty)
+                    .unwrap_or_else(|_| value.clone());
+                Compiled::Cmp {
+                    slot,
+                    op: *op,
+                    value,
+                }
+            }
+            Err(_) => Compiled::Deferred(expr.clone()),
+        },
+        SqlExpr::Like { column, pattern } => match layout.resolve(column) {
+            Ok(slot) => Compiled::Like {
+                slot,
+                needle: pattern.to_lowercase(),
+            },
+            Err(_) => Compiled::Deferred(expr.clone()),
+        },
+        SqlExpr::IsNull { column, negated } => match layout.resolve(column) {
+            Ok(slot) => Compiled::IsNull {
+                slot,
+                negated: *negated,
+            },
+            Err(_) => Compiled::Deferred(expr.clone()),
+        },
+        SqlExpr::And(a, b) => Compiled::And(
+            Box::new(compile_expr(layout, a)),
+            Box::new(compile_expr(layout, b)),
+        ),
+        SqlExpr::Or(a, b) => Compiled::Or(
+            Box::new(compile_expr(layout, a)),
+            Box::new(compile_expr(layout, b)),
+        ),
+        SqlExpr::Not(a) => Compiled::Not(Box::new(compile_expr(layout, a))),
+    }
+}
+
+fn eval_compiled(layout: &Layout, c: &Compiled, tuple: &[&Row]) -> Result<bool> {
+    Ok(match c {
+        Compiled::Cmp { slot, op, value } => {
+            let cv = cell(layout, tuple, *slot);
+            // The literal was non-NULL pre-coercion (NULL literals defer),
+            // so only the cell's nullness gates the comparison — exactly
+            // the reference path's order of checks.
+            if cv.is_null() {
+                false
+            } else {
+                op.eval(cv, value).unwrap_or(false)
+            }
+        }
+        Compiled::Like { slot, needle } => cell(layout, tuple, *slot)
+            .as_text()
+            .is_some_and(|s| s.to_lowercase().contains(needle)),
+        Compiled::IsNull { slot, negated } => cell(layout, tuple, *slot).is_null() != *negated,
+        Compiled::And(a, b) => eval_compiled(layout, a, tuple)? && eval_compiled(layout, b, tuple)?,
+        Compiled::Or(a, b) => eval_compiled(layout, a, tuple)? || eval_compiled(layout, b, tuple)?,
+        Compiled::Not(a) => !eval_compiled(layout, a, tuple)?,
+        Compiled::Deferred(e) => eval_expr(layout, e, tuple)?,
+    })
+}
+
+/// Output column name for a layout position (qualified when joining).
+fn slot_name(layout: &Layout, qualified: bool, pos: usize) -> String {
+    let slot = &layout.slots[pos];
+    if qualified {
+        format!("{}.{}", slot.table, slot.column)
+    } else {
+        slot.column.clone()
+    }
+}
+
+/// Heap entry for bounded top-k: orders by the sort key (reversed for
+/// DESC), ties broken by input sequence so results match a stable sort.
+struct TopKEntry<'a> {
+    key: &'a Value,
+    seq: usize,
+    desc: bool,
+}
+
+impl TopKEntry<'_> {
+    fn order(&self, other: &Self) -> Ordering {
+        let keys = OrdKey::cmp_values(self.key, other.key);
+        let keys = if self.desc { keys.reverse() } else { keys };
+        keys.then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialEq for TopKEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == Ordering::Equal
+    }
+}
+impl Eq for TopKEntry<'_> {}
+impl PartialOrd for TopKEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TopKEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order(other)
+    }
+}
+
+/// Indices of the top-`k` tuples under the sort order, themselves sorted —
+/// identical to a stable sort followed by `truncate(k)`, in O(n log k).
+fn top_k_indices<'a>(keys: impl Iterator<Item = &'a Value>, k: usize, desc: bool) -> Vec<usize> {
+    use std::collections::BinaryHeap;
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<TopKEntry<'a>> = BinaryHeap::with_capacity(k + 1);
+    for (seq, key) in keys.enumerate() {
+        heap.push(TopKEntry { key, seq, desc });
+        if heap.len() > k {
+            heap.pop();
         }
     }
+    heap.into_sorted_vec().into_iter().map(|e| e.seq).collect()
 }
 
 fn execute_select(db: &Database, sel: &SelectStmt) -> Result<ResultSet> {
-    // Build the joined row stream with a layout.
+    let plan = plan_select(db, sel)?;
+    let layout = &plan.layout;
     let base = db.table(&sel.table)?;
-    let mut layout = Layout { cols: Vec::new(), types: Vec::new() };
-    for c in base.schema().columns() {
-        layout.cols.push((sel.table.clone(), c.name.clone()));
-        layout.types.push(c.ty);
-    }
-    let mut rows: Vec<Vec<Value>> =
-        base.scan().map(|(_, r)| r.values().to_vec()).collect();
 
-    for join in &sel.joins {
+    // Base rows through the planned access path. Index paths sort row ids
+    // so the stream order matches a sequential scan exactly.
+    let mut rows: Vec<&Row> = match &plan.access {
+        AccessPath::FullScan => base.scan().map(|(_, r)| r).collect(),
+        AccessPath::IndexEq { column, value } => {
+            let mut rids = base.lookup(column, value);
+            rids.sort_unstable();
+            rids.iter()
+                .map(|&rid| base.get(rid).expect("index holds live ids"))
+                .collect()
+        }
+        AccessPath::IndexRange { column, lo, hi } => {
+            let rids = base.range_lookup(column, lo.as_ref(), hi.as_ref())?;
+            rids.iter()
+                .map(|&rid| base.get(rid).expect("index holds live ids"))
+                .collect()
+        }
+    };
+
+    // Base-only filters, before joins multiply the stream. Conjuncts are
+    // compiled once (slot resolution, literal coercion) so the per-row
+    // loop is comparison-only.
+    if !plan.pushed.is_empty() {
+        let compiled: Vec<Compiled> = plan
+            .pushed
+            .iter()
+            .map(|e| compile_expr(layout, e))
+            .collect();
+        let mut kept = Vec::with_capacity(rows.len());
+        'row: for row in rows {
+            for c in &compiled {
+                if !eval_compiled(layout, c, &[row])? {
+                    continue 'row;
+                }
+            }
+            kept.push(row);
+        }
+        rows = kept;
+    }
+
+    // Joins: the stream becomes flat tuples of `&Row` (stride = #tables).
+    let mut tuples: Vec<&Row> = rows;
+    let mut stride = 1usize;
+    for (ji, join) in sel.joins.iter().enumerate() {
         let right = db.table(&join.table)?;
-        // Positions: left key must resolve in the current layout; right key
-        // in the joined table.
-        let (cur_ref, new_ref) = if join
-            .left
-            .table
-            .as_deref()
-            .is_some_and(|t| t == join.table)
-        {
+        let (cur_ref, new_ref) = if join.left.table.as_deref().is_some_and(|t| t == join.table) {
             (&join.right, &join.left)
         } else {
             (&join.left, &join.right)
         };
-        let left_idx = layout.resolve(cur_ref)?;
+        let left_pos = layout.resolve_prefix(cur_ref, ji + 1)?;
+        let left_slot = &layout.slots[left_pos];
         let right_idx = right.schema().require_column(&new_ref.column)?;
-        let right_col_name = right.schema().columns()[right_idx].name.clone();
-        let mut out = Vec::new();
-        for row in rows {
-            let key = &row[left_idx];
+        let right_col = right.schema().columns()[right_idx].name.clone();
+        let mut out: Vec<&Row> = Vec::new();
+        for t in tuples.chunks(stride) {
+            let key = t[left_slot.table_ord]
+                .get(left_slot.col_idx)
+                .unwrap_or(&NULL_VALUE);
             if key.is_null() {
                 continue;
             }
-            for rid in right.lookup(&right_col_name, key) {
+            for rid in right.lookup(&right_col, key) {
                 let rrow = right.get(rid).expect("lookup returned live id");
-                let mut combined = row.clone();
-                combined.extend(rrow.values().iter().cloned());
-                out.push(combined);
+                out.extend_from_slice(t);
+                out.push(rrow);
             }
         }
-        rows = out;
-        for c in right.schema().columns() {
-            layout.cols.push((join.table.clone(), c.name.clone()));
-            layout.types.push(c.ty);
-        }
+        tuples = out;
+        stride += 1;
     }
 
-    // WHERE filter.
-    if let Some(expr) = &sel.where_clause {
-        let mut filtered = Vec::with_capacity(rows.len());
-        for row in rows {
-            if eval_expr(&layout, expr, &row)? {
-                filtered.push(row);
+    // Residual predicates (need joined columns). Unresolvable subtrees
+    // compile to `Deferred`, so lazy error semantics are preserved.
+    if !plan.residual.is_empty() {
+        let compiled: Vec<Compiled> = plan
+            .residual
+            .iter()
+            .map(|e| compile_expr(layout, e))
+            .collect();
+        let mut kept = Vec::with_capacity(tuples.len());
+        'tuple: for t in tuples.chunks(stride) {
+            for c in &compiled {
+                if !eval_compiled(layout, c, t)? {
+                    continue 'tuple;
+                }
             }
+            kept.extend_from_slice(t);
         }
-        rows = filtered;
+        tuples = kept;
     }
 
     // Aggregation path (any aggregate in the projection or a GROUP BY).
     if sel.projection.has_aggregates() || !sel.group_by.is_empty() {
-        return execute_aggregation(sel, &layout, rows);
+        return execute_aggregation(sel, layout, &tuples, stride);
     }
 
-    // ORDER BY.
-    if let Some((col, desc)) = &sel.order_by {
-        let idx = layout.resolve(col)?;
-        rows.sort_by(|a, b| {
-            let ord = a[idx].partial_cmp(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
-            if *desc {
-                ord.reverse()
-            } else {
-                ord
+    let count = tuples.len() / stride;
+
+    // ORDER BY / LIMIT over tuple indices; values stay borrowed.
+    let selected: Vec<usize> = match (&sel.order_by, sel.limit) {
+        (Some((col, desc)), limit) => {
+            let idx = layout.resolve(col)?;
+            let keys = (0..count).map(|i| cell(layout, &tuples[i * stride..(i + 1) * stride], idx));
+            match limit {
+                // Bounded heap: never sorts more than k entries.
+                Some(k) => top_k_indices(keys, k, *desc),
+                None => {
+                    let keys: Vec<&Value> = keys.collect();
+                    let mut order: Vec<usize> = (0..count).collect();
+                    order.sort_by(|&a, &b| {
+                        let ord = OrdKey::cmp_values(keys[a], keys[b]);
+                        if *desc {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    });
+                    order
+                }
             }
-        });
-    }
-
-    // LIMIT.
-    if let Some(n) = sel.limit {
-        rows.truncate(n);
-    }
-
-    // Projection.
-    let qualified = !sel.joins.is_empty();
-    let name_of = |i: usize| -> String {
-        let (t, c) = &layout.cols[i];
-        if qualified {
-            format!("{t}.{c}")
-        } else {
-            c.clone()
         }
+        (None, Some(k)) => (0..count.min(k)).collect(),
+        (None, None) => (0..count).collect(),
     };
-    match &sel.projection {
-        Projection::Star => Ok(ResultSet {
-            columns: (0..layout.cols.len()).map(name_of).collect(),
-            rows,
-        }),
-        Projection::Items(items) => {
-            let cols: Vec<&ColumnRef> = items
-                .iter()
-                .map(|i| match i {
-                    SelectItem::Column(c) => Ok(c),
-                    SelectItem::Aggregate { .. } => unreachable!("handled above"),
-                })
-                .collect::<Result<_>>()?;
-            let idxs: Vec<usize> =
-                cols.iter().map(|c| layout.resolve(c)).collect::<Result<_>>()?;
-            Ok(ResultSet {
-                columns: idxs.iter().map(|&i| name_of(i)).collect(),
-                rows: rows
-                    .into_iter()
-                    .map(|row| idxs.iter().map(|&i| row[i].clone()).collect())
-                    .collect(),
+
+    // Projection: the only place whole values are cloned.
+    let qualified = !sel.joins.is_empty();
+    let out_positions: Vec<usize> = match &sel.projection {
+        Projection::Star => (0..layout.slots.len()).collect(),
+        Projection::Items(items) => items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Column(c) => layout.resolve(c),
+                SelectItem::Aggregate { .. } => unreachable!("handled above"),
             })
-        }
-    }
+            .collect::<Result<_>>()?,
+    };
+    let columns: Vec<String> = out_positions
+        .iter()
+        .map(|&p| slot_name(layout, qualified, p))
+        .collect();
+    let out_rows: Vec<Vec<Value>> = selected
+        .iter()
+        .map(|&i| {
+            let t = &tuples[i * stride..(i + 1) * stride];
+            out_positions
+                .iter()
+                .map(|&p| cell(layout, t, p).clone())
+                .collect()
+        })
+        .collect();
+    Ok(ResultSet {
+        columns,
+        rows: out_rows,
+    })
 }
 
-/// Grouped aggregation over the filtered row stream.
+/// Grouped aggregation over the filtered tuple stream. Groups are keyed
+/// on [`OrdKey`] tuples (total value order), so group output order is
+/// value order — no per-row string rendering.
 fn execute_aggregation(
     sel: &SelectStmt,
     layout: &Layout,
-    rows: Vec<Vec<Value>>,
+    tuples: &[&Row],
+    stride: usize,
 ) -> Result<ResultSet> {
-    use std::collections::BTreeMap;
     let Projection::Items(items) = &sel.projection else {
-        return Err(TxdbError::Parse("SELECT * cannot be combined with GROUP BY".into()));
+        return Err(TxdbError::Parse(
+            "SELECT * cannot be combined with GROUP BY".into(),
+        ));
     };
-    let group_idxs: Vec<usize> =
-        sel.group_by.iter().map(|c| layout.resolve(c)).collect::<Result<_>>()?;
+    let group_idxs: Vec<usize> = sel
+        .group_by
+        .iter()
+        .map(|c| layout.resolve(c))
+        .collect::<Result<_>>()?;
     // Validate: plain columns must appear in GROUP BY.
     for item in items {
         if let SelectItem::Column(c) = item {
@@ -396,33 +681,26 @@ fn execute_aggregation(
             }
         }
     }
-    // Group rows. BTreeMap keys are not directly possible on Value (no Ord),
-    // so key on the SQL-literal rendering (injective for our value types).
-    let mut groups: BTreeMap<String, (Vec<Value>, Vec<Vec<Value>>)> = BTreeMap::new();
-    for row in rows {
-        let key_vals: Vec<Value> = group_idxs.iter().map(|&i| row[i].clone()).collect();
-        let key: String =
-            key_vals.iter().map(Value::to_sql_literal).collect::<Vec<_>>().join("\u{1}");
-        groups.entry(key).or_insert_with(|| (key_vals, Vec::new())).1.push(row);
+    let count = tuples.len().checked_div(stride).unwrap_or(0);
+    let mut groups: BTreeMap<Vec<OrdKey>, Vec<usize>> = BTreeMap::new();
+    for i in 0..count {
+        let t = &tuples[i * stride..(i + 1) * stride];
+        let key: Vec<OrdKey> = group_idxs
+            .iter()
+            .map(|&g| OrdKey(cell(layout, t, g).clone()))
+            .collect();
+        groups.entry(key).or_default().push(i);
     }
     // A global aggregate over zero rows still yields one output row.
     if groups.is_empty() && group_idxs.is_empty() {
-        groups.insert(String::new(), (Vec::new(), Vec::new()));
+        groups.insert(Vec::new(), Vec::new());
     }
 
     let qualified = !sel.joins.is_empty();
-    let name_of_idx = |i: usize| -> String {
-        let (t, c) = &layout.cols[i];
-        if qualified {
-            format!("{t}.{c}")
-        } else {
-            c.clone()
-        }
-    };
     let columns: Vec<String> = items
         .iter()
         .map(|item| match item {
-            SelectItem::Column(c) => layout.resolve(c).map(name_of_idx),
+            SelectItem::Column(c) => layout.resolve(c).map(|p| slot_name(layout, qualified, p)),
             SelectItem::Aggregate { func, arg } => Ok(match arg {
                 Some(c) => format!("{}({})", func.keyword(), c),
                 None => format!("{}(*)", func.keyword()),
@@ -431,66 +709,84 @@ fn execute_aggregation(
         .collect::<Result<_>>()?;
 
     let mut out_rows = Vec::with_capacity(groups.len());
-    for (_, (key_vals, group_rows)) in groups {
+    for (key, members) in &groups {
         let mut out = Vec::with_capacity(items.len());
         for item in items {
             match item {
                 SelectItem::Column(c) => {
                     let idx = layout.resolve(c)?;
-                    let pos = group_idxs.iter().position(|&g| g == idx).expect("validated");
-                    out.push(key_vals[pos].clone());
+                    let pos = group_idxs
+                        .iter()
+                        .position(|&g| g == idx)
+                        .expect("validated");
+                    out.push(key[pos].0.clone());
                 }
-                SelectItem::Aggregate { func, arg } => {
-                    out.push(compute_aggregate(*func, arg.as_ref(), layout, &group_rows)?);
-                }
+                SelectItem::Aggregate { func, arg } => match arg {
+                    None => out.push(Value::Int(members.len() as i64)),
+                    Some(c) => {
+                        let idx = layout.resolve(c)?;
+                        let values: Vec<&Value> = members
+                            .iter()
+                            .map(|&i| cell(layout, &tuples[i * stride..(i + 1) * stride], idx))
+                            .filter(|v| !v.is_null())
+                            .collect();
+                        out.push(aggregate_values(*func, &values)?);
+                    }
+                },
             }
         }
         out_rows.push(out);
     }
 
-    // ORDER BY over output columns (group keys or aggregate names).
-    if let Some((col, desc)) = &sel.order_by {
-        let target = col.to_string();
-        let idx = columns
-            .iter()
-            .position(|c| c == &target || c.ends_with(&format!(".{target}")))
-            .ok_or_else(|| TxdbError::Parse(format!(
-                "ORDER BY `{target}` must reference an output column of the aggregation"
-            )))?;
-        out_rows.sort_by(|a, b| {
-            let ord = a[idx].partial_cmp(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
-            if *desc {
-                ord.reverse()
-            } else {
-                ord
-            }
-        });
-    }
+    sort_aggregated_output(sel, &columns, &mut out_rows)?;
     if let Some(n) = sel.limit {
         out_rows.truncate(n);
     }
-    Ok(ResultSet { columns, rows: out_rows })
+    Ok(ResultSet {
+        columns,
+        rows: out_rows,
+    })
 }
 
-fn compute_aggregate(
-    func: AggFunc,
-    arg: Option<&ColumnRef>,
-    layout: &Layout,
-    rows: &[Vec<Value>],
-) -> Result<Value> {
-    let values: Vec<&Value> = match arg {
-        None => return Ok(Value::Int(rows.len() as i64)), // COUNT(*)
-        Some(c) => {
-            let idx = layout.resolve(c)?;
-            rows.iter().map(|r| &r[idx]).filter(|v| !v.is_null()).collect()
-        }
+/// `ORDER BY` over aggregation output columns (group keys or aggregate
+/// names), shared by both executors.
+fn sort_aggregated_output(
+    sel: &SelectStmt,
+    columns: &[String],
+    out_rows: &mut [Vec<Value>],
+) -> Result<()> {
+    let Some((col, desc)) = &sel.order_by else {
+        return Ok(());
     };
+    let target = col.to_string();
+    let idx = columns
+        .iter()
+        .position(|c| c == &target || is_qualified_suffix(c, &target))
+        .ok_or_else(|| {
+            TxdbError::Parse(format!(
+                "ORDER BY `{target}` must reference an output column of the aggregation"
+            ))
+        })?;
+    out_rows.sort_by(|a, b| {
+        let ord = OrdKey::cmp_values(&a[idx], &b[idx]);
+        if *desc {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    Ok(())
+}
+
+/// Fold non-null values with an aggregate function (`COUNT(*)` is handled
+/// by the callers, which know the raw group size).
+fn aggregate_values(func: AggFunc, values: &[&Value]) -> Result<Value> {
     Ok(match func {
         AggFunc::Count => Value::Int(values.len() as i64),
         AggFunc::Sum | AggFunc::Avg => {
             let mut sum = 0.0;
             let mut all_int = true;
-            for v in &values {
+            for v in values {
                 match v {
                     Value::Int(i) => sum += *i as f64,
                     Value::Float(x) => {
@@ -499,7 +795,7 @@ fn compute_aggregate(
                     }
                     other => {
                         return Err(TxdbError::TypeMismatch {
-                            expected: crate::value::DataType::Float,
+                            expected: DataType::Float,
                             got: format!("{other}"),
                             context: format!("{}()", func.keyword()),
                         })
@@ -521,28 +817,130 @@ fn compute_aggregate(
         AggFunc::Min => values
             .iter()
             .copied()
-            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| OrdKey::cmp_values(a, b))
             .cloned()
             .unwrap_or(Value::Null),
         AggFunc::Max => values
             .iter()
             .copied()
-            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| OrdKey::cmp_values(a, b))
             .cloned()
             .unwrap_or(Value::Null),
     })
 }
 
-fn eval_expr(layout: &Layout, expr: &SqlExpr, row: &[Value]) -> Result<bool> {
+// ===== reference execution (naive, materializing) =====
+
+/// The pre-planner `SELECT` implementation: materialize the base table,
+/// join by cloning combined rows, evaluate `WHERE` after joins, full-sort
+/// for `ORDER BY`. Kept as an executable specification — the differential
+/// tests run every query through both this and the planned path and
+/// require identical results. Not used by `execute`.
+pub fn execute_select_reference(db: &Database, sel: &SelectStmt) -> Result<ResultSet> {
+    let layout = Layout::build(db, sel)?;
+    let base = db.table(&sel.table)?;
+    let mut rows: Vec<Vec<Value>> = base.scan().map(|(_, r)| r.values().to_vec()).collect();
+
+    for (ji, join) in sel.joins.iter().enumerate() {
+        let right: &Table = db.table(&join.table)?;
+        let (cur_ref, new_ref) = if join.left.table.as_deref().is_some_and(|t| t == join.table) {
+            (&join.right, &join.left)
+        } else {
+            (&join.left, &join.right)
+        };
+        let left_idx = layout.resolve_prefix(cur_ref, ji + 1)?;
+        let right_idx = right.schema().require_column(&new_ref.column)?;
+        let right_col_name = right.schema().columns()[right_idx].name.clone();
+        let mut out = Vec::new();
+        for row in rows {
+            let key = &row[left_idx];
+            if key.is_null() {
+                continue;
+            }
+            for rid in right.lookup(&right_col_name, key) {
+                let rrow = right.get(rid).expect("lookup returned live id");
+                let mut combined = row.clone();
+                combined.extend(rrow.values().iter().cloned());
+                out.push(combined);
+            }
+        }
+        rows = out;
+    }
+
+    // WHERE filter, after joins.
+    if let Some(expr) = &sel.where_clause {
+        let mut filtered = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval_expr_materialized(&layout, expr, &row)? {
+                filtered.push(row);
+            }
+        }
+        rows = filtered;
+    }
+
+    if sel.projection.has_aggregates() || !sel.group_by.is_empty() {
+        return execute_aggregation_reference(sel, &layout, rows);
+    }
+
+    // ORDER BY: full stable sort with the canonical comparator.
+    if let Some((col, desc)) = &sel.order_by {
+        let idx = layout.resolve(col)?;
+        rows.sort_by(|a, b| {
+            let ord = OrdKey::cmp_values(&a[idx], &b[idx]);
+            if *desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+
+    if let Some(n) = sel.limit {
+        rows.truncate(n);
+    }
+
+    let qualified = !sel.joins.is_empty();
+    match &sel.projection {
+        Projection::Star => Ok(ResultSet {
+            columns: (0..layout.slots.len())
+                .map(|i| slot_name(&layout, qualified, i))
+                .collect(),
+            rows,
+        }),
+        Projection::Items(items) => {
+            let idxs: Vec<usize> = items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Column(c) => layout.resolve(c),
+                    SelectItem::Aggregate { .. } => unreachable!("handled above"),
+                })
+                .collect::<Result<_>>()?;
+            Ok(ResultSet {
+                columns: idxs
+                    .iter()
+                    .map(|&i| slot_name(&layout, qualified, i))
+                    .collect(),
+                rows: rows
+                    .into_iter()
+                    .map(|row| idxs.iter().map(|&i| row[i].clone()).collect())
+                    .collect(),
+            })
+        }
+    }
+}
+
+fn eval_expr_materialized(layout: &Layout, expr: &SqlExpr, row: &[Value]) -> Result<bool> {
     Ok(match expr {
         SqlExpr::Cmp { column, op, value } => {
             let idx = layout.resolve(column)?;
-            let cell = &row[idx];
-            if cell.is_null() || value.is_null() {
+            let cv = &row[idx];
+            if cv.is_null() || value.is_null() {
                 false
             } else {
-                let coerced = value.coerce_to(layout.types[idx]).unwrap_or_else(|_| value.clone());
-                op.eval(cell, &coerced).unwrap_or(false)
+                let coerced = value
+                    .coerce_to(layout.slots[idx].ty)
+                    .unwrap_or_else(|_| value.clone());
+                op.eval(cv, &coerced).unwrap_or(false)
             }
         }
         SqlExpr::Like { column, pattern } => {
@@ -555,9 +953,101 @@ fn eval_expr(layout: &Layout, expr: &SqlExpr, row: &[Value]) -> Result<bool> {
             let idx = layout.resolve(column)?;
             row[idx].is_null() != *negated
         }
-        SqlExpr::And(a, b) => eval_expr(layout, a, row)? && eval_expr(layout, b, row)?,
-        SqlExpr::Or(a, b) => eval_expr(layout, a, row)? || eval_expr(layout, b, row)?,
-        SqlExpr::Not(a) => !eval_expr(layout, a, row)?,
+        SqlExpr::And(a, b) => {
+            eval_expr_materialized(layout, a, row)? && eval_expr_materialized(layout, b, row)?
+        }
+        SqlExpr::Or(a, b) => {
+            eval_expr_materialized(layout, a, row)? || eval_expr_materialized(layout, b, row)?
+        }
+        SqlExpr::Not(a) => !eval_expr_materialized(layout, a, row)?,
+    })
+}
+
+/// Naive grouped aggregation over materialized rows (same OrdKey group
+/// order as the planned path, so outputs are directly comparable).
+fn execute_aggregation_reference(
+    sel: &SelectStmt,
+    layout: &Layout,
+    rows: Vec<Vec<Value>>,
+) -> Result<ResultSet> {
+    let Projection::Items(items) = &sel.projection else {
+        return Err(TxdbError::Parse(
+            "SELECT * cannot be combined with GROUP BY".into(),
+        ));
+    };
+    let group_idxs: Vec<usize> = sel
+        .group_by
+        .iter()
+        .map(|c| layout.resolve(c))
+        .collect::<Result<_>>()?;
+    for item in items {
+        if let SelectItem::Column(c) = item {
+            let idx = layout.resolve(c)?;
+            if !group_idxs.contains(&idx) {
+                return Err(TxdbError::Parse(format!(
+                    "column `{c}` must appear in GROUP BY or inside an aggregate"
+                )));
+            }
+        }
+    }
+    let mut groups: BTreeMap<Vec<OrdKey>, Vec<Vec<Value>>> = BTreeMap::new();
+    for row in rows {
+        let key: Vec<OrdKey> = group_idxs.iter().map(|&i| OrdKey(row[i].clone())).collect();
+        groups.entry(key).or_default().push(row);
+    }
+    if groups.is_empty() && group_idxs.is_empty() {
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    let qualified = !sel.joins.is_empty();
+    let columns: Vec<String> = items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Column(c) => layout.resolve(c).map(|p| slot_name(layout, qualified, p)),
+            SelectItem::Aggregate { func, arg } => Ok(match arg {
+                Some(c) => format!("{}({})", func.keyword(), c),
+                None => format!("{}(*)", func.keyword()),
+            }),
+        })
+        .collect::<Result<_>>()?;
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for (key, group_rows) in &groups {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                SelectItem::Column(c) => {
+                    let idx = layout.resolve(c)?;
+                    let pos = group_idxs
+                        .iter()
+                        .position(|&g| g == idx)
+                        .expect("validated");
+                    out.push(key[pos].0.clone());
+                }
+                SelectItem::Aggregate { func, arg } => match arg {
+                    None => out.push(Value::Int(group_rows.len() as i64)),
+                    Some(c) => {
+                        let idx = layout.resolve(c)?;
+                        let values: Vec<&Value> = group_rows
+                            .iter()
+                            .map(|r| &r[idx])
+                            .filter(|v| !v.is_null())
+                            .collect();
+                        out.push(aggregate_values(*func, &values)?);
+                    }
+                },
+            }
+        }
+        out_rows.push(out);
+    }
+
+    sort_aggregated_output(sel, &columns, &mut out_rows)?;
+    if let Some(n) = sel.limit {
+        out_rows.truncate(n);
+    }
+    Ok(ResultSet {
+        columns,
+        rows: out_rows,
     })
 }
 
@@ -587,8 +1077,11 @@ mod tests {
     #[test]
     fn create_insert_select_roundtrip() {
         let mut db = setup();
-        let r = execute(&mut db, "SELECT title FROM movie WHERE rating >= 8.5 ORDER BY title")
-            .unwrap();
+        let r = execute(
+            &mut db,
+            "SELECT title FROM movie WHERE rating >= 8.5 ORDER BY title",
+        )
+        .unwrap();
         let rs = r.rows().unwrap();
         assert_eq!(rs.columns, vec!["title"]);
         assert_eq!(rs.rows.len(), 2);
@@ -635,7 +1128,11 @@ mod tests {
     #[test]
     fn update_and_delete() {
         let mut db = setup();
-        let r = execute(&mut db, "UPDATE movie SET rating = 9.0 WHERE title = 'Heat'").unwrap();
+        let r = execute(
+            &mut db,
+            "UPDATE movie SET rating = 9.0 WHERE title = 'Heat'",
+        )
+        .unwrap();
         assert_eq!(r, QueryResult::Updated(1));
         let r = execute(&mut db, "SELECT rating FROM movie WHERE title = 'Heat'").unwrap();
         assert_eq!(r.rows().unwrap().rows[0][0], Value::Float(9.0));
@@ -650,7 +1147,10 @@ mod tests {
     #[test]
     fn insert_respects_fk() {
         let mut db = setup();
-        let err = execute(&mut db, "INSERT INTO screening VALUES (99, 42, '2022-01-01', 1.0)");
+        let err = execute(
+            &mut db,
+            "INSERT INTO screening VALUES (99, 42, '2022-01-01', 1.0)",
+        );
         assert!(err.is_err());
         // And the failed multi-row insert is atomic:
         let before = db.table("screening").unwrap().len();
@@ -665,7 +1165,11 @@ mod tests {
     #[test]
     fn like_and_null_handling() {
         let mut db = setup();
-        execute(&mut db, "INSERT INTO movie (movie_id, title) VALUES (4, 'Gump II')").unwrap();
+        execute(
+            &mut db,
+            "INSERT INTO movie (movie_id, title) VALUES (4, 'Gump II')",
+        )
+        .unwrap();
         let r = execute(&mut db, "SELECT title FROM movie WHERE title LIKE '%gump%'").unwrap();
         assert_eq!(r.rows().unwrap().rows.len(), 2);
         let r = execute(&mut db, "SELECT title FROM movie WHERE rating IS NULL").unwrap();
@@ -692,7 +1196,11 @@ mod tests {
         assert_eq!(rs.columns, vec!["count(*)"]);
         assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
         // COUNT(col) skips NULLs.
-        execute(&mut db, "INSERT INTO movie (movie_id, title) VALUES (9, 'NoRating')").unwrap();
+        execute(
+            &mut db,
+            "INSERT INTO movie (movie_id, title) VALUES (9, 'NoRating')",
+        )
+        .unwrap();
         let r = execute(&mut db, "SELECT count(rating) FROM movie").unwrap();
         assert_eq!(r.rows().unwrap().rows[0][0], Value::Int(3));
         let r = execute(&mut db, "SELECT count(*) FROM movie").unwrap();
@@ -702,8 +1210,11 @@ mod tests {
     #[test]
     fn sum_avg_min_max() {
         let mut db = setup();
-        let r = execute(&mut db, "SELECT min(rating), max(rating), avg(rating) FROM movie")
-            .unwrap();
+        let r = execute(
+            &mut db,
+            "SELECT min(rating), max(rating), avg(rating) FROM movie",
+        )
+        .unwrap();
         let rs = r.rows().unwrap();
         assert_eq!(rs.rows[0][0], Value::Float(8.3));
         assert_eq!(rs.rows[0][1], Value::Float(8.8));
@@ -725,8 +1236,14 @@ mod tests {
         let rs = r.rows().unwrap();
         assert_eq!(rs.columns, vec!["movie_id", "count(*)", "sum(price)"]);
         assert_eq!(rs.rows.len(), 2);
-        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(1), Value::Float(12.5)]);
-        assert_eq!(rs.rows[1], vec![Value::Int(2), Value::Int(2), Value::Float(20.0)]);
+        assert_eq!(
+            rs.rows[0],
+            vec![Value::Int(1), Value::Int(1), Value::Float(12.5)]
+        );
+        assert_eq!(
+            rs.rows[1],
+            vec![Value::Int(2), Value::Int(2), Value::Float(20.0)]
+        );
     }
 
     #[test]
@@ -761,8 +1278,11 @@ mod tests {
     #[test]
     fn aggregates_over_empty_input() {
         let mut db = setup();
-        let r = execute(&mut db, "SELECT count(*), min(rating) FROM movie WHERE movie_id > 99")
-            .unwrap();
+        let r = execute(
+            &mut db,
+            "SELECT count(*), min(rating) FROM movie WHERE movie_id > 99",
+        )
+        .unwrap();
         let rs = r.rows().unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(0));
@@ -798,6 +1318,194 @@ mod tests {
         .unwrap();
         assert_eq!(results.len(), 2);
         let r = execute(&mut db, "SELECT s FROM t").unwrap();
-        assert_eq!(r.rows().unwrap().rows[0][0], Value::Text("semi;colon".into()));
+        assert_eq!(
+            r.rows().unwrap().rows[0][0],
+            Value::Text("semi;colon".into())
+        );
+    }
+
+    #[test]
+    fn split_statements_borrows_single_statement() {
+        let script = "SELECT * FROM t";
+        let parts = split_statements(script);
+        assert_eq!(parts, vec![script]);
+        // The returned slice points into the input, not a copy.
+        assert_eq!(parts[0].as_ptr(), script.as_ptr());
+    }
+
+    #[test]
+    fn split_statements_edge_cases() {
+        assert_eq!(split_statements("a; b ;c"), vec!["a", " b ", "c"]);
+        assert_eq!(split_statements("a;"), vec!["a"]);
+        assert_eq!(split_statements("  "), Vec::<&str>::new());
+        assert_eq!(
+            split_statements("say 'don''t; stop'; x"),
+            vec!["say 'don''t; stop'", " x"]
+        );
+        assert_eq!(split_statements("'a';'b'"), vec!["'a'", "'b'"]);
+    }
+
+    #[test]
+    fn column_index_does_not_match_partial_suffix() {
+        let rs = ResultSet {
+            columns: vec!["movie.title".into(), "screening.date".into()],
+            rows: Vec::new(),
+        };
+        assert_eq!(rs.column_index("title"), Some(0));
+        assert_eq!(rs.column_index("date"), Some(1));
+        assert_eq!(rs.column_index("movie.title"), Some(0));
+        // `itle` is a suffix of the string but not of the column name.
+        assert_eq!(rs.column_index("itle"), None);
+        assert_eq!(rs.column_index("nope"), None);
+    }
+
+    /// Every query on the shared fixture must agree between the planned
+    /// and the reference executor.
+    #[test]
+    fn planned_matches_reference_on_fixture() {
+        let mut db = setup();
+        db.table_mut("movie")
+            .unwrap()
+            .create_range_index("rating")
+            .unwrap();
+        let queries = [
+            "SELECT * FROM movie",
+            "SELECT title FROM movie WHERE movie_id = 2",
+            "SELECT title FROM movie WHERE rating > 8.4 ORDER BY title",
+            "SELECT * FROM movie WHERE rating >= 8.3 AND rating < 8.8 ORDER BY rating DESC LIMIT 1",
+            "SELECT * FROM movie WHERE genre = 'Crime' OR genre = 'Horror' ORDER BY movie_id",
+            "SELECT movie.title, screening.price FROM screening \
+             JOIN movie ON screening.movie_id = movie.movie_id \
+             WHERE screening.price > 10.0 ORDER BY screening.price",
+            "SELECT movie.title FROM screening \
+             JOIN movie ON screening.movie_id = movie.movie_id \
+             WHERE movie.movie_id = 2 ORDER BY movie.title LIMIT 5",
+            "SELECT genre, count(*), avg(rating) FROM movie GROUP BY genre ORDER BY genre",
+            "SELECT count(*) FROM screening WHERE price = 10.0",
+            "SELECT title FROM movie WHERE rating IS NOT NULL ORDER BY rating LIMIT 2",
+            // A text literal that coerces to NULL mid-evaluation: both
+            // paths must apply the null check to the *uncoerced* literal.
+            "SELECT title FROM movie WHERE rating > 'null'",
+            "SELECT title FROM movie WHERE genre = 'null'",
+        ];
+        for q in queries {
+            let Statement::Select(sel) = parse_statement(q).unwrap() else {
+                unreachable!()
+            };
+            let planned = execute_select(&db, &sel).unwrap();
+            let reference = execute_select_reference(&db, &sel).unwrap();
+            assert_eq!(planned, reference, "query: {q}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_column_errors_even_when_pushdown_would_empty_the_stream() {
+        let db = setup();
+        // `movie_id` is ambiguous over the joined layout; `rating > 100`
+        // matches nothing. The seed evaluated WHERE per joined row and
+        // errored on the first one — pushing the rating filter first
+        // would empty the stream and silently skip the error.
+        let q = "SELECT movie.title FROM movie \
+                 JOIN screening ON screening.movie_id = movie.movie_id \
+                 WHERE movie_id = 1 AND movie.rating > 100.0";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let planned = execute_select(&db, &sel);
+        let reference = execute_select_reference(&db, &sel);
+        assert!(
+            reference.is_err(),
+            "reference must reject the ambiguous column"
+        );
+        assert!(planned.is_err(), "planned path must preserve the error");
+    }
+
+    #[test]
+    fn nan_values_agree_between_paths_and_group_separately() {
+        let mut db = Database::new();
+        execute(&mut db, "CREATE TABLE t (id INT PRIMARY KEY, x FLOAT)").unwrap();
+        execute(
+            &mut db,
+            "INSERT INTO t VALUES (1, 5.0), (2, 'NaN'), (3, 7.0), (4, 'NaN')",
+        )
+        .unwrap();
+        db.table_mut("t").unwrap().create_range_index("x").unwrap();
+        for q in [
+            // NaN bound must filter everything out, not be dropped.
+            "SELECT id FROM t WHERE x > 5.0 AND x > 'NaN'",
+            "SELECT id FROM t WHERE x > 'NaN'",
+            // NaN rows form their own group, not merge into 5.0's.
+            "SELECT x, count(*) FROM t GROUP BY x",
+            // NaN sorts deterministically after the numbers.
+            "SELECT id FROM t ORDER BY x LIMIT 3",
+            "SELECT id FROM t ORDER BY x DESC",
+        ] {
+            let Statement::Select(sel) = parse_statement(q).unwrap() else {
+                unreachable!()
+            };
+            let planned = execute_select(&db, &sel).unwrap();
+            let reference = execute_select_reference(&db, &sel).unwrap();
+            assert_eq!(planned, reference, "query: {q}");
+        }
+        let r = execute(&mut db, "SELECT id FROM t WHERE x > 5.0 AND x > 'NaN'").unwrap();
+        assert!(
+            r.rows().unwrap().rows.is_empty(),
+            "NaN comparison is never true"
+        );
+        let r = execute(&mut db, "SELECT x, count(*) FROM t GROUP BY x").unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 3, "5.0, 7.0 and NaN groups");
+    }
+
+    #[test]
+    fn top_k_matches_stable_sort_semantics() {
+        let mut db = Database::new();
+        execute(&mut db, "CREATE TABLE t (id INT PRIMARY KEY, k INT)").unwrap();
+        // Many ties: stable order must break them by insertion sequence.
+        for i in 0..50i64 {
+            execute(&mut db, &format!("INSERT INTO t VALUES ({i}, {})", i % 5)).unwrap();
+        }
+        for q in [
+            "SELECT id FROM t ORDER BY k LIMIT 7",
+            "SELECT id FROM t ORDER BY k DESC LIMIT 7",
+            "SELECT id FROM t ORDER BY k LIMIT 0",
+            "SELECT id FROM t ORDER BY k LIMIT 100",
+        ] {
+            let Statement::Select(sel) = parse_statement(q).unwrap() else {
+                unreachable!()
+            };
+            let planned = execute_select(&db, &sel).unwrap();
+            let reference = execute_select_reference(&db, &sel).unwrap();
+            assert_eq!(planned, reference, "query: {q}");
+        }
+    }
+
+    #[test]
+    fn indexed_access_returns_scan_order() {
+        let mut db = setup();
+        // Grow the table so a point lookup is clearly below the planner's
+        // selectivity threshold (on a 3-row table a scan is as cheap).
+        for i in 100..120 {
+            execute(
+                &mut db,
+                &format!("INSERT INTO movie VALUES ({i}, 'M{i}', 'Drama', 5.0)"),
+            )
+            .unwrap();
+        }
+        // movie_id is the PK (hash-indexed): the planner takes the index
+        // path, and results must still come back in row order.
+        let r = execute(&mut db, "SELECT title FROM movie WHERE movie_id = 2").unwrap();
+        assert_eq!(
+            r.rows().unwrap().rows,
+            vec![vec![Value::Text("Heat".into())]]
+        );
+        let p = plan_select(
+            &db,
+            &match parse_statement("SELECT title FROM movie WHERE movie_id = 2").unwrap() {
+                Statement::Select(s) => s,
+                _ => unreachable!(),
+            },
+        )
+        .unwrap();
+        assert_eq!(p.access.describe(), "index_eq(movie_id)");
     }
 }

@@ -78,7 +78,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             '0'..='9' => {
                 let start = i;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E'
                         || ((bytes[i] == b'+' || bytes[i] == b'-')
                             && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))))
@@ -166,7 +168,9 @@ mod tests {
         assert!(toks[0].is_kw("select"));
         assert!(toks[4].is_kw("WHERE"));
         assert!(toks.iter().any(|t| t.is_punct(">=")));
-        assert!(toks.iter().any(|t| matches!(t, Token::Number(n) if n == "8.5")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Number(n) if n == "8.5")));
     }
 
     #[test]
@@ -195,7 +199,9 @@ mod tests {
     #[test]
     fn unicode_in_strings_and_idents() {
         let toks = tokenize("INSERT INTO movie VALUES ('Amélie')").unwrap();
-        assert!(toks.iter().any(|t| matches!(t, Token::Str(s) if s == "Amélie")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Str(s) if s == "Amélie")));
     }
 
     #[test]

@@ -10,8 +10,12 @@ mod ast;
 mod exec;
 mod lexer;
 mod parser;
+pub mod plan;
 
-pub use ast::{AggFunc, ColumnRef, JoinClause, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
-pub use exec::{execute, execute_script, QueryResult, ResultSet};
+pub use ast::{
+    AggFunc, ColumnRef, JoinClause, Projection, SelectItem, SelectStmt, SqlExpr, Statement,
+};
+pub use exec::{execute, execute_script, execute_select_reference, QueryResult, ResultSet};
 pub use lexer::{tokenize, Token};
 pub use parser::parse_statement;
+pub use plan::{plan_select, AccessPath, SelectPlan};

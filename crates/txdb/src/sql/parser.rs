@@ -5,7 +5,9 @@ use crate::predicate::CmpOp;
 use crate::schema::{TableSchema, TableSchemaBuilder};
 use crate::value::{DataType, Value};
 
-use super::ast::{AggFunc, ColumnRef, JoinClause, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
+use super::ast::{
+    AggFunc, ColumnRef, JoinClause, Projection, SelectItem, SelectStmt, SqlExpr, Statement,
+};
 use super::lexer::{tokenize, Token};
 
 /// Parse one SQL statement (a trailing `;` is allowed).
@@ -15,7 +17,10 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
     let stmt = p.statement()?;
     p.eat_punct(";");
     if !p.at_end() {
-        return Err(TxdbError::Parse(format!("trailing tokens after statement: {:?}", p.peek())));
+        return Err(TxdbError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
     }
     Ok(stmt)
 }
@@ -57,7 +62,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(TxdbError::Parse(format!("expected `{kw}`, found {:?}", self.peek())))
+            Err(TxdbError::Parse(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -74,14 +82,19 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(TxdbError::Parse(format!("expected `{p}`, found {:?}", self.peek())))
+            Err(TxdbError::Parse(format!(
+                "expected `{p}`, found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(TxdbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(TxdbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -100,7 +113,9 @@ impl Parser {
         } else if first.is_kw("delete") {
             self.delete()
         } else {
-            Err(TxdbError::Parse(format!("unsupported statement start: {first:?}")))
+            Err(TxdbError::Parse(format!(
+                "unsupported statement start: {first:?}"
+            )))
         }
     }
 
@@ -214,7 +229,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStmt> {
@@ -239,14 +258,22 @@ impl Parser {
                 let left = self.column_ref()?;
                 self.expect_punct("=")?;
                 let right = self.column_ref()?;
-                joins.push(JoinClause { table: jt, left, right });
+                joins.push(JoinClause {
+                    table: jt,
+                    left,
+                    right,
+                });
             } else if inner {
                 return Err(TxdbError::Parse("expected JOIN after INNER".into()));
             } else {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -270,15 +297,24 @@ impl Parser {
         };
         let limit = if self.eat_kw("limit") {
             match self.next()? {
-                Token::Number(n) => Some(n.parse::<usize>().map_err(|_| {
-                    TxdbError::Parse(format!("bad LIMIT value `{n}`"))
-                })?),
+                Token::Number(n) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| TxdbError::Parse(format!("bad LIMIT value `{n}`")))?,
+                ),
                 other => return Err(TxdbError::Parse(format!("bad LIMIT: {other:?}"))),
             }
         } else {
             None
         };
-        Ok(SelectStmt { table, joins, projection, where_clause, group_by, order_by, limit })
+        Ok(SelectStmt {
+            table,
+            joins,
+            projection,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -287,9 +323,8 @@ impl Parser {
             (self.tokens.get(self.pos), self.tokens.get(self.pos + 1))
         {
             if next.is_punct("(") {
-                let func = AggFunc::from_keyword(name).ok_or_else(|| {
-                    TxdbError::Parse(format!("unknown function `{name}`"))
-                })?;
+                let func = AggFunc::from_keyword(name)
+                    .ok_or_else(|| TxdbError::Parse(format!("unknown function `{name}`")))?;
                 self.pos += 2; // consume ident and '('
                 let arg = if self.eat_punct("*") {
                     if func != AggFunc::Count {
@@ -322,16 +357,31 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, set, where_clause })
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            set,
+            where_clause,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement> {
         self.expect_kw("delete")?;
         self.expect_kw("from")?;
         let table = self.ident()?;
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Statement::Delete { table, where_clause })
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
     }
 
     // expr := and_expr (OR and_expr)*
@@ -372,7 +422,10 @@ impl Parser {
         if self.eat_kw("like") {
             match self.next()? {
                 Token::Str(s) => {
-                    return Ok(SqlExpr::Like { column, pattern: s.trim_matches('%').to_string() })
+                    return Ok(SqlExpr::Like {
+                        column,
+                        pattern: s.trim_matches('%').to_string(),
+                    })
                 }
                 other => return Err(TxdbError::Parse(format!("bad LIKE pattern: {other:?}"))),
             }
@@ -384,7 +437,11 @@ impl Parser {
             Token::Punct("<=") => CmpOp::Le,
             Token::Punct(">") => CmpOp::Gt,
             Token::Punct(">=") => CmpOp::Ge,
-            other => return Err(TxdbError::Parse(format!("expected comparison, found {other:?}"))),
+            other => {
+                return Err(TxdbError::Parse(format!(
+                    "expected comparison, found {other:?}"
+                )))
+            }
         };
         let value = self.literal()?;
         Ok(SqlExpr::Cmp { column, op, value })
@@ -422,7 +479,9 @@ impl Parser {
             Token::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
             Token::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
             Token::Ident(s) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
-            other => Err(TxdbError::Parse(format!("expected literal, found {other:?}"))),
+            other => Err(TxdbError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
         }
     }
 }
@@ -476,7 +535,11 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "movie");
                 assert_eq!(columns.unwrap().len(), 2);
                 assert_eq!(rows.len(), 2);
@@ -512,8 +575,7 @@ mod tests {
 
     #[test]
     fn parses_boolean_operators_with_precedence() {
-        let stmt =
-            parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3").unwrap();
+        let stmt = parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3").unwrap();
         match stmt {
             Statement::Select(s) => match s.where_clause.unwrap() {
                 SqlExpr::Or(l, r) => {
@@ -532,7 +594,10 @@ mod tests {
         assert!(matches!(stmt, Statement::Update { ref set, .. } if set.len() == 2));
         let stmt = parse_statement("DELETE FROM t WHERE id IS NOT NULL").unwrap();
         match stmt {
-            Statement::Delete { where_clause: Some(SqlExpr::IsNull { negated, .. }), .. } => {
+            Statement::Delete {
+                where_clause: Some(SqlExpr::IsNull { negated, .. }),
+                ..
+            } => {
                 assert!(negated)
             }
             other => panic!("{other:?}"),
@@ -548,9 +613,7 @@ mod tests {
                     assert!(
                         matches!(*l, SqlExpr::Cmp { ref value, .. } if *value == Value::Int(-3))
                     );
-                    assert!(
-                        matches!(*r, SqlExpr::Like { ref pattern, .. } if pattern == "gump")
-                    );
+                    assert!(matches!(*r, SqlExpr::Like { ref pattern, .. } if pattern == "gump"));
                 }
                 other => panic!("{other:?}"),
             },

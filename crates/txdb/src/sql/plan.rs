@@ -1,0 +1,700 @@
+//! Cost-aware access-path planning for `SELECT`.
+//!
+//! The executor used to materialize the whole base table and evaluate
+//! `WHERE` after joins; this module decides, per statement, how to touch
+//! as few rows as possible. Planning has three steps:
+//!
+//! 1. **Conjunct extraction.** The `WHERE` tree is split at top-level
+//!    `AND`s. Each conjunct is classified as *pushable* (every column it
+//!    references resolves — unambiguously — to the base table, so it can
+//!    be evaluated before joins multiply rows) or *residual* (references
+//!    joined columns, or does not resolve; evaluated after joins with the
+//!    executor's lazy per-row error semantics, matching the previous
+//!    behaviour).
+//!
+//! 2. **Sargability.** A pushable conjunct is *sargable* when it has the
+//!    shape `column <op> literal` with `op ∈ {=, <, <=, >, >=}` and the
+//!    literal coerces to the column type. Equality conjuncts can be served
+//!    by a hash index ([`Table::lookup`]); all sargable shapes can be
+//!    served by an ordered [`RangeIndex`](crate::index::RangeIndex) when
+//!    one exists on the column (equality becomes the degenerate range
+//!    `[v, v]`). Conjuncts on the same column are folded into a single
+//!    bound pair, so `price > 5 AND price <= 9` probes the index once.
+//!    `!=`, `LIKE`, `IS NULL`, `OR` and `NOT` are never sargable and stay
+//!    as filters. `NULL` literals never match under `WHERE`, so indexes
+//!    (which exclude NULLs) are always safe to substitute for a scan.
+//!
+//! 3. **Index-vs-scan choice.** Every sargable candidate is priced with
+//!    the table statistics from [`crate::stats`]: equality via
+//!    [`ColumnStats::eq_selectivity`] (exact for values tracked in the
+//!    MCV list, uniform over the remaining distinct values otherwise),
+//!    ranges via [`Histogram::range_selectivity`] when the column is
+//!    numeric/date (falling back to the classic 1/3 guess without a
+//!    histogram). The cheapest candidate wins; an index path is only
+//!    chosen when its estimated selectivity is at or below
+//!    [`INDEX_SELECTIVITY_THRESHOLD`] — for predicates that keep most of
+//!    the table, a sequential scan avoids the index's pointer-chasing and
+//!    sort overhead and degrades gracefully, in the spirit of the robust
+//!    hybrid-join literature. Statistics are cached per table inside
+//!    [`Database`] and invalidated by the table version counter, so
+//!    planning is O(#conjuncts) on the hot path.
+//!
+//! The chosen conjuncts are *consumed*: the executor does not re-evaluate
+//! the predicate the index already guarantees. Everything else stays in
+//! [`SelectPlan::pushed`] / [`SelectPlan::residual`].
+
+use std::ops::Bound;
+
+use crate::database::Database;
+use crate::error::{Result, TxdbError};
+use crate::stats::ColumnStats;
+use crate::value::{DataType, Value};
+
+use super::ast::{ColumnRef, SelectStmt, SqlExpr};
+use crate::predicate::CmpOp;
+
+/// Estimated fraction of rows a predicate may keep while an index lookup
+/// is still considered cheaper than a sequential scan.
+pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.3;
+
+/// One output position of a (possibly joined) row stream.
+#[derive(Debug, Clone)]
+pub struct Slot {
+    /// Ordinal of the owning table in FROM-order (0 = base table).
+    pub table_ord: usize,
+    /// Column index within the owning table's schema.
+    pub col_idx: usize,
+    /// Owning table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+/// Column layout of the row stream produced by `FROM base JOIN ...`.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    pub slots: Vec<Slot>,
+    /// Number of tables (base + joins).
+    pub tables: usize,
+}
+
+impl Layout {
+    /// Build the full layout for a SELECT (base table plus all joins).
+    pub fn build(db: &Database, sel: &SelectStmt) -> Result<Layout> {
+        let mut layout = Layout {
+            slots: Vec::new(),
+            tables: 0,
+        };
+        layout.push_table(db, &sel.table)?;
+        for join in &sel.joins {
+            layout.push_table(db, &join.table)?;
+        }
+        Ok(layout)
+    }
+
+    fn push_table(&mut self, db: &Database, table: &str) -> Result<()> {
+        let t = db.table(table)?;
+        let ord = self.tables;
+        for (i, c) in t.schema().columns().iter().enumerate() {
+            self.slots.push(Slot {
+                table_ord: ord,
+                col_idx: i,
+                table: table.to_string(),
+                column: c.name.clone(),
+                ty: c.ty,
+            });
+        }
+        self.tables += 1;
+        Ok(())
+    }
+
+    /// Resolve a column reference over the whole layout: exactly one slot
+    /// must match (qualified references match name + table).
+    pub fn resolve(&self, r: &ColumnRef) -> Result<usize> {
+        self.resolve_prefix(r, self.tables)
+    }
+
+    /// Resolve against only the first `tables` tables — used for join keys,
+    /// which (as before the planner) may only reference tables already in
+    /// the stream.
+    pub fn resolve_prefix(&self, r: &ColumnRef, tables: usize) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.table_ord >= tables {
+                break;
+            }
+            if s.column == r.column && r.table.as_ref().is_none_or(|rt| rt == &s.table) {
+                if found.is_some() {
+                    return Err(TxdbError::Parse(format!(
+                        "ambiguous column reference `{r}`"
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| TxdbError::UnknownColumn {
+            table: r.table.clone().unwrap_or_else(|| "<any>".into()),
+            column: r.column.clone(),
+        })
+    }
+}
+
+/// How the executor reaches the base table's rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Sequential scan of all rows.
+    FullScan,
+    /// Hash-index point lookup: `column = value`.
+    IndexEq { column: String, value: Value },
+    /// Ordered-index range probe over `column`.
+    IndexRange {
+        column: String,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    },
+}
+
+impl AccessPath {
+    /// Short form for logs/tests: `scan`, `index_eq(col)`, `index_range(col)`.
+    pub fn describe(&self) -> String {
+        match self {
+            AccessPath::FullScan => "scan".to_string(),
+            AccessPath::IndexEq { column, .. } => format!("index_eq({column})"),
+            AccessPath::IndexRange { column, .. } => format!("index_range({column})"),
+        }
+    }
+}
+
+/// The plan for one `SELECT`: access path plus partitioned filters.
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    /// Full column layout (base + joins).
+    pub layout: Layout,
+    /// How base-table rows are produced.
+    pub access: AccessPath,
+    /// Base-only conjuncts evaluated before joins (excluding any the
+    /// access path already guarantees).
+    pub pushed: Vec<SqlExpr>,
+    /// Conjuncts evaluated after joins.
+    pub residual: Vec<SqlExpr>,
+    /// Estimated fraction of base rows surviving the access path.
+    pub estimated_selectivity: f64,
+}
+
+impl SelectPlan {
+    /// One-line summary, e.g. `index_eq(movie_id) sel=0.02 pushed=1 residual=0`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} sel={:.3} pushed={} residual={}",
+            self.access.describe(),
+            self.estimated_selectivity,
+            self.pushed.len(),
+            self.residual.len()
+        )
+    }
+}
+
+/// Split a WHERE tree at top-level `AND`s.
+fn conjuncts(expr: &SqlExpr, out: &mut Vec<SqlExpr>) {
+    match expr {
+        SqlExpr::And(a, b) => {
+            conjuncts(a, out);
+            conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Whether every column reference in `expr` resolves to the base table
+/// (ordinal 0), unambiguously over the full layout.
+fn is_base_only(layout: &Layout, expr: &SqlExpr) -> bool {
+    let check = |c: &ColumnRef| {
+        layout
+            .resolve(c)
+            .map(|i| layout.slots[i].table_ord == 0)
+            .unwrap_or(false)
+    };
+    match expr {
+        SqlExpr::Cmp { column, .. } => check(column),
+        SqlExpr::Like { column, .. } => check(column),
+        SqlExpr::IsNull { column, .. } => check(column),
+        SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
+            is_base_only(layout, a) && is_base_only(layout, b)
+        }
+        SqlExpr::Not(a) => is_base_only(layout, a),
+    }
+}
+
+/// Whether every column reference in `expr` resolves over the full layout.
+fn resolves(layout: &Layout, expr: &SqlExpr) -> bool {
+    match expr {
+        SqlExpr::Cmp { column, .. }
+        | SqlExpr::Like { column, .. }
+        | SqlExpr::IsNull { column, .. } => layout.resolve(column).is_ok(),
+        SqlExpr::And(a, b) | SqlExpr::Or(a, b) => resolves(layout, a) && resolves(layout, b),
+        SqlExpr::Not(a) => resolves(layout, a),
+    }
+}
+
+/// A sargable candidate: conjunct index, column, op, coerced literal.
+struct Sarg {
+    conjunct: usize,
+    column: String,
+    op: CmpOp,
+    value: Value,
+}
+
+/// Map a value onto the histogram's numeric axis (same convention as
+/// [`crate::stats`]).
+fn numeric_axis(v: &Value) -> Option<f64> {
+    match v {
+        Value::Date(d) => Some(d.day_number() as f64),
+        other => other.as_float(),
+    }
+}
+
+fn eq_selectivity(stats: Option<&ColumnStats>, value: &Value) -> f64 {
+    match stats {
+        Some(s) => s.eq_selectivity(value),
+        None => 1.0 / 3.0,
+    }
+}
+
+fn range_selectivity(stats: Option<&ColumnStats>, lo: &Bound<Value>, hi: &Bound<Value>) -> f64 {
+    let Some(s) = stats else { return 1.0 / 3.0 };
+    let Some(h) = &s.histogram else {
+        return 1.0 / 3.0;
+    };
+    let lo_f = match lo {
+        Bound::Included(v) | Bound::Excluded(v) => numeric_axis(v),
+        Bound::Unbounded => Some(h.min),
+    };
+    let hi_f = match hi {
+        Bound::Included(v) | Bound::Excluded(v) => numeric_axis(v),
+        Bound::Unbounded => Some(h.max),
+    };
+    match (lo_f, hi_f) {
+        (Some(a), Some(b)) => h.range_selectivity(a, b),
+        _ => 1.0 / 3.0,
+    }
+}
+
+/// Per-column bound accumulator: (column, folded bounds, conjunct ids).
+type ColumnBounds<'a> = (&'a str, (Bound<Value>, Bound<Value>), Vec<usize>);
+
+/// Fold `op value` into an accumulating bound pair.
+fn tighten(bounds: &mut (Bound<Value>, Bound<Value>), op: CmpOp, value: &Value) {
+    let (lo, hi) = bounds;
+    match op {
+        CmpOp::Eq => {
+            *lo = tighter_lo(lo, Bound::Included(value.clone()));
+            *hi = tighter_hi(hi, Bound::Included(value.clone()));
+        }
+        CmpOp::Gt => *lo = tighter_lo(lo, Bound::Excluded(value.clone())),
+        CmpOp::Ge => *lo = tighter_lo(lo, Bound::Included(value.clone())),
+        CmpOp::Lt => *hi = tighter_hi(hi, Bound::Excluded(value.clone())),
+        CmpOp::Le => *hi = tighter_hi(hi, Bound::Included(value.clone())),
+        CmpOp::Ne => {}
+    }
+}
+
+fn tighter_lo(current: &Bound<Value>, new: Bound<Value>) -> Bound<Value> {
+    let newer = match (&current, &new) {
+        (Bound::Unbounded, _) => true,
+        (_, Bound::Unbounded) => false,
+        (Bound::Included(c) | Bound::Excluded(c), Bound::Included(n) | Bound::Excluded(n)) => {
+            match n.partial_cmp(c) {
+                Some(std::cmp::Ordering::Greater) => true,
+                Some(std::cmp::Ordering::Equal) => {
+                    // Excluded is tighter than Included for a lower bound.
+                    matches!(new, Bound::Excluded(_)) && matches!(current, Bound::Included(_))
+                }
+                _ => false,
+            }
+        }
+    };
+    if newer {
+        new
+    } else {
+        current.clone()
+    }
+}
+
+fn tighter_hi(current: &Bound<Value>, new: Bound<Value>) -> Bound<Value> {
+    let newer = match (&current, &new) {
+        (Bound::Unbounded, _) => true,
+        (_, Bound::Unbounded) => false,
+        (Bound::Included(c) | Bound::Excluded(c), Bound::Included(n) | Bound::Excluded(n)) => {
+            match n.partial_cmp(c) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Equal) => {
+                    matches!(new, Bound::Excluded(_)) && matches!(current, Bound::Included(_))
+                }
+                _ => false,
+            }
+        }
+    };
+    if newer {
+        new
+    } else {
+        current.clone()
+    }
+}
+
+/// Plan a `SELECT`: partition the WHERE clause and choose the access path.
+pub fn plan_select(db: &Database, sel: &SelectStmt) -> Result<SelectPlan> {
+    let layout = Layout::build(db, sel)?;
+    let base = db.table(&sel.table)?;
+    let schema = base.schema();
+
+    let mut all = Vec::new();
+    if let Some(expr) = &sel.where_clause {
+        conjuncts(expr, &mut all);
+    }
+    // An unresolvable (unknown or ambiguous) column anywhere in the WHERE
+    // clause disables pushdown and index use entirely: the seed executor
+    // raised the resolution error lazily, per evaluated joined row, so any
+    // filtering before the join could change *whether* the error surfaces
+    // at all. The conservative plan evaluates every conjunct post-join in
+    // original order — byte-identical behaviour, including errors.
+    if all.iter().any(|e| !resolves(&layout, e)) {
+        return Ok(SelectPlan {
+            layout,
+            access: AccessPath::FullScan,
+            pushed: Vec::new(),
+            residual: all,
+            estimated_selectivity: 1.0,
+        });
+    }
+    let mut pushed: Vec<SqlExpr> = Vec::new();
+    let mut residual: Vec<SqlExpr> = Vec::new();
+    let mut sargs: Vec<Sarg> = Vec::new();
+    for expr in all {
+        if !is_base_only(&layout, &expr) {
+            residual.push(expr);
+            continue;
+        }
+        if let SqlExpr::Cmp { column, op, value } = &expr {
+            if *op != CmpOp::Ne && !value.is_null() {
+                if let Some(idx) = schema.column_index(&column.column) {
+                    if let Ok(coerced) = value.coerce_to(schema.columns()[idx].ty) {
+                        if !coerced.is_null() {
+                            sargs.push(Sarg {
+                                conjunct: pushed.len(),
+                                column: column.column.clone(),
+                                op: *op,
+                                value: coerced,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        pushed.push(expr);
+    }
+
+    // Price every candidate with cached statistics.
+    let mut best: Option<(AccessPath, f64, Vec<usize>)> = None;
+    if !sargs.is_empty() && !base.is_empty() {
+        db.with_stats(&sel.table, |stats| {
+            // Equality conjuncts served by a hash index.
+            for s in &sargs {
+                if s.op == CmpOp::Eq && base.has_index(&s.column) {
+                    let sel_est = eq_selectivity(stats.column(&s.column), &s.value);
+                    if best.as_ref().is_none_or(|(_, b, _)| sel_est < *b) {
+                        best = Some((
+                            AccessPath::IndexEq {
+                                column: s.column.clone(),
+                                value: s.value.clone(),
+                            },
+                            sel_est,
+                            vec![s.conjunct],
+                        ));
+                    }
+                }
+            }
+            // Range probes over an ordered index, folding per-column bounds.
+            let mut by_column: Vec<ColumnBounds> = Vec::new();
+            for s in &sargs {
+                if !base.has_range_index(&s.column) {
+                    continue;
+                }
+                // NaN cannot fold into ordered bounds (`partial_cmp` is
+                // `None`, so `tighten` would silently drop it while the
+                // conjunct got marked consumed). Leave such conjuncts as
+                // plain filters, where they evaluate to false as before.
+                if matches!(&s.value, Value::Float(f) if f.is_nan()) {
+                    continue;
+                }
+                match by_column.iter_mut().find(|(c, _, _)| *c == s.column) {
+                    Some((_, bounds, used)) => {
+                        tighten(bounds, s.op, &s.value);
+                        used.push(s.conjunct);
+                    }
+                    None => {
+                        let mut bounds = (Bound::Unbounded, Bound::Unbounded);
+                        tighten(&mut bounds, s.op, &s.value);
+                        by_column.push((&s.column, bounds, vec![s.conjunct]));
+                    }
+                }
+            }
+            for (column, (lo, hi), used) in by_column {
+                let sel_est = range_selectivity(stats.column(column), &lo, &hi);
+                if best.as_ref().is_none_or(|(_, b, _)| sel_est < *b) {
+                    best = Some((
+                        AccessPath::IndexRange {
+                            column: column.to_string(),
+                            lo,
+                            hi,
+                        },
+                        sel_est,
+                        used,
+                    ));
+                }
+            }
+        })?;
+    }
+
+    let (access, estimated_selectivity, consumed) = match best {
+        Some((path, sel_est, used)) if sel_est <= INDEX_SELECTIVITY_THRESHOLD => {
+            (path, sel_est, used)
+        }
+        _ => (AccessPath::FullScan, 1.0, Vec::new()),
+    };
+    // Drop consumed conjuncts (the access path already guarantees them).
+    let pushed = pushed
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !consumed.contains(i))
+        .map(|(_, e)| e)
+        .collect();
+
+    Ok(SelectPlan {
+        layout,
+        access,
+        pushed,
+        residual,
+        estimated_selectivity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse_statement;
+    use crate::sql::Statement;
+    use crate::{row, Database, TableSchema};
+
+    fn plan(db: &Database, sql: &str) -> SelectPlan {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            panic!("not a select")
+        };
+        plan_select(db, &sel).unwrap()
+    }
+
+    /// movies with a PK hash index on movie_id, a hash index on genre
+    /// (3 skewed values) and a range index on rating.
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("movie")
+                .column("movie_id", crate::DataType::Int)
+                .column("title", crate::DataType::Text)
+                .column("genre", crate::DataType::Text)
+                .nullable_column("rating", crate::DataType::Float)
+                .primary_key(&["movie_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("screening")
+                .column("screening_id", crate::DataType::Int)
+                .column("movie_id", crate::DataType::Int)
+                .column("price", crate::DataType::Float)
+                .primary_key(&["screening_id"])
+                .foreign_key("movie_id", "movie", "movie_id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        {
+            let t = db.table_mut("movie").unwrap();
+            t.create_index("genre").unwrap();
+            t.create_range_index("rating").unwrap();
+        }
+        for i in 0..100i64 {
+            // genre: 80% Drama, 15% Action, 5% Noir.
+            let genre = if i % 20 == 19 {
+                "Noir"
+            } else if i % 20 >= 16 {
+                "Action"
+            } else {
+                "Drama"
+            };
+            db.insert(
+                "movie",
+                row![i, format!("M{i}"), genre, (i % 50) as f64 / 5.0],
+            )
+            .unwrap();
+        }
+        for i in 0..50i64 {
+            db.insert("screening", row![i, i % 100, 10.0 + (i % 7) as f64])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn pk_equality_uses_hash_index() {
+        let db = db();
+        let p = plan(&db, "SELECT * FROM movie WHERE movie_id = 42");
+        assert_eq!(p.access.describe(), "index_eq(movie_id)");
+        assert!(
+            p.estimated_selectivity <= 0.02,
+            "sel {}",
+            p.estimated_selectivity
+        );
+        assert!(p.pushed.is_empty(), "eq conjunct must be consumed");
+        assert!(p.residual.is_empty());
+    }
+
+    #[test]
+    fn selective_genre_uses_index_common_genre_scans() {
+        let db = db();
+        let rare = plan(&db, "SELECT * FROM movie WHERE genre = 'Noir'");
+        assert_eq!(rare.access.describe(), "index_eq(genre)");
+        // 80% of rows are Drama: a scan beats the index.
+        let common = plan(&db, "SELECT * FROM movie WHERE genre = 'Drama'");
+        assert_eq!(common.access.describe(), "scan");
+        assert_eq!(common.pushed.len(), 1, "filter still applied");
+    }
+
+    #[test]
+    fn range_predicate_uses_range_index_and_folds_bounds() {
+        let db = db();
+        let p = plan(
+            &db,
+            "SELECT * FROM movie WHERE rating > 8.0 AND rating <= 9.0",
+        );
+        assert_eq!(p.access.describe(), "index_range(rating)");
+        assert!(p.pushed.is_empty(), "both bounds folded into the probe");
+        let AccessPath::IndexRange { lo, hi, .. } = &p.access else {
+            panic!()
+        };
+        assert_eq!(*lo, Bound::Excluded(Value::Float(8.0)));
+        assert_eq!(*hi, Bound::Included(Value::Float(9.0)));
+    }
+
+    #[test]
+    fn wide_range_falls_back_to_scan() {
+        let db = db();
+        let p = plan(&db, "SELECT * FROM movie WHERE rating >= 0.0");
+        assert_eq!(p.access.describe(), "scan");
+    }
+
+    #[test]
+    fn unindexed_column_scans() {
+        let db = db();
+        let p = plan(&db, "SELECT * FROM movie WHERE title = 'M7'");
+        assert_eq!(p.access.describe(), "scan");
+        assert_eq!(p.pushed.len(), 1);
+    }
+
+    #[test]
+    fn disjunction_is_not_sargable() {
+        let db = db();
+        let p = plan(
+            &db,
+            "SELECT * FROM movie WHERE movie_id = 1 OR movie_id = 2",
+        );
+        assert_eq!(p.access.describe(), "scan");
+        assert_eq!(p.pushed.len(), 1);
+    }
+
+    #[test]
+    fn base_conjunct_pushed_joined_conjunct_residual() {
+        let db = db();
+        let p = plan(
+            &db,
+            "SELECT movie.title FROM movie \
+             JOIN screening ON screening.movie_id = movie.movie_id \
+             WHERE movie.movie_id = 3 AND screening.price > 11.0",
+        );
+        assert_eq!(p.access.describe(), "index_eq(movie_id)");
+        assert!(p.pushed.is_empty());
+        assert_eq!(p.residual.len(), 1, "price predicate runs after the join");
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_is_not_pushed() {
+        let db = db();
+        // `movie_id` exists in both tables: resolution over the joined
+        // layout is ambiguous, so the conjunct must stay residual (the
+        // executor surfaces the error lazily, as before the planner).
+        let p = plan(
+            &db,
+            "SELECT movie.title FROM movie \
+             JOIN screening ON screening.movie_id = movie.movie_id \
+             WHERE movie_id = 3",
+        );
+        assert_eq!(p.access.describe(), "scan");
+        assert_eq!(p.residual.len(), 1);
+    }
+
+    #[test]
+    fn contradictory_equalities_consume_only_chosen() {
+        let db = db();
+        let p = plan(
+            &db,
+            "SELECT * FROM movie WHERE movie_id = 1 AND movie_id = 2",
+        );
+        assert_eq!(p.access.describe(), "index_eq(movie_id)");
+        // One equality drives the probe, the other must remain a filter.
+        assert_eq!(p.pushed.len(), 1);
+    }
+
+    #[test]
+    fn empty_table_scans() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("t")
+                .column("id", crate::DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let p = plan(&db, "SELECT * FROM t WHERE id = 1");
+        assert_eq!(p.access.describe(), "scan");
+    }
+
+    #[test]
+    fn nan_literal_is_not_sargable_for_ranges() {
+        let db = db();
+        // 'NaN' coerces to Float(NaN) against the rating column; it must
+        // stay a filter (evaluating to false), never a consumed bound.
+        let p = plan(
+            &db,
+            "SELECT * FROM movie WHERE rating > 9.0 AND rating > 'NaN'",
+        );
+        match p.access {
+            AccessPath::IndexRange { .. } => {
+                assert_eq!(p.pushed.len(), 1, "NaN conjunct must stay pushed");
+            }
+            AccessPath::FullScan => {
+                assert_eq!(p.pushed.len(), 2);
+            }
+            other => panic!("unexpected access {other:?}"),
+        }
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let db = db();
+        let p = plan(&db, "SELECT * FROM movie WHERE movie_id = 42");
+        assert!(p.describe().starts_with("index_eq(movie_id) sel="));
+    }
+}

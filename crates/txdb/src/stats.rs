@@ -69,7 +69,11 @@ impl Histogram {
             return 0.0;
         }
         if self.max == self.min {
-            return if lo <= self.min && self.min <= hi { 1.0 } else { 0.0 };
+            return if lo <= self.min && self.min <= hi {
+                1.0
+            } else {
+                0.0
+            };
         }
         let width = (self.max - self.min) / self.buckets.len() as f64;
         let mut hit = 0.0;
@@ -138,11 +142,11 @@ impl ColumnStats {
         }
         let count: usize = counts.values().sum();
         let entropy = entropy_of_counts(counts.values().copied());
-        let mut mcv: Vec<(Value, usize)> =
-            counts.iter().map(|(v, &c)| ((*v).clone(), c)).collect();
-        mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| {
-            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
-        }));
+        let mut mcv: Vec<(Value, usize)> = counts.iter().map(|(v, &c)| ((*v).clone(), c)).collect();
+        mcv.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+        });
         let distinct = mcv.len();
         mcv.truncate(MCV_LIMIT);
         let histogram = Histogram::build(&numeric, HISTOGRAM_BUCKETS);
@@ -222,8 +226,10 @@ impl TableStats {
         let schema = table.schema();
         let mut columns = Vec::with_capacity(schema.arity());
         for (i, col) in schema.columns().iter().enumerate() {
-            let values: Vec<&Value> =
-                table.scan().map(|(_, row)| row.get(i).unwrap_or(&Value::Null)).collect();
+            let values: Vec<&Value> = table
+                .scan()
+                .map(|(_, row)| row.get(i).unwrap_or(&Value::Null))
+                .collect();
             columns.push((col.name.clone(), ColumnStats::compute(col.ty, values)));
         }
         TableStats {
@@ -293,10 +299,20 @@ mod tests {
             .unwrap();
         let mut t = Table::new(schema).unwrap();
         for i in 0..10i64 {
-            let genre = if i < 6 { "Drama" } else if i < 9 { "Action" } else { "Noir" };
-            let rating =
-                if i == 0 { Value::Null } else { Value::Float(5.0 + (i % 5) as f64) };
-            t.insert(Row::new(vec![Value::Int(i), genre.into(), rating])).unwrap();
+            let genre = if i < 6 {
+                "Drama"
+            } else if i < 9 {
+                "Action"
+            } else {
+                "Noir"
+            };
+            let rating = if i == 0 {
+                Value::Null
+            } else {
+                Value::Float(5.0 + (i % 5) as f64)
+            };
+            t.insert(Row::new(vec![Value::Int(i), genre.into(), rating]))
+                .unwrap();
         }
         t
     }
@@ -316,7 +332,10 @@ mod tests {
         assert!((rating.fill_rate() - 0.9).abs() < 1e-12);
         let id = stats.column("movie_id").unwrap();
         assert_eq!(id.distinct, 10);
-        assert!((id.normalized_entropy() - 1.0).abs() < 1e-9, "ids are maximally informative");
+        assert!(
+            (id.normalized_entropy() - 1.0).abs() < 1e-9,
+            "ids are maximally informative"
+        );
     }
 
     #[test]
@@ -380,7 +399,8 @@ mod tests {
         let mut t = Table::new(schema).unwrap();
         for i in 0..30i64 {
             let d = crate::value::Date::new(2022, 1, 1).unwrap().plus_days(i);
-            t.insert(Row::new(vec![Value::Int(i), Value::Date(d)])).unwrap();
+            t.insert(Row::new(vec![Value::Int(i), Value::Date(d)]))
+                .unwrap();
         }
         let stats = TableStats::compute(&t);
         assert!(stats.column("d").unwrap().histogram.is_some());

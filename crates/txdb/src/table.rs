@@ -160,7 +160,8 @@ impl Table {
             .rows
             .iter()
             .filter(|(_, row)| {
-                row.get(idx).is_some_and(|v| !v.is_null() && in_lo(v) && in_hi(v))
+                row.get(idx)
+                    .is_some_and(|v| !v.is_null() && in_lo(v) && in_hi(v))
             })
             .map(|(&rid, _)| rid)
             .collect())
@@ -255,10 +256,9 @@ impl Table {
 
     /// Delete a row by id, returning it.
     pub fn delete(&mut self, rid: RowId) -> Result<Row> {
-        let row = self
-            .rows
-            .remove(&rid)
-            .ok_or_else(|| TxdbError::NoSuchRow { table: self.schema.name().to_string() })?;
+        let row = self.rows.remove(&rid).ok_or_else(|| TxdbError::NoSuchRow {
+            table: self.schema.name().to_string(),
+        })?;
         self.unindex_row(rid, &row);
         let pk = self.pk_of(&row);
         if !pk.is_empty() {
@@ -286,7 +286,9 @@ impl Table {
             });
         }
         if !self.rows.contains_key(&rid) {
-            return Err(TxdbError::NoSuchRow { table: self.schema.name().to_string() });
+            return Err(TxdbError::NoSuchRow {
+                table: self.schema.name().to_string(),
+            });
         }
         // Uniqueness / PK checks against the *other* rows.
         let is_unique = col.unique || self.schema.is_pk_column(column);
@@ -300,7 +302,11 @@ impl Table {
         }
         let row = self.rows.get_mut(&rid).expect("presence checked");
         let old_pk_needed = self.schema.is_pk_column(column);
-        let old_row_pk = if old_pk_needed { Some(row.clone()) } else { None };
+        let old_row_pk = if old_pk_needed {
+            Some(row.clone())
+        } else {
+            None
+        };
         let old = row.set(idx, value.clone()).expect("index in range");
         // Maintain secondary indexes.
         let row_snapshot = row.clone();
@@ -354,13 +360,21 @@ impl Table {
         self.rows.iter().map(|(&rid, row)| (rid, row))
     }
 
-    /// Rows satisfying a predicate. Uses a hash index when the predicate is
-    /// an equality conjunction touching an indexed column.
+    /// Rows satisfying a predicate. When the predicate is an equality
+    /// conjunction touching indexed columns, the *most selective* hash
+    /// index (smallest bucket — an exact statistic, maintained for free)
+    /// drives the lookup instead of the first match.
     pub fn select(&self, pred: &Predicate) -> Result<Vec<(RowId, &Row)>> {
         if let Some(eqs) = pred.as_equality_conjunction() {
-            if let Some((col, val)) =
-                eqs.iter().find(|(c, _)| self.indexes.contains_key(*c)).copied()
-            {
+            let best = eqs
+                .iter()
+                .filter_map(|&(c, v)| {
+                    self.indexes
+                        .get(c)
+                        .map(|map| (c, v, map.get(v).map_or(0, Vec::len)))
+                })
+                .min_by_key(|&(_, _, bucket)| bucket);
+            if let Some((col, val, _)) = best {
                 let mut out = Vec::new();
                 for rid in self.lookup(col, val) {
                     let row = &self.rows[&rid];
@@ -384,10 +398,9 @@ impl Table {
     /// Value of `column` for the given row.
     pub fn value_of(&self, rid: RowId, column: &str) -> Result<Value> {
         let idx = self.schema.require_column(column)?;
-        let row = self
-            .rows
-            .get(&rid)
-            .ok_or_else(|| TxdbError::NoSuchRow { table: self.schema.name().to_string() })?;
+        let row = self.rows.get(&rid).ok_or_else(|| TxdbError::NoSuchRow {
+            table: self.schema.name().to_string(),
+        })?;
         Ok(row.get(idx).cloned().unwrap_or(Value::Null))
     }
 
@@ -455,7 +468,9 @@ impl Table {
     /// Restore a single cell (rollback of an update).
     pub(crate) fn set_physical(&mut self, rid: RowId, col_idx: usize, value: Value) {
         let col_name = self.schema.columns()[col_idx].name.clone();
-        let Some(row) = self.rows.get_mut(&rid) else { return };
+        let Some(row) = self.rows.get_mut(&rid) else {
+            return;
+        };
         let old = row.set(col_idx, value.clone()).expect("index in range");
         let new_row = row.clone();
         if let Some(map) = self.indexes.get_mut(&col_name) {
@@ -514,7 +529,10 @@ mod tests {
         let mut t = movie_table();
         let rid = t.insert(row![1, "Forrest Gump", "Drama", 8.8]).unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.get(rid).unwrap().get(1).unwrap().as_text(), Some("Forrest Gump"));
+        assert_eq!(
+            t.get(rid).unwrap().get(1).unwrap().as_text(),
+            Some("Forrest Gump")
+        );
         let deleted = t.delete(rid).unwrap();
         assert_eq!(deleted.get(0).unwrap().as_int(), Some(1));
         assert!(t.is_empty());
@@ -542,12 +560,23 @@ mod tests {
             TxdbError::TypeMismatch { .. }
         ));
         assert!(matches!(
-            t.insert(Row::new(vec![Value::Int(1), Value::Null, "g".into(), Value::Null]))
-                .unwrap_err(),
+            t.insert(Row::new(vec![
+                Value::Int(1),
+                Value::Null,
+                "g".into(),
+                Value::Null
+            ]))
+            .unwrap_err(),
             TxdbError::NotNullViolation { .. }
         ));
         // Nullable column accepts NULL.
-        t.insert(Row::new(vec![Value::Int(1), "A".into(), "g".into(), Value::Null])).unwrap();
+        t.insert(Row::new(vec![
+            Value::Int(1),
+            "A".into(),
+            "g".into(),
+            Value::Null,
+        ]))
+        .unwrap();
         assert!(matches!(
             t.insert(row![2, "B", "g"]).unwrap_err(),
             TxdbError::ArityMismatch { .. }
@@ -597,8 +626,11 @@ mod tests {
         }
         let pred = Predicate::eq("genre", "Drama");
         assert_eq!(t.select(&pred).unwrap().len(), 3);
-        let pred2 = Predicate::eq("genre", "Action")
-            .and(Predicate::cmp("rating", crate::predicate::CmpOp::Ge, 8.0));
+        let pred2 = Predicate::eq("genre", "Action").and(Predicate::cmp(
+            "rating",
+            crate::predicate::CmpOp::Ge,
+            8.0,
+        ));
         assert_eq!(t.select(&pred2).unwrap().len(), 2);
     }
 
@@ -608,13 +640,19 @@ mod tests {
         t.create_index("genre").unwrap();
         for i in 0..50 {
             let genre = ["Drama", "Action", "Comedy"][i % 3];
-            t.insert(row![i as i64, format!("M{i}"), genre, 1.0]).unwrap();
+            t.insert(row![i as i64, format!("M{i}"), genre, 1.0])
+                .unwrap();
         }
         let pred = Predicate::eq("genre", "Comedy");
         let with_index: Vec<_> = t.select(&pred).unwrap().iter().map(|(r, _)| *r).collect();
         // Force the scan path with a non-equality predicate wrapper.
         let scan_pred = Predicate::contains("genre", "Comedy");
-        let scanned: Vec<_> = t.select(&scan_pred).unwrap().iter().map(|(r, _)| *r).collect();
+        let scanned: Vec<_> = t
+            .select(&scan_pred)
+            .unwrap()
+            .iter()
+            .map(|(r, _)| *r)
+            .collect();
         assert_eq!(with_index, scanned);
     }
 
@@ -670,40 +708,65 @@ mod tests {
         let mut t = movie_table();
         t.create_range_index("rating").unwrap();
         for i in 0..10 {
-            t.insert(row![i, format!("M{i}"), "Drama", i as f64]).unwrap();
+            t.insert(row![i, format!("M{i}"), "Drama", i as f64])
+                .unwrap();
         }
         let ids = t
-            .range_lookup("rating", Bound::Included(&Value::Float(3.0)), Bound::Excluded(&Value::Float(6.0)))
+            .range_lookup(
+                "rating",
+                Bound::Included(&Value::Float(3.0)),
+                Bound::Excluded(&Value::Float(6.0)),
+            )
             .unwrap();
         assert_eq!(ids.len(), 3); // ratings 3,4,5
-        // Update moves a row across the boundary.
+                                  // Update moves a row across the boundary.
         let rid = ids[0];
         t.update(rid, "rating", Value::Float(9.5)).unwrap();
         let ids = t
-            .range_lookup("rating", Bound::Included(&Value::Float(3.0)), Bound::Excluded(&Value::Float(6.0)))
+            .range_lookup(
+                "rating",
+                Bound::Included(&Value::Float(3.0)),
+                Bound::Excluded(&Value::Float(6.0)),
+            )
             .unwrap();
         assert_eq!(ids.len(), 2);
         // Delete removes from the index.
         let high = t
-            .range_lookup("rating", Bound::Included(&Value::Float(9.0)), Bound::Unbounded)
+            .range_lookup(
+                "rating",
+                Bound::Included(&Value::Float(9.0)),
+                Bound::Unbounded,
+            )
             .unwrap();
         assert_eq!(high, vec![rid, RowId(10)]);
         t.delete(rid).unwrap();
         let high = t
-            .range_lookup("rating", Bound::Included(&Value::Float(9.0)), Bound::Unbounded)
+            .range_lookup(
+                "rating",
+                Bound::Included(&Value::Float(9.0)),
+                Bound::Unbounded,
+            )
             .unwrap();
         assert_eq!(high, vec![RowId(10)]);
         // Physical rollback ops keep it consistent too.
         let row9 = t.get(RowId(10)).unwrap().clone();
         t.remove_physical(RowId(10));
         assert!(t
-            .range_lookup("rating", Bound::Included(&Value::Float(9.0)), Bound::Unbounded)
+            .range_lookup(
+                "rating",
+                Bound::Included(&Value::Float(9.0)),
+                Bound::Unbounded
+            )
             .unwrap()
             .is_empty());
         t.insert_physical(RowId(10), row9);
         assert_eq!(
-            t.range_lookup("rating", Bound::Included(&Value::Float(9.0)), Bound::Unbounded)
-                .unwrap(),
+            t.range_lookup(
+                "rating",
+                Bound::Included(&Value::Float(9.0)),
+                Bound::Unbounded
+            )
+            .unwrap(),
             vec![RowId(10)]
         );
     }
@@ -713,17 +776,26 @@ mod tests {
         use std::ops::Bound;
         let mut t = movie_table();
         for i in 0..10 {
-            t.insert(row![i, format!("M{i}"), "Drama", i as f64]).unwrap();
+            t.insert(row![i, format!("M{i}"), "Drama", i as f64])
+                .unwrap();
         }
         assert!(!t.has_range_index("rating"));
         let scan = t
-            .range_lookup("rating", Bound::Included(&Value::Float(2.0)), Bound::Included(&Value::Float(4.0)))
+            .range_lookup(
+                "rating",
+                Bound::Included(&Value::Float(2.0)),
+                Bound::Included(&Value::Float(4.0)),
+            )
             .unwrap();
         assert_eq!(scan.len(), 3);
         // Agreement with the indexed path.
         t.create_range_index("rating").unwrap();
         let indexed = t
-            .range_lookup("rating", Bound::Included(&Value::Float(2.0)), Bound::Included(&Value::Float(4.0)))
+            .range_lookup(
+                "rating",
+                Bound::Included(&Value::Float(2.0)),
+                Bound::Included(&Value::Float(4.0)),
+            )
             .unwrap();
         assert_eq!(scan, indexed);
         assert!(t.create_range_index("rating").is_err(), "duplicate index");
@@ -743,6 +815,12 @@ mod tests {
         t.insert(row![1, 11, 2]).unwrap();
         t.insert(row![2, 10, 1]).unwrap();
         assert!(t.insert(row![1, 10, 5]).is_err());
-        assert_eq!(t.get_by_pk(&[Value::Int(1), Value::Int(11)]).unwrap().1.get(2), Some(&Value::Int(2)));
+        assert_eq!(
+            t.get_by_pk(&[Value::Int(1), Value::Int(11)])
+                .unwrap()
+                .1
+                .get(2),
+            Some(&Value::Int(2))
+        );
     }
 }

@@ -16,9 +16,21 @@ use crate::Database;
 /// One entry of the undo log.
 #[derive(Debug, Clone)]
 pub(crate) enum UndoOp {
-    Insert { table: String, rid: RowId },
-    Delete { table: String, rid: RowId, row: Row },
-    Update { table: String, rid: RowId, col_idx: usize, old: Value },
+    Insert {
+        table: String,
+        rid: RowId,
+    },
+    Delete {
+        table: String,
+        rid: RowId,
+        row: Row,
+    },
+    Update {
+        table: String,
+        rid: RowId,
+        col_idx: usize,
+        old: Value,
+    },
 }
 
 /// An open transaction. Mutations made through this handle are atomic:
@@ -32,7 +44,11 @@ pub struct Transaction<'db> {
 
 impl<'db> Transaction<'db> {
     pub(crate) fn new(db: &'db mut Database) -> Transaction<'db> {
-        Transaction { db, undo: Vec::new(), finished: false }
+        Transaction {
+            db,
+            undo: Vec::new(),
+            finished: false,
+        }
     }
 
     /// Insert a row (FK-enforcing).
@@ -80,7 +96,11 @@ impl<'db> Transaction<'db> {
         let mut outcome = ProcOutcome::default();
         for op in proc.ops() {
             match op {
-                ProcOp::Insert { table, columns, values } => {
+                ProcOp::Insert {
+                    table,
+                    columns,
+                    values,
+                } => {
                     let schema = self.db.schema_of(table)?.clone();
                     let mut cells = vec![Value::Null; schema.arity()];
                     for (col, expr) in columns.iter().zip(values) {
@@ -93,8 +113,11 @@ impl<'db> Transaction<'db> {
                 }
                 ProcOp::Delete { table, filter } => {
                     let pred = filter_predicate(proc, bound, filter)?;
-                    let rids: Vec<RowId> =
-                        self.select(table, &pred)?.into_iter().map(|(r, _)| r).collect();
+                    let rids: Vec<RowId> = self
+                        .select(table, &pred)?
+                        .into_iter()
+                        .map(|(r, _)| r)
+                        .collect();
                     for rid in &rids {
                         self.delete(table, *rid)?;
                     }
@@ -102,8 +125,11 @@ impl<'db> Transaction<'db> {
                 }
                 ProcOp::Update { table, set, filter } => {
                     let pred = filter_predicate(proc, bound, filter)?;
-                    let rids: Vec<RowId> =
-                        self.select(table, &pred)?.into_iter().map(|(r, _)| r).collect();
+                    let rids: Vec<RowId> = self
+                        .select(table, &pred)?
+                        .into_iter()
+                        .map(|(r, _)| r)
+                        .collect();
                     for rid in &rids {
                         for (col, expr) in set {
                             let v = expr.resolve(proc.name(), bound)?;
@@ -112,7 +138,11 @@ impl<'db> Transaction<'db> {
                     }
                     outcome.rows_affected += rids.len();
                 }
-                ProcOp::Select { table, filter, columns } => {
+                ProcOp::Select {
+                    table,
+                    filter,
+                    columns,
+                } => {
                     let pred = filter_predicate(proc, bound, filter)?;
                     let schema = self.db.schema_of(table)?.clone();
                     let proj: Vec<usize> = match columns {

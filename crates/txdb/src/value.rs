@@ -28,8 +28,13 @@ pub enum DataType {
 
 impl DataType {
     /// All data types, useful for exhaustive testing.
-    pub const ALL: [DataType; 5] =
-        [DataType::Int, DataType::Float, DataType::Text, DataType::Bool, DataType::Date];
+    pub const ALL: [DataType; 5] = [
+        DataType::Int,
+        DataType::Float,
+        DataType::Text,
+        DataType::Bool,
+        DataType::Date,
+    ];
 
     /// SQL-ish keyword for this type (used by the SQL layer and `Display`).
     pub fn keyword(self) -> &'static str {
@@ -73,7 +78,9 @@ impl Date {
     /// Construct a date, validating month/day ranges (including leap years).
     pub fn new(year: i32, month: u8, day: u8) -> Result<Date> {
         if !(1..=12).contains(&month) {
-            return Err(TxdbError::InvalidValue(format!("month {month} out of range")));
+            return Err(TxdbError::InvalidValue(format!(
+                "month {month} out of range"
+            )));
         }
         if day == 0 || day > days_in_month(year, month) {
             return Err(TxdbError::InvalidValue(format!(
@@ -108,8 +115,16 @@ impl Date {
     /// Day offset from 0000-03-01 (a standard trick that makes leap-day
     /// arithmetic uniform); only relative differences are meaningful.
     pub fn day_number(&self) -> i64 {
-        let y = if self.month <= 2 { self.year as i64 - 1 } else { self.year as i64 };
-        let m = if self.month <= 2 { self.month as i64 + 12 } else { self.month as i64 };
+        let y = if self.month <= 2 {
+            self.year as i64 - 1
+        } else {
+            self.year as i64
+        };
+        let m = if self.month <= 2 {
+            self.month as i64 + 12
+        } else {
+            self.month as i64
+        };
         365 * y + y / 4 - y / 100 + y / 400 + (153 * (m - 3) + 2) / 5 + self.day as i64 - 1
     }
 
@@ -120,20 +135,33 @@ impl Date {
         // always within a few thousand years; the loop is short).
         let mut year = (n / 366) as i32; // lower bound
         loop {
-            let jan1 = Date { year: year + 1, month: 3, day: 1 };
+            let jan1 = Date {
+                year: year + 1,
+                month: 3,
+                day: 1,
+            };
             if jan1.day_number() > n {
                 break;
             }
             year += 1;
         }
         // Now 0 <= n - day_number(year-03-01) < ~366
-        n -= (Date { year, month: 3, day: 1 }).day_number();
+        n -= (Date {
+            year,
+            month: 3,
+            day: 1,
+        })
+        .day_number();
         let mut month = 3u8;
         let mut y = year;
         loop {
             let dim = days_in_month(y, month) as i64;
             if n < dim {
-                return Date { year: y, month, day: (n + 1) as u8 };
+                return Date {
+                    year: y,
+                    month,
+                    day: (n + 1) as u8,
+                };
             }
             n -= dim;
             month += 1;
@@ -147,7 +175,11 @@ impl Date {
     /// Day of week, 0 = Monday … 6 = Sunday.
     pub fn weekday(&self) -> u8 {
         // 2000-03-01 was a Wednesday (weekday 2 in our encoding).
-        let anchor = Date { year: 2000, month: 3, day: 1 };
+        let anchor = Date {
+            year: 2000,
+            month: 3,
+            day: 1,
+        };
         let diff = self.day_number() - anchor.day_number();
         let wd = ((diff % 7) + 7) % 7;
         ((wd + 2) % 7) as u8
@@ -333,9 +365,7 @@ impl PartialEq for Value {
             (Value::Float(a), Value::Float(b)) => {
                 Value::canonical_float_bits(*a) == Value::canonical_float_bits(*b)
             }
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *b == *a as f64
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *b == *a as f64,
             (Value::Text(a), Value::Text(b)) => a == b,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Date(a), Value::Date(b)) => a == b,
@@ -484,10 +514,22 @@ mod tests {
 
     #[test]
     fn value_parse_as_all_types() {
-        assert_eq!(Value::parse_as(DataType::Int, "42").unwrap(), Value::Int(42));
-        assert_eq!(Value::parse_as(DataType::Float, "3.5").unwrap(), Value::Float(3.5));
-        assert_eq!(Value::parse_as(DataType::Text, " hi ").unwrap(), Value::Text("hi".into()));
-        assert_eq!(Value::parse_as(DataType::Bool, "yes").unwrap(), Value::Bool(true));
+        assert_eq!(
+            Value::parse_as(DataType::Int, "42").unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::parse_as(DataType::Float, "3.5").unwrap(),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            Value::parse_as(DataType::Text, " hi ").unwrap(),
+            Value::Text("hi".into())
+        );
+        assert_eq!(
+            Value::parse_as(DataType::Bool, "yes").unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             Value::parse_as(DataType::Date, "2020-01-02").unwrap(),
             Value::Date(Date::new(2020, 1, 2).unwrap())
@@ -536,11 +578,19 @@ mod tests {
 
     #[test]
     fn coercion_rules() {
-        assert_eq!(Value::Int(2).coerce_to(DataType::Float).unwrap(), Value::Float(2.0));
-        assert_eq!(Value::Float(2.0).coerce_to(DataType::Int).unwrap(), Value::Int(2));
+        assert_eq!(
+            Value::Int(2).coerce_to(DataType::Float).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            Value::Float(2.0).coerce_to(DataType::Int).unwrap(),
+            Value::Int(2)
+        );
         assert!(Value::Float(2.5).coerce_to(DataType::Int).is_err());
         assert_eq!(
-            Value::Text("2021-05-05".into()).coerce_to(DataType::Date).unwrap(),
+            Value::Text("2021-05-05".into())
+                .coerce_to(DataType::Date)
+                .unwrap(),
             Value::Date(Date::new(2021, 5, 5).unwrap())
         );
     }

@@ -4,14 +4,16 @@
 use proptest::prelude::*;
 
 use cat_txdb::{
-    entropy_of_counts, row, CmpOp, Database, DataType, Date, Predicate, Row, TableSchema, Value,
+    entropy_of_counts, row, CmpOp, DataType, Database, Date, Predicate, Row, TableSchema, Value,
 };
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         Just(Value::Null),
         any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Value::Float),
         "[a-zA-Z0-9 '_-]{0,24}".prop_map(Value::Text),
         any::<bool>().prop_map(Value::Bool),
         (1970i32..2100, 1u8..=12, 1u8..=28)
@@ -129,7 +131,10 @@ fn snapshot(db: &Database) -> Vec<(i64, String)> {
         .unwrap()
         .scan()
         .map(|(_, r)| {
-            (r.get(0).unwrap().as_int().unwrap(), r.get(1).unwrap().as_text().unwrap().to_string())
+            (
+                r.get(0).unwrap().as_int().unwrap(),
+                r.get(1).unwrap().as_text().unwrap().to_string(),
+            )
         })
         .collect();
     rows.sort();

@@ -73,7 +73,10 @@ fn main() {
                 for row in outcome.rows.iter().take(8) {
                     println!(
                         "       | {}",
-                        row.iter().map(|v| v.render()).collect::<Vec<_>>().join(" | ")
+                        row.iter()
+                            .map(|v| v.render())
+                            .collect::<Vec<_>>()
+                            .join(" | ")
                     );
                 }
             }

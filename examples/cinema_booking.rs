@@ -77,7 +77,11 @@ fn main() {
     let reservations_after = agent.db().table("reservation").unwrap().len();
     println!(
         "\nreservations: {reservations_before} -> {reservations_after} (transaction {})",
-        if reservations_after > reservations_before { "committed" } else { "NOT committed" }
+        if reservations_after > reservations_before {
+            "committed"
+        } else {
+            "NOT committed"
+        }
     );
 
     println!("\n== Cache statistics of the data-aware policy ==");

@@ -20,13 +20,21 @@ fn main() {
     println!("== Database and Transactions (input) ==");
     for t in db.table_names() {
         let table = db.table(t).unwrap();
-        let cols: Vec<String> =
-            table.schema().columns().iter().map(|c| c.name.clone()).collect();
+        let cols: Vec<String> = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         println!("  {t}({})  [{} rows]", cols.join(", "), table.len());
     }
     println!();
     for proc in db.procedures() {
-        let params: Vec<String> = proc.params().iter().map(|p| format!("IN {}", p.name)).collect();
+        let params: Vec<String> = proc
+            .params()
+            .iter()
+            .map(|p| format!("IN {}", p.name))
+            .collect();
         println!("  FUNCTION {}({})", proc.name(), params.join(", "));
     }
 
@@ -52,18 +60,34 @@ fn main() {
     }
 
     println!("\n== Generated NLU Training Data (sample) ==");
-    let cfg = DataGenConfig { per_template: 2, ..DataGenConfig::default() };
+    let cfg = DataGenConfig {
+        per_template: 2,
+        ..DataGenConfig::default()
+    };
     let nlu_data = generate_nlu_data(&db, &tasks, &templates, &cfg);
     println!("  {} examples total; a sample:", nlu_data.len());
     for ex in nlu_data.iter().filter(|e| !e.slots.is_empty()).take(5) {
-        let slots: Vec<String> =
-            ex.slots.iter().map(|s| format!("{}='{}'", s.slot, s.value)).collect();
+        let slots: Vec<String> = ex
+            .slots
+            .iter()
+            .map(|s| format!("{}='{}'", s.slot, s.value))
+            .collect();
         println!("  \"{}\"", ex.text);
-        println!("     -> intent: {} ; slots: {}", ex.intent, slots.join(", "));
+        println!(
+            "     -> intent: {} ; slots: {}",
+            ex.intent,
+            slots.join(", ")
+        );
     }
 
     println!("\n== Generated DM Training Data (sample flow) ==");
-    let flows = simulate_flows(&tasks, &SelfPlayConfig { dialogues: 40, ..Default::default() });
+    let flows = simulate_flows(
+        &tasks,
+        &SelfPlayConfig {
+            dialogues: 40,
+            ..Default::default()
+        },
+    );
     println!("  {} flows total; the first:", flows.len());
     for turn in &flows[0].turns {
         println!("  {}: {}", turn.speaker, &turn.label[2..]);

@@ -26,7 +26,12 @@ fn main() {
     println!(
         "synthesized: {} tasks ({}), {} NLU examples\n",
         report.n_tasks,
-        agent.tasks().iter().map(|t| t.name.clone()).collect::<Vec<_>>().join(", "),
+        agent
+            .tasks()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect::<Vec<_>>()
+            .join(", "),
         report.n_nlu_examples
     );
 
@@ -36,7 +41,11 @@ fn main() {
         let (_, p) = db.table("passenger").unwrap().scan().next().unwrap();
         let (_, f) = db.table("flight").unwrap().scan().next().unwrap();
         let airline_id = f.get(1).unwrap().clone();
-        let (_, a) = db.table("airline").unwrap().get_by_pk(&[airline_id]).unwrap();
+        let (_, a) = db
+            .table("airline")
+            .unwrap()
+            .get_by_pk(&[airline_id])
+            .unwrap();
         (
             p.get(1).unwrap().render(),
             p.get(2).unwrap().render(),

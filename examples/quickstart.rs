@@ -28,7 +28,8 @@ fn main() {
         (5, "Casablanca", "Romance", 1942),
     ];
     for (id, title, genre, year) in movies {
-        db.insert("movie", row![id, title, genre, year]).expect("insert");
+        db.insert("movie", row![id, title, genre, year])
+            .expect("insert");
     }
     db.register_procedure(
         Procedure::builder("movie_info")
@@ -82,12 +83,20 @@ slot movie_genre source=movie.genre
     println!();
 
     // 4. Talk to it.
-    for user in ["hello", "tell me about a movie", "it is a Crime movie", "Fargo"] {
+    for user in [
+        "hello",
+        "tell me about a movie",
+        "it is a Crime movie",
+        "Fargo",
+    ] {
         println!("user:  {user}");
         let reply = agent.respond(user);
         println!("agent: {}   [{}]", reply.text, reply.action);
         if let Some(outcome) = reply.executed {
-            println!("       -> transaction returned {} row(s)", outcome.rows.len());
+            println!(
+                "       -> transaction returned {} row(s)",
+                outcome.rows.len()
+            );
         }
     }
 }

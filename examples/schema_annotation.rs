@@ -38,7 +38,10 @@ fn main() {
     println!("\n== Attribute ranking for customer identification (explained) ==");
     let policy = DataAwarePolicy::default();
     let explanations = policy.explain(&db, &cs, &[]);
-    print!("{}", cat_policy::render_explanations(&explanations[..8.min(explanations.len())]));
+    print!(
+        "{}",
+        cat_policy::render_explanations(&explanations[..8.min(explanations.len())])
+    );
 
     // Round-trip guarantee.
     let reparsed = AnnotationFile::parse(&annotations.render()).expect("reparse");

@@ -12,7 +12,10 @@ use cat_txdb::sql::{execute, QueryResult};
 
 fn main() {
     let mut db = generate_cinema(&CinemaConfig::default()).expect("generate db");
-    println!("cinema database loaded; tables: {}", db.table_names().join(", "));
+    println!(
+        "cinema database loaded; tables: {}",
+        db.table_names().join(", ")
+    );
     println!("example: SELECT genre, count(*) FROM movie GROUP BY genre ORDER BY genre;");
     println!("---- type `quit` to exit ----");
     let stdin = io::stdin();
@@ -36,7 +39,10 @@ fn main() {
                 for row in rs.rows.iter().take(40) {
                     println!(
                         "{}",
-                        row.iter().map(|v| v.render()).collect::<Vec<_>>().join(" | ")
+                        row.iter()
+                            .map(|v| v.render())
+                            .collect::<Vec<_>>()
+                            .join(" | ")
                     );
                 }
                 if rs.rows.len() > 40 {

@@ -25,15 +25,25 @@ fn synthesized_data_trains_accurate_intent_models() {
     let tasks = extract_tasks(&db);
     // Two disjoint seeds: train on one synthesis run, test on another
     // (different values, paraphrases and noise).
-    let train = generate_nlu_data(&db, &tasks, &templates, &DataGenConfig {
-        seed: 1,
-        ..DataGenConfig::default()
-    });
-    let test = generate_nlu_data(&db, &tasks, &templates, &DataGenConfig {
-        seed: 2,
-        noise_fraction: 0.0,
-        ..DataGenConfig::default()
-    });
+    let train = generate_nlu_data(
+        &db,
+        &tasks,
+        &templates,
+        &DataGenConfig {
+            seed: 1,
+            ..DataGenConfig::default()
+        },
+    );
+    let test = generate_nlu_data(
+        &db,
+        &tasks,
+        &templates,
+        &DataGenConfig {
+            seed: 2,
+            noise_fraction: 0.0,
+            ..DataGenConfig::default()
+        },
+    );
     let model = NaiveBayesClassifier::train(&train);
     let acc = intent_accuracy(&model, &test);
     assert!(acc > 0.9, "cross-seed intent accuracy {acc}");
@@ -43,17 +53,27 @@ fn synthesized_data_trains_accurate_intent_models() {
 fn synthesized_data_trains_usable_slot_filling() {
     let (db, templates) = setup();
     let tasks = extract_tasks(&db);
-    let train = generate_nlu_data(&db, &tasks, &templates, &DataGenConfig {
-        seed: 3,
-        ..DataGenConfig::default()
-    });
-    let test = generate_nlu_data(&db, &tasks, &templates, &DataGenConfig {
-        seed: 4,
-        noise_fraction: 0.0,
-        paraphrase: false,
-        per_template: 3,
-        ..DataGenConfig::default()
-    });
+    let train = generate_nlu_data(
+        &db,
+        &tasks,
+        &templates,
+        &DataGenConfig {
+            seed: 3,
+            ..DataGenConfig::default()
+        },
+    );
+    let test = generate_nlu_data(
+        &db,
+        &tasks,
+        &templates,
+        &DataGenConfig {
+            seed: 4,
+            noise_fraction: 0.0,
+            paraphrase: false,
+            per_template: 3,
+            ..DataGenConfig::default()
+        },
+    );
     let gaz = cat_datagen::build_gazetteer(&db, &templates);
     let nlu = NluPipeline::train(&train, gaz);
     let preds: Vec<_> = test
@@ -93,7 +113,10 @@ fn synthesized_data_trains_usable_slot_filling() {
         np += pred.len();
         ng += gold.len();
         for p in pred {
-            if gold.iter().any(|g| g.slot == p.slot && g.value.to_lowercase() == p.value.to_lowercase()) {
+            if gold
+                .iter()
+                .any(|g| g.slot == p.slot && g.value.to_lowercase() == p.value.to_lowercase())
+            {
                 tp += 1;
             }
         }
@@ -101,19 +124,32 @@ fn synthesized_data_trains_usable_slot_filling() {
     let precision = tp as f64 / np.max(1) as f64;
     let recall = tp as f64 / ng.max(1) as f64;
     let f1 = 2.0 * precision * recall / (precision + recall).max(1e-9);
-    assert!(f1 > 0.75, "slot name+value F1 {f1} (p={precision}, r={recall})");
+    assert!(
+        f1 > 0.75,
+        "slot name+value F1 {f1} (p={precision}, r={recall})"
+    );
 }
 
 #[test]
 fn self_play_flows_train_a_predictive_dm() {
     let (db, _) = setup();
     let tasks = extract_tasks(&db);
-    let flows =
-        simulate_flows(&tasks, &SelfPlayConfig { dialogues: 600, seed: 5, ..Default::default() });
+    let flows = simulate_flows(
+        &tasks,
+        &SelfPlayConfig {
+            dialogues: 600,
+            seed: 5,
+            ..Default::default()
+        },
+    );
     let (train, test) = flows.split_at(450);
     let model = FlowModel::train(train);
     let eval = model.evaluate(test);
-    assert!(eval.accuracy > 0.65, "held-out flow accuracy {}", eval.accuracy);
+    assert!(
+        eval.accuracy > 0.65,
+        "held-out flow accuracy {}",
+        eval.accuracy
+    );
     assert!(eval.perplexity < 4.0, "perplexity {}", eval.perplexity);
 }
 
@@ -122,8 +158,13 @@ fn training_bundle_json_roundtrip_at_scale() {
     let (db, templates) = setup();
     let tasks = extract_tasks(&db);
     let nlu = generate_nlu_data(&db, &tasks, &templates, &DataGenConfig::default());
-    let flows =
-        simulate_flows(&tasks, &SelfPlayConfig { dialogues: 100, ..Default::default() });
+    let flows = simulate_flows(
+        &tasks,
+        &SelfPlayConfig {
+            dialogues: 100,
+            ..Default::default()
+        },
+    );
     let bundle = to_bundle(&nlu, &flows);
     let json = to_json(&bundle).expect("serialize");
     let parsed = from_json(&json).expect("parse");
@@ -136,19 +177,32 @@ fn training_bundle_json_roundtrip_at_scale() {
 fn noise_augmentation_improves_robustness_to_typos() {
     let (db, templates) = setup();
     let tasks = extract_tasks(&db);
-    let clean_cfg = DataGenConfig { seed: 6, noise_fraction: 0.0, ..DataGenConfig::default() };
-    let noisy_cfg = DataGenConfig { seed: 6, noise_fraction: 0.5, ..DataGenConfig::default() };
+    let clean_cfg = DataGenConfig {
+        seed: 6,
+        noise_fraction: 0.0,
+        ..DataGenConfig::default()
+    };
+    let noisy_cfg = DataGenConfig {
+        seed: 6,
+        noise_fraction: 0.5,
+        ..DataGenConfig::default()
+    };
     let clean_train = generate_nlu_data(&db, &tasks, &templates, &clean_cfg);
     let noisy_train = generate_nlu_data(&db, &tasks, &templates, &noisy_cfg);
     // A noisy test set from a different seed.
-    let noisy_test: Vec<_> = generate_nlu_data(&db, &tasks, &templates, &DataGenConfig {
-        seed: 7,
-        noise_fraction: 1.0,
-        noise_rate: 1.5,
-        paraphrase: false,
-        per_template: 4,
-        ..DataGenConfig::default()
-    });
+    let noisy_test: Vec<_> = generate_nlu_data(
+        &db,
+        &tasks,
+        &templates,
+        &DataGenConfig {
+            seed: 7,
+            noise_fraction: 1.0,
+            noise_rate: 1.5,
+            paraphrase: false,
+            per_template: 4,
+            ..DataGenConfig::default()
+        },
+    );
     let clean_model = NaiveBayesClassifier::train(&clean_train);
     let noisy_model = NaiveBayesClassifier::train(&noisy_train);
     let acc_clean = intent_accuracy(&clean_model, &noisy_test);

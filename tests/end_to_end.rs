@@ -15,7 +15,11 @@ fn cinema_reservation_commits_exactly_one_row() {
         let s = db.table("screening").unwrap().scan().next().unwrap().1;
         let movie_id = s.get(1).unwrap().clone();
         let (_, m) = db.table("movie").unwrap().get_by_pk(&[movie_id]).unwrap();
-        (c.get(1).unwrap().render(), c.get(2).unwrap().render(), m.get(1).unwrap().render())
+        (
+            c.get(1).unwrap().render(),
+            c.get(2).unwrap().render(),
+            m.get(1).unwrap().render(),
+        )
     };
     let before = agent.db().table("reservation").unwrap().len();
     let response = drive(
@@ -56,9 +60,16 @@ fn reservation_then_cancellation_roundtrip() {
         let db = agent.db();
         let (_, res) = db.table("reservation").unwrap().scan().next().unwrap();
         let cust_id = res.get(0).unwrap().clone();
-        let (_, c) =
-            db.table("customer").unwrap().get_by_pk(std::slice::from_ref(&cust_id)).unwrap();
-        (cust_id, c.get(1).unwrap().render(), c.get(2).unwrap().render())
+        let (_, c) = db
+            .table("customer")
+            .unwrap()
+            .get_by_pk(std::slice::from_ref(&cust_id))
+            .unwrap();
+        (
+            cust_id,
+            c.get(1).unwrap().render(),
+            c.get(2).unwrap().render(),
+        )
     };
     let before = agent.db().table("reservation").unwrap().len();
     let response = drive(
@@ -98,16 +109,27 @@ fn reservation_then_cancellation_roundtrip() {
 fn flight_booking_end_to_end() {
     let db = generate_flights(&FlightConfig::small(13)).expect("db");
     let annotations = AnnotationFile::parse(FLIGHT_ANNOTATIONS).expect("annotations");
-    let (mut agent, report) =
-        CatBuilder::new(db).with_annotations(&annotations).expect("apply").with_seed(13).synthesize();
+    let (mut agent, report) = CatBuilder::new(db)
+        .with_annotations(&annotations)
+        .expect("apply")
+        .with_seed(13)
+        .synthesize();
     assert_eq!(report.n_tasks, 2);
     let (pname, airline, day) = {
         let db = agent.db();
         let (_, p) = db.table("passenger").unwrap().scan().next().unwrap();
         let (_, f) = db.table("flight").unwrap().scan().next().unwrap();
         let airline_id = f.get(1).unwrap().clone();
-        let (_, a) = db.table("airline").unwrap().get_by_pk(&[airline_id]).unwrap();
-        (p.get(1).unwrap().render(), a.get(1).unwrap().render(), f.get(4).unwrap().render())
+        let (_, a) = db
+            .table("airline")
+            .unwrap()
+            .get_by_pk(&[airline_id])
+            .unwrap();
+        (
+            p.get(1).unwrap().render(),
+            a.get(1).unwrap().render(),
+            f.get(4).unwrap().render(),
+        )
     };
     let response = drive(
         &mut agent,
@@ -186,8 +208,13 @@ fn flow_model_agrees_with_agent_behaviour() {
     assert!(p > 0.0);
     // After a task request the model should suggest a collection step.
     assert!(
-        ["a:identify_entity", "a:ask_slot", "a:offer_options", "a:confirm_task"]
-            .contains(&suggested.as_str()),
+        [
+            "a:identify_entity",
+            "a:ask_slot",
+            "a:offer_options",
+            "a:confirm_task"
+        ]
+        .contains(&suggested.as_str()),
         "flow model suggested {suggested}"
     );
 }

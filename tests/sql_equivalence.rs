@@ -4,6 +4,7 @@
 use cat_corpus::{generate_cinema, CinemaConfig};
 use cat_txdb::sql::{execute, execute_script};
 use cat_txdb::{row, CmpOp, Database, Predicate, Value};
+#[cfg(feature = "proptests")]
 use proptest::prelude::*;
 
 /// Rebuild the generated cinema movie table through SQL and compare
@@ -31,7 +32,10 @@ fn bulk_load_matches_typed_inserts() {
         ));
     }
     execute_script(&mut sql_db, &script).expect("load");
-    assert_eq!(sql_db.table("movie").unwrap().len(), typed.table("movie").unwrap().len());
+    assert_eq!(
+        sql_db.table("movie").unwrap().len(),
+        typed.table("movie").unwrap().len()
+    );
 
     // Same predicate through both paths.
     let pred = Predicate::eq("genre", "Drama");
@@ -65,7 +69,11 @@ fn sql_update_delete_match_typed() {
     let mut a = generate_cinema(&CinemaConfig::small(43)).expect("db a");
     let mut b = generate_cinema(&CinemaConfig::small(43)).expect("db b");
     // SQL on a.
-    execute(&mut a, "UPDATE movie SET rating = 9.9 WHERE genre = 'Drama'").unwrap();
+    execute(
+        &mut a,
+        "UPDATE movie SET rating = 9.9 WHERE genre = 'Drama'",
+    )
+    .unwrap();
     // Typed on b.
     let rids: Vec<_> = b
         .select("movie", &Predicate::eq("genre", "Drama"))
@@ -77,7 +85,11 @@ fn sql_update_delete_match_typed() {
         b.update("movie", rid, "rating", Value::Float(9.9)).unwrap();
     }
     let ratings = |db: &Database| -> Vec<String> {
-        db.table("movie").unwrap().scan().map(|(_, r)| r.get(4).unwrap().render()).collect()
+        db.table("movie")
+            .unwrap()
+            .scan()
+            .map(|(_, r)| r.get(4).unwrap().render())
+            .collect()
     };
     assert_eq!(ratings(&a), ratings(&b));
 
@@ -96,9 +108,15 @@ fn sql_update_delete_match_typed() {
     for rid in rids {
         b.delete("reservation", rid).unwrap();
     }
-    assert_eq!(a.table("reservation").unwrap().len(), b.table("reservation").unwrap().len());
+    assert_eq!(
+        a.table("reservation").unwrap().len(),
+        b.table("reservation").unwrap().len()
+    );
 }
 
+// Gated: the proptest crate is unavailable in the offline build; the
+// plain #[test] fns above always run.
+#[cfg(feature = "proptests")]
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
