@@ -1,12 +1,18 @@
-//! P1 — planner/executor hot paths introduced by the index-driven query
-//! planning PR: indexed point lookups, indexed range scans, bounded top-k
-//! ORDER BY + LIMIT, and `CandidateSet::refine` over the cinema corpus.
+//! P1/P2 — planner/executor hot paths: indexed point lookups, indexed
+//! range scans, bounded top-k ORDER BY + LIMIT, `CandidateSet::refine`
+//! over the cinema corpus (all tracked since PR 1), plus the PR 2
+//! optimizer levers — multi-index AND intersection and cardinality-greedy
+//! three-table join ordering with staged predicate pushdown.
 //!
-//! Each benchmark measures the *before* (naive reference executor /
-//! forward path walk) and *after* (planned executor / indexed
-//! intersect) implementations on identical data, then writes the medians
-//! and speedups to `BENCH_PR1.json` at the workspace root so the perf
-//! trajectory is machine-readable from PR 1 onward.
+//! The PR 1 groups measure *before* (naive reference executor / forward
+//! path walk) against *after* (planned executor); the PR 2 groups measure
+//! the PR 1 planner shape (`PlanOptions::single_access_path()`: one
+//! access path, FROM-order joins, post-join filtering) against the full
+//! planner on identical executor code. Medians and speedups land in
+//! `BENCH_PR2.json` at the workspace root; CI diffs the shared group
+//! names against the committed `BENCH_PR1.json` baseline
+//! (`scripts/bench_compare.rs`) and fails on >25% regressions of the
+//! machine-normalized medians.
 //!
 //! Run with: `cargo bench -p cat-bench --bench planner`
 
@@ -16,7 +22,9 @@ use criterion::{Criterion, Measurement};
 
 use cat_corpus::{generate_cinema, CinemaConfig};
 use cat_policy::{Attribute, CandidateSet};
-use cat_txdb::sql::{execute, execute_select_reference, parse_statement, Statement};
+use cat_txdb::sql::{
+    execute, execute_select_reference, execute_select_with, parse_statement, PlanOptions, Statement,
+};
 use cat_txdb::{row, DataType, Database, TableSchema, Value};
 
 /// A synthetic single-table database big enough that access paths
@@ -83,6 +91,39 @@ fn run_both(c: &mut Criterion, group: &str, db: &mut Database, sql: &str) {
     g.finish();
 }
 
+/// Like [`run_both`], but comparing the PR 1 planner shape against the
+/// full PR 2 planner (multi-index AND, join reordering, staged pushdown)
+/// on the same executor.
+fn run_pr1_vs_pr2(c: &mut Criterion, group: &str, db: &mut Database, sql: &str) {
+    let Statement::Select(sel) = parse_statement(sql).expect("parse") else {
+        panic!("not a select")
+    };
+    let pr1 = PlanOptions::single_access_path();
+    // Sanity: all three paths agree before we time them.
+    let reference = execute_select_reference(db, &sel).expect("reference");
+    let single = execute_select_with(db, &sel, &pr1).expect("single");
+    let planned = execute(db, sql).expect("planned");
+    assert_eq!(
+        planned.rows().expect("rows"),
+        &reference,
+        "paths disagree on {sql}"
+    );
+    assert_eq!(&single, &reference, "PR1 shape disagrees on {sql}");
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(40);
+    g.bench_function("before_pr1_planner", |b| {
+        b.iter(|| execute_select_with(db, &sel, &pr1).expect("single"))
+    });
+    g.finish();
+    let mut g = c.benchmark_group(group);
+    g.sample_size(40);
+    g.bench_function("after_pr2_planner", |b| {
+        b.iter(|| execute(db, sql).expect("planned"))
+    });
+    g.finish();
+}
+
 fn bench_point_lookup(c: &mut Criterion) {
     let mut db = listings(50_000);
     run_both(
@@ -120,6 +161,120 @@ fn bench_top_k(c: &mut Criterion) {
         "planner_topk_50k",
         &mut db,
         "SELECT name, price FROM listing ORDER BY price DESC LIMIT 10",
+    );
+}
+
+/// Listings with deliberately mid-selectivity buckets (~2% each), so a
+/// single hash probe leaves real residual filtering on the table below —
+/// the shape where intersecting a second (range) probe pays off.
+fn listings_coarse(n: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("listing")
+            .column("listing_id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("bucket", DataType::Int)
+            .column("price", DataType::Float)
+            .primary_key(&["listing_id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    {
+        let t = db.table_mut("listing").unwrap();
+        t.create_index("bucket").unwrap();
+        t.create_range_index("price").unwrap();
+    }
+    for i in 0..n as i64 {
+        db.insert(
+            "listing",
+            row![i, format!("L{}", i % 997), i % 50, (i % 5000) as f64 / 10.0],
+        )
+        .expect("insert");
+    }
+    db
+}
+
+fn bench_multi_index_and(c: &mut Criterion) {
+    let mut db = listings_coarse(50_000);
+    // bucket = 7 keeps 2% (1000 rows); the price band keeps 4%. PR 1
+    // fetches the bucket and filters row by row; PR 2 intersects the two
+    // RowId sets and touches only the ~40 surviving rows.
+    run_pr1_vs_pr2(
+        c,
+        "planner_multi_index_and_50k",
+        &mut db,
+        "SELECT name FROM listing WHERE bucket = 7 AND price >= 10.0 AND price < 30.0",
+    );
+}
+
+/// A star schema for three-table joins: every movie has `fanout`
+/// screenings, but only 1% of movies hold an award. FROM-order joins
+/// build the full movie×screening intermediate before the award join
+/// collapses it; the greedy order joins the tiny award table first.
+fn awards_db(movies: usize, fanout: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("movie")
+            .column("movie_id", DataType::Int)
+            .column("title", DataType::Text)
+            .primary_key(&["movie_id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    db.create_table(
+        TableSchema::builder("screening")
+            .column("screening_id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("price", DataType::Float)
+            .primary_key(&["screening_id"])
+            .foreign_key("movie_id", "movie", "movie_id")
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    db.create_table(
+        TableSchema::builder("award")
+            .column("award_id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("year", DataType::Int)
+            .primary_key(&["award_id"])
+            .foreign_key("movie_id", "movie", "movie_id")
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    for i in 0..movies as i64 {
+        db.insert("movie", row![i, format!("M{i}")])
+            .expect("insert");
+    }
+    for m in 0..movies as i64 {
+        for s in 0..fanout as i64 {
+            db.insert(
+                "screening",
+                row![m * fanout as i64 + s, m, 10.0 + (s % 7) as f64],
+            )
+            .expect("insert");
+        }
+    }
+    for a in 0..(movies / 100).max(1) as i64 {
+        db.insert("award", row![a, a * 97 % movies as i64, 2000 + a % 22])
+            .expect("insert");
+    }
+    db
+}
+
+fn bench_join3(c: &mut Criterion) {
+    let mut db = awards_db(5_000, 10);
+    run_pr1_vs_pr2(
+        c,
+        "planner_join3_award_5k",
+        &mut db,
+        "SELECT movie.title, screening.price FROM movie \
+         JOIN screening ON screening.movie_id = movie.movie_id \
+         JOIN award ON award.movie_id = movie.movie_id \
+         WHERE screening.price >= 12.0",
     );
 }
 
@@ -204,8 +359,9 @@ fn bench_refine(c: &mut Criterion) {
     }
 }
 
-/// Write `BENCH_PR1.json`: one record per benchmark group with the
-/// before/after medians (ns) and the speedup factor.
+/// Write `BENCH_PR2.json`: one record per benchmark group with the
+/// before/after medians (ns) and the speedup factor. Groups shared with
+/// the committed `BENCH_PR1.json` baseline feed the CI regression gate.
 fn write_report(measurements: &[Measurement]) {
     let mut pairs: Vec<(String, f64, f64)> = Vec::new();
     for m in measurements {
@@ -226,11 +382,11 @@ fn write_report(measurements: &[Measurement]) {
             pairs.push((group.to_string(), before, after));
         }
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
-    let mut f = std::fs::File::create(path).expect("create BENCH_PR1.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_PR2.json");
     writeln!(
         f,
-        "{{\n  \"pr\": 1,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
+        "{{\n  \"pr\": 2,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
     )
     .unwrap();
     for (i, (group, before, after)) in pairs.iter().enumerate() {
@@ -258,6 +414,8 @@ fn main() {
     bench_selective_eq(&mut c);
     bench_range_scan(&mut c);
     bench_top_k(&mut c);
+    bench_multi_index_and(&mut c);
+    bench_join3(&mut c);
     bench_refine(&mut c);
     write_report(c.measurements());
 }

@@ -14,6 +14,31 @@ use crate::table::Table;
 use crate::txn::{Transaction, UndoOp};
 use crate::value::Value;
 
+/// Number of mutations (version bumps) cached statistics may lag behind
+/// the live table before [`Database::with_stats`] recomputes them.
+pub const STATS_VERSION_LAG: u64 = 64;
+
+/// Fractional row-count drift that forces a statistics recompute even
+/// within the version lag.
+pub const STATS_ROW_DRIFT: f64 = 0.1;
+
+/// Minimum absolute row-count drift tolerated regardless of the fraction
+/// (so a handful of writes to a tiny table doesn't thrash recomputes).
+const STATS_ROW_DRIFT_FLOOR: f64 = 8.0;
+
+/// Whether cached statistics are still usable under the staleness bound.
+fn stats_usable(s: &TableStats, t: &Table) -> bool {
+    let lag = t.version().saturating_sub(s.version);
+    if lag == 0 {
+        return true;
+    }
+    if lag >= STATS_VERSION_LAG {
+        return false;
+    }
+    let drift = (t.len() as f64 - s.row_count as f64).abs();
+    drift <= (s.row_count as f64 * STATS_ROW_DRIFT).max(STATS_ROW_DRIFT_FLOOR)
+}
+
 /// An in-memory relational database with foreign keys, stored procedures
 /// and undo-log transactions.
 #[derive(Debug, Default)]
@@ -107,10 +132,20 @@ impl Database {
 
     // ----- statistics -----
 
-    /// Run `f` over up-to-date statistics for `table`. Statistics are
-    /// computed on first use and cached until the table's version counter
-    /// moves, so steady-state planning costs one lock and one integer
-    /// compare.
+    /// Run `f` over planning statistics for `table`. Statistics are
+    /// computed on first use and cached; steady-state planning costs one
+    /// lock and a staleness check.
+    ///
+    /// Freshness is *bounded*, not exact: a full `TableStats` pass is
+    /// O(rows × cols), so recomputing on every version bump made
+    /// write-heavy phases interleaved with planned SELECTs pay that cost
+    /// per write. Cached stats are reused until the table has seen
+    /// [`STATS_VERSION_LAG`] mutations since they were computed, or its
+    /// row count has drifted by more than [`STATS_ROW_DRIFT`] (with a
+    /// small absolute floor, so tiny tables refresh as soon as their
+    /// shape meaningfully changes). Stale-within-bounds statistics can
+    /// only mis-*price* a plan, never corrupt results: every access path
+    /// re-checks actual index contents.
     pub fn with_stats<R>(&self, table: &str, f: impl FnOnce(&TableStats) -> R) -> Result<R> {
         let t = self.table(table)?;
         let mut cache = self
@@ -120,7 +155,7 @@ impl Database {
         let stats = cache
             .entry(table.to_string())
             .and_modify(|s| {
-                if s.version != t.version() {
+                if !stats_usable(s, t) {
                     *s = TableStats::compute(t);
                 }
             })
@@ -200,11 +235,27 @@ impl Database {
         Ok(old)
     }
 
-    /// Rows matching a predicate (cloned out of storage).
+    /// Rows matching a predicate (cloned out of storage). Access-path
+    /// choice goes through the shared planner with this database's cached
+    /// statistics, so the typed API prices index probes the same way the
+    /// SQL planner does. Statistics only improve *range*-probe pricing —
+    /// equality probes are priced exactly from hash-bucket sizes, and a
+    /// predicate with no range-indexed sargable leaf scans or point-probes
+    /// identically either way — so the O(rows × cols) stats pass is only
+    /// paid when a range conjunct could actually use it.
     pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
-        Ok(self
-            .table(table)?
-            .select(pred)?
+        let t = self.table(table)?;
+        let needs_stats = !t.is_empty()
+            && pred
+                .sargable_leaves()
+                .iter()
+                .any(|(c, op, _)| *op != crate::predicate::CmpOp::Eq && t.has_range_index(c));
+        let rows = if needs_stats {
+            self.with_stats(table, |stats| t.select_with_stats(pred, Some(stats)))??
+        } else {
+            t.select(pred)?
+        };
+        Ok(rows
             .into_iter()
             .map(|(rid, row)| (rid, row.clone()))
             .collect())
@@ -655,6 +706,113 @@ mod tests {
             .with_stats("t", |s| s.column("v").unwrap().distinct)
             .unwrap();
         assert_eq!(distinct_after, 2, "stale stats served for re-created table");
+    }
+
+    #[test]
+    fn stats_staleness_is_bounded() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("t")
+                .column("id", DataType::Int)
+                .column("v", DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..100i64 {
+            db.insert("t", row![i, i % 10]).unwrap();
+        }
+        let rc = db.with_stats("t", |s| s.row_count).unwrap();
+        assert_eq!(rc, 100);
+        // A few writes stay within both the version lag and the row-count
+        // drift: the cached stats are served as-is.
+        for i in 100..104i64 {
+            db.insert("t", row![i, 0]).unwrap();
+        }
+        let rc = db.with_stats("t", |s| s.row_count).unwrap();
+        assert_eq!(rc, 100, "within bounds: stale stats are served");
+        // Push past the 10% row drift: recompute.
+        for i in 104..120i64 {
+            db.insert("t", row![i, 0]).unwrap();
+        }
+        let rc = db.with_stats("t", |s| s.row_count).unwrap();
+        assert_eq!(rc, 120, "row drift forces a recompute");
+        // In-place updates never move the row count; the version lag
+        // alone must eventually force a refresh.
+        let distinct = db
+            .with_stats("t", |s| s.column("v").unwrap().distinct)
+            .unwrap();
+        for _ in 0..STATS_VERSION_LAG {
+            let (rid, _) = db.table("t").unwrap().get_by_pk(&[Value::Int(0)]).unwrap();
+            db.update("t", rid, "v", Value::Int(777)).unwrap();
+        }
+        let distinct_after = db
+            .with_stats("t", |s| s.column("v").unwrap().distinct)
+            .unwrap();
+        assert!(
+            distinct_after > distinct,
+            "version lag forces a recompute ({distinct} -> {distinct_after})"
+        );
+    }
+
+    #[test]
+    fn typed_select_range_probe_keeps_nan_rows_it_must() {
+        use crate::predicate::CmpOp;
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("t")
+                .column("id", DataType::Int)
+                .nullable_column("x", DataType::Float)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..100i64 {
+            db.insert("t", row![i, i as f64 / 10.0]).unwrap();
+        }
+        for i in 100..103i64 {
+            db.insert("t", row![i, f64::NAN]).unwrap();
+        }
+        db.table_mut("t").unwrap().create_range_index("x").unwrap();
+        // Ground truth by evaluating the predicate over a full scan.
+        let check = |db: &Database, pred: &Predicate| {
+            let t = db.table("t").unwrap();
+            let expected: Vec<RowId> = t
+                .scan()
+                .filter(|(_, row)| pred.eval(t.schema(), row).unwrap())
+                .map(|(rid, _)| rid)
+                .collect();
+            let got: Vec<RowId> = db
+                .select("t", pred)
+                .unwrap()
+                .into_iter()
+                .map(|(rid, _)| rid)
+                .collect();
+            assert_eq!(got, expected, "pred {pred}");
+            expected.len()
+        };
+        // `<=` accepts NaN under the engine's comparison collapse; `<`
+        // rejects it. Both must round-trip through the range probe.
+        let le = Predicate::cmp("x", CmpOp::Le, 1.0);
+        let lt = Predicate::cmp("x", CmpOp::Lt, 1.0);
+        let gt = Predicate::cmp("x", CmpOp::Gt, 9.0);
+        assert_eq!(check(&db, &le), 11 + 3);
+        assert_eq!(check(&db, &lt), 10);
+        assert_eq!(check(&db, &gt), 9);
+    }
+
+    #[test]
+    fn typed_select_agrees_with_fresh_scan_under_stale_stats() {
+        let mut db = cinema_db();
+        // Interleave writes and selects: plans may be priced with stale
+        // stats, but results must always reflect live data.
+        for i in 100..160i64 {
+            db.insert("movie", row![i, format!("M{i}")]).unwrap();
+            let got = db.select("movie", &Predicate::eq("movie_id", i)).unwrap();
+            assert_eq!(got.len(), 1, "row {i} visible immediately");
+        }
     }
 
     #[test]

@@ -222,6 +222,32 @@ impl Predicate {
             _ => false,
         }
     }
+
+    /// Sargable comparison leaves reachable through top-level `AND`s:
+    /// `(column, op, value)` triples with `op ∈ {=, <, <=, >, >=}` and a
+    /// non-NULL literal. Unlike [`Predicate::as_equality_conjunction`],
+    /// non-sargable siblings (`OR`, `LIKE`, `NOT`, ...) don't disqualify
+    /// the rest — each returned leaf is individually implied by the whole
+    /// predicate, so index probes built from them can only narrow, never
+    /// miss. Used to route [`crate::table::Table::select`] through the
+    /// shared planner.
+    pub fn sargable_leaves(&self) -> Vec<(&str, CmpOp, &Value)> {
+        fn walk<'a>(p: &'a Predicate, out: &mut Vec<(&'a str, CmpOp, &'a Value)>) {
+            match p {
+                Predicate::Cmp { column, op, value } if *op != CmpOp::Ne && !value.is_null() => {
+                    out.push((column.as_str(), *op, value));
+                }
+                Predicate::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
 }
 
 impl fmt::Display for Predicate {

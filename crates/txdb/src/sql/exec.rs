@@ -1,13 +1,20 @@
 //! Executor for the SQL subset.
 //!
 //! `SELECT` runs through the cost-aware planner in [`super::plan`]: the
-//! base table is reached via the chosen access path (hash index, ordered
-//! index, or scan), base-only predicates filter before joins multiply
-//! rows, and the row stream stays borrowed (`&Row` per table) until
-//! projection — values are only cloned into the result set at the very
-//! end. `ORDER BY ... LIMIT k` keeps a bounded binary heap of `k`
-//! entries instead of sorting everything; `GROUP BY` keys on
-//! [`OrdKey`] tuples instead of rendered strings.
+//! base table is reached via the chosen access path (index probes —
+//! intersected when the plan holds several — or a scan), base-only
+//! predicates filter before joins multiply rows, joins execute in the
+//! planner's cardinality-greedy order with join-side predicates applied
+//! at the earliest level their tables are bound, and the row stream stays
+//! borrowed (`&Row` per table) until projection — values are only cloned
+//! into the result set at the very end. `ORDER BY ... LIMIT k` keeps a
+//! bounded binary heap of `k` entries instead of sorting everything;
+//! `GROUP BY` keys on [`OrdKey`] tuples instead of rendered strings.
+//!
+//! Join reordering is invisible in results: both executors traverse index
+//! buckets in ascending-RowId order, which makes the reference output the
+//! lexicographic order of FROM-order RowId tuples — exactly the order the
+//! planned path restores after executing joins in a different sequence.
 //!
 //! [`execute_select_reference`] retains the naive
 //! materialize-everything implementation as an executable specification:
@@ -27,7 +34,7 @@ use crate::value::{DataType, Value};
 
 use super::ast::{AggFunc, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
 use super::parser::parse_statement;
-use super::plan::{plan_select, AccessPath, Layout};
+use super::plan::{plan_select_with, Layout, PlanOptions};
 
 const NULL_VALUE: Value = Value::Null;
 
@@ -298,14 +305,26 @@ fn cell<'a>(layout: &Layout, tuple: &[&'a Row], pos: usize) -> &'a Value {
         .unwrap_or(&NULL_VALUE)
 }
 
-/// Evaluate a WHERE (sub)expression against a borrowed row tuple. Same
-/// semantics as the reference path: NULL comparisons are false, literals
-/// are coerced to the column type when possible.
-fn eval_expr(layout: &Layout, expr: &SqlExpr, tuple: &[&Row]) -> Result<bool> {
+/// [`cell`] over a tuple whose positions follow the plan's join execution
+/// order: `map[table_ord]` is the table's position in the tuple. (After
+/// the final canonicalization step the stream is back in FROM order and
+/// the plain [`cell`] applies.)
+fn cell_mapped<'a>(layout: &Layout, map: &[usize], tuple: &[&'a Row], pos: usize) -> &'a Value {
+    let slot = &layout.slots[pos];
+    tuple[map[slot.table_ord]]
+        .get(slot.col_idx)
+        .unwrap_or(&NULL_VALUE)
+}
+
+/// Evaluate a WHERE (sub)expression against a borrowed row tuple (in
+/// execution order, see [`cell_mapped`]). Same semantics as the reference
+/// path: NULL comparisons are false, literals are coerced to the column
+/// type when possible.
+fn eval_expr(layout: &Layout, map: &[usize], expr: &SqlExpr, tuple: &[&Row]) -> Result<bool> {
     Ok(match expr {
         SqlExpr::Cmp { column, op, value } => {
             let idx = layout.resolve(column)?;
-            let cv = cell(layout, tuple, idx);
+            let cv = cell_mapped(layout, map, tuple, idx);
             if cv.is_null() || value.is_null() {
                 false
             } else {
@@ -317,17 +336,19 @@ fn eval_expr(layout: &Layout, expr: &SqlExpr, tuple: &[&Row]) -> Result<bool> {
         }
         SqlExpr::Like { column, pattern } => {
             let idx = layout.resolve(column)?;
-            cell(layout, tuple, idx)
+            cell_mapped(layout, map, tuple, idx)
                 .as_text()
                 .is_some_and(|s| s.to_lowercase().contains(&pattern.to_lowercase()))
         }
         SqlExpr::IsNull { column, negated } => {
             let idx = layout.resolve(column)?;
-            cell(layout, tuple, idx).is_null() != *negated
+            cell_mapped(layout, map, tuple, idx).is_null() != *negated
         }
-        SqlExpr::And(a, b) => eval_expr(layout, a, tuple)? && eval_expr(layout, b, tuple)?,
-        SqlExpr::Or(a, b) => eval_expr(layout, a, tuple)? || eval_expr(layout, b, tuple)?,
-        SqlExpr::Not(a) => !eval_expr(layout, a, tuple)?,
+        SqlExpr::And(a, b) => {
+            eval_expr(layout, map, a, tuple)? && eval_expr(layout, map, b, tuple)?
+        }
+        SqlExpr::Or(a, b) => eval_expr(layout, map, a, tuple)? || eval_expr(layout, map, b, tuple)?,
+        SqlExpr::Not(a) => !eval_expr(layout, map, a, tuple)?,
     })
 }
 
@@ -404,10 +425,10 @@ fn compile_expr(layout: &Layout, expr: &SqlExpr) -> Compiled {
     }
 }
 
-fn eval_compiled(layout: &Layout, c: &Compiled, tuple: &[&Row]) -> Result<bool> {
+fn eval_compiled(layout: &Layout, map: &[usize], c: &Compiled, tuple: &[&Row]) -> Result<bool> {
     Ok(match c {
         Compiled::Cmp { slot, op, value } => {
-            let cv = cell(layout, tuple, *slot);
+            let cv = cell_mapped(layout, map, tuple, *slot);
             // The literal was non-NULL pre-coercion (NULL literals defer),
             // so only the cell's nullness gates the comparison — exactly
             // the reference path's order of checks.
@@ -417,14 +438,20 @@ fn eval_compiled(layout: &Layout, c: &Compiled, tuple: &[&Row]) -> Result<bool> 
                 op.eval(cv, value).unwrap_or(false)
             }
         }
-        Compiled::Like { slot, needle } => cell(layout, tuple, *slot)
+        Compiled::Like { slot, needle } => cell_mapped(layout, map, tuple, *slot)
             .as_text()
             .is_some_and(|s| s.to_lowercase().contains(needle)),
-        Compiled::IsNull { slot, negated } => cell(layout, tuple, *slot).is_null() != *negated,
-        Compiled::And(a, b) => eval_compiled(layout, a, tuple)? && eval_compiled(layout, b, tuple)?,
-        Compiled::Or(a, b) => eval_compiled(layout, a, tuple)? || eval_compiled(layout, b, tuple)?,
-        Compiled::Not(a) => !eval_compiled(layout, a, tuple)?,
-        Compiled::Deferred(e) => eval_expr(layout, e, tuple)?,
+        Compiled::IsNull { slot, negated } => {
+            cell_mapped(layout, map, tuple, *slot).is_null() != *negated
+        }
+        Compiled::And(a, b) => {
+            eval_compiled(layout, map, a, tuple)? && eval_compiled(layout, map, b, tuple)?
+        }
+        Compiled::Or(a, b) => {
+            eval_compiled(layout, map, a, tuple)? || eval_compiled(layout, map, b, tuple)?
+        }
+        Compiled::Not(a) => !eval_compiled(layout, map, a, tuple)?,
+        Compiled::Deferred(e) => eval_expr(layout, map, e, tuple)?,
     })
 }
 
@@ -488,101 +515,161 @@ fn top_k_indices<'a>(keys: impl Iterator<Item = &'a Value>, k: usize, desc: bool
     heap.into_sorted_vec().into_iter().map(|e| e.seq).collect()
 }
 
+/// Execute a `SELECT` with the default (fully enabled) planner.
 fn execute_select(db: &Database, sel: &SelectStmt) -> Result<ResultSet> {
-    let plan = plan_select(db, sel)?;
+    execute_select_with(db, sel, &PlanOptions::default())
+}
+
+/// Execute a `SELECT` under explicit planner options — used by benchmarks
+/// and differential tests to compare optimizer generations on identical
+/// executor code.
+pub fn execute_select_with(
+    db: &Database,
+    sel: &SelectStmt,
+    opts: &PlanOptions,
+) -> Result<ResultSet> {
+    let plan = plan_select_with(db, sel, opts)?;
     let layout = &plan.layout;
     let base = db.table(&sel.table)?;
+    let ntab = layout.tables;
 
-    // Base rows through the planned access path. Index paths sort row ids
-    // so the stream order matches a sequential scan exactly.
-    let mut rows: Vec<&Row> = match &plan.access {
-        AccessPath::FullScan => base.scan().map(|(_, r)| r).collect(),
-        AccessPath::IndexEq { column, value } => {
-            let mut rids = base.lookup(column, value);
-            rids.sort_unstable();
-            rids.iter()
-                .map(|&rid| base.get(rid).expect("index holds live ids"))
-                .collect()
-        }
-        AccessPath::IndexRange { column, lo, hi } => {
-            let rids = base.range_lookup(column, lo.as_ref(), hi.as_ref())?;
-            rids.iter()
-                .map(|&rid| base.get(rid).expect("index holds live ids"))
-                .collect()
-        }
+    // Tuple positions follow the plan's join execution order:
+    // `exec_pos[table_ord]` is the table's position in a tuple. The base
+    // table is always position 0; when joins run in FROM order this is
+    // the identity map.
+    let mut exec_pos = vec![usize::MAX; ntab];
+    exec_pos[0] = 0;
+    for (step, pj) in plan.join_order.iter().enumerate() {
+        exec_pos[pj.table_ord] = step + 1;
+    }
+    let needs_canonical = plan.joins_reordered();
+
+    // Base rows through the planned access path: probe RowId sets are
+    // fetched and intersected (smallest first), sorted ascending so the
+    // stream order matches a sequential scan exactly.
+    let base_stream: Vec<(RowId, &Row)> = match plan.access.fetch_row_ids(base)? {
+        None => base.scan().collect(),
+        Some(rids) => rids
+            .into_iter()
+            .map(|rid| (rid, base.get(rid).expect("index holds live ids")))
+            .collect(),
     };
 
     // Base-only filters, before joins multiply the stream. Conjuncts are
     // compiled once (slot resolution, literal coercion) so the per-row
-    // loop is comparison-only.
-    if !plan.pushed.is_empty() {
-        let compiled: Vec<Compiled> = plan
-            .pushed
-            .iter()
-            .map(|e| compile_expr(layout, e))
-            .collect();
-        let mut kept = Vec::with_capacity(rows.len());
-        'row: for row in rows {
-            for c in &compiled {
-                if !eval_compiled(layout, c, &[row])? {
-                    continue 'row;
-                }
+    // loop is comparison-only. RowIds ride along only when a reordered
+    // join will need them to restore canonical output order.
+    let compiled_pushed: Vec<Compiled> = plan
+        .pushed
+        .iter()
+        .map(|e| compile_expr(layout, e))
+        .collect();
+    let mut tuples: Vec<&Row> = Vec::with_capacity(base_stream.len());
+    let mut rids: Vec<RowId> = Vec::new();
+    'row: for (rid, row) in base_stream {
+        for c in &compiled_pushed {
+            if !eval_compiled(layout, &exec_pos, c, &[row])? {
+                continue 'row;
             }
-            kept.push(row);
         }
-        rows = kept;
+        tuples.push(row);
+        if needs_canonical {
+            rids.push(rid);
+        }
     }
 
-    // Joins: the stream becomes flat tuples of `&Row` (stride = #tables).
-    let mut tuples: Vec<&Row> = rows;
+    // Joins in planned execution order: the stream becomes flat tuples of
+    // `&Row` (stride grows by one per executed join). Index buckets are
+    // traversed in ascending-RowId order — the canonical order both
+    // executors share. After each join, the conjuncts staged at that
+    // level filter the stream before later joins multiply it.
     let mut stride = 1usize;
-    for (ji, join) in sel.joins.iter().enumerate() {
-        let right = db.table(&join.table)?;
-        let (cur_ref, new_ref) = if join.left.table.as_deref().is_some_and(|t| t == join.table) {
-            (&join.right, &join.left)
-        } else {
-            (&join.left, &join.right)
-        };
-        let left_pos = layout.resolve_prefix(cur_ref, ji + 1)?;
-        let left_slot = &layout.slots[left_pos];
-        let right_idx = right.schema().require_column(&new_ref.column)?;
-        let right_col = right.schema().columns()[right_idx].name.clone();
+    for (step, pj) in plan.join_order.iter().enumerate() {
+        let right = db.table(&pj.table)?;
+        let left_slot = &layout.slots[pj.left_slot];
+        let left_pos = exec_pos[left_slot.table_ord];
+        let count = tuples.len() / stride;
         let mut out: Vec<&Row> = Vec::new();
-        for t in tuples.chunks(stride) {
-            let key = t[left_slot.table_ord]
-                .get(left_slot.col_idx)
-                .unwrap_or(&NULL_VALUE);
+        let mut out_rids: Vec<RowId> = Vec::new();
+        for ti in 0..count {
+            let t = &tuples[ti * stride..(ti + 1) * stride];
+            let key = t[left_pos].get(left_slot.col_idx).unwrap_or(&NULL_VALUE);
             if key.is_null() {
                 continue;
             }
-            for rid in right.lookup(&right_col, key) {
+            // Buckets are maintained in ascending-RowId order (the
+            // canonical stream order both executors share), so the
+            // indexed path borrows the bucket without cloning or
+            // sorting; the unindexed fallback scans in id order.
+            let scan_bucket;
+            let bucket: &[RowId] = match right.index_bucket(&pj.right_col, key) {
+                Some(b) => b,
+                None => {
+                    scan_bucket = right.lookup(&pj.right_col, key);
+                    &scan_bucket
+                }
+            };
+            for &rid in bucket {
                 let rrow = right.get(rid).expect("lookup returned live id");
                 out.extend_from_slice(t);
                 out.push(rrow);
+                if needs_canonical {
+                    out_rids.extend_from_slice(&rids[ti * stride..(ti + 1) * stride]);
+                    out_rids.push(rid);
+                }
             }
         }
         tuples = out;
+        rids = out_rids;
         stride += 1;
-    }
 
-    // Residual predicates (need joined columns). Unresolvable subtrees
-    // compile to `Deferred`, so lazy error semantics are preserved.
-    if !plan.residual.is_empty() {
-        let compiled: Vec<Compiled> = plan
-            .residual
-            .iter()
-            .map(|e| compile_expr(layout, e))
-            .collect();
-        let mut kept = Vec::with_capacity(tuples.len());
-        'tuple: for t in tuples.chunks(stride) {
-            for c in &compiled {
-                if !eval_compiled(layout, c, t)? {
-                    continue 'tuple;
+        let stage = &plan.stages[step];
+        if !stage.is_empty() {
+            let compiled: Vec<Compiled> = stage.iter().map(|e| compile_expr(layout, e)).collect();
+            let count = tuples.len() / stride;
+            let mut kept = Vec::with_capacity(tuples.len());
+            let mut kept_rids = Vec::new();
+            'tuple: for ti in 0..count {
+                let t = &tuples[ti * stride..(ti + 1) * stride];
+                for c in &compiled {
+                    if !eval_compiled(layout, &exec_pos, c, t)? {
+                        continue 'tuple;
+                    }
+                }
+                kept.extend_from_slice(t);
+                if needs_canonical {
+                    kept_rids.extend_from_slice(&rids[ti * stride..(ti + 1) * stride]);
                 }
             }
-            kept.extend_from_slice(t);
+            tuples = kept;
+            rids = kept_rids;
         }
-        tuples = kept;
+    }
+
+    // Restore canonical FROM-order: permute each tuple's positions back
+    // to table ordinals and sort rows by their FROM-order RowId tuples —
+    // exactly the nested-loop order the reference executor produces.
+    if needs_canonical && stride == ntab {
+        let count = tuples.len() / stride;
+        let mut order: Vec<usize> = (0..count).collect();
+        order.sort_unstable_by(|&a, &b| {
+            for ord in 0..ntab {
+                let ra = rids[a * stride + exec_pos[ord]];
+                let rb = rids[b * stride + exec_pos[ord]];
+                match ra.cmp(&rb) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        });
+        let mut canon: Vec<&Row> = Vec::with_capacity(tuples.len());
+        for &i in &order {
+            for ord in 0..ntab {
+                canon.push(tuples[i * stride + exec_pos[ord]]);
+            }
+        }
+        tuples = canon;
     }
 
     // Aggregation path (any aggregate in the projection or a GROUP BY).
@@ -857,7 +944,20 @@ pub fn execute_select_reference(db: &Database, sel: &SelectStmt) -> Result<Resul
             if key.is_null() {
                 continue;
             }
-            for rid in right.lookup(&right_col_name, key) {
+            // Ascending-RowId bucket order: the canonical join order both
+            // executors share — it makes the nested-loop output the
+            // lexicographic order of FROM-order RowId tuples, which the
+            // planned path restores after reordering joins. Buckets are
+            // maintained sorted, so the indexed path borrows in place.
+            let scan_bucket;
+            let bucket: &[RowId] = match right.index_bucket(&right_col_name, key) {
+                Some(b) => b,
+                None => {
+                    scan_bucket = right.lookup(&right_col_name, key);
+                    &scan_bucket
+                }
+            };
+            for &rid in bucket {
                 let rrow = right.get(rid).expect("lookup returned live id");
                 let mut combined = row.clone();
                 combined.extend(rrow.values().iter().cloned());
@@ -1054,6 +1154,7 @@ fn execute_aggregation_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sql::plan::plan_select;
 
     fn setup() -> Database {
         let mut db = Database::new();
@@ -1454,6 +1555,51 @@ mod tests {
         );
         let r = execute(&mut db, "SELECT x, count(*) FROM t GROUP BY x").unwrap();
         assert_eq!(r.rows().unwrap().rows.len(), 3, "5.0, 7.0 and NaN groups");
+    }
+
+    #[test]
+    fn nan_rows_and_range_probe_bounds_agree() {
+        // The engine's comparison semantics collapse `NaN <op> float` to
+        // Equal: NaN cells pass `<=`/`>=` but fail `<`/`>`/`=`. The
+        // ordered index sorts NaN above every number, so a consumed
+        // range probe must add or strip the NaN bucket to match — for
+        // every bound shape.
+        let mut db = Database::new();
+        execute(&mut db, "CREATE TABLE t (id INT PRIMARY KEY, x FLOAT)").unwrap();
+        for i in 0..100i64 {
+            execute(
+                &mut db,
+                &format!("INSERT INTO t VALUES ({i}, {})", i as f64 / 10.0),
+            )
+            .unwrap();
+        }
+        for i in 100..103i64 {
+            execute(&mut db, &format!("INSERT INTO t VALUES ({i}, 'NaN')")).unwrap();
+        }
+        db.table_mut("t").unwrap().create_range_index("x").unwrap();
+        for q in [
+            "SELECT id FROM t WHERE x <= 1.0",
+            "SELECT id FROM t WHERE x < 1.0",
+            "SELECT id FROM t WHERE x >= 9.0",
+            "SELECT id FROM t WHERE x > 9.0",
+            "SELECT id FROM t WHERE x >= 1.0 AND x <= 2.0",
+            "SELECT id FROM t WHERE x > 1.0 AND x <= 2.0",
+        ] {
+            let Statement::Select(sel) = parse_statement(q).unwrap() else {
+                unreachable!()
+            };
+            let planned = execute_select(&db, &sel).unwrap();
+            let reference = execute_select_reference(&db, &sel).unwrap();
+            assert_eq!(planned, reference, "query: {q}");
+        }
+        // Spot-check the semantics themselves: non-strict bounds accept
+        // NaN, strict bounds reject it.
+        let r = execute(&mut db, "SELECT count(*) FROM t WHERE x <= 1.0").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Int(11 + 3));
+        let r = execute(&mut db, "SELECT count(*) FROM t WHERE x < 1.0").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Int(10));
+        let r = execute(&mut db, "SELECT count(*) FROM t WHERE x > 9.0").unwrap();
+        assert_eq!(r.rows().unwrap().rows[0][0], Value::Int(9));
     }
 
     #[test]

@@ -15,7 +15,11 @@ pub mod plan;
 pub use ast::{
     AggFunc, ColumnRef, JoinClause, Projection, SelectItem, SelectStmt, SqlExpr, Statement,
 };
-pub use exec::{execute, execute_script, execute_select_reference, QueryResult, ResultSet};
+pub use exec::{
+    execute, execute_script, execute_select_reference, execute_select_with, QueryResult, ResultSet,
+};
 pub use lexer::{tokenize, Token};
 pub use parser::parse_statement;
-pub use plan::{plan_select, AccessPath, SelectPlan};
+pub use plan::{
+    plan_select, plan_select_with, AccessPath, IndexProbe, PlanOptions, PlannedJoin, SelectPlan,
+};

@@ -1,18 +1,22 @@
-//! Cost-aware access-path planning for `SELECT`.
+//! Cost-aware planning for `SELECT`: access paths, multi-index AND,
+//! cardinality-ordered joins and staged predicate pushdown.
 //!
 //! The executor used to materialize the whole base table and evaluate
 //! `WHERE` after joins; this module decides, per statement, how to touch
-//! as few rows as possible. Planning has three steps:
+//! as few rows as possible. Planning has five steps:
 //!
 //! 1. **Conjunct extraction.** The `WHERE` tree is split at top-level
-//!    `AND`s. Each conjunct is classified as *pushable* (every column it
-//!    references resolves — unambiguously — to the base table, so it can
-//!    be evaluated before joins multiply rows) or *residual* (references
-//!    joined columns, or does not resolve; evaluated after joins with the
-//!    executor's lazy per-row error semantics, matching the previous
-//!    behaviour).
+//!    `AND`s. Each conjunct is classified by the set of FROM-tables it
+//!    references: *base-only* conjuncts (every column resolves —
+//!    unambiguously — to the base table) are evaluated before joins
+//!    multiply rows; all other conjuncts are assigned to the earliest
+//!    join level at which every table they reference is bound (step 5).
+//!    If *any* conjunct fails to resolve over the joined layout, the plan
+//!    degrades to the conservative shape — full scan, FROM-order joins,
+//!    every conjunct evaluated post-join in original order — preserving
+//!    the executor's lazy per-row error semantics byte for byte.
 //!
-//! 2. **Sargability.** A pushable conjunct is *sargable* when it has the
+//! 2. **Sargability.** A base-only conjunct is *sargable* when it has the
 //!    shape `column <op> literal` with `op ∈ {=, <, <=, >, >=}` and the
 //!    literal coerces to the column type. Equality conjuncts can be served
 //!    by a hash index ([`Table::lookup`]); all sargable shapes can be
@@ -35,19 +39,48 @@
 //!    [`INDEX_SELECTIVITY_THRESHOLD`] — for predicates that keep most of
 //!    the table, a sequential scan avoids the index's pointer-chasing and
 //!    sort overhead and degrades gracefully, in the spirit of the robust
-//!    hybrid-join literature. Statistics are cached per table inside
-//!    [`Database`] and invalidated by the table version counter, so
-//!    planning is O(#conjuncts) on the hot path.
+//!    hybrid-join literature.
+//!
+//! 4. **Multi-index AND.** When several sargable conjuncts hit *different*
+//!    indexed columns, their RowId sets are fetched independently and
+//!    intersected (smallest set first, via a sorted merge). Fetching a
+//!    probe costs roughly `selectivity × rows`, so a probe joins the
+//!    intersection only when its estimated selectivity is at or below
+//!    [`INTERSECT_SELECTIVITY_THRESHOLD`] — a poorly selective conjunct
+//!    is cheaper to apply as a residual filter over the already-small
+//!    intersection than to fetch wholesale. The combined selectivity is
+//!    the product of the probes' estimates (independence assumption).
+//!
+//! 5. **Join ordering and pushdown.** Per-table post-filter cardinality is
+//!    estimated from [`TableStats`] (`row_count ×` the product of the
+//!    selectivities of the single-table conjuncts assigned to that
+//!    table, using the same composite estimator: AND → product, OR →
+//!    inclusion–exclusion, NOT → complement). Joins are then ordered
+//!    greedily smallest-estimate-first instead of FROM-order, restricted
+//!    to joins whose already-bound side is in the stream (the FROM-order
+//!    continuation always remains eligible, so the greedy pass cannot dead
+//!    end). Each non-base conjunct is evaluated at the earliest join
+//!    level where all its tables are bound, pruning tuples before later
+//!    joins multiply them. The executor restores the canonical FROM-order
+//!    row order afterwards, so reordering is invisible in results.
 //!
 //! The chosen conjuncts are *consumed*: the executor does not re-evaluate
-//! the predicate the index already guarantees. Everything else stays in
-//! [`SelectPlan::pushed`] / [`SelectPlan::residual`].
+//! the predicate the access path already guarantees. Everything else stays
+//! in [`SelectPlan::pushed`] / [`SelectPlan::stages`].
+//!
+//! [`choose_table_access`] is shared with the typed API:
+//! [`Table::select`](crate::table::Table::select) routes its predicate
+//! through the same candidate pricing (with exact hash-bucket sizes when
+//! no statistics are available) instead of its former smallest-bucket
+//! heuristic.
 
 use std::ops::Bound;
 
 use crate::database::Database;
 use crate::error::{Result, TxdbError};
-use crate::stats::ColumnStats;
+use crate::row::RowId;
+use crate::stats::{ColumnStats, TableStats};
+use crate::table::Table;
 use crate::value::{DataType, Value};
 
 use super::ast::{ColumnRef, SelectStmt, SqlExpr};
@@ -56,6 +89,13 @@ use crate::predicate::CmpOp;
 /// Estimated fraction of rows a predicate may keep while an index lookup
 /// is still considered cheaper than a sequential scan.
 pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.3;
+
+/// Estimated fraction of rows a *secondary* probe may keep while fetching
+/// its RowId set for the intersection is still considered cheaper than
+/// filtering the primary probe's (already small) result. Fetch cost is
+/// proportional to the probe's own cardinality, so this is tighter than
+/// [`INDEX_SELECTIVITY_THRESHOLD`].
+pub const INTERSECT_SELECTIVITY_THRESHOLD: f64 = 0.2;
 
 /// One output position of a (possibly joined) row stream.
 #[derive(Debug, Clone)]
@@ -118,7 +158,7 @@ impl Layout {
 
     /// Resolve against only the first `tables` tables — used for join keys,
     /// which (as before the planner) may only reference tables already in
-    /// the stream.
+    /// the FROM-order stream.
     pub fn resolve_prefix(&self, r: &ColumnRef, tables: usize) -> Result<usize> {
         let mut found: Option<usize> = None;
         for (i, s) in self.slots.iter().enumerate() {
@@ -141,57 +181,252 @@ impl Layout {
     }
 }
 
+/// One index probe of an access path: fetches a RowId set from a single
+/// index, to be intersected with its siblings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexProbe {
+    /// Hash-index point lookup: `column = value`.
+    Eq { column: String, value: Value },
+    /// Ordered-index range probe over `column`.
+    Range {
+        column: String,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+        /// Whether a NaN cell satisfies every folded conjunct. The
+        /// engine's comparison semantics collapse `NaN <op> float` to
+        /// `Equal`, so NaN cells pass `>=`/`<=` (against a float
+        /// literal) but fail `<`, `>` and `=` — while the ordered index
+        /// sorts NaN above every number, i.e. inside the range exactly
+        /// when the upper bound is unbounded. [`IndexProbe::fetch`]
+        /// reconciles the two so consumed conjuncts and the typed
+        /// superset invariant stay exact.
+        include_nan: bool,
+    },
+}
+
+impl IndexProbe {
+    /// The probed column.
+    pub fn column(&self) -> &str {
+        match self {
+            IndexProbe::Eq { column, .. } | IndexProbe::Range { column, .. } => column,
+        }
+    }
+
+    /// Fetch the probe's RowId set, sorted ascending.
+    pub fn fetch(&self, table: &Table) -> Result<Vec<RowId>> {
+        match self {
+            IndexProbe::Eq { column, value } => {
+                // `lookup` guarantees ascending RowId order (buckets are
+                // maintained sorted; the scan fallback walks id order).
+                Ok(table.lookup(column, value))
+            }
+            IndexProbe::Range {
+                column,
+                lo,
+                hi,
+                include_nan,
+            } => {
+                // RangeIndex::range already returns ascending ids.
+                let mut rids = table.range_lookup(column, lo.as_ref(), hi.as_ref())?;
+                // NaN cells sort above every number in the ordered index,
+                // so they land in the fetched range exactly when the
+                // upper bound is unbounded — which may disagree with
+                // whether predicate evaluation accepts them (see
+                // `include_nan`). Add or strip the NaN bucket to match.
+                let nan_in_range = matches!(hi, Bound::Unbounded);
+                if *include_nan != nan_in_range {
+                    let nan = Value::Float(f64::NAN);
+                    let nan_ids =
+                        table.range_lookup(column, Bound::Included(&nan), Bound::Included(&nan))?;
+                    if !nan_ids.is_empty() {
+                        if *include_nan {
+                            rids.extend(nan_ids);
+                            rids.sort_unstable();
+                        } else {
+                            rids.retain(|r| nan_ids.binary_search(r).is_err());
+                        }
+                    }
+                }
+                Ok(rids)
+            }
+        }
+    }
+}
+
 /// How the executor reaches the base table's rows.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AccessPath {
     /// Sequential scan of all rows.
     FullScan,
-    /// Hash-index point lookup: `column = value`.
-    IndexEq { column: String, value: Value },
-    /// Ordered-index range probe over `column`.
-    IndexRange {
-        column: String,
-        lo: Bound<Value>,
-        hi: Bound<Value>,
-    },
+    /// One or more index probes; their RowId sets are intersected
+    /// (smallest actual set first).
+    Index(Vec<IndexProbe>),
 }
 
 impl AccessPath {
-    /// Short form for logs/tests: `scan`, `index_eq(col)`, `index_range(col)`.
+    /// Short form for logs/tests: `scan`, `index_eq(col)`,
+    /// `index_range(col)`, `index_and(col1&col2)`.
     pub fn describe(&self) -> String {
         match self {
             AccessPath::FullScan => "scan".to_string(),
-            AccessPath::IndexEq { column, .. } => format!("index_eq({column})"),
-            AccessPath::IndexRange { column, .. } => format!("index_range({column})"),
+            AccessPath::Index(probes) => match probes.as_slice() {
+                [IndexProbe::Eq { column, .. }] => format!("index_eq({column})"),
+                [IndexProbe::Range { column, .. }] => format!("index_range({column})"),
+                many => {
+                    let cols: Vec<&str> = many.iter().map(IndexProbe::column).collect();
+                    format!("index_and({})", cols.join("&"))
+                }
+            },
+        }
+    }
+
+    /// Fetch and intersect the probes' RowId sets; `None` for a scan.
+    /// The result is sorted ascending (canonical scan order).
+    pub fn fetch_row_ids(&self, table: &Table) -> Result<Option<Vec<RowId>>> {
+        let AccessPath::Index(probes) = self else {
+            return Ok(None);
+        };
+        let mut sets = Vec::with_capacity(probes.len());
+        for p in probes {
+            sets.push(p.fetch(table)?);
+        }
+        // Intersect smallest-first: the running result can only shrink, so
+        // starting from the smallest set minimizes merge work.
+        sets.sort_by_key(Vec::len);
+        let mut iter = sets.into_iter();
+        let mut acc = iter.next().unwrap_or_default();
+        for set in iter {
+            if acc.is_empty() {
+                break;
+            }
+            acc = intersect_sorted(&acc, &set);
+        }
+        Ok(Some(acc))
+    }
+}
+
+/// Two-pointer intersection of ascending RowId vectors.
+fn intersect_sorted(a: &[RowId], b: &[RowId]) -> Vec<RowId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Planner feature switches. The defaults enable everything; the
+/// restricted shapes exist so benchmarks and differential tests can
+/// compare optimizer generations on identical code.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// Intersect RowId sets from multiple sargable conjuncts.
+    pub multi_index: bool,
+    /// Order joins by estimated cardinality instead of FROM-order.
+    pub reorder_joins: bool,
+    /// Evaluate join-side conjuncts at the earliest level where their
+    /// tables are bound (off: everything runs after the last join).
+    pub join_pushdown: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> PlanOptions {
+        PlanOptions {
+            multi_index: true,
+            reorder_joins: true,
+            join_pushdown: true,
         }
     }
 }
 
-/// The plan for one `SELECT`: access path plus partitioned filters.
+impl PlanOptions {
+    /// The PR 1 planner shape: one access path per query, FROM-order
+    /// joins, all join-side predicates evaluated after the last join.
+    pub fn single_access_path() -> PlanOptions {
+        PlanOptions {
+            multi_index: false,
+            reorder_joins: false,
+            join_pushdown: false,
+        }
+    }
+}
+
+/// One join with its key references resolved (in FROM-order semantics, so
+/// resolution errors are independent of the chosen execution order).
+#[derive(Debug, Clone)]
+pub struct PlannedJoin {
+    /// Index into `sel.joins`.
+    pub from_idx: usize,
+    /// FROM ordinal of the newly joined table (`from_idx + 1`).
+    pub table_ord: usize,
+    /// Joined table name.
+    pub table: String,
+    /// Layout position of the already-bound side of the ON key.
+    pub left_slot: usize,
+    /// Join column on the newly joined table.
+    pub right_col: String,
+}
+
+/// The plan for one `SELECT`: access path, join order, staged filters.
 #[derive(Debug, Clone)]
 pub struct SelectPlan {
-    /// Full column layout (base + joins).
+    /// Full column layout (base + joins), always in FROM order.
     pub layout: Layout,
     /// How base-table rows are produced.
     pub access: AccessPath,
     /// Base-only conjuncts evaluated before joins (excluding any the
     /// access path already guarantees).
     pub pushed: Vec<SqlExpr>,
-    /// Conjuncts evaluated after joins.
-    pub residual: Vec<SqlExpr>,
+    /// Joins in execution order (a permutation of FROM order).
+    pub join_order: Vec<PlannedJoin>,
+    /// `stages[k]` holds the conjuncts evaluated right after
+    /// `join_order[k]` executes — the earliest level at which all their
+    /// tables are bound.
+    pub stages: Vec<Vec<SqlExpr>>,
     /// Estimated fraction of base rows surviving the access path.
     pub estimated_selectivity: f64,
+    /// Estimated post-filter row count per FROM ordinal (drives the
+    /// greedy join order).
+    pub table_cards: Vec<f64>,
 }
 
 impl SelectPlan {
-    /// One-line summary, e.g. `index_eq(movie_id) sel=0.02 pushed=1 residual=0`.
+    /// Conjuncts evaluated at join levels (flattened, for diagnostics).
+    pub fn staged_count(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the join execution order differs from FROM order.
+    pub fn joins_reordered(&self) -> bool {
+        self.join_order
+            .iter()
+            .enumerate()
+            .any(|(i, j)| j.from_idx != i)
+    }
+
+    /// One-line summary, e.g.
+    /// `index_and(genre&rating) sel=0.012 pushed=1 staged=2 order=[1,0]`.
     pub fn describe(&self) -> String {
+        let order: Vec<String> = self
+            .join_order
+            .iter()
+            .map(|j| j.from_idx.to_string())
+            .collect();
         format!(
-            "{} sel={:.3} pushed={} residual={}",
+            "{} sel={:.3} pushed={} staged={} order=[{}]",
             self.access.describe(),
             self.estimated_selectivity,
             self.pushed.len(),
-            self.residual.len()
+            self.staged_count(),
+            order.join(",")
         )
     }
 }
@@ -207,43 +442,35 @@ fn conjuncts(expr: &SqlExpr, out: &mut Vec<SqlExpr>) {
     }
 }
 
-/// Whether every column reference in `expr` resolves to the base table
-/// (ordinal 0), unambiguously over the full layout.
-fn is_base_only(layout: &Layout, expr: &SqlExpr) -> bool {
-    let check = |c: &ColumnRef| {
-        layout
-            .resolve(c)
-            .map(|i| layout.slots[i].table_ord == 0)
-            .unwrap_or(false)
-    };
-    match expr {
-        SqlExpr::Cmp { column, .. } => check(column),
-        SqlExpr::Like { column, .. } => check(column),
-        SqlExpr::IsNull { column, .. } => check(column),
-        SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
-            is_base_only(layout, a) && is_base_only(layout, b)
+/// The set of FROM ordinals referenced by `expr`, or `Err` when any
+/// column fails to resolve (unknown or ambiguous) over the full layout.
+fn referenced_ords(layout: &Layout, expr: &SqlExpr, out: &mut Vec<usize>) -> Result<()> {
+    let mut push = |c: &ColumnRef| -> Result<()> {
+        let slot = layout.resolve(c)?;
+        let ord = layout.slots[slot].table_ord;
+        if !out.contains(&ord) {
+            out.push(ord);
         }
-        SqlExpr::Not(a) => is_base_only(layout, a),
-    }
-}
-
-/// Whether every column reference in `expr` resolves over the full layout.
-fn resolves(layout: &Layout, expr: &SqlExpr) -> bool {
+        Ok(())
+    };
     match expr {
         SqlExpr::Cmp { column, .. }
         | SqlExpr::Like { column, .. }
-        | SqlExpr::IsNull { column, .. } => layout.resolve(column).is_ok(),
-        SqlExpr::And(a, b) | SqlExpr::Or(a, b) => resolves(layout, a) && resolves(layout, b),
-        SqlExpr::Not(a) => resolves(layout, a),
+        | SqlExpr::IsNull { column, .. } => push(column),
+        SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
+            referenced_ords(layout, a, out)?;
+            referenced_ords(layout, b, out)
+        }
+        SqlExpr::Not(a) => referenced_ords(layout, a, out),
     }
 }
 
 /// A sargable candidate: conjunct index, column, op, coerced literal.
-struct Sarg {
-    conjunct: usize,
-    column: String,
-    op: CmpOp,
-    value: Value,
+pub(crate) struct Sarg {
+    pub conjunct: usize,
+    pub column: String,
+    pub op: CmpOp,
+    pub value: Value,
 }
 
 /// Map a value onto the histogram's numeric axis (same convention as
@@ -281,8 +508,24 @@ fn range_selectivity(stats: Option<&ColumnStats>, lo: &Bound<Value>, hi: &Bound<
     }
 }
 
-/// Per-column bound accumulator: (column, folded bounds, conjunct ids).
-type ColumnBounds<'a> = (&'a str, (Bound<Value>, Bound<Value>), Vec<usize>);
+/// Per-column accumulator while folding sargable conjuncts into one
+/// range probe.
+struct ColumnBounds<'a> {
+    column: &'a str,
+    bounds: (Bound<Value>, Bound<Value>),
+    used: Vec<usize>,
+    /// Whether a NaN cell satisfies *every* folded conjunct: only
+    /// non-strict comparisons against a float literal accept NaN under
+    /// the engine's `partial_cmp` collapse (see
+    /// [`IndexProbe::Range::include_nan`]).
+    nan_ok: bool,
+}
+
+/// Whether a NaN cell passes `cell <op> value` under predicate
+/// evaluation semantics.
+fn nan_passes(op: CmpOp, value: &Value) -> bool {
+    matches!(op, CmpOp::Ge | CmpOp::Le) && matches!(value, Value::Float(_))
+}
 
 /// Fold `op value` into an accumulating bound pair.
 fn tighten(bounds: &mut (Bound<Value>, Bound<Value>), op: CmpOp, value: &Value) {
@@ -343,37 +586,313 @@ fn tighter_hi(current: &Bound<Value>, new: Bound<Value>) -> Bound<Value> {
     }
 }
 
-/// Plan a `SELECT`: partition the WHERE clause and choose the access path.
+/// Price every sargable candidate against `table` and assemble the access
+/// path: the cheapest probe below [`INDEX_SELECTIVITY_THRESHOLD`] becomes
+/// primary; with `multi_index`, further probes on *other* columns join the
+/// intersection while estimated at or below
+/// [`INTERSECT_SELECTIVITY_THRESHOLD`].
+///
+/// With statistics, equality is priced from the MCV list and ranges from
+/// the histogram. Without (the typed `Table::select` path), equality uses
+/// the exact hash-bucket size — an exact statistic maintained for free —
+/// and ranges fall back to the uninformative 1/3 guess, which never
+/// clears the thresholds.
+///
+/// Returns `(path, estimated selectivity, consumed sarg indices)`.
+pub(crate) fn choose_table_access(
+    table: &Table,
+    stats: Option<&TableStats>,
+    sargs: &[Sarg],
+    multi_index: bool,
+) -> (AccessPath, f64, Vec<usize>) {
+    if sargs.is_empty() || table.is_empty() {
+        return (AccessPath::FullScan, 1.0, Vec::new());
+    }
+    let nrows = table.len() as f64;
+    // (probe, estimated selectivity, consumed sarg indices)
+    let mut candidates: Vec<(IndexProbe, f64, Vec<usize>)> = Vec::new();
+    for (i, s) in sargs.iter().enumerate() {
+        if s.op == CmpOp::Eq && table.has_index(&s.column) {
+            let est = match stats {
+                Some(st) => eq_selectivity(st.column(&s.column), &s.value),
+                None => table.index_bucket_len(&s.column, &s.value).unwrap_or(0) as f64 / nrows,
+            };
+            candidates.push((
+                IndexProbe::Eq {
+                    column: s.column.clone(),
+                    value: s.value.clone(),
+                },
+                est,
+                vec![i],
+            ));
+        }
+    }
+    // Range probes over an ordered index, folding per-column bounds.
+    let mut by_column: Vec<ColumnBounds> = Vec::new();
+    for (i, s) in sargs.iter().enumerate() {
+        if !table.has_range_index(&s.column) {
+            continue;
+        }
+        // NaN cannot fold into ordered bounds (`partial_cmp` is `None`, so
+        // `tighten` would silently drop it while the conjunct got marked
+        // consumed). Leave such conjuncts as plain filters, where they
+        // evaluate to false as before.
+        if matches!(&s.value, Value::Float(f) if f.is_nan()) {
+            continue;
+        }
+        match by_column.iter_mut().find(|b| b.column == s.column) {
+            Some(b) => {
+                tighten(&mut b.bounds, s.op, &s.value);
+                b.used.push(i);
+                b.nan_ok &= nan_passes(s.op, &s.value);
+            }
+            None => {
+                let mut bounds = (Bound::Unbounded, Bound::Unbounded);
+                tighten(&mut bounds, s.op, &s.value);
+                by_column.push(ColumnBounds {
+                    column: &s.column,
+                    bounds,
+                    used: vec![i],
+                    nan_ok: nan_passes(s.op, &s.value),
+                });
+            }
+        }
+    }
+    for b in by_column {
+        let (lo, hi) = b.bounds;
+        let est = match stats {
+            Some(st) => range_selectivity(st.column(b.column), &lo, &hi),
+            None => 1.0 / 3.0,
+        };
+        candidates.push((
+            IndexProbe::Range {
+                column: b.column.to_string(),
+                lo,
+                hi,
+                include_nan: b.nan_ok,
+            },
+            est,
+            b.used,
+        ));
+    }
+    // Cheapest-first; the stable sort keeps candidate insertion order on
+    // ties, so plans are deterministic.
+    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut probes: Vec<IndexProbe> = Vec::new();
+    let mut consumed: Vec<usize> = Vec::new();
+    let mut combined = 1.0f64;
+    for (probe, est, used) in candidates {
+        let threshold = if probes.is_empty() {
+            INDEX_SELECTIVITY_THRESHOLD
+        } else {
+            INTERSECT_SELECTIVITY_THRESHOLD
+        };
+        if est > threshold {
+            break;
+        }
+        // One probe per column: a second probe on the same column (e.g. a
+        // hash and a range index both exist) cannot shrink the result.
+        if probes.iter().any(|p| p.column() == probe.column()) {
+            continue;
+        }
+        combined *= est;
+        for u in used {
+            if !consumed.contains(&u) {
+                consumed.push(u);
+            }
+        }
+        probes.push(probe);
+        if !multi_index {
+            break;
+        }
+    }
+    if probes.is_empty() {
+        return (AccessPath::FullScan, 1.0, Vec::new());
+    }
+    consumed.sort_unstable();
+    (AccessPath::Index(probes), combined, consumed)
+}
+
+/// Estimated fraction of a single table's rows kept by `expr`, from that
+/// table's statistics. Composite shapes use the textbook combinators:
+/// AND → product, OR → inclusion–exclusion, NOT → complement; leaves use
+/// the MCV/histogram estimates (LIKE falls back to the 1/3 guess).
+fn expr_selectivity(stats: &TableStats, layout: &Layout, expr: &SqlExpr) -> f64 {
+    let col_stats = |c: &ColumnRef| -> Option<&ColumnStats> {
+        let slot = layout.resolve(c).ok()?;
+        stats.column(&layout.slots[slot].column)
+    };
+    match expr {
+        SqlExpr::Cmp { column, op, value } => {
+            let stats = col_stats(column);
+            match op {
+                CmpOp::Eq => eq_selectivity(stats, value),
+                CmpOp::Ne => (1.0 - eq_selectivity(stats, value)).clamp(0.0, 1.0),
+                CmpOp::Gt => {
+                    range_selectivity(stats, &Bound::Excluded(value.clone()), &Bound::Unbounded)
+                }
+                CmpOp::Ge => {
+                    range_selectivity(stats, &Bound::Included(value.clone()), &Bound::Unbounded)
+                }
+                CmpOp::Lt => {
+                    range_selectivity(stats, &Bound::Unbounded, &Bound::Excluded(value.clone()))
+                }
+                CmpOp::Le => {
+                    range_selectivity(stats, &Bound::Unbounded, &Bound::Included(value.clone()))
+                }
+            }
+        }
+        SqlExpr::Like { .. } => 1.0 / 3.0,
+        SqlExpr::IsNull { column, negated } => {
+            let null_frac = col_stats(column).map_or(0.1, ColumnStats::null_fraction);
+            if *negated {
+                1.0 - null_frac
+            } else {
+                null_frac
+            }
+        }
+        SqlExpr::And(a, b) => {
+            expr_selectivity(stats, layout, a) * expr_selectivity(stats, layout, b)
+        }
+        SqlExpr::Or(a, b) => {
+            let (sa, sb) = (
+                expr_selectivity(stats, layout, a),
+                expr_selectivity(stats, layout, b),
+            );
+            (sa + sb - sa * sb).clamp(0.0, 1.0)
+        }
+        SqlExpr::Not(a) => (1.0 - expr_selectivity(stats, layout, a)).clamp(0.0, 1.0),
+    }
+}
+
+/// Resolve every join's ON key in FROM-order semantics (identical errors
+/// to the pre-planner executor, regardless of execution order).
+fn resolve_joins(db: &Database, layout: &Layout, sel: &SelectStmt) -> Result<Vec<PlannedJoin>> {
+    let mut out = Vec::with_capacity(sel.joins.len());
+    for (ji, join) in sel.joins.iter().enumerate() {
+        let (cur_ref, new_ref) = if join.left.table.as_deref().is_some_and(|t| t == join.table) {
+            (&join.right, &join.left)
+        } else {
+            (&join.left, &join.right)
+        };
+        let left_slot = layout.resolve_prefix(cur_ref, ji + 1)?;
+        let right = db.table(&join.table)?;
+        let right_idx = right.schema().require_column(&new_ref.column)?;
+        out.push(PlannedJoin {
+            from_idx: ji,
+            table_ord: ji + 1,
+            table: join.table.clone(),
+            left_slot,
+            right_col: right.schema().columns()[right_idx].name.clone(),
+        });
+    }
+    Ok(out)
+}
+
+/// Greedily order joins smallest-estimated-table-first, restricted to
+/// joins whose bound-side key is already in the stream. The remaining
+/// join with the smallest FROM index is always eligible (its key resolves
+/// within the FROM prefix, and all earlier tables are either bound or
+/// themselves remaining with smaller index — contradiction), so the
+/// greedy pass always terminates with a complete order.
+fn greedy_join_order(joins: Vec<PlannedJoin>, layout: &Layout, cards: &[f64]) -> Vec<PlannedJoin> {
+    let mut remaining = joins;
+    let mut order = Vec::with_capacity(remaining.len());
+    let mut bound = vec![false; layout.tables];
+    bound[0] = true;
+    while !remaining.is_empty() {
+        let mut best: Option<usize> = None;
+        for (i, j) in remaining.iter().enumerate() {
+            let left_ord = layout.slots[j.left_slot].table_ord;
+            if !bound[left_ord] {
+                continue;
+            }
+            // Strict `<` keeps the first-seen candidate on ties, and
+            // `remaining` preserves FROM order, so ties break toward the
+            // smaller FROM index — deterministic without an explicit
+            // tie-break clause.
+            let better = match best {
+                None => true,
+                Some(b) => cards[j.table_ord] < cards[remaining[b].table_ord],
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let pick = best.expect("FROM-order continuation is always eligible");
+        let j = remaining.remove(pick);
+        bound[j.table_ord] = true;
+        order.push(j);
+    }
+    order
+}
+
+/// Plan a `SELECT` with the default (fully enabled) optimizer.
 pub fn plan_select(db: &Database, sel: &SelectStmt) -> Result<SelectPlan> {
+    plan_select_with(db, sel, &PlanOptions::default())
+}
+
+/// Plan a `SELECT`: partition the WHERE clause, choose the access path,
+/// order the joins and assign each conjunct its evaluation stage.
+pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> Result<SelectPlan> {
     let layout = Layout::build(db, sel)?;
     let base = db.table(&sel.table)?;
     let schema = base.schema();
+    let joins = resolve_joins(db, &layout, sel)?;
+    let njoins = joins.len();
 
     let mut all = Vec::new();
     if let Some(expr) = &sel.where_clause {
         conjuncts(expr, &mut all);
     }
-    // An unresolvable (unknown or ambiguous) column anywhere in the WHERE
-    // clause disables pushdown and index use entirely: the seed executor
-    // raised the resolution error lazily, per evaluated joined row, so any
-    // filtering before the join could change *whether* the error surfaces
-    // at all. The conservative plan evaluates every conjunct post-join in
-    // original order — byte-identical behaviour, including errors.
-    if all.iter().any(|e| !resolves(&layout, e)) {
+
+    // Classify each conjunct by the FROM ordinals it references. An
+    // unresolvable (unknown or ambiguous) column anywhere in the WHERE
+    // clause disables pushdown, index use and reordering entirely: the
+    // seed executor raised the resolution error lazily, per evaluated
+    // joined row, so any filtering before the join could change *whether*
+    // the error surfaces at all. The conservative plan evaluates every
+    // conjunct post-join in original order — byte-identical behaviour,
+    // including errors.
+    let mut ord_sets: Vec<Vec<usize>> = Vec::with_capacity(all.len());
+    let mut conservative = false;
+    for expr in &all {
+        let mut ords = Vec::new();
+        if referenced_ords(&layout, expr, &mut ords).is_err() {
+            conservative = true;
+            break;
+        }
+        ord_sets.push(ords);
+    }
+    if conservative {
+        let mut stages = vec![Vec::new(); njoins];
+        let mut pushed = Vec::new();
+        if njoins == 0 {
+            // With no joins the post-join stream *is* the base stream;
+            // compile-time resolution failures fall back to deferred
+            // per-row evaluation, preserving lazy error order.
+            pushed = all;
+        } else {
+            stages[njoins - 1] = all;
+        }
+        let table_cards = table_row_counts(db, &layout);
         return Ok(SelectPlan {
             layout,
             access: AccessPath::FullScan,
-            pushed: Vec::new(),
-            residual: all,
+            pushed,
+            join_order: joins,
+            stages,
             estimated_selectivity: 1.0,
+            table_cards,
         });
     }
+
     let mut pushed: Vec<SqlExpr> = Vec::new();
-    let mut residual: Vec<SqlExpr> = Vec::new();
+    let mut joinside: Vec<(SqlExpr, Vec<usize>)> = Vec::new();
     let mut sargs: Vec<Sarg> = Vec::new();
-    for expr in all {
-        if !is_base_only(&layout, &expr) {
-            residual.push(expr);
+    for (expr, ords) in all.into_iter().zip(ord_sets) {
+        if ords.iter().any(|&o| o != 0) {
+            joinside.push((expr, ords));
             continue;
         }
         if let SqlExpr::Cmp { column, op, value } = &expr {
@@ -395,89 +914,112 @@ pub fn plan_select(db: &Database, sel: &SelectStmt) -> Result<SelectPlan> {
         pushed.push(expr);
     }
 
-    // Price every candidate with cached statistics.
-    let mut best: Option<(AccessPath, f64, Vec<usize>)> = None;
-    if !sargs.is_empty() && !base.is_empty() {
+    // Price the sargable candidates with cached statistics.
+    let (access, estimated_selectivity, consumed_sargs) = if sargs.is_empty() || base.is_empty() {
+        (AccessPath::FullScan, 1.0, Vec::new())
+    } else {
         db.with_stats(&sel.table, |stats| {
-            // Equality conjuncts served by a hash index.
-            for s in &sargs {
-                if s.op == CmpOp::Eq && base.has_index(&s.column) {
-                    let sel_est = eq_selectivity(stats.column(&s.column), &s.value);
-                    if best.as_ref().is_none_or(|(_, b, _)| sel_est < *b) {
-                        best = Some((
-                            AccessPath::IndexEq {
-                                column: s.column.clone(),
-                                value: s.value.clone(),
-                            },
-                            sel_est,
-                            vec![s.conjunct],
-                        ));
-                    }
-                }
-            }
-            // Range probes over an ordered index, folding per-column bounds.
-            let mut by_column: Vec<ColumnBounds> = Vec::new();
-            for s in &sargs {
-                if !base.has_range_index(&s.column) {
-                    continue;
-                }
-                // NaN cannot fold into ordered bounds (`partial_cmp` is
-                // `None`, so `tighten` would silently drop it while the
-                // conjunct got marked consumed). Leave such conjuncts as
-                // plain filters, where they evaluate to false as before.
-                if matches!(&s.value, Value::Float(f) if f.is_nan()) {
-                    continue;
-                }
-                match by_column.iter_mut().find(|(c, _, _)| *c == s.column) {
-                    Some((_, bounds, used)) => {
-                        tighten(bounds, s.op, &s.value);
-                        used.push(s.conjunct);
-                    }
-                    None => {
-                        let mut bounds = (Bound::Unbounded, Bound::Unbounded);
-                        tighten(&mut bounds, s.op, &s.value);
-                        by_column.push((&s.column, bounds, vec![s.conjunct]));
-                    }
-                }
-            }
-            for (column, (lo, hi), used) in by_column {
-                let sel_est = range_selectivity(stats.column(column), &lo, &hi);
-                if best.as_ref().is_none_or(|(_, b, _)| sel_est < *b) {
-                    best = Some((
-                        AccessPath::IndexRange {
-                            column: column.to_string(),
-                            lo,
-                            hi,
-                        },
-                        sel_est,
-                        used,
-                    ));
-                }
-            }
-        })?;
-    }
-
-    let (access, estimated_selectivity, consumed) = match best {
-        Some((path, sel_est, used)) if sel_est <= INDEX_SELECTIVITY_THRESHOLD => {
-            (path, sel_est, used)
-        }
-        _ => (AccessPath::FullScan, 1.0, Vec::new()),
+            choose_table_access(base, Some(stats), &sargs, opts.multi_index)
+        })?
     };
     // Drop consumed conjuncts (the access path already guarantees them).
-    let pushed = pushed
+    let consumed: Vec<usize> = consumed_sargs.iter().map(|&i| sargs[i].conjunct).collect();
+    let pushed: Vec<SqlExpr> = pushed
         .into_iter()
         .enumerate()
         .filter(|(i, _)| !consumed.contains(i))
         .map(|(_, e)| e)
         .collect();
 
+    // Estimated post-filter cardinality per FROM table: row count times
+    // the selectivity of everything applied at (or before) that table's
+    // own level — the access path and remaining pushed filters for the
+    // base, single-table staged conjuncts for join sides. Cards only
+    // drive the greedy join order, so single-join and join-free plans
+    // skip the estimation entirely (keeping point-lookup planning cheap).
+    let reorder = opts.reorder_joins && njoins > 1;
+    let mut table_cards = table_row_counts(db, &layout);
+    if reorder {
+        if !base.is_empty() {
+            let mut sel_est = estimated_selectivity;
+            if !pushed.is_empty() {
+                db.with_stats(&sel.table, |stats| {
+                    for e in &pushed {
+                        sel_est *= expr_selectivity(stats, &layout, e);
+                    }
+                })?;
+            }
+            table_cards[0] *= sel_est.clamp(0.0, 1.0);
+        }
+        for j in &joins {
+            let single: Vec<&SqlExpr> = joinside
+                .iter()
+                .filter(|(_, ords)| ords.as_slice() == [j.table_ord])
+                .map(|(e, _)| e)
+                .collect();
+            if single.is_empty() || db.table(&j.table)?.is_empty() {
+                continue;
+            }
+            let mut sel_est = 1.0f64;
+            db.with_stats(&j.table, |stats| {
+                for e in &single {
+                    sel_est *= expr_selectivity(stats, &layout, e);
+                }
+            })?;
+            table_cards[j.table_ord] *= sel_est.clamp(0.0, 1.0);
+        }
+    }
+
+    let join_order = if reorder {
+        greedy_join_order(joins, &layout, &table_cards)
+    } else {
+        joins
+    };
+
+    // Assign every join-side conjunct its evaluation stage: the earliest
+    // point in execution order at which all referenced tables are bound.
+    let mut stages: Vec<Vec<SqlExpr>> = vec![Vec::new(); njoins];
+    let mut bound_after: Vec<Vec<usize>> = Vec::with_capacity(njoins);
+    let mut bound = vec![0usize];
+    for j in &join_order {
+        bound.push(j.table_ord);
+        bound_after.push(bound.clone());
+    }
+    for (expr, ords) in joinside {
+        let stage = if opts.join_pushdown {
+            bound_after
+                .iter()
+                .position(|b| ords.iter().all(|o| b.contains(o)))
+                .expect("all ords bound after the last join")
+        } else {
+            njoins - 1
+        };
+        stages[stage].push(expr);
+    }
+
     Ok(SelectPlan {
         layout,
         access,
         pushed,
-        residual,
+        join_order,
+        stages,
         estimated_selectivity,
+        table_cards,
     })
+}
+
+/// Live row count per FROM ordinal (one catalog lookup per table, not
+/// per slot — slots are grouped by ordinal).
+fn table_row_counts(db: &Database, layout: &Layout) -> Vec<f64> {
+    let mut counts = vec![0.0; layout.tables];
+    let mut next_ord = 0usize;
+    for slot in &layout.slots {
+        if slot.table_ord == next_ord {
+            counts[next_ord] = db.table(&slot.table).map_or(0.0, |t| t.len() as f64);
+            next_ord += 1;
+        }
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -547,6 +1089,26 @@ mod tests {
         db
     }
 
+    /// Adds a tiny `award` table referencing `movie` so three-table joins
+    /// (star shape: both joins hang off the base) can be planned.
+    fn db_with_awards() -> Database {
+        let mut db = db();
+        db.create_table(
+            TableSchema::builder("award")
+                .column("award_id", crate::DataType::Int)
+                .column("movie_id", crate::DataType::Int)
+                .primary_key(&["award_id"])
+                .foreign_key("movie_id", "movie", "movie_id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..5i64 {
+            db.insert("award", row![i, i * 7]).unwrap();
+        }
+        db
+    }
+
     #[test]
     fn pk_equality_uses_hash_index() {
         let db = db();
@@ -558,7 +1120,7 @@ mod tests {
             p.estimated_selectivity
         );
         assert!(p.pushed.is_empty(), "eq conjunct must be consumed");
-        assert!(p.residual.is_empty());
+        assert_eq!(p.staged_count(), 0);
     }
 
     #[test]
@@ -581,11 +1143,65 @@ mod tests {
         );
         assert_eq!(p.access.describe(), "index_range(rating)");
         assert!(p.pushed.is_empty(), "both bounds folded into the probe");
-        let AccessPath::IndexRange { lo, hi, .. } = &p.access else {
+        let AccessPath::Index(probes) = &p.access else {
+            panic!()
+        };
+        let IndexProbe::Range { lo, hi, .. } = &probes[0] else {
             panic!()
         };
         assert_eq!(*lo, Bound::Excluded(Value::Float(8.0)));
         assert_eq!(*hi, Bound::Included(Value::Float(9.0)));
+    }
+
+    #[test]
+    fn multi_conjunct_intersects_multiple_indexes() {
+        let db = db();
+        let p = plan(
+            &db,
+            "SELECT * FROM movie WHERE genre = 'Noir' AND rating > 8.0 AND rating <= 9.0",
+        );
+        assert_eq!(p.access.describe(), "index_and(genre&rating)");
+        assert!(
+            p.pushed.is_empty(),
+            "all three conjuncts consumed by the intersection, got {:?}",
+            p.pushed
+        );
+        // Combined estimate is the product of the probe estimates.
+        assert!(
+            p.estimated_selectivity < 0.05,
+            "sel {}",
+            p.estimated_selectivity
+        );
+    }
+
+    #[test]
+    fn intersection_orders_probes_cheapest_first() {
+        let db = db();
+        let p = plan(
+            &db,
+            "SELECT * FROM movie WHERE rating > 8.0 AND rating <= 9.0 AND genre = 'Noir'",
+        );
+        let AccessPath::Index(probes) = &p.access else {
+            panic!("expected intersection, got {}", p.access.describe())
+        };
+        // genre='Noir' (5%) is cheaper than the ~10% rating band and must
+        // lead the probe list regardless of conjunct order in the SQL.
+        assert_eq!(probes[0].column(), "genre");
+        assert_eq!(probes[1].column(), "rating");
+    }
+
+    #[test]
+    fn poorly_selective_conjunct_stays_a_filter() {
+        let db = db();
+        // movie_id = 7 is a 1% point probe; genre = 'Drama' keeps 80% of
+        // the table — fetching its RowId set would cost more than
+        // filtering the point probe's single row.
+        let p = plan(
+            &db,
+            "SELECT * FROM movie WHERE movie_id = 7 AND genre = 'Drama'",
+        );
+        assert_eq!(p.access.describe(), "index_eq(movie_id)");
+        assert_eq!(p.pushed.len(), 1, "Drama conjunct must stay a filter");
     }
 
     #[test]
@@ -615,7 +1231,7 @@ mod tests {
     }
 
     #[test]
-    fn base_conjunct_pushed_joined_conjunct_residual() {
+    fn base_conjunct_pushed_joined_conjunct_staged() {
         let db = db();
         let p = plan(
             &db,
@@ -625,15 +1241,115 @@ mod tests {
         );
         assert_eq!(p.access.describe(), "index_eq(movie_id)");
         assert!(p.pushed.is_empty());
-        assert_eq!(p.residual.len(), 1, "price predicate runs after the join");
+        assert_eq!(p.staged_count(), 1, "price predicate runs at join level");
+        assert_eq!(p.stages[0].len(), 1);
+    }
+
+    #[test]
+    fn joins_ordered_by_estimated_cardinality() {
+        let db = db_with_awards();
+        // FROM order puts the 50-row screening join before the 5-row
+        // award join; the greedy order flips them.
+        let p = plan(
+            &db,
+            "SELECT movie.title FROM movie \
+             JOIN screening ON screening.movie_id = movie.movie_id \
+             JOIN award ON award.movie_id = movie.movie_id",
+        );
+        assert_eq!(p.join_order.len(), 2);
+        assert_eq!(p.join_order[0].table, "award");
+        assert_eq!(p.join_order[1].table, "screening");
+        assert!(p.joins_reordered());
+        assert!(p.table_cards[2] < p.table_cards[1]);
+    }
+
+    #[test]
+    fn filtered_join_side_reorders_ahead() {
+        let db = db_with_awards();
+        // award(5) still smallest, but a selective filter on screening
+        // (price band keeps ~1/7) must shrink screening's estimate below
+        // its raw 50 rows.
+        let p = plan(
+            &db,
+            "SELECT movie.title FROM movie \
+             JOIN screening ON screening.movie_id = movie.movie_id \
+             JOIN award ON award.movie_id = movie.movie_id \
+             WHERE screening.price = 12.0",
+        );
+        assert!(p.table_cards[1] < 50.0, "cards {:?}", p.table_cards);
+        // The price conjunct is staged at screening's level, wherever
+        // that lands in execution order.
+        let screening_step = p
+            .join_order
+            .iter()
+            .position(|j| j.table == "screening")
+            .unwrap();
+        assert_eq!(p.stages[screening_step].len(), 1);
+    }
+
+    #[test]
+    fn chained_join_respects_binding_constraint() {
+        let mut db = db_with_awards();
+        // A table referencing screening (not movie): the chain forces
+        // review after screening no matter how small review is.
+        db.create_table(
+            TableSchema::builder("review")
+                .column("review_id", crate::DataType::Int)
+                .column("screening_id", crate::DataType::Int)
+                .primary_key(&["review_id"])
+                .foreign_key("screening_id", "screening", "screening_id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("review", row![0, 0]).unwrap();
+        let p = plan(
+            &db,
+            "SELECT movie.title FROM movie \
+             JOIN screening ON screening.movie_id = movie.movie_id \
+             JOIN review ON review.screening_id = screening.screening_id",
+        );
+        let screening_step = p
+            .join_order
+            .iter()
+            .position(|j| j.table == "screening")
+            .unwrap();
+        let review_step = p
+            .join_order
+            .iter()
+            .position(|j| j.table == "review")
+            .unwrap();
+        assert!(
+            screening_step < review_step,
+            "review joins on screening and must execute after it"
+        );
+    }
+
+    #[test]
+    fn pr1_options_disable_reordering_and_staging() {
+        let db = db_with_awards();
+        let Statement::Select(sel) = parse_statement(
+            "SELECT movie.title FROM movie \
+             JOIN screening ON screening.movie_id = movie.movie_id \
+             JOIN award ON award.movie_id = movie.movie_id \
+             WHERE screening.price > 11.0",
+        )
+        .unwrap() else {
+            unreachable!()
+        };
+        let p = plan_select_with(&db, &sel, &PlanOptions::single_access_path()).unwrap();
+        assert!(!p.joins_reordered());
+        assert!(p.stages[0].is_empty(), "no pushdown: final stage only");
+        assert_eq!(p.stages[1].len(), 1);
     }
 
     #[test]
     fn ambiguous_unqualified_column_is_not_pushed() {
         let db = db();
         // `movie_id` exists in both tables: resolution over the joined
-        // layout is ambiguous, so the conjunct must stay residual (the
-        // executor surfaces the error lazily, as before the planner).
+        // layout is ambiguous, so the conjunct must stay at the final
+        // stage (the executor surfaces the error lazily, as before the
+        // planner).
         let p = plan(
             &db,
             "SELECT movie.title FROM movie \
@@ -641,7 +1357,8 @@ mod tests {
              WHERE movie_id = 3",
         );
         assert_eq!(p.access.describe(), "scan");
-        assert_eq!(p.residual.len(), 1);
+        assert!(!p.joins_reordered());
+        assert_eq!(p.stages.last().unwrap().len(), 1);
     }
 
     #[test]
@@ -652,7 +1369,8 @@ mod tests {
             "SELECT * FROM movie WHERE movie_id = 1 AND movie_id = 2",
         );
         assert_eq!(p.access.describe(), "index_eq(movie_id)");
-        // One equality drives the probe, the other must remain a filter.
+        // One equality drives the probe (one probe per column), the other
+        // must remain a filter.
         assert_eq!(p.pushed.len(), 1);
     }
 
@@ -680,15 +1398,22 @@ mod tests {
             &db,
             "SELECT * FROM movie WHERE rating > 9.0 AND rating > 'NaN'",
         );
-        match p.access {
-            AccessPath::IndexRange { .. } => {
+        match &p.access {
+            AccessPath::Index(_) => {
                 assert_eq!(p.pushed.len(), 1, "NaN conjunct must stay pushed");
             }
             AccessPath::FullScan => {
                 assert_eq!(p.pushed.len(), 2);
             }
-            other => panic!("unexpected access {other:?}"),
         }
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        let a: Vec<RowId> = [1u64, 3, 5, 7].map(RowId).to_vec();
+        let b: Vec<RowId> = [2u64, 3, 4, 7, 9].map(RowId).to_vec();
+        assert_eq!(intersect_sorted(&a, &b), vec![RowId(3), RowId(7)]);
+        assert_eq!(intersect_sorted(&a, &[]), Vec::<RowId>::new());
     }
 
     #[test]

@@ -143,9 +143,13 @@ impl ColumnStats {
         let count: usize = counts.values().sum();
         let entropy = entropy_of_counts(counts.values().copied());
         let mut mcv: Vec<(Value, usize)> = counts.iter().map(|(v, &c)| ((*v).clone(), c)).collect();
+        // Tiebreak with the OrdKey total order: `Value::partial_cmp`
+        // collapses NaN-vs-number to Equal, which is not a consistent
+        // total order and makes the sort panic once NaN values coexist
+        // with equally-frequent numbers.
         mcv.sort_by(|a, b| {
             b.1.cmp(&a.1)
-                .then_with(|| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| crate::index::OrdKey::cmp_values(&a.0, &b.0))
         });
         let distinct = mcv.len();
         mcv.truncate(MCV_LIMIT);
@@ -198,6 +202,17 @@ impl ColumnStats {
             0.0
         } else {
             self.count as f64 / total as f64
+        }
+    }
+
+    /// Fraction of NULL values — the estimated selectivity of
+    /// `column IS NULL` (and the complement of `IS NOT NULL`).
+    pub fn null_fraction(&self) -> f64 {
+        let total = self.count + self.null_count;
+        if total == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / total as f64
         }
     }
 }

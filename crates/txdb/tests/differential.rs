@@ -1,11 +1,18 @@
 //! Differential test: every generated `SELECT` must produce identical
-//! results through the planned executor (index selection, predicate
-//! pushdown, bounded top-k, tuple streaming) and the naive
-//! materialize-everything reference executor.
+//! results through the planned executor (multi-index AND, join
+//! reordering, staged predicate pushdown, bounded top-k, tuple
+//! streaming) and the naive materialize-everything reference executor.
+//! Each query additionally runs under the PR 1 planner shape
+//! (`PlanOptions::single_access_path()`: one access path, FROM-order
+//! joins, no staging), so every optimizer generation is pinned to the
+//! same semantics.
 //!
 //! The generator is seeded and exhaustive-ish: random schemas get random
 //! hash/range indexes, random data includes NULLs, duplicates and
-//! cross-type numeric values, and queries cover joins, WHERE trees,
+//! cross-type numeric values, and queries cover two- and three-table
+//! joins (star- and chain-shaped, exercising both the reorder greedy and
+//! its binding constraint), multi-conjunct WHERE clauses over indexed
+//! columns (exercising the intersection cutoff), WHERE trees,
 //! aggregation, grouping, ordering and limits. Both implementations share
 //! only the parser and the value model, so agreement here is strong
 //! evidence the planner preserves semantics.
@@ -14,14 +21,17 @@ use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
 
-use cat_txdb::sql::{execute, execute_select_reference, parse_statement, Statement};
+use cat_txdb::sql::{
+    execute, execute_select_reference, execute_select_with, parse_statement, PlanOptions, Statement,
+};
 use cat_txdb::{row, DataType, Database, TableSchema, Value};
 
 const GENRES: &[&str] = &["Drama", "Crime", "Horror", "Comedy", "Noir", "Sci-Fi"];
 const CITIES: &[&str] = &["Berlin", "Munich", "Hamburg", "Cologne"];
 
-/// A random movie/screening database. Row counts, index placement and
-/// value skew all depend on the seed.
+/// A random movie/screening/review database. Row counts, index placement
+/// and value skew all depend on the seed. `review` references both
+/// `movie` (star-shaped second join) and `screening` (chain-shaped).
 fn random_db(rng: &mut StdRng) -> Database {
     let mut db = Database::new();
     db.create_table(
@@ -48,6 +58,19 @@ fn random_db(rng: &mut StdRng) -> Database {
             .unwrap(),
     )
     .unwrap();
+    db.create_table(
+        TableSchema::builder("review")
+            .column("review_id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("screening_id", DataType::Int)
+            .column("stars", DataType::Int)
+            .primary_key(&["review_id"])
+            .foreign_key("movie_id", "movie", "movie_id")
+            .foreign_key("screening_id", "screening", "screening_id")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
 
     let n_movies = rng.random_range(1..=40i64);
     for i in 0..n_movies {
@@ -58,6 +81,10 @@ fn random_db(rng: &mut StdRng) -> Database {
         };
         let rating = if rng.random_bool(0.2) {
             Value::Null
+        } else if rng.random_bool(0.05) {
+            // NaN cells: the range-probe NaN reconciliation and the
+            // OrdKey total order must agree with predicate evaluation.
+            Value::Float(f64::NAN)
         } else {
             Value::Float(rng.random_range(10..=100) as f64 / 10.0)
         };
@@ -91,6 +118,23 @@ fn random_db(rng: &mut StdRng) -> Database {
         )
         .unwrap();
     }
+    // Reviews: sometimes fewer than movies (so the review join shrinks
+    // the stream and the greedy reorder prefers it), sometimes more.
+    if n_screenings > 0 {
+        let n_reviews = rng.random_range(0..=30i64);
+        for i in 0..n_reviews {
+            db.insert(
+                "review",
+                row![
+                    i,
+                    rng.random_range(0..n_movies),
+                    rng.random_range(0..n_screenings),
+                    rng.random_range(1..=10i64)
+                ],
+            )
+            .unwrap();
+        }
+    }
     // Random index placement: the planner must behave identically with
     // any subset of indexes available.
     {
@@ -111,11 +155,37 @@ fn random_db(rng: &mut StdRng) -> Database {
             .create_range_index("price")
             .unwrap();
     }
+    if rng.random_bool(0.4) {
+        db.table_mut("review")
+            .unwrap()
+            .create_index("stars")
+            .unwrap();
+    }
+    if rng.random_bool(0.3) {
+        db.table_mut("review")
+            .unwrap()
+            .create_range_index("stars")
+            .unwrap();
+    }
     db
 }
 
+/// How many joined tables a generated query has (0, 1 or 2 joins).
+#[derive(Clone, Copy, PartialEq)]
+enum JoinShape {
+    None,
+    Screening,
+    /// movie JOIN screening JOIN review — the review join's ON side is
+    /// either movie (star) or screening (chain).
+    Three {
+        chain: bool,
+    },
+}
+
 /// A random WHERE conjunct/tree in SQL text form.
-fn random_predicate(rng: &mut StdRng, depth: usize, joined: bool) -> String {
+fn random_predicate(rng: &mut StdRng, depth: usize, shape: JoinShape) -> String {
+    let joined = shape != JoinShape::None;
+    let three = matches!(shape, JoinShape::Three { .. });
     let leaf = |rng: &mut StdRng| -> String {
         // Mostly-qualified columns when a join is present, but sometimes
         // the ambiguous unqualified `movie_id` or an unknown column: both
@@ -127,7 +197,16 @@ fn random_predicate(rng: &mut StdRng, depth: usize, joined: bool) -> String {
         if rng.random_bool(0.03) {
             return "no_such_column = 1".to_string();
         }
-        let cols: &[(&str, u8)] = if joined {
+        let cols: &[(&str, u8)] = if three {
+            &[
+                ("movie.genre", 0),
+                ("movie.rating", 1),
+                ("movie.year", 2),
+                ("screening.city", 3),
+                ("screening.price", 1),
+                ("review.stars", 5),
+            ]
+        } else if joined {
             &[
                 ("movie.genre", 0),
                 ("movie.rating", 1),
@@ -162,6 +241,7 @@ fn random_predicate(rng: &mut StdRng, depth: usize, joined: bool) -> String {
             1 => format!("{col} {op} {}", rng.random_range(10..=200i64) as f64 / 10.0),
             2 => format!("{col} {op} {}", rng.random_range(-5..=2025i64)),
             3 => format!("{col} = '{}'", CITIES.choose(rng).unwrap()),
+            5 => format!("{col} {op} {}", rng.random_range(0..=11i64)),
             _ => format!("{col} = 'M{}'", rng.random_range(0..25i64)),
         }
     };
@@ -171,21 +251,86 @@ fn random_predicate(rng: &mut StdRng, depth: usize, joined: bool) -> String {
     match rng.random_range(0..3u8) {
         0 => format!(
             "({} AND {})",
-            random_predicate(rng, depth - 1, joined),
-            random_predicate(rng, depth - 1, joined)
+            random_predicate(rng, depth - 1, shape),
+            random_predicate(rng, depth - 1, shape)
         ),
         1 => format!(
             "({} OR {})",
-            random_predicate(rng, depth - 1, joined),
-            random_predicate(rng, depth - 1, joined)
+            random_predicate(rng, depth - 1, shape),
+            random_predicate(rng, depth - 1, shape)
         ),
-        _ => format!("NOT ({})", random_predicate(rng, depth - 1, joined)),
+        _ => format!("NOT ({})", random_predicate(rng, depth - 1, shape)),
     }
 }
 
-/// A random SELECT over the movie/screening schema.
+/// A multi-conjunct WHERE over (mostly) indexable base columns: 2–4
+/// sargable leaves ANDed flat, the shape the multi-index AND planner
+/// consumes. Qualified when a join is present.
+fn multi_conjunct_predicate(rng: &mut StdRng, shape: JoinShape) -> String {
+    let joined = shape != JoinShape::None;
+    let q = |c: &str| {
+        if joined {
+            format!("movie.{c}")
+        } else {
+            c.to_string()
+        }
+    };
+    let mut leaves: Vec<String> = Vec::new();
+    let n = rng.random_range(2..=4usize);
+    for _ in 0..n {
+        let leaf = match rng.random_range(0..5u8) {
+            0 => format!("{} = '{}'", q("genre"), GENRES.choose(rng).unwrap()),
+            1 => format!(
+                "{} {} {}",
+                q("rating"),
+                [">", ">=", "<", "<="].choose(rng).unwrap(),
+                rng.random_range(10..=100) as f64 / 10.0
+            ),
+            2 => format!(
+                "{} {} {}",
+                q("year"),
+                [">", ">=", "<", "<=", "="].choose(rng).unwrap(),
+                rng.random_range(1950..=2022i64)
+            ),
+            3 => format!("{} = {}", q("movie_id"), rng.random_range(0..40i64)),
+            _ => {
+                if matches!(shape, JoinShape::Three { .. }) {
+                    format!("review.stars >= {}", rng.random_range(1..=10i64))
+                } else {
+                    format!("{} = '{}'", q("genre"), GENRES.choose(rng).unwrap())
+                }
+            }
+        };
+        leaves.push(leaf);
+    }
+    leaves.join(" AND ")
+}
+
+fn join_clause(shape: JoinShape) -> &'static str {
+    match shape {
+        JoinShape::None => "",
+        JoinShape::Screening => " JOIN screening ON screening.movie_id = movie.movie_id",
+        JoinShape::Three { chain: false } => {
+            " JOIN screening ON screening.movie_id = movie.movie_id \
+             JOIN review ON review.movie_id = movie.movie_id"
+        }
+        JoinShape::Three { chain: true } => {
+            " JOIN screening ON screening.movie_id = movie.movie_id \
+             JOIN review ON review.screening_id = screening.screening_id"
+        }
+    }
+}
+
+/// A random SELECT over the movie/screening/review schema.
 fn random_select(rng: &mut StdRng) -> String {
-    let joined = rng.random_bool(0.35);
+    let shape = match rng.random_range(0..10u8) {
+        0..=4 => JoinShape::None,
+        5..=6 => JoinShape::Screening,
+        7..=8 => JoinShape::Three { chain: false },
+        _ => JoinShape::Three { chain: true },
+    };
+    let joined = shape != JoinShape::None;
+    let three = matches!(shape, JoinShape::Three { .. });
     let mut sql = String::new();
     let aggregate = rng.random_bool(0.3);
     if aggregate {
@@ -194,7 +339,15 @@ fn random_select(rng: &mut StdRng) -> String {
         } else {
             None
         };
-        let aggs: &[&str] = if joined {
+        let aggs: &[&str] = if three {
+            &[
+                "count(*)",
+                "min(screening.price)",
+                "sum(review.stars)",
+                "max(review.stars)",
+                "avg(movie.rating)",
+            ]
+        } else if joined {
             &[
                 "count(*)",
                 "min(screening.price)",
@@ -220,11 +373,14 @@ fn random_select(rng: &mut StdRng) -> String {
             items.push(aggs.choose(rng).unwrap().to_string());
         }
         sql.push_str(&format!("SELECT {} FROM movie", items.join(", ")));
-        if joined {
-            sql.push_str(" JOIN screening ON screening.movie_id = movie.movie_id");
-        }
+        sql.push_str(join_clause(shape));
         if rng.random_bool(0.7) {
-            sql.push_str(&format!(" WHERE {}", random_predicate(rng, 2, joined)));
+            let pred = if rng.random_bool(0.35) {
+                multi_conjunct_predicate(rng, shape)
+            } else {
+                random_predicate(rng, 2, shape)
+            };
+            sql.push_str(&format!(" WHERE {pred}"));
         }
         if let Some(g) = group_col {
             sql.push_str(&format!(" GROUP BY {g}"));
@@ -236,7 +392,12 @@ fn random_select(rng: &mut StdRng) -> String {
             }
         }
     } else {
-        let projection = if joined {
+        let projection = if three {
+            ["*", "movie.title, screening.city, review.stars"]
+                .choose(rng)
+                .unwrap()
+                .to_string()
+        } else if joined {
             ["*", "movie.title, screening.city, screening.price"]
                 .choose(rng)
                 .unwrap()
@@ -248,14 +409,21 @@ fn random_select(rng: &mut StdRng) -> String {
                 .to_string()
         };
         sql.push_str(&format!("SELECT {projection} FROM movie"));
-        if joined {
-            sql.push_str(" JOIN screening ON screening.movie_id = movie.movie_id");
-        }
+        sql.push_str(join_clause(shape));
         if rng.random_bool(0.8) {
-            sql.push_str(&format!(" WHERE {}", random_predicate(rng, 2, joined)));
+            let pred = if rng.random_bool(0.35) {
+                multi_conjunct_predicate(rng, shape)
+            } else {
+                random_predicate(rng, 2, shape)
+            };
+            sql.push_str(&format!(" WHERE {pred}"));
         }
         if rng.random_bool(0.6) {
-            let col = if joined {
+            let col = if three {
+                ["movie.rating", "screening.price", "review.stars"]
+                    .choose(rng)
+                    .unwrap()
+            } else if joined {
                 ["movie.rating", "screening.price", "movie.year"]
                     .choose(rng)
                     .unwrap()
@@ -274,34 +442,50 @@ fn random_select(rng: &mut StdRng) -> String {
     sql
 }
 
+/// Run `sql` through the reference executor, the full planner and the
+/// PR 1 planner shape; all three must agree (results and error-ness).
+fn check_three_way(db: &mut Database, sql: &str, context: &str) -> bool {
+    let stmt = parse_statement(sql)
+        .unwrap_or_else(|e| panic!("generator produced unparsable SQL `{sql}`: {e}"));
+    let Statement::Select(sel) = stmt else {
+        unreachable!()
+    };
+    let reference = execute_select_reference(db, &sel);
+    let single = execute_select_with(db, &sel, &PlanOptions::single_access_path());
+    let planned = execute(db, sql).map(|r| r.rows().unwrap().clone());
+    match (planned, single, reference) {
+        (Ok(p), Ok(s), Ok(r)) => {
+            assert_eq!(p, r, "{context}, query `{sql}` (full planner)");
+            assert_eq!(s, r, "{context}, query `{sql}` (single-access-path planner)");
+            true
+        }
+        (Err(_), Err(_), Err(_)) => {
+            // All paths reject (e.g. aggregate over text): fine.
+            false
+        }
+        (p, s, r) => panic!(
+            "{context}, query `{sql}`: paths disagree on error — planned {:?}, single {:?}, reference {:?}",
+            p.map(|_| "ok").map_err(|e| e.to_string()),
+            s.map(|_| "ok").map_err(|e| e.to_string()),
+            r.map(|_| "ok").map_err(|e| e.to_string()),
+        ),
+    }
+}
+
 #[test]
 fn planned_and_reference_executors_agree_on_generated_queries() {
     let mut checked = 0usize;
+    let mut three_table = 0usize;
     for seed in 0..40u64 {
         let mut rng = StdRng::seed_from_u64(0xD1FF + seed);
         let mut db = random_db(&mut rng);
         for _ in 0..50 {
             let sql = random_select(&mut rng);
-            let stmt = parse_statement(&sql)
-                .unwrap_or_else(|e| panic!("generator produced unparsable SQL `{sql}`: {e}"));
-            let Statement::Select(sel) = stmt else {
-                unreachable!()
-            };
-            let reference = execute_select_reference(&db, &sel);
-            let planned = execute(&mut db, &sql).map(|r| r.rows().unwrap().clone());
-            match (planned, reference) {
-                (Ok(p), Ok(r)) => {
-                    assert_eq!(p, r, "seed {seed}, query `{sql}`");
-                    checked += 1;
-                }
-                (Err(_), Err(_)) => {
-                    // Both paths reject (e.g. aggregate over text): fine.
-                }
-                (p, r) => panic!(
-                    "seed {seed}, query `{sql}`: one path errored — planned {:?}, reference {:?}",
-                    p.map(|_| "ok").map_err(|e| e.to_string()),
-                    r.map(|_| "ok").map_err(|e| e.to_string()),
-                ),
+            if sql.contains("JOIN review") {
+                three_table += 1;
+            }
+            if check_three_way(&mut db, &sql, &format!("seed {seed}")) {
+                checked += 1;
             }
         }
     }
@@ -309,10 +493,16 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
         checked > 1500,
         "only {checked} queries compared — generator degenerated"
     );
+    assert!(
+        three_table > 200,
+        "only {three_table} three-table joins generated — generator degenerated"
+    );
 }
 
-/// Mutating between queries must invalidate cached statistics and keep the
-/// paths agreeing (guards the version-check in the stats cache).
+/// Mutating between queries must keep the paths agreeing even while the
+/// statistics cache serves bounded-stale stats (guards both the version
+/// check and the staleness bound: plans may be priced wrong, results may
+/// not).
 #[test]
 fn agreement_survives_interleaved_writes() {
     let mut rng = StdRng::seed_from_u64(0xBEEF);
@@ -333,19 +523,6 @@ fn agreement_survives_interleaved_writes() {
             .unwrap();
         }
         let sql = random_select(&mut rng);
-        let Statement::Select(sel) = parse_statement(&sql).unwrap() else {
-            unreachable!()
-        };
-        let reference = execute_select_reference(&db, &sel);
-        let planned = execute(&mut db, &sql).map(|r| r.rows().unwrap().clone());
-        match (planned, reference) {
-            (Ok(p), Ok(r)) => assert_eq!(p, r, "query `{sql}`"),
-            (Err(_), Err(_)) => {}
-            (p, r) => panic!(
-                "query `{sql}`: one path errored — planned {:?}, reference {:?}",
-                p.map(|_| "ok").map_err(|e| e.to_string()),
-                r.map(|_| "ok").map_err(|e| e.to_string()),
-            ),
-        }
+        check_three_way(&mut db, &sql, "interleaved");
     }
 }

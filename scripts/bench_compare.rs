@@ -1,0 +1,173 @@
+//! Bench-regression gate: diff a fresh `BENCH_PR<n>.json` against a
+//! committed baseline and fail on regressions.
+//!
+//! Standalone — compile with plain rustc (no cargo, no dependencies):
+//!
+//! ```sh
+//! rustc --edition 2021 -O scripts/bench_compare.rs -o /tmp/bench_compare
+//! /tmp/bench_compare BENCH_PR1.json BENCH_PR2.json
+//! ```
+//!
+//! Raw medians are not comparable across machines (the committed baseline
+//! was produced on a developer box, the candidate on a CI runner), so the
+//! gate compares the *machine-normalized* median of each benchmark group:
+//! `after_median_ns / before_median_ns` — the planned path's median
+//! relative to the naive/previous-generation baseline measured *in the
+//! same run on the same machine*. A group regresses when its normalized
+//! median grows by more than the threshold (default 25%) over the
+//! baseline file's normalized median. Groups present in only one file are
+//! reported but not gated; zero shared groups is itself a failure (a
+//! rename must update the baseline deliberately, not silently disable
+//! the gate).
+//!
+//! Known blind spot of the normalized metric: a change that slows (or
+//! speeds up) the *before* reference path shifts the denominator and can
+//! mask — or falsely flag — a change in the planned path. PRs that touch
+//! the reference executor should re-baseline (commit a fresh
+//! `BENCH_PR<n>.json` from the same machine as the previous one, or run
+//! with `--absolute` locally) rather than trust the ratio alone.
+//!
+//! Pass `--max-regression-pct <n>` to change the threshold, `--absolute`
+//! to additionally gate the raw `after_median_ns` (only meaningful when
+//! both files come from the same machine).
+
+use std::process::ExitCode;
+
+/// One benchmark record: (name, before_median_ns, after_median_ns).
+type Record = (String, f64, f64);
+
+/// Extract the `results` records from the bench JSON. The writer emits
+/// one object per line with a fixed key order, so a tolerant scan for the
+/// three known keys is enough — no JSON dependency needed.
+fn parse_records(text: &str, path: &str) -> Vec<Record> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "\"name\"") else {
+            continue;
+        };
+        let before = field_num(line, "\"before_median_ns\"");
+        let after = field_num(line, "\"after_median_ns\"");
+        match (before, after) {
+            (Some(b), Some(a)) => out.push((name, b, a)),
+            _ => eprintln!("warning: {path}: malformed result line skipped: {line}"),
+        }
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn load(path: &str) -> Result<Vec<Record>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let records = parse_records(&text, path);
+    if records.is_empty() {
+        return Err(format!("{path}: no benchmark records found"));
+    }
+    Ok(records)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut files: Vec<String> = Vec::new();
+    let mut max_regression_pct = 25.0f64;
+    let mut absolute = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-regression-pct" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_regression_pct = v,
+                None => {
+                    eprintln!("--max-regression-pct needs a numeric argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--absolute" => absolute = true,
+            other => files.push(other.to_string()),
+        }
+    }
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        eprintln!("usage: bench_compare [--max-regression-pct N] [--absolute] <baseline.json> <candidate.json>");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let allowed = 1.0 + max_regression_pct / 100.0;
+    let mut shared = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    println!(
+        "{:<32} {:>14} {:>14} {:>9}  verdict",
+        "benchmark", "base norm", "cand norm", "ratio"
+    );
+    for (name, b_before, b_after) in &baseline {
+        let Some((_, c_before, c_after)) = candidate.iter().find(|(n, _, _)| n == name) else {
+            println!("{name:<32} {:>14} {:>14} {:>9}  baseline-only (not gated)", "-", "-", "-");
+            continue;
+        };
+        if *b_before <= 0.0 || *c_before <= 0.0 || *b_after <= 0.0 || *c_after <= 0.0 {
+            println!("{name:<32} {:>14} {:>14} {:>9}  degenerate medians (not gated)", "-", "-", "-");
+            continue;
+        }
+        shared += 1;
+        let base_norm = b_after / b_before;
+        let cand_norm = c_after / c_before;
+        let ratio = cand_norm / base_norm;
+        let mut verdict = if ratio > allowed { "REGRESSED" } else { "ok" };
+        if absolute && *c_after > b_after * allowed {
+            verdict = "REGRESSED";
+        }
+        println!(
+            "{name:<32} {base_norm:>14.6} {cand_norm:>14.6} {ratio:>8.2}x  {verdict}"
+        );
+        if verdict == "REGRESSED" {
+            failures.push(format!(
+                "{name}: normalized median {cand_norm:.6} vs baseline {base_norm:.6} \
+                 ({:.1}% worse, allowed {max_regression_pct:.1}%)",
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    for (name, _, _) in &candidate {
+        if !baseline.iter().any(|(n, _, _)| n == name) {
+            println!("{name:<32} {:>14} {:>14} {:>9}  candidate-only (new, not gated)", "-", "-", "-");
+        }
+    }
+    if shared == 0 {
+        eprintln!(
+            "error: no benchmark groups shared between {baseline_path} and {candidate_path} — \
+             the gate would be vacuous; update the baseline deliberately"
+        );
+        return ExitCode::FAILURE;
+    }
+    if failures.is_empty() {
+        println!("\nbench gate passed: {shared} shared group(s) within {max_regression_pct:.0}% of baseline");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbench gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
