@@ -50,7 +50,12 @@ fn bench_txdb(c: &mut Criterion) {
     let db = setup_table(100_000);
     group.bench_function("indexed_lookup_100k", |b| {
         b.iter(|| {
-            black_box(db.table("t").unwrap().lookup("bucket", &Value::Int(7)));
+            black_box(
+                db.table("t")
+                    .unwrap()
+                    .lookup("bucket", &Value::Int(7))
+                    .unwrap(),
+            );
         });
     });
     group.bench_function("predicate_scan_100k", |b| {

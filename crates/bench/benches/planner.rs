@@ -1,18 +1,22 @@
-//! P1/P2 — planner/executor hot paths: indexed point lookups, indexed
+//! P1/P2/P3 — planner/executor hot paths: indexed point lookups, indexed
 //! range scans, bounded top-k ORDER BY + LIMIT, `CandidateSet::refine`
-//! over the cinema corpus (all tracked since PR 1), plus the PR 2
-//! optimizer levers — multi-index AND intersection and cardinality-greedy
-//! three-table join ordering with staged predicate pushdown.
+//! over the cinema corpus (all tracked since PR 1), the PR 2 optimizer
+//! levers — multi-index AND intersection and cardinality-greedy
+//! three-table join ordering with staged predicate pushdown — and the
+//! PR 3 join-execution layer (build-side hash join and merge join over
+//! ordered indexes for unindexed join columns).
 //!
 //! The PR 1 groups measure *before* (naive reference executor / forward
 //! path walk) against *after* (planned executor); the PR 2 groups measure
 //! the PR 1 planner shape (`PlanOptions::single_access_path()`: one
 //! access path, FROM-order joins, post-join filtering) against the full
-//! planner on identical executor code. Medians and speedups land in
-//! `BENCH_PR2.json` at the workspace root; CI diffs the shared group
-//! names against the committed `BENCH_PR1.json` baseline
-//! (`scripts/bench_compare.rs`) and fails on >25% regressions of the
-//! machine-normalized medians.
+//! planner on identical executor code; the PR 3 groups measure the PR 2
+//! shape (`PlanOptions::per_key_joins()`: unindexed join columns degrade
+//! to a right-table scan *per outer tuple*) against the join-strategy
+//! planner. Medians and speedups land in `BENCH_PR3.json` at the
+//! workspace root; CI diffs the shared group names against the committed
+//! baselines (`scripts/bench_compare.rs`) and fails on >25% regressions
+//! of the machine-normalized medians.
 //!
 //! Run with: `cargo bench -p cat-bench --bench planner`
 
@@ -23,7 +27,8 @@ use criterion::{Criterion, Measurement};
 use cat_corpus::{generate_cinema, CinemaConfig};
 use cat_policy::{Attribute, CandidateSet};
 use cat_txdb::sql::{
-    execute, execute_select_reference, execute_select_with, parse_statement, PlanOptions, Statement,
+    execute, execute_select_reference, execute_select_with, parse_statement, plan_select,
+    JoinStrategy, PlanOptions, Statement,
 };
 use cat_txdb::{row, DataType, Database, TableSchema, Value};
 
@@ -265,6 +270,123 @@ fn awards_db(movies: usize, fanout: usize) -> Database {
     db
 }
 
+/// Like [`run_pr1_vs_pr2`], but comparing the PR 2 per-key join fallback
+/// against the PR 3 join-strategy planner, asserting the after-plan uses
+/// `expect_strategy` somewhere. `samples` is small for the quadratic
+/// before path (the shim still auto-calibrates iterations per sample).
+fn run_per_key_vs_strategies(
+    c: &mut Criterion,
+    group: &str,
+    db: &mut Database,
+    sql: &str,
+    expect_strategy: JoinStrategy,
+    samples: usize,
+) {
+    let Statement::Select(sel) = parse_statement(sql).expect("parse") else {
+        panic!("not a select")
+    };
+    let per_key = PlanOptions::per_key_joins();
+    let plan = plan_select(db, &sel).expect("plan");
+    assert!(
+        plan.join_order
+            .iter()
+            .any(|j| j.strategy == expect_strategy),
+        "expected {expect_strategy:?} in plan, got {}",
+        plan.describe()
+    );
+    // Sanity: all three paths agree before we time them.
+    let reference = execute_select_reference(db, &sel).expect("reference");
+    let fallback = execute_select_with(db, &sel, &per_key).expect("per-key");
+    let planned = execute(db, sql).expect("planned");
+    assert_eq!(
+        planned.rows().expect("rows"),
+        &reference,
+        "paths disagree on {sql}"
+    );
+    assert_eq!(&fallback, &reference, "per-key shape disagrees on {sql}");
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(samples);
+    g.bench_function("before_per_key_fallback", |b| {
+        b.iter(|| execute_select_with(db, &sel, &per_key).expect("per-key"))
+    });
+    g.finish();
+    let mut g = c.benchmark_group(group);
+    g.sample_size(40);
+    g.bench_function("after_join_strategy", |b| {
+        b.iter(|| execute(db, sql).expect("planned"))
+    });
+    g.finish();
+}
+
+/// Two ~10k-row tables joined on a column with no index at all: the PR 2
+/// fallback scans the right table once per outer tuple (O(n²) row
+/// touches); the join-execution layer builds one hash map and probes it.
+fn bench_join_unindexed_hash(c: &mut Criterion) {
+    let mut db = Database::new();
+    for t in ["lt", "rt"] {
+        db.create_table(
+            TableSchema::builder(t)
+                .column("id", DataType::Int)
+                .column("k", DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .expect("schema"),
+        )
+        .expect("create");
+    }
+    for i in 0..10_000i64 {
+        db.insert("lt", row![i, i]).expect("insert");
+        db.insert("rt", row![i, i]).expect("insert");
+    }
+    run_per_key_vs_strategies(
+        c,
+        "join_unindexed_hash_10k",
+        &mut db,
+        "SELECT lt.id, rt.id FROM lt JOIN rt ON rt.k = lt.k",
+        JoinStrategy::BuildHash,
+        10,
+    );
+}
+
+/// A selective outer stream (indexed point band on the base) against a
+/// 10k-row right side where both join columns carry ordered indexes and
+/// neither a hash index: the planner merges instead of building.
+fn bench_join_merge_range(c: &mut Criterion) {
+    let mut db = Database::new();
+    for t in ["lt", "rt"] {
+        db.create_table(
+            TableSchema::builder(t)
+                .column("id", DataType::Int)
+                .column("k", DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .expect("schema"),
+        )
+        .expect("create");
+        let tab = db.table_mut(t).unwrap();
+        tab.create_range_index("k").unwrap();
+    }
+    // Ordered index on the base PK so the id band is an index probe — a
+    // ~1% outer stream, the regime where the merge beats the hash build.
+    db.table_mut("lt")
+        .unwrap()
+        .create_range_index("id")
+        .unwrap();
+    for i in 0..10_000i64 {
+        db.insert("lt", row![i, i % 2000]).expect("insert");
+        db.insert("rt", row![i, i % 2000]).expect("insert");
+    }
+    run_per_key_vs_strategies(
+        c,
+        "join_merge_range_10k",
+        &mut db,
+        "SELECT lt.id, rt.id FROM lt JOIN rt ON rt.k = lt.k WHERE lt.id >= 4000 AND lt.id < 4100",
+        JoinStrategy::MergeRange,
+        10,
+    );
+}
+
 fn bench_join3(c: &mut Criterion) {
     let mut db = awards_db(5_000, 10);
     run_pr1_vs_pr2(
@@ -359,9 +481,9 @@ fn bench_refine(c: &mut Criterion) {
     }
 }
 
-/// Write `BENCH_PR2.json`: one record per benchmark group with the
+/// Write `BENCH_PR3.json`: one record per benchmark group with the
 /// before/after medians (ns) and the speedup factor. Groups shared with
-/// the committed `BENCH_PR1.json` baseline feed the CI regression gate.
+/// the committed baselines feed the CI regression gate.
 fn write_report(measurements: &[Measurement]) {
     let mut pairs: Vec<(String, f64, f64)> = Vec::new();
     for m in measurements {
@@ -382,11 +504,11 @@ fn write_report(measurements: &[Measurement]) {
             pairs.push((group.to_string(), before, after));
         }
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
-    let mut f = std::fs::File::create(path).expect("create BENCH_PR2.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_PR3.json");
     writeln!(
         f,
-        "{{\n  \"pr\": 2,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
+        "{{\n  \"pr\": 3,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
     )
     .unwrap();
     for (i, (group, before, after)) in pairs.iter().enumerate() {
@@ -416,6 +538,8 @@ fn main() {
     bench_top_k(&mut c);
     bench_multi_index_and(&mut c);
     bench_join3(&mut c);
+    bench_join_unindexed_hash(&mut c);
+    bench_join_merge_range(&mut c);
     bench_refine(&mut c);
     write_report(c.measurements());
 }

@@ -485,6 +485,7 @@ mod tests {
                 .table("movie")
                 .unwrap()
                 .lookup("movie_id", &movie_id)
+                .unwrap()
                 .is_empty());
         }
         for (_, row) in db.table("reservation").unwrap().scan() {
@@ -494,11 +495,13 @@ mod tests {
                 .table("customer")
                 .unwrap()
                 .lookup("customer_id", &c)
+                .unwrap()
                 .is_empty());
             assert!(!db
                 .table("screening")
                 .unwrap()
                 .lookup("screening_id", &s)
+                .unwrap()
                 .is_empty());
         }
     }

@@ -326,6 +326,7 @@ mod tests {
                 .table("hotel")
                 .unwrap()
                 .lookup("hotel_id", row.get(1).unwrap())
+                .unwrap()
                 .is_empty());
         }
         for (_, row) in db.table("booking").unwrap().scan() {
@@ -333,11 +334,13 @@ mod tests {
                 .table("guest")
                 .unwrap()
                 .lookup("guest_id", row.get(0).unwrap())
+                .unwrap()
                 .is_empty());
             assert!(!db
                 .table("room")
                 .unwrap()
                 .lookup("room_id", row.get(1).unwrap())
+                .unwrap()
                 .is_empty());
         }
     }

@@ -30,15 +30,15 @@ proptest! {
         prop_assert_eq!(db.table("movie").unwrap().len(), movies);
         for (_, row) in db.table("screening").unwrap().scan() {
             let m = row.get(1).unwrap();
-            prop_assert!(!db.table("movie").unwrap().lookup("movie_id", m).is_empty());
+            prop_assert!(!db.table("movie").unwrap().lookup("movie_id", m).unwrap().is_empty());
         }
         for (_, row) in db.table("movie_actor").unwrap().scan() {
-            prop_assert!(!db.table("movie").unwrap().lookup("movie_id", row.get(0).unwrap()).is_empty());
-            prop_assert!(!db.table("actor").unwrap().lookup("actor_id", row.get(1).unwrap()).is_empty());
+            prop_assert!(!db.table("movie").unwrap().lookup("movie_id", row.get(0).unwrap()).unwrap().is_empty());
+            prop_assert!(!db.table("actor").unwrap().lookup("actor_id", row.get(1).unwrap()).unwrap().is_empty());
         }
         for (_, row) in db.table("reservation").unwrap().scan() {
-            prop_assert!(!db.table("customer").unwrap().lookup("customer_id", row.get(0).unwrap()).is_empty());
-            prop_assert!(!db.table("screening").unwrap().lookup("screening_id", row.get(1).unwrap()).is_empty());
+            prop_assert!(!db.table("customer").unwrap().lookup("customer_id", row.get(0).unwrap()).unwrap().is_empty());
+            prop_assert!(!db.table("screening").unwrap().lookup("screening_id", row.get(1).unwrap()).unwrap().is_empty());
         }
     }
 
@@ -54,9 +54,9 @@ proptest! {
         })
         .expect("generate");
         for (_, row) in db.table("flight").unwrap().scan() {
-            prop_assert!(!db.table("airline").unwrap().lookup("airline_id", row.get(1).unwrap()).is_empty());
-            prop_assert!(!db.table("airport").unwrap().lookup("airport_id", row.get(2).unwrap()).is_empty());
-            prop_assert!(!db.table("airport").unwrap().lookup("airport_id", row.get(3).unwrap()).is_empty());
+            prop_assert!(!db.table("airline").unwrap().lookup("airline_id", row.get(1).unwrap()).unwrap().is_empty());
+            prop_assert!(!db.table("airport").unwrap().lookup("airport_id", row.get(2).unwrap()).unwrap().is_empty());
+            prop_assert!(!db.table("airport").unwrap().lookup("airport_id", row.get(3).unwrap()).unwrap().is_empty());
             prop_assert_ne!(row.get(2), row.get(3), "self-loop route");
             prop_assert!(row.get(6).unwrap().as_float().unwrap() > 0.0);
         }

@@ -88,7 +88,7 @@ impl CandidateSet {
         let target = db.table(&attr.table)?;
         if target.has_index(&attr.column) {
             // Rows of the attribute table exhibiting the value.
-            let mut frontier = target.lookup(&attr.column, value);
+            let mut frontier = target.lookup(&attr.column, value)?;
             // Walk the join path in reverse back to the entity table; a
             // candidate matches iff it can reach any row in the frontier,
             // which (FK edges being symmetric equalities) is exactly

@@ -162,7 +162,10 @@ pub fn follow_hop(db: &Database, hop: &JoinHop, from_rid: RowId) -> Vec<RowId> {
         return Vec::new();
     }
     match db.table(&hop.to_table) {
-        Ok(to_t) => to_t.lookup(&hop.to_column, &key),
+        // Deliberately lenient, like the missing-table/-row arms above:
+        // hop traversal treats a stale column as unreachable rather than
+        // an error (callers probe speculative catalog paths).
+        Ok(to_t) => to_t.lookup(&hop.to_column, &key).unwrap_or_default(),
         Err(_) => Vec::new(),
     }
 }

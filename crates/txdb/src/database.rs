@@ -319,7 +319,7 @@ impl Database {
         if let Some(fk) = schema.foreign_key_on(column).cloned() {
             if !value.is_null() {
                 let parent = self.table(&fk.ref_table)?;
-                if parent.lookup(&fk.ref_column, &value).is_empty() {
+                if parent.lookup(&fk.ref_column, &value)?.is_empty() {
                     return Err(TxdbError::ForeignKeyViolation {
                         table: table.to_string(),
                         detail: format!("{column}={value} has no parent in {}", fk.ref_table),
@@ -387,7 +387,7 @@ impl Database {
                 continue;
             }
             let parent = self.table(&fk.ref_table)?;
-            if parent.lookup(&fk.ref_column, &v).is_empty() {
+            if parent.lookup(&fk.ref_column, &v)?.is_empty() {
                 return Err(TxdbError::ForeignKeyViolation {
                     table: table.to_string(),
                     detail: format!(
@@ -412,7 +412,7 @@ impl Database {
                 if key.is_null() {
                     continue;
                 }
-                if !child.lookup(&fk.column, &key).is_empty() {
+                if !child.lookup(&fk.column, &key)?.is_empty() {
                     return Err(TxdbError::ForeignKeyViolation {
                         table: table.to_string(),
                         detail: format!(
@@ -440,7 +440,7 @@ impl Database {
             for fk in child.schema().foreign_keys() {
                 if fk.ref_table == table
                     && fk.ref_column == column
-                    && !child.lookup(&fk.column, key).is_empty()
+                    && !child.lookup(&fk.column, key)?.is_empty()
                 {
                     return Ok(true);
                 }

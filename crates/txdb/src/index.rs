@@ -75,6 +75,10 @@ impl Ord for OrdKey {
 }
 
 /// An ordered index: sorted map from value to the row ids holding it.
+///
+/// Buckets are maintained in ascending-RowId order (like the hash-index
+/// buckets in [`crate::table`]), so the merge-join path can borrow them
+/// as the canonical per-key stream order without sorting.
 #[derive(Debug, Clone, Default)]
 pub struct RangeIndex {
     map: BTreeMap<OrdKey, Vec<RowId>>,
@@ -85,12 +89,21 @@ impl RangeIndex {
         RangeIndex::default()
     }
 
-    /// Register a row's value (NULLs are never indexed).
+    /// Register a row's value (NULLs are never indexed). Monotonic RowId
+    /// allocation makes the append fast path the common case; only
+    /// rollback re-inserts and key updates pay the binary search.
     pub fn insert(&mut self, value: Value, rid: RowId) {
         if value.is_null() {
             return;
         }
-        self.map.entry(OrdKey(value)).or_default().push(rid);
+        let bucket = self.map.entry(OrdKey(value)).or_default();
+        match bucket.last() {
+            Some(&last) if last >= rid => {
+                let pos = bucket.binary_search(&rid).unwrap_or_else(|p| p);
+                bucket.insert(pos, rid);
+            }
+            _ => bucket.push(rid),
+        }
     }
 
     /// Remove a row's value.
@@ -149,6 +162,13 @@ impl RangeIndex {
     /// Number of distinct values.
     pub fn distinct(&self) -> usize {
         self.map.len()
+    }
+
+    /// Iterate `(value, row ids)` entries in ascending key order. Buckets
+    /// are ascending RowIds — the canonical per-key stream order the
+    /// executors share — so the merge join walks this directly.
+    pub fn entries(&self) -> impl Iterator<Item = (&Value, &[RowId])> + '_ {
+        self.map.iter().map(|(k, ids)| (&k.0, ids.as_slice()))
     }
 
     /// Smallest and largest indexed value.
@@ -287,6 +307,29 @@ mod tests {
                 Bound::Included(&Value::Float(2.0))
             ),
             vec![RowId(1), RowId(3)]
+        );
+    }
+
+    #[test]
+    fn entries_walk_key_order_with_sorted_buckets() {
+        let mut idx = RangeIndex::new();
+        // Out-of-order inserts for the same key: the bucket must come
+        // back ascending (merge joins borrow it as stream order).
+        idx.insert(Value::Int(5), RowId(9));
+        idx.insert(Value::Int(5), RowId(2));
+        idx.insert(Value::Int(3), RowId(4));
+        idx.insert(Value::Float(4.5), RowId(7));
+        let got: Vec<(String, Vec<RowId>)> = idx
+            .entries()
+            .map(|(v, ids)| (v.render(), ids.to_vec()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("3".to_string(), vec![RowId(4)]),
+                ("4.5".to_string(), vec![RowId(7)]),
+                ("5".to_string(), vec![RowId(2), RowId(9)]),
+            ]
         );
     }
 

@@ -34,9 +34,53 @@ use crate::value::{DataType, Value};
 
 use super::ast::{AggFunc, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
 use super::parser::parse_statement;
-use super::plan::{plan_select_with, Layout, PlanOptions};
+use super::plan::{plan_select_with, JoinStrategy, Layout, PlanOptions};
 
 const NULL_VALUE: Value = Value::Null;
+
+/// Whether a join key never matches — the single definition
+/// ([`Value::is_excluded_join_key`]) shared by every strategy's build
+/// and probe sides in both executors, so all generations agree.
+fn join_key_excluded(v: &Value) -> bool {
+    v.is_excluded_join_key()
+}
+
+/// Per-outer-tuple match buckets for a merge join: walk the right side's
+/// ordered-index entries once, in tandem with the outer keys sorted by
+/// the canonical value order. `keys[i]` is `None` when tuple `i`'s key
+/// never joins. The result is indexed by tuple position, so the caller
+/// emits in original stream order — canonical order is preserved without
+/// any re-sorting.
+fn merge_match_buckets<'t>(
+    right: &'t Table,
+    right_col: &str,
+    keys: &[Option<&Value>],
+) -> Vec<&'t [RowId]> {
+    const EMPTY: &[RowId] = &[];
+    let index = right
+        .range_index(right_col)
+        .expect("plan chose MergeRange only with an ordered index");
+    let entries: Vec<(&Value, &[RowId])> = index
+        .entries()
+        .filter(|(v, _)| !join_key_excluded(v))
+        .collect();
+    let mut matches: Vec<&[RowId]> = vec![EMPTY; keys.len()];
+    let mut order: Vec<usize> = (0..keys.len()).filter(|&i| keys[i].is_some()).collect();
+    order.sort_by(|&a, &b| {
+        OrdKey::cmp_values(keys[a].expect("filtered"), keys[b].expect("filtered"))
+    });
+    let mut e = 0usize;
+    for &ti in &order {
+        let k = keys[ti].expect("filtered");
+        while e < entries.len() && OrdKey::cmp_values(entries[e].0, k).is_lt() {
+            e += 1;
+        }
+        if e < entries.len() && OrdKey::cmp_values(entries[e].0, k).is_eq() {
+            matches[ti] = entries[e].1;
+        }
+    }
+    matches
+}
 
 /// Tabular result of a `SELECT`.
 #[derive(Debug, Clone, PartialEq)]
@@ -579,10 +623,11 @@ pub fn execute_select_with(
     }
 
     // Joins in planned execution order: the stream becomes flat tuples of
-    // `&Row` (stride grows by one per executed join). Index buckets are
-    // traversed in ascending-RowId order — the canonical order both
-    // executors share. After each join, the conjuncts staged at that
-    // level filter the stream before later joins multiply it.
+    // `&Row` (stride grows by one per executed join). Every strategy
+    // yields per-tuple buckets in ascending-RowId order and emits in
+    // outer stream order — the canonical order both executors share.
+    // After each join, the conjuncts staged at that level filter the
+    // stream before later joins multiply it.
     let mut stride = 1usize;
     for (step, pj) in plan.join_order.iter().enumerate() {
         let right = db.table(&pj.table)?;
@@ -591,22 +636,49 @@ pub fn execute_select_with(
         let count = tuples.len() / stride;
         let mut out: Vec<&Row> = Vec::new();
         let mut out_rids: Vec<RowId> = Vec::new();
+
+        // Strategy setup, once per join step. An empty outer stream skips
+        // the build entirely (nothing to probe with).
+        let build_map = match pj.strategy {
+            JoinStrategy::BuildHash if count > 0 => Some(right.join_map(&pj.right_col)?),
+            _ => None,
+        };
+        let merge_matches = if pj.strategy == JoinStrategy::MergeRange && count > 0 {
+            let keys: Vec<Option<&Value>> = (0..count)
+                .map(|ti| {
+                    let key = tuples[ti * stride + left_pos]
+                        .get(left_slot.col_idx)
+                        .unwrap_or(&NULL_VALUE);
+                    (!join_key_excluded(key)).then_some(key)
+                })
+                .collect();
+            Some(merge_match_buckets(right, &pj.right_col, &keys))
+        } else {
+            None
+        };
+
         for ti in 0..count {
             let t = &tuples[ti * stride..(ti + 1) * stride];
             let key = t[left_pos].get(left_slot.col_idx).unwrap_or(&NULL_VALUE);
-            if key.is_null() {
+            if join_key_excluded(key) {
                 continue;
             }
-            // Buckets are maintained in ascending-RowId order (the
-            // canonical stream order both executors share), so the
-            // indexed path borrows the bucket without cloning or
-            // sorting; the unindexed fallback scans in id order.
+            // All sources are in ascending-RowId order: hash-index and
+            // ordered-index buckets are maintained sorted, the build map
+            // fills in scan order, and the per-key scan fallback (kept
+            // for the strategy-less planner generations) walks id order.
             let scan_bucket;
-            let bucket: &[RowId] = match right.index_bucket(&pj.right_col, key) {
-                Some(b) => b,
-                None => {
-                    scan_bucket = right.lookup(&pj.right_col, key);
-                    &scan_bucket
+            let bucket: &[RowId] = if let Some(map) = &build_map {
+                map.get(key).map_or(&[][..], Vec::as_slice)
+            } else if let Some(matches) = &merge_matches {
+                matches[ti]
+            } else {
+                match right.index_bucket(&pj.right_col, key) {
+                    Some(b) => b,
+                    None => {
+                        scan_bucket = right.lookup(&pj.right_col, key)?;
+                        &scan_bucket
+                    }
                 }
             };
             for &rid in bucket {
@@ -938,24 +1010,29 @@ pub fn execute_select_reference(db: &Database, sel: &SelectStmt) -> Result<Resul
         let left_idx = layout.resolve_prefix(cur_ref, ji + 1)?;
         let right_idx = right.schema().require_column(&new_ref.column)?;
         let right_col_name = right.schema().columns()[right_idx].name.clone();
+        // Ascending-RowId bucket order: the canonical join order both
+        // executors share — it makes the nested-loop output the
+        // lexicographic order of FROM-order RowId tuples, which the
+        // planned path restores after reordering joins. Hash-index
+        // buckets are maintained sorted and borrowed in place; an
+        // unindexed join column gets a build-side map in one scan (same
+        // NULL/NaN key exclusion), never a scan per outer row.
+        let build_map = if right.has_index(&right_col_name) {
+            None
+        } else {
+            Some(right.join_map(&right_col_name)?)
+        };
         let mut out = Vec::new();
         for row in rows {
             let key = &row[left_idx];
-            if key.is_null() {
+            if join_key_excluded(key) {
                 continue;
             }
-            // Ascending-RowId bucket order: the canonical join order both
-            // executors share — it makes the nested-loop output the
-            // lexicographic order of FROM-order RowId tuples, which the
-            // planned path restores after reordering joins. Buckets are
-            // maintained sorted, so the indexed path borrows in place.
-            let scan_bucket;
-            let bucket: &[RowId] = match right.index_bucket(&right_col_name, key) {
-                Some(b) => b,
-                None => {
-                    scan_bucket = right.lookup(&right_col_name, key);
-                    &scan_bucket
-                }
+            let bucket: &[RowId] = match &build_map {
+                Some(map) => map.get(key).map_or(&[][..], Vec::as_slice),
+                None => right
+                    .index_bucket(&right_col_name, key)
+                    .expect("hash index presence checked above"),
             };
             for &rid in bucket {
                 let rrow = right.get(rid).expect("lookup returned live id");
@@ -1623,6 +1700,204 @@ mod tests {
             let reference = execute_select_reference(&db, &sel).unwrap();
             assert_eq!(planned, reference, "query: {q}");
         }
+    }
+
+    /// Assert planned (default options), PR 2 per-key shape and the
+    /// reference executor all agree on `q` — including row order.
+    fn assert_all_paths_agree(db: &Database, q: &str) -> ResultSet {
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let planned = execute_select(db, &sel).unwrap();
+        let per_key =
+            execute_select_with(db, &sel, &crate::sql::plan::PlanOptions::per_key_joins()).unwrap();
+        let reference = execute_select_reference(db, &sel).unwrap();
+        assert_eq!(planned, reference, "planned vs reference: {q}");
+        assert_eq!(per_key, reference, "per-key fallback vs reference: {q}");
+        planned
+    }
+
+    /// The planner's strategy for each join of `q`, for pinning which
+    /// code path a test actually exercised.
+    fn strategies(db: &Database, q: &str) -> Vec<crate::sql::plan::JoinStrategy> {
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        plan_select(db, &sel)
+            .unwrap()
+            .join_order
+            .iter()
+            .map(|j| j.strategy)
+            .collect()
+    }
+
+    /// Two tables with an unindexed float join key: NULLs, NaNs and
+    /// Int/Float-mixed values on both sides. `ordered` adds range
+    /// indexes on both key columns (the MergeRange gate); `hash` adds a
+    /// hash index on the right key (the IndexProbe gate).
+    fn key_edge_db(ordered: bool, hash: bool) -> Database {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE lt (l_id INT PRIMARY KEY, k FLOAT);
+             CREATE TABLE rt (r_id INT PRIMARY KEY, k FLOAT, tag TEXT);
+             INSERT INTO lt VALUES (1, 1.0), (2, 2.0), (3, 'NaN'), (4, NULL), (5, 2.0), (6, 9.0);
+             INSERT INTO rt VALUES (10, 1.0, 'a'), (11, 2.0, 'b'), (12, 2.0, 'c'),
+                                   (13, 'NaN', 'd'), (14, NULL, 'e'), (15, 7.0, 'f');",
+        )
+        .unwrap();
+        if ordered {
+            db.table_mut("lt").unwrap().create_range_index("k").unwrap();
+            db.table_mut("rt").unwrap().create_range_index("k").unwrap();
+        }
+        if hash {
+            db.table_mut("rt").unwrap().create_index("k").unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn join_key_edge_cases_through_all_strategies() {
+        use crate::sql::plan::JoinStrategy;
+        let q = "SELECT lt.l_id, rt.tag FROM lt JOIN rt ON rt.k = lt.k";
+        // Expected: NULL keys (l_id 4 / r_id 14) drop, NaN keys (l_id 3 /
+        // r_id 13) never match, 2.0 fans out 2×2, in canonical
+        // (FROM-order RowId lexicographic) order.
+        let expected = vec![
+            vec![Value::Int(1), Value::Text("a".into())],
+            vec![Value::Int(2), Value::Text("b".into())],
+            vec![Value::Int(2), Value::Text("c".into())],
+            vec![Value::Int(5), Value::Text("b".into())],
+            vec![Value::Int(5), Value::Text("c".into())],
+        ];
+        for (ordered, hash, want) in [
+            (false, false, JoinStrategy::BuildHash),
+            (true, false, JoinStrategy::BuildHash),
+            (false, true, JoinStrategy::IndexProbe),
+        ] {
+            let db = key_edge_db(ordered, hash);
+            assert_eq!(strategies(&db, q), vec![want], "ordered={ordered}");
+            let rs = assert_all_paths_agree(&db, q);
+            assert_eq!(rs.rows, expected, "ordered={ordered} hash={hash}");
+        }
+        // MergeRange needs a small outer estimate: filter the left side
+        // down to one row through its PK.
+        let db = key_edge_db(true, false);
+        let q_sel = "SELECT lt.l_id, rt.tag FROM lt JOIN rt ON rt.k = lt.k WHERE lt.l_id = 2";
+        assert_eq!(strategies(&db, q_sel), vec![JoinStrategy::MergeRange]);
+        let rs = assert_all_paths_agree(&db, q_sel);
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::Int(2), Value::Text("b".into())],
+                vec![Value::Int(2), Value::Text("c".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn cross_type_int_float_keys_join_under_every_strategy() {
+        for (ordered, hash) in [(false, false), (true, false), (false, true)] {
+            let mut db = Database::new();
+            execute_script(
+                &mut db,
+                "CREATE TABLE li (l_id INT PRIMARY KEY, k INT);
+                 CREATE TABLE rf (r_id INT PRIMARY KEY, k FLOAT);
+                 INSERT INTO li VALUES (1, 1), (2, 2), (3, 3);
+                 INSERT INTO rf VALUES (10, 1.0), (11, 2.5), (12, 3.0);",
+            )
+            .unwrap();
+            if ordered {
+                db.table_mut("li").unwrap().create_range_index("k").unwrap();
+                db.table_mut("rf").unwrap().create_range_index("k").unwrap();
+            }
+            if hash {
+                db.table_mut("rf").unwrap().create_index("k").unwrap();
+            }
+            let rs = assert_all_paths_agree(
+                &db,
+                "SELECT li.l_id, rf.r_id FROM li JOIN rf ON rf.k = li.k",
+            );
+            assert_eq!(
+                rs.rows,
+                vec![
+                    vec![Value::Int(1), Value::Int(10)],
+                    vec![Value::Int(3), Value::Int(12)],
+                ],
+                "Int(1) must join Float(1.0), ordered={ordered} hash={hash}"
+            );
+            // And with a small outer stream the ordered variant merges.
+            if ordered {
+                let q = "SELECT li.l_id, rf.r_id FROM li JOIN rf ON rf.k = li.k WHERE li.l_id = 3";
+                let rs = assert_all_paths_agree(&db, q);
+                assert_eq!(rs.rows, vec![vec![Value::Int(3), Value::Int(12)]]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_build_side_and_single_bucket_preserve_canonical_order() {
+        // Empty right table: zero output under every strategy.
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE lt (l_id INT PRIMARY KEY, k INT);
+             CREATE TABLE rt (r_id INT PRIMARY KEY, k INT);
+             INSERT INTO lt VALUES (1, 7), (2, 7);",
+        )
+        .unwrap();
+        let rs = assert_all_paths_agree(&db, "SELECT lt.l_id FROM lt JOIN rt ON rt.k = lt.k");
+        assert!(rs.rows.is_empty());
+
+        // Single bucket (every row the same key): full cross product in
+        // FROM-order RowId lexicographic order.
+        execute(&mut db, "INSERT INTO rt VALUES (10, 7), (11, 7), (12, 7)").unwrap();
+        let rs = assert_all_paths_agree(
+            &db,
+            "SELECT lt.l_id, rt.r_id FROM lt JOIN rt ON rt.k = lt.k",
+        );
+        let expected: Vec<Vec<Value>> = [(1, 10), (1, 11), (1, 12), (2, 10), (2, 11), (2, 12)]
+            .iter()
+            .map(|&(l, r)| vec![Value::Int(l), Value::Int(r)])
+            .collect();
+        assert_eq!(rs.rows, expected);
+    }
+
+    #[test]
+    fn reordered_joins_keep_canonical_order_under_build_hash() {
+        use crate::sql::plan::JoinStrategy;
+        // Star join where the second join is tiny (reordered first) and
+        // the first uses an unindexed key: the BuildHash output must
+        // still canonicalize back to FROM-order nested-loop order.
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE m (m_id INT PRIMARY KEY, k INT);
+             CREATE TABLE s (s_id INT PRIMARY KEY, k INT);
+             CREATE TABLE a (a_id INT PRIMARY KEY, m_id INT REFERENCES m(m_id));",
+        )
+        .unwrap();
+        for i in 0..30i64 {
+            execute(&mut db, &format!("INSERT INTO m VALUES ({i}, {})", i % 5)).unwrap();
+            execute(&mut db, &format!("INSERT INTO s VALUES ({i}, {})", i % 5)).unwrap();
+        }
+        execute(&mut db, "INSERT INTO a VALUES (0, 3), (1, 17)").unwrap();
+        let q = "SELECT m.m_id, s.s_id, a.a_id FROM m \
+                 JOIN s ON s.k = m.k \
+                 JOIN a ON a.m_id = m.m_id";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let p = plan_select(&db, &sel).unwrap();
+        assert!(p.joins_reordered(), "fixture must trigger a reorder");
+        assert!(
+            p.join_order
+                .iter()
+                .any(|j| j.strategy == JoinStrategy::BuildHash),
+            "fixture must exercise BuildHash, got {}",
+            p.describe()
+        );
+        assert_all_paths_agree(&db, q);
     }
 
     #[test]

@@ -21,5 +21,6 @@ pub use exec::{
 pub use lexer::{tokenize, Token};
 pub use parser::parse_statement;
 pub use plan::{
-    plan_select, plan_select_with, AccessPath, IndexProbe, PlanOptions, PlannedJoin, SelectPlan,
+    plan_select, plan_select_with, AccessPath, IndexProbe, JoinStrategy, PlanOptions, PlannedJoin,
+    SelectPlan,
 };

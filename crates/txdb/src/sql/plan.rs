@@ -68,6 +68,40 @@
 //! the predicate the access path already guarantees. Everything else stays
 //! in [`SelectPlan::pushed`] / [`SelectPlan::stages`].
 //!
+//! # Join strategies
+//!
+//! Every join step carries a [`JoinStrategy`], assigned after the join
+//! order is fixed by walking the execution order with a running estimate
+//! of the outer tuple count (base rows surviving the access path, then
+//! multiplied per join by the right side's average bucket size — exact
+//! index distinct counts when available, [`TableStats`] otherwise):
+//!
+//! - [`IndexProbe`](JoinStrategy::IndexProbe) whenever a hash index
+//!   exists on the join column: the sorted bucket is borrowed per outer
+//!   tuple at O(1), no setup cost — unbeatable, so it is never priced
+//!   against the others.
+//! - Otherwise the two one-pass strategies are priced against each
+//!   other. [`BuildHash`](JoinStrategy::BuildHash) costs
+//!   [`HASH_BUILD_COST_FACTOR`]` × |right| + outer` (one hashing pass
+//!   over the right side, then O(1) probes);
+//!   [`MergeRange`](JoinStrategy::MergeRange) costs
+//!   `|right| + outer × log₂(outer)` (walk the pre-built ordered index,
+//!   sort the outer keys) and is only eligible when *both* sides of the
+//!   ON key have an ordered index. Small outer streams against large
+//!   right sides favour the merge (no build allocation at all); big
+//!   streams amortize the build and favour the hash map.
+//!
+//! Before this layer, an unindexed join column degraded to a scan of the
+//! right table *per outer tuple* inside [`Table::lookup`] — an
+//! O(outer × inner) blowup, the robustness failure the dynamic
+//! hybrid-hash literature warns about. The executor preserves
+//! ascending-RowId canonical order under every strategy (hash buckets
+//! are built in scan order; the merge path computes per-tuple matches,
+//! then emits in stream order), so strategy choice — like join
+//! reordering — is invisible in results. All strategies share the same
+//! key semantics: NULL and NaN keys never join, and Int/Float keys
+//! compare numerically.
+//!
 //! [`choose_table_access`] is shared with the typed API:
 //! [`Table::select`](crate::table::Table::select) routes its predicate
 //! through the same candidate pricing (with exact hash-bucket sizes when
@@ -78,6 +112,7 @@ use std::ops::Bound;
 
 use crate::database::Database;
 use crate::error::{Result, TxdbError};
+use crate::index::RangeIndex;
 use crate::row::RowId;
 use crate::stats::{ColumnStats, TableStats};
 use crate::table::Table;
@@ -89,6 +124,12 @@ use crate::predicate::CmpOp;
 /// Estimated fraction of rows a predicate may keep while an index lookup
 /// is still considered cheaper than a sequential scan.
 pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.3;
+
+/// Per-row cost weight of inserting into a hash-join build map relative
+/// to walking a pre-built ordered index (hashing + bucket allocation vs.
+/// a pointer advance). Used when pricing [`JoinStrategy::BuildHash`]
+/// against [`JoinStrategy::MergeRange`].
+pub const HASH_BUILD_COST_FACTOR: f64 = 2.0;
 
 /// Estimated fraction of rows a *secondary* probe may keep while fetching
 /// its RowId set for the intersection is still considered cheaper than
@@ -218,7 +259,7 @@ impl IndexProbe {
             IndexProbe::Eq { column, value } => {
                 // `lookup` guarantees ascending RowId order (buckets are
                 // maintained sorted; the scan fallback walks id order).
-                Ok(table.lookup(column, value))
+                table.lookup(column, value)
             }
             IndexProbe::Range {
                 column,
@@ -335,6 +376,12 @@ pub struct PlanOptions {
     /// Evaluate join-side conjuncts at the earliest level where their
     /// tables are bound (off: everything runs after the last join).
     pub join_pushdown: bool,
+    /// Choose a [`JoinStrategy`] per join step (build-side hash join /
+    /// merge join for unindexed join columns). Off: every join runs as
+    /// index nested-loop with the per-key scan fallback — the PR 2 shape,
+    /// kept so benchmarks and the differential suite can pin the old
+    /// (quadratic) fallback against the join-execution layer.
+    pub join_strategies: bool,
 }
 
 impl Default for PlanOptions {
@@ -343,18 +390,64 @@ impl Default for PlanOptions {
             multi_index: true,
             reorder_joins: true,
             join_pushdown: true,
+            join_strategies: true,
         }
     }
 }
 
 impl PlanOptions {
     /// The PR 1 planner shape: one access path per query, FROM-order
-    /// joins, all join-side predicates evaluated after the last join.
+    /// joins, all join-side predicates evaluated after the last join,
+    /// per-key join fallback.
     pub fn single_access_path() -> PlanOptions {
         PlanOptions {
             multi_index: false,
             reorder_joins: false,
             join_pushdown: false,
+            join_strategies: false,
+        }
+    }
+
+    /// The PR 2 planner shape: full optimizer, but every join still runs
+    /// as index nested-loop per key (an unindexed join column degrades to
+    /// a per-outer-tuple scan inside [`Table::lookup`]).
+    pub fn per_key_joins() -> PlanOptions {
+        PlanOptions {
+            join_strategies: false,
+            ..PlanOptions::default()
+        }
+    }
+}
+
+/// How one join step reaches the matching rows of its right (newly
+/// joined) table. Chosen by the planner from index availability and the
+/// build-vs-probe cost model (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Per-outer-tuple probe of the right side's sorted hash-index
+    /// bucket — today's path, kept whenever a hash index exists on the
+    /// join column. Falls back to a per-key scan when the index
+    /// disappears under the plan (defensive; the planner never picks it
+    /// for an unindexed column when strategies are enabled).
+    IndexProbe,
+    /// Build a key → RowIds map over the whole right side once
+    /// ([`Table::join_map`]), then probe it per outer tuple. NULL and
+    /// NaN keys are excluded at build time (SQL join semantics); Int and
+    /// Float keys unify through [`Value`]'s canonical hash/equality.
+    BuildHash,
+    /// Merge the outer tuples (sorted by join key) against the right
+    /// side's ordered index entries — no build allocation at all. Only
+    /// eligible when both sides of the ON key have an ordered index.
+    MergeRange,
+}
+
+impl JoinStrategy {
+    /// Short form for plan summaries: `probe`, `hash`, `merge`.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            JoinStrategy::IndexProbe => "probe",
+            JoinStrategy::BuildHash => "hash",
+            JoinStrategy::MergeRange => "merge",
         }
     }
 }
@@ -373,6 +466,8 @@ pub struct PlannedJoin {
     pub left_slot: usize,
     /// Join column on the newly joined table.
     pub right_col: String,
+    /// How the executor reaches this table's matching rows.
+    pub strategy: JoinStrategy,
 }
 
 /// The plan for one `SELECT`: access path, join order, staged filters.
@@ -413,12 +508,12 @@ impl SelectPlan {
     }
 
     /// One-line summary, e.g.
-    /// `index_and(genre&rating) sel=0.012 pushed=1 staged=2 order=[1,0]`.
+    /// `index_and(genre&rating) sel=0.012 pushed=1 staged=2 order=[1:probe,0:hash]`.
     pub fn describe(&self) -> String {
         let order: Vec<String> = self
             .join_order
             .iter()
-            .map(|j| j.from_idx.to_string())
+            .map(|j| format!("{}:{}", j.from_idx, j.strategy.describe()))
             .collect();
         format!(
             "{} sel={:.3} pushed={} staged={} order=[{}]",
@@ -784,9 +879,64 @@ fn resolve_joins(db: &Database, layout: &Layout, sel: &SelectStmt) -> Result<Vec
             table: join.table.clone(),
             left_slot,
             right_col: right.schema().columns()[right_idx].name.clone(),
+            strategy: JoinStrategy::IndexProbe,
         });
     }
     Ok(out)
+}
+
+/// Pick a [`JoinStrategy`] for every join step, walking the execution
+/// order with a running estimate of the outer tuple count.
+///
+/// A hash index on the join column keeps today's per-key bucket probe.
+/// Otherwise the two one-pass strategies are priced per the module docs:
+/// building a hash map costs [`HASH_BUILD_COST_FACTOR`]`× |right|` plus
+/// one O(1) probe per outer tuple; merging costs one ordered-index walk
+/// (`|right|`) plus sorting the outer keys (`outer × log₂ outer`), and is
+/// only eligible when both sides of the ON key have an ordered index.
+/// The outer estimate advances by the right side's average bucket size —
+/// exact index distinct counts when available, [`TableStats`] otherwise.
+fn assign_join_strategies(
+    db: &Database,
+    layout: &Layout,
+    join_order: &mut [PlannedJoin],
+    mut outer_est: f64,
+) -> Result<()> {
+    for pj in join_order.iter_mut() {
+        let right = db.table(&pj.table)?;
+        let nrows = right.len() as f64;
+        pj.strategy = if right.has_index(&pj.right_col) {
+            JoinStrategy::IndexProbe
+        } else {
+            let left_slot = &layout.slots[pj.left_slot];
+            let both_ordered = right.has_range_index(&pj.right_col)
+                && db
+                    .table(&left_slot.table)
+                    .is_ok_and(|t| t.has_range_index(&left_slot.column));
+            let build_cost = HASH_BUILD_COST_FACTOR * nrows + outer_est;
+            let merge_cost = nrows + outer_est * outer_est.max(2.0).log2();
+            if both_ordered && merge_cost <= build_cost {
+                JoinStrategy::MergeRange
+            } else {
+                JoinStrategy::BuildHash
+            }
+        };
+        // Average bucket size of the join key: rows per distinct value.
+        let distinct = right
+            .index_distinct(&pj.right_col)
+            .or_else(|| right.range_index(&pj.right_col).map(RangeIndex::distinct))
+            .map(|d| d as f64)
+            .or_else(|| {
+                db.with_stats(&pj.table, |s| {
+                    s.column(&pj.right_col).map(|c| c.distinct as f64)
+                })
+                .ok()
+                .flatten()
+            })
+            .unwrap_or(nrows);
+        outer_est *= (nrows / distinct.max(1.0)).max(1.0);
+    }
+    Ok(())
 }
 
 /// Greedily order joins smallest-estimated-table-first, restricted to
@@ -876,11 +1026,18 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
             stages[njoins - 1] = all;
         }
         let table_cards = table_row_counts(db, &layout);
+        // Conservatism is about WHERE-clause error semantics; the join
+        // strategy is orthogonal, so unindexed joins still avoid the
+        // quadratic fallback.
+        let mut join_order = joins;
+        if opts.join_strategies {
+            assign_join_strategies(db, &layout, &mut join_order, table_cards[0].max(1.0))?;
+        }
         return Ok(SelectPlan {
             layout,
             access: AccessPath::FullScan,
             pushed,
-            join_order: joins,
+            join_order,
             stages,
             estimated_selectivity: 1.0,
             table_cards,
@@ -970,11 +1127,21 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
         }
     }
 
-    let join_order = if reorder {
+    let mut join_order = if reorder {
         greedy_join_order(joins, &layout, &table_cards)
     } else {
         joins
     };
+    if opts.join_strategies && njoins > 0 {
+        // Outer estimate entering the first join: base rows surviving the
+        // access path (post-filter card when the reorder pass refined it).
+        let outer0 = if reorder {
+            table_cards[0]
+        } else {
+            base.len() as f64 * estimated_selectivity
+        };
+        assign_join_strategies(db, &layout, &mut join_order, outer0.max(1.0))?;
+    }
 
     // Assign every join-side conjunct its evaluation stage: the earliest
     // point in execution order at which all referenced tables are bound.
@@ -1421,5 +1588,101 @@ mod tests {
         let db = db();
         let p = plan(&db, "SELECT * FROM movie WHERE movie_id = 42");
         assert!(p.describe().starts_with("index_eq(movie_id) sel="));
+    }
+
+    /// Two tables joined on a column pair with *no* hash index on the
+    /// right side; `ordered` adds range indexes on both key columns.
+    fn unindexed_join_db(ordered: bool) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("l")
+                .column("l_id", crate::DataType::Int)
+                .column("k", crate::DataType::Int)
+                .primary_key(&["l_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("r")
+                .column("r_id", crate::DataType::Int)
+                .column("k", crate::DataType::Int)
+                .primary_key(&["r_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..200i64 {
+            db.insert("l", row![i, i % 50]).unwrap();
+            db.insert("r", row![i, i % 50]).unwrap();
+        }
+        if ordered {
+            db.table_mut("l").unwrap().create_range_index("k").unwrap();
+            db.table_mut("r").unwrap().create_range_index("k").unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn hash_indexed_join_column_keeps_index_probe() {
+        let db = db();
+        // screening.movie_id is an FK, auto hash-indexed.
+        let p = plan(
+            &db,
+            "SELECT movie.title FROM movie \
+             JOIN screening ON screening.movie_id = movie.movie_id",
+        );
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::IndexProbe);
+    }
+
+    #[test]
+    fn unindexed_join_column_builds_hash() {
+        let db = unindexed_join_db(false);
+        let p = plan(&db, "SELECT l.l_id FROM l JOIN r ON r.k = l.k");
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::BuildHash);
+        assert!(p.describe().contains("0:hash"), "{}", p.describe());
+    }
+
+    #[test]
+    fn ordered_sides_with_small_outer_merge() {
+        let db = unindexed_join_db(true);
+        // A selective base probe shrinks the outer estimate far below the
+        // right side's row count: the merge walk beats the hash build.
+        let p = plan(
+            &db,
+            "SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE l.l_id = 7",
+        );
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::MergeRange);
+        // With the whole table as outer stream, sorting the outer keys
+        // costs more than one hashing pass: BuildHash wins.
+        let p = plan(&db, "SELECT l.l_id FROM l JOIN r ON r.k = l.k");
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::BuildHash);
+    }
+
+    #[test]
+    fn per_key_options_disable_strategies() {
+        let db = unindexed_join_db(false);
+        let Statement::Select(sel) =
+            parse_statement("SELECT l.l_id FROM l JOIN r ON r.k = l.k").unwrap()
+        else {
+            unreachable!()
+        };
+        let p = plan_select_with(&db, &sel, &PlanOptions::per_key_joins()).unwrap();
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::IndexProbe);
+        let p = plan_select_with(&db, &sel, &PlanOptions::single_access_path()).unwrap();
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::IndexProbe);
+    }
+
+    #[test]
+    fn conservative_plan_still_assigns_strategies() {
+        let db = unindexed_join_db(false);
+        // `no_such` disables pushdown/reordering (lazy error semantics),
+        // but the join itself must not degrade to the quadratic fallback.
+        let p = plan(
+            &db,
+            "SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE no_such = 1",
+        );
+        assert_eq!(p.access.describe(), "scan");
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::BuildHash);
     }
 }

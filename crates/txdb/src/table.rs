@@ -239,7 +239,7 @@ impl Table {
         for (i, col) in self.schema.columns().iter().enumerate() {
             if col.unique && !self.schema.is_pk_column(&col.name) {
                 let v = row.get(i).expect("arity checked");
-                if !v.is_null() && !self.lookup(&col.name, v).is_empty() {
+                if !v.is_null() && !self.lookup(&col.name, v)?.is_empty() {
                     return Err(TxdbError::DuplicateKey {
                         table: self.schema.name().to_string(),
                         key: format!("{}={v}", col.name),
@@ -308,7 +308,7 @@ impl Table {
         // Uniqueness / PK checks against the *other* rows.
         let is_unique = col.unique || self.schema.is_pk_column(column);
         if is_unique && !value.is_null() {
-            if let Some(existing) = self.lookup(column, &value).iter().find(|&&r| r != rid) {
+            if let Some(existing) = self.lookup(column, &value)?.iter().find(|&&r| r != rid) {
                 return Err(TxdbError::DuplicateKey {
                     table: self.schema.name().to_string(),
                     key: format!("{column}={value} (held by {existing})"),
@@ -374,22 +374,56 @@ impl Table {
             .map(|map| map.get(value).map_or(&[][..], Vec::as_slice))
     }
 
+    /// Number of distinct values in the hash index on `column`, or `None`
+    /// when no hash index exists. O(1); used by the planner's join-size
+    /// estimates as an exact statistic maintained for free.
+    pub fn index_distinct(&self, column: &str) -> Option<usize> {
+        self.indexes.get(column).map(HashMap::len)
+    }
+
+    /// The ordered index on `column`, when one exists — the merge-join
+    /// path walks its entries in key order.
+    pub fn range_index(&self, column: &str) -> Option<&RangeIndex> {
+        self.range_indexes.get(column)
+    }
+
     /// Row ids matching `column = value`, via index when available.
     /// Always in ascending RowId order: index buckets are maintained
     /// sorted (see [`bucket_insert`]) and the scan fallback iterates the
-    /// row store in id order.
-    pub fn lookup(&self, column: &str, value: &Value) -> Vec<RowId> {
+    /// row store in id order. A nonexistent column is an error — it used
+    /// to yield an empty set, which turned a bad join column into silent
+    /// empty (wrong) join output instead of a diagnosable failure.
+    pub fn lookup(&self, column: &str, value: &Value) -> Result<Vec<RowId>> {
         if let Some(map) = self.indexes.get(column) {
-            return map.get(value).cloned().unwrap_or_default();
+            return Ok(map.get(value).cloned().unwrap_or_default());
         }
-        let Some(idx) = self.schema.column_index(column) else {
-            return Vec::new();
-        };
-        self.rows
+        let idx = self.schema.require_column(column)?;
+        Ok(self
+            .rows
             .iter()
             .filter(|(_, row)| row.get(idx) == Some(value))
             .map(|(&rid, _)| rid)
-            .collect()
+            .collect())
+    }
+
+    /// Build-side map for a hash join: every live row's `column` value to
+    /// the ascending RowIds holding it, in one scan. NULL keys never join;
+    /// NaN keys are likewise excluded (SQL join semantics: `NaN = NaN` is
+    /// not a match, even though the engine's canonical [`Value`] equality
+    /// — built for hashing — would collapse them). Keys borrow from the
+    /// rows, so building allocates only the buckets.
+    pub fn join_map(&self, column: &str) -> Result<HashMap<&Value, Vec<RowId>>> {
+        let idx = self.schema.require_column(column)?;
+        let mut map: HashMap<&Value, Vec<RowId>> = HashMap::new();
+        for (&rid, row) in &self.rows {
+            let Some(v) = row.get(idx) else { continue };
+            if v.is_excluded_join_key() {
+                continue;
+            }
+            // Scan order is ascending RowId, so buckets stay sorted.
+            map.entry(v).or_default().push(rid);
+        }
+        Ok(map)
     }
 
     /// Iterate all `(RowId, &Row)` pairs in insertion order.
@@ -668,10 +702,10 @@ mod tests {
             let genre = if i % 2 == 0 { "Drama" } else { "Action" };
             t.insert(row![i, format!("M{i}"), genre, 5.0]).unwrap();
         }
-        let via_index = t.lookup("genre", &Value::Text("Drama".into()));
+        let via_index = t.lookup("genre", &Value::Text("Drama".into())).unwrap();
         assert_eq!(via_index.len(), 10);
         // title is unindexed -> scan path.
-        let via_scan = t.lookup("title", &Value::Text("M3".into()));
+        let via_scan = t.lookup("title", &Value::Text("M3".into())).unwrap();
         assert_eq!(via_scan.len(), 1);
         assert!(t.has_index("genre"));
         assert!(!t.has_index("title"));
@@ -737,7 +771,7 @@ mod tests {
         // Moving an early row into the other bucket re-inserts a small
         // rid after larger ones — the bucket must stay ascending.
         t.update(RowId(1), "genre", "Action".into()).unwrap();
-        let action = t.lookup("genre", &Value::Text("Action".into()));
+        let action = t.lookup("genre", &Value::Text("Action".into())).unwrap();
         assert!(sorted(&action), "bucket out of order: {action:?}");
         assert!(action.contains(&RowId(1)));
         // Rollback re-insert of an old rid (insert_physical) likewise.
@@ -745,7 +779,7 @@ mod tests {
         let row = t.get(RowId(3)).unwrap().clone();
         t.remove_physical(RowId(3));
         t.insert_physical(RowId(3), row);
-        let drama = t.lookup("genre", &Value::Text("Drama".into()));
+        let drama = t.lookup("genre", &Value::Text("Drama".into())).unwrap();
         assert!(sorted(&drama), "bucket out of order: {drama:?}");
         assert!(drama.contains(&RowId(3)));
         // Borrowed bucket agrees with the cloning lookup.
@@ -755,6 +789,56 @@ mod tests {
             drama.as_slice()
         );
         assert!(t.index_bucket("title", &Value::Text("M1".into())).is_none());
+    }
+
+    #[test]
+    fn lookup_unknown_column_is_an_error() {
+        let mut t = movie_table();
+        t.insert(row![1, "A", "Drama", 5.0]).unwrap();
+        // The old API silently returned an empty set here, which turned a
+        // bad join column into empty (wrong) join output.
+        let err = t.lookup("no_such", &Value::Int(1)).unwrap_err();
+        assert!(matches!(err, TxdbError::UnknownColumn { .. }), "{err}");
+        assert!(t.join_map("no_such").is_err());
+    }
+
+    #[test]
+    fn join_map_excludes_null_and_nan_and_stays_sorted() {
+        let mut t = movie_table();
+        t.insert(row![1, "A", "g", 2.0]).unwrap();
+        t.insert(Row::new(vec![
+            Value::Int(2),
+            "B".into(),
+            "g".into(),
+            Value::Null,
+        ]))
+        .unwrap();
+        t.insert(row![3, "C", "g", f64::NAN]).unwrap();
+        t.insert(row![4, "D", "g", 2.0]).unwrap();
+        let map = t.join_map("rating").unwrap();
+        // NULL (rid 2) and NaN (rid 3) keys never join.
+        assert_eq!(map.len(), 1);
+        let bucket = map.get(&Value::Float(2.0)).unwrap();
+        assert_eq!(bucket, &vec![RowId(1), RowId(4)]);
+        // Int/Float canonical hashing: an Int key probes the same bucket.
+        assert_eq!(map.get(&Value::Int(2)), Some(bucket));
+        assert!(!map.contains_key(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn index_distinct_and_range_index_accessors() {
+        let mut t = movie_table();
+        t.create_index("genre").unwrap();
+        t.create_range_index("rating").unwrap();
+        for i in 0..10i64 {
+            let genre = if i % 2 == 0 { "Drama" } else { "Action" };
+            t.insert(row![i, format!("M{i}"), genre, (i % 3) as f64])
+                .unwrap();
+        }
+        assert_eq!(t.index_distinct("genre"), Some(2));
+        assert_eq!(t.index_distinct("rating"), None);
+        assert_eq!(t.range_index("rating").unwrap().distinct(), 3);
+        assert!(t.range_index("genre").is_none());
     }
 
     #[test]
@@ -804,8 +888,14 @@ mod tests {
         t.create_index("genre").unwrap();
         let rid = t.insert(row![1, "A", "Drama", 5.0]).unwrap();
         t.update(rid, "genre", "Action".into()).unwrap();
-        assert!(t.lookup("genre", &Value::Text("Drama".into())).is_empty());
-        assert_eq!(t.lookup("genre", &Value::Text("Action".into())), vec![rid]);
+        assert!(t
+            .lookup("genre", &Value::Text("Drama".into()))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.lookup("genre", &Value::Text("Action".into())).unwrap(),
+            vec![rid]
+        );
         // PK update moves the pk index entry.
         t.update(rid, "movie_id", Value::Int(42)).unwrap();
         assert!(t.get_by_pk(&[Value::Int(1)]).is_none());
@@ -834,10 +924,16 @@ mod tests {
         let row = t.get(rid).unwrap().clone();
         t.remove_physical(rid);
         assert!(t.is_empty());
-        assert!(t.lookup("genre", &Value::Text("Drama".into())).is_empty());
+        assert!(t
+            .lookup("genre", &Value::Text("Drama".into()))
+            .unwrap()
+            .is_empty());
         t.insert_physical(rid, row);
         assert_eq!(t.len(), 1);
-        assert_eq!(t.lookup("genre", &Value::Text("Drama".into())), vec![rid]);
+        assert_eq!(
+            t.lookup("genre", &Value::Text("Drama".into())).unwrap(),
+            vec![rid]
+        );
         assert_eq!(t.get_by_pk(&[Value::Int(1)]).unwrap().0, rid);
         // next_row_id must not collide with the restored row.
         let rid2 = t.insert(row![2, "B", "Action", 1.0]).unwrap();

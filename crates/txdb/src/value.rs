@@ -238,6 +238,15 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Whether this value can never match as an equi-join key: NULL per
+    /// SQL, and NaN likewise — the canonical [`Value`] equality (built
+    /// for hashing) would collapse `NaN = NaN` to a match, which join
+    /// semantics reject. The single definition shared by every join
+    /// strategy's build and probe sides in both executors.
+    pub fn is_excluded_join_key(&self) -> bool {
+        matches!(self, Value::Null) || matches!(self, Value::Float(f) if f.is_nan())
+    }
+
     /// True if this value may be stored in a column of type `ty`
     /// (i.e. it is null or has exactly that type).
     pub fn conforms_to(&self, ty: DataType) -> bool {

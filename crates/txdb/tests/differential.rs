@@ -13,8 +13,15 @@
 //! joins (star- and chain-shaped, exercising both the reorder greedy and
 //! its binding constraint), multi-conjunct WHERE clauses over indexed
 //! columns (exercising the intersection cutoff), WHERE trees,
-//! aggregation, grouping, ordering and limits. Both implementations share
-//! only the parser and the value model, so agreement here is strong
+//! aggregation, grouping, ordering and limits. Join keys include
+//! unindexed float columns with NULL and NaN on both sides and a
+//! cross-type Int = Float key, so every join strategy of the execution
+//! layer (index probe, build-side hash, merge over ordered indexes) is
+//! exercised and tallied. The implementations share the parser, the
+//! value model and the join-key exclusion rule
+//! (`Value::is_excluded_join_key` — NULL/NaN never join; its behavior
+//! itself is pinned by hand-written unit tests in `exec.rs`), but not
+//! the planner or execution strategy code, so agreement here is strong
 //! evidence the planner preserves semantics.
 
 use rand::rngs::StdRng;
@@ -22,7 +29,8 @@ use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
 
 use cat_txdb::sql::{
-    execute, execute_select_reference, execute_select_with, parse_statement, PlanOptions, Statement,
+    execute, execute_select_reference, execute_select_with, parse_statement, plan_select,
+    JoinStrategy, PlanOptions, Statement,
 };
 use cat_txdb::{row, DataType, Database, TableSchema, Value};
 
@@ -52,6 +60,7 @@ fn random_db(rng: &mut StdRng) -> Database {
             .column("movie_id", DataType::Int)
             .nullable_column("city", DataType::Text)
             .column("price", DataType::Float)
+            .nullable_column("rank", DataType::Float)
             .primary_key(&["screening_id"])
             .foreign_key("movie_id", "movie", "movie_id")
             .build()
@@ -107,13 +116,26 @@ fn random_db(rng: &mut StdRng) -> Database {
         } else {
             Value::Text(CITIES.choose(rng).unwrap().to_string())
         };
+        // rank: NULL/NaN-bearing float, mostly integral so joining it
+        // against the Int `review.stars` column produces real cross-type
+        // (Int = Float) matches.
+        let rank = if rng.random_bool(0.1) {
+            Value::Null
+        } else if rng.random_bool(0.05) {
+            Value::Float(f64::NAN)
+        } else if rng.random_bool(0.2) {
+            Value::Float(rng.random_range(1..=10i64) as f64 + 0.5)
+        } else {
+            Value::Float(rng.random_range(1..=10i64) as f64)
+        };
         db.insert(
             "screening",
             row![
                 i,
                 rng.random_range(0..n_movies),
                 city,
-                rng.random_range(50..=200i64) as f64 / 10.0
+                rng.random_range(50..=200i64) as f64 / 10.0,
+                rank
             ],
         )
         .unwrap();
@@ -149,11 +171,14 @@ fn random_db(rng: &mut StdRng) -> Database {
             t.create_range_index("year").unwrap();
         }
     }
-    if rng.random_bool(0.5) {
-        db.table_mut("screening")
-            .unwrap()
-            .create_range_index("price")
-            .unwrap();
+    {
+        let t = db.table_mut("screening").unwrap();
+        if rng.random_bool(0.5) {
+            t.create_range_index("price").unwrap();
+        }
+        if rng.random_bool(0.3) {
+            t.create_range_index("rank").unwrap();
+        }
     }
     if rng.random_bool(0.4) {
         db.table_mut("review")
@@ -170,7 +195,8 @@ fn random_db(rng: &mut StdRng) -> Database {
     db
 }
 
-/// How many joined tables a generated query has (0, 1 or 2 joins).
+/// How many joined tables a generated query has (0, 1 or 2 joins) and
+/// what kind of join key it uses.
 #[derive(Clone, Copy, PartialEq)]
 enum JoinShape {
     None,
@@ -180,12 +206,21 @@ enum JoinShape {
     Three {
         chain: bool,
     },
+    /// movie JOIN screening ON screening.rank = movie.rating — a float
+    /// join key with NULL and NaN on *both* sides and no hash index on
+    /// the right column (`rank` carries at most a range index), so the
+    /// planner must pick `BuildHash` or `MergeRange`.
+    RankKey,
+    /// movie JOIN screening (FK) JOIN review ON review.stars =
+    /// screening.rank — a cross-type Int = Float join key; `stars` is
+    /// randomly hash- and/or range-indexed, covering every strategy.
+    StarsRank,
 }
 
 /// A random WHERE conjunct/tree in SQL text form.
 fn random_predicate(rng: &mut StdRng, depth: usize, shape: JoinShape) -> String {
     let joined = shape != JoinShape::None;
-    let three = matches!(shape, JoinShape::Three { .. });
+    let three = matches!(shape, JoinShape::Three { .. } | JoinShape::StarsRank);
     let leaf = |rng: &mut StdRng| -> String {
         // Mostly-qualified columns when a join is present, but sometimes
         // the ambiguous unqualified `movie_id` or an unknown column: both
@@ -294,7 +329,7 @@ fn multi_conjunct_predicate(rng: &mut StdRng, shape: JoinShape) -> String {
             ),
             3 => format!("{} = {}", q("movie_id"), rng.random_range(0..40i64)),
             _ => {
-                if matches!(shape, JoinShape::Three { .. }) {
+                if matches!(shape, JoinShape::Three { .. } | JoinShape::StarsRank) {
                     format!("review.stars >= {}", rng.random_range(1..=10i64))
                 } else {
                     format!("{} = '{}'", q("genre"), GENRES.choose(rng).unwrap())
@@ -318,19 +353,26 @@ fn join_clause(shape: JoinShape) -> &'static str {
             " JOIN screening ON screening.movie_id = movie.movie_id \
              JOIN review ON review.screening_id = screening.screening_id"
         }
+        JoinShape::RankKey => " JOIN screening ON screening.rank = movie.rating",
+        JoinShape::StarsRank => {
+            " JOIN screening ON screening.movie_id = movie.movie_id \
+             JOIN review ON review.stars = screening.rank"
+        }
     }
 }
 
 /// A random SELECT over the movie/screening/review schema.
 fn random_select(rng: &mut StdRng) -> String {
-    let shape = match rng.random_range(0..10u8) {
-        0..=4 => JoinShape::None,
-        5..=6 => JoinShape::Screening,
-        7..=8 => JoinShape::Three { chain: false },
-        _ => JoinShape::Three { chain: true },
+    let shape = match rng.random_range(0..12u8) {
+        0..=3 => JoinShape::None,
+        4..=5 => JoinShape::Screening,
+        6 => JoinShape::RankKey,
+        7 => JoinShape::Three { chain: false },
+        8 => JoinShape::Three { chain: true },
+        _ => JoinShape::StarsRank,
     };
     let joined = shape != JoinShape::None;
-    let three = matches!(shape, JoinShape::Three { .. });
+    let three = matches!(shape, JoinShape::Three { .. } | JoinShape::StarsRank);
     let mut sql = String::new();
     let aggregate = rng.random_bool(0.3);
     if aggregate {
@@ -476,6 +518,10 @@ fn check_three_way(db: &mut Database, sql: &str, context: &str) -> bool {
 fn planned_and_reference_executors_agree_on_generated_queries() {
     let mut checked = 0usize;
     let mut three_table = 0usize;
+    // How often each join strategy actually executes across the run —
+    // all three must appear, or the generator stopped covering the
+    // join-execution layer.
+    let (mut probes, mut hashes, mut merges) = (0usize, 0usize, 0usize);
     for seed in 0..40u64 {
         let mut rng = StdRng::seed_from_u64(0xD1FF + seed);
         let mut db = random_db(&mut rng);
@@ -483,6 +529,17 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
             let sql = random_select(&mut rng);
             if sql.contains("JOIN review") {
                 three_table += 1;
+            }
+            if let Statement::Select(sel) = parse_statement(&sql).unwrap() {
+                if let Ok(plan) = plan_select(&db, &sel) {
+                    for j in &plan.join_order {
+                        match j.strategy {
+                            JoinStrategy::IndexProbe => probes += 1,
+                            JoinStrategy::BuildHash => hashes += 1,
+                            JoinStrategy::MergeRange => merges += 1,
+                        }
+                    }
+                }
             }
             if check_three_way(&mut db, &sql, &format!("seed {seed}")) {
                 checked += 1;
@@ -496,6 +553,10 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     assert!(
         three_table > 200,
         "only {three_table} three-table joins generated — generator degenerated"
+    );
+    assert!(
+        probes > 100 && hashes > 100 && merges > 0,
+        "join strategies under-covered: probe {probes}, hash {hashes}, merge {merges}"
     );
 }
 

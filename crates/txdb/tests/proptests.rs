@@ -304,7 +304,7 @@ proptest! {
         // Probe by id (pk index) and by a name value that may or may not exist.
         let t = db.table("t").unwrap();
         let via_idx = {
-            let mut v = t.lookup("id", &Value::Int(probe));
+            let mut v = t.lookup("id", &Value::Int(probe)).unwrap();
             v.sort();
             v
         };

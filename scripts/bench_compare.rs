@@ -29,7 +29,10 @@
 //!
 //! Pass `--max-regression-pct <n>` to change the threshold, `--absolute`
 //! to additionally gate the raw `after_median_ns` (only meaningful when
-//! both files come from the same machine).
+//! both files come from the same machine), and `--require <group>`
+//! (repeatable) to fail unless the named group is actually part of the
+//! gated shared set — so a renamed or newly added benchmark cannot
+//! silently drop out of the comparison as "reported but not gated".
 
 use std::process::ExitCode;
 
@@ -86,6 +89,7 @@ fn main() -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut max_regression_pct = 25.0f64;
     let mut absolute = false;
+    let mut required: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--max-regression-pct" => match args.next().and_then(|v| v.parse().ok()) {
@@ -96,11 +100,18 @@ fn main() -> ExitCode {
                 }
             },
             "--absolute" => absolute = true,
+            "--require" => match args.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("--require needs a benchmark group name");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => files.push(other.to_string()),
         }
     }
     let [baseline_path, candidate_path] = files.as_slice() else {
-        eprintln!("usage: bench_compare [--max-regression-pct N] [--absolute] <baseline.json> <candidate.json>");
+        eprintln!("usage: bench_compare [--max-regression-pct N] [--absolute] [--require GROUP]... <baseline.json> <candidate.json>");
         return ExitCode::FAILURE;
     };
     let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
@@ -115,6 +126,7 @@ fn main() -> ExitCode {
 
     let allowed = 1.0 + max_regression_pct / 100.0;
     let mut shared = 0usize;
+    let mut gated: Vec<&str> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
     println!(
         "{:<32} {:>14} {:>14} {:>9}  verdict",
@@ -130,6 +142,7 @@ fn main() -> ExitCode {
             continue;
         }
         shared += 1;
+        gated.push(name.as_str());
         let base_norm = b_after / b_before;
         let cand_norm = c_after / c_before;
         let ratio = cand_norm / base_norm;
@@ -159,6 +172,14 @@ fn main() -> ExitCode {
              the gate would be vacuous; update the baseline deliberately"
         );
         return ExitCode::FAILURE;
+    }
+    for name in &required {
+        if !gated.iter().any(|g| g == name) {
+            failures.push(format!(
+                "{name}: required group is not part of the gated shared set — \
+                 renamed/added benchmarks must be carried into the committed baseline"
+            ));
+        }
     }
     if failures.is_empty() {
         println!("\nbench gate passed: {shared} shared group(s) within {max_regression_pct:.0}% of baseline");
