@@ -2,9 +2,11 @@
 //! range scans, bounded top-k ORDER BY + LIMIT, `CandidateSet::refine`
 //! over the cinema corpus (all tracked since PR 1), the PR 2 optimizer
 //! levers — multi-index AND intersection and cardinality-greedy
-//! three-table join ordering with staged predicate pushdown — and the
+//! three-table join ordering with staged predicate pushdown — the
 //! PR 3 join-execution layer (build-side hash join and merge join over
-//! ordered indexes for unindexed join columns).
+//! ordered indexes for unindexed join columns), and the PR 4 build-side
+//! pushdown (a selective conjunct on the join table pre-filters the hash
+//! build instead of running as a residual filter).
 //!
 //! The PR 1 groups measure *before* (naive reference executor / forward
 //! path walk) against *after* (planned executor); the PR 2 groups measure
@@ -13,10 +15,13 @@
 //! planner on identical executor code; the PR 3 groups measure the PR 2
 //! shape (`PlanOptions::per_key_joins()`: unindexed join columns degrade
 //! to a right-table scan *per outer tuple*) against the join-strategy
-//! planner. Medians and speedups land in `BENCH_PR3.json` at the
-//! workspace root; CI diffs the shared group names against the committed
-//! baselines (`scripts/bench_compare.rs`) and fails on >25% regressions
-//! of the machine-normalized medians.
+//! planner; the PR 4 group measures the PR 3 shape
+//! (`PlanOptions::no_build_pushdown()`: the build side is always hashed
+//! in full, join-side conjuncts run as residual filters) against the
+//! pre-filtered build. Medians and speedups land in `BENCH_PR4.json` at
+//! the workspace root; CI diffs the shared group names against the
+//! committed baselines (`scripts/bench_compare.rs`) and fails on >25%
+//! regressions of the machine-normalized medians.
 //!
 //! Run with: `cargo bench -p cat-bench --bench planner`
 
@@ -387,6 +392,84 @@ fn bench_join_merge_range(c: &mut Criterion) {
     );
 }
 
+/// A 10k-row build side with an unindexed join key and a selective,
+/// hash-indexed filter column (1% per value): the PR 3 shape hashes all
+/// 10k rows and filters the joined stream afterwards; the build-side
+/// pushdown fetches the ~100 matching rows through the index and hashes
+/// only those.
+fn bench_join_pushdown(c: &mut Criterion) {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("lt")
+            .column("id", DataType::Int)
+            .column("k", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    db.create_table(
+        TableSchema::builder("rt")
+            .column("id", DataType::Int)
+            .column("k", DataType::Int)
+            .column("v", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    db.table_mut("rt").unwrap().create_index("v").unwrap();
+    for i in 0..1_000i64 {
+        db.insert("lt", row![i, i % 500]).expect("insert");
+    }
+    for i in 0..10_000i64 {
+        db.insert("rt", row![i, i % 500, i % 100]).expect("insert");
+    }
+    let sql = "SELECT lt.id, rt.id FROM lt JOIN rt ON rt.k = lt.k WHERE rt.v = 7";
+    let Statement::Select(sel) = parse_statement(sql).expect("parse") else {
+        panic!("not a select")
+    };
+    let no_pd = PlanOptions::no_build_pushdown();
+    let plan = plan_select(&db, &sel).expect("plan");
+    assert!(
+        plan.build_pushdown_count() > 0,
+        "expected a build-side pushdown in the plan, got {}",
+        plan.describe()
+    );
+    assert_eq!(
+        plan.join_order[0].strategy,
+        JoinStrategy::BuildHash,
+        "fixture must exercise the filtered hash build, got {}",
+        plan.describe()
+    );
+    // Sanity: all three paths agree before we time them.
+    let reference = execute_select_reference(&db, &sel).expect("reference");
+    let unfiltered = execute_select_with(&db, &sel, &no_pd).expect("no-pushdown");
+    let planned = execute(&mut db, sql).expect("planned");
+    assert_eq!(
+        planned.rows().expect("rows"),
+        &reference,
+        "paths disagree on {sql}"
+    );
+    assert_eq!(
+        &unfiltered, &reference,
+        "no-pushdown shape disagrees on {sql}"
+    );
+
+    let mut g = c.benchmark_group("join_pushdown_10k");
+    g.sample_size(40);
+    g.bench_function("before_unfiltered_build", |b| {
+        b.iter(|| execute_select_with(&db, &sel, &no_pd).expect("no-pushdown"))
+    });
+    g.finish();
+    let mut g = c.benchmark_group("join_pushdown_10k");
+    g.sample_size(40);
+    g.bench_function("after_build_pushdown", |b| {
+        b.iter(|| execute(&mut db, sql).expect("planned"))
+    });
+    g.finish();
+}
+
 fn bench_join3(c: &mut Criterion) {
     let mut db = awards_db(5_000, 10);
     run_pr1_vs_pr2(
@@ -481,7 +564,7 @@ fn bench_refine(c: &mut Criterion) {
     }
 }
 
-/// Write `BENCH_PR3.json`: one record per benchmark group with the
+/// Write `BENCH_PR4.json`: one record per benchmark group with the
 /// before/after medians (ns) and the speedup factor. Groups shared with
 /// the committed baselines feed the CI regression gate.
 fn write_report(measurements: &[Measurement]) {
@@ -504,11 +587,11 @@ fn write_report(measurements: &[Measurement]) {
             pairs.push((group.to_string(), before, after));
         }
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
-    let mut f = std::fs::File::create(path).expect("create BENCH_PR3.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_PR4.json");
     writeln!(
         f,
-        "{{\n  \"pr\": 3,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
+        "{{\n  \"pr\": 4,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
     )
     .unwrap();
     for (i, (group, before, after)) in pairs.iter().enumerate() {
@@ -540,6 +623,7 @@ fn main() {
     bench_join3(&mut c);
     bench_join_unindexed_hash(&mut c);
     bench_join_merge_range(&mut c);
+    bench_join_pushdown(&mut c);
     bench_refine(&mut c);
     write_report(c.measurements());
 }

@@ -74,6 +74,37 @@ impl Ord for OrdKey {
     }
 }
 
+/// Convert borrowed value bounds into owned [`OrdKey`] bounds for a
+/// `BTreeMap::range` call, detecting the empty/inverted shapes that would
+/// otherwise panic: `None` means the range matches nothing (lo > hi, or
+/// lo == hi with either side excluded). The single definition shared by
+/// [`RangeIndex::range`] and [`RangeIndex::entries_range`], so the two
+/// walks cannot disagree on which ranges are empty.
+fn normalize_bounds(
+    lo: Bound<&Value>,
+    hi: Bound<&Value>,
+) -> Option<(Bound<OrdKey>, Bound<OrdKey>)> {
+    if let (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) =
+        (&lo, &hi)
+    {
+        match OrdKey::cmp_values(a, b) {
+            Ordering::Greater => return None,
+            Ordering::Equal
+                if matches!(lo, Bound::Excluded(_)) || matches!(hi, Bound::Excluded(_)) =>
+            {
+                return None
+            }
+            _ => {}
+        }
+    }
+    let conv = |b: Bound<&Value>| match b {
+        Bound::Included(v) => Bound::Included(OrdKey(v.clone())),
+        Bound::Excluded(v) => Bound::Excluded(OrdKey(v.clone())),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    Some((conv(lo), conv(hi)))
+}
+
 /// An ordered index: sorted map from value to the row ids holding it.
 ///
 /// Buckets are maintained in ascending-RowId order (like the hash-index
@@ -124,27 +155,12 @@ impl RangeIndex {
     /// An empty or inverted range (e.g. from contradictory predicates)
     /// yields no rows instead of panicking.
     pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RowId> {
-        if let (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) =
-            (&lo, &hi)
-        {
-            match OrdKey::cmp_values(a, b) {
-                Ordering::Greater => return Vec::new(),
-                Ordering::Equal
-                    if matches!(lo, Bound::Excluded(_)) || matches!(hi, Bound::Excluded(_)) =>
-                {
-                    return Vec::new()
-                }
-                _ => {}
-            }
-        }
-        let conv = |b: Bound<&Value>| match b {
-            Bound::Included(v) => Bound::Included(OrdKey(v.clone())),
-            Bound::Excluded(v) => Bound::Excluded(OrdKey(v.clone())),
-            Bound::Unbounded => Bound::Unbounded,
+        let Some(bounds) = normalize_bounds(lo, hi) else {
+            return Vec::new();
         };
         let mut out: Vec<RowId> = self
             .map
-            .range((conv(lo), conv(hi)))
+            .range(bounds)
             .flat_map(|(_, ids)| ids.iter().copied())
             .collect();
         out.sort_unstable();
@@ -169,6 +185,27 @@ impl RangeIndex {
     /// executors share — so the merge join walks this directly.
     pub fn entries(&self) -> impl Iterator<Item = (&Value, &[RowId])> + '_ {
         self.map.iter().map(|(k, ids)| (&k.0, ids.as_slice()))
+    }
+
+    /// [`RangeIndex::entries`] clamped to a key range: only entries whose
+    /// key falls within the bounds are visited, via the tree's own range
+    /// search instead of a full walk. An inverted range yields nothing.
+    /// Used by the merge-join path when a build-side pushdown probe
+    /// bounds the join key itself.
+    pub fn entries_range(
+        &self,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> impl Iterator<Item = (&Value, &[RowId])> + '_ {
+        let bounds = normalize_bounds(lo, hi).unwrap_or((
+            // An empty iterator with the same type: substitute a
+            // trivially empty, *ordered* bound pair for the empty range.
+            Bound::Excluded(OrdKey(Value::Null)),
+            Bound::Included(OrdKey(Value::Null)),
+        ));
+        self.map
+            .range(bounds)
+            .map(|(k, ids)| (&k.0, ids.as_slice()))
     }
 
     /// Smallest and largest indexed value.

@@ -21,8 +21,10 @@
 //! the differential test suite asserts both paths agree on every
 //! generated query.
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::ops::Bound;
 
 use crate::database::Database;
 use crate::error::{Result, TxdbError};
@@ -34,7 +36,9 @@ use crate::value::{DataType, Value};
 
 use super::ast::{AggFunc, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
 use super::parser::parse_statement;
-use super::plan::{plan_select_with, JoinStrategy, Layout, PlanOptions};
+use super::plan::{
+    intersect_sorted, plan_select_with, AccessPath, IndexProbe, JoinStrategy, Layout, PlanOptions,
+};
 
 const NULL_VALUE: Value = Value::Null;
 
@@ -51,35 +55,84 @@ fn join_key_excluded(v: &Value) -> bool {
 /// never joins. The result is indexed by tuple position, so the caller
 /// emits in original stream order — canonical order is preserved without
 /// any re-sorting.
+///
+/// `filter` is the build-side pushdown's fetched RowId set: matched
+/// buckets are intersected with it (both sides ascending, so the
+/// intersection stays in canonical order), and when the pushdown probes
+/// the join key itself the entries walk is clamped to those bounds
+/// instead of visiting the whole index. Without a filter the buckets are
+/// borrowed straight from the index — no allocation at all.
 fn merge_match_buckets<'t>(
     right: &'t Table,
     right_col: &str,
     keys: &[Option<&Value>],
-) -> Vec<&'t [RowId]> {
+    filter: Option<&[RowId]>,
+    clamp: Option<(Bound<&Value>, Bound<&Value>)>,
+) -> Vec<Cow<'t, [RowId]>> {
     const EMPTY: &[RowId] = &[];
     let index = right
         .range_index(right_col)
         .expect("plan chose MergeRange only with an ordered index");
-    let entries: Vec<(&Value, &[RowId])> = index
-        .entries()
-        .filter(|(v, _)| !join_key_excluded(v))
-        .collect();
-    let mut matches: Vec<&[RowId]> = vec![EMPTY; keys.len()];
+    let entries: Vec<(&Value, &[RowId])> = match clamp {
+        Some((lo, hi)) => index
+            .entries_range(lo, hi)
+            .filter(|(v, _)| !join_key_excluded(v))
+            .collect(),
+        None => index
+            .entries()
+            .filter(|(v, _)| !join_key_excluded(v))
+            .collect(),
+    };
+    let mut matches: Vec<Cow<'t, [RowId]>> = vec![Cow::Borrowed(EMPTY); keys.len()];
     let mut order: Vec<usize> = (0..keys.len()).filter(|&i| keys[i].is_some()).collect();
     order.sort_by(|&a, &b| {
         OrdKey::cmp_values(keys[a].expect("filtered"), keys[b].expect("filtered"))
     });
     let mut e = 0usize;
+    // Duplicate outer keys are adjacent in `order` and land on the same
+    // entry, so the (possibly intersected) bucket is computed once per
+    // entry and cloned for repeats — a memcpy at worst, instead of
+    // re-walking the filter set per outer tuple.
+    let mut prev: Option<(usize, usize)> = None; // (entry idx, tuple idx)
     for &ti in &order {
         let k = keys[ti].expect("filtered");
         while e < entries.len() && OrdKey::cmp_values(entries[e].0, k).is_lt() {
             e += 1;
         }
         if e < entries.len() && OrdKey::cmp_values(entries[e].0, k).is_eq() {
-            matches[ti] = entries[e].1;
+            matches[ti] = match prev {
+                Some((pe, pti)) if pe == e => matches[pti].clone(),
+                _ => {
+                    prev = Some((e, ti));
+                    match filter {
+                        Some(f) => Cow::Owned(intersect_sorted(entries[e].1, f)),
+                        None => Cow::Borrowed(entries[e].1),
+                    }
+                }
+            };
         }
     }
     matches
+}
+
+/// Clamp bounds for a merge walk: the bounds of the pushdown probe on
+/// the join key itself, when one exists. The fetched `filter` set is
+/// what guarantees exactness (it reconciles NaN and intersects all
+/// probes); the clamp only narrows the walk.
+fn join_key_clamp<'p>(
+    access: &'p AccessPath,
+    right_col: &str,
+) -> Option<(Bound<&'p Value>, Bound<&'p Value>)> {
+    let AccessPath::Index(probes) = access else {
+        return None;
+    };
+    probes
+        .iter()
+        .find(|p| p.column() == right_col)
+        .map(|p| match p {
+            IndexProbe::Eq { value, .. } => (Bound::Included(value), Bound::Included(value)),
+            IndexProbe::Range { lo, hi, .. } => (lo.as_ref(), hi.as_ref()),
+        })
 }
 
 /// Tabular result of a `SELECT`.
@@ -638,9 +691,20 @@ pub fn execute_select_with(
         let mut out_rids: Vec<RowId> = Vec::new();
 
         // Strategy setup, once per join step. An empty outer stream skips
-        // the build entirely (nothing to probe with).
+        // the build entirely (nothing to probe with). The build-side
+        // pushdown's RowId set — when the planner priced a pre-filter in
+        // — is fetched once here; it is exact for the consumed conjuncts
+        // (the planner dropped them from the residual stages).
+        let build_rids: Option<Vec<RowId>> = if count > 0 {
+            pj.build_access.fetch_row_ids(right)?
+        } else {
+            None
+        };
         let build_map = match pj.strategy {
-            JoinStrategy::BuildHash if count > 0 => Some(right.join_map(&pj.right_col)?),
+            JoinStrategy::BuildHash if count > 0 => Some(match &build_rids {
+                Some(rids) => right.join_map_filtered(&pj.right_col, rids)?,
+                None => right.join_map(&pj.right_col)?,
+            }),
             _ => None,
         };
         let merge_matches = if pj.strategy == JoinStrategy::MergeRange && count > 0 {
@@ -652,7 +716,18 @@ pub fn execute_select_with(
                     (!join_key_excluded(key)).then_some(key)
                 })
                 .collect();
-            Some(merge_match_buckets(right, &pj.right_col, &keys))
+            let clamp = if build_rids.is_some() {
+                join_key_clamp(&pj.build_access, &pj.right_col)
+            } else {
+                None
+            };
+            Some(merge_match_buckets(
+                right,
+                &pj.right_col,
+                &keys,
+                build_rids.as_deref(),
+                clamp,
+            ))
         } else {
             None
         };
@@ -671,7 +746,7 @@ pub fn execute_select_with(
             let bucket: &[RowId] = if let Some(map) = &build_map {
                 map.get(key).map_or(&[][..], Vec::as_slice)
             } else if let Some(matches) = &merge_matches {
-                matches[ti]
+                &matches[ti]
             } else {
                 match right.index_bucket(&pj.right_col, key) {
                     Some(b) => b,
@@ -1702,19 +1777,36 @@ mod tests {
         }
     }
 
-    /// Assert planned (default options), PR 2 per-key shape and the
-    /// reference executor all agree on `q` — including row order.
+    /// Assert planned (default options), the PR 3 no-pushdown shape, the
+    /// PR 2 per-key shape and the reference executor all agree on `q` —
+    /// including row order.
     fn assert_all_paths_agree(db: &Database, q: &str) -> ResultSet {
         let Statement::Select(sel) = parse_statement(q).unwrap() else {
             unreachable!()
         };
         let planned = execute_select(db, &sel).unwrap();
+        let no_pd = execute_select_with(
+            db,
+            &sel,
+            &crate::sql::plan::PlanOptions::no_build_pushdown(),
+        )
+        .unwrap();
         let per_key =
             execute_select_with(db, &sel, &crate::sql::plan::PlanOptions::per_key_joins()).unwrap();
         let reference = execute_select_reference(db, &sel).unwrap();
         assert_eq!(planned, reference, "planned vs reference: {q}");
+        assert_eq!(no_pd, reference, "no-pushdown shape vs reference: {q}");
         assert_eq!(per_key, reference, "per-key fallback vs reference: {q}");
         planned
+    }
+
+    /// The planner's build-pushdown count for `q` — pins that a test
+    /// actually exercised the pre-filtered path.
+    fn pushdowns(db: &Database, q: &str) -> usize {
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        plan_select(db, &sel).unwrap().build_pushdown_count()
     }
 
     /// The planner's strategy for each join of `q`, for pinning which
@@ -1861,6 +1953,158 @@ mod tests {
             .map(|&(l, r)| vec![Value::Int(l), Value::Int(r)])
             .collect();
         assert_eq!(rs.rows, expected);
+    }
+
+    /// Build-side pushdown edge cases: an unindexed float join key with
+    /// NULL and NaN on both sides, plus a range-indexed float filter
+    /// column `score` that itself carries NULL and NaN cells. `ordered`
+    /// adds range indexes on both join-key columns (the MergeRange gate).
+    fn pushdown_edge_db(ordered: bool) -> Database {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE lt (l_id INT PRIMARY KEY, k FLOAT);
+             CREATE TABLE rt (r_id INT PRIMARY KEY, k FLOAT, score FLOAT)",
+        )
+        .unwrap();
+        for i in 0..40i64 {
+            let k = match i % 9 {
+                0 => "NULL".to_string(),
+                3 => "'NaN'".to_string(),
+                _ => format!("{}.0", i % 20),
+            };
+            execute(&mut db, &format!("INSERT INTO lt VALUES ({i}, {k})")).unwrap();
+        }
+        for i in 0..60i64 {
+            let k = match i % 11 {
+                0 => "NULL".to_string(),
+                4 => "'NaN'".to_string(),
+                _ => format!("{}.0", i % 20),
+            };
+            let score = match i % 15 {
+                0 => "NULL".to_string(),
+                7 => "'NaN'".to_string(),
+                _ => format!("{}", i as f64 / 2.0),
+            };
+            execute(
+                &mut db,
+                &format!("INSERT INTO rt VALUES ({i}, {k}, {score})"),
+            )
+            .unwrap();
+        }
+        db.table_mut("rt")
+            .unwrap()
+            .create_range_index("score")
+            .unwrap();
+        if ordered {
+            db.table_mut("lt").unwrap().create_range_index("k").unwrap();
+            db.table_mut("rt").unwrap().create_range_index("k").unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn pushdown_handles_null_and_nan_cells_on_build_side() {
+        let db = pushdown_edge_db(false);
+        // Non-strict bound: NaN score cells pass (`partial_cmp` collapse),
+        // so the fetched set must include the index's NaN bucket; strict
+        // bound: NaN cells fail and must be stripped. NULL score cells
+        // never pass either way (the index excludes them). NULL/NaN join
+        // *keys* on the filtered rows must still never join.
+        for q in [
+            "SELECT lt.l_id, rt.r_id FROM lt JOIN rt ON rt.k = lt.k WHERE rt.score <= 1.0",
+            "SELECT lt.l_id, rt.r_id FROM lt JOIN rt ON rt.k = lt.k WHERE rt.score < 1.0",
+            "SELECT lt.l_id, rt.r_id FROM lt JOIN rt ON rt.k = lt.k WHERE rt.score >= 27.0",
+        ] {
+            assert!(pushdowns(&db, q) >= 1, "pushdown must trigger: {q}");
+            assert_all_paths_agree(&db, q);
+        }
+    }
+
+    #[test]
+    fn pushdown_probe_that_empties_the_build_side() {
+        let db = pushdown_edge_db(false);
+        let q = "SELECT lt.l_id, rt.r_id FROM lt JOIN rt ON rt.k = lt.k WHERE rt.score < -5.0";
+        assert!(pushdowns(&db, q) >= 1, "pushdown must trigger: {q}");
+        let rs = assert_all_paths_agree(&db, q);
+        assert!(rs.rows.is_empty(), "no build row survives the probe");
+    }
+
+    #[test]
+    fn clamped_merge_walk_agrees_with_reference() {
+        use crate::sql::plan::JoinStrategy;
+        let db = pushdown_edge_db(true);
+        // A selective bound on the join key itself with a tiny outer
+        // stream: the planner clamps the MergeRange walk to the probe's
+        // bounds. The non-strict `<=` additionally pulls NaN join-key
+        // cells into the fetched set — they must still never join.
+        let q = "SELECT lt.l_id, rt.r_id FROM lt JOIN rt ON rt.k = lt.k \
+                 WHERE lt.l_id = 2 AND rt.k <= 1.0";
+        assert_eq!(strategies(&db, q), vec![JoinStrategy::MergeRange]);
+        assert!(pushdowns(&db, q) >= 1, "pushdown must trigger: {q}");
+        assert_all_paths_agree(&db, q);
+    }
+
+    #[test]
+    fn consumed_pushdown_conjunct_is_not_double_filtered() {
+        let db = pushdown_edge_db(false);
+        let q = "SELECT lt.l_id, rt.r_id FROM lt JOIN rt ON rt.k = lt.k WHERE rt.score <= 1.0";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let p = plan_select(&db, &sel).unwrap();
+        assert_eq!(p.build_pushdown_count(), 1);
+        assert_eq!(
+            p.staged_count(),
+            0,
+            "consumed conjunct must leave the residual stages: {}",
+            p.describe()
+        );
+        // And dropping it is sound: results still match the reference,
+        // which evaluates the full WHERE clause after the join.
+        assert_all_paths_agree(&db, q);
+    }
+
+    #[test]
+    fn reordered_joins_keep_canonical_order_under_pushdown() {
+        // Star join where the tiny `a` join reorders first and the
+        // unindexed `s` join carries a build-side pushdown: the filtered
+        // BuildHash output must still canonicalize to FROM-order
+        // nested-loop order.
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE m (m_id INT PRIMARY KEY, k INT);
+             CREATE TABLE s (s_id INT PRIMARY KEY, k INT, tag INT);
+             CREATE TABLE a (a_id INT PRIMARY KEY, m_id INT REFERENCES m(m_id));",
+        )
+        .unwrap();
+        for i in 0..30i64 {
+            execute(&mut db, &format!("INSERT INTO m VALUES ({i}, {})", i % 5)).unwrap();
+            execute(
+                &mut db,
+                &format!("INSERT INTO s VALUES ({i}, {}, {})", i % 5, i % 10),
+            )
+            .unwrap();
+        }
+        execute(&mut db, "INSERT INTO a VALUES (0, 3), (1, 17)").unwrap();
+        db.table_mut("s").unwrap().create_index("tag").unwrap();
+        let q = "SELECT m.m_id, s.s_id, a.a_id FROM m \
+                 JOIN s ON s.k = m.k \
+                 JOIN a ON a.m_id = m.m_id \
+                 WHERE s.tag = 1";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let p = plan_select(&db, &sel).unwrap();
+        assert!(p.joins_reordered(), "fixture must trigger a reorder");
+        assert_eq!(
+            p.build_pushdown_count(),
+            1,
+            "fixture must exercise the pushdown, got {}",
+            p.describe()
+        );
+        assert_all_paths_agree(&db, q);
     }
 
     #[test]

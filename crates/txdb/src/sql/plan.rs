@@ -20,7 +20,7 @@
 //!    shape `column <op> literal` with `op ∈ {=, <, <=, >, >=}` and the
 //!    literal coerces to the column type. Equality conjuncts can be served
 //!    by a hash index ([`Table::lookup`]); all sargable shapes can be
-//!    served by an ordered [`RangeIndex`](crate::index::RangeIndex) when
+//!    served by an ordered [`RangeIndex`] when
 //!    one exists on the column (equality becomes the degenerate range
 //!    `[v, v]`). Conjuncts on the same column are folded into a single
 //!    bound pair, so `price > 5 AND price <= 9` probes the index once.
@@ -32,7 +32,7 @@
 //!    the table statistics from [`crate::stats`]: equality via
 //!    [`ColumnStats::eq_selectivity`] (exact for values tracked in the
 //!    MCV list, uniform over the remaining distinct values otherwise),
-//!    ranges via [`Histogram::range_selectivity`] when the column is
+//!    ranges via [`Histogram::range_selectivity`](crate::stats::Histogram::range_selectivity) when the column is
 //!    numeric/date (falling back to the classic 1/3 guess without a
 //!    histogram). The cheapest candidate wins; an index path is only
 //!    chosen when its estimated selectivity is at or below
@@ -102,7 +102,47 @@
 //! key semantics: NULL and NaN keys never join, and Int/Float keys
 //! compare numerically.
 //!
-//! [`choose_table_access`] is shared with the typed API:
+//! # Build-side pushdown
+//!
+//! A join-side conjunct that references only the join's own table (e.g.
+//! `screening.price > 11.0` on a `JOIN screening`) used to run purely as
+//! a residual filter *after* the join produced its tuples — the build
+//! side was always hashed (or the ordered index always walked) in full.
+//! Strategy assignment now prices the join table's own access path over
+//! those conjuncts, exactly as the base table's is priced: the sargable
+//! ones among them go through `choose_table_access` with the join
+//! table's cached statistics, and when the resulting probe set is
+//! selective enough that fetching it plus building over the filtered
+//! rows beats the unfiltered strategy
+//! ([`HASH_BUILD_COST_FACTOR`]` × |right|` for the hash build,
+//! `|right| + outer × log₂(outer)` for the merge), the join step carries
+//! that path in [`PlannedJoin::build_access`]:
+//!
+//! - [`BuildHash`](JoinStrategy::BuildHash) builds its key → RowIds map
+//!   only over the fetched RowId set
+//!   ([`Table::join_map_filtered`](crate::table::Table::join_map_filtered)),
+//!   shrinking the build from `|right|` to `selectivity × |right|`
+//!   insertions.
+//! - [`MergeRange`](JoinStrategy::MergeRange) intersects each matched
+//!   bucket with the fetched set; when one of the probes bounds the join
+//!   key itself, the ordered-index walk is additionally clamped to those
+//!   bounds ([`RangeIndex::entries_range`]).
+//!
+//! The filtered estimate can flip the build-vs-merge choice in either
+//! direction: a selective probe makes a filtered hash build cheaper than
+//! walking the full ordered index, while a probe on the join key makes a
+//! clamped merge cheaper than any build. Conjuncts consumed by the
+//! pushdown are dropped from the residual stages — the fetched set
+//! already guarantees them (same exactness machinery as base-table
+//! consumption, including the NaN-bucket reconciliation) — so they are
+//! never evaluated twice. Pushdown never applies to
+//! [`IndexProbe`](JoinStrategy::IndexProbe) joins (the per-outer-tuple
+//! bucket probe touches only matching rows already) and is disabled by
+//! [`PlanOptions::build_pushdown`]` = false`, which the legacy planner
+//! shapes use so benchmarks and the differential suite can pin the
+//! unfiltered generation against it.
+//!
+//! `choose_table_access` is shared with the typed API:
 //! [`Table::select`](crate::table::Table::select) routes its predicate
 //! through the same candidate pricing (with exact hash-bucket sizes when
 //! no statistics are available) instead of its former smallest-bucket
@@ -346,8 +386,10 @@ impl AccessPath {
     }
 }
 
-/// Two-pointer intersection of ascending RowId vectors.
-fn intersect_sorted(a: &[RowId], b: &[RowId]) -> Vec<RowId> {
+/// Two-pointer intersection of ascending RowId vectors. Shared with the
+/// executor's merge join, which intersects matched buckets with a
+/// build-side pushdown's fetched RowId set.
+pub(crate) fn intersect_sorted(a: &[RowId], b: &[RowId]) -> Vec<RowId> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -382,6 +424,15 @@ pub struct PlanOptions {
     /// kept so benchmarks and the differential suite can pin the old
     /// (quadratic) fallback against the join-execution layer.
     pub join_strategies: bool,
+    /// Push join-table single-table conjuncts into the join's own access
+    /// path ([`PlannedJoin::build_access`]): a selective probe pre-filters
+    /// the `BuildHash` build side or clamps the `MergeRange` walk, and
+    /// the consumed conjuncts leave the residual stages (see the
+    /// module-level *Build-side pushdown* section). Off: the build side
+    /// is always processed in full and every join-side conjunct runs as
+    /// a staged filter — the PR 3 shape, kept for benchmarks and the
+    /// differential suite. Has no effect unless `join_strategies` is on.
+    pub build_pushdown: bool,
 }
 
 impl Default for PlanOptions {
@@ -391,6 +442,7 @@ impl Default for PlanOptions {
             reorder_joins: true,
             join_pushdown: true,
             join_strategies: true,
+            build_pushdown: true,
         }
     }
 }
@@ -405,6 +457,7 @@ impl PlanOptions {
             reorder_joins: false,
             join_pushdown: false,
             join_strategies: false,
+            build_pushdown: false,
         }
     }
 
@@ -414,6 +467,17 @@ impl PlanOptions {
     pub fn per_key_joins() -> PlanOptions {
         PlanOptions {
             join_strategies: false,
+            build_pushdown: false,
+            ..PlanOptions::default()
+        }
+    }
+
+    /// The PR 3 planner shape: join strategies enabled, but the build
+    /// side is never pre-filtered by its own access path. Benchmarks pin
+    /// the pushdown's win against this shape.
+    pub fn no_build_pushdown() -> PlanOptions {
+        PlanOptions {
+            build_pushdown: false,
             ..PlanOptions::default()
         }
     }
@@ -468,6 +532,12 @@ pub struct PlannedJoin {
     pub right_col: String,
     /// How the executor reaches this table's matching rows.
     pub strategy: JoinStrategy,
+    /// Build-side pushdown: the access path over this table's own
+    /// single-table conjuncts, when pre-filtering the build side was
+    /// priced cheaper than the unfiltered strategy. `FullScan` means no
+    /// pushdown — the whole right side is hashed/walked, and every
+    /// join-side conjunct runs as a staged residual filter.
+    pub build_access: AccessPath,
 }
 
 /// The plan for one `SELECT`: access path, join order, staged filters.
@@ -507,13 +577,32 @@ impl SelectPlan {
             .any(|(i, j)| j.from_idx != i)
     }
 
+    /// Number of joins whose build side is pre-filtered by its own
+    /// access path (see [`PlannedJoin::build_access`]). Used by tests and
+    /// the differential tally to assert the pushdown path executes.
+    pub fn build_pushdown_count(&self) -> usize {
+        self.join_order
+            .iter()
+            .filter(|j| j.build_access != AccessPath::FullScan)
+            .count()
+    }
+
     /// One-line summary, e.g.
-    /// `index_and(genre&rating) sel=0.012 pushed=1 staged=2 order=[1:probe,0:hash]`.
+    /// `index_and(genre&rating) sel=0.012 pushed=1 staged=2 order=[1:probe,0:hash+pf]`
+    /// — `+pf` marks a join whose build side is pre-filtered by a
+    /// pushdown access path.
     pub fn describe(&self) -> String {
         let order: Vec<String> = self
             .join_order
             .iter()
-            .map(|j| format!("{}:{}", j.from_idx, j.strategy.describe()))
+            .map(|j| {
+                let pf = if j.build_access == AccessPath::FullScan {
+                    ""
+                } else {
+                    "+pf"
+                };
+                format!("{}:{}{pf}", j.from_idx, j.strategy.describe())
+            })
             .collect();
         format!(
             "{} sel={:.3} pushed={} staged={} order=[{}]",
@@ -880,32 +969,111 @@ fn resolve_joins(db: &Database, layout: &Layout, sel: &SelectStmt) -> Result<Vec
             left_slot,
             right_col: right.schema().columns()[right_idx].name.clone(),
             strategy: JoinStrategy::IndexProbe,
+            build_access: AccessPath::FullScan,
         });
     }
     Ok(out)
 }
 
-/// Pick a [`JoinStrategy`] for every join step, walking the execution
-/// order with a running estimate of the outer tuple count.
+/// Build a sargable candidate from a `column <op> literal` conjunct, if
+/// the shape qualifies: `op ≠ <>`, non-NULL literal that coerces to the
+/// column type without becoming NULL. The single definition of
+/// sargability shared by the base-table and build-side extractions, so
+/// the two planners cannot drift apart.
+fn sarg_from_cmp(
+    column: &str,
+    op: CmpOp,
+    value: &Value,
+    ty: DataType,
+    conjunct: usize,
+) -> Option<Sarg> {
+    if op == CmpOp::Ne || value.is_null() {
+        return None;
+    }
+    let coerced = value.coerce_to(ty).ok()?;
+    if coerced.is_null() {
+        return None;
+    }
+    Some(Sarg {
+        conjunct,
+        column: column.to_string(),
+        op,
+        value: coerced,
+    })
+}
+
+/// Sargable candidates among the join-side conjuncts bound at a single
+/// join table (`ords == [table_ord]`), extracted exactly like the base
+/// table's (see [`sarg_from_cmp`]). [`Sarg::conjunct`] indexes into
+/// `joinside`, so a consumed probe maps back to the conjunct it
+/// guarantees.
+fn joinside_sargs(
+    layout: &Layout,
+    joinside: &[(SqlExpr, Vec<usize>)],
+    table_ord: usize,
+) -> Vec<Sarg> {
+    let mut sargs = Vec::new();
+    for (i, (expr, ords)) in joinside.iter().enumerate() {
+        if ords.as_slice() != [table_ord] {
+            continue;
+        }
+        let SqlExpr::Cmp { column, op, value } = expr else {
+            continue;
+        };
+        // Every column of this conjunct resolved to `table_ord` when the
+        // ord set was computed, so resolution cannot fail here.
+        let Ok(slot) = layout.resolve(column) else {
+            continue;
+        };
+        let slot = &layout.slots[slot];
+        sargs.extend(sarg_from_cmp(&slot.column, *op, value, slot.ty, i));
+    }
+    sargs
+}
+
+/// Pick a [`JoinStrategy`] (and optionally a build-side pushdown access
+/// path) for every join step, walking the execution order with a running
+/// estimate of the outer tuple count.
 ///
 /// A hash index on the join column keeps today's per-key bucket probe.
-/// Otherwise the two one-pass strategies are priced per the module docs:
+/// Otherwise the one-pass strategies are priced per the module docs:
 /// building a hash map costs [`HASH_BUILD_COST_FACTOR`]`× |right|` plus
 /// one O(1) probe per outer tuple; merging costs one ordered-index walk
 /// (`|right|`) plus sorting the outer keys (`outer × log₂ outer`), and is
 /// only eligible when both sides of the ON key have an ordered index.
+/// With `build_pushdown`, the join table's own access path over its
+/// single-table conjuncts enters the pricing: a filtered build costs the
+/// probe fetch (`≈ selectivity × |right|`) plus the build over the
+/// filtered rows, and a filtered merge clamps its walk when one probe
+/// bounds the join key itself. The cheapest variant wins; ties prefer
+/// the pre-filtered variant, then the merge (no build allocation).
+///
 /// The outer estimate advances by the right side's average bucket size —
-/// exact index distinct counts when available, [`TableStats`] otherwise.
+/// exact index distinct counts when available, [`TableStats`] otherwise —
+/// scaled by the pushdown selectivity when the build side is
+/// pre-filtered (still clamped at ≥1× growth).
+///
+/// Returns the indices of `joinside` conjuncts consumed by a pushdown
+/// (their access path already guarantees them, so they must leave the
+/// residual stages).
 fn assign_join_strategies(
     db: &Database,
     layout: &Layout,
     join_order: &mut [PlannedJoin],
     mut outer_est: f64,
-) -> Result<()> {
+    joinside: &[(SqlExpr, Vec<usize>)],
+    opts: &PlanOptions,
+) -> Result<Vec<usize>> {
+    let mut consumed = Vec::new();
     for pj in join_order.iter_mut() {
         let right = db.table(&pj.table)?;
         let nrows = right.len() as f64;
+        // Rows actually entering the build/merge after any pushdown —
+        // feeds the outer-estimate advance below.
+        let mut eff_rows = nrows;
         pj.strategy = if right.has_index(&pj.right_col) {
+            // Per-outer-tuple bucket probes touch only matching rows;
+            // pre-filtering the right side cannot beat that.
             JoinStrategy::IndexProbe
         } else {
             let left_slot = &layout.slots[pj.left_slot];
@@ -913,13 +1081,76 @@ fn assign_join_strategies(
                 && db
                     .table(&left_slot.table)
                     .is_ok_and(|t| t.has_range_index(&left_slot.column));
+            let sort_cost = outer_est * outer_est.max(2.0).log2();
             let build_cost = HASH_BUILD_COST_FACTOR * nrows + outer_est;
-            let merge_cost = nrows + outer_est * outer_est.max(2.0).log2();
-            if both_ordered && merge_cost <= build_cost {
-                JoinStrategy::MergeRange
+            let merge_cost = if both_ordered {
+                nrows + sort_cost
             } else {
-                JoinStrategy::BuildHash
+                f64::INFINITY
+            };
+
+            // Build-side pushdown candidate: the join table's own access
+            // path over the conjuncts bound at this level.
+            let mut pushdown: Option<(AccessPath, f64, Vec<usize>)> = None;
+            if opts.build_pushdown && !right.is_empty() {
+                let sargs = joinside_sargs(layout, joinside, pj.table_ord);
+                if !sargs.is_empty() {
+                    let (access, est, used) = db.with_stats(&pj.table, |stats| {
+                        choose_table_access(right, Some(stats), &sargs, opts.multi_index)
+                    })?;
+                    if let AccessPath::Index(_) = access {
+                        let joinside_used: Vec<usize> =
+                            used.iter().map(|&u| sargs[u].conjunct).collect();
+                        pushdown = Some((access, est, joinside_used));
+                    }
+                }
             }
+            let (build_pd_cost, merge_pd_cost) = match &pushdown {
+                Some((AccessPath::Index(probes), est, _)) => {
+                    let filtered = est * nrows;
+                    // Fetching the probes costs about the filtered
+                    // cardinality (same convention as the intersection
+                    // pricing in the module docs).
+                    let fetch = filtered;
+                    let build = fetch + HASH_BUILD_COST_FACTOR * filtered + outer_est;
+                    let merge = if both_ordered {
+                        // A probe on the join key clamps the ordered
+                        // walk; otherwise every entry is still visited
+                        // and only the buckets shrink.
+                        let walk = if probes.iter().any(|p| p.column() == pj.right_col) {
+                            filtered
+                        } else {
+                            nrows
+                        };
+                        fetch + walk + sort_cost
+                    } else {
+                        f64::INFINITY
+                    };
+                    (build, merge)
+                }
+                _ => (f64::INFINITY, f64::INFINITY),
+            };
+
+            // Cheapest variant wins; `<=` makes later candidates win
+            // ties, so the preference order is merge+pushdown, then
+            // build+pushdown, then plain merge, then plain build.
+            let mut choice = (JoinStrategy::BuildHash, false, build_cost);
+            if merge_cost <= choice.2 {
+                choice = (JoinStrategy::MergeRange, false, merge_cost);
+            }
+            if build_pd_cost <= choice.2 {
+                choice = (JoinStrategy::BuildHash, true, build_pd_cost);
+            }
+            if merge_pd_cost <= choice.2 {
+                choice = (JoinStrategy::MergeRange, true, merge_pd_cost);
+            }
+            if choice.1 {
+                let (access, est, used) = pushdown.expect("pushdown variant chosen");
+                eff_rows = est * nrows;
+                pj.build_access = access;
+                consumed.extend(used);
+            }
+            choice.0
         };
         // Average bucket size of the join key: rows per distinct value.
         let distinct = right
@@ -934,9 +1165,9 @@ fn assign_join_strategies(
                 .flatten()
             })
             .unwrap_or(nrows);
-        outer_est *= (nrows / distinct.max(1.0)).max(1.0);
+        outer_est *= (eff_rows / distinct.max(1.0)).max(1.0);
     }
-    Ok(())
+    Ok(consumed)
 }
 
 /// Greedily order joins smallest-estimated-table-first, restricted to
@@ -1028,10 +1259,19 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
         let table_cards = table_row_counts(db, &layout);
         // Conservatism is about WHERE-clause error semantics; the join
         // strategy is orthogonal, so unindexed joins still avoid the
-        // quadratic fallback.
+        // quadratic fallback. No build-side pushdown though: an
+        // unresolvable WHERE clause means no conjunct was classified, so
+        // there is nothing safe to push (`joinside` is empty).
         let mut join_order = joins;
         if opts.join_strategies {
-            assign_join_strategies(db, &layout, &mut join_order, table_cards[0].max(1.0))?;
+            assign_join_strategies(
+                db,
+                &layout,
+                &mut join_order,
+                table_cards[0].max(1.0),
+                &[],
+                opts,
+            )?;
         }
         return Ok(SelectPlan {
             layout,
@@ -1053,19 +1293,9 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
             continue;
         }
         if let SqlExpr::Cmp { column, op, value } = &expr {
-            if *op != CmpOp::Ne && !value.is_null() {
-                if let Some(idx) = schema.column_index(&column.column) {
-                    if let Ok(coerced) = value.coerce_to(schema.columns()[idx].ty) {
-                        if !coerced.is_null() {
-                            sargs.push(Sarg {
-                                conjunct: pushed.len(),
-                                column: column.column.clone(),
-                                op: *op,
-                                value: coerced,
-                            });
-                        }
-                    }
-                }
+            if let Some(idx) = schema.column_index(&column.column) {
+                let ty = schema.columns()[idx].ty;
+                sargs.extend(sarg_from_cmp(&column.column, *op, value, ty, pushed.len()));
             }
         }
         pushed.push(expr);
@@ -1132,6 +1362,7 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
     } else {
         joins
     };
+    let mut consumed_joinside: Vec<usize> = Vec::new();
     if opts.join_strategies && njoins > 0 {
         // Outer estimate entering the first join: base rows surviving the
         // access path (post-filter card when the reorder pass refined it).
@@ -1140,8 +1371,24 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
         } else {
             base.len() as f64 * estimated_selectivity
         };
-        assign_join_strategies(db, &layout, &mut join_order, outer0.max(1.0))?;
+        consumed_joinside = assign_join_strategies(
+            db,
+            &layout,
+            &mut join_order,
+            outer0.max(1.0),
+            &joinside,
+            opts,
+        )?;
     }
+    // Drop the conjuncts a build-side pushdown consumed: the join's
+    // filtered access path already guarantees them, so evaluating them
+    // again as residual filters would be pure waste.
+    let joinside: Vec<(SqlExpr, Vec<usize>)> = joinside
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !consumed_joinside.contains(i))
+        .map(|(_, e)| e)
+        .collect();
 
     // Assign every join-side conjunct its evaluation stage: the earliest
     // point in execution order at which all referenced tables are bound.
@@ -1671,6 +1918,154 @@ mod tests {
         assert_eq!(p.join_order[0].strategy, JoinStrategy::IndexProbe);
         let p = plan_select_with(&db, &sel, &PlanOptions::single_access_path()).unwrap();
         assert_eq!(p.join_order[0].strategy, JoinStrategy::IndexProbe);
+    }
+
+    /// [`unindexed_join_db`] plus a selective, hash-indexed `tag` column
+    /// on the right table (~1% per value) — the build-side pushdown
+    /// candidate.
+    fn pushdown_db(ordered: bool) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("l")
+                .column("l_id", crate::DataType::Int)
+                .column("k", crate::DataType::Int)
+                .primary_key(&["l_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("r")
+                .column("r_id", crate::DataType::Int)
+                .column("k", crate::DataType::Int)
+                .column("tag", crate::DataType::Int)
+                .primary_key(&["r_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.table_mut("r").unwrap().create_index("tag").unwrap();
+        for i in 0..200i64 {
+            db.insert("l", row![i, i % 50]).unwrap();
+            db.insert("r", row![i, i % 50, i % 100]).unwrap();
+        }
+        if ordered {
+            db.table_mut("l").unwrap().create_range_index("k").unwrap();
+            db.table_mut("r").unwrap().create_range_index("k").unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn selective_build_conjunct_prefilters_hash_join() {
+        let db = pushdown_db(false);
+        let p = plan(
+            &db,
+            "SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE r.tag = 7",
+        );
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::BuildHash);
+        assert_eq!(
+            p.join_order[0].build_access.describe(),
+            "index_eq(tag)",
+            "{}",
+            p.describe()
+        );
+        assert_eq!(p.build_pushdown_count(), 1);
+        // The consumed conjunct must leave the residual stage — it would
+        // otherwise be evaluated twice.
+        assert_eq!(p.staged_count(), 0, "{}", p.describe());
+        assert!(p.describe().contains("0:hash+pf"), "{}", p.describe());
+    }
+
+    #[test]
+    fn unselective_build_conjunct_stays_a_staged_filter() {
+        let db = pushdown_db(false);
+        // `tag >= 0` keeps everything; no index path clears the
+        // threshold, so the build side stays unfiltered and the conjunct
+        // stays staged.
+        let p = plan(
+            &db,
+            "SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE r.tag >= 0",
+        );
+        assert_eq!(p.join_order[0].build_access, AccessPath::FullScan);
+        assert_eq!(p.build_pushdown_count(), 0);
+        assert_eq!(p.staged_count(), 1);
+    }
+
+    #[test]
+    fn selective_probe_flips_merge_to_filtered_build() {
+        let db = pushdown_db(true);
+        // Without the tag conjunct the tiny outer stream merges against
+        // the ordered index (the PR 3 choice)...
+        let p = plan(
+            &db,
+            "SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE l.l_id = 7",
+        );
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::MergeRange);
+        // ...but a 1% probe on the build side makes the filtered hash
+        // build cheaper than walking all 200 index entries.
+        let p = plan(
+            &db,
+            "SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE l.l_id = 7 AND r.tag = 7",
+        );
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::BuildHash);
+        assert_eq!(p.join_order[0].build_access.describe(), "index_eq(tag)");
+        assert_eq!(p.staged_count(), 0, "{}", p.describe());
+    }
+
+    #[test]
+    fn join_key_probe_clamps_merge_walk() {
+        let db = pushdown_db(true);
+        // A selective bound on the join key itself: the merge walk can be
+        // clamped to the probe's range, beating both the full walk and
+        // the filtered hash build.
+        let p = plan(
+            &db,
+            "SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE l.l_id = 7 AND r.k < 3",
+        );
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::MergeRange);
+        assert_eq!(
+            p.join_order[0].build_access.describe(),
+            "index_range(k)",
+            "{}",
+            p.describe()
+        );
+        assert!(p.describe().contains("0:merge+pf"), "{}", p.describe());
+        assert_eq!(p.staged_count(), 0, "{}", p.describe());
+    }
+
+    #[test]
+    fn pushdown_options_flag_disables_prefilter() {
+        let db = pushdown_db(false);
+        let Statement::Select(sel) =
+            parse_statement("SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE r.tag = 7").unwrap()
+        else {
+            unreachable!()
+        };
+        for opts in [
+            PlanOptions::no_build_pushdown(),
+            PlanOptions::per_key_joins(),
+            PlanOptions::single_access_path(),
+        ] {
+            let p = plan_select_with(&db, &sel, &opts).unwrap();
+            assert_eq!(p.build_pushdown_count(), 0);
+            assert_eq!(p.staged_count(), 1, "conjunct must stay a filter");
+        }
+    }
+
+    #[test]
+    fn indexed_join_column_never_prefilters() {
+        let mut db = pushdown_db(false);
+        // A hash index on the join key keeps the per-tuple bucket probe;
+        // pre-filtering cannot beat touching only matching rows.
+        db.table_mut("r").unwrap().create_index("k").unwrap();
+        let p = plan(
+            &db,
+            "SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE r.tag = 7",
+        );
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::IndexProbe);
+        assert_eq!(p.join_order[0].build_access, AccessPath::FullScan);
+        assert_eq!(p.staged_count(), 1);
     }
 
     #[test]

@@ -389,7 +389,7 @@ impl Table {
 
     /// Row ids matching `column = value`, via index when available.
     /// Always in ascending RowId order: index buckets are maintained
-    /// sorted (see [`bucket_insert`]) and the scan fallback iterates the
+    /// sorted (see `bucket_insert`) and the scan fallback iterates the
     /// row store in id order. A nonexistent column is an error — it used
     /// to yield an empty set, which turned a bad join column into silent
     /// empty (wrong) join output instead of a diagnosable failure.
@@ -426,6 +426,34 @@ impl Table {
         Ok(map)
     }
 
+    /// [`Table::join_map`] restricted to a pre-filtered RowId set: only
+    /// the given rows (ascending, as produced by an access-path fetch)
+    /// enter the build map, so a selective build-side pushdown probe
+    /// shrinks the hash build from `|table|` to `|filtered|` insertions.
+    /// Same key semantics as the full map: NULL and NaN keys never join.
+    /// Ids not (or no longer) live are skipped — the access path only
+    /// returns live ids, so this is defensive.
+    pub fn join_map_filtered(
+        &self,
+        column: &str,
+        rids: &[RowId],
+    ) -> Result<HashMap<&Value, Vec<RowId>>> {
+        let idx = self.schema.require_column(column)?;
+        let mut map: HashMap<&Value, Vec<RowId>> = HashMap::new();
+        for &rid in rids {
+            let Some(row) = self.rows.get(&rid) else {
+                continue;
+            };
+            let Some(v) = row.get(idx) else { continue };
+            if v.is_excluded_join_key() {
+                continue;
+            }
+            // `rids` is ascending, so buckets stay sorted.
+            map.entry(v).or_default().push(rid);
+        }
+        Ok(map)
+    }
+
     /// Iterate all `(RowId, &Row)` pairs in insertion order.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
         self.rows.iter().map(|(&rid, row)| (rid, row))
@@ -434,7 +462,7 @@ impl Table {
     /// Rows satisfying a predicate, in ascending RowId order.
     ///
     /// Routes through the shared cost-aware planner
-    /// ([`crate::sql::plan::choose_table_access`]): sargable conjuncts of
+    /// (`crate::sql::plan::choose_table_access`): sargable conjuncts of
     /// the predicate become index probes, priced with exact hash-bucket
     /// sizes (no statistics are available on a bare table), and multiple
     /// selective probes are intersected. The full predicate is always

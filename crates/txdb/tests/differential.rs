@@ -17,7 +17,11 @@
 //! unindexed float columns with NULL and NaN on both sides and a
 //! cross-type Int = Float key, so every join strategy of the execution
 //! layer (index probe, build-side hash, merge over ordered indexes) is
-//! exercised and tallied. The implementations share the parser, the
+//! exercised and tallied. Join-side single-table conjuncts over randomly
+//! indexed columns make the build-side pushdown fire (tallied too), and
+//! every query additionally runs under the PR 3 no-build-pushdown shape
+//! so the pre-filtered and unfiltered generations are pinned against
+//! each other. The implementations share the parser, the
 //! value model and the join-key exclusion rule
 //! (`Value::is_excluded_join_key` — NULL/NaN never join; its behavior
 //! itself is pinned by hand-written unit tests in `exec.rs`), but not
@@ -178,6 +182,11 @@ fn random_db(rng: &mut StdRng) -> Database {
         }
         if rng.random_bool(0.3) {
             t.create_range_index("rank").unwrap();
+        }
+        // A hash index on city (~25% per value) makes join-side city
+        // equalities build-side-pushdown candidates on the rank-key join.
+        if rng.random_bool(0.5) {
+            t.create_index("city").unwrap();
         }
     }
     if rng.random_bool(0.4) {
@@ -341,6 +350,74 @@ fn multi_conjunct_predicate(rng: &mut StdRng, shape: JoinShape) -> String {
     leaves.join(" AND ")
 }
 
+/// A conjunct (or two, ANDed) referencing only a *joined* table — the
+/// shape the build-side pushdown can consume when the matching index
+/// exists and the selectivity estimate clears the threshold. Includes
+/// bounds on the rank-key join's own key, so the clamped merge walk is
+/// exercised too. `None` for join-free queries.
+fn joinside_pushdown_predicate(rng: &mut StdRng, shape: JoinShape) -> Option<String> {
+    let mut leaves: Vec<String> = Vec::new();
+    match shape {
+        JoinShape::None => return None,
+        JoinShape::Screening | JoinShape::RankKey => {
+            leaves.push(format!(
+                "screening.city = '{}'",
+                CITIES.choose(rng).unwrap()
+            ));
+            leaves.push(format!(
+                "screening.price {} {}",
+                ["<", "<=", ">", ">="].choose(rng).unwrap(),
+                rng.random_range(50..=200i64) as f64 / 10.0
+            ));
+            if shape == JoinShape::RankKey {
+                // A bound on the join key itself: eligible to clamp the
+                // merge walk when rank carries a range index.
+                leaves.push(format!(
+                    "screening.rank {} {}",
+                    ["<", "<=", ">", ">="].choose(rng).unwrap(),
+                    rng.random_range(1..=10i64)
+                ));
+            }
+        }
+        JoinShape::Three { .. } | JoinShape::StarsRank => {
+            leaves.push(format!("review.stars = {}", rng.random_range(1..=10i64)));
+            leaves.push(format!(
+                "review.stars {} {}",
+                ["<", "<=", ">", ">="].choose(rng).unwrap(),
+                rng.random_range(1..=10i64)
+            ));
+            leaves.push(format!(
+                "screening.city = '{}'",
+                CITIES.choose(rng).unwrap()
+            ));
+        }
+    }
+    let n = rng.random_range(1..=2usize);
+    let mut picked: Vec<String> = Vec::new();
+    for _ in 0..n {
+        let leaf = leaves.choose(rng).unwrap().clone();
+        if !picked.contains(&leaf) {
+            picked.push(leaf);
+        }
+    }
+    Some(picked.join(" AND "))
+}
+
+/// A random WHERE body for `shape`: multi-conjunct sargable, join-side
+/// pushdown-eligible, or a general predicate tree.
+fn random_where(rng: &mut StdRng, shape: JoinShape) -> String {
+    if rng.random_bool(0.25) {
+        if let Some(p) = joinside_pushdown_predicate(rng, shape) {
+            return p;
+        }
+    }
+    if rng.random_bool(0.35) {
+        multi_conjunct_predicate(rng, shape)
+    } else {
+        random_predicate(rng, 2, shape)
+    }
+}
+
 fn join_clause(shape: JoinShape) -> &'static str {
     match shape {
         JoinShape::None => "",
@@ -417,12 +494,7 @@ fn random_select(rng: &mut StdRng) -> String {
         sql.push_str(&format!("SELECT {} FROM movie", items.join(", ")));
         sql.push_str(join_clause(shape));
         if rng.random_bool(0.7) {
-            let pred = if rng.random_bool(0.35) {
-                multi_conjunct_predicate(rng, shape)
-            } else {
-                random_predicate(rng, 2, shape)
-            };
-            sql.push_str(&format!(" WHERE {pred}"));
+            sql.push_str(&format!(" WHERE {}", random_where(rng, shape)));
         }
         if let Some(g) = group_col {
             sql.push_str(&format!(" GROUP BY {g}"));
@@ -453,12 +525,7 @@ fn random_select(rng: &mut StdRng) -> String {
         sql.push_str(&format!("SELECT {projection} FROM movie"));
         sql.push_str(join_clause(shape));
         if rng.random_bool(0.8) {
-            let pred = if rng.random_bool(0.35) {
-                multi_conjunct_predicate(rng, shape)
-            } else {
-                random_predicate(rng, 2, shape)
-            };
-            sql.push_str(&format!(" WHERE {pred}"));
+            sql.push_str(&format!(" WHERE {}", random_where(rng, shape)));
         }
         if rng.random_bool(0.6) {
             let col = if three {
@@ -484,9 +551,10 @@ fn random_select(rng: &mut StdRng) -> String {
     sql
 }
 
-/// Run `sql` through the reference executor, the full planner and the
-/// PR 1 planner shape; all three must agree (results and error-ness).
-fn check_three_way(db: &mut Database, sql: &str, context: &str) -> bool {
+/// Run `sql` through the reference executor, the full planner, the PR 3
+/// no-build-pushdown shape and the PR 1 planner shape; all four must
+/// agree (results and error-ness).
+fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
     let stmt = parse_statement(sql)
         .unwrap_or_else(|e| panic!("generator produced unparsable SQL `{sql}`: {e}"));
     let Statement::Select(sel) = stmt else {
@@ -494,20 +562,23 @@ fn check_three_way(db: &mut Database, sql: &str, context: &str) -> bool {
     };
     let reference = execute_select_reference(db, &sel);
     let single = execute_select_with(db, &sel, &PlanOptions::single_access_path());
+    let no_pd = execute_select_with(db, &sel, &PlanOptions::no_build_pushdown());
     let planned = execute(db, sql).map(|r| r.rows().unwrap().clone());
-    match (planned, single, reference) {
-        (Ok(p), Ok(s), Ok(r)) => {
+    match (planned, no_pd, single, reference) {
+        (Ok(p), Ok(n), Ok(s), Ok(r)) => {
             assert_eq!(p, r, "{context}, query `{sql}` (full planner)");
+            assert_eq!(n, r, "{context}, query `{sql}` (no-build-pushdown planner)");
             assert_eq!(s, r, "{context}, query `{sql}` (single-access-path planner)");
             true
         }
-        (Err(_), Err(_), Err(_)) => {
+        (Err(_), Err(_), Err(_), Err(_)) => {
             // All paths reject (e.g. aggregate over text): fine.
             false
         }
-        (p, s, r) => panic!(
-            "{context}, query `{sql}`: paths disagree on error — planned {:?}, single {:?}, reference {:?}",
+        (p, n, s, r) => panic!(
+            "{context}, query `{sql}`: paths disagree on error — planned {:?}, no-pushdown {:?}, single {:?}, reference {:?}",
             p.map(|_| "ok").map_err(|e| e.to_string()),
+            n.map(|_| "ok").map_err(|e| e.to_string()),
             s.map(|_| "ok").map_err(|e| e.to_string()),
             r.map(|_| "ok").map_err(|e| e.to_string()),
         ),
@@ -520,8 +591,10 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     let mut three_table = 0usize;
     // How often each join strategy actually executes across the run —
     // all three must appear, or the generator stopped covering the
-    // join-execution layer.
+    // join-execution layer. `pushdowns` tallies joins whose build side
+    // ran pre-filtered through its own access path.
     let (mut probes, mut hashes, mut merges) = (0usize, 0usize, 0usize);
+    let mut pushdowns = 0usize;
     for seed in 0..40u64 {
         let mut rng = StdRng::seed_from_u64(0xD1FF + seed);
         let mut db = random_db(&mut rng);
@@ -539,9 +612,10 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
                             JoinStrategy::MergeRange => merges += 1,
                         }
                     }
+                    pushdowns += plan.build_pushdown_count();
                 }
             }
-            if check_three_way(&mut db, &sql, &format!("seed {seed}")) {
+            if check_all_paths_agree(&mut db, &sql, &format!("seed {seed}")) {
                 checked += 1;
             }
         }
@@ -557,6 +631,11 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     assert!(
         probes > 100 && hashes > 100 && merges > 0,
         "join strategies under-covered: probe {probes}, hash {hashes}, merge {merges}"
+    );
+    println!("strategy tally: probe {probes}, hash {hashes}, merge {merges}, pushdown {pushdowns}");
+    assert!(
+        pushdowns > 0,
+        "build-side pushdown never executed — generator stopped covering it"
     );
 }
 
@@ -584,6 +663,6 @@ fn agreement_survives_interleaved_writes() {
             .unwrap();
         }
         let sql = random_select(&mut rng);
-        check_three_way(&mut db, &sql, "interleaved");
+        check_all_paths_agree(&mut db, &sql, "interleaved");
     }
 }
