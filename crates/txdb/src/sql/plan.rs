@@ -48,14 +48,16 @@
 //!    intersection only when its estimated selectivity is at or below
 //!    [`INTERSECT_SELECTIVITY_THRESHOLD`] — a poorly selective conjunct
 //!    is cheaper to apply as a residual filter over the already-small
-//!    intersection than to fetch wholesale. The combined selectivity is
-//!    the product of the probes' estimates (independence assumption).
+//!    intersection than to fetch wholesale. The combined selectivity
+//!    comes from the correlation-aware estimator (see *Selectivity
+//!    estimation* below), and a probe whose joint statistics against an
+//!    already-chosen equality show it would barely shrink the
+//!    intersection is declined outright.
 //!
 //! 5. **Join ordering and pushdown.** Per-table post-filter cardinality is
-//!    estimated from [`TableStats`] (`row_count ×` the product of the
-//!    selectivities of the single-table conjuncts assigned to that
-//!    table, using the same composite estimator: AND → product, OR →
-//!    inclusion–exclusion, NOT → complement). Joins are then ordered
+//!    estimated from [`TableStats`] (`row_count ×` the combined
+//!    selectivity of the single-table conjuncts assigned to that table,
+//!    using the composite estimator below). Joins are then ordered
 //!    greedily smallest-estimate-first instead of FROM-order, restricted
 //!    to joins whose already-bound side is in the stream (the FROM-order
 //!    continuation always remains eligible, so the greedy pass cannot dead
@@ -147,6 +149,39 @@
 //! through the same candidate pricing (with exact hash-bucket sizes when
 //! no statistics are available) instead of its former smallest-bucket
 //! heuristic.
+//!
+//! # Selectivity estimation
+//!
+//! Leaf predicates are priced from [`TableStats`]: equality from the MCV
+//! list (clamped to the least tracked frequency for untracked values),
+//! ranges from the histogram with the boundary value's equality mass
+//! subtracted for strict (`Bound::Excluded`) bounds, both scaled by the
+//! column's fill rate so predicates on NULL-heavy columns stop
+//! over-estimating (comparisons never match NULL). Conjunctions combine
+//! correlation-aware instead of multiplying blindly:
+//!
+//! - `a = x AND b = y` over a column pair with joint (2-D) MCV
+//!   statistics ([`crate::stats::JointStats`], computed for low-distinct
+//!   pairs during the stats pass) is priced from the *observed* joint
+//!   frequency — the independence product under-estimates badly when the
+//!   columns are correlated (city ↔ country), which mis-prices the
+//!   intersection cutoff, join order and the build-vs-merge choice.
+//! - Conjunct pairs without joint evidence combine with **exponential
+//!   backoff**: selectivities sorted ascending contribute
+//!   `s₁ · s₂^½ · s₃^¼ · …`, so the most selective conjunct counts in
+//!   full while further conjuncts are progressively discounted — the
+//!   estimator stays honest about *unknown* correlation instead of
+//!   compounding confident errors. Range conjuncts on the same column
+//!   are folded into a single histogram probe first (they are the same
+//!   dimension, not a correlation hazard).
+//!
+//! [`PlanOptions::independence_only`] freezes the PR 4 estimator (raw
+//! products everywhere) so benches and the differential
+//! estimator-accuracy harness can compare both on identical executor
+//! code. Bad estimates — not bad algorithms — are what flip plans to
+//! pathological shapes (cf. the robust dynamic hybrid hash join
+//! literature), so estimator changes are gated the same way execution
+//! strategies are.
 
 use std::ops::Bound;
 
@@ -433,6 +468,17 @@ pub struct PlanOptions {
     /// a staged filter — the PR 3 shape, kept for benchmarks and the
     /// differential suite. Has no effect unless `join_strategies` is on.
     pub build_pushdown: bool,
+    /// Correlation-aware selectivity estimation: price `a = x AND b = y`
+    /// from joint (2-D) MCV statistics when the column pair is tracked
+    /// ([`crate::stats::JointStats`]), and combine conjunct selectivities
+    /// without joint evidence by exponential backoff
+    /// (`s₁ · s₂^½ · s₃^¼ · …`, ascending) instead of the raw
+    /// independence product. Off: every combination is the plain product
+    /// — the PR 4 estimator, kept so benches and the differential
+    /// estimator-accuracy harness can compare the two on identical code.
+    /// Only affects *estimates* (and the decisions priced from them);
+    /// never results.
+    pub correlation_aware: bool,
 }
 
 impl Default for PlanOptions {
@@ -443,6 +489,7 @@ impl Default for PlanOptions {
             join_pushdown: true,
             join_strategies: true,
             build_pushdown: true,
+            correlation_aware: true,
         }
     }
 }
@@ -450,7 +497,8 @@ impl Default for PlanOptions {
 impl PlanOptions {
     /// The PR 1 planner shape: one access path per query, FROM-order
     /// joins, all join-side predicates evaluated after the last join,
-    /// per-key join fallback.
+    /// per-key join fallback. (Estimator frozen to the independence
+    /// product, like every legacy shape.)
     pub fn single_access_path() -> PlanOptions {
         PlanOptions {
             multi_index: false,
@@ -458,6 +506,7 @@ impl PlanOptions {
             join_pushdown: false,
             join_strategies: false,
             build_pushdown: false,
+            correlation_aware: false,
         }
     }
 
@@ -468,6 +517,7 @@ impl PlanOptions {
         PlanOptions {
             join_strategies: false,
             build_pushdown: false,
+            correlation_aware: false,
             ..PlanOptions::default()
         }
     }
@@ -478,6 +528,19 @@ impl PlanOptions {
     pub fn no_build_pushdown() -> PlanOptions {
         PlanOptions {
             build_pushdown: false,
+            correlation_aware: false,
+            ..PlanOptions::default()
+        }
+    }
+
+    /// The PR 4 estimator: full planner, but every conjunct combination
+    /// is the raw independence product — no joint statistics, no
+    /// exponential backoff. The escape hatch benches and the differential
+    /// estimator-accuracy harness pin the correlation-aware estimator
+    /// against.
+    pub fn independence_only() -> PlanOptions {
+        PlanOptions {
+            correlation_aware: false,
             ..PlanOptions::default()
         }
     }
@@ -561,6 +624,12 @@ pub struct SelectPlan {
     /// Estimated post-filter row count per FROM ordinal (drives the
     /// greedy join order).
     pub table_cards: Vec<f64>,
+    /// Estimated base-table rows surviving the access path *and* every
+    /// pushed filter — the planner's cardinality claim the differential
+    /// estimator-accuracy harness holds against actual result sizes
+    /// (q-error). Correlation-aware by default; the independence product
+    /// under [`PlanOptions::independence_only`].
+    pub estimated_base_rows: f64,
 }
 
 impl SelectPlan {
@@ -666,17 +735,26 @@ fn numeric_axis(v: &Value) -> Option<f64> {
     }
 }
 
+/// Selectivity of `column = value` as a fraction of **all** rows: the
+/// MCV/uniform estimate (a fraction of non-null values) scaled by the
+/// fill rate, since an equality never matches NULL.
 fn eq_selectivity(stats: Option<&ColumnStats>, value: &Value) -> f64 {
     match stats {
-        Some(s) => s.eq_selectivity(value),
+        Some(s) => s.eq_selectivity(value) * s.fill_rate(),
         None => 1.0 / 3.0,
     }
 }
 
+/// Selectivity of a range probe as a fraction of **all** rows. The
+/// histogram treats both bounds inclusively (it only sees the numeric
+/// axis), so for a strict bound the boundary value's own equality mass is
+/// subtracted — `x > hi` no longer prices like `x >= hi` on integer
+/// columns — and the non-null histogram fraction is scaled by the fill
+/// rate, since comparisons never match NULL.
 fn range_selectivity(stats: Option<&ColumnStats>, lo: &Bound<Value>, hi: &Bound<Value>) -> f64 {
     let Some(s) = stats else { return 1.0 / 3.0 };
     let Some(h) = &s.histogram else {
-        return 1.0 / 3.0;
+        return 1.0 / 3.0 * s.fill_rate();
     };
     let lo_f = match lo {
         Bound::Included(v) | Bound::Excluded(v) => numeric_axis(v),
@@ -686,10 +764,24 @@ fn range_selectivity(stats: Option<&ColumnStats>, lo: &Bound<Value>, hi: &Bound<
         Bound::Included(v) | Bound::Excluded(v) => numeric_axis(v),
         Bound::Unbounded => Some(h.max),
     };
-    match (lo_f, hi_f) {
+    let mut est = match (lo_f, hi_f) {
         (Some(a), Some(b)) => h.range_selectivity(a, b),
-        _ => 1.0 / 3.0,
-    }
+        _ => return 1.0 / 3.0 * s.fill_rate(),
+    };
+    // Subtract only when the boundary lies inside the histogram's value
+    // range — outside it the histogram already contributes no mass, and
+    // `eq_selectivity`'s uniform estimate for an unseen value would
+    // subtract phantom rows (e.g. `x > -1000` pricing below 1.0).
+    let mut exclude_boundary = |b: &Bound<Value>| {
+        if let Bound::Excluded(v) = b {
+            if numeric_axis(v).is_some_and(|x| x >= h.min && x <= h.max) {
+                est -= s.eq_selectivity(v);
+            }
+        }
+    };
+    exclude_boundary(lo);
+    exclude_boundary(hi);
+    (est.max(0.0) * s.fill_rate()).clamp(0.0, 1.0)
 }
 
 /// Per-column accumulator while folding sargable conjuncts into one
@@ -782,12 +874,24 @@ fn tighter_hi(current: &Bound<Value>, new: Bound<Value>) -> Bound<Value> {
 /// and ranges fall back to the uninformative 1/3 guess, which never
 /// clears the thresholds.
 ///
+/// With `correlation_aware`, joint statistics feed the intersection
+/// decision: an equality probe whose tracked joint frequency against an
+/// already-chosen equality shows it would shrink the intersection by less
+/// than [`INTERSECT_SELECTIVITY_THRESHOLD`] is declined — fetching a
+/// (near-)redundant RowId set and merging it is pure waste next to
+/// filtering the primary probe's rows. The combined estimate then uses
+/// joint frequencies and exponential backoff instead of the independence
+/// product. Backoff alone never declines a probe: it widens the estimate
+/// to hedge *unknown* correlation, while a decline needs the positive
+/// evidence only joint statistics provide.
+///
 /// Returns `(path, estimated selectivity, consumed sarg indices)`.
 pub(crate) fn choose_table_access(
     table: &Table,
     stats: Option<&TableStats>,
     sargs: &[Sarg],
     multi_index: bool,
+    correlation_aware: bool,
 ) -> (AccessPath, f64, Vec<usize>) {
     if sargs.is_empty() || table.is_empty() {
         return (AccessPath::FullScan, 1.0, Vec::new());
@@ -864,7 +968,9 @@ pub(crate) fn choose_table_access(
     candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut probes: Vec<IndexProbe> = Vec::new();
     let mut consumed: Vec<usize> = Vec::new();
-    let mut combined = 1.0f64;
+    // Chosen probe estimates, with the (column, value) of equality probes
+    // so the combined estimate can pair them through joint statistics.
+    let mut chosen: Vec<(f64, Option<(String, Value)>)> = Vec::new();
     for (probe, est, used) in candidates {
         let threshold = if probes.is_empty() {
             INDEX_SELECTIVITY_THRESHOLD
@@ -879,12 +985,36 @@ pub(crate) fn choose_table_access(
         if probes.iter().any(|p| p.column() == probe.column()) {
             continue;
         }
-        combined *= est;
+        // Joint-stats redundancy check: decline a probe whose observed
+        // conditional shrink against an already-chosen equality is too
+        // small to pay for fetching its RowId set. (`continue`, not
+        // `break` — a later candidate on an uncorrelated column may still
+        // shrink the intersection.)
+        if correlation_aware && !chosen.is_empty() {
+            if let (IndexProbe::Eq { column, value }, Some(st)) = (&probe, stats) {
+                let redundant = chosen.iter().any(|(pest, info)| {
+                    info.as_ref().is_some_and(|(pc, pv)| {
+                        st.joint_selectivity(pc, pv, column, value)
+                            .is_some_and(|j| {
+                                j / pest.max(f64::MIN_POSITIVE) > INTERSECT_SELECTIVITY_THRESHOLD
+                            })
+                    })
+                });
+                if redundant {
+                    continue;
+                }
+            }
+        }
         for u in used {
             if !consumed.contains(&u) {
                 consumed.push(u);
             }
         }
+        let eq_info = match &probe {
+            IndexProbe::Eq { column, value } => Some((column.clone(), value.clone())),
+            IndexProbe::Range { .. } => None,
+        };
+        chosen.push((est, eq_info));
         probes.push(probe);
         if !multi_index {
             break;
@@ -893,15 +1023,217 @@ pub(crate) fn choose_table_access(
     if probes.is_empty() {
         return (AccessPath::FullScan, 1.0, Vec::new());
     }
+    let combined = combine_probe_estimates(stats, &chosen, correlation_aware);
     consumed.sort_unstable();
     (AccessPath::Index(probes), combined, consumed)
 }
 
+/// Combined selectivity of the chosen probes: the independence product
+/// when `corr` is off (the PR 4 estimator); otherwise equality pairs with
+/// joint statistics contribute their observed joint frequency as a single
+/// term and the terms combine with [`backoff_and`].
+fn combine_probe_estimates(
+    stats: Option<&TableStats>,
+    chosen: &[(f64, Option<(String, Value)>)],
+    corr: bool,
+) -> f64 {
+    if !corr || chosen.len() < 2 {
+        return chosen.iter().map(|(est, _)| est).product();
+    }
+    let mut used = vec![false; chosen.len()];
+    let mut terms: Vec<f64> = Vec::new();
+    if let Some(st) = stats {
+        for a in 0..chosen.len() {
+            if used[a] {
+                continue;
+            }
+            let Some((ca, va)) = &chosen[a].1 else {
+                continue;
+            };
+            for b in a + 1..chosen.len() {
+                if used[b] {
+                    continue;
+                }
+                let Some((cb, vb)) = &chosen[b].1 else {
+                    continue;
+                };
+                if let Some(s) = st.joint_selectivity(ca, va, cb, vb) {
+                    terms.push(s);
+                    used[a] = true;
+                    used[b] = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (i, (est, _)) in chosen.iter().enumerate() {
+        if !used[i] {
+            terms.push(*est);
+        }
+    }
+    backoff_and(terms)
+}
+
+/// Combine AND'd conjunct selectivities with exponential backoff: sorted
+/// ascending, `s₁ · s₂^½ · s₃^¼ · …`. The most selective conjunct counts
+/// in full; each further conjunct contributes with a halved exponent, so
+/// unknown correlation cannot compound into an arbitrarily over-confident
+/// under-estimate the way the raw product does.
+fn backoff_and(mut sels: Vec<f64>) -> f64 {
+    sels.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut combined = 1.0f64;
+    let mut exponent = 1.0f64;
+    for s in sels {
+        combined *= s.clamp(0.0, 1.0).powf(exponent);
+        exponent /= 2.0;
+    }
+    combined.clamp(0.0, 1.0)
+}
+
+/// Flatten an `AND` tree into its conjuncts, borrowed.
+fn and_parts<'e>(expr: &'e SqlExpr, out: &mut Vec<&'e SqlExpr>) {
+    match expr {
+        SqlExpr::And(a, b) => {
+            and_parts(a, out);
+            and_parts(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Estimated fraction of a single table's rows kept by the conjunction of
+/// `parts`.
+///
+/// With `corr` off this is the PR 4 independence product. With it on:
+///
+/// 1. range conjuncts on the *same* column are folded into one bound
+///    pair and priced as a single range term (`price > 5 AND price <= 9`
+///    is one histogram probe, not a product of two); an equality on a
+///    column that also carries range conjuncts folds into that bound
+///    pair too — same dimension, not a correlation hazard;
+/// 2. remaining equality pairs whose columns carry joint statistics are
+///    priced from the observed joint frequency (one term for the pair);
+/// 3. everything else is priced per conjunct;
+/// 4. the terms are combined with [`backoff_and`].
+fn and_selectivity(stats: &TableStats, layout: &Layout, parts: &[&SqlExpr], corr: bool) -> f64 {
+    if !corr {
+        return parts
+            .iter()
+            .map(|e| expr_selectivity(stats, layout, e, false))
+            .product();
+    }
+    let resolve = |c: &ColumnRef| -> Option<&str> {
+        let slot = layout.resolve(c).ok()?;
+        Some(layout.slots[slot].column.as_str())
+    };
+    /// Per-column fold of range conjuncts into one bound pair.
+    struct Fold<'a> {
+        column: &'a str,
+        bounds: (Bound<Value>, Bound<Value>),
+        conjuncts: Vec<usize>,
+    }
+    let mut used = vec![false; parts.len()];
+    let mut terms: Vec<f64> = Vec::new();
+    // Equality leaves eligible for joint-stats pairing.
+    let mut eqs: Vec<(usize, &str, &Value)> = Vec::new();
+    // Foldable comparison leaves, accumulated per column.
+    let mut folds: Vec<Fold> = Vec::new();
+    for (i, e) in parts.iter().enumerate() {
+        let SqlExpr::Cmp { column, op, value } = e else {
+            continue;
+        };
+        if value.is_null() || matches!(value, Value::Float(f) if f.is_nan()) {
+            continue; // NULL/NaN literals stay generic leaves.
+        }
+        let Some(col) = resolve(column) else { continue };
+        match op {
+            CmpOp::Eq => eqs.push((i, col, value)),
+            CmpOp::Gt | CmpOp::Ge | CmpOp::Lt | CmpOp::Le => {
+                match folds.iter_mut().find(|f| f.column == col) {
+                    Some(f) => {
+                        tighten(&mut f.bounds, *op, value);
+                        f.conjuncts.push(i);
+                    }
+                    None => {
+                        let mut bounds = (Bound::Unbounded, Bound::Unbounded);
+                        tighten(&mut bounds, *op, value);
+                        folds.push(Fold {
+                            column: col,
+                            bounds,
+                            conjuncts: vec![i],
+                        });
+                    }
+                }
+            }
+            CmpOp::Ne => {}
+        }
+    }
+    // An equality on a column that also has range conjuncts is the same
+    // dimension: fold it into the column's bound pair (backoff against
+    // its own range would under-estimate a redundant predicate) and
+    // withdraw it from joint pairing.
+    eqs.retain(|&(i, col, value)| {
+        if let Some(f) = folds.iter_mut().find(|f| f.column == col) {
+            tighten(&mut f.bounds, CmpOp::Eq, value);
+            f.conjuncts.push(i);
+            false
+        } else {
+            true
+        }
+    });
+    // Joint-stats pairing: an observed 2-D frequency replaces both
+    // marginals with one honest term.
+    for a in 0..eqs.len() {
+        let (ia, ca, va) = eqs[a];
+        if used[ia] {
+            continue;
+        }
+        for &(ib, cb, vb) in &eqs[a + 1..] {
+            if used[ib] || ca == cb {
+                continue;
+            }
+            if let Some(s) = stats.joint_selectivity(ca, va, cb, vb) {
+                terms.push(s);
+                used[ia] = true;
+                used[ib] = true;
+                break;
+            }
+        }
+    }
+    // Per-column folded ranges: one histogram probe per column. Fold
+    // conjuncts are disjoint from the paired equalities (folded
+    // equalities were withdrawn from `eqs` above), so none is used yet.
+    // Bounds collapsed to a single point (an equality tightened both
+    // sides) price as that value's equality mass — the zero-width
+    // histogram overlap would price it at 0.
+    for f in folds {
+        let term = match (&f.bounds.0, &f.bounds.1) {
+            (Bound::Included(a), Bound::Included(b)) if a == b => {
+                eq_selectivity(stats.column(f.column), a)
+            }
+            (lo, hi) => range_selectivity(stats.column(f.column), lo, hi),
+        };
+        terms.push(term);
+        for i in f.conjuncts {
+            used[i] = true;
+        }
+    }
+    for (i, e) in parts.iter().enumerate() {
+        if !used[i] {
+            terms.push(expr_selectivity(stats, layout, e, true));
+        }
+    }
+    backoff_and(terms)
+}
+
 /// Estimated fraction of a single table's rows kept by `expr`, from that
-/// table's statistics. Composite shapes use the textbook combinators:
-/// AND → product, OR → inclusion–exclusion, NOT → complement; leaves use
-/// the MCV/histogram estimates (LIKE falls back to the 1/3 guess).
-fn expr_selectivity(stats: &TableStats, layout: &Layout, expr: &SqlExpr) -> f64 {
+/// table's statistics. Composite shapes use the textbook combinators —
+/// OR → inclusion–exclusion, NOT → complement — while AND defers to
+/// [`and_selectivity`] (joint statistics, range folding and exponential
+/// backoff when `corr` is set, the plain independence product otherwise);
+/// leaves use the MCV/histogram estimates scaled by the column fill rate
+/// (LIKE falls back to the 1/3 guess).
+fn expr_selectivity(stats: &TableStats, layout: &Layout, expr: &SqlExpr, corr: bool) -> f64 {
     let col_stats = |c: &ColumnRef| -> Option<&ColumnStats> {
         let slot = layout.resolve(c).ok()?;
         stats.column(&layout.slots[slot].column)
@@ -911,7 +1243,13 @@ fn expr_selectivity(stats: &TableStats, layout: &Layout, expr: &SqlExpr) -> f64 
             let stats = col_stats(column);
             match op {
                 CmpOp::Eq => eq_selectivity(stats, value),
-                CmpOp::Ne => (1.0 - eq_selectivity(stats, value)).clamp(0.0, 1.0),
+                CmpOp::Ne => {
+                    // `col <> v` keeps non-null rows that are not `v`;
+                    // NULL comparisons never match, so the complement is
+                    // of the fill rate, not of 1.
+                    let fill = stats.map_or(1.0, ColumnStats::fill_rate);
+                    (fill - eq_selectivity(stats, value)).clamp(0.0, 1.0)
+                }
                 CmpOp::Gt => {
                     range_selectivity(stats, &Bound::Excluded(value.clone()), &Bound::Unbounded)
                 }
@@ -935,17 +1273,19 @@ fn expr_selectivity(stats: &TableStats, layout: &Layout, expr: &SqlExpr) -> f64 
                 null_frac
             }
         }
-        SqlExpr::And(a, b) => {
-            expr_selectivity(stats, layout, a) * expr_selectivity(stats, layout, b)
+        SqlExpr::And(..) => {
+            let mut parts = Vec::new();
+            and_parts(expr, &mut parts);
+            and_selectivity(stats, layout, &parts, corr)
         }
         SqlExpr::Or(a, b) => {
             let (sa, sb) = (
-                expr_selectivity(stats, layout, a),
-                expr_selectivity(stats, layout, b),
+                expr_selectivity(stats, layout, a, corr),
+                expr_selectivity(stats, layout, b, corr),
             );
             (sa + sb - sa * sb).clamp(0.0, 1.0)
         }
-        SqlExpr::Not(a) => (1.0 - expr_selectivity(stats, layout, a)).clamp(0.0, 1.0),
+        SqlExpr::Not(a) => (1.0 - expr_selectivity(stats, layout, a, corr)).clamp(0.0, 1.0),
     }
 }
 
@@ -1096,7 +1436,13 @@ fn assign_join_strategies(
                 let sargs = joinside_sargs(layout, joinside, pj.table_ord);
                 if !sargs.is_empty() {
                     let (access, est, used) = db.with_stats(&pj.table, |stats| {
-                        choose_table_access(right, Some(stats), &sargs, opts.multi_index)
+                        choose_table_access(
+                            right,
+                            Some(stats),
+                            &sargs,
+                            opts.multi_index,
+                            opts.correlation_aware,
+                        )
                     })?;
                     if let AccessPath::Index(_) = access {
                         let joinside_used: Vec<usize> =
@@ -1273,6 +1619,7 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
                 opts,
             )?;
         }
+        let estimated_base_rows = table_cards[0];
         return Ok(SelectPlan {
             layout,
             access: AccessPath::FullScan,
@@ -1281,6 +1628,7 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
             stages,
             estimated_selectivity: 1.0,
             table_cards,
+            estimated_base_rows,
         });
     }
 
@@ -1306,11 +1654,43 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
         (AccessPath::FullScan, 1.0, Vec::new())
     } else {
         db.with_stats(&sel.table, |stats| {
-            choose_table_access(base, Some(stats), &sargs, opts.multi_index)
+            choose_table_access(
+                base,
+                Some(stats),
+                &sargs,
+                opts.multi_index,
+                opts.correlation_aware,
+            )
         })?
     };
-    // Drop consumed conjuncts (the access path already guarantees them).
     let consumed: Vec<usize> = consumed_sargs.iter().map(|&i| sargs[i].conjunct).collect();
+
+    // Honest post-filter estimate of the base table, over *all* base
+    // conjuncts (consumed and residual): feeds `estimated_base_rows`, the
+    // join-order cards and the join-strategy outer estimate. When every
+    // conjunct was consumed, the access-path estimate already covers them
+    // (including joint pairing/backoff), so the extra stats pass is
+    // skipped — point-lookup planning stays cheap.
+    let mut base_sel = estimated_selectivity;
+    if !base.is_empty() && pushed.len() > consumed.len() {
+        db.with_stats(&sel.table, |stats| {
+            if opts.correlation_aware {
+                let parts: Vec<&SqlExpr> = pushed.iter().collect();
+                base_sel = and_selectivity(stats, &layout, &parts, true);
+            } else {
+                // The PR 4 formula: access estimate times the residual
+                // conjuncts' independence product.
+                for (i, e) in pushed.iter().enumerate() {
+                    if !consumed.contains(&i) {
+                        base_sel *= expr_selectivity(stats, &layout, e, false);
+                    }
+                }
+            }
+        })?;
+    }
+    let estimated_base_rows = base.len() as f64 * base_sel.clamp(0.0, 1.0);
+
+    // Drop consumed conjuncts (the access path already guarantees them).
     let pushed: Vec<SqlExpr> = pushed
         .into_iter()
         .enumerate()
@@ -1318,26 +1698,14 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
         .map(|(_, e)| e)
         .collect();
 
-    // Estimated post-filter cardinality per FROM table: row count times
-    // the selectivity of everything applied at (or before) that table's
-    // own level — the access path and remaining pushed filters for the
-    // base, single-table staged conjuncts for join sides. Cards only
-    // drive the greedy join order, so single-join and join-free plans
-    // skip the estimation entirely (keeping point-lookup planning cheap).
+    // Estimated post-filter cardinality per FROM table: the base estimate
+    // above, and row count times the selectivity of the single-table
+    // staged conjuncts for join sides. Join cards only drive the greedy
+    // join order, so single-join and join-free plans skip that pass.
     let reorder = opts.reorder_joins && njoins > 1;
     let mut table_cards = table_row_counts(db, &layout);
+    table_cards[0] = estimated_base_rows;
     if reorder {
-        if !base.is_empty() {
-            let mut sel_est = estimated_selectivity;
-            if !pushed.is_empty() {
-                db.with_stats(&sel.table, |stats| {
-                    for e in &pushed {
-                        sel_est *= expr_selectivity(stats, &layout, e);
-                    }
-                })?;
-            }
-            table_cards[0] *= sel_est.clamp(0.0, 1.0);
-        }
         for j in &joins {
             let single: Vec<&SqlExpr> = joinside
                 .iter()
@@ -1349,9 +1717,7 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
             }
             let mut sel_est = 1.0f64;
             db.with_stats(&j.table, |stats| {
-                for e in &single {
-                    sel_est *= expr_selectivity(stats, &layout, e);
-                }
+                sel_est = and_selectivity(stats, &layout, &single, opts.correlation_aware);
             })?;
             table_cards[j.table_ord] *= sel_est.clamp(0.0, 1.0);
         }
@@ -1365,9 +1731,11 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
     let mut consumed_joinside: Vec<usize> = Vec::new();
     if opts.join_strategies && njoins > 0 {
         // Outer estimate entering the first join: base rows surviving the
-        // access path (post-filter card when the reorder pass refined it).
-        let outer0 = if reorder {
-            table_cards[0]
+        // access path and pushed filters (under the frozen independence
+        // estimator without reordering, only the access path — the PR 4
+        // formula).
+        let outer0 = if opts.correlation_aware || reorder {
+            estimated_base_rows
         } else {
             base.len() as f64 * estimated_selectivity
         };
@@ -1419,6 +1787,7 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
         stages,
         estimated_selectivity,
         table_cards,
+        estimated_base_rows,
     })
 }
 
@@ -1820,6 +2189,225 @@ mod tests {
                 assert_eq!(p.pushed.len(), 2);
             }
         }
+    }
+
+    /// 1600 rows with a hash-indexed 16-value `city` column that fully
+    /// determines a hash-indexed 8-value `country` column (two cities per
+    /// country) — the correlated pair joint statistics are built for.
+    fn correlated_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("shop")
+                .column("id", crate::DataType::Int)
+                .column("city", crate::DataType::Text)
+                .column("country", crate::DataType::Text)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        {
+            let t = db.table_mut("shop").unwrap();
+            t.create_index("city").unwrap();
+            t.create_index("country").unwrap();
+        }
+        for i in 0..1600i64 {
+            let c = i % 16;
+            db.insert("shop", row![i, format!("C{c}"), format!("K{}", c / 2)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn joint_stats_decline_redundant_intersection_probe() {
+        let db = correlated_db();
+        // city = 'C3' (6.25%) fully implies country = 'K1': fetching the
+        // 12.5% country bucket shrinks the intersection by nothing.
+        let sql = "SELECT id FROM shop WHERE city = 'C3' AND country = 'K1'";
+        let p = plan(&db, sql);
+        assert_eq!(p.access.describe(), "index_eq(city)", "{}", p.describe());
+        assert_eq!(p.pushed.len(), 1, "declined conjunct stays a filter");
+        // The estimate is the honest joint frequency, not the 0.78%
+        // independence product.
+        assert!(
+            (p.estimated_base_rows - 100.0).abs() < 5.0,
+            "base rows {}",
+            p.estimated_base_rows
+        );
+        // The frozen PR 4 estimator still intersects and under-estimates.
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            unreachable!()
+        };
+        let indep = plan_select_with(&db, &sel, &PlanOptions::independence_only()).unwrap();
+        assert_eq!(indep.access.describe(), "index_and(city&country)");
+        assert!(
+            indep.estimated_base_rows < 15.0,
+            "independence product under-estimates, got {}",
+            indep.estimated_base_rows
+        );
+    }
+
+    #[test]
+    fn contradictory_pair_still_intersects() {
+        let db = correlated_db();
+        // city = 'C3' belongs to 'K1'; 'K7' never co-occurs with it. The
+        // joint estimate is near zero, so the intersection (which empties
+        // immediately) is kept and the combined estimate collapses.
+        let p = plan(
+            &db,
+            "SELECT id FROM shop WHERE city = 'C3' AND country = 'K7'",
+        );
+        assert_eq!(
+            p.access.describe(),
+            "index_and(city&country)",
+            "{}",
+            p.describe()
+        );
+        assert!(
+            p.estimated_base_rows < 2.0,
+            "provably-disjoint pair, got {}",
+            p.estimated_base_rows
+        );
+    }
+
+    #[test]
+    fn backoff_dampens_uncorrelated_conjunct_product() {
+        let db = db();
+        // genre (3 distinct) and rating (50 distinct): no joint stats, so
+        // the pair combines with exponential backoff instead of the raw
+        // product.
+        let s_noir = plan(&db, "SELECT * FROM movie WHERE genre = 'Noir'").estimated_selectivity;
+        let s_band = plan(
+            &db,
+            "SELECT * FROM movie WHERE rating > 8.0 AND rating <= 9.0",
+        )
+        .estimated_selectivity;
+        let sql = "SELECT * FROM movie WHERE genre = 'Noir' AND rating > 8.0 AND rating <= 9.0";
+        let p = plan(&db, sql);
+        let expect = s_noir.min(s_band) * s_noir.max(s_band).sqrt();
+        assert!(
+            (p.estimated_selectivity - expect).abs() < 1e-9,
+            "backoff combination: got {}, want {expect}",
+            p.estimated_selectivity
+        );
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            unreachable!()
+        };
+        let indep = plan_select_with(&db, &sel, &PlanOptions::independence_only()).unwrap();
+        assert!(
+            (indep.estimated_selectivity - s_noir * s_band).abs() < 1e-9,
+            "independence product frozen: got {}",
+            indep.estimated_selectivity
+        );
+        assert!(p.estimated_selectivity > indep.estimated_selectivity);
+    }
+
+    #[test]
+    fn same_column_equality_folds_into_range_not_backoff() {
+        let db = db();
+        // rating = 8.0 AND rating > 7.0 is fully redundant: the estimate
+        // must collapse to the equality's own mass, not backoff the two
+        // same-dimension conjuncts against each other.
+        let eq_only = plan(&db, "SELECT * FROM movie WHERE rating = 8.0").estimated_base_rows;
+        let redundant = plan(
+            &db,
+            "SELECT * FROM movie WHERE rating = 8.0 AND rating > 7.0",
+        )
+        .estimated_base_rows;
+        assert!(
+            (redundant - eq_only).abs() < 1e-9,
+            "redundant range must not discount the equality: {redundant} vs {eq_only}"
+        );
+    }
+
+    #[test]
+    fn excluded_bound_outside_histogram_subtracts_nothing() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("t")
+                .column("id", crate::DataType::Int)
+                .column("x", crate::DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.table_mut("t").unwrap().create_range_index("x").unwrap();
+        for i in 0..100i64 {
+            db.insert("t", row![i, i]).unwrap();
+        }
+        // The boundary -1000 holds no mass: `x > -1000` keeps everything
+        // and must not subtract a phantom unseen-value estimate.
+        let p = plan(&db, "SELECT id FROM t WHERE x > -1000");
+        assert!(
+            (p.estimated_base_rows - 100.0).abs() < 1e-6,
+            "got {}",
+            p.estimated_base_rows
+        );
+    }
+
+    #[test]
+    fn excluded_bound_prices_below_included() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("t")
+                .column("id", crate::DataType::Int)
+                .column("x", crate::DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.table_mut("t").unwrap().create_range_index("x").unwrap();
+        for i in 0..100i64 {
+            db.insert("t", row![i, i]).unwrap();
+        }
+        let gt = plan(&db, "SELECT id FROM t WHERE x > 90").estimated_selectivity;
+        let ge = plan(&db, "SELECT id FROM t WHERE x >= 90").estimated_selectivity;
+        // Strict `>` excludes the boundary value's own mass (~1 row).
+        assert!(gt < ge, "x > 90 ({gt}) must price below x >= 90 ({ge})");
+        assert!(
+            ((ge - gt) - 0.01).abs() < 5e-3,
+            "difference is the boundary's equality mass, got {}",
+            ge - gt
+        );
+    }
+
+    #[test]
+    fn null_heavy_column_scales_by_fill_rate() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("m")
+                .column("id", crate::DataType::Int)
+                .nullable_column("rating", crate::DataType::Float)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.table_mut("m")
+            .unwrap()
+            .create_range_index("rating")
+            .unwrap();
+        // 90% NULL: a predicate matching every non-null row still keeps
+        // only 10% of the table.
+        for i in 0..100i64 {
+            let rating = if i < 90 {
+                Value::Null
+            } else {
+                Value::Float((i - 90) as f64)
+            };
+            db.insert("m", row![i, rating]).unwrap();
+        }
+        let p = plan(&db, "SELECT id FROM m WHERE rating >= 0.0");
+        assert!(
+            p.estimated_selectivity <= 0.12,
+            "NULL-heavy column must scale by fill rate, got {}",
+            p.estimated_selectivity
+        );
+        // 10% clears the index threshold a 100% estimate missed.
+        assert_eq!(p.access.describe(), "index_range(rating)");
     }
 
     #[test]

@@ -168,7 +168,13 @@ impl ColumnStats {
 
     /// Estimated selectivity of `column = value`: exact from the MCV list
     /// when the value is tracked, otherwise a uniform estimate over the
-    /// remaining distinct values.
+    /// remaining distinct values, clamped (Postgres-style) to the least
+    /// common tracked frequency — a value *outside* the MCV list cannot
+    /// plausibly be more frequent than the rarest value *inside* it.
+    ///
+    /// The fraction is of **non-null** values; planner-side consumers
+    /// scale by [`ColumnStats::fill_rate`] before applying it to full row
+    /// counts.
     pub fn eq_selectivity(&self, value: &Value) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -183,7 +189,16 @@ impl ColumnStats {
             return 1.0 / (self.count as f64 + 1.0);
         }
         let rest = self.count.saturating_sub(mcv_total) as f64;
-        (rest / rest_distinct as f64) / self.count as f64
+        // With exact full-pass stats the average non-MCV frequency cannot
+        // exceed the least MCV frequency (the MCV list holds the top
+        // counts), so the clamp only binds for hand-built or sampled
+        // statistics — but those are exactly the inputs a robust
+        // estimator must not invert the plausibility order on.
+        let least_mcv = self
+            .most_common
+            .last()
+            .map_or(f64::INFINITY, |(_, c)| *c as f64 / self.count as f64);
+        ((rest / rest_distinct as f64) / self.count as f64).min(least_mcv)
     }
 
     /// Normalized entropy in `[0,1]`: entropy divided by `log2(count)`.
@@ -225,6 +240,102 @@ fn numeric_key(ty: DataType, v: &Value) -> Option<f64> {
     }
 }
 
+/// Cap on the joint most-common-pairs list of a [`JointStats`].
+pub const JOINT_MCV_LIMIT: usize = 64;
+/// Cap on the number of column pairs per table that get joint statistics
+/// (pairs are considered in schema order; wide tables keep the stats pass
+/// bounded).
+pub const JOINT_PAIR_LIMIT: usize = 8;
+
+/// Joint (2-D) statistics of one column pair: the observed co-occurrence
+/// frequencies of `(a, b)` value pairs, capped at [`JOINT_MCV_LIMIT`].
+///
+/// Only *low-distinct* pairs are tracked (both columns with
+/// `2 ..= `[`MCV_LIMIT`]` distinct values`), so the pair space is small
+/// and the list is usually complete. The planner uses these to price
+/// `a = x AND b = y` from the observed joint frequency instead of the
+/// independence product — the classic failure mode of multiplying
+/// per-conjunct selectivities on correlated columns (city ↔ country).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointStats {
+    /// First column of the pair (earlier in schema order).
+    pub col_a: String,
+    /// Second column of the pair.
+    pub col_b: String,
+    /// Total table rows at computation time (the denominator of
+    /// [`JointStats::pair_selectivity`] — an equality pair never matches
+    /// a NULL on either side, so the honest fraction is of *all* rows).
+    pub rows: usize,
+    /// Rows where both columns are non-null.
+    pub count: usize,
+    /// Distinct `(a, b)` pairs among those rows.
+    pub distinct: usize,
+    /// Most common value pairs with their counts, descending, capped at
+    /// [`JOINT_MCV_LIMIT`].
+    pub most_common: Vec<(Value, Value, usize)>,
+}
+
+impl JointStats {
+    /// Estimated fraction of **all** table rows satisfying
+    /// `col_a = a AND col_b = b`: exact when the pair is tracked; when the
+    /// pair list is complete but the pair absent, the combination never
+    /// co-occurs in the data and the estimate is near zero; for a
+    /// truncated list, a uniform estimate over the untracked pairs,
+    /// clamped to the least common tracked pair.
+    pub fn pair_selectivity(&self, a: &Value, b: &Value) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let rows = self.rows as f64;
+        if let Some((_, _, c)) = self.most_common.iter().find(|(x, y, _)| x == a && y == b) {
+            return *c as f64 / rows;
+        }
+        if self.most_common.len() == self.distinct {
+            return 1.0 / (rows + 1.0);
+        }
+        let tracked: usize = self.most_common.iter().map(|(_, _, c)| c).sum();
+        let rest = self.count.saturating_sub(tracked) as f64;
+        let rest_distinct = self.distinct.saturating_sub(self.most_common.len()) as f64;
+        let least = self
+            .most_common
+            .last()
+            .map_or(f64::INFINITY, |(_, _, c)| *c as f64 / rows);
+        ((rest / rest_distinct.max(1.0)) / rows).min(least)
+    }
+
+    /// Assemble from accumulated co-occurrence counts (see the single
+    /// shared scan in [`TableStats::compute`]).
+    fn from_counts(
+        col_a: &str,
+        col_b: &str,
+        rows: usize,
+        count: usize,
+        counts: HashMap<(&Value, &Value), usize>,
+    ) -> JointStats {
+        let distinct = counts.len();
+        let mut mcv: Vec<(Value, Value, usize)> = counts
+            .into_iter()
+            .map(|((a, b), c)| (a.clone(), b.clone(), c))
+            .collect();
+        // Same OrdKey tiebreak as the 1-D MCV sort: `Value::partial_cmp`
+        // is not a total order once NaN coexists with equal-count values.
+        mcv.sort_by(|x, y| {
+            y.2.cmp(&x.2)
+                .then_with(|| crate::index::OrdKey::cmp_values(&x.0, &y.0))
+                .then_with(|| crate::index::OrdKey::cmp_values(&x.1, &y.1))
+        });
+        mcv.truncate(JOINT_MCV_LIMIT);
+        JointStats {
+            col_a: col_a.to_string(),
+            col_b: col_b.to_string(),
+            rows,
+            count,
+            distinct,
+            most_common: mcv,
+        }
+    }
+}
+
 /// Statistics for every column of a table, plus the table version they
 /// were computed at.
 #[derive(Debug, Clone)]
@@ -233,10 +344,17 @@ pub struct TableStats {
     pub row_count: usize,
     pub version: u64,
     pub columns: Vec<(String, ColumnStats)>,
+    /// Joint statistics for low-distinct column pairs (see
+    /// [`JointStats`]); at most [`JOINT_PAIR_LIMIT`] pairs, in schema
+    /// order.
+    pub joint: Vec<JointStats>,
 }
 
 impl TableStats {
-    /// Full statistics pass over a table.
+    /// Full statistics pass over a table, including joint statistics for
+    /// low-distinct column pairs (both sides with `2..=`[`MCV_LIMIT`]
+    /// distinct values, at most [`JOINT_PAIR_LIMIT`] pairs in schema
+    /// order — all pairs accumulated in one extra shared scan).
     pub fn compute(table: &Table) -> TableStats {
         let schema = table.schema();
         let mut columns = Vec::with_capacity(schema.arity());
@@ -247,17 +365,74 @@ impl TableStats {
                 .collect();
             columns.push((col.name.clone(), ColumnStats::compute(col.ty, values)));
         }
+        let low_distinct: Vec<usize> = (0..columns.len())
+            .filter(|&i| (2..=MCV_LIMIT).contains(&columns[i].1.distinct))
+            .collect();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        'pairs: for (pi, &i) in low_distinct.iter().enumerate() {
+            for &j in &low_distinct[pi + 1..] {
+                if pairs.len() >= JOINT_PAIR_LIMIT {
+                    break 'pairs;
+                }
+                pairs.push((i, j));
+            }
+        }
+        // One shared co-occurrence scan for every tracked pair:
+        // (non-null-pair count, co-occurrence counts) per pair.
+        type PairAcc<'v> = (usize, HashMap<(&'v Value, &'v Value), usize>);
+        let mut acc: Vec<PairAcc> = pairs.iter().map(|_| (0, HashMap::new())).collect();
+        if !pairs.is_empty() {
+            for (_, row) in table.scan() {
+                for (k, &(i, j)) in pairs.iter().enumerate() {
+                    let (a, b) = (
+                        row.get(i).unwrap_or(&Value::Null),
+                        row.get(j).unwrap_or(&Value::Null),
+                    );
+                    if a.is_null() || b.is_null() {
+                        continue;
+                    }
+                    let (count, counts) = &mut acc[k];
+                    *count += 1;
+                    *counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        let joint: Vec<JointStats> = pairs
+            .iter()
+            .zip(acc)
+            .map(|(&(i, j), (count, counts))| {
+                JointStats::from_counts(&columns[i].0, &columns[j].0, table.len(), count, counts)
+            })
+            .collect();
         TableStats {
             table: schema.name().to_string(),
             row_count: table.len(),
             version: table.version(),
             columns,
+            joint,
         }
     }
 
     /// Stats of one column.
     pub fn column(&self, name: &str) -> Option<&ColumnStats> {
         self.columns.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Estimated fraction of all rows satisfying `cx = vx AND cy = vy`
+    /// from the joint statistics of the column pair, in either column
+    /// order. `None` when the pair is not tracked (high-distinct column
+    /// or past the pair cap) — callers fall back to the marginal
+    /// estimates.
+    pub fn joint_selectivity(&self, cx: &str, vx: &Value, cy: &str, vy: &Value) -> Option<f64> {
+        self.joint.iter().find_map(|j| {
+            if j.col_a == cx && j.col_b == cy {
+                Some(j.pair_selectivity(vx, vy))
+            } else if j.col_a == cy && j.col_b == cx {
+                Some(j.pair_selectivity(vy, vx))
+            } else {
+                None
+            }
+        })
     }
 
     /// Whether these stats are stale with respect to the live table.
@@ -363,6 +538,127 @@ mod tests {
         // Unseen value: small but nonzero.
         let s = genre.eq_selectivity(&Value::Text("Western".into()));
         assert!(s > 0.0 && s < 0.2);
+    }
+
+    #[test]
+    fn non_mcv_estimate_clamped_to_least_mcv_frequency() {
+        // Hand-built stats shaped like a *sampled* pass: the average
+        // non-MCV frequency (58/10 = 5.8 per value) exceeds the least
+        // common tracked value (2). Unclamped, a never-seen value would
+        // be estimated as more frequent than a tracked one — inverting
+        // the plausibility order the MCV list exists to provide.
+        let s = ColumnStats {
+            count: 100,
+            null_count: 0,
+            distinct: 12,
+            entropy: 0.0,
+            most_common: vec![(Value::Int(0), 40), (Value::Int(1), 2)],
+            histogram: None,
+            min: Some(Value::Int(0)),
+            max: Some(Value::Int(99)),
+        };
+        let unseen = s.eq_selectivity(&Value::Int(50));
+        assert!(
+            (unseen - 0.02).abs() < 1e-12,
+            "clamped to least MCV frequency, got {unseen}"
+        );
+        assert!(unseen <= s.eq_selectivity(&Value::Int(1)));
+    }
+
+    #[test]
+    fn joint_stats_track_correlated_pairs() {
+        let schema = TableSchema::builder("shop")
+            .column("id", DataType::Int)
+            .column("city", DataType::Text)
+            .nullable_column("country", DataType::Text)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema).unwrap();
+        // city fully determines country: 4 cities, 2 countries.
+        let cities = ["Berlin", "Munich", "Vienna", "Linz"];
+        let countries = ["DE", "DE", "AT", "AT"];
+        for i in 0..80i64 {
+            let c = (i % 4) as usize;
+            t.insert(Row::new(vec![
+                Value::Int(i),
+                cities[c].into(),
+                countries[c].into(),
+            ]))
+            .unwrap();
+        }
+        let stats = TableStats::compute(&t);
+        // `id` is high-distinct, so the only eligible pair is
+        // (city, country).
+        assert_eq!(stats.joint.len(), 1);
+        let j = &stats.joint[0];
+        assert_eq!((j.col_a.as_str(), j.col_b.as_str()), ("city", "country"));
+        assert_eq!(j.rows, 80);
+        assert_eq!(j.count, 80);
+        assert_eq!(j.distinct, 4, "only co-occurring pairs are tracked");
+        // Observed pair: exact joint frequency (25%), not the 12.5%
+        // independence product of the marginals.
+        let s = stats
+            .joint_selectivity(
+                "city",
+                &Value::Text("Berlin".into()),
+                "country",
+                &Value::Text("DE".into()),
+            )
+            .unwrap();
+        assert!((s - 0.25).abs() < 1e-12, "got {s}");
+        // Flipped column order resolves to the same pair.
+        let flipped = stats
+            .joint_selectivity(
+                "country",
+                &Value::Text("DE".into()),
+                "city",
+                &Value::Text("Berlin".into()),
+            )
+            .unwrap();
+        assert_eq!(s, flipped);
+        // Contradictory pair (Berlin, AT): the list is complete, so the
+        // combination provably never co-occurs.
+        let never = stats
+            .joint_selectivity(
+                "city",
+                &Value::Text("Berlin".into()),
+                "country",
+                &Value::Text("AT".into()),
+            )
+            .unwrap();
+        assert!(never < 0.02, "got {never}");
+        // Untracked pair (high-distinct column): no joint stats.
+        assert!(stats
+            .joint_selectivity("id", &Value::Int(3), "city", &Value::Text("Berlin".into()))
+            .is_none());
+    }
+
+    #[test]
+    fn joint_stats_skip_nulls_and_cap_pairs() {
+        let schema = TableSchema::builder("t")
+            .column("id", DataType::Int)
+            .nullable_column("a", DataType::Int)
+            .nullable_column("b", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema).unwrap();
+        for i in 0..20i64 {
+            let a = if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 3)
+            };
+            t.insert(Row::new(vec![Value::Int(i), a, Value::Int(i % 2)]))
+                .unwrap();
+        }
+        let stats = TableStats::compute(&t);
+        let j = stats.joint.iter().find(|j| j.col_a == "a").unwrap();
+        assert_eq!(j.rows, 20);
+        assert_eq!(j.count, 16, "NULL-bearing rows are excluded");
+        let total: usize = j.most_common.iter().map(|(_, _, c)| c).sum();
+        assert_eq!(total, 16);
     }
 
     #[test]

@@ -20,8 +20,17 @@
 //! exercised and tallied. Join-side single-table conjuncts over randomly
 //! indexed columns make the build-side pushdown fire (tallied too), and
 //! every query additionally runs under the PR 3 no-build-pushdown shape
-//! so the pre-filtered and unfiltered generations are pinned against
-//! each other. The implementations share the parser, the
+//! and the PR 4 independence-estimator shape
+//! (`PlanOptions::independence_only()`) so each frozen generation is
+//! pinned against the current one. `screening.country` is fully
+//! determined by `screening.city` — a correlated, randomly indexed
+//! column pair the joint-statistics estimator must price (and whose
+//! redundant intersection probes it must decline) without changing
+//! results. An estimator-accuracy harness additionally tallies the
+//! q-error of estimated base-table cardinality against actual result
+//! sizes on the join-free queries, and a dedicated correlated fixture
+//! asserts the joint-stats/backoff estimator strictly beats the frozen
+//! independence product. The implementations share the parser, the
 //! value model and the join-key exclusion rule
 //! (`Value::is_excluded_join_key` — NULL/NaN never join; its behavior
 //! itself is pinned by hand-written unit tests in `exec.rs`), but not
@@ -39,7 +48,26 @@ use cat_txdb::sql::{
 use cat_txdb::{row, DataType, Database, TableSchema, Value};
 
 const GENRES: &[&str] = &["Drama", "Crime", "Horror", "Comedy", "Noir", "Sci-Fi"];
-const CITIES: &[&str] = &["Berlin", "Munich", "Hamburg", "Cologne"];
+const CITIES: &[&str] = &["Berlin", "Munich", "Hamburg", "Cologne", "Vienna", "Linz"];
+const COUNTRIES: &[&str] = &["Germany", "Austria"];
+
+/// The country a city belongs to — `screening.country` is fully
+/// determined by `screening.city`, the correlated column pair whose joint
+/// statistics the estimator must exploit (independence would price
+/// `city = 'Berlin' AND country = 'Germany'` as the product of two
+/// marginals when the true joint frequency is the city's own).
+fn country_of(city: &Value) -> Value {
+    match city {
+        Value::Text(c) => Value::Text(
+            match c.as_str() {
+                "Vienna" | "Linz" => "Austria",
+                _ => "Germany",
+            }
+            .to_string(),
+        ),
+        _ => Value::Null,
+    }
+}
 
 /// A random movie/screening/review database. Row counts, index placement
 /// and value skew all depend on the seed. `review` references both
@@ -63,6 +91,7 @@ fn random_db(rng: &mut StdRng) -> Database {
             .column("screening_id", DataType::Int)
             .column("movie_id", DataType::Int)
             .nullable_column("city", DataType::Text)
+            .nullable_column("country", DataType::Text)
             .column("price", DataType::Float)
             .nullable_column("rank", DataType::Float)
             .primary_key(&["screening_id"])
@@ -132,12 +161,17 @@ fn random_db(rng: &mut StdRng) -> Database {
         } else {
             Value::Float(rng.random_range(1..=10i64) as f64)
         };
+        // country is a pure function of city (NULL city → NULL country):
+        // the strongest correlation shape, where the independence product
+        // is maximally wrong.
+        let country = country_of(&city);
         db.insert(
             "screening",
             row![
                 i,
                 rng.random_range(0..n_movies),
                 city,
+                country,
                 rng.random_range(50..=200i64) as f64 / 10.0,
                 rank
             ],
@@ -183,10 +217,16 @@ fn random_db(rng: &mut StdRng) -> Database {
         if rng.random_bool(0.3) {
             t.create_range_index("rank").unwrap();
         }
-        // A hash index on city (~25% per value) makes join-side city
+        // A hash index on city (~17% per value) makes join-side city
         // equalities build-side-pushdown candidates on the rank-key join.
         if rng.random_bool(0.5) {
             t.create_index("city").unwrap();
+        }
+        // Indexing the correlated country column too makes
+        // `city = x AND country = y` a multi-index AND candidate that
+        // only the joint statistics price (and decline) correctly.
+        if rng.random_bool(0.5) {
+            t.create_index("country").unwrap();
         }
     }
     if rng.random_bool(0.4) {
@@ -247,6 +287,7 @@ fn random_predicate(rng: &mut StdRng, depth: usize, shape: JoinShape) -> String 
                 ("movie.rating", 1),
                 ("movie.year", 2),
                 ("screening.city", 3),
+                ("screening.country", 6),
                 ("screening.price", 1),
                 ("review.stars", 5),
             ]
@@ -256,6 +297,7 @@ fn random_predicate(rng: &mut StdRng, depth: usize, shape: JoinShape) -> String 
                 ("movie.rating", 1),
                 ("movie.year", 2),
                 ("screening.city", 3),
+                ("screening.country", 6),
                 ("screening.price", 1),
             ]
         } else {
@@ -286,6 +328,7 @@ fn random_predicate(rng: &mut StdRng, depth: usize, shape: JoinShape) -> String 
             2 => format!("{col} {op} {}", rng.random_range(-5..=2025i64)),
             3 => format!("{col} = '{}'", CITIES.choose(rng).unwrap()),
             5 => format!("{col} {op} {}", rng.random_range(0..=11i64)),
+            6 => format!("{col} = '{}'", COUNTRIES.choose(rng).unwrap()),
             _ => format!("{col} = 'M{}'", rng.random_range(0..25i64)),
         }
     };
@@ -360,9 +403,31 @@ fn joinside_pushdown_predicate(rng: &mut StdRng, shape: JoinShape) -> Option<Str
     match shape {
         JoinShape::None => return None,
         JoinShape::Screening | JoinShape::RankKey => {
+            // Sometimes the explicitly correlated (matched or mismatched)
+            // city+country pair: the joint-stats pricing — and the
+            // redundant-probe decline — must survive on the build side
+            // too.
+            if rng.random_bool(0.3) {
+                let city = CITIES.choose(rng).unwrap();
+                let country = if rng.random_bool(0.7) {
+                    let Value::Text(c) = country_of(&Value::Text(city.to_string())) else {
+                        unreachable!()
+                    };
+                    c
+                } else {
+                    COUNTRIES.choose(rng).unwrap().to_string()
+                };
+                return Some(format!(
+                    "screening.city = '{city}' AND screening.country = '{country}'"
+                ));
+            }
             leaves.push(format!(
                 "screening.city = '{}'",
                 CITIES.choose(rng).unwrap()
+            ));
+            leaves.push(format!(
+                "screening.country = '{}'",
+                COUNTRIES.choose(rng).unwrap()
             ));
             leaves.push(format!(
                 "screening.price {} {}",
@@ -551,9 +616,10 @@ fn random_select(rng: &mut StdRng) -> String {
     sql
 }
 
-/// Run `sql` through the reference executor, the full planner, the PR 3
-/// no-build-pushdown shape and the PR 1 planner shape; all four must
-/// agree (results and error-ness).
+/// Run `sql` through the reference executor, the full planner, the PR 4
+/// independence-estimator shape, the PR 3 no-build-pushdown shape and the
+/// PR 1 planner shape; all five must agree (results and error-ness) —
+/// the correlation-aware estimator may flip plans, never results.
 fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
     let stmt = parse_statement(sql)
         .unwrap_or_else(|e| panic!("generator produced unparsable SQL `{sql}`: {e}"));
@@ -563,26 +629,55 @@ fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
     let reference = execute_select_reference(db, &sel);
     let single = execute_select_with(db, &sel, &PlanOptions::single_access_path());
     let no_pd = execute_select_with(db, &sel, &PlanOptions::no_build_pushdown());
+    let indep = execute_select_with(db, &sel, &PlanOptions::independence_only());
     let planned = execute(db, sql).map(|r| r.rows().unwrap().clone());
-    match (planned, no_pd, single, reference) {
-        (Ok(p), Ok(n), Ok(s), Ok(r)) => {
+    match (planned, indep, no_pd, single, reference) {
+        (Ok(p), Ok(i), Ok(n), Ok(s), Ok(r)) => {
             assert_eq!(p, r, "{context}, query `{sql}` (full planner)");
+            assert_eq!(i, r, "{context}, query `{sql}` (independence-only planner)");
             assert_eq!(n, r, "{context}, query `{sql}` (no-build-pushdown planner)");
             assert_eq!(s, r, "{context}, query `{sql}` (single-access-path planner)");
             true
         }
-        (Err(_), Err(_), Err(_), Err(_)) => {
+        (Err(_), Err(_), Err(_), Err(_), Err(_)) => {
             // All paths reject (e.g. aggregate over text): fine.
             false
         }
-        (p, n, s, r) => panic!(
-            "{context}, query `{sql}`: paths disagree on error — planned {:?}, no-pushdown {:?}, single {:?}, reference {:?}",
+        (p, i, n, s, r) => panic!(
+            "{context}, query `{sql}`: paths disagree on error — planned {:?}, independence {:?}, no-pushdown {:?}, single {:?}, reference {:?}",
             p.map(|_| "ok").map_err(|e| e.to_string()),
+            i.map(|_| "ok").map_err(|e| e.to_string()),
             n.map(|_| "ok").map_err(|e| e.to_string()),
             s.map(|_| "ok").map_err(|e| e.to_string()),
             r.map(|_| "ok").map_err(|e| e.to_string()),
         ),
     }
+}
+
+/// The q-error of one cardinality estimate: `max(est/actual, actual/est)`
+/// with both sides floored at one row, so empty results and sub-row
+/// estimates stay finite. 1.0 is a perfect estimate.
+fn q_error(estimated: f64, actual: usize) -> f64 {
+    let est = estimated.max(1.0);
+    let act = (actual as f64).max(1.0);
+    (est / act).max(act / est)
+}
+
+/// Estimated base-table cardinality vs. actual result size for a
+/// join-free, non-aggregate, unlimited SELECT — the shape where the
+/// result *is* the filtered base table. Returns the (estimate, actual)
+/// q-error pair under the given planner options, or `None` when the
+/// query does not qualify or errors.
+fn base_card_q_error(db: &mut Database, sql: &str, opts: &PlanOptions) -> Option<f64> {
+    let Statement::Select(sel) = parse_statement(sql).ok()? else {
+        return None;
+    };
+    if !sel.joins.is_empty() || sel.limit.is_some() || sel.projection.has_aggregates() {
+        return None;
+    }
+    let plan = cat_txdb::sql::plan_select_with(db, &sel, opts).ok()?;
+    let actual = execute_select_with(db, &sel, opts).ok()?.rows.len();
+    Some(q_error(plan.estimated_base_rows, actual))
 }
 
 #[test]
@@ -595,6 +690,10 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     // ran pre-filtered through its own access path.
     let (mut probes, mut hashes, mut merges) = (0usize, 0usize, 0usize);
     let mut pushdowns = 0usize;
+    // Estimator-accuracy tally: log-sum of per-query q-errors (estimated
+    // base-table cardinality vs. actual result size) for the join-free
+    // queries where the two are comparable.
+    let (mut q_log_sum, mut q_count, mut q_worst) = (0.0f64, 0usize, 0.0f64);
     for seed in 0..40u64 {
         let mut rng = StdRng::seed_from_u64(0xD1FF + seed);
         let mut db = random_db(&mut rng);
@@ -614,6 +713,11 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
                     }
                     pushdowns += plan.build_pushdown_count();
                 }
+            }
+            if let Some(q) = base_card_q_error(&mut db, &sql, &PlanOptions::default()) {
+                q_log_sum += q.ln();
+                q_count += 1;
+                q_worst = q_worst.max(q);
             }
             if check_all_paths_agree(&mut db, &sql, &format!("seed {seed}")) {
                 checked += 1;
@@ -636,6 +740,75 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     assert!(
         pushdowns > 0,
         "build-side pushdown never executed — generator stopped covering it"
+    );
+    let q_geo = (q_log_sum / q_count.max(1) as f64).exp();
+    println!("estimator tally: {q_count} join-free queries, geo-mean q-error {q_geo:.2}, worst {q_worst:.1}");
+    assert!(
+        q_count > 150,
+        "only {q_count} queries fed the estimator-accuracy tally"
+    );
+    assert!(
+        q_geo < 10.0,
+        "geo-mean q-error degenerated: {q_geo:.2} over {q_count} queries"
+    );
+}
+
+/// On the correlated city ↔ country fixture, the joint-stats/backoff
+/// estimator's base-cardinality q-error must be strictly better than the
+/// frozen PR 4 independence product — the acceptance bar of the
+/// correlation tentpole. Covers matched pairs (joint frequency ≫
+/// product), contradictory pairs (joint ≈ 0 ≪ product) and the NULL-city
+/// rows (fill-rate scaling).
+#[test]
+fn correlated_fixture_q_error_beats_independence() {
+    let mut rng = StdRng::seed_from_u64(0xC0FF);
+    let mut db = random_db(&mut rng);
+    // Deterministic bulk rows so the screening table is large enough for
+    // stable statistics: every city equally common, country derived.
+    for i in 1000..3000i64 {
+        let city = Value::Text(CITIES[(i % 6) as usize].to_string());
+        let country = country_of(&city);
+        db.insert(
+            "screening",
+            row![i, 0, city, country, 10.0 + (i % 7) as f64, 1.0],
+        )
+        .unwrap();
+    }
+    {
+        let t = db.table_mut("screening").unwrap();
+        t.create_index("city").ok();
+        t.create_index("country").ok();
+    }
+    let (mut corr_log, mut indep_log, mut n) = (0.0f64, 0.0f64, 0usize);
+    for city in CITIES {
+        for country in COUNTRIES {
+            let sql = format!(
+                "SELECT screening_id FROM screening \
+                 WHERE city = '{city}' AND country = '{country}'"
+            );
+            let corr = base_card_q_error(&mut db, &sql, &PlanOptions::default())
+                .expect("join-free query must qualify");
+            let indep = base_card_q_error(&mut db, &sql, &PlanOptions::independence_only())
+                .expect("join-free query must qualify");
+            corr_log += corr.ln();
+            indep_log += indep.ln();
+            n += 1;
+        }
+    }
+    let (corr_geo, indep_geo) = ((corr_log / n as f64).exp(), (indep_log / n as f64).exp());
+    println!(
+        "correlated fixture over {n} queries: geo-mean q-error {corr_geo:.2} \
+         (joint stats/backoff) vs {indep_geo:.2} (independence)"
+    );
+    assert!(
+        corr_geo < indep_geo,
+        "correlation-aware estimator must strictly beat independence: \
+         {corr_geo:.3} vs {indep_geo:.3}"
+    );
+    // The matched pairs are priced (nearly) exactly from the joint MCVs.
+    assert!(
+        corr_geo < 1.5,
+        "joint stats should make the fixture nearly exact, got {corr_geo:.3}"
     );
 }
 
