@@ -6,9 +6,12 @@
 //! PR 3 join-execution layer (build-side hash join and merge join over
 //! ordered indexes for unindexed join columns), the PR 4 build-side
 //! pushdown (a selective conjunct on the join table pre-filters the hash
-//! build instead of running as a residual filter), and the PR 5
+//! build instead of running as a residual filter), the PR 5
 //! correlation-aware estimator (joint 2-D MCV statistics decline a
-//! redundant intersection probe on a correlated column pair).
+//! redundant intersection probe on a correlated column pair), and the
+//! PR 6 memory-robustness layer (a skewed and a near-distinct 10k-row
+//! build executed under a 256 KiB budget: partitioned build, hot keys on
+//! the always-resident path, against the unbudgeted in-place build).
 //!
 //! The PR 1 groups measure *before* (naive reference executor / forward
 //! path walk) against *after* (planned executor); the PR 2 groups measure
@@ -23,7 +26,11 @@
 //! pre-filtered build; the PR 5 group measures the PR 4 estimator
 //! (`PlanOptions::independence_only()`: conjunct selectivities multiply
 //! as if independent) against the joint-stats/backoff estimator on a
-//! correlated column pair. Medians and speedups land in `BENCH_PR5.json`
+//! correlated column pair; the PR 6 groups measure budget-degraded
+//! (partitioned) execution against the unbudgeted in-place build — a
+//! bounded-regression pair rather than a speedup: the partitioned path
+//! pays one extra pass to keep its peak under the budget. Medians and
+//! speedups land in `BENCH_PR6.json`
 //! at the workspace root; CI diffs the shared group names against the
 //! committed baselines (`scripts/bench_compare.rs`) and fails on >25%
 //! regressions of the machine-normalized medians.
@@ -475,6 +482,130 @@ fn bench_join_pushdown(c: &mut Criterion) {
     g.finish();
 }
 
+/// A skewed join fixture: `build` has 10k rows with one key holding half
+/// of them (the MCV-visible heavy hitter), `probe` streams 1k rows that
+/// hit the hot key, the tail and misses. Returns the database plus the
+/// query both PR 6 groups time.
+fn skewed_join_db(hot_every: i64) -> (Database, &'static str) {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("probe")
+            .column("p_id", DataType::Int)
+            .column("k", DataType::Int)
+            .primary_key(&["p_id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    db.create_table(
+        TableSchema::builder("build")
+            .column("b_id", DataType::Int)
+            .column("k", DataType::Int)
+            .primary_key(&["b_id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    for i in 0..10_000i64 {
+        let k = if hot_every > 0 && i % hot_every == 0 {
+            42
+        } else {
+            i
+        };
+        db.insert("build", row![i, k]).expect("insert");
+    }
+    for i in 0..1_000i64 {
+        let k = match i % 100 {
+            0 => 42,
+            m => i * 7 % 10_000 + m % 2 * 20_000,
+        };
+        db.insert("probe", row![i, k]).expect("insert");
+    }
+    (
+        db,
+        "SELECT probe.p_id, build.b_id FROM probe JOIN build ON build.k = probe.k",
+    )
+}
+
+/// Shared body of the PR 6 memory-robustness groups: *before* is the
+/// unbudgeted in-place hash build, *after* the same query planned and
+/// executed under a 256 KiB budget — partitioned build, hot keys (when
+/// the fixture has them) on the always-resident path.
+fn run_budgeted_join(
+    c: &mut Criterion,
+    group: &str,
+    db: &mut Database,
+    sql: &str,
+    expect_hot: bool,
+) {
+    let Statement::Select(sel) = parse_statement(sql).expect("parse") else {
+        panic!("not a select")
+    };
+    let unbudgeted = PlanOptions {
+        memory_budget: None,
+        ..PlanOptions::default()
+    };
+    let budgeted = PlanOptions {
+        memory_budget: Some(256 * 1024),
+        ..PlanOptions::default()
+    };
+    let before_plan = cat_txdb::sql::plan_select_with(db, &sel, &unbudgeted).expect("plan");
+    assert_eq!(
+        before_plan.join_order[0].strategy,
+        JoinStrategy::BuildHash,
+        "fixture must exercise the hash build, got {}",
+        before_plan.describe()
+    );
+    assert_eq!(
+        before_plan.partitioned_count(),
+        0,
+        "baseline must not partition"
+    );
+    let after_plan = cat_txdb::sql::plan_select_with(db, &sel, &budgeted).expect("plan");
+    assert!(
+        after_plan.partitioned_count() > 0,
+        "budgeted plan must partition the build, got {}",
+        after_plan.describe()
+    );
+    assert_eq!(
+        !after_plan.join_order[0].hot_keys.is_empty(),
+        expect_hot,
+        "hot-key detection mismatch: {:?}",
+        after_plan.join_order[0].hot_keys
+    );
+    // Sanity: degraded execution stays byte-identical.
+    let full = execute_select_with(db, &sel, &unbudgeted).expect("unbudgeted");
+    let degraded = execute_select_with(db, &sel, &budgeted).expect("budgeted");
+    assert_eq!(degraded, full, "degraded path disagrees on {sql}");
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(40);
+    g.bench_function("before_inplace_build", |b| {
+        b.iter(|| execute_select_with(db, &sel, &unbudgeted).expect("unbudgeted"))
+    });
+    g.finish();
+    let mut g = c.benchmark_group(group);
+    g.sample_size(40);
+    g.bench_function("after_partitioned_budget", |b| {
+        b.iter(|| execute_select_with(db, &sel, &budgeted).expect("budgeted"))
+    });
+    g.finish();
+}
+
+fn bench_join_skew_hotkey(c: &mut Criterion) {
+    // Every other build row carries the hot key: the budgeted plan must
+    // route it through the resident hot map.
+    let (mut db, sql) = skewed_join_db(2);
+    run_budgeted_join(c, "join_skew_hotkey_10k", &mut db, sql, true);
+}
+
+fn bench_join_partitioned_budget(c: &mut Criterion) {
+    // Near-distinct keys (no heavy hitter): the budget alone drives the
+    // partitioned build, with no hot-key path in play.
+    let (mut db, sql) = skewed_join_db(0);
+    run_budgeted_join(c, "join_partitioned_budget_10k", &mut db, sql, false);
+}
+
 /// A 10k-row table where a hash-indexed 13-value `city` column fully
 /// determines a hash-indexed 5-value `country` column. The query probes a
 /// rare city (10 rows) plus its own country (~17% — the 0.1% × 17%
@@ -658,7 +789,7 @@ fn bench_refine(c: &mut Criterion) {
     }
 }
 
-/// Write `BENCH_PR5.json`: one record per benchmark group with the
+/// Write `BENCH_PR6.json`: one record per benchmark group with the
 /// before/after medians (ns) and the speedup factor. Groups shared with
 /// the committed baselines feed the CI regression gate.
 fn write_report(measurements: &[Measurement]) {
@@ -681,11 +812,11 @@ fn write_report(measurements: &[Measurement]) {
             pairs.push((group.to_string(), before, after));
         }
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
-    let mut f = std::fs::File::create(path).expect("create BENCH_PR5.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_PR6.json");
     writeln!(
         f,
-        "{{\n  \"pr\": 5,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
+        "{{\n  \"pr\": 6,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
     )
     .unwrap();
     for (i, (group, before, after)) in pairs.iter().enumerate() {
@@ -719,6 +850,8 @@ fn main() {
     bench_join_unindexed_hash(&mut c);
     bench_join_merge_range(&mut c);
     bench_join_pushdown(&mut c);
+    bench_join_skew_hotkey(&mut c);
+    bench_join_partitioned_budget(&mut c);
     bench_refine(&mut c);
     write_report(c.measurements());
 }

@@ -46,6 +46,17 @@ pub enum TxdbError {
     Parse(String),
     /// A transaction was explicitly aborted.
     Aborted(String),
+    /// A query's tracked memory footprint would exceed the configured
+    /// execution budget and no degradation path (partitioned hash
+    /// build) could absorb the overrun. The query failed atomically —
+    /// no partial results were produced.
+    ResourceExhausted {
+        /// The configured budget, in bytes.
+        budget: usize,
+        /// The tracked footprint that the failed charge would have
+        /// reached, in bytes.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for TxdbError {
@@ -96,6 +107,12 @@ impl fmt::Display for TxdbError {
             TxdbError::InvalidValue(s) => write!(f, "invalid value: {s}"),
             TxdbError::Parse(s) => write!(f, "SQL parse error: {s}"),
             TxdbError::Aborted(s) => write!(f, "transaction aborted: {s}"),
+            TxdbError::ResourceExhausted { budget, requested } => {
+                write!(
+                    f,
+                    "memory budget exhausted: needed {requested} bytes against a budget of {budget}"
+                )
+            }
         }
     }
 }

@@ -1,0 +1,261 @@
+//! Execution-memory budget: the resource guard behind
+//! [`PlanOptions::memory_budget`](super::plan::PlanOptions::memory_budget).
+//!
+//! Every materializing structure in the executor — hash-join build maps,
+//! partition RowId lists, build-side pushdown probe sets, merge-join
+//! match buffers, GROUP BY maps, ORDER BY key arrays and top-k heaps —
+//! charges an estimated byte footprint against one [`ExecBudget`] before
+//! (or, for small post-hoc accounted buffers, right after) it is
+//! populated. The budget tracks *auxiliary* memory: buffers whose size is
+//! already implied by the query's own result stream (the joined tuple
+//! vector, the projected rows) are not charged, since every executor —
+//! including the naive reference — materializes those identically.
+//!
+//! Degradation order on pressure:
+//!
+//! 1. A hash-join build whose priced footprint exceeds the build share of
+//!    the budget switches to the **partitioned** path (plan-time from the
+//!    cardinality estimate, exec-time from the actual row count): the
+//!    build side is hash-partitioned and only one partition's map is
+//!    resident at a time, with plan-identified hot keys pinned in a small
+//!    dedicated map. One extra pass over the build side, identical
+//!    results.
+//! 2. Anything else that overruns — a partition map that still does not
+//!    fit, a GROUP BY map, a sort-key array — fails the whole query
+//!    atomically with [`TxdbError::ResourceExhausted`]. The executor
+//!    never returns partial output: the error propagates before any
+//!    `ResultSet` is constructed.
+//!
+//! The byte constants are deliberately coarse (a `RowId` list entry, a
+//! hash-map entry with its bucket header): the budget bounds growth and
+//! triggers degradation; it is not an allocator.
+
+use std::cell::Cell;
+
+use crate::error::{Result, TxdbError};
+
+/// Estimated bytes per `RowId` held in a bucket or partition list.
+pub const JOIN_MAP_RID_BYTES: usize = 8;
+
+/// Estimated bytes per distinct key entry of a hash build map (key,
+/// bucket header, table slot overhead).
+pub const JOIN_MAP_ENTRY_BYTES: usize = 48;
+
+/// Estimated bytes per group of a GROUP BY map (key tuple header plus
+/// member-list header).
+pub const GROUP_ENTRY_BYTES: usize = 48;
+
+/// Estimated bytes per tuple tracked by an ORDER BY sort (key pointer
+/// plus permutation index) or a bounded top-k heap entry.
+pub const SORT_KEY_BYTES: usize = 16;
+
+/// The fraction of the budget (as a divisor) a single hash build map may
+/// claim before it partitions. Deliberately conservative: the build map
+/// competes with probe sets, sort keys and group maps for the same
+/// budget, and it is the only structure with a graceful fallback —
+/// degrading early costs one extra pass over the build side, while
+/// overrunning late fails the query.
+pub const BUILD_BUDGET_DENOM: usize = 64;
+
+/// Upper bound on build-side partitions: past this, per-partition
+/// scheduling overhead dominates and a budget this tight should fail
+/// loudly instead.
+pub const MAX_PARTITIONS: usize = 64;
+
+/// Estimated bytes of an in-place hash build over `rows` rows with
+/// `distinct` distinct keys: bucket storage plus map entries.
+pub fn join_build_bytes(rows: usize, distinct: usize) -> usize {
+    rows * JOIN_MAP_RID_BYTES + distinct.min(rows) * JOIN_MAP_ENTRY_BYTES
+}
+
+/// Number of build partitions for a `bytes`-sized build under `budget`:
+/// 1 when the build share absorbs it in place, otherwise enough
+/// partitions that each resident map stays within the share, capped at
+/// [`MAX_PARTITIONS`].
+pub fn build_partition_count(bytes: usize, budget: usize) -> usize {
+    let share = (budget / BUILD_BUDGET_DENOM).max(1);
+    if bytes <= share {
+        1
+    } else {
+        bytes.div_ceil(share).clamp(2, MAX_PARTITIONS)
+    }
+}
+
+/// Byte-accounting guard threaded through one `SELECT` execution.
+///
+/// Charges accumulate against an optional limit; [`ExecBudget::release`]
+/// returns bytes when a transient structure (a per-partition map, a
+/// join step's probe set) is dropped, so the tracked figure follows the
+/// live footprint and [`ExecBudget::peak`] records its high-water mark.
+/// Interior mutability keeps the executor's borrow structure unchanged —
+/// execution is single-threaded.
+#[derive(Debug)]
+pub struct ExecBudget {
+    limit: Option<usize>,
+    used: Cell<usize>,
+    peak: Cell<usize>,
+    /// Fault injection: successful charges remaining before every
+    /// subsequent charge fails (sticky). `None` disables injection.
+    fail_after: Cell<Option<usize>>,
+}
+
+impl ExecBudget {
+    /// No limit: charges are tracked (peak stays meaningful) but never
+    /// fail.
+    pub fn unlimited() -> ExecBudget {
+        ExecBudget {
+            limit: None,
+            used: Cell::new(0),
+            peak: Cell::new(0),
+            fail_after: Cell::new(None),
+        }
+    }
+
+    /// Budget of `bytes`: a charge that would push the tracked total
+    /// past it fails with [`TxdbError::ResourceExhausted`].
+    pub fn with_limit(bytes: usize) -> ExecBudget {
+        ExecBudget {
+            limit: Some(bytes),
+            ..ExecBudget::unlimited()
+        }
+    }
+
+    /// The guard for a plan's options: limited when
+    /// `memory_budget` is set, unlimited otherwise.
+    pub fn from_options(opts: &super::plan::PlanOptions) -> ExecBudget {
+        match opts.memory_budget {
+            Some(b) => ExecBudget::with_limit(b),
+            None => ExecBudget::unlimited(),
+        }
+    }
+
+    /// Fault injector: admit `n` charges, then fail every subsequent one
+    /// — forces exhaustion mid-join so tests can assert the failure is
+    /// atomic (no partial output ever escapes).
+    #[cfg(test)]
+    pub fn failing_after(n: usize) -> ExecBudget {
+        let b = ExecBudget::unlimited();
+        b.fail_after.set(Some(n));
+        b
+    }
+
+    /// Track `bytes` of newly materialized structure. Fails — without
+    /// recording the charge — when the total would exceed the limit.
+    pub fn charge(&self, bytes: usize) -> Result<()> {
+        if let Some(remaining) = self.fail_after.get() {
+            if remaining == 0 {
+                return Err(TxdbError::ResourceExhausted {
+                    budget: self.limit.unwrap_or(self.used.get()),
+                    requested: self.used.get() + bytes,
+                });
+            }
+            self.fail_after.set(Some(remaining - 1));
+        }
+        let new = self.used.get().saturating_add(bytes);
+        if let Some(limit) = self.limit {
+            if new > limit {
+                return Err(TxdbError::ResourceExhausted {
+                    budget: limit,
+                    requested: new,
+                });
+            }
+        }
+        self.used.set(new);
+        self.peak.set(self.peak.get().max(new));
+        Ok(())
+    }
+
+    /// Whether `bytes` more would still fit — the executor's degradation
+    /// probe, checked before committing to an in-place build.
+    pub fn fits(&self, bytes: usize) -> bool {
+        match self.limit {
+            Some(limit) => self.used.get().saturating_add(bytes) <= limit,
+            None => true,
+        }
+    }
+
+    /// Return `bytes` after a transient structure is dropped.
+    pub fn release(&self, bytes: usize) {
+        self.used.set(self.used.get().saturating_sub(bytes));
+    }
+
+    /// Currently tracked bytes.
+    pub fn used(&self) -> usize {
+        self.used.get()
+    }
+
+    /// High-water mark of tracked bytes.
+    pub fn peak(&self) -> usize {
+        self.peak.get()
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_and_peak_track_the_live_footprint() {
+        let b = ExecBudget::with_limit(100);
+        b.charge(60).unwrap();
+        b.charge(30).unwrap();
+        assert_eq!(b.used(), 90);
+        b.release(50);
+        assert_eq!(b.used(), 40);
+        b.charge(40).unwrap();
+        assert_eq!(b.peak(), 90);
+        assert_eq!(b.peak(), 90);
+    }
+
+    #[test]
+    fn overrun_fails_without_recording_the_charge() {
+        let b = ExecBudget::with_limit(100);
+        b.charge(80).unwrap();
+        let err = b.charge(30).unwrap_err();
+        assert_eq!(
+            err,
+            TxdbError::ResourceExhausted {
+                budget: 100,
+                requested: 110
+            }
+        );
+        // The failed charge left the account untouched: a smaller one
+        // still fits.
+        assert_eq!(b.used(), 80);
+        b.charge(20).unwrap();
+    }
+
+    #[test]
+    fn unlimited_tracks_but_never_fails() {
+        let b = ExecBudget::unlimited();
+        b.charge(usize::MAX / 2).unwrap();
+        b.charge(usize::MAX / 2).unwrap();
+        assert!(b.fits(usize::MAX));
+    }
+
+    #[test]
+    fn failing_after_is_sticky() {
+        let b = ExecBudget::failing_after(2);
+        b.charge(1).unwrap();
+        b.charge(1).unwrap();
+        assert!(b.charge(1).is_err());
+        assert!(b.charge(0).is_err(), "injection must not reset");
+    }
+
+    #[test]
+    fn partition_count_scales_with_pressure() {
+        // Fits the share in place.
+        assert_eq!(build_partition_count(1000, 64 * 1024), 1);
+        // Over the share: enough partitions that each fits.
+        let p = build_partition_count(10_000, 64 * 1024);
+        assert!((2..=MAX_PARTITIONS).contains(&p));
+        assert!(10_000usize.div_ceil(p) <= (64 * 1024) / BUILD_BUDGET_DENOM);
+        // Absurd pressure clamps at the cap.
+        assert_eq!(build_partition_count(usize::MAX / 2, 1024), MAX_PARTITIONS);
+    }
+}

@@ -35,10 +35,15 @@ use crate::table::Table;
 use crate::value::{DataType, Value};
 
 use super::ast::{AggFunc, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
+use super::budget::{
+    build_partition_count, join_build_bytes, ExecBudget, GROUP_ENTRY_BYTES, JOIN_MAP_ENTRY_BYTES,
+    JOIN_MAP_RID_BYTES, SORT_KEY_BYTES,
+};
 use super::parser::parse_statement;
 use super::plan::{
     intersect_sorted, plan_select_with, AccessPath, IndexProbe, JoinStrategy, Layout, PlanOptions,
 };
+use crate::table::join_key_partition;
 
 const NULL_VALUE: Value = Value::Null;
 
@@ -113,6 +118,64 @@ fn merge_match_buckets<'t>(
         }
     }
     matches
+}
+
+/// Per-outer-tuple match buckets for a budget-degraded hash join: the
+/// build side is split into `nparts` RowId partitions (plan-identified
+/// `hot` keys diverted into one small always-resident map), and only one
+/// partition's hash map is resident at a time. Each probe key lives in
+/// exactly one partition — or in the hot map — so filling `matched[ti]`
+/// across passes appends at most one bucket per tuple and the result is
+/// indexed by tuple position in ascending-RowId bucket order, the same
+/// contract the in-place build satisfies. Byte charges: the partition
+/// lists and hot map for the whole call, plus one resident partition map
+/// at a time — that per-partition charge is what bounds the peak and
+/// what an exhausted budget fails on, before any output is assembled.
+fn partitioned_join_matches(
+    right: &Table,
+    right_col: &str,
+    build_rids: Option<&[RowId]>,
+    nparts: usize,
+    hot: &[Value],
+    keys: &[Option<&Value>],
+    budget: &ExecBudget,
+) -> Result<Vec<Vec<RowId>>> {
+    let (parts, hot_map) = right.partition_join_rids(right_col, build_rids, nparts, hot)?;
+    let setup = (parts.iter().map(Vec::len).sum::<usize>()
+        + hot_map.values().map(Vec::len).sum::<usize>())
+        * JOIN_MAP_RID_BYTES
+        + hot_map.len() * JOIN_MAP_ENTRY_BYTES;
+    budget.charge(setup)?;
+    let mut matched: Vec<Vec<RowId>> = vec![Vec::new(); keys.len()];
+    // Hot pass: heavy hitters join straight from the resident map, never
+    // inflating a partition.
+    for (ti, key) in keys.iter().enumerate() {
+        if let Some(b) = key.and_then(|k| hot_map.get(k)) {
+            matched[ti].extend_from_slice(b);
+        }
+    }
+    for (p, prids) in parts.iter().enumerate() {
+        if prids.is_empty() {
+            continue;
+        }
+        let map = right.join_map_filtered(right_col, prids)?;
+        let bytes = prids.len() * JOIN_MAP_RID_BYTES + map.len() * JOIN_MAP_ENTRY_BYTES;
+        budget.charge(bytes)?;
+        for (ti, key) in keys.iter().enumerate() {
+            let Some(k) = key else { continue };
+            // A key routes to exactly one partition; skip the probe
+            // work on every other pass.
+            if join_key_partition(k, nparts) != p {
+                continue;
+            }
+            if let Some(b) = map.get(k) {
+                matched[ti].extend_from_slice(b);
+            }
+        }
+        budget.release(bytes);
+    }
+    budget.release(setup);
+    Ok(matched)
 }
 
 /// Clamp bounds for a merge walk: the bounds of the pushdown probe on
@@ -619,11 +682,25 @@ fn execute_select(db: &Database, sel: &SelectStmt) -> Result<ResultSet> {
 
 /// Execute a `SELECT` under explicit planner options — used by benchmarks
 /// and differential tests to compare optimizer generations on identical
-/// executor code.
+/// executor code. A [`PlanOptions::memory_budget`] materializes as an
+/// [`ExecBudget`] guard threaded through the whole execution.
 pub fn execute_select_with(
     db: &Database,
     sel: &SelectStmt,
     opts: &PlanOptions,
+) -> Result<ResultSet> {
+    let budget = ExecBudget::from_options(opts);
+    execute_select_budgeted(db, sel, opts, &budget)
+}
+
+/// [`execute_select_with`] against a caller-supplied budget guard. Tests
+/// inject fault-carrying or instrumented budgets here to observe peak
+/// tracked bytes and to force mid-join exhaustion.
+fn execute_select_budgeted(
+    db: &Database,
+    sel: &SelectStmt,
+    opts: &PlanOptions,
+    budget: &ExecBudget,
 ) -> Result<ResultSet> {
     let plan = plan_select_with(db, sel, opts)?;
     let layout = &plan.layout;
@@ -700,36 +777,103 @@ pub fn execute_select_with(
         } else {
             None
         };
+        // Transient auxiliary structures charge the budget as they are
+        // built and release together at the end of the step, when they
+        // drop; `step_charged` is the step's running total.
+        let mut step_charged = 0usize;
+        if let Some(rids) = &build_rids {
+            let bytes = rids.len() * JOIN_MAP_RID_BYTES;
+            budget.charge(bytes)?;
+            step_charged += bytes;
+        }
+
+        // Build partitions for this step: the plan's decision from
+        // cardinality estimates, or an exec-time degradation when the
+        // worst-case in-place footprint (every key distinct) no longer
+        // fits the remaining budget. 1 is the classic resident build.
+        let nparts = if pj.strategy == JoinStrategy::BuildHash && count > 0 {
+            let entering = build_rids.as_ref().map_or(right.len(), Vec::len);
+            let worst = join_build_bytes(entering, entering);
+            if pj.partitions > 1 {
+                pj.partitions
+            } else if budget.fits(worst) {
+                1
+            } else {
+                build_partition_count(worst, budget.limit().unwrap_or(usize::MAX)).max(2)
+            }
+        } else {
+            1
+        };
+
         let build_map = match pj.strategy {
-            JoinStrategy::BuildHash if count > 0 => Some(match &build_rids {
-                Some(rids) => right.join_map_filtered(&pj.right_col, rids)?,
-                None => right.join_map(&pj.right_col)?,
-            }),
+            JoinStrategy::BuildHash if count > 0 && nparts == 1 => {
+                let map = match &build_rids {
+                    Some(rids) => right.join_map_filtered(&pj.right_col, rids)?,
+                    None => right.join_map(&pj.right_col)?,
+                };
+                // The actual footprint is at most the worst case `fits`
+                // admitted above, so against a real limit this charge
+                // cannot fail — only an injected fault trips it.
+                let bytes = map.values().map(Vec::len).sum::<usize>() * JOIN_MAP_RID_BYTES
+                    + map.len() * JOIN_MAP_ENTRY_BYTES;
+                budget.charge(bytes)?;
+                step_charged += bytes;
+                Some(map)
+            }
             _ => None,
         };
-        let merge_matches = if pj.strategy == JoinStrategy::MergeRange && count > 0 {
-            let keys: Vec<Option<&Value>> = (0..count)
-                .map(|ti| {
-                    let key = tuples[ti * stride + left_pos]
-                        .get(left_slot.col_idx)
-                        .unwrap_or(&NULL_VALUE);
-                    (!join_key_excluded(key)).then_some(key)
-                })
-                .collect();
-            let clamp = if build_rids.is_some() {
-                join_key_clamp(&pj.build_access, &pj.right_col)
+        // Outer-tuple join keys, needed ahead of the probe loop by the
+        // strategies that stage matches per tuple (merge, partitioned).
+        let keys: Option<Vec<Option<&Value>>> =
+            if count > 0 && (pj.strategy == JoinStrategy::MergeRange || nparts > 1) {
+                Some(
+                    (0..count)
+                        .map(|ti| {
+                            let key = tuples[ti * stride + left_pos]
+                                .get(left_slot.col_idx)
+                                .unwrap_or(&NULL_VALUE);
+                            (!join_key_excluded(key)).then_some(key)
+                        })
+                        .collect(),
+                )
             } else {
                 None
             };
-            Some(merge_match_buckets(
+        let partitioned_matches = match &keys {
+            Some(keys) if nparts > 1 => Some(partitioned_join_matches(
                 right,
                 &pj.right_col,
-                &keys,
                 build_rids.as_deref(),
-                clamp,
-            ))
-        } else {
-            None
+                nparts,
+                &pj.hot_keys,
+                keys,
+                budget,
+            )?),
+            _ => None,
+        };
+        let merge_matches = match &keys {
+            Some(keys) if pj.strategy == JoinStrategy::MergeRange => {
+                let clamp = if build_rids.is_some() {
+                    join_key_clamp(&pj.build_access, &pj.right_col)
+                } else {
+                    None
+                };
+                let matches =
+                    merge_match_buckets(right, &pj.right_col, keys, build_rids.as_deref(), clamp);
+                // Only the intersected (owned) buckets are new memory;
+                // borrowed buckets live in the index.
+                let bytes = matches
+                    .iter()
+                    .map(|b| match b {
+                        Cow::Owned(v) => v.len() * JOIN_MAP_RID_BYTES,
+                        Cow::Borrowed(_) => 0,
+                    })
+                    .sum::<usize>();
+                budget.charge(bytes)?;
+                step_charged += bytes;
+                Some(matches)
+            }
+            _ => None,
         };
 
         for ti in 0..count {
@@ -740,18 +884,33 @@ pub fn execute_select_with(
             }
             // All sources are in ascending-RowId order: hash-index and
             // ordered-index buckets are maintained sorted, the build map
-            // fills in scan order, and the per-key scan fallback (kept
-            // for the strategy-less planner generations) walks id order.
+            // fills in scan order, partitioned matches re-merge in rid
+            // order, and the per-key scan fallback (kept for the
+            // strategy-less planner generations) walks id order.
             let scan_bucket;
             let bucket: &[RowId] = if let Some(map) = &build_map {
                 map.get(key).map_or(&[][..], Vec::as_slice)
+            } else if let Some(matches) = &partitioned_matches {
+                &matches[ti]
             } else if let Some(matches) = &merge_matches {
                 &matches[ti]
             } else {
-                match right.index_bucket(&pj.right_col, key) {
-                    Some(b) => b,
-                    None => {
-                        scan_bucket = right.lookup(&pj.right_col, key)?;
+                // IndexProbe (or a legacy strategy-less shape): probe the
+                // bucket, then intersect with the build-side pushdown's
+                // fetched set — the consumed conjuncts must hold, exactly
+                // as the merge path enforces through its filter.
+                match (right.index_bucket(&pj.right_col, key), &build_rids) {
+                    (Some(b), None) => b,
+                    (Some(b), Some(f)) => {
+                        scan_bucket = intersect_sorted(b, f);
+                        &scan_bucket
+                    }
+                    (None, filter) => {
+                        let mut looked = right.lookup(&pj.right_col, key)?;
+                        if let Some(f) = filter {
+                            looked = intersect_sorted(&looked, f);
+                        }
+                        scan_bucket = looked;
                         &scan_bucket
                     }
                 }
@@ -766,6 +925,7 @@ pub fn execute_select_with(
                 }
             }
         }
+        budget.release(step_charged);
         tuples = out;
         rids = out_rids;
         stride += 1;
@@ -821,12 +981,20 @@ pub fn execute_select_with(
 
     // Aggregation path (any aggregate in the projection or a GROUP BY).
     if sel.projection.has_aggregates() || !sel.group_by.is_empty() {
-        return execute_aggregation(sel, layout, &tuples, stride);
+        return execute_aggregation(sel, layout, &tuples, stride, budget);
     }
 
     let count = tuples.len() / stride;
 
-    // ORDER BY / LIMIT over tuple indices; values stay borrowed.
+    // ORDER BY / LIMIT over tuple indices; values stay borrowed. The
+    // sort's auxiliary arrays (key pointers + permutation, or the
+    // bounded heap) charge the budget for their lifetime.
+    let sort_charge = match (&sel.order_by, sel.limit) {
+        (Some(_), Some(k)) => k.saturating_add(1) * SORT_KEY_BYTES,
+        (Some(_), None) => count * SORT_KEY_BYTES,
+        (None, _) => 0,
+    };
+    budget.charge(sort_charge)?;
     let selected: Vec<usize> = match (&sel.order_by, sel.limit) {
         (Some((col, desc)), limit) => {
             let idx = layout.resolve(col)?;
@@ -852,6 +1020,7 @@ pub fn execute_select_with(
         (None, Some(k)) => (0..count.min(k)).collect(),
         (None, None) => (0..count).collect(),
     };
+    budget.release(sort_charge);
 
     // Projection: the only place whole values are cloned.
     let qualified = !sel.joins.is_empty();
@@ -893,6 +1062,7 @@ fn execute_aggregation(
     layout: &Layout,
     tuples: &[&Row],
     stride: usize,
+    budget: &ExecBudget,
 ) -> Result<ResultSet> {
     let Projection::Items(items) = &sel.projection else {
         return Err(TxdbError::Parse(
@@ -917,13 +1087,24 @@ fn execute_aggregation(
     }
     let count = tuples.len().checked_div(stride).unwrap_or(0);
     let mut groups: BTreeMap<Vec<OrdKey>, Vec<usize>> = BTreeMap::new();
+    // The group map charges one entry per distinct key as it grows, so a
+    // high-cardinality GROUP BY fails while accumulating, before any
+    // output row exists. The per-member index lists are proportional to
+    // the incoming (already materialized, uncharged) tuple stream and
+    // follow its exemption.
+    let mut group_charged = 0usize;
     for i in 0..count {
         let t = &tuples[i * stride..(i + 1) * stride];
         let key: Vec<OrdKey> = group_idxs
             .iter()
             .map(|&g| OrdKey(cell(layout, t, g).clone()))
             .collect();
+        let before = groups.len();
         groups.entry(key).or_default().push(i);
+        if groups.len() > before {
+            budget.charge(GROUP_ENTRY_BYTES)?;
+            group_charged += GROUP_ENTRY_BYTES;
+        }
     }
     // A global aggregate over zero rows still yields one output row.
     if groups.is_empty() && group_idxs.is_empty() {
@@ -971,6 +1152,7 @@ fn execute_aggregation(
         }
         out_rows.push(out);
     }
+    budget.release(group_charged);
 
     sort_aggregated_output(sel, &columns, &mut out_rows)?;
     if let Some(n) = sel.limit {
@@ -1778,8 +1960,9 @@ mod tests {
     }
 
     /// Assert planned (default options), the PR 3 no-pushdown shape, the
-    /// PR 2 per-key shape and the reference executor all agree on `q` —
-    /// including row order.
+    /// PR 2 per-key shape, the tight-budget shape (degradation paths
+    /// live) and the reference executor all agree on `q` — including row
+    /// order.
     fn assert_all_paths_agree(db: &Database, q: &str) -> ResultSet {
         let Statement::Select(sel) = parse_statement(q).unwrap() else {
             unreachable!()
@@ -1793,10 +1976,13 @@ mod tests {
         .unwrap();
         let per_key =
             execute_select_with(db, &sel, &crate::sql::plan::PlanOptions::per_key_joins()).unwrap();
+        let tight =
+            execute_select_with(db, &sel, &crate::sql::plan::PlanOptions::tight_budget()).unwrap();
         let reference = execute_select_reference(db, &sel).unwrap();
         assert_eq!(planned, reference, "planned vs reference: {q}");
         assert_eq!(no_pd, reference, "no-pushdown shape vs reference: {q}");
         assert_eq!(per_key, reference, "per-key fallback vs reference: {q}");
+        assert_eq!(tight, reference, "tight-budget shape vs reference: {q}");
         planned
     }
 
@@ -2172,5 +2358,213 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.access.describe(), "index_eq(movie_id)");
+    }
+
+    #[test]
+    fn index_probe_pushdown_prefilters_probed_buckets() {
+        use crate::sql::plan::JoinStrategy;
+        // Indexed join key AND a selective indexed build-side conjunct:
+        // the planner consumes the conjunct into a pre-filter, so the
+        // executor MUST intersect every probed bucket with the fetched
+        // set — the reference evaluates the full WHERE after the join
+        // and any un-filtered probe row would show up as a mismatch.
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE l (l_id INT PRIMARY KEY, k INT);
+             CREATE TABLE r (r_id INT PRIMARY KEY, k INT, tag INT)",
+        )
+        .unwrap();
+        for i in 0..200i64 {
+            db.insert("l", crate::row![i, i % 50]).unwrap();
+            db.insert("r", crate::row![i, i % 50, i % 100]).unwrap();
+        }
+        db.table_mut("r").unwrap().create_index("k").unwrap();
+        db.table_mut("r").unwrap().create_index("tag").unwrap();
+        let q = "SELECT l.l_id, r.r_id FROM l JOIN r ON r.k = l.k WHERE r.tag = 7";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let p = plan_select(&db, &sel).unwrap();
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::IndexProbe);
+        assert_eq!(p.build_pushdown_count(), 1, "{}", p.describe());
+        assert_eq!(
+            p.staged_count(),
+            0,
+            "conjunct must be consumed by the pre-filter: {}",
+            p.describe()
+        );
+        let rs = assert_all_paths_agree(&db, q);
+        // tag = 7 keeps r_id ∈ {7, 107}, both with k = 7: the 4 outer
+        // rows sharing that key each match exactly those two.
+        assert_eq!(rs.rows.len(), 8);
+    }
+
+    /// 10k-row build side where one key holds ~half the rows (the
+    /// MCV-visible heavy hitter) and the rest are near-distinct, joined
+    /// from a small outer table that hits the hot key, tail keys and
+    /// misses. No index on the key, so the planner must BuildHash — and
+    /// partition under a budget far below the build-map footprint.
+    fn skewed_db() -> Database {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE probe (p_id INT PRIMARY KEY, k INT);
+             CREATE TABLE build (b_id INT PRIMARY KEY, k INT)",
+        )
+        .unwrap();
+        for i in 0..10_000i64 {
+            let k = if i % 2 == 0 { 42 } else { i };
+            db.insert("build", crate::row![i, k]).unwrap();
+        }
+        for i in 0..40i64 {
+            // Two hot probes, tail hits (odd ids), and misses (even
+            // ids other than 42 never appear on the build side).
+            let k = match i % 4 {
+                0 => 42,
+                1 => 2 * i + 1,
+                2 => 2 * i,
+                _ => 9_999,
+            };
+            db.insert("probe", crate::row![i, k]).unwrap();
+        }
+        db
+    }
+
+    const SKEW_BUDGET: usize = 256 * 1024;
+
+    #[test]
+    fn skewed_join_partitions_under_budget_with_identical_results() {
+        use crate::sql::plan::JoinStrategy;
+        let db = skewed_db();
+        let q = "SELECT probe.p_id, build.b_id FROM probe JOIN build ON build.k = probe.k";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let opts = PlanOptions {
+            memory_budget: Some(SKEW_BUDGET),
+            ..PlanOptions::default()
+        };
+        let p = plan_select_with(&db, &sel, &opts).unwrap();
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::BuildHash);
+        assert!(
+            p.join_order[0].partitions > 1,
+            "build must partition under the budget: {}",
+            p.describe()
+        );
+        assert!(
+            p.join_order[0].hot_keys.contains(&Value::Int(42)),
+            "MCV stats must surface the hot key: {:?}",
+            p.join_order[0].hot_keys
+        );
+        // Identical results, and the tracked peak stays under budget even
+        // though the in-place build map alone would cost ~560 KiB.
+        let budget = ExecBudget::with_limit(SKEW_BUDGET);
+        let partitioned = execute_select_budgeted(&db, &sel, &opts, &budget).unwrap();
+        let reference = execute_select_reference(&db, &sel).unwrap();
+        assert_eq!(partitioned, reference);
+        assert!(
+            partitioned.rows.len() > 5_000,
+            "hot key must fan out through the resident path"
+        );
+        assert!(budget.peak() > 0, "the join must charge the budget");
+        assert!(
+            budget.peak() <= SKEW_BUDGET,
+            "peak {} exceeds budget {}",
+            budget.peak(),
+            SKEW_BUDGET
+        );
+        assert_eq!(budget.used(), 0, "all transient charges released");
+    }
+
+    #[test]
+    fn runtime_degradation_kicks_in_without_a_planned_partitioning() {
+        // Plan without a budget (partitions stays 1), then execute under
+        // a budget the in-place build cannot fit: the executor must
+        // degrade to the partitioned path on its own and still agree.
+        let db = skewed_db();
+        let q = "SELECT probe.p_id, build.b_id FROM probe JOIN build ON build.k = probe.k";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        // Explicitly budget-less (the `tight-budget` feature flips the
+        // default), so the plan keeps the in-place build.
+        let unbudgeted = PlanOptions {
+            memory_budget: None,
+            ..PlanOptions::default()
+        };
+        assert_eq!(
+            plan_select_with(&db, &sel, &unbudgeted).unwrap().join_order[0].partitions,
+            1
+        );
+        let budget = ExecBudget::with_limit(SKEW_BUDGET);
+        let degraded = execute_select_budgeted(&db, &sel, &unbudgeted, &budget).unwrap();
+        assert_eq!(degraded, execute_select_reference(&db, &sel).unwrap());
+        assert!(
+            budget.peak() <= SKEW_BUDGET,
+            "peak {} exceeds budget {}",
+            budget.peak(),
+            SKEW_BUDGET
+        );
+    }
+
+    #[test]
+    fn forced_exhaustion_mid_join_is_atomic() {
+        // Sweep the fault injector across every charge point: each run
+        // either completes with output identical to the reference or
+        // fails with ResourceExhausted — never partial output.
+        let db = key_edge_db(true, false);
+        for q in [
+            "SELECT lt.l_id, rt.tag FROM lt JOIN rt ON rt.k = lt.k",
+            "SELECT lt.l_id, rt.tag FROM lt JOIN rt ON rt.k = lt.k WHERE lt.l_id = 2",
+            "SELECT lt.k, COUNT(*) FROM lt JOIN rt ON rt.k = lt.k GROUP BY lt.k",
+            "SELECT lt.l_id FROM lt JOIN rt ON rt.k = lt.k ORDER BY rt.tag DESC",
+            "SELECT lt.l_id FROM lt JOIN rt ON rt.k = lt.k ORDER BY rt.tag LIMIT 2",
+        ] {
+            let Statement::Select(sel) = parse_statement(q).unwrap() else {
+                unreachable!()
+            };
+            let reference = execute_select_reference(&db, &sel).unwrap();
+            let mut failures = 0;
+            for n in 0..64 {
+                let budget = ExecBudget::failing_after(n);
+                match execute_select_budgeted(&db, &sel, &PlanOptions::default(), &budget) {
+                    Ok(rs) => assert_eq!(rs, reference, "query: {q}, n = {n}"),
+                    Err(TxdbError::ResourceExhausted { .. }) => failures += 1,
+                    Err(e) => panic!("unexpected error for {q} at n = {n}: {e}"),
+                }
+            }
+            assert!(failures > 0, "sweep never tripped a charge: {q}");
+            let budget = ExecBudget::failing_after(usize::MAX);
+            assert_eq!(
+                execute_select_budgeted(&db, &sel, &PlanOptions::default(), &budget).unwrap(),
+                reference,
+                "an injector that never fires must not change results: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_exhaustion_in_the_partitioned_path_is_atomic() {
+        let db = skewed_db();
+        let q = "SELECT probe.p_id, build.b_id FROM probe JOIN build ON build.k = probe.k";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let opts = PlanOptions {
+            memory_budget: Some(SKEW_BUDGET),
+            ..PlanOptions::default()
+        };
+        let reference = execute_select_reference(&db, &sel).unwrap();
+        let mut failures = 0;
+        for n in 0..80 {
+            let budget = ExecBudget::failing_after(n);
+            match execute_select_budgeted(&db, &sel, &opts, &budget) {
+                Ok(rs) => assert_eq!(rs, reference, "n = {n}"),
+                Err(TxdbError::ResourceExhausted { .. }) => failures += 1,
+                Err(e) => panic!("unexpected error at n = {n}: {e}"),
+            }
+        }
+        assert!(failures > 0, "partitioned sweep never tripped a charge");
     }
 }

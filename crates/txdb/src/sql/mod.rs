@@ -32,6 +32,7 @@
 //!   suite compares every other path against.
 
 mod ast;
+pub mod budget;
 mod exec;
 mod lexer;
 mod parser;
@@ -40,6 +41,7 @@ pub mod plan;
 pub use ast::{
     AggFunc, ColumnRef, JoinClause, Projection, SelectItem, SelectStmt, SqlExpr, Statement,
 };
+pub use budget::ExecBudget;
 pub use exec::{
     execute, execute_script, execute_select_reference, execute_select_with, QueryResult, ResultSet,
 };

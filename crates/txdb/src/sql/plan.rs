@@ -80,8 +80,9 @@
 //!
 //! - [`IndexProbe`](JoinStrategy::IndexProbe) whenever a hash index
 //!   exists on the join column: the sorted bucket is borrowed per outer
-//!   tuple at O(1), no setup cost — unbeatable, so it is never priced
-//!   against the others.
+//!   tuple at O(1), no setup cost — probing itself is unbeatable, so it
+//!   is never priced against the others (only its optional pre-filter
+//!   is, see *Build-side pushdown*).
 //! - Otherwise the two one-pass strategies are priced against each
 //!   other. [`BuildHash`](JoinStrategy::BuildHash) costs
 //!   [`HASH_BUILD_COST_FACTOR`]` × |right| + outer` (one hashing pass
@@ -137,12 +138,43 @@
 //! pushdown are dropped from the residual stages — the fetched set
 //! already guarantees them (same exactness machinery as base-table
 //! consumption, including the NaN-bucket reconciliation) — so they are
-//! never evaluated twice. Pushdown never applies to
-//! [`IndexProbe`](JoinStrategy::IndexProbe) joins (the per-outer-tuple
-//! bucket probe touches only matching rows already) and is disabled by
-//! [`PlanOptions::build_pushdown`]` = false`, which the legacy planner
-//! shapes use so benchmarks and the differential suite can pin the
-//! unfiltered generation against it.
+//! never evaluated twice.
+//!
+//! [`IndexProbe`](JoinStrategy::IndexProbe) joins price the pushdown
+//! too, against the probe work it saves rather than a build: fetching
+//! the filtered set costs about `selectivity × |right|` once and shrinks
+//! every probed bucket's intersection by the same factor, so it is
+//! accepted exactly when `fetch + selectivity × probes < probes` (with
+//! `probes = outer × avg_bucket`) — a large outer stream against a
+//! selective conjunct takes the pre-filter, a handful of point probes
+//! keeps the bare bucket. The executor intersects each probed bucket
+//! with the fetched set, mirroring the merge path. Pushdown is disabled
+//! by [`PlanOptions::build_pushdown`]` = false`, which the legacy
+//! planner shapes use so benchmarks and the differential suite can pin
+//! the unfiltered generation against it.
+//!
+//! # Memory budget
+//!
+//! [`PlanOptions::memory_budget`] bounds the executor's auxiliary
+//! memory (see [`super::budget`] for the charge model). Planning reacts
+//! in two places. A [`BuildHash`](JoinStrategy::BuildHash) whose priced
+//! build-map footprint ([`super::budget::join_build_bytes`] over the
+//! post-pushdown cardinality and distinct-key estimates) exceeds the
+//! budget's build share is priced with one extra pass over the build
+//! side — the partitioning cost — which can flip the choice to
+//! [`MergeRange`](JoinStrategy::MergeRange) (which materializes
+//! nothing) when both sides are ordered. If the hash build still wins,
+//! the step carries [`PlannedJoin::partitions`] > 1 and the executor
+//! runs the partitioned build: one partition's map resident at a time,
+//! merged back into canonical ascending-RowId order. The join column's
+//! MCV statistics supply [`PlannedJoin::hot_keys`] — keys holding at
+//! least [`HOT_KEY_FRACTION`] of the build side — which bypass
+//! partitioning on a small always-resident map, so skew cannot inflate
+//! one partition past the share. The executor re-checks the decision at
+//! run time against actual row counts, so a stale estimate degrades
+//! (or stays in place) correctly; structures with no graceful fallback
+//! fail atomically with
+//! [`TxdbError::ResourceExhausted`](crate::TxdbError).
 //!
 //! `choose_table_access` is shared with the typed API:
 //! [`Table::select`](crate::table::Table::select) routes its predicate
@@ -194,11 +226,29 @@ use crate::table::Table;
 use crate::value::{DataType, Value};
 
 use super::ast::{ColumnRef, SelectStmt, SqlExpr};
+use super::budget::{build_partition_count, join_build_bytes};
 use crate::predicate::CmpOp;
 
 /// Estimated fraction of rows a predicate may keep while an index lookup
 /// is still considered cheaper than a sequential scan.
 pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.3;
+
+/// The deliberately tight budget of [`PlanOptions::tight_budget`]: small
+/// enough that realistic unindexed joins cross the build share and
+/// partition, large enough that the other tracked structures (probe
+/// sets, sort keys, group maps) never overrun on ordinary data — so the
+/// differential suite can run every generated query under it and demand
+/// byte-identical results.
+pub const TIGHT_BUDGET_BYTES: usize = 64 * 1024;
+
+/// A join key is *hot* when its MCV-tracked bucket holds at least this
+/// fraction of the build side's rows — big enough that pinning the
+/// bucket resident beats re-materializing it inside a partition.
+pub const HOT_KEY_FRACTION: f64 = 1.0 / 16.0;
+
+/// At most this many hot keys get the dedicated resident path; the MCV
+/// list is sorted by descending count, so these are the heaviest.
+pub const HOT_KEY_LIMIT: usize = 8;
 
 /// Per-row cost weight of inserting into a hash-join build map relative
 /// to walking a pre-built ordered index (hashing + bucket allocation vs.
@@ -479,6 +529,17 @@ pub struct PlanOptions {
     /// Only affects *estimates* (and the decisions priced from them);
     /// never results.
     pub correlation_aware: bool,
+    /// Execution memory budget in bytes. When set, every materializing
+    /// executor structure charges an [`ExecBudget`](super::budget::ExecBudget);
+    /// hash builds whose priced footprint exceeds the build share
+    /// degrade to the partitioned path (see
+    /// [`PlannedJoin::partitions`]), and anything else that overruns
+    /// fails atomically with
+    /// [`TxdbError::ResourceExhausted`](crate::error::TxdbError).
+    /// `None` (the default) tracks nothing and never degrades. Never
+    /// affects results — only memory behavior and the plan's build
+    /// shape.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for PlanOptions {
@@ -490,6 +551,14 @@ impl Default for PlanOptions {
             join_strategies: true,
             build_pushdown: true,
             correlation_aware: true,
+            // The `tight-budget` feature flips the *default* to the
+            // differential suite's tight budget, so CI can run the whole
+            // test suite with the degradation paths live.
+            memory_budget: if cfg!(feature = "tight-budget") {
+                Some(TIGHT_BUDGET_BYTES)
+            } else {
+                None
+            },
         }
     }
 }
@@ -507,6 +576,7 @@ impl PlanOptions {
             join_strategies: false,
             build_pushdown: false,
             correlation_aware: false,
+            memory_budget: None,
         }
     }
 
@@ -541,6 +611,20 @@ impl PlanOptions {
     pub fn independence_only() -> PlanOptions {
         PlanOptions {
             correlation_aware: false,
+            ..PlanOptions::default()
+        }
+    }
+
+    /// The PR 6 robustness shape: the full planner under a deliberately
+    /// tight [`memory_budget`](PlanOptions::memory_budget)
+    /// ([`TIGHT_BUDGET_BYTES`]). Hash builds that cross the build share
+    /// partition (with MCV hot keys pinned resident) and every
+    /// materializing structure is tracked — the differential suite's
+    /// sixth shape, which must agree byte-for-byte with the unbudgeted
+    /// planner on every generated query.
+    pub fn tight_budget() -> PlanOptions {
+        PlanOptions {
+            memory_budget: Some(TIGHT_BUDGET_BYTES),
             ..PlanOptions::default()
         }
     }
@@ -601,6 +685,21 @@ pub struct PlannedJoin {
     /// pushdown — the whole right side is hashed/walked, and every
     /// join-side conjunct runs as a staged residual filter.
     pub build_access: AccessPath,
+    /// Number of build-side hash partitions for a
+    /// [`BuildHash`](JoinStrategy::BuildHash) step. `1` is the ordinary
+    /// in-place build; `> 1` means the priced build footprint exceeded
+    /// the memory budget's build share, so the executor hash-partitions
+    /// the build side and keeps only one partition's map resident at a
+    /// time (hot keys aside), merging matches back into the canonical
+    /// ascending-RowId, outer-stream order.
+    pub partitions: usize,
+    /// Join keys whose MCV statistics mark them *hot* (≥
+    /// [`HOT_KEY_FRACTION`] of the build side): when the build
+    /// partitions, their buckets are built once into a small dedicated
+    /// map that stays resident across all partitions, so the skewed
+    /// majority of probes never waits on partition scheduling. Empty
+    /// unless `partitions > 1`.
+    pub hot_keys: Vec<Value>,
 }
 
 /// The plan for one `SELECT`: access path, join order, staged filters.
@@ -656,10 +755,20 @@ impl SelectPlan {
             .count()
     }
 
+    /// Number of joins whose hash build runs partitioned under the
+    /// memory budget (see [`PlannedJoin::partitions`]). Used by tests
+    /// and the differential tally to assert the degradation path
+    /// executes.
+    pub fn partitioned_count(&self) -> usize {
+        self.join_order.iter().filter(|j| j.partitions > 1).count()
+    }
+
     /// One-line summary, e.g.
     /// `index_and(genre&rating) sel=0.012 pushed=1 staged=2 order=[1:probe,0:hash+pf]`
     /// — `+pf` marks a join whose build side is pre-filtered by a
-    /// pushdown access path.
+    /// pushdown access path, `+partN` a hash build running in `N`
+    /// budget-bounded partitions (`+hot` when MCV hot keys ride the
+    /// dedicated resident path).
     pub fn describe(&self) -> String {
         let order: Vec<String> = self
             .join_order
@@ -670,7 +779,16 @@ impl SelectPlan {
                 } else {
                     "+pf"
                 };
-                format!("{}:{}{pf}", j.from_idx, j.strategy.describe())
+                let part = if j.partitions > 1 {
+                    format!(
+                        "+part{}{}",
+                        j.partitions,
+                        if j.hot_keys.is_empty() { "" } else { "+hot" }
+                    )
+                } else {
+                    String::new()
+                };
+                format!("{}:{}{pf}{part}", j.from_idx, j.strategy.describe())
             })
             .collect();
         format!(
@@ -1310,6 +1428,8 @@ fn resolve_joins(db: &Database, layout: &Layout, sel: &SelectStmt) -> Result<Vec
             right_col: right.schema().columns()[right_idx].name.clone(),
             strategy: JoinStrategy::IndexProbe,
             build_access: AccessPath::FullScan,
+            partitions: 1,
+            hot_keys: Vec::new(),
         });
     }
     Ok(out)
@@ -1408,12 +1528,72 @@ fn assign_join_strategies(
     for pj in join_order.iter_mut() {
         let right = db.table(&pj.table)?;
         let nrows = right.len() as f64;
-        // Rows actually entering the build/merge after any pushdown —
-        // feeds the outer-estimate advance below.
+        // Rows actually entering the build/merge/probe after any
+        // pushdown — feeds the outer-estimate advance below.
         let mut eff_rows = nrows;
+        // Average bucket size of the join key: rows per distinct value.
+        // Also the entry estimate for pricing a build map's footprint.
+        let distinct = right
+            .index_distinct(&pj.right_col)
+            .or_else(|| right.range_index(&pj.right_col).map(RangeIndex::distinct))
+            .map(|d| d as f64)
+            .or_else(|| {
+                db.with_stats(&pj.table, |s| {
+                    s.column(&pj.right_col).map(|c| c.distinct as f64)
+                })
+                .ok()
+                .flatten()
+            })
+            .unwrap_or(nrows);
+        // Estimated bytes of a hash build over `rows` of this join key,
+        // and whether that crosses the budget's build share (forcing the
+        // partitioned path, priced as one extra pass over the build).
+        let build_bytes =
+            |rows: f64| join_build_bytes(rows.max(0.0) as usize, distinct.max(1.0) as usize);
+        let partition_penalty = |rows: f64| match opts.memory_budget {
+            Some(b) if build_partition_count(build_bytes(rows), b) > 1 => rows,
+            _ => 0.0,
+        };
+
+        // Build-side pushdown candidate: the join table's own access
+        // path over the conjuncts bound at this level.
+        let mut pushdown: Option<(AccessPath, f64, Vec<usize>)> = None;
+        if opts.build_pushdown && !right.is_empty() {
+            let sargs = joinside_sargs(layout, joinside, pj.table_ord);
+            if !sargs.is_empty() {
+                let (access, est, used) = db.with_stats(&pj.table, |stats| {
+                    choose_table_access(
+                        right,
+                        Some(stats),
+                        &sargs,
+                        opts.multi_index,
+                        opts.correlation_aware,
+                    )
+                })?;
+                if let AccessPath::Index(_) = access {
+                    let joinside_used: Vec<usize> =
+                        used.iter().map(|&u| sargs[u].conjunct).collect();
+                    pushdown = Some((access, est, joinside_used));
+                }
+            }
+        }
+
         pj.strategy = if right.has_index(&pj.right_col) {
-            // Per-outer-tuple bucket probes touch only matching rows;
-            // pre-filtering the right side cannot beat that.
+            // Per-outer-tuple bucket probes touch only matching rows, so
+            // probing itself is never beaten — but a selective pushdown
+            // can still pay: fetching the filtered set once (≈ est ×
+            // |right|) shrinks every probed bucket's intersection by the
+            // same factor. Worth it exactly when the fetch undercuts the
+            // probe work it saves.
+            if let Some((_, est, _)) = &pushdown {
+                let probe_cost = outer_est * (nrows / distinct.max(1.0));
+                if est * nrows + est * probe_cost < probe_cost {
+                    let (access, est, used) = pushdown.expect("checked above");
+                    eff_rows = est * nrows;
+                    pj.build_access = access;
+                    consumed.extend(used);
+                }
+            }
             JoinStrategy::IndexProbe
         } else {
             let left_slot = &layout.slots[pj.left_slot];
@@ -1422,35 +1602,13 @@ fn assign_join_strategies(
                     .table(&left_slot.table)
                     .is_ok_and(|t| t.has_range_index(&left_slot.column));
             let sort_cost = outer_est * outer_est.max(2.0).log2();
-            let build_cost = HASH_BUILD_COST_FACTOR * nrows + outer_est;
+            let build_cost = HASH_BUILD_COST_FACTOR * nrows + outer_est + partition_penalty(nrows);
             let merge_cost = if both_ordered {
                 nrows + sort_cost
             } else {
                 f64::INFINITY
             };
 
-            // Build-side pushdown candidate: the join table's own access
-            // path over the conjuncts bound at this level.
-            let mut pushdown: Option<(AccessPath, f64, Vec<usize>)> = None;
-            if opts.build_pushdown && !right.is_empty() {
-                let sargs = joinside_sargs(layout, joinside, pj.table_ord);
-                if !sargs.is_empty() {
-                    let (access, est, used) = db.with_stats(&pj.table, |stats| {
-                        choose_table_access(
-                            right,
-                            Some(stats),
-                            &sargs,
-                            opts.multi_index,
-                            opts.correlation_aware,
-                        )
-                    })?;
-                    if let AccessPath::Index(_) = access {
-                        let joinside_used: Vec<usize> =
-                            used.iter().map(|&u| sargs[u].conjunct).collect();
-                        pushdown = Some((access, est, joinside_used));
-                    }
-                }
-            }
             let (build_pd_cost, merge_pd_cost) = match &pushdown {
                 Some((AccessPath::Index(probes), est, _)) => {
                     let filtered = est * nrows;
@@ -1458,7 +1616,10 @@ fn assign_join_strategies(
                     // cardinality (same convention as the intersection
                     // pricing in the module docs).
                     let fetch = filtered;
-                    let build = fetch + HASH_BUILD_COST_FACTOR * filtered + outer_est;
+                    let build = fetch
+                        + HASH_BUILD_COST_FACTOR * filtered
+                        + outer_est
+                        + partition_penalty(filtered);
                     let merge = if both_ordered {
                         // A probe on the join key clamps the ordered
                         // walk; otherwise every entry is still visited
@@ -1479,7 +1640,9 @@ fn assign_join_strategies(
 
             // Cheapest variant wins; `<=` makes later candidates win
             // ties, so the preference order is merge+pushdown, then
-            // build+pushdown, then plain merge, then plain build.
+            // build+pushdown, then plain merge, then plain build. Under
+            // a tight budget the partition penalty shifts oversized
+            // builds toward the merge (which materializes nothing).
             let mut choice = (JoinStrategy::BuildHash, false, build_cost);
             if merge_cost <= choice.2 {
                 choice = (JoinStrategy::MergeRange, false, merge_cost);
@@ -1498,22 +1661,40 @@ fn assign_join_strategies(
             }
             choice.0
         };
-        // Average bucket size of the join key: rows per distinct value.
-        let distinct = right
-            .index_distinct(&pj.right_col)
-            .or_else(|| right.range_index(&pj.right_col).map(RangeIndex::distinct))
-            .map(|d| d as f64)
-            .or_else(|| {
-                db.with_stats(&pj.table, |s| {
-                    s.column(&pj.right_col).map(|c| c.distinct as f64)
-                })
-                .ok()
-                .flatten()
-            })
-            .unwrap_or(nrows);
+
+        // Budget-driven build shape: a hash build whose priced footprint
+        // crosses the build share partitions, and the MCV-identified hot
+        // keys of the join column ride the dedicated resident path.
+        if pj.strategy == JoinStrategy::BuildHash {
+            if let Some(budget) = opts.memory_budget {
+                let parts = build_partition_count(build_bytes(eff_rows), budget);
+                if parts > 1 {
+                    pj.partitions = parts;
+                    pj.hot_keys = hot_join_keys(db, &pj.table, &pj.right_col, nrows)?;
+                }
+            }
+        }
         outer_est *= (eff_rows / distinct.max(1.0)).max(1.0);
     }
     Ok(consumed)
+}
+
+/// The join keys of `table.column` whose MCV-tracked buckets hold at
+/// least [`HOT_KEY_FRACTION`] of the table's rows — the heavy hitters a
+/// partitioned build pins in its always-resident map. The MCV list is
+/// sorted by descending count, so the first [`HOT_KEY_LIMIT`] qualifying
+/// entries are the heaviest. NULL/NaN never join and are skipped.
+fn hot_join_keys(db: &Database, table: &str, column: &str, rows: f64) -> Result<Vec<Value>> {
+    db.with_stats(table, |stats| {
+        stats.column(column).map_or_else(Vec::new, |c| {
+            c.most_common
+                .iter()
+                .filter(|(v, n)| !v.is_excluded_join_key() && *n as f64 >= HOT_KEY_FRACTION * rows)
+                .take(HOT_KEY_LIMIT)
+                .map(|(v, _)| v.clone())
+                .collect()
+        })
+    })
 }
 
 /// Greedily order joins smallest-estimated-table-first, restricted to
@@ -2642,16 +2823,40 @@ mod tests {
     }
 
     #[test]
-    fn indexed_join_column_never_prefilters() {
+    fn indexed_join_pushdown_prefilters_when_priced_cheaper() {
         let mut db = pushdown_db(false);
-        // A hash index on the join key keeps the per-tuple bucket probe;
-        // pre-filtering cannot beat touching only matching rows.
         db.table_mut("r").unwrap().create_index("k").unwrap();
         let p = plan(
             &db,
             "SELECT l.l_id FROM l JOIN r ON r.k = l.k WHERE r.tag = 7",
         );
         assert_eq!(p.join_order[0].strategy, JoinStrategy::IndexProbe);
+        // A selective build-side conjunct pre-filters the probed buckets:
+        // fetching the ~2 tagged rows once beats intersecting nothing
+        // while 200 outer tuples each probe a 4-row bucket unfiltered.
+        assert_eq!(
+            p.join_order[0].build_access,
+            AccessPath::Index(vec![IndexProbe::Eq {
+                column: "tag".into(),
+                value: Value::Int(7),
+            }])
+        );
+        assert_eq!(p.staged_count(), 0, "consumed by the pre-filter");
+        assert!(p.describe().contains("0:probe+pf"), "{}", p.describe());
+    }
+
+    #[test]
+    fn indexed_join_pushdown_declined_when_probes_are_cheaper() {
+        // `r_id` is the primary key, so the join key is already indexed.
+        let db = pushdown_db(false);
+        let p = plan(
+            &db,
+            "SELECT l.l_id FROM l JOIN r ON r.r_id = l.l_id \
+             WHERE l.l_id = 7 AND r.tag = 7",
+        );
+        assert_eq!(p.join_order[0].strategy, JoinStrategy::IndexProbe);
+        // One surviving outer tuple probing a unique-key bucket touches
+        // ~1 row; the pre-filter would fetch 2 — keep the plain probe.
         assert_eq!(p.join_order[0].build_access, AccessPath::FullScan);
         assert_eq!(p.staged_count(), 1);
     }

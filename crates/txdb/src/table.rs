@@ -1,6 +1,8 @@
 //! Row storage for a single table, with primary-key and secondary indexes.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 
 use crate::error::{Result, TxdbError};
 use crate::index::RangeIndex;
@@ -25,6 +27,19 @@ pub struct Table {
     indexes: HashMap<String, HashMap<Value, Vec<RowId>>>,
     /// Ordered indexes for range predicates: column name -> B-tree index.
     range_indexes: HashMap<String, RangeIndex>,
+}
+
+/// The partition a join key falls into under a `partitions`-way
+/// partitioned hash build. Both sides of a join route through this one
+/// function, so a key's build rows and its probes always meet in the
+/// same partition. Uses [`Value`]'s canonical hash (integral floats
+/// collapse onto their integer value), matching the cross-type equality
+/// the join maps key on. Deterministic within a process, which is all
+/// the executor needs — partition assignment never escapes a query.
+pub fn join_key_partition(value: &Value, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    (h.finish() % partitions.max(1) as u64) as usize
 }
 
 /// Insert `rid` into an ascending hash-index bucket, keeping it sorted.
@@ -452,6 +467,58 @@ impl Table {
             map.entry(v).or_default().push(rid);
         }
         Ok(map)
+    }
+
+    /// Partitioned build input for a budget-constrained hash join: one
+    /// scan splits the build side into `partitions` ascending RowId
+    /// lists by [`join_key_partition`] of the join key, except that rows
+    /// whose key appears in `hot` (the plan's MCV-identified heavy
+    /// hitters, a handful at most) go straight into the returned
+    /// always-resident hot map instead of skewing one partition.
+    /// Restricted to `rids` when a build-side pushdown supplied one
+    /// (same defensive skip of dead ids as [`Table::join_map_filtered`]).
+    /// Same key semantics as [`Table::join_map`]: NULL and NaN never
+    /// join. Scan/`rids` order is ascending, so partition lists and hot
+    /// buckets stay sorted — re-probing them preserves the executor's
+    /// canonical ascending-RowId bucket contract.
+    #[allow(clippy::type_complexity)]
+    pub fn partition_join_rids(
+        &self,
+        column: &str,
+        rids: Option<&[RowId]>,
+        partitions: usize,
+        hot: &[Value],
+    ) -> Result<(Vec<Vec<RowId>>, HashMap<&Value, Vec<RowId>>)> {
+        let idx = self.schema.require_column(column)?;
+        let mut parts: Vec<Vec<RowId>> = vec![Vec::new(); partitions.max(1)];
+        let mut hot_map: HashMap<&Value, Vec<RowId>> = HashMap::new();
+        // Borrow keys from the rows like the resident maps do. The rid
+        // list goes through `self.rows.get` in both arms so the borrowed
+        // keys carry the table's lifetime, not the loop's.
+        let owned: Vec<RowId>;
+        let rids: &[RowId] = match rids {
+            Some(rids) => rids,
+            None => {
+                owned = self.rows.keys().copied().collect();
+                &owned
+            }
+        };
+        for &rid in rids {
+            let Some(v) = self.rows.get(&rid).and_then(|r| r.get(idx)) else {
+                continue;
+            };
+            if v.is_excluded_join_key() {
+                continue;
+            }
+            // The hot list is tiny (MCV-limited), so a linear membership
+            // scan beats hashing it.
+            if hot.iter().any(|h| h == v) {
+                hot_map.entry(v).or_default().push(rid);
+            } else {
+                parts[join_key_partition(v, partitions.max(1))].push(rid);
+            }
+        }
+        Ok((parts, hot_map))
     }
 
     /// Iterate all `(RowId, &Row)` pairs in insertion order.

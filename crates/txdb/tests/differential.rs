@@ -617,9 +617,11 @@ fn random_select(rng: &mut StdRng) -> String {
 }
 
 /// Run `sql` through the reference executor, the full planner, the PR 4
-/// independence-estimator shape, the PR 3 no-build-pushdown shape and the
-/// PR 1 planner shape; all five must agree (results and error-ness) —
-/// the correlation-aware estimator may flip plans, never results.
+/// independence-estimator shape, the PR 3 no-build-pushdown shape, the
+/// PR 1 planner shape and the PR 6 tight-budget shape (degraded,
+/// partition-where-needed execution); all six must agree (results and
+/// error-ness) — estimator changes and memory degradation may flip
+/// plans, never results.
 fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
     let stmt = parse_statement(sql)
         .unwrap_or_else(|e| panic!("generator produced unparsable SQL `{sql}`: {e}"));
@@ -630,25 +632,28 @@ fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
     let single = execute_select_with(db, &sel, &PlanOptions::single_access_path());
     let no_pd = execute_select_with(db, &sel, &PlanOptions::no_build_pushdown());
     let indep = execute_select_with(db, &sel, &PlanOptions::independence_only());
+    let tight = execute_select_with(db, &sel, &PlanOptions::tight_budget());
     let planned = execute(db, sql).map(|r| r.rows().unwrap().clone());
-    match (planned, indep, no_pd, single, reference) {
-        (Ok(p), Ok(i), Ok(n), Ok(s), Ok(r)) => {
+    match (planned, indep, no_pd, single, tight, reference) {
+        (Ok(p), Ok(i), Ok(n), Ok(s), Ok(t), Ok(r)) => {
             assert_eq!(p, r, "{context}, query `{sql}` (full planner)");
             assert_eq!(i, r, "{context}, query `{sql}` (independence-only planner)");
             assert_eq!(n, r, "{context}, query `{sql}` (no-build-pushdown planner)");
             assert_eq!(s, r, "{context}, query `{sql}` (single-access-path planner)");
+            assert_eq!(t, r, "{context}, query `{sql}` (tight-budget planner)");
             true
         }
-        (Err(_), Err(_), Err(_), Err(_), Err(_)) => {
+        (Err(_), Err(_), Err(_), Err(_), Err(_), Err(_)) => {
             // All paths reject (e.g. aggregate over text): fine.
             false
         }
-        (p, i, n, s, r) => panic!(
-            "{context}, query `{sql}`: paths disagree on error — planned {:?}, independence {:?}, no-pushdown {:?}, single {:?}, reference {:?}",
+        (p, i, n, s, t, r) => panic!(
+            "{context}, query `{sql}`: paths disagree on error — planned {:?}, independence {:?}, no-pushdown {:?}, single {:?}, tight-budget {:?}, reference {:?}",
             p.map(|_| "ok").map_err(|e| e.to_string()),
             i.map(|_| "ok").map_err(|e| e.to_string()),
             n.map(|_| "ok").map_err(|e| e.to_string()),
             s.map(|_| "ok").map_err(|e| e.to_string()),
+            t.map(|_| "ok").map_err(|e| e.to_string()),
             r.map(|_| "ok").map_err(|e| e.to_string()),
         ),
     }
@@ -690,6 +695,9 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     // ran pre-filtered through its own access path.
     let (mut probes, mut hashes, mut merges) = (0usize, 0usize, 0usize);
     let mut pushdowns = 0usize;
+    // Joins the tight-budget planner partitions — proves the degraded
+    // build path actually executes across the byte-identical run above.
+    let mut partitioned = 0usize;
     // Estimator-accuracy tally: log-sum of per-query q-errors (estimated
     // base-table cardinality vs. actual result size) for the join-free
     // queries where the two are comparable.
@@ -712,6 +720,11 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
                         }
                     }
                     pushdowns += plan.build_pushdown_count();
+                }
+                if let Ok(plan) =
+                    cat_txdb::sql::plan_select_with(&db, &sel, &PlanOptions::tight_budget())
+                {
+                    partitioned += plan.partitioned_count();
                 }
             }
             if let Some(q) = base_card_q_error(&mut db, &sql, &PlanOptions::default()) {
@@ -736,10 +749,17 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
         probes > 100 && hashes > 100 && merges > 0,
         "join strategies under-covered: probe {probes}, hash {hashes}, merge {merges}"
     );
-    println!("strategy tally: probe {probes}, hash {hashes}, merge {merges}, pushdown {pushdowns}");
+    println!(
+        "strategy tally: probe {probes}, hash {hashes}, merge {merges}, \
+         pushdown {pushdowns}, partitioned {partitioned}"
+    );
     assert!(
         pushdowns > 0,
         "build-side pushdown never executed — generator stopped covering it"
+    );
+    assert!(
+        partitioned > 0,
+        "the tight-budget shape never partitioned a build — degradation path uncovered"
     );
     let q_geo = (q_log_sum / q_count.max(1) as f64).exp();
     println!("estimator tally: {q_count} join-free queries, geo-mean q-error {q_geo:.2}, worst {q_worst:.1}");
@@ -838,4 +858,85 @@ fn agreement_survives_interleaved_writes() {
         let sql = random_select(&mut rng);
         check_all_paths_agree(&mut db, &sql, "interleaved");
     }
+}
+
+/// Skewed hot-key fixture: one join key holds ~50% of a 10k-row build
+/// side. Under a budget far below the in-place build-map footprint the
+/// planner must partition the build, pin the hot key on the resident
+/// path, and still produce byte-identical results — across plain joins,
+/// aggregation and ordering shapes.
+#[test]
+fn skewed_hot_key_join_degrades_identically_under_budget() {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("probe")
+            .column("p_id", DataType::Int)
+            .column("k", DataType::Int)
+            .primary_key(&["p_id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::builder("build")
+            .column("b_id", DataType::Int)
+            .column("k", DataType::Int)
+            .column("grp", DataType::Int)
+            .primary_key(&["b_id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for i in 0..10_000i64 {
+        let k = if rng.random_bool(0.5) { 42 } else { i };
+        db.insert("build", row![i, k, i % 7]).unwrap();
+    }
+    for i in 0..60i64 {
+        let k = match i % 4 {
+            0 => 42,         // hot
+            1 => i,          // maybe-tail
+            2 => 20_000 + i, // guaranteed miss
+            _ => 9_999,      // cold tail probe
+        };
+        db.insert("probe", row![i, k]).unwrap();
+    }
+    let budget = PlanOptions {
+        memory_budget: Some(256 * 1024),
+        ..PlanOptions::default()
+    };
+    let unbudgeted = PlanOptions {
+        memory_budget: None,
+        ..PlanOptions::default()
+    };
+    let mut partitioned = 0usize;
+    for sql in [
+        "SELECT probe.p_id, build.b_id FROM probe JOIN build ON build.k = probe.k",
+        "SELECT build.grp, COUNT(*) FROM probe JOIN build ON build.k = probe.k GROUP BY build.grp",
+        "SELECT probe.p_id FROM probe JOIN build ON build.k = probe.k ORDER BY build.b_id DESC LIMIT 25",
+    ] {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            unreachable!()
+        };
+        let plan = cat_txdb::sql::plan_select_with(&db, &sel, &budget).unwrap();
+        partitioned += plan.partitioned_count();
+        if plan.partitioned_count() > 0 {
+            assert!(
+                plan.join_order
+                    .iter()
+                    .any(|j| j.hot_keys.contains(&Value::Int(42))),
+                "hot key missing from partitioned plan: {}",
+                plan.describe()
+            );
+        }
+        let degraded = execute_select_with(&db, &sel, &budget).unwrap();
+        let full = execute_select_with(&db, &sel, &unbudgeted).unwrap();
+        let reference = execute_select_reference(&db, &sel).unwrap();
+        assert_eq!(degraded, reference, "budgeted vs reference: {sql}");
+        assert_eq!(full, reference, "unbudgeted vs reference: {sql}");
+    }
+    assert!(
+        partitioned > 0,
+        "the fixture never exercised the partitioned build"
+    );
 }

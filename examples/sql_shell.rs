@@ -9,6 +9,7 @@ use std::io::{self, BufRead, Write};
 
 use cat_corpus::{generate_cinema, CinemaConfig};
 use cat_txdb::sql::{execute, QueryResult};
+use cat_txdb::TxdbError;
 
 fn main() {
     let mut db = generate_cinema(&CinemaConfig::default()).expect("generate db");
@@ -53,6 +54,10 @@ fn main() {
             Ok(QueryResult::Inserted(n)) => println!("ok: {n} row(s) inserted"),
             Ok(QueryResult::Updated(n)) => println!("ok: {n} row(s) updated"),
             Ok(QueryResult::Deleted(n)) => println!("ok: {n} row(s) deleted"),
+            Err(TxdbError::ResourceExhausted { budget, .. }) => println!(
+                "error: query exceeded memory budget ({budget} bytes); \
+                 retry or raise the budget"
+            ),
             Err(e) => println!("error: {e}"),
         }
     }
