@@ -30,7 +30,7 @@
 //! (partitioned) execution against the unbudgeted in-place build — a
 //! bounded-regression pair rather than a speedup: the partitioned path
 //! pays one extra pass to keep its peak under the budget. Medians and
-//! speedups land in `BENCH_PR6.json`
+//! speedups land in `BENCH_PR7.json`
 //! at the workspace root; CI diffs the shared group names against the
 //! committed baselines (`scripts/bench_compare.rs`) and fails on >25%
 //! regressions of the machine-normalized medians.
@@ -789,7 +789,7 @@ fn bench_refine(c: &mut Criterion) {
     }
 }
 
-/// Write `BENCH_PR6.json`: one record per benchmark group with the
+/// Write `BENCH_PR7.json`: one record per benchmark group with the
 /// before/after medians (ns) and the speedup factor. Groups shared with
 /// the committed baselines feed the CI regression gate.
 fn write_report(measurements: &[Measurement]) {
@@ -812,11 +812,11 @@ fn write_report(measurements: &[Measurement]) {
             pairs.push((group.to_string(), before, after));
         }
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
-    let mut f = std::fs::File::create(path).expect("create BENCH_PR6.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_PR7.json");
     writeln!(
         f,
-        "{{\n  \"pr\": 6,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
+        "{{\n  \"pr\": 7,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
     )
     .unwrap();
     for (i, (group, before, after)) in pairs.iter().enumerate() {

@@ -222,9 +222,8 @@ impl ConversationalAgent {
 
         // Task-independent intents first.
         if let Some(task_name) = intent.strip_prefix("request_") {
-            let task_name = task_name.to_string();
             self.state.observe_user(&UserAct::RequestTask {
-                task: task_name.clone(),
+                task: task_name.to_string(),
             });
             self.idents.clear();
             self.active_ident = None;

@@ -540,7 +540,7 @@ mod tests {
     fn sample_data() -> (Vec<NluExample>, Vec<DialogueFlow>) {
         let text = "i want to watch Heat".to_string();
         let nlu = vec![NluExample {
-            text: text.clone(),
+            text,
             intent: "inform".into(),
             slots: vec![SlotAnnotation {
                 slot: "movie_title".into(),

@@ -437,7 +437,7 @@ mod tests {
         };
         let with = DataGenConfig {
             paraphrase: true,
-            ..base.clone()
+            ..base
         };
         let plain = generate_nlu_data(&db, &[task()], &template_set(), &base);
         let expanded = generate_nlu_data(&db, &[task()], &template_set(), &with);

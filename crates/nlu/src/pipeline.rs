@@ -160,7 +160,7 @@ mod tests {
         let mk = |prefix: &str, slot: &str, value: &str, suffix: &str, intent: &str| {
             let text = format!("{prefix}{value}{suffix}");
             NluExample {
-                text: text.clone(),
+                text,
                 intent: intent.into(),
                 slots: vec![SlotAnnotation {
                     slot: slot.into(),

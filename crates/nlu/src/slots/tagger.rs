@@ -76,7 +76,7 @@ impl SlotTagger {
         let n_tags = tags.len();
 
         let mut model = SlotTagger {
-            tags: tags.clone(),
+            tags,
             weights: HashMap::new(),
             trans: vec![vec![0.0; n_tags]; n_tags],
             init: vec![0.0; n_tags],
@@ -332,7 +332,7 @@ mod tests {
     fn slot_example(prefix: &str, slot: &str, value: &str, suffix: &str) -> NluExample {
         let text = format!("{prefix}{value}{suffix}");
         NluExample {
-            text: text.clone(),
+            text,
             intent: "inform".into(),
             slots: vec![SlotAnnotation {
                 slot: slot.into(),

@@ -122,7 +122,7 @@ mod tests {
         let text = "I want to watch Forrest Gump tonight".to_string();
         let start = text.find("Forrest Gump").unwrap();
         NluExample {
-            text: text.clone(),
+            text,
             intent: "inform_movie".into(),
             slots: vec![SlotAnnotation {
                 slot: "movie_title".into(),

@@ -291,7 +291,7 @@ impl Criterion {
         };
         let mean = samples_ns.iter().sum::<f64>() / n as f64;
         let m = Measurement {
-            id: id.clone(),
+            id,
             median_ns: median,
             mean_ns: mean,
             min_ns: samples_ns[0],

@@ -44,9 +44,8 @@ fn create_table_sql(schema: &TableSchema) -> String {
 pub fn dump_sql(db: &Database) -> String {
     let mut out = String::from("-- cat-txdb SQL dump\n");
     // Topologically order tables by FK dependencies.
-    let names: Vec<String> = db.table_names().iter().map(|s| s.to_string()).collect();
     let mut ordered: Vec<String> = Vec::new();
-    let mut remaining = names.clone();
+    let mut remaining: Vec<String> = db.table_names().iter().map(|s| s.to_string()).collect();
     while !remaining.is_empty() {
         let before = ordered.len();
         remaining.retain(|t| {

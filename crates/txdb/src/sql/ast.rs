@@ -158,6 +158,12 @@ pub enum Statement {
         rows: Vec<Vec<Value>>,
     },
     Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] SELECT ...` — render the lowered operator
+    /// tree; `ANALYZE` also executes it and reports actual row counts.
+    Explain {
+        analyze: bool,
+        select: SelectStmt,
+    },
     Update {
         table: String,
         set: Vec<(String, Value)>,

@@ -189,6 +189,27 @@ impl ExecBudget {
         self.peak.get()
     }
 
+    /// Begin a nested peak observation (one operator's `open`): rewinds
+    /// the live high-water mark to the currently tracked bytes and
+    /// returns the global peak so far for [`ExecBudget::end_scope`] to
+    /// restore. Scopes nest: each operator observes its own high-water
+    /// mark while the global peak, restored as the running maximum,
+    /// stays exact.
+    pub fn begin_scope(&self) -> usize {
+        let saved = self.peak.get();
+        self.peak.set(self.used.get());
+        saved
+    }
+
+    /// End a nested peak observation: returns the bytes the scope peaked
+    /// at and restores the global high-water mark to the maximum of the
+    /// saved value and the scoped peak.
+    pub fn end_scope(&self, saved: usize) -> usize {
+        let scoped = self.peak.get();
+        self.peak.set(saved.max(scoped));
+        scoped
+    }
+
     /// The configured limit, if any.
     pub fn limit(&self) -> Option<usize> {
         self.limit
@@ -245,6 +266,22 @@ mod tests {
         b.charge(1).unwrap();
         assert!(b.charge(1).is_err());
         assert!(b.charge(0).is_err(), "injection must not reset");
+    }
+
+    #[test]
+    fn peak_scopes_nest_and_preserve_the_global_high_water_mark() {
+        let b = ExecBudget::unlimited();
+        b.charge(100).unwrap();
+        b.release(100); // global peak now 100, used 0
+        let outer = b.begin_scope();
+        b.charge(10).unwrap();
+        let inner = b.begin_scope();
+        b.charge(30).unwrap();
+        b.release(30);
+        assert_eq!(b.end_scope(inner), 40, "inner scope saw its own peak");
+        b.release(10);
+        assert_eq!(b.end_scope(outer), 40, "outer scope includes the inner");
+        assert_eq!(b.peak(), 100, "global high-water mark survives scoping");
     }
 
     #[test]

@@ -1,15 +1,18 @@
 //! Executor for the SQL subset.
 //!
-//! `SELECT` runs through the cost-aware planner in [`super::plan`]: the
-//! base table is reached via the chosen access path (index probes —
-//! intersected when the plan holds several — or a scan), base-only
-//! predicates filter before joins multiply rows, joins execute in the
-//! planner's cardinality-greedy order with join-side predicates applied
-//! at the earliest level their tables are bound, and the row stream stays
-//! borrowed (`&Row` per table) until projection — values are only cloned
-//! into the result set at the very end. `ORDER BY ... LIMIT k` keeps a
-//! bounded binary heap of `k` entries instead of sorting everything;
-//! `GROUP BY` keys on [`OrdKey`] tuples instead of rendered strings.
+//! `SELECT` runs through the cost-aware planner in [`super::plan`] and
+//! is then lowered into the physical operator tree of [`super::ops`]:
+//! the base table is reached via the chosen access path (`Scan` /
+//! `IndexScan`), base-only predicates filter before joins multiply rows
+//! (`Filter`), joins execute in the planner's cardinality-greedy order
+//! through per-strategy operators, and the row stream stays borrowed
+//! (`&Row` per table) until `Project` — values are only cloned into the
+//! result set at the very end. `ORDER BY ... LIMIT k` lowers to a fused
+//! `TopK` keeping a bounded binary heap of `k` entries instead of
+//! sorting everything; `GROUP BY` keys on [`OrdKey`] tuples instead of
+//! rendered strings. This module keeps statement dispatch, script
+//! splitting and the `plan → lower → drive` glue; the per-operator
+//! execution logic lives in [`super::ops`].
 //!
 //! Join reordering is invisible in results: both executors traverse index
 //! buckets in ascending-RowId order, which makes the reference output the
@@ -21,10 +24,7 @@
 //! the differential test suite asserts both paths agree on every
 //! generated query.
 
-use std::borrow::Cow;
-use std::cmp::Ordering;
 use std::collections::BTreeMap;
-use std::ops::Bound;
 
 use crate::database::Database;
 use crate::error::{Result, TxdbError};
@@ -34,169 +34,13 @@ use crate::row::{Row, RowId};
 use crate::table::Table;
 use crate::value::{DataType, Value};
 
-use super::ast::{AggFunc, Projection, SelectItem, SelectStmt, SqlExpr, Statement};
-use super::budget::{
-    build_partition_count, join_build_bytes, ExecBudget, GROUP_ENTRY_BYTES, JOIN_MAP_ENTRY_BYTES,
-    JOIN_MAP_RID_BYTES, SORT_KEY_BYTES,
-};
+use super::ast::{Projection, SelectItem, SelectStmt, SqlExpr, Statement};
+use super::budget::ExecBudget;
+use super::ops;
+use super::ops::expr::{is_qualified_suffix, join_key_excluded, slot_name};
+use super::ops::{aggregate_values, sort_aggregated_output};
 use super::parser::parse_statement;
-use super::plan::{
-    intersect_sorted, plan_select_with, AccessPath, IndexProbe, JoinStrategy, Layout, PlanOptions,
-};
-use crate::table::join_key_partition;
-
-const NULL_VALUE: Value = Value::Null;
-
-/// Whether a join key never matches — the single definition
-/// ([`Value::is_excluded_join_key`]) shared by every strategy's build
-/// and probe sides in both executors, so all generations agree.
-fn join_key_excluded(v: &Value) -> bool {
-    v.is_excluded_join_key()
-}
-
-/// Per-outer-tuple match buckets for a merge join: walk the right side's
-/// ordered-index entries once, in tandem with the outer keys sorted by
-/// the canonical value order. `keys[i]` is `None` when tuple `i`'s key
-/// never joins. The result is indexed by tuple position, so the caller
-/// emits in original stream order — canonical order is preserved without
-/// any re-sorting.
-///
-/// `filter` is the build-side pushdown's fetched RowId set: matched
-/// buckets are intersected with it (both sides ascending, so the
-/// intersection stays in canonical order), and when the pushdown probes
-/// the join key itself the entries walk is clamped to those bounds
-/// instead of visiting the whole index. Without a filter the buckets are
-/// borrowed straight from the index — no allocation at all.
-fn merge_match_buckets<'t>(
-    right: &'t Table,
-    right_col: &str,
-    keys: &[Option<&Value>],
-    filter: Option<&[RowId]>,
-    clamp: Option<(Bound<&Value>, Bound<&Value>)>,
-) -> Vec<Cow<'t, [RowId]>> {
-    const EMPTY: &[RowId] = &[];
-    let index = right
-        .range_index(right_col)
-        .expect("plan chose MergeRange only with an ordered index");
-    let entries: Vec<(&Value, &[RowId])> = match clamp {
-        Some((lo, hi)) => index
-            .entries_range(lo, hi)
-            .filter(|(v, _)| !join_key_excluded(v))
-            .collect(),
-        None => index
-            .entries()
-            .filter(|(v, _)| !join_key_excluded(v))
-            .collect(),
-    };
-    let mut matches: Vec<Cow<'t, [RowId]>> = vec![Cow::Borrowed(EMPTY); keys.len()];
-    let mut order: Vec<usize> = (0..keys.len()).filter(|&i| keys[i].is_some()).collect();
-    order.sort_by(|&a, &b| {
-        OrdKey::cmp_values(keys[a].expect("filtered"), keys[b].expect("filtered"))
-    });
-    let mut e = 0usize;
-    // Duplicate outer keys are adjacent in `order` and land on the same
-    // entry, so the (possibly intersected) bucket is computed once per
-    // entry and cloned for repeats — a memcpy at worst, instead of
-    // re-walking the filter set per outer tuple.
-    let mut prev: Option<(usize, usize)> = None; // (entry idx, tuple idx)
-    for &ti in &order {
-        let k = keys[ti].expect("filtered");
-        while e < entries.len() && OrdKey::cmp_values(entries[e].0, k).is_lt() {
-            e += 1;
-        }
-        if e < entries.len() && OrdKey::cmp_values(entries[e].0, k).is_eq() {
-            matches[ti] = match prev {
-                Some((pe, pti)) if pe == e => matches[pti].clone(),
-                _ => {
-                    prev = Some((e, ti));
-                    match filter {
-                        Some(f) => Cow::Owned(intersect_sorted(entries[e].1, f)),
-                        None => Cow::Borrowed(entries[e].1),
-                    }
-                }
-            };
-        }
-    }
-    matches
-}
-
-/// Per-outer-tuple match buckets for a budget-degraded hash join: the
-/// build side is split into `nparts` RowId partitions (plan-identified
-/// `hot` keys diverted into one small always-resident map), and only one
-/// partition's hash map is resident at a time. Each probe key lives in
-/// exactly one partition — or in the hot map — so filling `matched[ti]`
-/// across passes appends at most one bucket per tuple and the result is
-/// indexed by tuple position in ascending-RowId bucket order, the same
-/// contract the in-place build satisfies. Byte charges: the partition
-/// lists and hot map for the whole call, plus one resident partition map
-/// at a time — that per-partition charge is what bounds the peak and
-/// what an exhausted budget fails on, before any output is assembled.
-fn partitioned_join_matches(
-    right: &Table,
-    right_col: &str,
-    build_rids: Option<&[RowId]>,
-    nparts: usize,
-    hot: &[Value],
-    keys: &[Option<&Value>],
-    budget: &ExecBudget,
-) -> Result<Vec<Vec<RowId>>> {
-    let (parts, hot_map) = right.partition_join_rids(right_col, build_rids, nparts, hot)?;
-    let setup = (parts.iter().map(Vec::len).sum::<usize>()
-        + hot_map.values().map(Vec::len).sum::<usize>())
-        * JOIN_MAP_RID_BYTES
-        + hot_map.len() * JOIN_MAP_ENTRY_BYTES;
-    budget.charge(setup)?;
-    let mut matched: Vec<Vec<RowId>> = vec![Vec::new(); keys.len()];
-    // Hot pass: heavy hitters join straight from the resident map, never
-    // inflating a partition.
-    for (ti, key) in keys.iter().enumerate() {
-        if let Some(b) = key.and_then(|k| hot_map.get(k)) {
-            matched[ti].extend_from_slice(b);
-        }
-    }
-    for (p, prids) in parts.iter().enumerate() {
-        if prids.is_empty() {
-            continue;
-        }
-        let map = right.join_map_filtered(right_col, prids)?;
-        let bytes = prids.len() * JOIN_MAP_RID_BYTES + map.len() * JOIN_MAP_ENTRY_BYTES;
-        budget.charge(bytes)?;
-        for (ti, key) in keys.iter().enumerate() {
-            let Some(k) = key else { continue };
-            // A key routes to exactly one partition; skip the probe
-            // work on every other pass.
-            if join_key_partition(k, nparts) != p {
-                continue;
-            }
-            if let Some(b) = map.get(k) {
-                matched[ti].extend_from_slice(b);
-            }
-        }
-        budget.release(bytes);
-    }
-    budget.release(setup);
-    Ok(matched)
-}
-
-/// Clamp bounds for a merge walk: the bounds of the pushdown probe on
-/// the join key itself, when one exists. The fetched `filter` set is
-/// what guarantees exactness (it reconciles NaN and intersects all
-/// probes); the clamp only narrows the walk.
-fn join_key_clamp<'p>(
-    access: &'p AccessPath,
-    right_col: &str,
-) -> Option<(Bound<&'p Value>, Bound<&'p Value>)> {
-    let AccessPath::Index(probes) = access else {
-        return None;
-    };
-    probes
-        .iter()
-        .find(|p| p.column() == right_col)
-        .map(|p| match p {
-            IndexProbe::Eq { value, .. } => (Bound::Included(value), Bound::Included(value)),
-            IndexProbe::Range { lo, hi, .. } => (lo.as_ref(), hi.as_ref()),
-        })
-}
+use super::plan::{plan_select_with, Layout, PlanOptions};
 
 /// Tabular result of a `SELECT`.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,14 +48,6 @@ pub struct ResultSet {
     /// Output column names (qualified as `table.column` for joins).
     pub columns: Vec<String>,
     pub rows: Vec<Vec<Value>>,
-}
-
-/// Whether `qualified` is `<anything>.<name>` — suffix match without
-/// building a scratch string per probe.
-fn is_qualified_suffix(qualified: &str, name: &str) -> bool {
-    qualified.len() > name.len()
-        && qualified.ends_with(name)
-        && qualified.as_bytes()[qualified.len() - name.len() - 1] == b'.'
 }
 
 impl ResultSet {
@@ -368,6 +204,10 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
             Ok(QueryResult::Inserted(n))
         }
         Statement::Select(sel) => execute_select(db, &sel).map(QueryResult::Rows),
+        Statement::Explain { analyze, select } => {
+            explain_select_with(db, &select, &PlanOptions::default(), analyze)
+                .map(QueryResult::Rows)
+        }
         Statement::Update {
             table,
             set,
@@ -454,226 +294,7 @@ fn coerce_literal_to(v: &Value, ty: DataType) -> Result<Value> {
     v.coerce_to(ty)
 }
 
-// ===== planned execution over borrowed row tuples =====
-
-/// A joined row is a tuple of `&Row`, one per FROM-order table. Fetch the
-/// value at a layout position without cloning.
-fn cell<'a>(layout: &Layout, tuple: &[&'a Row], pos: usize) -> &'a Value {
-    let slot = &layout.slots[pos];
-    tuple[slot.table_ord]
-        .get(slot.col_idx)
-        .unwrap_or(&NULL_VALUE)
-}
-
-/// [`cell`] over a tuple whose positions follow the plan's join execution
-/// order: `map[table_ord]` is the table's position in the tuple. (After
-/// the final canonicalization step the stream is back in FROM order and
-/// the plain [`cell`] applies.)
-fn cell_mapped<'a>(layout: &Layout, map: &[usize], tuple: &[&'a Row], pos: usize) -> &'a Value {
-    let slot = &layout.slots[pos];
-    tuple[map[slot.table_ord]]
-        .get(slot.col_idx)
-        .unwrap_or(&NULL_VALUE)
-}
-
-/// Evaluate a WHERE (sub)expression against a borrowed row tuple (in
-/// execution order, see [`cell_mapped`]). Same semantics as the reference
-/// path: NULL comparisons are false, literals are coerced to the column
-/// type when possible.
-fn eval_expr(layout: &Layout, map: &[usize], expr: &SqlExpr, tuple: &[&Row]) -> Result<bool> {
-    Ok(match expr {
-        SqlExpr::Cmp { column, op, value } => {
-            let idx = layout.resolve(column)?;
-            let cv = cell_mapped(layout, map, tuple, idx);
-            if cv.is_null() || value.is_null() {
-                false
-            } else {
-                let coerced = value
-                    .coerce_to(layout.slots[idx].ty)
-                    .unwrap_or_else(|_| value.clone());
-                op.eval(cv, &coerced).unwrap_or(false)
-            }
-        }
-        SqlExpr::Like { column, pattern } => {
-            let idx = layout.resolve(column)?;
-            cell_mapped(layout, map, tuple, idx)
-                .as_text()
-                .is_some_and(|s| s.to_lowercase().contains(&pattern.to_lowercase()))
-        }
-        SqlExpr::IsNull { column, negated } => {
-            let idx = layout.resolve(column)?;
-            cell_mapped(layout, map, tuple, idx).is_null() != *negated
-        }
-        SqlExpr::And(a, b) => {
-            eval_expr(layout, map, a, tuple)? && eval_expr(layout, map, b, tuple)?
-        }
-        SqlExpr::Or(a, b) => eval_expr(layout, map, a, tuple)? || eval_expr(layout, map, b, tuple)?,
-        SqlExpr::Not(a) => !eval_expr(layout, map, a, tuple)?,
-    })
-}
-
-/// A WHERE conjunct pre-compiled against the layout: column references
-/// resolved to slots, literals coerced to the column type, LIKE patterns
-/// lowercased — once per statement instead of once per row.
-enum Compiled {
-    Cmp {
-        slot: usize,
-        op: crate::predicate::CmpOp,
-        value: Value,
-    },
-    Like {
-        slot: usize,
-        needle: String,
-    },
-    IsNull {
-        slot: usize,
-        negated: bool,
-    },
-    And(Box<Compiled>, Box<Compiled>),
-    Or(Box<Compiled>, Box<Compiled>),
-    Not(Box<Compiled>),
-    /// Subtree whose columns did not resolve at compile time: evaluated
-    /// per row by [`eval_expr`], preserving the executor's lazy
-    /// unknown/ambiguous-column error semantics exactly (the error only
-    /// surfaces if a row actually reaches the subtree).
-    Deferred(SqlExpr),
-}
-
-fn compile_expr(layout: &Layout, expr: &SqlExpr) -> Compiled {
-    match expr {
-        SqlExpr::Cmp { column, op, value } => match layout.resolve(column) {
-            // A NULL literal never matches (checked on the *uncoerced*
-            // literal, as in `eval_expr`); defer so the semantics —
-            // including literals that only become NULL through coercion —
-            // stay byte-identical to the reference path.
-            Ok(_) if value.is_null() => Compiled::Deferred(expr.clone()),
-            Ok(slot) => {
-                let value = value
-                    .coerce_to(layout.slots[slot].ty)
-                    .unwrap_or_else(|_| value.clone());
-                Compiled::Cmp {
-                    slot,
-                    op: *op,
-                    value,
-                }
-            }
-            Err(_) => Compiled::Deferred(expr.clone()),
-        },
-        SqlExpr::Like { column, pattern } => match layout.resolve(column) {
-            Ok(slot) => Compiled::Like {
-                slot,
-                needle: pattern.to_lowercase(),
-            },
-            Err(_) => Compiled::Deferred(expr.clone()),
-        },
-        SqlExpr::IsNull { column, negated } => match layout.resolve(column) {
-            Ok(slot) => Compiled::IsNull {
-                slot,
-                negated: *negated,
-            },
-            Err(_) => Compiled::Deferred(expr.clone()),
-        },
-        SqlExpr::And(a, b) => Compiled::And(
-            Box::new(compile_expr(layout, a)),
-            Box::new(compile_expr(layout, b)),
-        ),
-        SqlExpr::Or(a, b) => Compiled::Or(
-            Box::new(compile_expr(layout, a)),
-            Box::new(compile_expr(layout, b)),
-        ),
-        SqlExpr::Not(a) => Compiled::Not(Box::new(compile_expr(layout, a))),
-    }
-}
-
-fn eval_compiled(layout: &Layout, map: &[usize], c: &Compiled, tuple: &[&Row]) -> Result<bool> {
-    Ok(match c {
-        Compiled::Cmp { slot, op, value } => {
-            let cv = cell_mapped(layout, map, tuple, *slot);
-            // The literal was non-NULL pre-coercion (NULL literals defer),
-            // so only the cell's nullness gates the comparison — exactly
-            // the reference path's order of checks.
-            if cv.is_null() {
-                false
-            } else {
-                op.eval(cv, value).unwrap_or(false)
-            }
-        }
-        Compiled::Like { slot, needle } => cell_mapped(layout, map, tuple, *slot)
-            .as_text()
-            .is_some_and(|s| s.to_lowercase().contains(needle)),
-        Compiled::IsNull { slot, negated } => {
-            cell_mapped(layout, map, tuple, *slot).is_null() != *negated
-        }
-        Compiled::And(a, b) => {
-            eval_compiled(layout, map, a, tuple)? && eval_compiled(layout, map, b, tuple)?
-        }
-        Compiled::Or(a, b) => {
-            eval_compiled(layout, map, a, tuple)? || eval_compiled(layout, map, b, tuple)?
-        }
-        Compiled::Not(a) => !eval_compiled(layout, map, a, tuple)?,
-        Compiled::Deferred(e) => eval_expr(layout, map, e, tuple)?,
-    })
-}
-
-/// Output column name for a layout position (qualified when joining).
-fn slot_name(layout: &Layout, qualified: bool, pos: usize) -> String {
-    let slot = &layout.slots[pos];
-    if qualified {
-        format!("{}.{}", slot.table, slot.column)
-    } else {
-        slot.column.clone()
-    }
-}
-
-/// Heap entry for bounded top-k: orders by the sort key (reversed for
-/// DESC), ties broken by input sequence so results match a stable sort.
-struct TopKEntry<'a> {
-    key: &'a Value,
-    seq: usize,
-    desc: bool,
-}
-
-impl TopKEntry<'_> {
-    fn order(&self, other: &Self) -> Ordering {
-        let keys = OrdKey::cmp_values(self.key, other.key);
-        let keys = if self.desc { keys.reverse() } else { keys };
-        keys.then(self.seq.cmp(&other.seq))
-    }
-}
-
-impl PartialEq for TopKEntry<'_> {
-    fn eq(&self, other: &Self) -> bool {
-        self.order(other) == Ordering::Equal
-    }
-}
-impl Eq for TopKEntry<'_> {}
-impl PartialOrd for TopKEntry<'_> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TopKEntry<'_> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.order(other)
-    }
-}
-
-/// Indices of the top-`k` tuples under the sort order, themselves sorted —
-/// identical to a stable sort followed by `truncate(k)`, in O(n log k).
-fn top_k_indices<'a>(keys: impl Iterator<Item = &'a Value>, k: usize, desc: bool) -> Vec<usize> {
-    use std::collections::BinaryHeap;
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut heap: BinaryHeap<TopKEntry<'a>> = BinaryHeap::with_capacity(k + 1);
-    for (seq, key) in keys.enumerate() {
-        heap.push(TopKEntry { key, seq, desc });
-        if heap.len() > k {
-            heap.pop();
-        }
-    }
-    heap.into_sorted_vec().into_iter().map(|e| e.seq).collect()
-}
+// ===== planned execution: plan → lower → drive =====
 
 /// Execute a `SELECT` with the default (fully enabled) planner.
 fn execute_select(db: &Database, sel: &SelectStmt) -> Result<ResultSet> {
@@ -703,545 +324,34 @@ fn execute_select_budgeted(
     budget: &ExecBudget,
 ) -> Result<ResultSet> {
     let plan = plan_select_with(db, sel, opts)?;
-    let layout = &plan.layout;
-    let base = db.table(&sel.table)?;
-    let ntab = layout.tables;
-
-    // Tuple positions follow the plan's join execution order:
-    // `exec_pos[table_ord]` is the table's position in a tuple. The base
-    // table is always position 0; when joins run in FROM order this is
-    // the identity map.
-    let mut exec_pos = vec![usize::MAX; ntab];
-    exec_pos[0] = 0;
-    for (step, pj) in plan.join_order.iter().enumerate() {
-        exec_pos[pj.table_ord] = step + 1;
-    }
-    let needs_canonical = plan.joins_reordered();
-
-    // Base rows through the planned access path: probe RowId sets are
-    // fetched and intersected (smallest first), sorted ascending so the
-    // stream order matches a sequential scan exactly.
-    let base_stream: Vec<(RowId, &Row)> = match plan.access.fetch_row_ids(base)? {
-        None => base.scan().collect(),
-        Some(rids) => rids
-            .into_iter()
-            .map(|rid| (rid, base.get(rid).expect("index holds live ids")))
-            .collect(),
-    };
-
-    // Base-only filters, before joins multiply the stream. Conjuncts are
-    // compiled once (slot resolution, literal coercion) so the per-row
-    // loop is comparison-only. RowIds ride along only when a reordered
-    // join will need them to restore canonical output order.
-    let compiled_pushed: Vec<Compiled> = plan
-        .pushed
-        .iter()
-        .map(|e| compile_expr(layout, e))
-        .collect();
-    let mut tuples: Vec<&Row> = Vec::with_capacity(base_stream.len());
-    let mut rids: Vec<RowId> = Vec::new();
-    'row: for (rid, row) in base_stream {
-        for c in &compiled_pushed {
-            if !eval_compiled(layout, &exec_pos, c, &[row])? {
-                continue 'row;
-            }
-        }
-        tuples.push(row);
-        if needs_canonical {
-            rids.push(rid);
-        }
-    }
-
-    // Joins in planned execution order: the stream becomes flat tuples of
-    // `&Row` (stride grows by one per executed join). Every strategy
-    // yields per-tuple buckets in ascending-RowId order and emits in
-    // outer stream order — the canonical order both executors share.
-    // After each join, the conjuncts staged at that level filter the
-    // stream before later joins multiply it.
-    let mut stride = 1usize;
-    for (step, pj) in plan.join_order.iter().enumerate() {
-        let right = db.table(&pj.table)?;
-        let left_slot = &layout.slots[pj.left_slot];
-        let left_pos = exec_pos[left_slot.table_ord];
-        let count = tuples.len() / stride;
-        let mut out: Vec<&Row> = Vec::new();
-        let mut out_rids: Vec<RowId> = Vec::new();
-
-        // Strategy setup, once per join step. An empty outer stream skips
-        // the build entirely (nothing to probe with). The build-side
-        // pushdown's RowId set — when the planner priced a pre-filter in
-        // — is fetched once here; it is exact for the consumed conjuncts
-        // (the planner dropped them from the residual stages).
-        let build_rids: Option<Vec<RowId>> = if count > 0 {
-            pj.build_access.fetch_row_ids(right)?
-        } else {
-            None
-        };
-        // Transient auxiliary structures charge the budget as they are
-        // built and release together at the end of the step, when they
-        // drop; `step_charged` is the step's running total.
-        let mut step_charged = 0usize;
-        if let Some(rids) = &build_rids {
-            let bytes = rids.len() * JOIN_MAP_RID_BYTES;
-            budget.charge(bytes)?;
-            step_charged += bytes;
-        }
-
-        // Build partitions for this step: the plan's decision from
-        // cardinality estimates, or an exec-time degradation when the
-        // worst-case in-place footprint (every key distinct) no longer
-        // fits the remaining budget. 1 is the classic resident build.
-        let nparts = if pj.strategy == JoinStrategy::BuildHash && count > 0 {
-            let entering = build_rids.as_ref().map_or(right.len(), Vec::len);
-            let worst = join_build_bytes(entering, entering);
-            if pj.partitions > 1 {
-                pj.partitions
-            } else if budget.fits(worst) {
-                1
-            } else {
-                build_partition_count(worst, budget.limit().unwrap_or(usize::MAX)).max(2)
-            }
-        } else {
-            1
-        };
-
-        let build_map = match pj.strategy {
-            JoinStrategy::BuildHash if count > 0 && nparts == 1 => {
-                let map = match &build_rids {
-                    Some(rids) => right.join_map_filtered(&pj.right_col, rids)?,
-                    None => right.join_map(&pj.right_col)?,
-                };
-                // The actual footprint is at most the worst case `fits`
-                // admitted above, so against a real limit this charge
-                // cannot fail — only an injected fault trips it.
-                let bytes = map.values().map(Vec::len).sum::<usize>() * JOIN_MAP_RID_BYTES
-                    + map.len() * JOIN_MAP_ENTRY_BYTES;
-                budget.charge(bytes)?;
-                step_charged += bytes;
-                Some(map)
-            }
-            _ => None,
-        };
-        // Outer-tuple join keys, needed ahead of the probe loop by the
-        // strategies that stage matches per tuple (merge, partitioned).
-        let keys: Option<Vec<Option<&Value>>> =
-            if count > 0 && (pj.strategy == JoinStrategy::MergeRange || nparts > 1) {
-                Some(
-                    (0..count)
-                        .map(|ti| {
-                            let key = tuples[ti * stride + left_pos]
-                                .get(left_slot.col_idx)
-                                .unwrap_or(&NULL_VALUE);
-                            (!join_key_excluded(key)).then_some(key)
-                        })
-                        .collect(),
-                )
-            } else {
-                None
-            };
-        let partitioned_matches = match &keys {
-            Some(keys) if nparts > 1 => Some(partitioned_join_matches(
-                right,
-                &pj.right_col,
-                build_rids.as_deref(),
-                nparts,
-                &pj.hot_keys,
-                keys,
-                budget,
-            )?),
-            _ => None,
-        };
-        let merge_matches = match &keys {
-            Some(keys) if pj.strategy == JoinStrategy::MergeRange => {
-                let clamp = if build_rids.is_some() {
-                    join_key_clamp(&pj.build_access, &pj.right_col)
-                } else {
-                    None
-                };
-                let matches =
-                    merge_match_buckets(right, &pj.right_col, keys, build_rids.as_deref(), clamp);
-                // Only the intersected (owned) buckets are new memory;
-                // borrowed buckets live in the index.
-                let bytes = matches
-                    .iter()
-                    .map(|b| match b {
-                        Cow::Owned(v) => v.len() * JOIN_MAP_RID_BYTES,
-                        Cow::Borrowed(_) => 0,
-                    })
-                    .sum::<usize>();
-                budget.charge(bytes)?;
-                step_charged += bytes;
-                Some(matches)
-            }
-            _ => None,
-        };
-
-        for ti in 0..count {
-            let t = &tuples[ti * stride..(ti + 1) * stride];
-            let key = t[left_pos].get(left_slot.col_idx).unwrap_or(&NULL_VALUE);
-            if join_key_excluded(key) {
-                continue;
-            }
-            // All sources are in ascending-RowId order: hash-index and
-            // ordered-index buckets are maintained sorted, the build map
-            // fills in scan order, partitioned matches re-merge in rid
-            // order, and the per-key scan fallback (kept for the
-            // strategy-less planner generations) walks id order.
-            let scan_bucket;
-            let bucket: &[RowId] = if let Some(map) = &build_map {
-                map.get(key).map_or(&[][..], Vec::as_slice)
-            } else if let Some(matches) = &partitioned_matches {
-                &matches[ti]
-            } else if let Some(matches) = &merge_matches {
-                &matches[ti]
-            } else {
-                // IndexProbe (or a legacy strategy-less shape): probe the
-                // bucket, then intersect with the build-side pushdown's
-                // fetched set — the consumed conjuncts must hold, exactly
-                // as the merge path enforces through its filter.
-                match (right.index_bucket(&pj.right_col, key), &build_rids) {
-                    (Some(b), None) => b,
-                    (Some(b), Some(f)) => {
-                        scan_bucket = intersect_sorted(b, f);
-                        &scan_bucket
-                    }
-                    (None, filter) => {
-                        let mut looked = right.lookup(&pj.right_col, key)?;
-                        if let Some(f) = filter {
-                            looked = intersect_sorted(&looked, f);
-                        }
-                        scan_bucket = looked;
-                        &scan_bucket
-                    }
-                }
-            };
-            for &rid in bucket {
-                let rrow = right.get(rid).expect("lookup returned live id");
-                out.extend_from_slice(t);
-                out.push(rrow);
-                if needs_canonical {
-                    out_rids.extend_from_slice(&rids[ti * stride..(ti + 1) * stride]);
-                    out_rids.push(rid);
-                }
-            }
-        }
-        budget.release(step_charged);
-        tuples = out;
-        rids = out_rids;
-        stride += 1;
-
-        let stage = &plan.stages[step];
-        if !stage.is_empty() {
-            let compiled: Vec<Compiled> = stage.iter().map(|e| compile_expr(layout, e)).collect();
-            let count = tuples.len() / stride;
-            let mut kept = Vec::with_capacity(tuples.len());
-            let mut kept_rids = Vec::new();
-            'tuple: for ti in 0..count {
-                let t = &tuples[ti * stride..(ti + 1) * stride];
-                for c in &compiled {
-                    if !eval_compiled(layout, &exec_pos, c, t)? {
-                        continue 'tuple;
-                    }
-                }
-                kept.extend_from_slice(t);
-                if needs_canonical {
-                    kept_rids.extend_from_slice(&rids[ti * stride..(ti + 1) * stride]);
-                }
-            }
-            tuples = kept;
-            rids = kept_rids;
-        }
-    }
-
-    // Restore canonical FROM-order: permute each tuple's positions back
-    // to table ordinals and sort rows by their FROM-order RowId tuples —
-    // exactly the nested-loop order the reference executor produces.
-    if needs_canonical && stride == ntab {
-        let count = tuples.len() / stride;
-        let mut order: Vec<usize> = (0..count).collect();
-        order.sort_unstable_by(|&a, &b| {
-            for ord in 0..ntab {
-                let ra = rids[a * stride + exec_pos[ord]];
-                let rb = rids[b * stride + exec_pos[ord]];
-                match ra.cmp(&rb) {
-                    Ordering::Equal => continue,
-                    other => return other,
-                }
-            }
-            Ordering::Equal
-        });
-        let mut canon: Vec<&Row> = Vec::with_capacity(tuples.len());
-        for &i in &order {
-            for ord in 0..ntab {
-                canon.push(tuples[i * stride + exec_pos[ord]]);
-            }
-        }
-        tuples = canon;
-    }
-
-    // Aggregation path (any aggregate in the projection or a GROUP BY).
-    if sel.projection.has_aggregates() || !sel.group_by.is_empty() {
-        return execute_aggregation(sel, layout, &tuples, stride, budget);
-    }
-
-    let count = tuples.len() / stride;
-
-    // ORDER BY / LIMIT over tuple indices; values stay borrowed. The
-    // sort's auxiliary arrays (key pointers + permutation, or the
-    // bounded heap) charge the budget for their lifetime.
-    let sort_charge = match (&sel.order_by, sel.limit) {
-        (Some(_), Some(k)) => k.saturating_add(1) * SORT_KEY_BYTES,
-        (Some(_), None) => count * SORT_KEY_BYTES,
-        (None, _) => 0,
-    };
-    budget.charge(sort_charge)?;
-    let selected: Vec<usize> = match (&sel.order_by, sel.limit) {
-        (Some((col, desc)), limit) => {
-            let idx = layout.resolve(col)?;
-            let keys = (0..count).map(|i| cell(layout, &tuples[i * stride..(i + 1) * stride], idx));
-            match limit {
-                // Bounded heap: never sorts more than k entries.
-                Some(k) => top_k_indices(keys, k, *desc),
-                None => {
-                    let keys: Vec<&Value> = keys.collect();
-                    let mut order: Vec<usize> = (0..count).collect();
-                    order.sort_by(|&a, &b| {
-                        let ord = OrdKey::cmp_values(keys[a], keys[b]);
-                        if *desc {
-                            ord.reverse()
-                        } else {
-                            ord
-                        }
-                    });
-                    order
-                }
-            }
-        }
-        (None, Some(k)) => (0..count.min(k)).collect(),
-        (None, None) => (0..count).collect(),
-    };
-    budget.release(sort_charge);
-
-    // Projection: the only place whole values are cloned.
-    let qualified = !sel.joins.is_empty();
-    let out_positions: Vec<usize> = match &sel.projection {
-        Projection::Star => (0..layout.slots.len()).collect(),
-        Projection::Items(items) => items
-            .iter()
-            .map(|i| match i {
-                SelectItem::Column(c) => layout.resolve(c),
-                SelectItem::Aggregate { .. } => unreachable!("handled above"),
-            })
-            .collect::<Result<_>>()?,
-    };
-    let columns: Vec<String> = out_positions
-        .iter()
-        .map(|&p| slot_name(layout, qualified, p))
-        .collect();
-    let out_rows: Vec<Vec<Value>> = selected
-        .iter()
-        .map(|&i| {
-            let t = &tuples[i * stride..(i + 1) * stride];
-            out_positions
-                .iter()
-                .map(|&p| cell(layout, t, p).clone())
-                .collect()
-        })
-        .collect();
-    Ok(ResultSet {
-        columns,
-        rows: out_rows,
-    })
+    let mut root = ops::lower(db, sel, &plan, budget)?;
+    ops::drive(root.as_mut())
 }
 
-/// Grouped aggregation over the filtered tuple stream. Groups are keyed
-/// on [`OrdKey`] tuples (total value order), so group output order is
-/// value order — no per-row string rendering.
-fn execute_aggregation(
+/// `EXPLAIN [ANALYZE]`: plan and lower the statement, optionally execute
+/// it, and render the operator tree as a one-column result set. Plain
+/// `EXPLAIN` annotates each node with the planner's cardinality
+/// estimate; `ANALYZE` also runs the tree and adds the actual row count
+/// and the node's own budget peak (excluding its children's work).
+pub fn explain_select_with(
+    db: &Database,
     sel: &SelectStmt,
-    layout: &Layout,
-    tuples: &[&Row],
-    stride: usize,
-    budget: &ExecBudget,
+    opts: &PlanOptions,
+    analyze: bool,
 ) -> Result<ResultSet> {
-    let Projection::Items(items) = &sel.projection else {
-        return Err(TxdbError::Parse(
-            "SELECT * cannot be combined with GROUP BY".into(),
-        ));
-    };
-    let group_idxs: Vec<usize> = sel
-        .group_by
-        .iter()
-        .map(|c| layout.resolve(c))
-        .collect::<Result<_>>()?;
-    // Validate: plain columns must appear in GROUP BY.
-    for item in items {
-        if let SelectItem::Column(c) = item {
-            let idx = layout.resolve(c)?;
-            if !group_idxs.contains(&idx) {
-                return Err(TxdbError::Parse(format!(
-                    "column `{c}` must appear in GROUP BY or inside an aggregate"
-                )));
-            }
-        }
+    let budget = ExecBudget::from_options(opts);
+    let plan = plan_select_with(db, sel, opts)?;
+    let mut root = ops::lower(db, sel, &plan, &budget)?;
+    if analyze {
+        ops::drive(root.as_mut())?;
     }
-    let count = tuples.len().checked_div(stride).unwrap_or(0);
-    let mut groups: BTreeMap<Vec<OrdKey>, Vec<usize>> = BTreeMap::new();
-    // The group map charges one entry per distinct key as it grows, so a
-    // high-cardinality GROUP BY fails while accumulating, before any
-    // output row exists. The per-member index lists are proportional to
-    // the incoming (already materialized, uncharged) tuple stream and
-    // follow its exemption.
-    let mut group_charged = 0usize;
-    for i in 0..count {
-        let t = &tuples[i * stride..(i + 1) * stride];
-        let key: Vec<OrdKey> = group_idxs
-            .iter()
-            .map(|&g| OrdKey(cell(layout, t, g).clone()))
-            .collect();
-        let before = groups.len();
-        groups.entry(key).or_default().push(i);
-        if groups.len() > before {
-            budget.charge(GROUP_ENTRY_BYTES)?;
-            group_charged += GROUP_ENTRY_BYTES;
-        }
-    }
-    // A global aggregate over zero rows still yields one output row.
-    if groups.is_empty() && group_idxs.is_empty() {
-        groups.insert(Vec::new(), Vec::new());
-    }
-
-    let qualified = !sel.joins.is_empty();
-    let columns: Vec<String> = items
-        .iter()
-        .map(|item| match item {
-            SelectItem::Column(c) => layout.resolve(c).map(|p| slot_name(layout, qualified, p)),
-            SelectItem::Aggregate { func, arg } => Ok(match arg {
-                Some(c) => format!("{}({})", func.keyword(), c),
-                None => format!("{}(*)", func.keyword()),
-            }),
-        })
-        .collect::<Result<_>>()?;
-
-    let mut out_rows = Vec::with_capacity(groups.len());
-    for (key, members) in &groups {
-        let mut out = Vec::with_capacity(items.len());
-        for item in items {
-            match item {
-                SelectItem::Column(c) => {
-                    let idx = layout.resolve(c)?;
-                    let pos = group_idxs
-                        .iter()
-                        .position(|&g| g == idx)
-                        .expect("validated");
-                    out.push(key[pos].0.clone());
-                }
-                SelectItem::Aggregate { func, arg } => match arg {
-                    None => out.push(Value::Int(members.len() as i64)),
-                    Some(c) => {
-                        let idx = layout.resolve(c)?;
-                        let values: Vec<&Value> = members
-                            .iter()
-                            .map(|&i| cell(layout, &tuples[i * stride..(i + 1) * stride], idx))
-                            .filter(|v| !v.is_null())
-                            .collect();
-                        out.push(aggregate_values(*func, &values)?);
-                    }
-                },
-            }
-        }
-        out_rows.push(out);
-    }
-    budget.release(group_charged);
-
-    sort_aggregated_output(sel, &columns, &mut out_rows)?;
-    if let Some(n) = sel.limit {
-        out_rows.truncate(n);
-    }
+    let rows = ops::render(root.as_ref(), analyze)
+        .into_iter()
+        .map(|line| vec![Value::Text(line)])
+        .collect();
     Ok(ResultSet {
-        columns,
-        rows: out_rows,
-    })
-}
-
-/// `ORDER BY` over aggregation output columns (group keys or aggregate
-/// names), shared by both executors.
-fn sort_aggregated_output(
-    sel: &SelectStmt,
-    columns: &[String],
-    out_rows: &mut [Vec<Value>],
-) -> Result<()> {
-    let Some((col, desc)) = &sel.order_by else {
-        return Ok(());
-    };
-    let target = col.to_string();
-    let idx = columns
-        .iter()
-        .position(|c| c == &target || is_qualified_suffix(c, &target))
-        .ok_or_else(|| {
-            TxdbError::Parse(format!(
-                "ORDER BY `{target}` must reference an output column of the aggregation"
-            ))
-        })?;
-    out_rows.sort_by(|a, b| {
-        let ord = OrdKey::cmp_values(&a[idx], &b[idx]);
-        if *desc {
-            ord.reverse()
-        } else {
-            ord
-        }
-    });
-    Ok(())
-}
-
-/// Fold non-null values with an aggregate function (`COUNT(*)` is handled
-/// by the callers, which know the raw group size).
-fn aggregate_values(func: AggFunc, values: &[&Value]) -> Result<Value> {
-    Ok(match func {
-        AggFunc::Count => Value::Int(values.len() as i64),
-        AggFunc::Sum | AggFunc::Avg => {
-            let mut sum = 0.0;
-            let mut all_int = true;
-            for v in values {
-                match v {
-                    Value::Int(i) => sum += *i as f64,
-                    Value::Float(x) => {
-                        all_int = false;
-                        sum += x;
-                    }
-                    other => {
-                        return Err(TxdbError::TypeMismatch {
-                            expected: DataType::Float,
-                            got: format!("{other}"),
-                            context: format!("{}()", func.keyword()),
-                        })
-                    }
-                }
-            }
-            if func == AggFunc::Avg {
-                if values.is_empty() {
-                    Value::Null
-                } else {
-                    Value::Float(sum / values.len() as f64)
-                }
-            } else if all_int {
-                Value::Int(sum as i64)
-            } else {
-                Value::Float(sum)
-            }
-        }
-        AggFunc::Min => values
-            .iter()
-            .copied()
-            .min_by(|a, b| OrdKey::cmp_values(a, b))
-            .cloned()
-            .unwrap_or(Value::Null),
-        AggFunc::Max => values
-            .iter()
-            .copied()
-            .max_by(|a, b| OrdKey::cmp_values(a, b))
-            .cloned()
-            .unwrap_or(Value::Null),
+        columns: vec!["plan".into()],
+        rows,
     })
 }
 
@@ -2506,65 +1616,5 @@ mod tests {
             budget.peak(),
             SKEW_BUDGET
         );
-    }
-
-    #[test]
-    fn forced_exhaustion_mid_join_is_atomic() {
-        // Sweep the fault injector across every charge point: each run
-        // either completes with output identical to the reference or
-        // fails with ResourceExhausted — never partial output.
-        let db = key_edge_db(true, false);
-        for q in [
-            "SELECT lt.l_id, rt.tag FROM lt JOIN rt ON rt.k = lt.k",
-            "SELECT lt.l_id, rt.tag FROM lt JOIN rt ON rt.k = lt.k WHERE lt.l_id = 2",
-            "SELECT lt.k, COUNT(*) FROM lt JOIN rt ON rt.k = lt.k GROUP BY lt.k",
-            "SELECT lt.l_id FROM lt JOIN rt ON rt.k = lt.k ORDER BY rt.tag DESC",
-            "SELECT lt.l_id FROM lt JOIN rt ON rt.k = lt.k ORDER BY rt.tag LIMIT 2",
-        ] {
-            let Statement::Select(sel) = parse_statement(q).unwrap() else {
-                unreachable!()
-            };
-            let reference = execute_select_reference(&db, &sel).unwrap();
-            let mut failures = 0;
-            for n in 0..64 {
-                let budget = ExecBudget::failing_after(n);
-                match execute_select_budgeted(&db, &sel, &PlanOptions::default(), &budget) {
-                    Ok(rs) => assert_eq!(rs, reference, "query: {q}, n = {n}"),
-                    Err(TxdbError::ResourceExhausted { .. }) => failures += 1,
-                    Err(e) => panic!("unexpected error for {q} at n = {n}: {e}"),
-                }
-            }
-            assert!(failures > 0, "sweep never tripped a charge: {q}");
-            let budget = ExecBudget::failing_after(usize::MAX);
-            assert_eq!(
-                execute_select_budgeted(&db, &sel, &PlanOptions::default(), &budget).unwrap(),
-                reference,
-                "an injector that never fires must not change results: {q}"
-            );
-        }
-    }
-
-    #[test]
-    fn forced_exhaustion_in_the_partitioned_path_is_atomic() {
-        let db = skewed_db();
-        let q = "SELECT probe.p_id, build.b_id FROM probe JOIN build ON build.k = probe.k";
-        let Statement::Select(sel) = parse_statement(q).unwrap() else {
-            unreachable!()
-        };
-        let opts = PlanOptions {
-            memory_budget: Some(SKEW_BUDGET),
-            ..PlanOptions::default()
-        };
-        let reference = execute_select_reference(&db, &sel).unwrap();
-        let mut failures = 0;
-        for n in 0..80 {
-            let budget = ExecBudget::failing_after(n);
-            match execute_select_budgeted(&db, &sel, &opts, &budget) {
-                Ok(rs) => assert_eq!(rs, reference, "n = {n}"),
-                Err(TxdbError::ResourceExhausted { .. }) => failures += 1,
-                Err(e) => panic!("unexpected error at n = {n}: {e}"),
-            }
-        }
-        assert!(failures > 0, "partitioned sweep never tripped a charge");
     }
 }

@@ -14,8 +14,11 @@
 //! the cost-aware planner in [`plan`]: sargable-conjunct extraction,
 //! multi-index AND, cardinality-greedy join ordering, a per-step
 //! [`JoinStrategy`] with build-side pushdown, and staged predicate
-//! evaluation — see the [`plan`] module docs for the full model and
-//! `ARCHITECTURE.md` at the repository root for the guided tour.
+//! evaluation — then lowers the plan into a tree of physical operators
+//! in [`ops`] (scan, filter, join, aggregate, order, project nodes)
+//! which the executor drives. See the [`plan`] module docs for the full
+//! cost model and `ARCHITECTURE.md` at the repository root for the
+//! guided tour.
 //!
 //! # Entry points
 //!
@@ -30,11 +33,16 @@
 //! - [`execute_select_reference`]: the naive materialize-everything
 //!   executor, kept as the executable specification the differential
 //!   suite compares every other path against.
+//! - [`explain_select_with`]: render the lowered operator tree —
+//!   `EXPLAIN` (estimated cardinalities only) or `EXPLAIN ANALYZE`
+//!   (also executes; actual rows and budget peaks per node). The SQL
+//!   statements of the same names route here through [`execute`].
 
 mod ast;
 pub mod budget;
 mod exec;
 mod lexer;
+pub mod ops;
 mod parser;
 pub mod plan;
 
@@ -43,7 +51,8 @@ pub use ast::{
 };
 pub use budget::ExecBudget;
 pub use exec::{
-    execute, execute_script, execute_select_reference, execute_select_with, QueryResult, ResultSet,
+    execute, execute_script, execute_select_reference, execute_select_with, explain_select_with,
+    QueryResult, ResultSet,
 };
 pub use lexer::{tokenize, Token};
 pub use parser::parse_statement;

@@ -1,0 +1,218 @@
+//! `Aggregate`: grouped aggregation over the filtered tuple stream.
+//!
+//! Groups are keyed on [`OrdKey`] tuples (total value order), so group
+//! output order is value order — no per-row string rendering. This is
+//! where the stream switches from borrowed tuples to materialized
+//! output rows; `ORDER BY` and `LIMIT` over the aggregation run as
+//! separate downstream operators.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::error::{Result, TxdbError};
+use crate::index::OrdKey;
+use crate::value::{DataType, Value};
+
+use super::expr::{cell, slot_name};
+use super::{Batch, ExecCtx, NodeStats, Operator};
+use crate::sql::ast::{AggFunc, Projection, SelectItem, SelectStmt};
+use crate::sql::budget::GROUP_ENTRY_BYTES;
+
+/// Fold non-null values with an aggregate function (`COUNT(*)` is handled
+/// by the callers, which know the raw group size).
+pub(crate) fn aggregate_values(func: AggFunc, values: &[&Value]) -> Result<Value> {
+    Ok(match func {
+        AggFunc::Count => Value::Int(values.len() as i64),
+        AggFunc::Sum | AggFunc::Avg => {
+            let mut sum = 0.0;
+            let mut all_int = true;
+            for v in values {
+                match v {
+                    Value::Int(i) => sum += *i as f64,
+                    Value::Float(x) => {
+                        all_int = false;
+                        sum += x;
+                    }
+                    other => {
+                        return Err(TxdbError::TypeMismatch {
+                            expected: DataType::Float,
+                            got: format!("{other}"),
+                            context: format!("{}()", func.keyword()),
+                        })
+                    }
+                }
+            }
+            if func == AggFunc::Avg {
+                if values.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(sum / values.len() as f64)
+                }
+            } else if all_int {
+                Value::Int(sum as i64)
+            } else {
+                Value::Float(sum)
+            }
+        }
+        AggFunc::Min => values
+            .iter()
+            .copied()
+            .min_by(|a, b| OrdKey::cmp_values(a, b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Max => values
+            .iter()
+            .copied()
+            .max_by(|a, b| OrdKey::cmp_values(a, b))
+            .cloned()
+            .unwrap_or(Value::Null),
+    })
+}
+
+pub(super) struct Aggregate<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    child: Box<dyn Operator<'a> + 'a>,
+    sel: &'a SelectStmt,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> Aggregate<'a> {
+    pub(super) fn new(
+        cx: Rc<ExecCtx<'a>>,
+        child: Box<dyn Operator<'a> + 'a>,
+        sel: &'a SelectStmt,
+    ) -> Aggregate<'a> {
+        Aggregate {
+            cx,
+            child,
+            sel,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn apply(&mut self, input: Batch<'a>) -> Result<Batch<'a>> {
+        let Batch::Tuples { tuples, stride, .. } = input else {
+            unreachable!("Aggregate runs on the borrowed tuple stream")
+        };
+        let sel = self.sel;
+        let layout = self.cx.layout;
+        let budget = self.cx.budget;
+        let Projection::Items(items) = &sel.projection else {
+            return Err(TxdbError::Parse(
+                "SELECT * cannot be combined with GROUP BY".into(),
+            ));
+        };
+        let group_idxs: Vec<usize> = sel
+            .group_by
+            .iter()
+            .map(|c| layout.resolve(c))
+            .collect::<Result<_>>()?;
+        // Validate: plain columns must appear in GROUP BY.
+        for item in items {
+            if let SelectItem::Column(c) = item {
+                let idx = layout.resolve(c)?;
+                if !group_idxs.contains(&idx) {
+                    return Err(TxdbError::Parse(format!(
+                        "column `{c}` must appear in GROUP BY or inside an aggregate"
+                    )));
+                }
+            }
+        }
+        let count = tuples.len().checked_div(stride).unwrap_or(0);
+        let mut groups: BTreeMap<Vec<OrdKey>, Vec<usize>> = BTreeMap::new();
+        // The group map charges one entry per distinct key as it grows, so
+        // a high-cardinality GROUP BY fails while accumulating, before any
+        // output row exists. The per-member index lists are proportional
+        // to the incoming (already materialized, uncharged) tuple stream
+        // and follow its exemption.
+        let mut group_charged = 0usize;
+        for i in 0..count {
+            let t = &tuples[i * stride..(i + 1) * stride];
+            let key: Vec<OrdKey> = group_idxs
+                .iter()
+                .map(|&g| OrdKey(cell(layout, t, g).clone()))
+                .collect();
+            let before = groups.len();
+            groups.entry(key).or_default().push(i);
+            if groups.len() > before {
+                budget.charge(GROUP_ENTRY_BYTES)?;
+                group_charged += GROUP_ENTRY_BYTES;
+            }
+        }
+        // A global aggregate over zero rows still yields one output row.
+        if groups.is_empty() && group_idxs.is_empty() {
+            groups.insert(Vec::new(), Vec::new());
+        }
+
+        let qualified = !sel.joins.is_empty();
+        let columns: Vec<String> = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Column(c) => layout.resolve(c).map(|p| slot_name(layout, qualified, p)),
+                SelectItem::Aggregate { func, arg } => Ok(match arg {
+                    Some(c) => format!("{}({})", func.keyword(), c),
+                    None => format!("{}(*)", func.keyword()),
+                }),
+            })
+            .collect::<Result<_>>()?;
+
+        let mut out_rows = Vec::with_capacity(groups.len());
+        for (key, members) in &groups {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    SelectItem::Column(c) => {
+                        let idx = layout.resolve(c)?;
+                        let pos = group_idxs
+                            .iter()
+                            .position(|&g| g == idx)
+                            .expect("validated");
+                        out.push(key[pos].0.clone());
+                    }
+                    SelectItem::Aggregate { func, arg } => match arg {
+                        None => out.push(Value::Int(members.len() as i64)),
+                        Some(c) => {
+                            let idx = layout.resolve(c)?;
+                            let values: Vec<&Value> = members
+                                .iter()
+                                .map(|&i| cell(layout, &tuples[i * stride..(i + 1) * stride], idx))
+                                .filter(|v| !v.is_null())
+                                .collect();
+                            out.push(aggregate_values(*func, &values)?);
+                        }
+                    },
+                }
+            }
+            out_rows.push(out);
+        }
+        budget.release(group_charged);
+        Ok(Batch::Rows {
+            columns,
+            rows: out_rows,
+        })
+    }
+
+    fn describe_node(&self) -> String {
+        let aggs = match &self.sel.projection {
+            Projection::Items(items) => items
+                .iter()
+                .filter(|i| matches!(i, SelectItem::Aggregate { .. }))
+                .count(),
+            Projection::Star => 0,
+        };
+        if self.sel.group_by.is_empty() {
+            format!("Aggregate [global, aggs={aggs}]")
+        } else {
+            let keys: Vec<String> = self.sel.group_by.iter().map(|c| c.to_string()).collect();
+            format!("Aggregate [group_by=({}), aggs={aggs}]", keys.join(", "))
+        }
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        None
+    }
+}
+
+operator_impl!(Aggregate);

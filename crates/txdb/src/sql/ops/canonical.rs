@@ -1,0 +1,84 @@
+//! `Canonicalize`: restore FROM-order after reordered joins.
+//!
+//! Permutes each tuple's positions back to table ordinals and sorts
+//! rows by their FROM-order RowId tuples — exactly the nested-loop
+//! order the reference executor produces. Lowered only when the plan
+//! reordered joins; otherwise the stream never left canonical order.
+
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+use crate::error::Result;
+use crate::row::Row;
+
+use super::{Batch, ExecCtx, NodeStats, Operator};
+
+pub(super) struct Canonicalize<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    child: Box<dyn Operator<'a> + 'a>,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> Canonicalize<'a> {
+    pub(super) fn new(cx: Rc<ExecCtx<'a>>, child: Box<dyn Operator<'a> + 'a>) -> Canonicalize<'a> {
+        Canonicalize {
+            cx,
+            child,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn apply(&mut self, input: Batch<'a>) -> Result<Batch<'a>> {
+        let Batch::Tuples {
+            tuples,
+            rids,
+            stride,
+        } = input
+        else {
+            unreachable!("Canonicalize runs on the borrowed tuple stream")
+        };
+        let cx = &self.cx;
+        let ntab = cx.layout.tables;
+        debug_assert_eq!(stride, ntab, "canonicalization runs after the final join");
+        let exec_pos = &cx.exec_pos;
+        let count = tuples.len() / stride;
+        let mut order: Vec<usize> = (0..count).collect();
+        order.sort_unstable_by(|&a, &b| {
+            for ord in 0..ntab {
+                let ra = rids[a * stride + exec_pos[ord]];
+                let rb = rids[b * stride + exec_pos[ord]];
+                match ra.cmp(&rb) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        });
+        let mut canon: Vec<&Row> = Vec::with_capacity(tuples.len());
+        for &i in &order {
+            for ord in 0..ntab {
+                canon.push(tuples[i * stride + exec_pos[ord]]);
+            }
+        }
+        // RowIds have done their job; downstream operators work in FROM
+        // order without them.
+        Ok(Batch::Tuples {
+            tuples: canon,
+            rids: Vec::new(),
+            stride,
+        })
+    }
+
+    fn describe_node(&self) -> String {
+        "Canonicalize [restore FROM-order]".to_string()
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        // A pure reordering: the child's cardinality estimate carries.
+        self.child.estimated_rows()
+    }
+}
+
+operator_impl!(Canonicalize);

@@ -1,0 +1,113 @@
+//! `Filter`: apply compiled WHERE conjuncts to the tuple stream.
+//!
+//! Two lowering roles share the operator: *pushed* base-only conjuncts
+//! run before the first join multiplies rows (with the planner's
+//! post-filter base estimate attached), and *staged* residual conjuncts
+//! run right after the join step that binds their tables. Conjuncts are
+//! compiled once — slot resolution, literal coercion — so the per-row
+//! loop is comparison-only; unresolvable columns stay deferred and only
+//! error when a row actually reaches them.
+
+use std::rc::Rc;
+
+use crate::error::Result;
+use crate::row::RowId;
+
+use super::expr::{compile_expr, eval_compiled};
+use super::{Batch, ExecCtx, NodeStats, Operator};
+use crate::sql::ast::SqlExpr;
+
+pub(super) struct Filter<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    child: Box<dyn Operator<'a> + 'a>,
+    exprs: &'a [SqlExpr],
+    role: &'static str,
+    est: Option<f64>,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> Filter<'a> {
+    /// Base-only pushed conjuncts, with the planner's estimated
+    /// post-filter base cardinality.
+    pub(super) fn pushed(
+        cx: Rc<ExecCtx<'a>>,
+        child: Box<dyn Operator<'a> + 'a>,
+        exprs: &'a [SqlExpr],
+        est: f64,
+    ) -> Filter<'a> {
+        Filter {
+            cx,
+            child,
+            exprs,
+            role: "pushed",
+            est: Some(est),
+            out: None,
+            stats: None,
+        }
+    }
+
+    /// Residual conjuncts staged after one join step.
+    pub(super) fn staged(
+        cx: Rc<ExecCtx<'a>>,
+        child: Box<dyn Operator<'a> + 'a>,
+        exprs: &'a [SqlExpr],
+    ) -> Filter<'a> {
+        Filter {
+            cx,
+            child,
+            exprs,
+            role: "staged",
+            est: None,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn apply(&mut self, input: Batch<'a>) -> Result<Batch<'a>> {
+        let Batch::Tuples {
+            tuples,
+            rids,
+            stride,
+        } = input
+        else {
+            unreachable!("Filter runs on the borrowed tuple stream")
+        };
+        let cx = &self.cx;
+        let compiled: Vec<_> = self
+            .exprs
+            .iter()
+            .map(|e| compile_expr(cx.layout, e))
+            .collect();
+        let count = tuples.len() / stride;
+        let mut kept = Vec::with_capacity(tuples.len());
+        let mut kept_rids: Vec<RowId> = Vec::new();
+        'tuple: for ti in 0..count {
+            let t = &tuples[ti * stride..(ti + 1) * stride];
+            for c in &compiled {
+                if !eval_compiled(cx.layout, &cx.exec_pos, c, t)? {
+                    continue 'tuple;
+                }
+            }
+            kept.extend_from_slice(t);
+            if cx.needs_canonical {
+                kept_rids.extend_from_slice(&rids[ti * stride..(ti + 1) * stride]);
+            }
+        }
+        Ok(Batch::Tuples {
+            tuples: kept,
+            rids: kept_rids,
+            stride,
+        })
+    }
+
+    fn describe_node(&self) -> String {
+        format!("Filter [{}: {}]", self.role, self.exprs.len())
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        self.est
+    }
+}
+
+operator_impl!(Filter);

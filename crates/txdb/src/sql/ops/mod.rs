@@ -1,0 +1,529 @@
+//! The physical operator tree: `SELECT` execution as composable
+//! operators.
+//!
+//! [`lower`] turns a [`SelectPlan`] into a tree of physical operators —
+//! `Scan`/`IndexScan`, `Filter`, the three join strategies
+//! (`IndexProbeJoin`, `BuildHashJoin` with its partitioned and hot-key
+//! variants, `MergeRangeJoin`), `Canonicalize`, `Aggregate`,
+//! `Order`/`TopK`, `Limit` and `Project` — and [`drive`] runs the tree
+//! to a result set. Each operator upholds the executor's three
+//! contracts:
+//!
+//! 1. **Canonical order** — every operator emits (or preserves) the
+//!    lexicographic FROM-order RowId tuple order both executors share.
+//!    Reordered joins carry RowIds through the stream and the
+//!    `Canonicalize` node restores FROM order before output.
+//! 2. **Budget accounting** — every materializing structure (build
+//!    maps, partition lists, pushdown probe sets, merge match buffers,
+//!    group maps, sort keys) charges the [`ExecBudget`] while live and
+//!    releases when dropped, in exactly the pre-refactor executor's
+//!    sequence: a node's transient charges release before its parent
+//!    charges anything.
+//! 3. **Atomic failure** — a failed charge aborts the whole query with
+//!    `ResourceExhausted` before any output row is assembled; no
+//!    partial result ever escapes.
+//!
+//! Operators run batch-at-once behind a Volcano-style
+//! `open`/`next`/`close` surface: [`Operator::open`] drains the input
+//! operator and stages the node's full output — recording actual rows
+//! and the node's own budget peak for `EXPLAIN ANALYZE` — then
+//! [`Operator::next`] hands the batch over once and
+//! [`Operator::close`] drops buffers. Batch execution keeps results
+//! byte-identical to the reference executor while the per-node stats
+//! make estimator drift visible per operator instead of only at the
+//! final result size.
+
+use std::rc::Rc;
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::row::{Row, RowId};
+use crate::value::Value;
+
+use super::ast::SelectStmt;
+use super::budget::ExecBudget;
+use super::exec::ResultSet;
+use super::plan::{AccessPath, JoinStrategy, Layout, SelectPlan};
+
+// `open` boilerplate shared by every operator: pull the input (unary
+// nodes), scope the budget's high-water mark around the node's own
+// kernel (`produce` for leaves, `apply` for unary nodes) and record
+// `NodeStats`. Defined before the operator submodules so legacy macro
+// scoping makes it visible inside them.
+macro_rules! operator_impl {
+    (@shared) => {
+        fn next(&mut self) -> crate::error::Result<Option<Batch<'a>>> {
+            Ok(self.out.take())
+        }
+        fn close(&mut self) {
+            self.out = None;
+        }
+        fn describe(&self) -> String {
+            self.describe_node()
+        }
+        fn estimated_rows(&self) -> Option<f64> {
+            self.estimate()
+        }
+        fn stats(&self) -> Option<NodeStats> {
+            self.stats
+        }
+    };
+    ($ty:ident, leaf) => {
+        impl<'a> Operator<'a> for $ty<'a> {
+            fn open(&mut self) -> crate::error::Result<()> {
+                let saved = self.cx.budget.begin_scope();
+                let result = self.produce();
+                let peak = self.cx.budget.end_scope(saved);
+                let batch = result?;
+                self.stats = Some(NodeStats {
+                    rows: batch.count(),
+                    peak,
+                });
+                self.out = Some(batch);
+                Ok(())
+            }
+            operator_impl!(@shared);
+            fn input(&self) -> Option<&dyn Operator<'a>> {
+                None
+            }
+        }
+    };
+    // Unary operators; the second argument is the field path to the
+    // node's `ExecCtx` (the join operators keep theirs inside a shared
+    // `JoinCore`).
+    ($ty:ident) => {
+        operator_impl!(@unary $ty, cx);
+    };
+    ($ty:ident, core) => {
+        operator_impl!(@unary $ty, core.cx);
+    };
+    (@unary $ty:ident, $($cx:ident).+) => {
+        impl<'a> Operator<'a> for $ty<'a> {
+            fn open(&mut self) -> crate::error::Result<()> {
+                let input = crate::sql::ops::pull(self.child.as_mut())?;
+                let saved = self.$($cx).+.budget.begin_scope();
+                let result = self.apply(input);
+                let peak = self.$($cx).+.budget.end_scope(saved);
+                let batch = result?;
+                self.stats = Some(NodeStats {
+                    rows: batch.count(),
+                    peak,
+                });
+                self.out = Some(batch);
+                Ok(())
+            }
+            operator_impl!(@shared);
+            fn input(&self) -> Option<&dyn Operator<'a>> {
+                Some(self.child.as_ref())
+            }
+        }
+    };
+}
+
+mod aggregate;
+mod canonical;
+pub(crate) mod expr;
+mod filter;
+mod join;
+mod order;
+mod project;
+mod scan;
+
+// The grouped-aggregation fold and aggregated-output sort are shared
+// with the naive reference executor in `super::exec`.
+pub(crate) use aggregate::aggregate_values;
+pub(crate) use order::sort_aggregated_output;
+
+use aggregate::Aggregate;
+use canonical::Canonicalize;
+use filter::Filter;
+use join::{BuildHashJoin, IndexProbeJoin, MergeRangeJoin};
+use order::{Limit, Order, TopK};
+use project::Project;
+use scan::{IndexScan, Scan};
+
+/// The stream flowing between operators.
+///
+/// Up to aggregation the stream is the executor's borrowed-tuple form:
+/// flat `&Row` tuples of `stride` tables each, with FROM-order RowIds
+/// riding along only when a reordered join will need them to restore
+/// canonical output order. `Aggregate` (and `Project`) switch to
+/// materialized rows — the only places whole values are cloned.
+#[derive(Debug)]
+pub enum Batch<'a> {
+    /// Borrowed tuples: `tuples.len() == count × stride`. `rids` is
+    /// either empty or exactly parallel (one RowId per tuple slot).
+    Tuples {
+        /// Flat tuple storage, `stride` table rows per joined tuple.
+        tuples: Vec<&'a Row>,
+        /// FROM-order RowIds per tuple slot; empty unless a reordered
+        /// join needs them for canonicalization.
+        rids: Vec<RowId>,
+        /// Number of table rows per tuple.
+        stride: usize,
+    },
+    /// Materialized output rows with their column names.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Output rows.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl Batch<'_> {
+    /// Logical row (tuple) count of the batch.
+    pub fn count(&self) -> usize {
+        match self {
+            Batch::Tuples { tuples, stride, .. } => tuples.len() / (*stride).max(1),
+            Batch::Rows { rows, .. } => rows.len(),
+        }
+    }
+}
+
+/// Execution statistics one operator records during [`Operator::open`]:
+/// the actual output cardinality and the node's own high-water mark of
+/// budget-tracked bytes (via [`ExecBudget::begin_scope`]). `EXPLAIN
+/// ANALYZE` prints both next to the planner's estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Rows (tuples) the node emitted.
+    pub rows: usize,
+    /// Peak budget-tracked bytes while the node's own kernel ran.
+    pub peak: usize,
+}
+
+/// One physical operator of the lowered tree.
+///
+/// The lifecycle is Volcano-shaped with batch semantics: `open`
+/// computes the node's full output (draining the input operator first,
+/// so budget charge/release sequencing matches the pre-refactor
+/// executor exactly), `next` yields that batch once, `close` drops
+/// buffers. The remaining methods expose the tree to `EXPLAIN`.
+pub trait Operator<'a> {
+    /// Execute the node: drain the input operator, build the output
+    /// batch, record [`NodeStats`]. Errors (including budget
+    /// exhaustion) propagate before any batch is staged.
+    fn open(&mut self) -> Result<()>;
+    /// The staged output batch — `Some` exactly once after a
+    /// successful `open`.
+    fn next(&mut self) -> Result<Option<Batch<'a>>>;
+    /// Drop any remaining buffers.
+    fn close(&mut self);
+    /// One-line `EXPLAIN` label with the node's parameters, e.g.
+    /// `BuildHashJoin [build.k, partitions=4, hot=1]`.
+    fn describe(&self) -> String;
+    /// The planner's estimated output cardinality, when it priced this
+    /// node.
+    fn estimated_rows(&self) -> Option<f64>;
+    /// Stats recorded by `open`; `None` before execution.
+    fn stats(&self) -> Option<NodeStats>;
+    /// The input operator, for tree rendering (`None` for leaves).
+    fn input(&self) -> Option<&dyn Operator<'a>>;
+}
+
+/// Run one operator through its full lifecycle and return its batch.
+pub(crate) fn pull<'a>(op: &mut (dyn Operator<'a> + '_)) -> Result<Batch<'a>> {
+    op.open()?;
+    let batch = op.next()?.expect("open stages a batch exactly once");
+    op.close();
+    Ok(batch)
+}
+
+/// Shared execution context threaded through every operator of one
+/// lowered tree.
+pub(crate) struct ExecCtx<'a> {
+    pub(crate) layout: &'a Layout,
+    /// Tuple positions follow the plan's join execution order:
+    /// `exec_pos[table_ord]` is the table's position in a tuple.
+    pub(crate) exec_pos: Vec<usize>,
+    /// Whether reordered joins require RowId tracking and a final
+    /// `Canonicalize` to restore FROM-order output.
+    pub(crate) needs_canonical: bool,
+    pub(crate) budget: &'a ExecBudget,
+}
+
+/// Lower a [`SelectPlan`] into its operator tree.
+///
+/// The tree mirrors the plan one node per decision: the access path
+/// becomes `Scan` or `IndexScan`, pushed conjuncts a `Filter`, each
+/// planned join the operator of its [`JoinStrategy`] followed by a
+/// `Filter` for its staged residual conjuncts, then `Canonicalize`
+/// (only when joins reordered), the aggregation or order/limit
+/// pipeline, and `Project` at the root. Lowering allocates nothing and
+/// touches no table data — all fetching happens inside
+/// [`Operator::open`], preserving the pre-refactor error order.
+pub fn lower<'a>(
+    db: &'a Database,
+    sel: &'a SelectStmt,
+    plan: &'a SelectPlan,
+    budget: &'a ExecBudget,
+) -> Result<Box<dyn Operator<'a> + 'a>> {
+    let base = db.table(&sel.table)?;
+    let mut exec_pos = vec![usize::MAX; plan.layout.tables];
+    exec_pos[0] = 0;
+    for (step, pj) in plan.join_order.iter().enumerate() {
+        exec_pos[pj.table_ord] = step + 1;
+    }
+    let cx = Rc::new(ExecCtx {
+        layout: &plan.layout,
+        exec_pos,
+        needs_canonical: plan.joins_reordered(),
+        budget,
+    });
+
+    let mut node: Box<dyn Operator<'a> + 'a> = match &plan.access {
+        AccessPath::FullScan => Box::new(Scan::new(Rc::clone(&cx), base, &sel.table)),
+        access => Box::new(IndexScan::new(
+            Rc::clone(&cx),
+            base,
+            &sel.table,
+            access,
+            plan.estimated_selectivity * base.len() as f64,
+        )),
+    };
+    if !plan.pushed.is_empty() {
+        node = Box::new(Filter::pushed(
+            Rc::clone(&cx),
+            node,
+            &plan.pushed,
+            plan.estimated_base_rows,
+        ));
+    }
+    for (step, pj) in plan.join_order.iter().enumerate() {
+        let right = db.table(&pj.table)?;
+        node = match pj.strategy {
+            JoinStrategy::IndexProbe => {
+                Box::new(IndexProbeJoin::new(Rc::clone(&cx), node, right, pj))
+            }
+            JoinStrategy::BuildHash => {
+                Box::new(BuildHashJoin::new(Rc::clone(&cx), node, right, pj))
+            }
+            JoinStrategy::MergeRange => {
+                Box::new(MergeRangeJoin::new(Rc::clone(&cx), node, right, pj))
+            }
+        };
+        if !plan.stages[step].is_empty() {
+            node = Box::new(Filter::staged(Rc::clone(&cx), node, &plan.stages[step]));
+        }
+    }
+    if cx.needs_canonical {
+        node = Box::new(Canonicalize::new(Rc::clone(&cx), node));
+    }
+    if sel.projection.has_aggregates() || !sel.group_by.is_empty() {
+        node = Box::new(Aggregate::new(Rc::clone(&cx), node, sel));
+        if sel.order_by.is_some() {
+            node = Box::new(Order::new(Rc::clone(&cx), node, sel));
+        }
+        if let Some(k) = sel.limit {
+            node = Box::new(Limit::new(Rc::clone(&cx), node, k));
+        }
+    } else {
+        match (&sel.order_by, sel.limit) {
+            (Some(_), Some(k)) => node = Box::new(TopK::new(Rc::clone(&cx), node, sel, k)),
+            (Some(_), None) => node = Box::new(Order::new(Rc::clone(&cx), node, sel)),
+            (None, Some(k)) => node = Box::new(Limit::new(Rc::clone(&cx), node, k)),
+            (None, None) => {}
+        }
+    }
+    Ok(Box::new(Project::new(cx, node, sel)))
+}
+
+/// Run a lowered tree to its result set.
+pub fn drive<'a>(root: &mut (dyn Operator<'a> + '_)) -> Result<ResultSet> {
+    match pull(root)? {
+        Batch::Rows { columns, rows } => Ok(ResultSet { columns, rows }),
+        Batch::Tuples { .. } => unreachable!("lower always roots the tree at Project"),
+    }
+}
+
+/// Render the operator tree for `EXPLAIN`: one line per node, indented
+/// two spaces per depth, annotated with the planner's estimate and —
+/// after execution, for `EXPLAIN ANALYZE` — the actual row count and
+/// the node's budget peak.
+pub fn render(root: &dyn Operator<'_>, analyze: bool) -> Vec<String> {
+    fn walk(node: &dyn Operator<'_>, depth: usize, analyze: bool, lines: &mut Vec<String>) {
+        let mut line = format!("{}{}", "  ".repeat(depth), node.describe());
+        let mut annot = Vec::new();
+        if let Some(est) = node.estimated_rows() {
+            annot.push(format!("est={est:.0} rows"));
+        }
+        if analyze {
+            if let Some(s) = node.stats() {
+                annot.push(format!("actual={} rows", s.rows));
+                annot.push(format!("peak={} B", s.peak));
+            }
+        }
+        if !annot.is_empty() {
+            line.push_str(&format!(" ({})", annot.join(", ")));
+        }
+        lines.push(line);
+        if let Some(child) = node.input() {
+            walk(child, depth + 1, analyze, lines);
+        }
+    }
+    let mut lines = Vec::new();
+    walk(root, 0, analyze, &mut lines);
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::error::TxdbError;
+    use crate::sql::ast::Statement;
+    use crate::sql::exec::{execute_script, execute_select_reference};
+    use crate::sql::parser::parse_statement;
+    use crate::sql::plan::{plan_select_with, PlanOptions};
+
+    /// Lower `sel` under `opts` and drive the tree against `budget` —
+    /// the operator-tree equivalent of the old monolithic
+    /// `execute_select_budgeted`, used to point fault injection at
+    /// `open` of every materializing operator.
+    fn run_tree(
+        db: &Database,
+        sel: &crate::sql::ast::SelectStmt,
+        opts: &PlanOptions,
+        budget: &ExecBudget,
+    ) -> Result<ResultSet> {
+        let plan = plan_select_with(db, sel, opts)?;
+        let mut root = lower(db, sel, &plan, budget)?;
+        drive(root.as_mut())
+    }
+
+    /// Two tables with an unindexed float join key plus range indexes —
+    /// the BuildHash / MergeRange fixture of the executor tests.
+    fn edge_db() -> Database {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE lt (l_id INT PRIMARY KEY, k FLOAT);
+             CREATE TABLE rt (r_id INT PRIMARY KEY, k FLOAT, tag TEXT);
+             INSERT INTO lt VALUES (1, 1.0), (2, 2.0), (3, 'NaN'), (4, NULL), (5, 2.0), (6, 9.0);
+             INSERT INTO rt VALUES (10, 1.0, 'a'), (11, 2.0, 'b'), (12, 2.0, 'c'),
+                                   (13, 'NaN', 'd'), (14, NULL, 'e'), (15, 7.0, 'f');",
+        )
+        .unwrap();
+        db.table_mut("lt").unwrap().create_range_index("k").unwrap();
+        db.table_mut("rt").unwrap().create_range_index("k").unwrap();
+        db
+    }
+
+    /// 10k-row skewed build side (one key holds ~half the rows) probed
+    /// from a small outer table — the partitioned-path fixture.
+    fn skewed_db() -> Database {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE probe (p_id INT PRIMARY KEY, k INT);
+             CREATE TABLE build (b_id INT PRIMARY KEY, k INT)",
+        )
+        .unwrap();
+        for i in 0..10_000i64 {
+            let k = if i % 2 == 0 { 42 } else { i };
+            db.insert("build", crate::row![i, k]).unwrap();
+        }
+        for i in 0..40i64 {
+            let k = match i % 4 {
+                0 => 42,
+                1 => 2 * i + 1,
+                2 => 2 * i,
+                _ => 9_999,
+            };
+            db.insert("probe", crate::row![i, k]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn forced_exhaustion_mid_tree_is_atomic() {
+        // Sweep the fault injector across every charge the operator
+        // tree performs — the build maps, pushdown probe sets, merge
+        // buffers, group maps and sort keys all charge inside `open` of
+        // their operator. Each run either completes with output
+        // identical to the reference or fails with ResourceExhausted —
+        // never partial output.
+        let db = edge_db();
+        for q in [
+            "SELECT lt.l_id, rt.tag FROM lt JOIN rt ON rt.k = lt.k",
+            "SELECT lt.l_id, rt.tag FROM lt JOIN rt ON rt.k = lt.k WHERE lt.l_id = 2",
+            "SELECT lt.k, COUNT(*) FROM lt JOIN rt ON rt.k = lt.k GROUP BY lt.k",
+            "SELECT lt.l_id FROM lt JOIN rt ON rt.k = lt.k ORDER BY rt.tag DESC",
+            "SELECT lt.l_id FROM lt JOIN rt ON rt.k = lt.k ORDER BY rt.tag LIMIT 2",
+        ] {
+            let Statement::Select(sel) = parse_statement(q).unwrap() else {
+                unreachable!()
+            };
+            let reference = execute_select_reference(&db, &sel).unwrap();
+            let mut failures = 0;
+            for n in 0..64 {
+                let budget = ExecBudget::failing_after(n);
+                match run_tree(&db, &sel, &PlanOptions::default(), &budget) {
+                    Ok(rs) => assert_eq!(rs, reference, "query: {q}, n = {n}"),
+                    Err(TxdbError::ResourceExhausted { .. }) => failures += 1,
+                    Err(e) => panic!("unexpected error for {q} at n = {n}: {e}"),
+                }
+            }
+            assert!(failures > 0, "sweep never tripped a charge: {q}");
+            let budget = ExecBudget::failing_after(usize::MAX);
+            assert_eq!(
+                run_tree(&db, &sel, &PlanOptions::default(), &budget).unwrap(),
+                reference,
+                "an injector that never fires must not change results: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_exhaustion_in_the_partitioned_operator_is_atomic() {
+        let db = skewed_db();
+        let q = "SELECT probe.p_id, build.b_id FROM probe JOIN build ON build.k = probe.k";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let opts = PlanOptions {
+            memory_budget: Some(256 * 1024),
+            ..PlanOptions::default()
+        };
+        let reference = execute_select_reference(&db, &sel).unwrap();
+        let mut failures = 0;
+        for n in 0..80 {
+            let budget = ExecBudget::failing_after(n);
+            match run_tree(&db, &sel, &opts, &budget) {
+                Ok(rs) => assert_eq!(rs, reference, "n = {n}"),
+                Err(TxdbError::ResourceExhausted { .. }) => failures += 1,
+                Err(e) => panic!("unexpected error at n = {n}: {e}"),
+            }
+        }
+        assert!(failures > 0, "partitioned sweep never tripped a charge");
+    }
+
+    #[test]
+    fn every_node_records_stats_after_a_driven_run() {
+        let db = edge_db();
+        let q = "SELECT lt.l_id, rt.tag FROM lt JOIN rt ON rt.k = lt.k ORDER BY rt.tag LIMIT 3";
+        let Statement::Select(sel) = parse_statement(q).unwrap() else {
+            unreachable!()
+        };
+        let opts = PlanOptions::default();
+        let plan = plan_select_with(&db, &sel, &opts).unwrap();
+        let budget = ExecBudget::unlimited();
+        let mut root = lower(&db, &sel, &plan, &budget).unwrap();
+        let rs = drive(root.as_mut()).unwrap();
+        let mut node: Option<&dyn Operator> = Some(root.as_ref());
+        let mut seen = 0;
+        while let Some(op) = node {
+            let stats = op
+                .stats()
+                .unwrap_or_else(|| panic!("node `{}` recorded no stats", op.describe()));
+            if seen == 0 {
+                assert_eq!(stats.rows, rs.rows.len(), "root actual rows match output");
+            }
+            seen += 1;
+            node = op.input();
+        }
+        assert!(seen >= 4, "tree unexpectedly shallow: {seen} nodes");
+        assert_eq!(budget.used(), 0, "all transient charges released");
+    }
+}

@@ -1,0 +1,309 @@
+//! `Order`, `TopK` and `Limit`: the sort/truncate tail of the tree.
+//!
+//! Over the borrowed tuple stream, `Order` full-sorts by key (charging
+//! one sort-key entry per tuple for its auxiliary arrays) and the fused
+//! `TopK` keeps a bounded binary heap of `k + 1` entries instead of
+//! sorting everything. Over aggregated output rows, `Order` sorts by
+//! output column without charging — the rows are already materialized
+//! and exempt. `Limit` truncates either stream shape.
+
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+use crate::error::{Result, TxdbError};
+use crate::index::OrdKey;
+use crate::row::Row;
+use crate::value::Value;
+
+use super::expr::{cell, is_qualified_suffix};
+use super::{Batch, ExecCtx, NodeStats, Operator};
+use crate::sql::ast::SelectStmt;
+use crate::sql::budget::SORT_KEY_BYTES;
+
+/// Heap entry for bounded top-k: orders by the sort key (reversed for
+/// DESC), ties broken by input sequence so results match a stable sort.
+struct TopKEntry<'a> {
+    key: &'a Value,
+    seq: usize,
+    desc: bool,
+}
+
+impl TopKEntry<'_> {
+    fn order(&self, other: &Self) -> Ordering {
+        let keys = OrdKey::cmp_values(self.key, other.key);
+        let keys = if self.desc { keys.reverse() } else { keys };
+        keys.then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialEq for TopKEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == Ordering::Equal
+    }
+}
+impl Eq for TopKEntry<'_> {}
+impl PartialOrd for TopKEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TopKEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order(other)
+    }
+}
+
+/// Indices of the top-`k` tuples under the sort order, themselves sorted —
+/// identical to a stable sort followed by `truncate(k)`, in O(n log k).
+fn top_k_indices<'a>(keys: impl Iterator<Item = &'a Value>, k: usize, desc: bool) -> Vec<usize> {
+    use std::collections::BinaryHeap;
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<TopKEntry<'a>> = BinaryHeap::with_capacity(k + 1);
+    for (seq, key) in keys.enumerate() {
+        heap.push(TopKEntry { key, seq, desc });
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    heap.into_sorted_vec().into_iter().map(|e| e.seq).collect()
+}
+
+/// `ORDER BY` over aggregation output columns (group keys or aggregate
+/// names), shared by both executors.
+pub(crate) fn sort_aggregated_output(
+    sel: &SelectStmt,
+    columns: &[String],
+    out_rows: &mut [Vec<Value>],
+) -> Result<()> {
+    let Some((col, desc)) = &sel.order_by else {
+        return Ok(());
+    };
+    let target = col.to_string();
+    let idx = columns
+        .iter()
+        .position(|c| c == &target || is_qualified_suffix(c, &target))
+        .ok_or_else(|| {
+            TxdbError::Parse(format!(
+                "ORDER BY `{target}` must reference an output column of the aggregation"
+            ))
+        })?;
+    out_rows.sort_by(|a, b| {
+        let ord = OrdKey::cmp_values(&a[idx], &b[idx]);
+        if *desc {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    Ok(())
+}
+
+/// Select the tuples at `selected` indices out of the flat stream.
+fn permute<'a>(tuples: &[&'a Row], stride: usize, selected: &[usize]) -> Vec<&'a Row> {
+    let mut out = Vec::with_capacity(selected.len() * stride);
+    for &i in selected {
+        out.extend_from_slice(&tuples[i * stride..(i + 1) * stride]);
+    }
+    out
+}
+
+/// Full sort by the `ORDER BY` key (tuple stream), or by output column
+/// (aggregated rows).
+pub(super) struct Order<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    child: Box<dyn Operator<'a> + 'a>,
+    sel: &'a SelectStmt,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> Order<'a> {
+    pub(super) fn new(
+        cx: Rc<ExecCtx<'a>>,
+        child: Box<dyn Operator<'a> + 'a>,
+        sel: &'a SelectStmt,
+    ) -> Order<'a> {
+        Order {
+            cx,
+            child,
+            sel,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn apply(&mut self, input: Batch<'a>) -> Result<Batch<'a>> {
+        let (col, desc) = self.sel.order_by.as_ref().expect("lowered with ORDER BY");
+        match input {
+            Batch::Tuples { tuples, stride, .. } => {
+                let layout = self.cx.layout;
+                let count = tuples.len() / stride;
+                // The sort's auxiliary arrays (key pointers + permutation)
+                // charge the budget for their lifetime — before column
+                // resolution, matching the pre-refactor charge order.
+                let sort_charge = count * SORT_KEY_BYTES;
+                self.cx.budget.charge(sort_charge)?;
+                let idx = layout.resolve(col)?;
+                let keys: Vec<&Value> = (0..count)
+                    .map(|i| cell(layout, &tuples[i * stride..(i + 1) * stride], idx))
+                    .collect();
+                let mut order: Vec<usize> = (0..count).collect();
+                order.sort_by(|&a, &b| {
+                    let ord = OrdKey::cmp_values(keys[a], keys[b]);
+                    if *desc {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+                let out = permute(&tuples, stride, &order);
+                self.cx.budget.release(sort_charge);
+                Ok(Batch::Tuples {
+                    tuples: out,
+                    rids: Vec::new(),
+                    stride,
+                })
+            }
+            Batch::Rows { columns, mut rows } => {
+                sort_aggregated_output(self.sel, &columns, &mut rows)?;
+                Ok(Batch::Rows { columns, rows })
+            }
+        }
+    }
+
+    fn describe_node(&self) -> String {
+        let (col, desc) = self.sel.order_by.as_ref().expect("lowered with ORDER BY");
+        format!("Order [{col}{}]", if *desc { " desc" } else { "" })
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        // A pure reordering: the child's cardinality estimate carries.
+        self.child.estimated_rows()
+    }
+}
+
+operator_impl!(Order);
+
+/// Fused `ORDER BY ... LIMIT k` over the tuple stream: a bounded heap
+/// never sorts more than `k` entries.
+pub(super) struct TopK<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    child: Box<dyn Operator<'a> + 'a>,
+    sel: &'a SelectStmt,
+    k: usize,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> TopK<'a> {
+    pub(super) fn new(
+        cx: Rc<ExecCtx<'a>>,
+        child: Box<dyn Operator<'a> + 'a>,
+        sel: &'a SelectStmt,
+        k: usize,
+    ) -> TopK<'a> {
+        TopK {
+            cx,
+            child,
+            sel,
+            k,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn apply(&mut self, input: Batch<'a>) -> Result<Batch<'a>> {
+        let Batch::Tuples { tuples, stride, .. } = input else {
+            unreachable!("TopK is only lowered over the tuple stream")
+        };
+        let (col, desc) = self.sel.order_by.as_ref().expect("lowered with ORDER BY");
+        let layout = self.cx.layout;
+        let count = tuples.len() / stride;
+        let sort_charge = self.k.saturating_add(1) * SORT_KEY_BYTES;
+        self.cx.budget.charge(sort_charge)?;
+        let idx = layout.resolve(col)?;
+        let keys = (0..count).map(|i| cell(layout, &tuples[i * stride..(i + 1) * stride], idx));
+        let selected = top_k_indices(keys, self.k, *desc);
+        let out = permute(&tuples, stride, &selected);
+        self.cx.budget.release(sort_charge);
+        Ok(Batch::Tuples {
+            tuples: out,
+            rids: Vec::new(),
+            stride,
+        })
+    }
+
+    fn describe_node(&self) -> String {
+        let (col, desc) = self.sel.order_by.as_ref().expect("lowered with ORDER BY");
+        format!(
+            "TopK [{col}{}, k={}]",
+            if *desc { " desc" } else { "" },
+            self.k
+        )
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        let k = self.k as f64;
+        Some(self.child.estimated_rows().map_or(k, |c| c.min(k)))
+    }
+}
+
+operator_impl!(TopK);
+
+/// Plain `LIMIT k`: keep the first `k` rows of either stream shape.
+pub(super) struct Limit<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    child: Box<dyn Operator<'a> + 'a>,
+    k: usize,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> Limit<'a> {
+    pub(super) fn new(
+        cx: Rc<ExecCtx<'a>>,
+        child: Box<dyn Operator<'a> + 'a>,
+        k: usize,
+    ) -> Limit<'a> {
+        Limit {
+            cx,
+            child,
+            k,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn apply(&mut self, input: Batch<'a>) -> Result<Batch<'a>> {
+        Ok(match input {
+            Batch::Tuples {
+                mut tuples, stride, ..
+            } => {
+                let count = tuples.len() / stride;
+                tuples.truncate(count.min(self.k) * stride);
+                Batch::Tuples {
+                    tuples,
+                    rids: Vec::new(),
+                    stride,
+                }
+            }
+            Batch::Rows { columns, mut rows } => {
+                rows.truncate(self.k);
+                Batch::Rows { columns, rows }
+            }
+        })
+    }
+
+    fn describe_node(&self) -> String {
+        format!("Limit [{}]", self.k)
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        let k = self.k as f64;
+        Some(self.child.estimated_rows().map_or(k, |c| c.min(k)))
+    }
+}
+
+operator_impl!(Limit);

@@ -1,0 +1,100 @@
+//! `Project`: the root of every lowered tree — resolve the projection
+//! to layout positions and clone the selected cells into output rows.
+//! This is the only place (outside aggregation) where whole values are
+//! cloned; aggregated streams arrive already materialized and pass
+//! through unchanged.
+
+use std::rc::Rc;
+
+use crate::error::Result;
+use crate::value::Value;
+
+use super::expr::{cell, slot_name};
+use super::{Batch, ExecCtx, NodeStats, Operator};
+use crate::sql::ast::{Projection, SelectItem, SelectStmt};
+
+pub(super) struct Project<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    child: Box<dyn Operator<'a> + 'a>,
+    sel: &'a SelectStmt,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> Project<'a> {
+    pub(super) fn new(
+        cx: Rc<ExecCtx<'a>>,
+        child: Box<dyn Operator<'a> + 'a>,
+        sel: &'a SelectStmt,
+    ) -> Project<'a> {
+        Project {
+            cx,
+            child,
+            sel,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn apply(&mut self, input: Batch<'a>) -> Result<Batch<'a>> {
+        let (tuples, stride) = match input {
+            Batch::Tuples { tuples, stride, .. } => (tuples, stride),
+            // Aggregation already materialized and named its output.
+            rows @ Batch::Rows { .. } => return Ok(rows),
+        };
+        let layout = self.cx.layout;
+        let qualified = !self.sel.joins.is_empty();
+        let out_positions: Vec<usize> = match &self.sel.projection {
+            Projection::Star => (0..layout.slots.len()).collect(),
+            Projection::Items(items) => items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Column(c) => layout.resolve(c),
+                    SelectItem::Aggregate { .. } => {
+                        unreachable!("aggregates lower through Aggregate")
+                    }
+                })
+                .collect::<Result<_>>()?,
+        };
+        let columns: Vec<String> = out_positions
+            .iter()
+            .map(|&p| slot_name(layout, qualified, p))
+            .collect();
+        let count = tuples.len() / stride;
+        let rows: Vec<Vec<Value>> = (0..count)
+            .map(|i| {
+                let t = &tuples[i * stride..(i + 1) * stride];
+                out_positions
+                    .iter()
+                    .map(|&p| cell(layout, t, p).clone())
+                    .collect()
+            })
+            .collect();
+        Ok(Batch::Rows { columns, rows })
+    }
+
+    fn describe_node(&self) -> String {
+        let items = match &self.sel.projection {
+            Projection::Star => "*".to_string(),
+            Projection::Items(items) => items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Column(c) => c.to_string(),
+                    SelectItem::Aggregate { func, arg } => match arg {
+                        Some(c) => format!("{}({})", func.keyword(), c),
+                        None => format!("{}(*)", func.keyword()),
+                    },
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        };
+        format!("Project [{items}]")
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        // Projection never changes cardinality.
+        self.child.estimated_rows()
+    }
+}
+
+operator_impl!(Project);

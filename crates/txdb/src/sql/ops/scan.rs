@@ -1,0 +1,126 @@
+//! Leaf operators: `Scan` (sequential) and `IndexScan` (planned access
+//! path). Both emit stride-1 tuples in ascending-RowId order — the base
+//! of the canonical order every downstream operator preserves — and
+//! track RowIds only when a reordered join will need them.
+
+use std::rc::Rc;
+
+use crate::error::Result;
+use crate::row::RowId;
+use crate::table::Table;
+
+use super::{Batch, ExecCtx, NodeStats, Operator};
+use crate::sql::plan::AccessPath;
+
+/// Sequential scan of the base table.
+pub(super) struct Scan<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    table: &'a Table,
+    name: &'a str,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> Scan<'a> {
+    pub(super) fn new(cx: Rc<ExecCtx<'a>>, table: &'a Table, name: &'a str) -> Scan<'a> {
+        Scan {
+            cx,
+            table,
+            name,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn produce(&mut self) -> Result<Batch<'a>> {
+        let mut tuples = Vec::with_capacity(self.table.len());
+        let mut rids: Vec<RowId> = Vec::new();
+        for (rid, row) in self.table.scan() {
+            tuples.push(row);
+            if self.cx.needs_canonical {
+                rids.push(rid);
+            }
+        }
+        Ok(Batch::Tuples {
+            tuples,
+            rids,
+            stride: 1,
+        })
+    }
+
+    fn describe_node(&self) -> String {
+        format!("Scan [{}]", self.name)
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        Some(self.table.len() as f64)
+    }
+}
+
+operator_impl!(Scan, leaf);
+
+/// Base access through the plan's index probes: RowId sets are fetched
+/// and intersected (smallest first), sorted ascending so the stream
+/// order matches a sequential scan exactly.
+pub(super) struct IndexScan<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    table: &'a Table,
+    name: &'a str,
+    access: &'a AccessPath,
+    est: f64,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> IndexScan<'a> {
+    pub(super) fn new(
+        cx: Rc<ExecCtx<'a>>,
+        table: &'a Table,
+        name: &'a str,
+        access: &'a AccessPath,
+        est: f64,
+    ) -> IndexScan<'a> {
+        IndexScan {
+            cx,
+            table,
+            name,
+            access,
+            est,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn produce(&mut self) -> Result<Batch<'a>> {
+        let stream: Vec<(RowId, &crate::row::Row)> = match self.access.fetch_row_ids(self.table)? {
+            None => self.table.scan().collect(),
+            Some(fetched) => fetched
+                .into_iter()
+                .map(|rid| (rid, self.table.get(rid).expect("index holds live ids")))
+                .collect(),
+        };
+        let mut tuples = Vec::with_capacity(stream.len());
+        let mut rids: Vec<RowId> = Vec::new();
+        for (rid, row) in stream {
+            tuples.push(row);
+            if self.cx.needs_canonical {
+                rids.push(rid);
+            }
+        }
+        Ok(Batch::Tuples {
+            tuples,
+            rids,
+            stride: 1,
+        })
+    }
+
+    fn describe_node(&self) -> String {
+        format!("IndexScan [{} via {}]", self.name, self.access.describe())
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        Some(self.est)
+    }
+}
+
+operator_impl!(IndexScan, leaf);

@@ -108,6 +108,16 @@ impl Parser {
             self.insert()
         } else if first.is_kw("select") {
             self.select().map(Statement::Select)
+        } else if first.is_kw("explain") {
+            self.expect_kw("explain")?;
+            let analyze = self.eat_kw("analyze");
+            if !self.peek().is_some_and(|t| t.is_kw("select")) {
+                return Err(TxdbError::Parse(
+                    "EXPLAIN only applies to SELECT statements".into(),
+                ));
+            }
+            let select = self.select()?;
+            Ok(Statement::Explain { analyze, select })
         } else if first.is_kw("update") {
             self.update()
         } else if first.is_kw("delete") {

@@ -700,6 +700,13 @@ pub struct PlannedJoin {
     /// majority of probes never waits on partition scheduling. Empty
     /// unless `partitions > 1`.
     pub hot_keys: Vec<Value>,
+    /// The planner's estimated stream cardinality *after* this join
+    /// executes — the running outer estimate of the strategy-assignment
+    /// pass (`assign_join_strategies`) advanced past this step. `EXPLAIN`
+    /// prints it per operator node so estimator drift is visible
+    /// mid-plan, not only at the final result. `None` when the planner
+    /// generation in use never priced the join (strategies disabled).
+    pub estimated_rows: Option<f64>,
 }
 
 /// The plan for one `SELECT`: access path, join order, staged filters.
@@ -1430,6 +1437,7 @@ fn resolve_joins(db: &Database, layout: &Layout, sel: &SelectStmt) -> Result<Vec
             build_access: AccessPath::FullScan,
             partitions: 1,
             hot_keys: Vec::new(),
+            estimated_rows: None,
         });
     }
     Ok(out)
@@ -1675,6 +1683,7 @@ fn assign_join_strategies(
             }
         }
         outer_est *= (eff_rows / distinct.max(1.0)).max(1.0);
+        pj.estimated_rows = Some(outer_est);
     }
     Ok(consumed)
 }

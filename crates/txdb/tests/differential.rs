@@ -616,12 +616,57 @@ fn random_select(rng: &mut StdRng) -> String {
     sql
 }
 
-/// Run `sql` through the reference executor, the full planner, the PR 4
-/// independence-estimator shape, the PR 3 no-build-pushdown shape, the
-/// PR 1 planner shape and the PR 6 tight-budget shape (degraded,
-/// partition-where-needed execution); all six must agree (results and
-/// error-ness) — estimator changes and memory degradation may flip
-/// plans, never results.
+/// The planner shapes the suite compares against the reference
+/// executor, by matrix name: the full planner plus every frozen
+/// generation. `TXDB_DIFF_SHAPE` (the CI matrix variable) restricts one
+/// run to a single named shape.
+const SHAPES: &[&str] = &[
+    "default",
+    "single_access_path",
+    "per_key_joins",
+    "no_build_pushdown",
+    "independence_only",
+    "tight_budget",
+];
+
+fn shape_options(name: &str) -> PlanOptions {
+    match name {
+        "default" => PlanOptions::default(),
+        "single_access_path" => PlanOptions::single_access_path(),
+        "per_key_joins" => PlanOptions::per_key_joins(),
+        "no_build_pushdown" => PlanOptions::no_build_pushdown(),
+        "independence_only" => PlanOptions::independence_only(),
+        "tight_budget" => PlanOptions::tight_budget(),
+        other => panic!("TXDB_DIFF_SHAPE={other} names no planner shape (one of {SHAPES:?})"),
+    }
+}
+
+/// The shapes this run compares: all of them, or just the one named by
+/// `TXDB_DIFF_SHAPE` (validated eagerly so a typo fails loudly instead
+/// of silently comparing nothing).
+fn shapes_under_test() -> Vec<&'static str> {
+    match std::env::var("TXDB_DIFF_SHAPE") {
+        Ok(name) => {
+            let name = SHAPES
+                .iter()
+                .copied()
+                .find(|s| *s == name)
+                .unwrap_or_else(|| {
+                    panic!("TXDB_DIFF_SHAPE={name} names no planner shape (one of {SHAPES:?})")
+                });
+            vec![name]
+        }
+        Err(_) => SHAPES.to_vec(),
+    }
+}
+
+/// Run `sql` through the reference executor and every planner shape
+/// under test — the full planner, the PR 1 single-access-path shape,
+/// the PR 2 per-key-join shape, the PR 3 no-build-pushdown shape, the
+/// PR 4 independence-estimator shape and the PR 6 tight-budget shape
+/// (degraded, partition-where-needed execution); all must agree
+/// (results and error-ness) — estimator changes and memory degradation
+/// may flip plans, never results.
 fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
     let stmt = parse_statement(sql)
         .unwrap_or_else(|e| panic!("generator produced unparsable SQL `{sql}`: {e}"));
@@ -629,33 +674,42 @@ fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
         unreachable!()
     };
     let reference = execute_select_reference(db, &sel);
-    let single = execute_select_with(db, &sel, &PlanOptions::single_access_path());
-    let no_pd = execute_select_with(db, &sel, &PlanOptions::no_build_pushdown());
-    let indep = execute_select_with(db, &sel, &PlanOptions::independence_only());
-    let tight = execute_select_with(db, &sel, &PlanOptions::tight_budget());
-    let planned = execute(db, sql).map(|r| r.rows().unwrap().clone());
-    match (planned, indep, no_pd, single, tight, reference) {
-        (Ok(p), Ok(i), Ok(n), Ok(s), Ok(t), Ok(r)) => {
-            assert_eq!(p, r, "{context}, query `{sql}` (full planner)");
-            assert_eq!(i, r, "{context}, query `{sql}` (independence-only planner)");
-            assert_eq!(n, r, "{context}, query `{sql}` (no-build-pushdown planner)");
-            assert_eq!(s, r, "{context}, query `{sql}` (single-access-path planner)");
-            assert_eq!(t, r, "{context}, query `{sql}` (tight-budget planner)");
+    let outcomes: Vec<(&str, Result<cat_txdb::sql::ResultSet, cat_txdb::TxdbError>)> =
+        shapes_under_test()
+            .into_iter()
+            .map(|name| {
+                let result = if name == "default" {
+                    // The default shape goes through `execute` so the
+                    // statement-dispatch layer is exercised too.
+                    execute(db, sql).map(|r| r.rows().unwrap().clone())
+                } else {
+                    execute_select_with(db, &sel, &shape_options(name))
+                };
+                (name, result)
+            })
+            .collect();
+    match &reference {
+        Ok(r) => {
+            for (name, result) in &outcomes {
+                match result {
+                    Ok(rs) => assert_eq!(rs, r, "{context}, query `{sql}` ({name} shape)"),
+                    Err(e) => panic!(
+                        "{context}, query `{sql}`: {name} shape errored ({e}) where the reference succeeded"
+                    ),
+                }
+            }
             true
         }
-        (Err(_), Err(_), Err(_), Err(_), Err(_), Err(_)) => {
-            // All paths reject (e.g. aggregate over text): fine.
+        Err(_) => {
+            // All paths must reject too (e.g. aggregate over text).
+            for (name, result) in &outcomes {
+                assert!(
+                    result.is_err(),
+                    "{context}, query `{sql}`: {name} shape succeeded where the reference errored"
+                );
+            }
             false
         }
-        (p, i, n, s, t, r) => panic!(
-            "{context}, query `{sql}`: paths disagree on error — planned {:?}, independence {:?}, no-pushdown {:?}, single {:?}, tight-budget {:?}, reference {:?}",
-            p.map(|_| "ok").map_err(|e| e.to_string()),
-            i.map(|_| "ok").map_err(|e| e.to_string()),
-            n.map(|_| "ok").map_err(|e| e.to_string()),
-            s.map(|_| "ok").map_err(|e| e.to_string()),
-            t.map(|_| "ok").map_err(|e| e.to_string()),
-            r.map(|_| "ok").map_err(|e| e.to_string()),
-        ),
     }
 }
 

@@ -43,7 +43,7 @@ fn main() {
         let (_, m) = db.table("movie").unwrap().get_by_pk(&[movie_id]).unwrap();
         (name, city, m.get(1).unwrap().render())
     };
-    let mut typo_title = title.clone();
+    let mut typo_title = title;
     typo_title.remove(1); // misspell it — the agent should correct.
 
     println!("== Dialogue (paper Figure 1) ==");

@@ -1,7 +1,9 @@
 //! Interactive SQL shell over the generated cinema database — the
 //! substrate on its own. Supports the SQL subset of `cat-txdb`:
 //! CREATE TABLE / INSERT / SELECT (joins, WHERE, GROUP BY + aggregates,
-//! ORDER BY, LIMIT) / UPDATE / DELETE.
+//! ORDER BY, LIMIT) / UPDATE / DELETE, plus `EXPLAIN [ANALYZE] SELECT`
+//! to print the lowered operator tree (with `ANALYZE`: executed, with
+//! actual row counts and budget peaks per operator).
 //!
 //! Run with: `cargo run -p cat-examples --bin sql_shell`
 
@@ -18,6 +20,7 @@ fn main() {
         db.table_names().join(", ")
     );
     println!("example: SELECT genre, count(*) FROM movie GROUP BY genre ORDER BY genre;");
+    println!("         EXPLAIN ANALYZE SELECT title FROM movie WHERE genre = 'Drama';");
     println!("---- type `quit` to exit ----");
     let stdin = io::stdin();
     loop {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI bench harness: run the planner bench suite and apply the 25%
+# regression gates against the committed baselines.
+#
+# Usage: scripts/bench_ci.sh <prev_pr> <cur_pr>
+#   e.g. scripts/bench_ci.sh 6 7
+#
+# The bench run rewrites BENCH_PR<cur_pr>.json in place, so the committed
+# copy (the authoritative baseline) is stashed first and both gates run
+# against the fresh numbers:
+#   1. continuity: the previous PR's committed baseline vs the fresh run
+#      — every gated group must survive the current changes within the
+#      gate;
+#   2. self: the stashed committed baseline vs the fresh run — the
+#      committed numbers must be reproducible on the CI machine.
+
+set -euo pipefail
+
+prev_pr=${1:?usage: bench_ci.sh <prev_pr> <cur_pr>}
+cur_pr=${2:?usage: bench_ci.sh <prev_pr> <cur_pr>}
+prev="BENCH_PR${prev_pr}.json"
+cur="BENCH_PR${cur_pr}.json"
+stash=$(mktemp -t bench_baseline_XXXXXX.json)
+
+# The gated shared groups — --require keeps renamed or added benchmarks
+# from silently dropping out of the gated set.
+require=(
+  --require correlated_and_10k
+  --require join_pushdown_10k
+  --require join_unindexed_hash_10k
+  --require join_merge_range_10k
+  --require planner_join3_award_5k
+  --require join_skew_hotkey_10k
+  --require join_partitioned_budget_10k
+)
+
+cp "$cur" "$stash"
+cargo bench -p cat-bench --bench planner
+
+rustc --edition 2021 -O scripts/bench_compare.rs -o /tmp/bench_compare
+/tmp/bench_compare "${require[@]}" "$prev" "$cur"
+/tmp/bench_compare "${require[@]}" "$stash" "$cur"
