@@ -30,7 +30,7 @@
 //! (partitioned) execution against the unbudgeted in-place build — a
 //! bounded-regression pair rather than a speedup: the partitioned path
 //! pays one extra pass to keep its peak under the budget. Medians and
-//! speedups land in `BENCH_PR7.json`
+//! speedups land in `BENCH_PR8.json`
 //! at the workspace root; CI diffs the shared group names against the
 //! committed baselines (`scripts/bench_compare.rs`) and fails on >25%
 //! regressions of the machine-normalized medians.
@@ -44,8 +44,8 @@ use criterion::{Criterion, Measurement};
 use cat_corpus::{generate_cinema, CinemaConfig};
 use cat_policy::{Attribute, CandidateSet};
 use cat_txdb::sql::{
-    execute, execute_select_reference, execute_select_with, parse_statement, plan_select,
-    JoinStrategy, PlanOptions, Statement,
+    execute, execute_select_at, execute_select_reference, execute_select_with, parse_statement,
+    plan_select, JoinStrategy, PlanOptions, Statement,
 };
 use cat_txdb::{row, DataType, Database, TableSchema, Value};
 
@@ -789,7 +789,86 @@ fn bench_refine(c: &mut Criterion) {
     }
 }
 
-/// Write `BENCH_PR7.json`: one record per benchmark group with the
+/// The PR 8 group: the cost of reading through an MVCC snapshot.
+/// *Before* is the pre-MVCC direct path — a clean table with no version
+/// state, where the executor's byte-identical fast path skips
+/// visibility entirely. *After* runs the same full scan and index probe
+/// through an explicit snapshot while a concurrent writer holds
+/// uncommitted versions over 1% of the rows, so every row access
+/// resolves visibility (and index fetches re-verify against the visible
+/// version). The visibility tax must stay within the CI 25% gate.
+fn bench_mvcc_visibility(c: &mut Criterion) {
+    let mut db = listings(10_000);
+    // `bucket >= 0` is not sargable here (the range index is on
+    // `price`), so the first query is a genuine full scan; the second
+    // probes the `bucket` hash index.
+    let scan_sql = "SELECT count(*) FROM listing WHERE bucket >= 0";
+    let probe_sql = "SELECT price FROM listing WHERE bucket = 500";
+    let Statement::Select(scan_sel) = parse_statement(scan_sql).expect("parse") else {
+        panic!("not a select")
+    };
+    let Statement::Select(probe_sel) = parse_statement(probe_sql).expect("parse") else {
+        panic!("not a select")
+    };
+    let opts = PlanOptions::default();
+    let scan_clean = execute_select_with(&db, &scan_sel, &opts).expect("scan");
+    let probe_clean = execute_select_with(&db, &probe_sel, &opts).expect("probe");
+
+    let mut g = c.benchmark_group("mvcc_visibility_scan_10k");
+    g.sample_size(40);
+    g.bench_function("before_direct", |b| {
+        b.iter(|| {
+            let s = execute_select_with(&db, &scan_sel, &opts).expect("scan");
+            let p = execute_select_with(&db, &probe_sel, &opts).expect("probe");
+            (s, p)
+        })
+    });
+    g.finish();
+
+    // Dirty the table: a writer updates every 100th row and stays open
+    // across the measurement, so the snapshot path has real version
+    // chains to resolve (including rows the probe below touches).
+    let rids: Vec<_> = (0..10_000i64)
+        .step_by(100)
+        .map(|i| {
+            db.table("listing")
+                .unwrap()
+                .get_by_pk(&[Value::Int(i)])
+                .expect("pk row")
+                .0
+        })
+        .collect();
+    let writer = db.txn_begin();
+    for rid in rids {
+        db.txn_update(writer, "listing", rid, "price", Value::Float(-1.0))
+            .expect("txn update");
+    }
+    let snap = db.snapshot();
+    // Sanity: the writer's versions are invisible — the snapshot reads
+    // are byte-identical to the clean-table runs above.
+    assert_eq!(
+        execute_select_at(&db, &scan_sel, &opts, Some(&snap)).expect("scan"),
+        scan_clean
+    );
+    assert_eq!(
+        execute_select_at(&db, &probe_sel, &opts, Some(&snap)).expect("probe"),
+        probe_clean
+    );
+
+    let mut g = c.benchmark_group("mvcc_visibility_scan_10k");
+    g.sample_size(40);
+    g.bench_function("after_snapshot", |b| {
+        b.iter(|| {
+            let s = execute_select_at(&db, &scan_sel, &opts, Some(&snap)).expect("scan");
+            let p = execute_select_at(&db, &probe_sel, &opts, Some(&snap)).expect("probe");
+            (s, p)
+        })
+    });
+    g.finish();
+    db.txn_rollback(writer).expect("rollback");
+}
+
+/// Write `BENCH_PR8.json`: one record per benchmark group with the
 /// before/after medians (ns) and the speedup factor. Groups shared with
 /// the committed baselines feed the CI regression gate.
 fn write_report(measurements: &[Measurement]) {
@@ -812,11 +891,11 @@ fn write_report(measurements: &[Measurement]) {
             pairs.push((group.to_string(), before, after));
         }
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
-    let mut f = std::fs::File::create(path).expect("create BENCH_PR7.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_PR8.json");
     writeln!(
         f,
-        "{{\n  \"pr\": 7,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
+        "{{\n  \"pr\": 8,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
     )
     .unwrap();
     for (i, (group, before, after)) in pairs.iter().enumerate() {
@@ -852,6 +931,7 @@ fn main() {
     bench_join_pushdown(&mut c);
     bench_join_skew_hotkey(&mut c);
     bench_join_partitioned_budget(&mut c);
+    bench_mvcc_visibility(&mut c);
     bench_refine(&mut c);
     write_report(c.measurements());
 }

@@ -11,7 +11,7 @@ use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
 use crate::stats::TableStats;
 use crate::table::Table;
-use crate::txn::{Transaction, UndoOp};
+use crate::txn::{Snapshot, Transaction, TxnManager, WriteOp};
 use crate::value::Value;
 
 /// Number of mutations (version bumps) cached statistics may lag behind
@@ -27,8 +27,10 @@ pub const STATS_ROW_DRIFT: f64 = 0.1;
 const STATS_ROW_DRIFT_FLOOR: f64 = 8.0;
 
 /// Whether cached statistics are still usable under the staleness bound.
+/// The lag is measured against the *committed* mutation counter so a
+/// rolled-back transaction's writes don't burn the recompute budget.
 fn stats_usable(s: &TableStats, t: &Table) -> bool {
-    let lag = t.version().saturating_sub(s.version);
+    let lag = t.committed_version().saturating_sub(s.version);
     if lag == 0 {
         return true;
     }
@@ -40,11 +42,14 @@ fn stats_usable(s: &TableStats, t: &Table) -> bool {
 }
 
 /// An in-memory relational database with foreign keys, stored procedures
-/// and undo-log transactions.
+/// and MVCC snapshot-isolated transactions.
 #[derive(Debug, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     procedures: BTreeMap<String, Procedure>,
+    /// Transaction-id allocator and active-set registry backing MVCC
+    /// visibility.
+    txns: TxnManager,
     /// Lazily computed per-table statistics, invalidated via the table
     /// version counter. Interior mutability keeps the read-side query
     /// planner working on `&Database`.
@@ -56,6 +61,7 @@ impl Clone for Database {
         Database {
             tables: self.tables.clone(),
             procedures: self.procedures.clone(),
+            txns: self.txns.clone(),
             // Statistics are cheap to recompute lazily; start cold.
             stats_cache: Mutex::new(HashMap::new()),
         }
@@ -218,21 +224,67 @@ impl Database {
     // ----- typed data operations (FK-enforcing) -----
 
     /// Insert a row, enforcing foreign keys. Returns the new row id.
+    ///
+    /// Auto-commit: with no transaction in flight the row is written
+    /// directly as pristine (stamp-free) state; otherwise the write runs
+    /// as a single-op transaction so concurrent snapshots never see it
+    /// early.
     pub fn insert(&mut self, table: &str, row: Row) -> Result<RowId> {
-        let (rid, _undo) = self.insert_op(table, row)?;
-        Ok(rid)
+        if self.txns.active_count() == 0 {
+            self.check_fk_parents(table, &row, None)?;
+            return self.table_mut(table)?.insert(row);
+        }
+        let txn = self.txn_begin();
+        match self.txn_insert(txn, table, row) {
+            Ok(rid) => {
+                self.txn_commit(txn)?;
+                Ok(rid)
+            }
+            Err(e) => {
+                let _ = self.txn_rollback(txn);
+                Err(e)
+            }
+        }
     }
 
     /// Delete a row, enforcing referential integrity (RESTRICT).
+    /// Auto-commits like [`Database::insert`].
     pub fn delete(&mut self, table: &str, rid: RowId) -> Result<Row> {
-        let (row, _undo) = self.delete_op(table, rid)?;
-        Ok(row)
+        if self.txns.active_count() == 0 {
+            self.check_fk_children(table, rid, None)?;
+            return self.table_mut(table)?.delete(rid);
+        }
+        let txn = self.txn_begin();
+        match self.txn_delete(txn, table, rid) {
+            Ok(row) => {
+                self.txn_commit(txn)?;
+                Ok(row)
+            }
+            Err(e) => {
+                let _ = self.txn_rollback(txn);
+                Err(e)
+            }
+        }
     }
 
     /// Update one column of a row, enforcing foreign keys.
+    /// Auto-commits like [`Database::insert`].
     pub fn update(&mut self, table: &str, rid: RowId, column: &str, value: Value) -> Result<Value> {
-        let (old, _undo) = self.update_op(table, rid, column, value)?;
-        Ok(old)
+        if self.txns.active_count() == 0 {
+            self.check_fk_update(table, rid, column, &value, None)?;
+            return self.table_mut(table)?.update(rid, column, value);
+        }
+        let txn = self.txn_begin();
+        match self.txn_update(txn, table, rid, column, value) {
+            Ok(old) => {
+                self.txn_commit(txn)?;
+                Ok(old)
+            }
+            Err(e) => {
+                let _ = self.txn_rollback(txn);
+                Err(e)
+            }
+        }
     }
 
     /// Rows matching a predicate (cloned out of storage). Access-path
@@ -245,6 +297,17 @@ impl Database {
     /// paid when a range conjunct could actually use it.
     pub fn select(&self, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
         let t = self.table(table)?;
+        if !t.mvcc_clean() {
+            // Uncommitted or superseded versions are present: read
+            // through a latest-committed snapshot (full visible scan —
+            // index buckets are version supersets on a dirty table).
+            let snap = self.txns.latest_snapshot();
+            return Ok(t
+                .select_snapshot(pred, &snap)?
+                .into_iter()
+                .map(|(rid, row)| (rid, row.clone()))
+                .collect());
+        }
         let needs_stats = !t.is_empty()
             && pred
                 .sargable_leaves()
@@ -277,49 +340,231 @@ impl Database {
         Ok(outcome)
     }
 
-    // ----- internal ops returning undo records (used by Transaction) -----
+    // ----- MVCC transaction API (id-based) -----
+    //
+    // `Transaction` is a convenience wrapper over these; SQL sessions
+    // use the ids directly so a transaction can stay open across
+    // statements without holding a borrow on the database.
 
-    pub(crate) fn insert_op(&mut self, table: &str, row: Row) -> Result<(RowId, UndoOp)> {
-        self.check_fk_parents(table, &row)?;
-        let t = self.table_mut(table)?;
-        let rid = t.insert(row)?;
-        Ok((
-            rid,
-            UndoOp::Insert {
+    /// Start a transaction, returning its id. The transaction's snapshot
+    /// is cut now; it must be finished with [`Database::txn_commit`] or
+    /// [`Database::txn_rollback`].
+    pub fn txn_begin(&mut self) -> u64 {
+        self.txns.begin()
+    }
+
+    /// The snapshot of an active transaction (sees its own writes).
+    pub fn txn_snapshot(&self, txn: u64) -> Result<Snapshot> {
+        self.txns
+            .snapshot_of(txn)
+            .ok_or_else(|| TxdbError::Aborted(format!("transaction {txn} is not active")))
+    }
+
+    /// A detached snapshot of the latest committed state. Unlike a
+    /// transaction's snapshot it is not registered in the active set,
+    /// so a later commit's vacuum may reclaim versions it would need —
+    /// reads through it are repeatable only until the next commit or
+    /// rollback. For a reader whose view must stay stable across
+    /// concurrent commits, open a transaction with
+    /// [`Database::txn_begin`] and read through its snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        self.txns.latest_snapshot()
+    }
+
+    /// The transaction registry (active set, vacuum horizon).
+    pub fn txns(&self) -> &TxnManager {
+        &self.txns
+    }
+
+    /// Whether any transaction is currently in flight.
+    pub fn has_active_txns(&self) -> bool {
+        self.txns.active_count() > 0
+    }
+
+    /// Number of writes transaction `txn` has recorded so far.
+    pub fn txn_pending_ops(&self, txn: u64) -> usize {
+        self.txns.writes_len(txn)
+    }
+
+    /// Insert a row within transaction `txn`, enforcing foreign keys.
+    pub fn txn_insert(&mut self, txn: u64, table: &str, row: Row) -> Result<RowId> {
+        let snap = self.txn_snapshot(txn)?;
+        self.check_fk_parents(table, &row, Some(&snap))?;
+        let rid = self.table_mut(table)?.mvcc_insert(row, txn)?;
+        self.txns.record(
+            txn,
+            WriteOp::Insert {
                 table: table.to_string(),
                 rid,
             },
-        ))
+        );
+        Ok(rid)
     }
 
-    pub(crate) fn delete_op(&mut self, table: &str, rid: RowId) -> Result<(Row, UndoOp)> {
-        self.check_fk_children(table, rid)?;
-        let t = self.table_mut(table)?;
-        let row = t.delete(rid)?;
-        Ok((
-            row.clone(),
-            UndoOp::Delete {
+    /// Delete a row within transaction `txn` (referential RESTRICT).
+    /// Fails with [`TxdbError::Serialization`] if the row was touched by
+    /// a concurrent transaction this one cannot see.
+    pub fn txn_delete(&mut self, txn: u64, table: &str, rid: RowId) -> Result<Row> {
+        let snap = self.txn_snapshot(txn)?;
+        self.table(table)?.mvcc_write_check(rid, txn, &snap)?;
+        self.check_fk_children(table, rid, Some(&snap))?;
+        let row = self.table_mut(table)?.mvcc_delete(rid, txn)?;
+        self.txns.record(
+            txn,
+            WriteOp::Delete {
                 table: table.to_string(),
                 rid,
-                row,
             },
-        ))
+        );
+        Ok(row)
     }
 
-    pub(crate) fn update_op(
+    /// Update one column of a row within transaction `txn`, enforcing
+    /// foreign keys and first-committer-wins conflict rules.
+    pub fn txn_update(
         &mut self,
+        txn: u64,
         table: &str,
         rid: RowId,
         column: &str,
         value: Value,
-    ) -> Result<(Value, UndoOp)> {
-        // FK enforcement: updating an FK column must point at an existing
-        // parent; updating a referenced key column must not orphan children.
+    ) -> Result<Value> {
+        let snap = self.txn_snapshot(txn)?;
+        self.table(table)?.mvcc_write_check(rid, txn, &snap)?;
+        self.check_fk_update(table, rid, column, &value, Some(&snap))?;
+        let (old, pushed) = self
+            .table_mut(table)?
+            .mvcc_update(rid, column, value, txn)?;
+        if pushed {
+            self.txns.record(
+                txn,
+                WriteOp::Update {
+                    table: table.to_string(),
+                    rid,
+                },
+            );
+        }
+        Ok(old)
+    }
+
+    /// Rows matching a predicate, read through transaction `txn`'s
+    /// snapshot (own writes visible, concurrent transactions' invisible).
+    pub fn txn_select(&self, txn: u64, table: &str, pred: &Predicate) -> Result<Vec<(RowId, Row)>> {
+        let snap = self.txn_snapshot(txn)?;
+        let t = self.table(table)?;
+        let rows = if t.mvcc_clean() {
+            // No version state: every row is visible to every snapshot,
+            // so take the index-accelerated path.
+            t.select(pred)?
+        } else {
+            t.select_snapshot(pred, &snap)?
+        };
+        Ok(rows
+            .into_iter()
+            .map(|(rid, row)| (rid, row.clone()))
+            .collect())
+    }
+
+    /// Commit transaction `txn`: its versions become visible to every
+    /// snapshot taken afterwards. Also credits the committed-mutation
+    /// counters behind the statistics staleness bound and vacuums
+    /// version garbage.
+    pub fn txn_commit(&mut self, txn: u64) -> Result<()> {
+        let writes = self
+            .txns
+            .finish(txn)
+            .ok_or_else(|| TxdbError::Aborted(format!("transaction {txn} is not active")))?;
+        let mut per_table: HashMap<&str, u64> = HashMap::new();
+        for w in &writes {
+            let (WriteOp::Insert { table, .. }
+            | WriteOp::Update { table, .. }
+            | WriteOp::Delete { table, .. }) = w;
+            *per_table.entry(table.as_str()).or_insert(0) += 1;
+        }
+        for (name, n) in per_table {
+            if let Some(t) = self.tables.get_mut(name) {
+                t.bump_committed(n);
+            }
+        }
+        self.vacuum();
+        Ok(())
+    }
+
+    /// Roll back transaction `txn`, unwinding its writes in reverse.
+    pub fn txn_rollback(&mut self, txn: u64) -> Result<()> {
+        let writes = self
+            .txns
+            .finish(txn)
+            .ok_or_else(|| TxdbError::Aborted(format!("transaction {txn} is not active")))?;
+        for w in writes.into_iter().rev() {
+            match w {
+                WriteOp::Insert { table, rid } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.mvcc_rollback_insert(rid);
+                    }
+                }
+                WriteOp::Update { table, rid } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.mvcc_rollback_update(rid);
+                    }
+                }
+                WriteOp::Delete { table, rid } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.mvcc_rollback_delete(rid);
+                    }
+                }
+            }
+        }
+        self.vacuum();
+        Ok(())
+    }
+
+    /// Reclaim version garbage no active snapshot can still reach.
+    /// Returns the number of versions reclaimed. With no transactions in
+    /// flight every table collapses back to pristine (stamp-free) state.
+    /// Runs automatically after every commit and rollback.
+    pub fn vacuum(&mut self) -> usize {
+        let txns = &self.txns;
+        let mut reclaimed = 0;
+        for t in self.tables.values_mut() {
+            if !t.mvcc_clean() {
+                reclaimed += t.vacuum(&|id| txns.all_see(id));
+            }
+        }
+        reclaimed
+    }
+
+    // ----- foreign-key machinery -----
+
+    /// FK enforcement for an update: a changed FK column must point at
+    /// an existing parent; a changed referenced key must not orphan
+    /// children. Lookups are raw (version-superset), so checks on dirty
+    /// tables are conservative — consistent with first committer wins.
+    fn check_fk_update(
+        &self,
+        table: &str,
+        rid: RowId,
+        column: &str,
+        value: &Value,
+        snap: Option<&Snapshot>,
+    ) -> Result<()> {
         let schema = self.table(table)?.schema();
         if let Some(fk) = schema.foreign_key_on(column).cloned() {
             if !value.is_null() {
                 let parent = self.table(&fk.ref_table)?;
-                if parent.lookup(&fk.ref_column, &value)?.is_empty() {
+                let rids = parent.lookup(&fk.ref_column, value)?;
+                let alive = match snap {
+                    None => !rids.is_empty(),
+                    Some(s) => {
+                        let ref_idx = parent.schema().require_column(&fk.ref_column)?;
+                        rids.iter().any(|&r| {
+                            parent
+                                .visible_row(r, s)
+                                .is_some_and(|p| p.get(ref_idx) == Some(value))
+                        })
+                    }
+                };
+                if !alive {
                     return Err(TxdbError::ForeignKeyViolation {
                         table: table.to_string(),
                         detail: format!("{column}={value} has no parent in {}", fk.ref_table),
@@ -329,56 +574,21 @@ impl Database {
         }
         if self.is_referenced_column(table, column) {
             let old = self.table(table)?.value_of(rid, column)?;
-            if old != value && self.has_children(table, column, &old)? {
+            if old != *value && self.has_children(table, column, &old, snap)? {
                 return Err(TxdbError::ForeignKeyViolation {
                     table: table.to_string(),
                     detail: format!("rows reference {table}.{column}={old}"),
                 });
             }
         }
-        let col_idx = self.table(table)?.schema().require_column(column)?;
-        let t = self.table_mut(table)?;
-        let old = t.update(rid, column, value)?;
-        Ok((
-            old.clone(),
-            UndoOp::Update {
-                table: table.to_string(),
-                rid,
-                col_idx,
-                old,
-            },
-        ))
+        Ok(())
     }
-
-    pub(crate) fn apply_undo(&mut self, op: UndoOp) {
-        match op {
-            UndoOp::Insert { table, rid } => {
-                if let Some(t) = self.tables.get_mut(&table) {
-                    t.remove_physical(rid);
-                }
-            }
-            UndoOp::Delete { table, rid, row } => {
-                if let Some(t) = self.tables.get_mut(&table) {
-                    t.insert_physical(rid, row);
-                }
-            }
-            UndoOp::Update {
-                table,
-                rid,
-                col_idx,
-                old,
-            } => {
-                if let Some(t) = self.tables.get_mut(&table) {
-                    t.set_physical(rid, col_idx, old);
-                }
-            }
-        }
-    }
-
-    // ----- foreign-key machinery -----
 
     /// Every FK column of `row` must point at an existing parent row.
-    fn check_fk_parents(&self, table: &str, row: &Row) -> Result<()> {
+    /// With a snapshot, "existing" means visible to the writing
+    /// transaction (index buckets are version supersets on dirty
+    /// tables); without one the raw bucket is exact.
+    fn check_fk_parents(&self, table: &str, row: &Row, snap: Option<&Snapshot>) -> Result<()> {
         let schema = self.table(table)?.schema();
         for fk in schema.foreign_keys() {
             let idx = schema.require_column(&fk.column)?;
@@ -387,7 +597,19 @@ impl Database {
                 continue;
             }
             let parent = self.table(&fk.ref_table)?;
-            if parent.lookup(&fk.ref_column, &v)?.is_empty() {
+            let rids = parent.lookup(&fk.ref_column, &v)?;
+            let alive = match snap {
+                None => !rids.is_empty(),
+                Some(s) => {
+                    let ref_idx = parent.schema().require_column(&fk.ref_column)?;
+                    rids.iter().any(|&r| {
+                        parent
+                            .visible_row(r, s)
+                            .is_some_and(|p| p.get(ref_idx) == Some(&v))
+                    })
+                }
+            };
+            if !alive {
                 return Err(TxdbError::ForeignKeyViolation {
                     table: table.to_string(),
                     detail: format!(
@@ -400,8 +622,11 @@ impl Database {
         Ok(())
     }
 
-    /// No child row may reference the row about to be deleted.
-    fn check_fk_children(&self, table: &str, rid: RowId) -> Result<()> {
+    /// No child row may reference the row about to be deleted. With a
+    /// snapshot, rows the writing transaction already deleted don't
+    /// block, but other transactions' in-flight versions do (they may
+    /// yet commit — first committer wins).
+    fn check_fk_children(&self, table: &str, rid: RowId, snap: Option<&Snapshot>) -> Result<()> {
         let target = self.table(table)?;
         for (child_name, child) in &self.tables {
             for fk in child.schema().foreign_keys() {
@@ -412,7 +637,16 @@ impl Database {
                 if key.is_null() {
                     continue;
                 }
-                if !child.lookup(&fk.column, &key)?.is_empty() {
+                let rids = child.lookup(&fk.column, &key)?;
+                let blocked = match snap {
+                    None => !rids.is_empty(),
+                    Some(s) => {
+                        let idx = child.schema().require_column(&fk.column)?;
+                        rids.iter()
+                            .any(|&r| child.fk_reference_alive(r, idx, &key, s))
+                    }
+                };
+                if blocked {
                     return Err(TxdbError::ForeignKeyViolation {
                         table: table.to_string(),
                         detail: format!(
@@ -435,13 +669,28 @@ impl Database {
         })
     }
 
-    fn has_children(&self, table: &str, column: &str, key: &Value) -> Result<bool> {
+    fn has_children(
+        &self,
+        table: &str,
+        column: &str,
+        key: &Value,
+        snap: Option<&Snapshot>,
+    ) -> Result<bool> {
         for child in self.tables.values() {
             for fk in child.schema().foreign_keys() {
-                if fk.ref_table == table
-                    && fk.ref_column == column
-                    && !child.lookup(&fk.column, key)?.is_empty()
-                {
+                if fk.ref_table != table || fk.ref_column != column {
+                    continue;
+                }
+                let rids = child.lookup(&fk.column, key)?;
+                let blocked = match snap {
+                    None => !rids.is_empty(),
+                    Some(s) => {
+                        let idx = child.schema().require_column(&fk.column)?;
+                        rids.iter()
+                            .any(|&r| child.fk_reference_alive(r, idx, key, s))
+                    }
+                };
+                if blocked {
                     return Ok(true);
                 }
             }

@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 
 use crate::database::Database;
-use crate::error::Result;
+use crate::error::{Result, TxdbError};
 use crate::schema::TableSchema;
 use crate::sql::execute_script;
 
@@ -41,7 +41,19 @@ fn create_table_sql(schema: &TableSchema) -> String {
 /// Note: the dump intentionally loses the conversational annotations
 /// (ask preferences, awareness priors, display names) — those live in the
 /// annotation file, which is the durable artefact for them.
-pub fn dump_sql(db: &Database) -> String {
+///
+/// Errors when any transaction is still active: a dump taken
+/// mid-transaction could mix uncommitted versions into the script. With
+/// no active transactions every table is vacuumed back to a single
+/// committed version per row (commit and rollback both vacuum), so the
+/// plain scan below serializes exactly the latest committed state.
+pub fn dump_sql(db: &Database) -> Result<String> {
+    if db.has_active_txns() {
+        return Err(TxdbError::Aborted(
+            "cannot dump mid-transaction state: commit or roll back active transactions first"
+                .into(),
+        ));
+    }
     let mut out = String::from("-- cat-txdb SQL dump\n");
     // Topologically order tables by FK dependencies.
     let mut ordered: Vec<String> = Vec::new();
@@ -89,7 +101,7 @@ pub fn dump_sql(db: &Database) -> String {
             let _ = writeln!(out, "INSERT INTO {t} VALUES {};", batch.join(", "));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Rebuild a database from a dump produced by [`dump_sql`] (or any script
@@ -148,7 +160,7 @@ mod tests {
     #[test]
     fn dump_restore_roundtrip() {
         let db = sample_db();
-        let script = dump_sql(&db);
+        let script = dump_sql(&db).unwrap();
         let restored = restore_sql(&script).expect("restore");
         assert_eq!(restored.table_names(), db.table_names());
         for t in db.table_names() {
@@ -185,7 +197,7 @@ mod tests {
     #[test]
     fn restored_db_enforces_constraints() {
         let db = sample_db();
-        let mut restored = restore_sql(&dump_sql(&db)).expect("restore");
+        let mut restored = restore_sql(&dump_sql(&db).unwrap()).expect("restore");
         // PK duplicate rejected.
         assert!(restored.insert("movie", row![1, "Dup", 1.0]).is_err());
         // FK enforced.
@@ -200,7 +212,7 @@ mod tests {
     #[test]
     fn dump_orders_parents_first() {
         let db = sample_db();
-        let script = dump_sql(&db);
+        let script = dump_sql(&db).unwrap();
         let movie_pos = script.find("CREATE TABLE movie").expect("movie");
         let screening_pos = script.find("CREATE TABLE screening").expect("screening");
         assert!(
@@ -212,7 +224,7 @@ mod tests {
     #[test]
     fn special_values_roundtrip() {
         let db = sample_db();
-        let restored = restore_sql(&dump_sql(&db)).expect("restore");
+        let restored = restore_sql(&dump_sql(&db).unwrap()).expect("restore");
         // Quote-escaped title, NULL rating, bool and date values.
         let hits = restored
             .select("movie", &Predicate::eq("title", "O'Hara's Day"))
@@ -255,7 +267,7 @@ mod tests {
         for i in 0..500i64 {
             db.insert("t", row![i, (i as f64) * 0.5]).unwrap();
         }
-        let restored = restore_sql(&dump_sql(&db)).expect("restore");
+        let restored = restore_sql(&dump_sql(&db).unwrap()).expect("restore");
         assert_eq!(restored.table("t").unwrap().len(), 500);
     }
 }

@@ -46,6 +46,10 @@ pub enum TxdbError {
     Parse(String),
     /// A transaction was explicitly aborted.
     Aborted(String),
+    /// A write-write conflict under snapshot isolation: the row was
+    /// modified by a transaction this one cannot see (first committer
+    /// wins). The later writer must abort and retry on fresh state.
+    Serialization { table: String, detail: String },
     /// A query's tracked memory footprint would exceed the configured
     /// execution budget and no degradation path (partitioned hash
     /// build) could absorb the overrun. The query failed atomically —
@@ -107,6 +111,9 @@ impl fmt::Display for TxdbError {
             TxdbError::InvalidValue(s) => write!(f, "invalid value: {s}"),
             TxdbError::Parse(s) => write!(f, "SQL parse error: {s}"),
             TxdbError::Aborted(s) => write!(f, "transaction aborted: {s}"),
+            TxdbError::Serialization { table, detail } => {
+                write!(f, "serialization conflict on `{table}`: {detail}")
+            }
             TxdbError::ResourceExhausted { budget, requested } => {
                 write!(
                     f,

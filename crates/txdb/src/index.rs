@@ -123,6 +123,9 @@ impl RangeIndex {
     /// Register a row's value (NULLs are never indexed). Monotonic RowId
     /// allocation makes the append fast path the common case; only
     /// rollback re-inserts and key updates pay the binary search.
+    /// Idempotent: a `(value, rid)` pair that is already present is left
+    /// alone, so MVCC version maintenance can re-assert keys shared
+    /// between versions of a row without creating duplicate entries.
     pub fn insert(&mut self, value: Value, rid: RowId) {
         if value.is_null() {
             return;
@@ -130,8 +133,9 @@ impl RangeIndex {
         let bucket = self.map.entry(OrdKey(value)).or_default();
         match bucket.last() {
             Some(&last) if last >= rid => {
-                let pos = bucket.binary_search(&rid).unwrap_or_else(|p| p);
-                bucket.insert(pos, rid);
+                if let Err(pos) = bucket.binary_search(&rid) {
+                    bucket.insert(pos, rid);
+                }
             }
             _ => bucket.push(rid),
         }

@@ -8,8 +8,10 @@
 //!   the conversational annotations from the paper's Figure 4
 //!   ([`schema::AskPreference`], awareness priors, display names).
 //! * **Storage** with hash indexes, predicate scans and stable row ids.
-//! * **Transactions** via an undo log — stored procedures execute
-//!   atomically when the user confirms a task.
+//! * **Transactions** via MVCC snapshot isolation — concurrent
+//!   transactions read through stable snapshots without blocking each
+//!   other, write-write conflicts abort the later writer, and stored
+//!   procedures execute atomically when the user confirms a task.
 //! * **Stored procedures** declared declaratively so that the datagen layer
 //!   can extract tasks/slots automatically.
 //! * **Statistics** (distinct counts, MCVs, histograms, Shannon entropy,
@@ -64,5 +66,5 @@ pub use row::{Row, RowId};
 pub use schema::{AskPreference, ColumnDef, ForeignKey, TableSchema};
 pub use stats::{entropy_of_counts, subset_entropy, ColumnStats, Histogram, TableStats};
 pub use table::Table;
-pub use txn::Transaction;
+pub use txn::{Snapshot, Transaction, TxnManager};
 pub use value::{DataType, Date, Value};

@@ -173,4 +173,12 @@ pub enum Statement {
         table: String,
         where_clause: Option<SqlExpr>,
     },
+    /// `BEGIN [TRANSACTION | WORK]` — open an explicit transaction.
+    /// Only meaningful through a [`Session`](crate::sql::Session);
+    /// the sessionless `execute` rejects it.
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]` — publish the open transaction.
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]` — discard the open transaction.
+    Rollback,
 }

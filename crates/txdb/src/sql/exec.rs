@@ -75,6 +75,12 @@ pub enum QueryResult {
     Deleted(usize),
     /// Rows returned by a `SELECT`.
     Rows(ResultSet),
+    /// `BEGIN` opened an explicit transaction (sessions only).
+    Begun,
+    /// `COMMIT` published the open transaction.
+    Committed,
+    /// `ROLLBACK` discarded the open transaction.
+    RolledBack,
 }
 
 impl QueryResult {
@@ -166,37 +172,7 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
             let mut txn = db.begin();
             let mut n = 0;
             for literal_row in rows {
-                let cells: Vec<Value> = match &columns {
-                    None => {
-                        if literal_row.len() != schema.arity() {
-                            return Err(TxdbError::ArityMismatch {
-                                table: table.clone(),
-                                expected: schema.arity(),
-                                got: literal_row.len(),
-                            });
-                        }
-                        literal_row
-                            .into_iter()
-                            .zip(schema.columns())
-                            .map(|(v, c)| coerce_literal_to(&v, c.ty))
-                            .collect::<Result<_>>()?
-                    }
-                    Some(cols) => {
-                        let mut cells = vec![Value::Null; schema.arity()];
-                        if cols.len() != literal_row.len() {
-                            return Err(TxdbError::ArityMismatch {
-                                table: table.clone(),
-                                expected: cols.len(),
-                                got: literal_row.len(),
-                            });
-                        }
-                        for (col, v) in cols.iter().zip(literal_row) {
-                            let idx = schema.require_column(col)?;
-                            cells[idx] = coerce_literal_to(&v, schema.columns()[idx].ty)?;
-                        }
-                        cells
-                    }
-                };
+                let cells = coerce_insert_row(&schema, &table, columns.as_ref(), literal_row)?;
                 txn.insert(&table, Row::new(cells))?;
                 n += 1;
             }
@@ -247,6 +223,195 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
             }
             txn.commit();
             Ok(QueryResult::Deleted(rids.len()))
+        }
+        Statement::Begin | Statement::Commit | Statement::Rollback => Err(TxdbError::InvalidValue(
+            "transaction control statements require a session — use Session::execute".into(),
+        )),
+    }
+}
+
+/// Coerce one `INSERT` literal row to the table's schema, honoring an
+/// optional explicit column list (unlisted columns become NULL).
+fn coerce_insert_row(
+    schema: &crate::schema::TableSchema,
+    table: &str,
+    columns: Option<&Vec<String>>,
+    literal_row: Vec<Value>,
+) -> Result<Vec<Value>> {
+    match columns {
+        None => {
+            if literal_row.len() != schema.arity() {
+                return Err(TxdbError::ArityMismatch {
+                    table: table.to_string(),
+                    expected: schema.arity(),
+                    got: literal_row.len(),
+                });
+            }
+            literal_row
+                .into_iter()
+                .zip(schema.columns())
+                .map(|(v, c)| coerce_literal_to(&v, c.ty))
+                .collect()
+        }
+        Some(cols) => {
+            let mut cells = vec![Value::Null; schema.arity()];
+            if cols.len() != literal_row.len() {
+                return Err(TxdbError::ArityMismatch {
+                    table: table.to_string(),
+                    expected: cols.len(),
+                    got: literal_row.len(),
+                });
+            }
+            for (col, v) in cols.iter().zip(literal_row) {
+                let idx = schema.require_column(col)?;
+                cells[idx] = coerce_literal_to(&v, schema.columns()[idx].ty)?;
+            }
+            Ok(cells)
+        }
+    }
+}
+
+// ===== sessions: explicit transactions over SQL =====
+
+/// A SQL session holding at most one open explicit transaction.
+///
+/// `BEGIN` opens a transaction whose [`Snapshot`](crate::Snapshot) pins
+/// every subsequent read until `COMMIT` or `ROLLBACK`: statements inside
+/// the transaction see its own writes plus the state committed before it
+/// began, and nothing that commits concurrently. Any statement error
+/// inside an open transaction aborts and rolls back the *whole*
+/// transaction (PostgreSQL-style), so partial transactional state never
+/// leaks.
+#[derive(Debug, Default)]
+pub struct Session {
+    txn: Option<u64>,
+}
+
+impl Session {
+    /// A session with no open transaction.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// The open transaction's id, if any.
+    pub fn open_txn(&self) -> Option<u64> {
+        self.txn
+    }
+
+    /// Parse and execute one statement within this session.
+    pub fn execute(&mut self, db: &mut Database, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(TxdbError::Aborted("a transaction is already open".into()));
+                }
+                self.txn = Some(db.txn_begin());
+                Ok(QueryResult::Begun)
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| TxdbError::Aborted("no open transaction to commit".into()))?;
+                db.txn_commit(txn)?;
+                Ok(QueryResult::Committed)
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| TxdbError::Aborted("no open transaction to roll back".into()))?;
+                db.txn_rollback(txn)?;
+                Ok(QueryResult::RolledBack)
+            }
+            stmt => match self.txn {
+                None => execute_statement(db, stmt),
+                Some(txn) => {
+                    let result = execute_statement_in(db, stmt, txn);
+                    if result.is_err() {
+                        // Whole-transaction abort: the failed statement
+                        // may have applied part of its writes.
+                        self.txn = None;
+                        let _ = db.txn_rollback(txn);
+                    }
+                    result
+                }
+            },
+        }
+    }
+}
+
+/// Execute one non-control statement inside the open transaction `txn`.
+fn execute_statement_in(db: &mut Database, stmt: Statement, txn: u64) -> Result<QueryResult> {
+    match stmt {
+        Statement::CreateTable(_) => Err(TxdbError::InvalidValue(
+            "DDL is not transactional — COMMIT or ROLLBACK first".into(),
+        )),
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
+            let schema = db.schema_of(&table)?.clone();
+            let mut n = 0;
+            for literal_row in rows {
+                let cells = coerce_insert_row(&schema, &table, columns.as_ref(), literal_row)?;
+                db.txn_insert(txn, &table, Row::new(cells))?;
+                n += 1;
+            }
+            Ok(QueryResult::Inserted(n))
+        }
+        Statement::Select(sel) => {
+            let snap = db.txn_snapshot(txn)?;
+            execute_select_at(db, &sel, &PlanOptions::default(), Some(&snap)).map(QueryResult::Rows)
+        }
+        Statement::Explain { analyze, select } => {
+            // EXPLAIN inspects the plan, not transactional state; ANALYZE
+            // additionally runs the tree against latest-committed
+            // visibility (the session's own uncommitted writes are not
+            // re-planned).
+            explain_select_with(db, &select, &PlanOptions::default(), analyze)
+                .map(QueryResult::Rows)
+        }
+        Statement::Update {
+            table,
+            set,
+            where_clause,
+        } => {
+            let pred = single_table_predicate(db, &table, where_clause.as_ref())?;
+            let rids: Vec<RowId> = db
+                .txn_select(txn, &table, &pred)?
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect();
+            let schema = db.schema_of(&table)?.clone();
+            for rid in &rids {
+                for (col, v) in &set {
+                    let idx = schema.require_column(col)?;
+                    let coerced = coerce_literal_to(v, schema.columns()[idx].ty)?;
+                    db.txn_update(txn, &table, *rid, col, coerced)?;
+                }
+            }
+            Ok(QueryResult::Updated(rids.len()))
+        }
+        Statement::Delete {
+            table,
+            where_clause,
+        } => {
+            let pred = single_table_predicate(db, &table, where_clause.as_ref())?;
+            let rids: Vec<RowId> = db
+                .txn_select(txn, &table, &pred)?
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect();
+            for rid in &rids {
+                db.txn_delete(txn, &table, *rid)?;
+            }
+            Ok(QueryResult::Deleted(rids.len()))
+        }
+        Statement::Begin | Statement::Commit | Statement::Rollback => {
+            unreachable!("control statements handled by Session::execute")
         }
     }
 }
@@ -310,11 +475,26 @@ pub fn execute_select_with(
     sel: &SelectStmt,
     opts: &PlanOptions,
 ) -> Result<ResultSet> {
-    let budget = ExecBudget::from_options(opts);
-    execute_select_budgeted(db, sel, opts, &budget)
+    execute_select_at(db, sel, opts, None)
 }
 
-/// [`execute_select_with`] against a caller-supplied budget guard. Tests
+/// [`execute_select_with`] pinned to a [`Snapshot`](crate::txn::Snapshot): every row access
+/// resolves through MVCC visibility against `snap`, so two calls with
+/// the same snapshot return identical results regardless of concurrent
+/// committed writes. `None` reads latest-committed state — on tables
+/// without version chains that is exactly the pre-MVCC fast path, so
+/// existing call sites stay byte-identical.
+pub fn execute_select_at(
+    db: &Database,
+    sel: &SelectStmt,
+    opts: &PlanOptions,
+    snap: Option<&crate::txn::Snapshot>,
+) -> Result<ResultSet> {
+    let budget = ExecBudget::from_options(opts);
+    execute_select_budgeted(db, sel, opts, &budget, snap)
+}
+
+/// [`execute_select_at`] against a caller-supplied budget guard. Tests
 /// inject fault-carrying or instrumented budgets here to observe peak
 /// tracked bytes and to force mid-join exhaustion.
 fn execute_select_budgeted(
@@ -322,9 +502,10 @@ fn execute_select_budgeted(
     sel: &SelectStmt,
     opts: &PlanOptions,
     budget: &ExecBudget,
+    snap: Option<&crate::txn::Snapshot>,
 ) -> Result<ResultSet> {
     let plan = plan_select_with(db, sel, opts)?;
-    let mut root = ops::lower(db, sel, &plan, budget)?;
+    let mut root = ops::lower(db, sel, &plan, budget, snap)?;
     ops::drive(root.as_mut())
 }
 
@@ -341,7 +522,7 @@ pub fn explain_select_with(
 ) -> Result<ResultSet> {
     let budget = ExecBudget::from_options(opts);
     let plan = plan_select_with(db, sel, opts)?;
-    let mut root = ops::lower(db, sel, &plan, &budget)?;
+    let mut root = ops::lower(db, sel, &plan, &budget, None)?;
     if analyze {
         ops::drive(root.as_mut())?;
     }
@@ -363,9 +544,42 @@ pub fn explain_select_with(
 /// tests run every query through both this and the planned path and
 /// require identical results. Not used by `execute`.
 pub fn execute_select_reference(db: &Database, sel: &SelectStmt) -> Result<ResultSet> {
+    execute_select_reference_at(db, sel, None)
+}
+
+/// [`execute_select_reference`] pinned to a [`Snapshot`](crate::txn::Snapshot) — the
+/// executable specification of snapshot reads. Resolution mirrors the
+/// planned path: an explicit snapshot pins every access; otherwise
+/// MVCC-dirty tables force the latest-committed snapshot and clean
+/// tables keep the original newest-version code path untouched.
+pub fn execute_select_reference_at(
+    db: &Database,
+    sel: &SelectStmt,
+    snap: Option<&crate::txn::Snapshot>,
+) -> Result<ResultSet> {
+    let resolved: Option<crate::txn::Snapshot> = match snap {
+        Some(s) => Some(s.clone()),
+        None => {
+            let mut dirty = !db.table(&sel.table)?.mvcc_clean();
+            for join in &sel.joins {
+                if dirty {
+                    break;
+                }
+                dirty = !db.table(&join.table)?.mvcc_clean();
+            }
+            dirty.then(|| db.snapshot())
+        }
+    };
     let layout = Layout::build(db, sel)?;
     let base = db.table(&sel.table)?;
-    let mut rows: Vec<Vec<Value>> = base.scan().map(|(_, r)| r.values().to_vec()).collect();
+    let mut rows: Vec<Vec<Value>> = match resolved.as_ref().filter(|_| !base.mvcc_clean()) {
+        Some(s) => base
+            .scan()
+            .filter_map(|(rid, _)| base.visible_row(rid, s))
+            .map(|r| r.values().to_vec())
+            .collect(),
+        None => base.scan().map(|(_, r)| r.values().to_vec()).collect(),
+    };
 
     for (ji, join) in sel.joins.iter().enumerate() {
         let right: &Table = db.table(&join.table)?;
@@ -383,11 +597,14 @@ pub fn execute_select_reference(db: &Database, sel: &SelectStmt) -> Result<Resul
         // planned path restores after reordering joins. Hash-index
         // buckets are maintained sorted and borrowed in place; an
         // unindexed join column gets a build-side map in one scan (same
-        // NULL/NaN key exclusion), never a scan per outer row.
-        let build_map = if right.has_index(&right_col_name) {
-            None
-        } else {
-            Some(right.join_map(&right_col_name)?)
+        // NULL/NaN key exclusion), never a scan per outer row. A
+        // version-carrying right table always gets the map, keyed on
+        // *visible* cells (index buckets are version supersets).
+        let visible = resolved.as_ref().filter(|_| !right.mvcc_clean());
+        let build_map = match visible {
+            Some(s) => Some(right.join_map_visible(&right_col_name, s)?),
+            None if right.has_index(&right_col_name) => None,
+            None => Some(right.join_map(&right_col_name)?),
         };
         let mut out = Vec::new();
         for row in rows {
@@ -402,7 +619,12 @@ pub fn execute_select_reference(db: &Database, sel: &SelectStmt) -> Result<Resul
                     .expect("hash index presence checked above"),
             };
             for &rid in bucket {
-                let rrow = right.get(rid).expect("lookup returned live id");
+                let rrow = match visible {
+                    Some(s) => right
+                        .visible_row(rid, s)
+                        .expect("visible join map only holds visible ids"),
+                    None => right.get(rid).expect("lookup returned live id"),
+                };
                 let mut combined = row.clone();
                 combined.extend(rrow.values().iter().cloned());
                 out.push(combined);
@@ -1570,7 +1792,7 @@ mod tests {
         // Identical results, and the tracked peak stays under budget even
         // though the in-place build map alone would cost ~560 KiB.
         let budget = ExecBudget::with_limit(SKEW_BUDGET);
-        let partitioned = execute_select_budgeted(&db, &sel, &opts, &budget).unwrap();
+        let partitioned = execute_select_budgeted(&db, &sel, &opts, &budget, None).unwrap();
         let reference = execute_select_reference(&db, &sel).unwrap();
         assert_eq!(partitioned, reference);
         assert!(
@@ -1608,7 +1830,7 @@ mod tests {
             1
         );
         let budget = ExecBudget::with_limit(SKEW_BUDGET);
-        let degraded = execute_select_budgeted(&db, &sel, &unbudgeted, &budget).unwrap();
+        let degraded = execute_select_budgeted(&db, &sel, &unbudgeted, &budget, None).unwrap();
         assert_eq!(degraded, execute_select_reference(&db, &sel).unwrap());
         assert!(
             budget.peak() <= SKEW_BUDGET,

@@ -51,8 +51,9 @@ pub use ast::{
 };
 pub use budget::ExecBudget;
 pub use exec::{
-    execute, execute_script, execute_select_reference, execute_select_with, explain_select_with,
-    QueryResult, ResultSet,
+    execute, execute_script, execute_select_at, execute_select_reference,
+    execute_select_reference_at, execute_select_with, explain_select_with, QueryResult, ResultSet,
+    Session,
 };
 pub use lexer::{tokenize, Token};
 pub use parser::parse_statement;

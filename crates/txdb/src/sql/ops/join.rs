@@ -23,7 +23,7 @@ use crate::table::{join_key_partition, Table};
 use crate::value::Value;
 
 use super::expr::{join_key_excluded, NULL_VALUE};
-use super::{Batch, ExecCtx, NodeStats, Operator};
+use super::{Batch, ExecCtx, NodeStats, Operator, Vis};
 use crate::sql::budget::{
     build_partition_count, join_build_bytes, ExecBudget, JOIN_MAP_ENTRY_BYTES, JOIN_MAP_RID_BYTES,
 };
@@ -234,6 +234,24 @@ impl<'a> JoinCore<'a> {
             access => format!(", prefilter={}", access.describe()),
         }
     }
+
+    /// Visibility of the build table under this tree's snapshot.
+    fn vis(&self) -> Vis<'_> {
+        self.cx.vis(self.right)
+    }
+
+    /// Per-rid re-verification for visible execution: both the probed
+    /// buckets and the pushdown's fetched set hold the union of every
+    /// version's keys, so the *visible* version must still carry the
+    /// outer join key and satisfy the consumed build-side conjuncts.
+    fn verify_visible(&self, row: &Row, right_idx: usize, key: &Value) -> Result<bool> {
+        Ok(row.get(right_idx) == Some(key) && self.pj.build_access.matches_row(self.right, row)?)
+    }
+
+    /// Column index of the build-side join key, for re-verification.
+    fn right_idx(&self) -> Result<usize> {
+        self.right.schema().require_column(&self.pj.right_col)
+    }
 }
 
 /// The probe-loop epilogue shared by every strategy: emit the matched
@@ -255,14 +273,31 @@ impl<'a> JoinOutput<'a> {
 
     fn emit(
         &mut self,
-        right: &'a Table,
+        core: &JoinCore<'a>,
+        right_idx: usize,
+        key: &Value,
         bucket: &[RowId],
         t: &[&'a Row],
         t_rids: &[RowId],
-        needs_canonical: bool,
-    ) {
+    ) -> Result<()> {
+        let right = core.right;
+        let needs_canonical = core.cx.needs_canonical;
+        let vis = core.vis();
         for &rid in bucket {
-            let rrow = right.get(rid).expect("lookup returned live id");
+            let rrow = match vis {
+                Vis::All => right.get(rid).expect("lookup returned live id"),
+                // Under a snapshot the bucket is a version superset:
+                // resolve the visible version and re-verify the match.
+                Vis::Snap(_) => {
+                    let Some(r) = vis.row(right, rid) else {
+                        continue;
+                    };
+                    if !core.verify_visible(r, right_idx, key)? {
+                        continue;
+                    }
+                    r
+                }
+            };
             self.out.extend_from_slice(t);
             self.out.push(rrow);
             if needs_canonical {
@@ -270,6 +305,7 @@ impl<'a> JoinOutput<'a> {
                 self.out_rids.push(rid);
             }
         }
+        Ok(())
     }
 
     fn into_batch(self, stride: usize) -> Batch<'a> {
@@ -321,6 +357,7 @@ impl<'a> IndexProbeJoin<'a> {
         let left_slot = core.left_slot();
         let left_pos = core.left_pos();
         let count = tuples.len() / stride;
+        let right_idx = core.right_idx()?;
         let (build_rids, step_charged) = core.fetch_build_rids(count)?;
         let mut output = JoinOutput::new();
         for ti in 0..count {
@@ -354,7 +391,7 @@ impl<'a> IndexProbeJoin<'a> {
             } else {
                 &[]
             };
-            output.emit(right, bucket, t, t_rids, core.cx.needs_canonical);
+            output.emit(core, right_idx, key, bucket, t, t_rids)?;
         }
         core.cx.budget.release(step_charged);
         Ok(output.into_batch(stride))
@@ -423,13 +460,24 @@ impl<'a> BuildHashJoin<'a> {
         let left_slot = core.left_slot();
         let left_pos = core.left_pos();
         let count = tuples.len() / stride;
-        let (build_rids, mut step_charged) = core.fetch_build_rids(count)?;
+        let right_idx = core.right_idx()?;
+        let vis = core.vis();
+        // Under a snapshot the build map is keyed on *visible* cells
+        // (`join_map_visible`), so the pushdown's fetched set and the
+        // partitioned variant — both built from newest versions only —
+        // are bypassed; the consumed conjuncts are re-verified per rid
+        // in `emit` instead.
+        let (build_rids, mut step_charged) = if vis.is_all() {
+            core.fetch_build_rids(count)?
+        } else {
+            (None, 0)
+        };
 
         // Build partitions for this step: the plan's decision from
         // cardinality estimates, or an exec-time degradation when the
         // worst-case in-place footprint (every key distinct) no longer
         // fits the remaining budget. 1 is the classic resident build.
-        let nparts = if count > 0 {
+        let nparts = if count > 0 && vis.is_all() {
             let entering = build_rids.as_ref().map_or(right.len(), Vec::len);
             let worst = join_build_bytes(entering, entering);
             if pj.partitions > 1 {
@@ -445,9 +493,10 @@ impl<'a> BuildHashJoin<'a> {
         self.ran_partitions = Some(nparts);
 
         let build_map = if count > 0 && nparts == 1 {
-            let map = match &build_rids {
-                Some(rids) => right.join_map_filtered(&pj.right_col, rids)?,
-                None => right.join_map(&pj.right_col)?,
+            let map = match (vis, &build_rids) {
+                (Vis::Snap(s), _) => right.join_map_visible(&pj.right_col, s)?,
+                (Vis::All, Some(rids)) => right.join_map_filtered(&pj.right_col, rids)?,
+                (Vis::All, None) => right.join_map(&pj.right_col)?,
             };
             // The actual footprint is at most the worst case `fits`
             // admitted above, so against a real limit this charge
@@ -495,7 +544,7 @@ impl<'a> BuildHashJoin<'a> {
             } else {
                 &[]
             };
-            output.emit(right, bucket, t, t_rids, self.core.cx.needs_canonical);
+            output.emit(&self.core, right_idx, key, bucket, t, t_rids)?;
         }
         budget.release(step_charged);
         Ok(output.into_batch(stride))
@@ -592,6 +641,7 @@ impl<'a> MergeRangeJoin<'a> {
 
         let left_slot = core.left_slot();
         let left_pos = core.left_pos();
+        let right_idx = core.right_idx()?;
         let mut output = JoinOutput::new();
         for ti in 0..count {
             let t = &tuples[ti * stride..(ti + 1) * stride];
@@ -605,7 +655,7 @@ impl<'a> MergeRangeJoin<'a> {
             } else {
                 &[]
             };
-            output.emit(right, &matches[ti], t, t_rids, core.cx.needs_canonical);
+            output.emit(core, right_idx, key, &matches[ti], t, t_rids)?;
         }
         budget.release(step_charged);
         Ok(output.into_batch(stride))

@@ -38,6 +38,8 @@ use std::rc::Rc;
 use crate::database::Database;
 use crate::error::Result;
 use crate::row::{Row, RowId};
+use crate::table::Table;
+use crate::txn::Snapshot;
 use crate::value::Value;
 
 use super::ast::SelectStmt;
@@ -230,6 +232,37 @@ pub(crate) fn pull<'a>(op: &mut (dyn Operator<'a> + '_)) -> Result<Batch<'a>> {
     Ok(batch)
 }
 
+/// Row visibility for one table within one lowered tree.
+///
+/// `All` is the pre-MVCC fast path: every rid an index returns is live
+/// and a row fetch is a plain [`Table::get`]. `Snap` routes every
+/// access through [`Table::visible_row`] against the tree's snapshot.
+/// [`ExecCtx::vis`] picks per table, so a query only pays the
+/// visibility check on tables that actually carry version chains.
+#[derive(Clone, Copy)]
+pub(crate) enum Vis<'v> {
+    /// Unchecked fast path — the table has exactly one (committed)
+    /// version per row.
+    All,
+    /// Resolve each rid to the version visible under this snapshot.
+    Snap(&'v Snapshot),
+}
+
+impl Vis<'_> {
+    /// The version of `rid` this tree may read, if any.
+    pub(crate) fn row<'t>(&self, table: &'t Table, rid: RowId) -> Option<&'t Row> {
+        match self {
+            Vis::All => table.get(rid),
+            Vis::Snap(s) => table.visible_row(rid, s),
+        }
+    }
+
+    /// Whether this is the unchecked fast path.
+    pub(crate) fn is_all(&self) -> bool {
+        matches!(self, Vis::All)
+    }
+}
+
 /// Shared execution context threaded through every operator of one
 /// lowered tree.
 pub(crate) struct ExecCtx<'a> {
@@ -241,6 +274,23 @@ pub(crate) struct ExecCtx<'a> {
     /// `Canonicalize` to restore FROM-order output.
     pub(crate) needs_canonical: bool,
     pub(crate) budget: &'a ExecBudget,
+    /// The snapshot the tree reads under, resolved once by [`lower`].
+    /// `None` means every touched table was MVCC-clean at lowering time
+    /// — the unchecked fast path.
+    pub(crate) snap: Option<Snapshot>,
+}
+
+impl ExecCtx<'_> {
+    /// Visibility for `table`. A clean table takes the unchecked fast
+    /// path even under an explicit snapshot: its newest versions *are*
+    /// the latest committed state, so results stay byte-identical to
+    /// the pre-MVCC executor.
+    pub(crate) fn vis(&self, table: &Table) -> Vis<'_> {
+        match &self.snap {
+            Some(s) if !table.mvcc_clean() => Vis::Snap(s),
+            _ => Vis::All,
+        }
+    }
 }
 
 /// Lower a [`SelectPlan`] into its operator tree.
@@ -258,6 +308,7 @@ pub fn lower<'a>(
     sel: &'a SelectStmt,
     plan: &'a SelectPlan,
     budget: &'a ExecBudget,
+    snap: Option<&Snapshot>,
 ) -> Result<Box<dyn Operator<'a> + 'a>> {
     let base = db.table(&sel.table)?;
     let mut exec_pos = vec![usize::MAX; plan.layout.tables];
@@ -265,11 +316,32 @@ pub fn lower<'a>(
     for (step, pj) in plan.join_order.iter().enumerate() {
         exec_pos[pj.table_ord] = step + 1;
     }
+    // Resolve the tree's visibility once. An explicit snapshot pins
+    // reads for the whole query; otherwise any MVCC-dirty table
+    // (in-flight or not-yet-vacuumed version chains) forces the
+    // latest-committed snapshot so uncommitted writes never leak into
+    // results. When every touched table is clean the tree carries no
+    // snapshot at all and executes byte-identically to the pre-MVCC
+    // path.
+    let snap = match snap {
+        Some(s) => Some(s.clone()),
+        None => {
+            let mut dirty = !base.mvcc_clean();
+            for pj in &plan.join_order {
+                if dirty {
+                    break;
+                }
+                dirty = !db.table(&pj.table)?.mvcc_clean();
+            }
+            dirty.then(|| db.snapshot())
+        }
+    };
     let cx = Rc::new(ExecCtx {
         layout: &plan.layout,
         exec_pos,
         needs_canonical: plan.joins_reordered(),
         budget,
+        snap,
     });
 
     let mut node: Box<dyn Operator<'a> + 'a> = match &plan.access {
@@ -388,7 +460,7 @@ mod tests {
         budget: &ExecBudget,
     ) -> Result<ResultSet> {
         let plan = plan_select_with(db, sel, opts)?;
-        let mut root = lower(db, sel, &plan, budget)?;
+        let mut root = lower(db, sel, &plan, budget, None)?;
         drive(root.as_mut())
     }
 
@@ -509,7 +581,7 @@ mod tests {
         let opts = PlanOptions::default();
         let plan = plan_select_with(&db, &sel, &opts).unwrap();
         let budget = ExecBudget::unlimited();
-        let mut root = lower(&db, &sel, &plan, &budget).unwrap();
+        let mut root = lower(&db, &sel, &plan, &budget, None).unwrap();
         let rs = drive(root.as_mut()).unwrap();
         let mut node: Option<&dyn Operator> = Some(root.as_ref());
         let mut seen = 0;

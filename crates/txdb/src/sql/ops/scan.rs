@@ -6,11 +6,35 @@
 use std::rc::Rc;
 
 use crate::error::Result;
-use crate::row::RowId;
+use crate::row::{Row, RowId};
 use crate::table::Table;
+use crate::txn::Snapshot;
 
-use super::{Batch, ExecCtx, NodeStats, Operator};
+use super::{Batch, ExecCtx, NodeStats, Operator, Vis};
 use crate::sql::plan::AccessPath;
+
+/// Full scan under a snapshot: merge-walk the table's sorted
+/// stamped-rid list against the RowId-ordered scan stream, so only the
+/// (usually few) stamped rows pay for visibility resolution — every
+/// other slot's newest version is visible to every snapshot.
+fn scan_visible<'t>(table: &'t Table, snap: &Snapshot) -> Vec<(RowId, &'t Row)> {
+    let dirty = table.stamped_rids_sorted();
+    let mut di = 0;
+    let mut out = Vec::with_capacity(table.len());
+    for (rid, newest) in table.scan() {
+        while di < dirty.len() && dirty[di] < rid {
+            di += 1;
+        }
+        if di < dirty.len() && dirty[di] == rid {
+            if let Some(row) = table.visible_row(rid, snap) {
+                out.push((rid, row));
+            }
+        } else {
+            out.push((rid, newest));
+        }
+    }
+    out
+}
 
 /// Sequential scan of the base table.
 pub(super) struct Scan<'a> {
@@ -35,10 +59,25 @@ impl<'a> Scan<'a> {
     fn produce(&mut self) -> Result<Batch<'a>> {
         let mut tuples = Vec::with_capacity(self.table.len());
         let mut rids: Vec<RowId> = Vec::new();
-        for (rid, row) in self.table.scan() {
+        // `scan` walks the newest version of every physical slot in
+        // ascending-RowId order; under a snapshot each stamped rid
+        // resolves to its visible version instead (or drops out).
+        let mut push = |rid: RowId, row: &'a Row| {
             tuples.push(row);
             if self.cx.needs_canonical {
                 rids.push(rid);
+            }
+        };
+        match self.cx.vis(self.table) {
+            Vis::All => {
+                for (rid, row) in self.table.scan() {
+                    push(rid, row);
+                }
+            }
+            Vis::Snap(s) => {
+                for (rid, row) in scan_visible(self.table, s) {
+                    push(rid, row);
+                }
             }
         }
         Ok(Batch::Tuples {
@@ -92,12 +131,33 @@ impl<'a> IndexScan<'a> {
     }
 
     fn produce(&mut self) -> Result<Batch<'a>> {
+        let vis = self.cx.vis(self.table);
         let stream: Vec<(RowId, &crate::row::Row)> = match self.access.fetch_row_ids(self.table)? {
-            None => self.table.scan().collect(),
-            Some(fetched) => fetched
+            None => match vis {
+                Vis::All => self.table.scan().collect(),
+                Vis::Snap(s) => scan_visible(self.table, s),
+            },
+            Some(fetched) if vis.is_all() => fetched
                 .into_iter()
                 .map(|rid| (rid, self.table.get(rid).expect("index holds live ids")))
                 .collect(),
+            Some(fetched) => {
+                // Indexes hold the union of every version's keys, so the
+                // fetched set is a superset under a snapshot: resolve
+                // each rid to its visible version and re-verify the
+                // consumed conjuncts against it.
+                let mut stream = Vec::with_capacity(fetched.len());
+                for rid in fetched {
+                    let Some(row) = vis.row(self.table, rid) else {
+                        continue;
+                    };
+                    if !self.access.matches_row(self.table, row)? {
+                        continue;
+                    }
+                    stream.push((rid, row));
+                }
+                stream
+            }
         };
         let mut tuples = Vec::with_capacity(stream.len());
         let mut rids: Vec<RowId> = Vec::new();

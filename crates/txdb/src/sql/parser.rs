@@ -122,11 +122,25 @@ impl Parser {
             self.update()
         } else if first.is_kw("delete") {
             self.delete()
+        } else if first.is_kw("begin") {
+            self.txn_control("begin", Statement::Begin)
+        } else if first.is_kw("commit") {
+            self.txn_control("commit", Statement::Commit)
+        } else if first.is_kw("rollback") {
+            self.txn_control("rollback", Statement::Rollback)
         } else {
             Err(TxdbError::Parse(format!(
                 "unsupported statement start: {first:?}"
             )))
         }
+    }
+
+    /// `BEGIN | COMMIT | ROLLBACK`, each with an optional noise word
+    /// (`TRANSACTION` or `WORK`, as in PostgreSQL).
+    fn txn_control(&mut self, kw: &str, stmt: Statement) -> Result<Statement> {
+        self.expect_kw(kw)?;
+        let _ = self.eat_kw("transaction") || self.eat_kw("work");
+        Ok(stmt)
     }
 
     fn create_table(&mut self) -> Result<Statement> {

@@ -417,6 +417,51 @@ impl IndexProbe {
             }
         }
     }
+
+    /// Whether `row` would be in this probe's fetched set if it were the
+    /// table's newest version — the per-row form of [`IndexProbe::fetch`].
+    /// MVCC-visible execution uses it to re-verify consumed conjuncts
+    /// against the *visible* version of a row: indexes hold the union of
+    /// every version's keys, so a fetched set read under a snapshot is a
+    /// superset that may admit rids whose visible cell no longer matches.
+    pub fn matches_row(&self, table: &Table, row: &crate::row::Row) -> Result<bool> {
+        let idx = table.schema().require_column(self.column())?;
+        let cell = row.get(idx).unwrap_or(&Value::Null);
+        if cell.is_null() {
+            // Neither index kind ever holds NULL cells.
+            return Ok(false);
+        }
+        Ok(match self {
+            // Hash buckets are keyed by canonical value equality.
+            IndexProbe::Eq { value, .. } => cell == value,
+            IndexProbe::Range {
+                lo,
+                hi,
+                include_nan,
+                ..
+            } => {
+                if matches!(cell, Value::Float(f) if f.is_nan()) {
+                    // NaN sorts above every number; `fetch` adds or strips
+                    // the NaN bucket to match predicate semantics.
+                    *include_nan
+                } else {
+                    use crate::index::OrdKey;
+                    use std::cmp::Ordering;
+                    let above_lo = match lo {
+                        Bound::Unbounded => true,
+                        Bound::Included(v) => OrdKey::cmp_values(cell, v) != Ordering::Less,
+                        Bound::Excluded(v) => OrdKey::cmp_values(cell, v) == Ordering::Greater,
+                    };
+                    let below_hi = match hi {
+                        Bound::Unbounded => true,
+                        Bound::Included(v) => OrdKey::cmp_values(cell, v) != Ordering::Greater,
+                        Bound::Excluded(v) => OrdKey::cmp_values(cell, v) == Ordering::Less,
+                    };
+                    above_lo && below_hi
+                }
+            }
+        })
+    }
 }
 
 /// How the executor reaches the base table's rows.
@@ -468,6 +513,22 @@ impl AccessPath {
             acc = intersect_sorted(&acc, &set);
         }
         Ok(Some(acc))
+    }
+
+    /// Per-row form of [`AccessPath::fetch_row_ids`]: whether `row`
+    /// satisfies every probe. `FullScan` matches everything. Used by
+    /// MVCC-visible execution to re-verify a superset fetch against the
+    /// visible version of each row.
+    pub fn matches_row(&self, table: &Table, row: &crate::row::Row) -> Result<bool> {
+        let AccessPath::Index(probes) = self else {
+            return Ok(true);
+        };
+        for p in probes {
+            if !p.matches_row(table, row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 }
 

@@ -407,7 +407,10 @@ impl TableStats {
         TableStats {
             table: schema.name().to_string(),
             row_count: table.len(),
-            version: table.version(),
+            // Committed counter, not the raw one: staleness bounds are
+            // measured against committed work so rolled-back transactions
+            // don't age the cache.
+            version: table.committed_version(),
             columns,
             joint,
         }
@@ -435,9 +438,10 @@ impl TableStats {
         })
     }
 
-    /// Whether these stats are stale with respect to the live table.
+    /// Whether these stats are stale with respect to the live table's
+    /// committed state.
     pub fn is_stale(&self, table: &Table) -> bool {
-        table.version() != self.version
+        table.committed_version() != self.version
     }
 }
 

@@ -9,18 +9,60 @@ use crate::index::RangeIndex;
 use crate::predicate::Predicate;
 use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
+use crate::txn::{Snapshot, LIVE_TXN};
 use crate::value::Value;
+
+/// Version stamp of a row slot's *newest* version. A slot without a
+/// stamp is pristine: committed before every snapshot, visible to all.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Stamp {
+    /// Transaction that wrote this version (0 = pristine/pre-MVCC).
+    pub begin: u64,
+    /// Transaction that deleted or superseded it ([`LIVE_TXN`] = live).
+    pub end: u64,
+}
+
+/// One superseded version of a row. Its end stamp is implicit: the
+/// `begin` of its successor in the chain (or of the current version).
+#[derive(Debug, Clone)]
+struct OldVersion {
+    begin: u64,
+    row: Row,
+}
 
 /// One table: schema + rows + indexes.
 ///
 /// All mutations bump a `version` counter; readers (notably the policy's
 /// statistics cache) use it to detect staleness cheaply.
+///
+/// # MVCC layout
+///
+/// `rows` always holds the *newest* version of each slot. Slots touched
+/// by in-flight (or not-yet-vacuumed) transactions additionally carry a
+/// begin/end stamp in `stamps` and superseded versions in `older` — newest
+/// last, each version's end being its successor's begin. A slot with no
+/// stamp is visible to every snapshot, so a fully vacuumed table
+/// ([`Table::mvcc_clean`]) reads exactly like the pre-MVCC storage with
+/// zero per-row overhead. Indexes (hash, range, PK) are maintained on
+/// the *union* of all versions' keys; readers resolve visibility at
+/// fetch time, so bucket maintenance is unchanged and an index fetch on
+/// a dirty table is a superset that must be re-verified against the
+/// visible version.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
     rows: BTreeMap<RowId, Row>,
     next_row_id: u64,
     version: u64,
+    /// Mutations attributable to *committed* work (direct writes and
+    /// committed transactions; never rolled-back ones). The statistics
+    /// cache keys its staleness bound off this counter so an aborted
+    /// transaction doesn't burn the recompute budget.
+    committed_version: u64,
+    /// Version stamps for slots with MVCC state (absent = pristine).
+    stamps: HashMap<RowId, Stamp>,
+    /// Superseded version chains, oldest first (absent = no history).
+    older: HashMap<RowId, Vec<OldVersion>>,
     /// Composite-PK index (empty map when the table has no declared PK).
     pk_index: HashMap<Vec<Value>, RowId>,
     /// Secondary hash indexes: column name -> value -> row ids.
@@ -47,11 +89,14 @@ pub fn join_key_partition(value: &Value, partitions: usize) -> usize {
 /// append fast path; only rollback re-inserts and key updates pay the
 /// binary search. Sorted buckets let the join loops and index probes use
 /// bucket order directly as the canonical ascending-RowId stream order.
+/// Idempotent: re-inserting a present rid is a no-op, so MVCC version
+/// maintenance can re-assert keys shared between versions of a row.
 fn bucket_insert(bucket: &mut Vec<RowId>, rid: RowId) {
     match bucket.last() {
         Some(&last) if last >= rid => {
-            let pos = bucket.binary_search(&rid).unwrap_or_else(|p| p);
-            bucket.insert(pos, rid);
+            if let Err(pos) = bucket.binary_search(&rid) {
+                bucket.insert(pos, rid);
+            }
         }
         _ => bucket.push(rid),
     }
@@ -81,6 +126,9 @@ impl Table {
             rows: BTreeMap::new(),
             next_row_id: 1,
             version: 0,
+            committed_version: 0,
+            stamps: HashMap::new(),
+            older: HashMap::new(),
             pk_index: HashMap::new(),
             indexes: HashMap::new(),
             range_indexes: HashMap::new(),
@@ -113,6 +161,84 @@ impl Table {
     /// Monotonically increasing mutation counter.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Mutation counter restricted to committed work: direct writes and
+    /// committed transactions bump it; transactional writes that later
+    /// roll back do not. The statistics cache bounds its staleness on
+    /// this counter.
+    pub fn committed_version(&self) -> u64 {
+        self.committed_version
+    }
+
+    /// Credit `n` committed mutations (called once per table at commit
+    /// with the transaction's write count).
+    pub(crate) fn bump_committed(&mut self, n: u64) {
+        self.committed_version += n;
+    }
+
+    /// Whether the table carries no MVCC state: every slot is a single
+    /// committed version visible to all snapshots. Clean tables read
+    /// through the exact pre-MVCC code paths.
+    pub fn mvcc_clean(&self) -> bool {
+        self.stamps.is_empty() && self.older.is_empty()
+    }
+
+    /// Number of version stamps plus superseded versions currently held
+    /// — the garbage vacuum exists to reclaim. Zero on a
+    /// fully vacuumed table.
+    pub fn mvcc_versions(&self) -> usize {
+        self.stamps.len() + self.older.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Row ids carrying version stamps, in ascending order. These are
+    /// the only rows a snapshot scan must resolve through
+    /// [`Table::visible_row`]; every unstamped slot's newest version is
+    /// visible to every snapshot, so a full scan can merge-walk this
+    /// (usually tiny) list against its RowId-ordered stream instead of
+    /// probing the stamp map once per row.
+    pub fn stamped_rids_sorted(&self) -> Vec<RowId> {
+        let mut rids: Vec<RowId> = self.stamps.keys().copied().collect();
+        rids.sort_unstable();
+        rids
+    }
+
+    /// Resolve the version of `rid` visible to `snap`, if any: the
+    /// current version when the snapshot sees its begin stamp (and not
+    /// its delete stamp), else the newest chain version whose begin it
+    /// sees. An unstamped slot is visible to everyone.
+    pub fn visible_row(&self, rid: RowId, snap: &Snapshot) -> Option<&Row> {
+        let Some(st) = self.stamps.get(&rid) else {
+            return self.rows.get(&rid);
+        };
+        if snap.sees(st.begin) {
+            return if st.end != LIVE_TXN && snap.sees(st.end) {
+                None
+            } else {
+                self.rows.get(&rid)
+            };
+        }
+        // Walk the chain newest-first; the first version whose begin the
+        // snapshot sees is the visible one (its implicit end is the
+        // successor's begin, which the snapshot just failed to see).
+        self.older
+            .get(&rid)?
+            .iter()
+            .rev()
+            .find(|v| snap.sees(v.begin))
+            .map(|v| &v.row)
+    }
+
+    /// Iterate the rows visible to `snap` in ascending RowId order —
+    /// the MVCC counterpart of [`Table::scan`]. On a clean table this
+    /// yields exactly what `scan` yields.
+    pub fn scan_visible<'t>(
+        &'t self,
+        snap: &'t Snapshot,
+    ) -> impl Iterator<Item = (RowId, &'t Row)> + 't {
+        self.rows
+            .keys()
+            .filter_map(move |&rid| self.visible_row(rid, snap).map(|row| (rid, row)))
     }
 
     /// Create an additional secondary index on `column`.
@@ -270,6 +396,7 @@ impl Table {
         }
         self.rows.insert(rid, row);
         self.version += 1;
+        self.committed_version += 1;
         Ok(rid)
     }
 
@@ -295,6 +422,7 @@ impl Table {
             self.pk_index.remove(&pk);
         }
         self.version += 1;
+        self.committed_version += 1;
         Ok(row)
     }
 
@@ -367,6 +495,7 @@ impl Table {
             }
         }
         self.version += 1;
+        self.committed_version += 1;
         Ok(old)
     }
 
@@ -626,11 +755,423 @@ impl Table {
         }
     }
 
-    // ----- physical operations used by transaction rollback -----
+    // ----- MVCC operations (used by the database's transaction API) -----
+    //
+    // Writes stamp versions with the writing transaction's id; commit
+    // publishes them by removing the id from the active set (no stamp
+    // rewriting), rollback unwinds them via the `mvcc_rollback_*` ops,
+    // and `vacuum` reclaims versions no snapshot can reach. Indexes hold
+    // the union of all versions' keys (adds are idempotent, removals
+    // retain-based), so uniqueness/FK checks through raw `lookup` are
+    // conservative supersets while a table is dirty: they may reject
+    // against a version that is not committed-visible, which is the
+    // first-committer-wins bias snapshot isolation wants.
+
+    /// Check that `txn` (reading through `snap`, its own snapshot) may
+    /// write row `rid`: the newest version must be one the transaction
+    /// can see. A newer invisible version means another transaction got
+    /// there first — [`TxdbError::Serialization`], the later writer
+    /// aborts.
+    pub(crate) fn mvcc_write_check(&self, rid: RowId, txn: u64, snap: &Snapshot) -> Result<()> {
+        let no_such = || TxdbError::NoSuchRow {
+            table: self.schema.name().to_string(),
+        };
+        let conflict = |what: &str| TxdbError::Serialization {
+            table: self.schema.name().to_string(),
+            detail: format!("row {rid} was {what} by a concurrent transaction"),
+        };
+        let Some(st) = self.stamps.get(&rid) else {
+            return if self.rows.contains_key(&rid) {
+                Ok(())
+            } else {
+                Err(no_such())
+            };
+        };
+        if st.end != LIVE_TXN {
+            // Deleted: gone if we could see the delete, conflict if not.
+            return if snap.sees(st.end) {
+                Err(no_such())
+            } else {
+                Err(conflict("deleted"))
+            };
+        }
+        if st.begin == txn || snap.sees(st.begin) {
+            Ok(())
+        } else {
+            Err(conflict("updated"))
+        }
+    }
+
+    /// Insert a row on behalf of transaction `txn`: same validation as
+    /// [`Table::insert`], but the new version is stamped `begin = txn`
+    /// so it stays invisible to other snapshots until commit.
+    pub(crate) fn mvcc_insert(&mut self, row: Row, txn: u64) -> Result<RowId> {
+        self.validate_row(&row)?;
+        let pk = self.pk_of(&row);
+        if !pk.is_empty() && self.pk_index.contains_key(&pk) {
+            return Err(TxdbError::DuplicateKey {
+                table: self.schema.name().to_string(),
+                key: format!("{pk:?}"),
+            });
+        }
+        for (i, col) in self.schema.columns().iter().enumerate() {
+            if col.unique && !self.schema.is_pk_column(&col.name) {
+                let v = row.get(i).expect("arity checked");
+                if !v.is_null() && !self.lookup(&col.name, v)?.is_empty() {
+                    return Err(TxdbError::DuplicateKey {
+                        table: self.schema.name().to_string(),
+                        key: format!("{}={v}", col.name),
+                    });
+                }
+            }
+        }
+        let rid = RowId(self.next_row_id);
+        self.next_row_id += 1;
+        self.index_row(rid, &row);
+        if !pk.is_empty() {
+            self.pk_index.insert(pk, rid);
+        }
+        self.rows.insert(rid, row);
+        self.stamps.insert(
+            rid,
+            Stamp {
+                begin: txn,
+                end: LIVE_TXN,
+            },
+        );
+        self.version += 1;
+        Ok(rid)
+    }
+
+    /// Update one column of `rid` on behalf of transaction `txn`
+    /// (caller has already passed [`Table::mvcc_write_check`]). A first
+    /// touch of a foreign row pushes the previous version onto the
+    /// chain and returns `true`; re-touching a version this transaction
+    /// already owns edits it in place (index keys swap as in the
+    /// pre-MVCC path) and returns `false`.
+    pub(crate) fn mvcc_update(
+        &mut self,
+        rid: RowId,
+        column: &str,
+        value: Value,
+        txn: u64,
+    ) -> Result<(Value, bool)> {
+        let idx = self.schema.require_column(column)?;
+        let col = &self.schema.columns()[idx];
+        if value.is_null() && !col.nullable {
+            return Err(TxdbError::NotNullViolation {
+                table: self.schema.name().to_string(),
+                column: column.to_string(),
+            });
+        }
+        if !value.conforms_to(col.ty) {
+            return Err(TxdbError::TypeMismatch {
+                expected: col.ty,
+                got: format!("{value}"),
+                context: format!("{}.{}", self.schema.name(), column),
+            });
+        }
+        let is_unique = col.unique || self.schema.is_pk_column(column);
+        if is_unique && !value.is_null() {
+            if let Some(existing) = self.lookup(column, &value)?.iter().find(|&&r| r != rid) {
+                return Err(TxdbError::DuplicateKey {
+                    table: self.schema.name().to_string(),
+                    key: format!("{column}={value} (held by {existing})"),
+                });
+            }
+        }
+        let st = self.stamps.get(&rid).copied();
+        if st.is_some_and(|s| s.begin == txn && s.end == LIVE_TXN) {
+            // Own uncommitted version: edit in place, swapping index keys.
+            let old = self.set_cell(rid, idx, value).ok_or(TxdbError::NoSuchRow {
+                table: self.schema.name().to_string(),
+            })?;
+            return Ok((old, false));
+        }
+        let old_row = self
+            .rows
+            .get(&rid)
+            .cloned()
+            .ok_or_else(|| TxdbError::NoSuchRow {
+                table: self.schema.name().to_string(),
+            })?;
+        self.older.entry(rid).or_default().push(OldVersion {
+            begin: st.map_or(0, |s| s.begin),
+            row: old_row.clone(),
+        });
+        self.stamps.insert(
+            rid,
+            Stamp {
+                begin: txn,
+                end: LIVE_TXN,
+            },
+        );
+        let row = self.rows.get_mut(&rid).expect("presence checked");
+        let old = row.set(idx, value.clone()).expect("index in range");
+        let new_row = row.clone();
+        // The superseded version keeps its index keys (readers may still
+        // resolve to it); the new version only *adds* its key.
+        if let Some(map) = self.indexes.get_mut(column) {
+            if !value.is_null() {
+                bucket_insert(map.entry(value.clone()).or_default(), rid);
+            }
+        }
+        if let Some(index) = self.range_indexes.get_mut(column) {
+            index.insert(value, rid);
+        }
+        // The PK index tracks the newest version's key.
+        if self.schema.is_pk_column(column) {
+            let old_pk = self.pk_of(&old_row);
+            let new_pk = self.pk_of(&new_row);
+            if old_pk != new_pk {
+                if self.pk_index.get(&old_pk) == Some(&rid) {
+                    self.pk_index.remove(&old_pk);
+                }
+                self.pk_index.insert(new_pk, rid);
+            }
+        }
+        self.version += 1;
+        Ok((old, true))
+    }
+
+    /// Delete `rid` on behalf of transaction `txn` (caller has already
+    /// passed [`Table::mvcc_write_check`]): the row is only stamped
+    /// `end = txn` — storage, indexes and PK entry stay until vacuum so
+    /// concurrent snapshots keep reading the old version.
+    pub(crate) fn mvcc_delete(&mut self, rid: RowId, txn: u64) -> Result<Row> {
+        let row = self
+            .rows
+            .get(&rid)
+            .cloned()
+            .ok_or_else(|| TxdbError::NoSuchRow {
+                table: self.schema.name().to_string(),
+            })?;
+        let st = self.stamps.entry(rid).or_insert(Stamp {
+            begin: 0,
+            end: LIVE_TXN,
+        });
+        st.end = txn;
+        self.version += 1;
+        Ok(row)
+    }
+
+    /// Roll back an insert: the stamped row vanishes entirely.
+    pub(crate) fn mvcc_rollback_insert(&mut self, rid: RowId) {
+        self.stamps.remove(&rid);
+        self.older.remove(&rid);
+        self.remove_physical(rid);
+    }
+
+    /// Roll back a version-pushing update: pop the superseded version
+    /// off the chain, restore it as the current row, and drop the
+    /// aborted version's index keys (re-asserting any it shared with
+    /// surviving versions).
+    pub(crate) fn mvcc_rollback_update(&mut self, rid: RowId) {
+        let Some(chain) = self.older.get_mut(&rid) else {
+            return;
+        };
+        let Some(restored) = chain.pop() else {
+            return;
+        };
+        let remaining: Vec<Row> = chain.iter().map(|v| v.row.clone()).collect();
+        if chain.is_empty() {
+            self.older.remove(&rid);
+        }
+        if restored.begin == 0 && remaining.is_empty() {
+            self.stamps.remove(&rid);
+        } else {
+            self.stamps.insert(
+                rid,
+                Stamp {
+                    begin: restored.begin,
+                    end: LIVE_TXN,
+                },
+            );
+        }
+        let Some(aborted) = self.rows.insert(rid, restored.row.clone()) else {
+            return;
+        };
+        self.unindex_row(rid, &aborted);
+        self.index_row(rid, &restored.row);
+        for row in &remaining {
+            self.index_row(rid, row);
+        }
+        let aborted_pk = self.pk_of(&aborted);
+        let restored_pk = self.pk_of(&restored.row);
+        if aborted_pk != restored_pk && !aborted_pk.is_empty() {
+            if self.pk_index.get(&aborted_pk) == Some(&rid) {
+                self.pk_index.remove(&aborted_pk);
+            }
+            self.pk_index.insert(restored_pk, rid);
+        }
+        self.version += 1;
+    }
+
+    /// Roll back a delete: clear the end stamp (collapsing back to
+    /// pristine when nothing else distinguishes the slot).
+    pub(crate) fn mvcc_rollback_delete(&mut self, rid: RowId) {
+        if let Some(st) = self.stamps.get_mut(&rid) {
+            st.end = LIVE_TXN;
+            if st.begin == 0 && !self.older.contains_key(&rid) {
+                self.stamps.remove(&rid);
+            }
+        }
+        self.version += 1;
+    }
+
+    /// Reclaim version garbage: drop every version no current or future
+    /// snapshot can reach, judged by `all_see` (true when every active
+    /// snapshot sees the given transaction — with no transactions in
+    /// flight, every committed stamp qualifies and the table collapses
+    /// back to pristine). Returns the number of stamps and superseded
+    /// versions reclaimed. Purely physical: `version()` is unchanged.
+    pub(crate) fn vacuum(&mut self, all_see: &dyn Fn(u64) -> bool) -> usize {
+        let rids: Vec<RowId> = self.stamps.keys().copied().collect();
+        let mut reclaimed = 0;
+        for rid in rids {
+            let st = *self.stamps.get(&rid).expect("collected above");
+            if st.end != LIVE_TXN && all_see(st.end) {
+                // The delete is visible to everyone; a snapshot that sees
+                // the end stamp sees every begin below it (ids are handed
+                // out before commit), so the whole slot is unreachable.
+                let chain = self.older.remove(&rid).unwrap_or_default();
+                reclaimed += 1 + chain.len();
+                if let Some(row) = self.rows.remove(&rid) {
+                    self.unindex_row(rid, &row);
+                    let pk = self.pk_of(&row);
+                    if !pk.is_empty() && self.pk_index.get(&pk) == Some(&rid) {
+                        self.pk_index.remove(&pk);
+                    }
+                }
+                for v in &chain {
+                    self.unindex_row(rid, &v.row);
+                }
+                self.stamps.remove(&rid);
+                continue;
+            }
+            let chain = self.older.remove(&rid).unwrap_or_default();
+            if !chain.is_empty() {
+                // A chain version's end is its successor's begin; once
+                // everyone sees that commit, the version is unreachable.
+                let ends: Vec<u64> = (0..chain.len())
+                    .map(|i| chain.get(i + 1).map_or(st.begin, |v| v.begin))
+                    .collect();
+                let mut kept: Vec<OldVersion> = Vec::new();
+                let mut dropped: Vec<Row> = Vec::new();
+                for (v, end) in chain.into_iter().zip(ends) {
+                    if all_see(end) {
+                        dropped.push(v.row);
+                        reclaimed += 1;
+                    } else {
+                        kept.push(v);
+                    }
+                }
+                for row in &dropped {
+                    self.unindex_row(rid, row);
+                }
+                if !dropped.is_empty() {
+                    // Re-assert keys the dropped versions shared with
+                    // survivors (adds are idempotent).
+                    if let Some(cur) = self.rows.get(&rid).cloned() {
+                        self.index_row(rid, &cur);
+                    }
+                    let kept_rows: Vec<Row> = kept.iter().map(|v| v.row.clone()).collect();
+                    for row in &kept_rows {
+                        self.index_row(rid, row);
+                    }
+                }
+                if !kept.is_empty() {
+                    self.older.insert(rid, kept);
+                }
+            }
+            if st.end == LIVE_TXN && !self.older.contains_key(&rid) && all_see(st.begin) {
+                // Committed-to-everyone live version: back to pristine.
+                self.stamps.remove(&rid);
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Rows visible to `snap` that satisfy `pred`, in ascending RowId
+    /// order — the MVCC counterpart of [`Table::select`]. Always scans:
+    /// index fetches on a dirty table are version supersets, and a
+    /// superseded version can match where the newest does not, so the
+    /// scan over resolved versions is the only exact path. Dirty tables
+    /// are a transient state, so this never costs on clean reads.
+    pub fn select_snapshot(&self, pred: &Predicate, snap: &Snapshot) -> Result<Vec<(RowId, &Row)>> {
+        let mut out = Vec::new();
+        for &rid in self.rows.keys() {
+            let Some(row) = self.visible_row(rid, snap) else {
+                continue;
+            };
+            if pred.eval(&self.schema, row)? {
+                out.push((rid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`Table::join_map`] over the rows visible to `snap`: same key
+    /// semantics (NULL and NaN never join), buckets ascending.
+    pub fn join_map_visible<'t>(
+        &'t self,
+        column: &str,
+        snap: &Snapshot,
+    ) -> Result<HashMap<&'t Value, Vec<RowId>>> {
+        let idx = self.schema.require_column(column)?;
+        let mut map: HashMap<&Value, Vec<RowId>> = HashMap::new();
+        for &rid in self.rows.keys() {
+            let Some(row) = self.visible_row(rid, snap) else {
+                continue;
+            };
+            let Some(v) = row.get(idx) else { continue };
+            if v.is_excluded_join_key() {
+                continue;
+            }
+            map.entry(v).or_default().push(rid);
+        }
+        Ok(map)
+    }
+
+    /// Whether some version of `rid` still carries `key` in column
+    /// `col_idx` from the perspective of `snap`'s owner — the liveness
+    /// test behind foreign-key child checks. True when the visible
+    /// version matches, and also (conservatively) when another in-flight
+    /// transaction's newest version matches: that version may yet
+    /// commit, so the reference must block, consistent with first
+    /// committer wins.
+    pub(crate) fn fk_reference_alive(
+        &self,
+        rid: RowId,
+        col_idx: usize,
+        key: &Value,
+        snap: &Snapshot,
+    ) -> bool {
+        if let Some(row) = self.visible_row(rid, snap) {
+            if row.get(col_idx) == Some(key) {
+                return true;
+            }
+        }
+        if let Some(st) = self.stamps.get(&rid) {
+            if st.end == LIVE_TXN && !snap.sees(st.begin) {
+                if let Some(row) = self.rows.get(&rid) {
+                    if row.get(col_idx) == Some(key) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    // ----- physical operations used by MVCC rollback -----
     // These bypass constraint checks (the state being restored was valid)
     // but keep every index consistent.
 
-    /// Re-insert a row under its original id (rollback of a delete).
+    /// Re-insert a row under a specific id, bypassing constraint checks
+    /// (test utility pinning next_row_id monotonicity).
+    #[cfg(test)]
     pub(crate) fn insert_physical(&mut self, rid: RowId, row: Row) {
         self.index_row(rid, &row);
         let pk = self.pk_of(&row);
@@ -642,8 +1183,11 @@ impl Table {
         self.version += 1;
     }
 
-    /// Remove a row (rollback of an insert).
+    /// Remove a row (rollback of an insert). Any MVCC state attached to
+    /// the slot goes with it.
     pub(crate) fn remove_physical(&mut self, rid: RowId) {
+        self.stamps.remove(&rid);
+        self.older.remove(&rid);
         if let Some(row) = self.rows.remove(&rid) {
             self.unindex_row(rid, &row);
             let pk = self.pk_of(&row);
@@ -654,12 +1198,12 @@ impl Table {
         }
     }
 
-    /// Restore a single cell (rollback of an update).
-    pub(crate) fn set_physical(&mut self, rid: RowId, col_idx: usize, value: Value) {
+    /// Overwrite one cell in place, swapping index keys and fixing the
+    /// PK entry, without constraint checks. Returns the previous value
+    /// (`None` when the row does not exist).
+    fn set_cell(&mut self, rid: RowId, col_idx: usize, value: Value) -> Option<Value> {
         let col_name = self.schema.columns()[col_idx].name.clone();
-        let Some(row) = self.rows.get_mut(&rid) else {
-            return;
-        };
+        let row = self.rows.get_mut(&rid)?;
         let old = row.set(col_idx, value.clone()).expect("index in range");
         let new_row = row.clone();
         if let Some(map) = self.indexes.get_mut(&col_name) {
@@ -682,7 +1226,7 @@ impl Table {
         if self.schema.is_pk_column(&col_name) {
             // Rebuild this row's PK entry.
             let mut old_row = new_row.clone();
-            old_row.set(col_idx, old);
+            old_row.set(col_idx, old.clone());
             let old_pk = self.pk_of(&old_row);
             let new_pk = self.pk_of(&new_row);
             if old_pk != new_pk {
@@ -691,6 +1235,7 @@ impl Table {
             }
         }
         self.version += 1;
+        Some(old)
     }
 }
 

@@ -42,8 +42,8 @@ use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
 
 use cat_txdb::sql::{
-    execute, execute_select_reference, execute_select_with, parse_statement, plan_select,
-    JoinStrategy, PlanOptions, Statement,
+    execute, execute_select_at, execute_select_reference, execute_select_with, parse_statement,
+    plan_select, JoinStrategy, PlanOptions, Statement,
 };
 use cat_txdb::{row, DataType, Database, TableSchema, Value};
 
@@ -627,6 +627,7 @@ const SHAPES: &[&str] = &[
     "no_build_pushdown",
     "independence_only",
     "tight_budget",
+    "snapshot",
 ];
 
 fn shape_options(name: &str) -> PlanOptions {
@@ -637,6 +638,9 @@ fn shape_options(name: &str) -> PlanOptions {
         "no_build_pushdown" => PlanOptions::no_build_pushdown(),
         "independence_only" => PlanOptions::independence_only(),
         "tight_budget" => PlanOptions::tight_budget(),
+        // The PR 8 snapshot shape runs the default planner through an
+        // explicit MVCC snapshot (special-cased at the call site).
+        "snapshot" => PlanOptions::default(),
         other => panic!("TXDB_DIFF_SHAPE={other} names no planner shape (one of {SHAPES:?})"),
     }
 }
@@ -682,6 +686,12 @@ fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
                     // The default shape goes through `execute` so the
                     // statement-dispatch layer is exercised too.
                     execute(db, sql).map(|r| r.rows().unwrap().clone())
+                } else if name == "snapshot" {
+                    // With no transactions in flight every table is
+                    // vacuum-clean, so reading through an explicit
+                    // snapshot must be byte-identical to the default.
+                    let snap = db.snapshot();
+                    execute_select_at(db, &sel, &shape_options(name), Some(&snap))
                 } else {
                     execute_select_with(db, &sel, &shape_options(name))
                 };

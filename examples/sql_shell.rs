@@ -3,14 +3,16 @@
 //! CREATE TABLE / INSERT / SELECT (joins, WHERE, GROUP BY + aggregates,
 //! ORDER BY, LIMIT) / UPDATE / DELETE, plus `EXPLAIN [ANALYZE] SELECT`
 //! to print the lowered operator tree (with `ANALYZE`: executed, with
-//! actual row counts and budget peaks per operator).
+//! actual row counts and budget peaks per operator), and explicit
+//! transactions: `BEGIN` pins a snapshot for the following statements
+//! until `COMMIT` or `ROLLBACK`.
 //!
 //! Run with: `cargo run -p cat-examples --bin sql_shell`
 
 use std::io::{self, BufRead, Write};
 
 use cat_corpus::{generate_cinema, CinemaConfig};
-use cat_txdb::sql::{execute, QueryResult};
+use cat_txdb::sql::{QueryResult, Session};
 use cat_txdb::TxdbError;
 
 fn main() {
@@ -21,10 +23,18 @@ fn main() {
     );
     println!("example: SELECT genre, count(*) FROM movie GROUP BY genre ORDER BY genre;");
     println!("         EXPLAIN ANALYZE SELECT title FROM movie WHERE genre = 'Drama';");
+    println!("         BEGIN; UPDATE ...; SELECT ...; COMMIT;  (or ROLLBACK)");
     println!("---- type `quit` to exit ----");
     let stdin = io::stdin();
+    // The session carries at most one open transaction across lines.
+    let mut session = Session::new();
     loop {
-        print!("sql> ");
+        let prompt = if session.open_txn().is_some() {
+            "sql*> "
+        } else {
+            "sql> "
+        };
+        print!("{prompt}");
         io::stdout().flush().expect("flush");
         let mut line = String::new();
         if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
@@ -37,7 +47,7 @@ fn main() {
         if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
             break;
         }
-        match execute(&mut db, line) {
+        match session.execute(&mut db, line) {
             Ok(QueryResult::Rows(rs)) => {
                 println!("{}", rs.columns.join(" | "));
                 for row in rs.rows.iter().take(40) {
@@ -57,12 +67,24 @@ fn main() {
             Ok(QueryResult::Inserted(n)) => println!("ok: {n} row(s) inserted"),
             Ok(QueryResult::Updated(n)) => println!("ok: {n} row(s) updated"),
             Ok(QueryResult::Deleted(n)) => println!("ok: {n} row(s) deleted"),
+            Ok(QueryResult::Begun) => println!("ok: transaction started"),
+            Ok(QueryResult::Committed) => println!("ok: committed"),
+            Ok(QueryResult::RolledBack) => println!("ok: rolled back"),
             Err(TxdbError::ResourceExhausted { budget, .. }) => println!(
                 "error: query exceeded memory budget ({budget} bytes); \
                  retry or raise the budget"
             ),
+            Err(TxdbError::Serialization { table, detail }) => println!(
+                "error: serialization conflict on `{table}` ({detail}); \
+                 transaction rolled back — retry"
+            ),
             Err(e) => println!("error: {e}"),
         }
+    }
+    if session.open_txn().is_some() {
+        // Drop the open transaction cleanly on exit.
+        let _ = session.execute(&mut db, "ROLLBACK");
+        println!("(open transaction rolled back)");
     }
     println!("bye!");
 }

@@ -1,0 +1,350 @@
+//! Snapshot-isolation anomaly suite for the MVCC transaction layer:
+//! each test pins one anomaly the paper-style substrate must (or must
+//! not) exhibit — dirty reads, non-repeatable reads, lost updates via
+//! write-write conflicts, own-writes visibility — plus the vacuum
+//! reclamation and statistics-staleness contracts that ride on the
+//! same version machinery.
+
+use cat_txdb::sql::{execute_select_at, parse_statement, QueryResult, Session, Statement};
+use cat_txdb::{row, DataType, Database, Predicate, TableSchema, TxdbError, Value};
+
+/// A fresh database with one `account(id INT PK, balance INT)` table
+/// holding `n` rows with balance 100 each.
+fn bank(n: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("account")
+            .column("id", DataType::Int)
+            .column("balance", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for i in 0..n {
+        db.insert("account", row![i, 100]).unwrap();
+    }
+    db
+}
+
+fn balances(db: &Database, rows: &[(cat_txdb::RowId, cat_txdb::Row)]) -> Vec<(i64, i64)> {
+    let _ = db;
+    let mut out: Vec<(i64, i64)> = rows
+        .iter()
+        .map(|(_, r)| {
+            (
+                r.get(0).unwrap().as_int().unwrap(),
+                r.get(1).unwrap().as_int().unwrap(),
+            )
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn no_dirty_reads() {
+    let mut db = bank(3);
+    let writer = db.txn_begin();
+    let rid = db.select("account", &Predicate::eq("id", 0)).unwrap()[0].0;
+    db.txn_update(writer, "account", rid, "balance", Value::Int(999))
+        .unwrap();
+    db.txn_insert(writer, "account", row![77, 500]).unwrap();
+
+    // Plain reads and detached snapshots see only committed state.
+    let committed = db.select("account", &Predicate::True).unwrap();
+    assert_eq!(
+        balances(&db, &committed),
+        vec![(0, 100), (1, 100), (2, 100)],
+        "uncommitted writes leaked into a plain read"
+    );
+    let snap = db.snapshot();
+    let through_snap = db
+        .table("account")
+        .unwrap()
+        .select_snapshot(&Predicate::True, &snap)
+        .unwrap();
+    let through_snap: Vec<_> = through_snap
+        .into_iter()
+        .map(|(rid, r)| (rid, r.clone()))
+        .collect();
+    assert_eq!(
+        balances(&db, &through_snap),
+        vec![(0, 100), (1, 100), (2, 100)]
+    );
+
+    db.txn_commit(writer).unwrap();
+    let committed = db.select("account", &Predicate::True).unwrap();
+    assert_eq!(
+        balances(&db, &committed),
+        vec![(0, 999), (1, 100), (2, 100), (77, 500)]
+    );
+}
+
+#[test]
+fn repeatable_reads_across_a_concurrent_commit() {
+    let mut db = bank(3);
+    // The reader's snapshot is cut before the writer does anything.
+    let reader = db.txn_begin();
+    let before = db.txn_select(reader, "account", &Predicate::True).unwrap();
+
+    let writer = db.txn_begin();
+    let rid = db.select("account", &Predicate::eq("id", 1)).unwrap()[0].0;
+    db.txn_update(writer, "account", rid, "balance", Value::Int(0))
+        .unwrap();
+    db.txn_delete(
+        writer,
+        "account",
+        db.select("account", &Predicate::eq("id", 2)).unwrap()[0].0,
+    )
+    .unwrap();
+    db.txn_commit(writer).unwrap();
+
+    // Same query, same transaction, after the commit: byte-identical.
+    let after = db.txn_select(reader, "account", &Predicate::True).unwrap();
+    assert_eq!(before, after, "read was not repeatable across a commit");
+    db.txn_commit(reader).unwrap();
+
+    // A snapshot cut now sees the writer's world.
+    let fresh = db.select("account", &Predicate::True).unwrap();
+    assert_eq!(balances(&db, &fresh), vec![(0, 100), (1, 0)]);
+}
+
+#[test]
+fn write_write_conflict_aborts_the_later_writer() {
+    let mut db = bank(2);
+    let rid = db.select("account", &Predicate::eq("id", 0)).unwrap()[0].0;
+    let first = db.txn_begin();
+    let second = db.txn_begin();
+    db.txn_update(first, "account", rid, "balance", Value::Int(150))
+        .unwrap();
+    // First committer (here: first writer) wins; the later writer gets
+    // a serialization failure rather than silently losing the update.
+    let err = db
+        .txn_update(second, "account", rid, "balance", Value::Int(50))
+        .unwrap_err();
+    assert!(
+        matches!(err, TxdbError::Serialization { ref table, .. } if table == "account"),
+        "expected Serialization, got {err:?}"
+    );
+    db.txn_rollback(second).unwrap();
+    db.txn_commit(first).unwrap();
+    let rows = db.select("account", &Predicate::eq("id", 0)).unwrap();
+    assert_eq!(balances(&db, &rows), vec![(0, 150)]);
+}
+
+#[test]
+fn own_writes_are_visible_before_commit() {
+    let mut db = bank(1);
+    let txn = db.txn_begin();
+    let rid = db.select("account", &Predicate::eq("id", 0)).unwrap()[0].0;
+    db.txn_update(txn, "account", rid, "balance", Value::Int(42))
+        .unwrap();
+    db.txn_insert(txn, "account", row![9, 7]).unwrap();
+    let mine = db.txn_select(txn, "account", &Predicate::True).unwrap();
+    assert_eq!(balances(&db, &mine), vec![(0, 42), (9, 7)]);
+    // ...while the rest of the world still sees the old state.
+    let others = db.select("account", &Predicate::True).unwrap();
+    assert_eq!(balances(&db, &others), vec![(0, 100)]);
+    db.txn_rollback(txn).unwrap();
+    let after = db.select("account", &Predicate::True).unwrap();
+    assert_eq!(balances(&db, &after), vec![(0, 100)]);
+}
+
+#[test]
+fn vacuum_reclaims_versions_once_no_snapshot_needs_them() {
+    let mut db = bank(4);
+    assert!(db.table("account").unwrap().mvcc_clean());
+
+    // A long-running reader pins the pre-update versions.
+    let reader = db.txn_begin();
+    let writer = db.txn_begin();
+    for (rid, _) in db.select("account", &Predicate::True).unwrap() {
+        db.txn_update(writer, "account", rid, "balance", Value::Int(1))
+            .unwrap();
+    }
+    db.txn_commit(writer).unwrap();
+
+    // Commit vacuumed, but the reader still needs the superseded
+    // versions, so garbage survives.
+    assert!(
+        db.table("account").unwrap().mvcc_versions() > 0,
+        "versions still pinned by an active snapshot were reclaimed"
+    );
+    let pinned = db.txn_select(reader, "account", &Predicate::True).unwrap();
+    assert_eq!(
+        balances(&db, &pinned),
+        vec![(0, 100), (1, 100), (2, 100), (3, 100)]
+    );
+
+    // Once the reader finishes, the table collapses back to pristine.
+    db.txn_commit(reader).unwrap();
+    assert_eq!(db.table("account").unwrap().mvcc_versions(), 0);
+    assert!(db.table("account").unwrap().mvcc_clean());
+    let now = db.select("account", &Predicate::True).unwrap();
+    assert_eq!(balances(&db, &now), vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
+}
+
+#[test]
+fn rolled_back_transactions_do_not_age_statistics() {
+    let mut db = bank(8);
+    let v0 = db.table("account").unwrap().committed_version();
+    db.with_stats("account", |_| ()).unwrap();
+
+    // A rollback leaves the committed-mutation counter untouched, so
+    // cached statistics stay fresh.
+    let txn = db.txn_begin();
+    for (rid, _) in db.select("account", &Predicate::True).unwrap() {
+        db.txn_update(txn, "account", rid, "balance", Value::Int(0))
+            .unwrap();
+    }
+    db.txn_rollback(txn).unwrap();
+    assert_eq!(db.table("account").unwrap().committed_version(), v0);
+    let stats = db.stats_of("account").unwrap();
+    assert!(!stats.is_stale(db.table("account").unwrap()));
+
+    // A commit credits exactly its write count.
+    let txn = db.txn_begin();
+    let rid = db.select("account", &Predicate::eq("id", 3)).unwrap()[0].0;
+    db.txn_update(txn, "account", rid, "balance", Value::Int(7))
+        .unwrap();
+    db.txn_commit(txn).unwrap();
+    assert_eq!(db.table("account").unwrap().committed_version(), v0 + 1);
+    assert!(stats.is_stale(db.table("account").unwrap()));
+}
+
+#[test]
+fn interleaved_writers_on_disjoint_rows_do_not_block() {
+    let mut db = bank(4);
+    let rids: Vec<_> = db
+        .select("account", &Predicate::True)
+        .unwrap()
+        .into_iter()
+        .map(|(rid, _)| rid)
+        .collect();
+    // Strictly interleaved writes from two concurrent transactions —
+    // under the old single-writer undo log the second begin alone
+    // would have been impossible.
+    let a = db.txn_begin();
+    let b = db.txn_begin();
+    db.txn_update(a, "account", rids[0], "balance", Value::Int(10))
+        .unwrap();
+    db.txn_update(b, "account", rids[1], "balance", Value::Int(20))
+        .unwrap();
+    db.txn_update(a, "account", rids[2], "balance", Value::Int(30))
+        .unwrap();
+    db.txn_update(b, "account", rids[3], "balance", Value::Int(40))
+        .unwrap();
+    db.txn_commit(b).unwrap();
+    db.txn_commit(a).unwrap();
+    let rows = db.select("account", &Predicate::True).unwrap();
+    assert_eq!(
+        balances(&db, &rows),
+        vec![(0, 10), (1, 20), (2, 30), (3, 40)]
+    );
+    assert!(db.table("account").unwrap().mvcc_clean());
+}
+
+#[test]
+fn select_through_an_explicit_snapshot_is_stable() {
+    let mut db = bank(3);
+    // Detached snapshots don't pin version garbage against vacuum; a
+    // stable reader is an *active* transaction's snapshot.
+    let reader = db.txn_begin();
+    let snap = db.txn_snapshot(reader).unwrap();
+    let sel = match parse_statement("SELECT id, balance FROM account ORDER BY id").unwrap() {
+        Statement::Select(sel) => sel,
+        other => panic!("unexpected statement {other:?}"),
+    };
+    let opts = cat_txdb::sql::PlanOptions::default();
+    let before = execute_select_at(&db, &sel, &opts, Some(&snap)).unwrap();
+
+    let writer = db.txn_begin();
+    let rid = db.select("account", &Predicate::eq("id", 0)).unwrap()[0].0;
+    db.txn_update(writer, "account", rid, "balance", Value::Int(-1))
+        .unwrap();
+    db.txn_commit(writer).unwrap();
+
+    // The reader's snapshot still yields the pre-commit answer; the
+    // default path follows the commit.
+    let after = execute_select_at(&db, &sel, &opts, Some(&snap)).unwrap();
+    assert_eq!(before.rows, after.rows);
+    let latest = execute_select_at(&db, &sel, &opts, None).unwrap();
+    assert_eq!(latest.rows[0][1], Value::Int(-1));
+    db.txn_commit(reader).unwrap();
+}
+
+#[test]
+fn sql_session_round_trip() {
+    let mut db = bank(2);
+    let mut session = Session::new();
+
+    // ROLLBACK discards everything since BEGIN.
+    assert!(matches!(
+        session.execute(&mut db, "BEGIN").unwrap(),
+        QueryResult::Begun
+    ));
+    session
+        .execute(&mut db, "UPDATE account SET balance = 0 WHERE id = 0")
+        .unwrap();
+    session
+        .execute(&mut db, "INSERT INTO account VALUES (5, 50)")
+        .unwrap();
+    // The session reads its own uncommitted writes.
+    let in_txn = match session
+        .execute(&mut db, "SELECT id FROM account ORDER BY id")
+        .unwrap()
+    {
+        QueryResult::Rows(rs) => rs.rows.len(),
+        other => panic!("unexpected result {other:?}"),
+    };
+    assert_eq!(in_txn, 3);
+    assert!(matches!(
+        session.execute(&mut db, "ROLLBACK").unwrap(),
+        QueryResult::RolledBack
+    ));
+    let rows = db.select("account", &Predicate::True).unwrap();
+    assert_eq!(balances(&db, &rows), vec![(0, 100), (1, 100)]);
+
+    // COMMIT publishes; BEGIN ... COMMIT survives a full round trip.
+    session.execute(&mut db, "BEGIN TRANSACTION").unwrap();
+    session
+        .execute(&mut db, "UPDATE account SET balance = 1 WHERE id = 1")
+        .unwrap();
+    assert!(matches!(
+        session.execute(&mut db, "COMMIT WORK").unwrap(),
+        QueryResult::Committed
+    ));
+    let rows = db.select("account", &Predicate::eq("id", 1)).unwrap();
+    assert_eq!(balances(&db, &rows), vec![(1, 1)]);
+
+    // A failing statement aborts the whole transaction (PostgreSQL
+    // semantics): nothing before the error sticks either.
+    session.execute(&mut db, "BEGIN").unwrap();
+    session
+        .execute(&mut db, "UPDATE account SET balance = 9 WHERE id = 0")
+        .unwrap();
+    assert!(session
+        .execute(&mut db, "SELECT nope FROM account")
+        .is_err());
+    assert!(session.open_txn().is_none(), "failed txn left open");
+    let rows = db.select("account", &Predicate::eq("id", 0)).unwrap();
+    assert_eq!(balances(&db, &rows), vec![(0, 100)]);
+    // DDL inside a transaction is rejected up front.
+    session.execute(&mut db, "BEGIN").unwrap();
+    assert!(session.execute(&mut db, "CREATE TABLE t (a INT)").is_err());
+}
+
+#[test]
+fn dump_refuses_mid_transaction_state() {
+    let mut db = bank(1);
+    let txn = db.txn_begin();
+    db.txn_insert(txn, "account", row![8, 80]).unwrap();
+    let err = cat_txdb::dump_sql(&db).unwrap_err();
+    assert!(matches!(err, TxdbError::Aborted(_)), "got {err:?}");
+    db.txn_commit(txn).unwrap();
+    let script = cat_txdb::dump_sql(&db).unwrap();
+    assert!(script.contains("INSERT INTO account"));
+    let restored = cat_txdb::restore_sql(&script).unwrap();
+    assert_eq!(restored.table("account").unwrap().len(), 2);
+}
