@@ -1,0 +1,38 @@
+use cat_txdb::{row, DataType, Database, Predicate, TableSchema, Value};
+
+fn main() {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("account")
+            .column("id", DataType::Int)
+            .column("balance", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.insert("account", row![1, 100]).unwrap();
+
+    // Transaction: delete pk=1, re-insert pk=1
+    let txn = db.txn_begin();
+    let rid = db.select("account", &Predicate::eq("id", 1)).unwrap()[0].0;
+    db.txn_delete(txn, "account", rid).unwrap();
+    match db.txn_insert(txn, "account", row![1, 200]) {
+        Ok(_) => println!("reinsert OK"),
+        Err(e) => println!("reinsert FAILED: {e}"),
+    }
+    let _ = db.txn_rollback(txn);
+
+    // Also: committed delete while a reader holds an old snapshot, then reinsert
+    let reader = db.txn_begin();
+    let rid = db.select("account", &Predicate::eq("id", 1)).unwrap()[0].0;
+    let w = db.txn_begin();
+    db.txn_delete(w, "account", rid).unwrap();
+    db.txn_commit(w).unwrap();
+    match db.insert("account", row![1, 300]) {
+        Ok(_) => println!("post-commit reinsert OK"),
+        Err(e) => println!("post-commit reinsert FAILED: {e}"),
+    }
+    let _ = db.txn_commit(reader);
+    let _ = Value::Int(0);
+}
