@@ -29,8 +29,12 @@
 //! correlated column pair; the PR 6 groups measure budget-degraded
 //! (partitioned) execution against the unbudgeted in-place build — a
 //! bounded-regression pair rather than a speedup: the partitioned path
-//! pays one extra pass to keep its peak under the budget. Medians and
-//! speedups land in `BENCH_PR8.json`
+//! pays one extra pass to keep its peak under the budget. The PR 9
+//! groups measure serial (`worker_threads = 1`) against morsel-parallel
+//! (`worker_threads = 4`) execution of a selective unindexed scan and a
+//! duplicate-heavy hash build, plus a first mixed read/write throughput
+//! group: snapshot readers racing two writer threads over an `RwLock`d
+//! database. Medians and speedups land in `BENCH_PR9.json`
 //! at the workspace root; CI diffs the shared group names against the
 //! committed baselines (`scripts/bench_compare.rs`) and fails on >25%
 //! regressions of the machine-normalized medians.
@@ -868,7 +872,246 @@ fn bench_mvcc_visibility(c: &mut Criterion) {
     db.txn_rollback(writer).expect("rollback");
 }
 
-/// Write `BENCH_PR8.json`: one record per benchmark group with the
+/// The PR 9 scan group: serial execution against the morsel-parallel
+/// `Exchange` leaf on a 10k-row table with no usable index — an
+/// expensive multi-conjunct filter (`LIKE` plus two comparisons) over
+/// rows. Both shapes walk all 10k rows and evaluate the same compiled
+/// conjuncts; the Exchange fans the per-row work out across morsel
+/// workers, so the speedup tracks the machine's hardware threads (≥2x
+/// expected at 4 threads on a ≥4-core machine). On a single-core runner
+/// the group instead records the worker-pool overhead bound — see the
+/// thread-count sensitivity note in BENCHMARKS.md.
+fn bench_parallel_scan(c: &mut Criterion) {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("doc")
+            .column("doc_id", DataType::Int)
+            .column("cat", DataType::Int)
+            .column("title", DataType::Text)
+            .column("body", DataType::Text)
+            .primary_key(&["doc_id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    let filler = "lorem-ipsum-dolor-sit-amet-".repeat(4);
+    for i in 0..10_000i64 {
+        db.insert(
+            "doc",
+            row![
+                i,
+                i % 7,
+                format!("title-{:04}", i % 997),
+                format!("{filler}{i}")
+            ],
+        )
+        .expect("insert");
+    }
+    // `title LIKE '%-00%'` keeps ~1% of rows; the other conjuncts trim
+    // further. None of the filter columns is indexed, so both shapes
+    // walk all 10k rows.
+    let sql = "SELECT doc_id, body FROM doc \
+               WHERE title LIKE '%-00%' AND cat <> 3 AND doc_id > 100";
+    let Statement::Select(sel) = parse_statement(sql).expect("parse") else {
+        panic!("not a select")
+    };
+    let serial = PlanOptions {
+        worker_threads: 1,
+        ..PlanOptions::default()
+    };
+    let parallel = PlanOptions {
+        worker_threads: 4,
+        ..PlanOptions::default()
+    };
+    let plan = cat_txdb::sql::plan_select_with(&db, &sel, &parallel).expect("plan");
+    assert!(
+        plan.parallel_count() > 0,
+        "fixture must grant the scan workers, got {}",
+        plan.describe()
+    );
+    // Result identity: the parallel morsel merge is byte-identical to
+    // the serial stream and to the naive reference.
+    let reference = execute_select_reference(&db, &sel).expect("reference");
+    let one = execute_select_with(&db, &sel, &serial).expect("serial");
+    let four = execute_select_with(&db, &sel, &parallel).expect("parallel");
+    assert_eq!(one, reference, "serial disagrees on {sql}");
+    assert_eq!(four, one, "parallel disagrees on {sql}");
+
+    let mut g = c.benchmark_group("parallel_scan_10k");
+    g.sample_size(40);
+    g.bench_function("before_1_thread", |b| {
+        b.iter(|| execute_select_with(&db, &sel, &serial).expect("serial"))
+    });
+    g.finish();
+    let mut g = c.benchmark_group("parallel_scan_10k");
+    g.sample_size(40);
+    g.bench_function("after_4_threads", |b| {
+        b.iter(|| execute_select_with(&db, &sel, &parallel).expect("parallel"))
+    });
+    g.finish();
+}
+
+/// The PR 9 build group: the same query at `worker_threads` 1 vs 4 on a
+/// duplicate-heavy 10k-row build side (every key holds ~10 rows), so
+/// the parallel partial maps carry real bucket traffic and the morsel
+/// merge has appends to do on every key.
+fn bench_parallel_build_hash(c: &mut Criterion) {
+    let mut db = Database::new();
+    for t in ["probe", "build"] {
+        db.create_table(
+            TableSchema::builder(t)
+                .column("id", DataType::Int)
+                .column("k", DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .expect("schema"),
+        )
+        .expect("create");
+    }
+    for i in 0..10_000i64 {
+        db.insert("build", row![i, i % 1000]).expect("insert");
+    }
+    for i in 0..500i64 {
+        db.insert("probe", row![i, i * 3 % 1500]).expect("insert");
+    }
+    let sql = "SELECT probe.id, build.id FROM probe JOIN build ON build.k = probe.k";
+    let Statement::Select(sel) = parse_statement(sql).expect("parse") else {
+        panic!("not a select")
+    };
+    let serial = PlanOptions {
+        worker_threads: 1,
+        ..PlanOptions::default()
+    };
+    let parallel = PlanOptions {
+        worker_threads: 4,
+        ..PlanOptions::default()
+    };
+    let plan = cat_txdb::sql::plan_select_with(&db, &sel, &parallel).expect("plan");
+    assert!(
+        plan.join_order
+            .iter()
+            .any(|j| j.strategy == JoinStrategy::BuildHash && j.build_workers > 1),
+        "fixture must grant the build workers, got {}",
+        plan.describe()
+    );
+    let reference = execute_select_reference(&db, &sel).expect("reference");
+    let one = execute_select_with(&db, &sel, &serial).expect("serial");
+    let four = execute_select_with(&db, &sel, &parallel).expect("parallel");
+    assert_eq!(one, reference, "serial disagrees on {sql}");
+    assert_eq!(four, one, "parallel disagrees on {sql}");
+
+    let mut g = c.benchmark_group("parallel_build_hash_10k");
+    g.sample_size(40);
+    g.bench_function("before_1_thread", |b| {
+        b.iter(|| execute_select_with(&db, &sel, &serial).expect("serial"))
+    });
+    g.finish();
+    let mut g = c.benchmark_group("parallel_build_hash_10k");
+    g.sample_size(40);
+    g.bench_function("after_4_threads", |b| {
+        b.iter(|| execute_select_with(&db, &sel, &parallel).expect("parallel"))
+    });
+    g.finish();
+}
+
+/// The first mixed read/write throughput group (ROADMAP item): each
+/// iteration races two writer threads — 25 bank-transfer transactions
+/// each under the write lock — against a reader draining 20 parallel
+/// snapshot queries under read locks, `std::thread::scope` joining all
+/// three. *Before* runs the reader serially, *after* with 4 morsel
+/// workers; both sides do the identical transaction volume, so the
+/// delta isolates the reader's execution strategy under write
+/// contention. Transfers conserve the total balance and every read
+/// asserts it, so the group doubles as a liveness + consistency check.
+fn bench_mixed_read_write(c: &mut Criterion) {
+    use std::sync::RwLock;
+
+    const ACCOUNTS: i64 = 2_000;
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("account")
+            .column("id", DataType::Int)
+            .column("balance", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("create");
+    for i in 0..ACCOUNTS {
+        db.insert("account", row![i, 100i64]).expect("insert");
+    }
+    let db = RwLock::new(db);
+    let sql = "SELECT sum(balance) FROM account";
+    let Statement::Select(sel) = parse_statement(sql).expect("parse") else {
+        panic!("not a select")
+    };
+
+    let round = |reader_opts: &PlanOptions| {
+        std::thread::scope(|s| {
+            for w in 0..2i64 {
+                let db = &db;
+                s.spawn(move || {
+                    for i in 0..25i64 {
+                        let from = (w * 977 + i * 13) % ACCOUNTS;
+                        let to = (w * 499 + i * 31 + 1) % ACCOUNTS;
+                        if from == to {
+                            continue;
+                        }
+                        let mut guard = db.write().unwrap();
+                        let txn = guard.txn_begin();
+                        for (id, delta) in [(from, -5i64), (to, 5)] {
+                            let hit = guard
+                                .txn_select(txn, "account", &cat_txdb::Predicate::eq("id", id))
+                                .expect("txn select");
+                            let (rid, row) = &hit[0];
+                            let bal = row.get(1).unwrap().as_int().unwrap();
+                            guard
+                                .txn_update(
+                                    txn,
+                                    "account",
+                                    *rid,
+                                    "balance",
+                                    Value::Int(bal + delta),
+                                )
+                                .expect("txn update");
+                        }
+                        guard.txn_commit(txn).expect("commit");
+                    }
+                });
+            }
+            for _ in 0..20 {
+                let guard = db.read().unwrap();
+                let snap = guard.snapshot();
+                let total = execute_select_at(&guard, &sel, reader_opts, Some(&snap))
+                    .expect("snapshot read");
+                assert_eq!(
+                    total.rows[0][0],
+                    Value::Int(ACCOUNTS * 100),
+                    "torn read under write contention"
+                );
+            }
+        })
+    };
+
+    let serial = PlanOptions {
+        worker_threads: 1,
+        ..PlanOptions::default()
+    };
+    let parallel = PlanOptions {
+        worker_threads: 4,
+        ..PlanOptions::default()
+    };
+    let mut g = c.benchmark_group("mixed_read_write_2k");
+    g.sample_size(20);
+    g.bench_function("before_serial_reads", |b| b.iter(|| round(&serial)));
+    g.finish();
+    let mut g = c.benchmark_group("mixed_read_write_2k");
+    g.sample_size(20);
+    g.bench_function("after_parallel_reads", |b| b.iter(|| round(&parallel)));
+    g.finish();
+}
+
+/// Write `BENCH_PR9.json`: one record per benchmark group with the
 /// before/after medians (ns) and the speedup factor. Groups shared with
 /// the committed baselines feed the CI regression gate.
 fn write_report(measurements: &[Measurement]) {
@@ -891,11 +1134,11 @@ fn write_report(measurements: &[Measurement]) {
             pairs.push((group.to_string(), before, after));
         }
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
-    let mut f = std::fs::File::create(path).expect("create BENCH_PR8.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_PR9.json");
     writeln!(
         f,
-        "{{\n  \"pr\": 8,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
+        "{{\n  \"pr\": 9,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
     )
     .unwrap();
     for (i, (group, before, after)) in pairs.iter().enumerate() {
@@ -932,6 +1175,9 @@ fn main() {
     bench_join_skew_hotkey(&mut c);
     bench_join_partitioned_budget(&mut c);
     bench_mvcc_visibility(&mut c);
+    bench_parallel_scan(&mut c);
+    bench_parallel_build_hash(&mut c);
+    bench_mixed_read_write(&mut c);
     bench_refine(&mut c);
     write_report(c.measurements());
 }

@@ -31,6 +31,7 @@
 //! triggers degradation; it is not an allocator.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::error::{Result, TxdbError};
 
@@ -214,6 +215,109 @@ impl ExecBudget {
     pub fn limit(&self) -> Option<usize> {
         self.limit
     }
+
+    /// Open a thread-safe lease over this budget for one parallel
+    /// region: workers charge the returned [`SharedBudget`]'s atomics
+    /// concurrently, and [`ExecBudget::absorb`] reconciles the final
+    /// state (tracked bytes, the region's high-water mark, consumed
+    /// fault-injector admissions) back into the serial account when the
+    /// region's workers have joined. At most one lease is live at a
+    /// time — parallel regions run one operator at a time, on the
+    /// driving thread.
+    pub fn lease(&self) -> SharedBudget {
+        SharedBudget {
+            limit: self.limit,
+            used: AtomicUsize::new(self.used.get()),
+            peak: AtomicUsize::new(self.used.get()),
+            admits: self.fail_after.get().map(AtomicUsize::new),
+            exhausted: AtomicBool::new(false),
+        }
+    }
+
+    /// Fold a parallel region's lease back into the serial account: the
+    /// tracked total becomes the lease's (base + net worker charges),
+    /// the global peak takes the region's high-water mark, and the
+    /// fault injector keeps only the admissions the workers left
+    /// unconsumed — so a sweep that trips inside a worker stays sticky
+    /// exactly like the serial injector.
+    pub fn absorb(&self, lease: &SharedBudget) {
+        self.used.set(lease.used.load(Ordering::Relaxed));
+        self.peak
+            .set(self.peak.get().max(lease.peak.load(Ordering::Relaxed)));
+        if let Some(admits) = &lease.admits {
+            let remaining = if lease.exhausted.load(Ordering::Relaxed) {
+                0
+            } else {
+                admits.load(Ordering::Relaxed)
+            };
+            self.fail_after.set(Some(remaining));
+        }
+    }
+}
+
+/// The atomic mirror of an [`ExecBudget`] that one parallel region's
+/// workers charge concurrently (see [`ExecBudget::lease`]). Semantics
+/// match the serial guard: a charge that would cross the limit — or
+/// that the fault injector refuses — fails without being recorded, and
+/// exhaustion is sticky, so sibling workers racing the failing one
+/// cannot smuggle further charges through while the region cancels.
+#[derive(Debug)]
+pub struct SharedBudget {
+    limit: Option<usize>,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+    /// Remaining fault-injector admissions (`None` disables injection).
+    admits: Option<AtomicUsize>,
+    /// Sticky exhaustion latch: set by the first failing charge.
+    exhausted: AtomicBool,
+}
+
+impl SharedBudget {
+    /// Track `bytes` from a worker. Fails — without recording — when
+    /// the injector is out of admissions, a sibling already exhausted
+    /// the region, or the total would cross the limit.
+    pub fn charge(&self, bytes: usize) -> Result<()> {
+        let fail = |requested: usize| TxdbError::ResourceExhausted {
+            budget: self.limit.unwrap_or(self.used.load(Ordering::Relaxed)),
+            requested,
+        };
+        if self.exhausted.load(Ordering::Relaxed) {
+            return Err(fail(
+                self.used.load(Ordering::Relaxed).saturating_add(bytes),
+            ));
+        }
+        if let Some(admits) = &self.admits {
+            // Admissions decrement toward a floor of zero; a worker
+            // that finds none left latches exhaustion for its siblings.
+            let granted = admits
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+            if !granted {
+                self.exhausted.store(true, Ordering::Relaxed);
+                return Err(fail(
+                    self.used.load(Ordering::Relaxed).saturating_add(bytes),
+                ));
+            }
+        }
+        let new = self
+            .used
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        if let Some(limit) = self.limit {
+            if new > limit {
+                self.used.fetch_sub(bytes, Ordering::Relaxed);
+                self.exhausted.store(true, Ordering::Relaxed);
+                return Err(fail(new));
+            }
+        }
+        self.peak.fetch_max(new, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Return `bytes` after a worker's transient structure is dropped.
+    pub fn release(&self, bytes: usize) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +386,34 @@ mod tests {
         b.release(10);
         assert_eq!(b.end_scope(outer), 40, "outer scope includes the inner");
         assert_eq!(b.peak(), 100, "global high-water mark survives scoping");
+    }
+
+    #[test]
+    fn a_lease_reconciles_usage_peak_and_injector_state() {
+        let b = ExecBudget::with_limit(100);
+        b.charge(10).unwrap();
+        let lease = b.lease();
+        lease.charge(70).unwrap();
+        lease.release(40);
+        b.absorb(&lease);
+        assert_eq!(b.used(), 40, "base + net worker charges");
+        assert_eq!(b.peak(), 80, "region high-water mark absorbed");
+        // Over-limit charges fail in the lease exactly like the serial
+        // guard, stickily.
+        let lease = b.lease();
+        assert!(lease.charge(100).is_err());
+        assert!(lease.charge(0).is_err(), "exhaustion latches for siblings");
+
+        let b = ExecBudget::failing_after(3);
+        b.charge(0).unwrap();
+        let lease = b.lease();
+        lease.charge(1).unwrap();
+        b.absorb(&lease);
+        assert!(b.charge(2).is_ok(), "one admission left after the region");
+        assert!(
+            b.charge(0).is_err(),
+            "injector stayed sticky through the lease"
+        );
     }
 
     #[test]

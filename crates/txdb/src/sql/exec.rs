@@ -10,9 +10,15 @@
 //! result set at the very end. `ORDER BY ... LIMIT k` lowers to a fused
 //! `TopK` keeping a bounded binary heap of `k` entries instead of
 //! sorting everything; `GROUP BY` keys on [`OrdKey`] tuples instead of
-//! rendered strings. This module keeps statement dispatch, script
-//! splitting and the `plan → lower → drive` glue; the per-operator
-//! execution logic lives in [`super::ops`].
+//! rendered strings. When the planner grants a base fetch or a hash
+//! build more than one worker (`PlanOptions::worker_threads`, rows above
+//! the parallel threshold), the lowered tree swaps in the morsel-driven
+//! leaf of [`super::ops`]'s `Exchange` / the parallel build path —
+//! scoped worker threads over contiguous morsels whose partial outputs
+//! merge back into the canonical ascending-RowId order, so parallel
+//! execution stays byte-identical to `worker_threads = 1`. This module
+//! keeps statement dispatch, script splitting and the `plan → lower →
+//! drive` glue; the per-operator execution logic lives in [`super::ops`].
 //!
 //! Join reordering is invisible in results: both executors traverse index
 //! buckets in ascending-RowId order, which makes the reference output the

@@ -45,6 +45,7 @@ mod lexer;
 pub mod ops;
 mod parser;
 pub mod plan;
+mod pool;
 
 pub use ast::{
     AggFunc, ColumnRef, JoinClause, Projection, SelectItem, SelectStmt, SqlExpr, Statement,

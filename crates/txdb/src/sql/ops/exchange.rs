@@ -1,0 +1,251 @@
+//! `Exchange`: the morsel-parallel base-table leaf.
+//!
+//! When the planner grants the base fetch more than one worker
+//! ([`SelectPlan::scan_workers`](crate::sql::plan::SelectPlan)), [`lower`](super::lower)
+//! emits this node in place of the serial `Scan`/`IndexScan` (+ pushed
+//! `Filter`) pair. The fetch splits into contiguous morsels — RowId
+//! ranges of a full scan, index-order chunks of a fetched RowId set —
+//! that workers claim off the shared pool ([`scatter`]). Each worker
+//! performs the complete per-row pipeline for its morsel: visibility
+//! resolution under a snapshot (including the superset re-verification
+//! an index fetch needs), then evaluation of the pushed conjuncts,
+//! compiled once on the driving thread and shared read-only. Fusing the
+//! filter into the fetch is what makes the parallelism pay: the
+//! per-row predicate work dominates a scan, and it parallelizes
+//! embarrassingly while the pointer pushes alone would not.
+//!
+//! Morsels are contiguous slices of an ascending-RowId stream, so
+//! concatenating the partial outputs in morsel order *is* the serial
+//! stream — the canonical-order contract survives without any sort or
+//! merge network, and results stay byte-identical to `worker_threads =
+//! 1`. Errors follow the pool's cancellation protocol (lowest
+//! completed morsel's error, siblings cancelled, no partial output).
+
+use std::rc::Rc;
+
+use crate::error::Result;
+use crate::row::{Row, RowId};
+use crate::table::Table;
+
+use super::expr::{compile_expr, eval_compiled, Compiled};
+use super::{Batch, ExecCtx, NodeStats, Operator};
+use crate::sql::ast::SqlExpr;
+use crate::sql::plan::{AccessPath, Layout};
+use crate::sql::pool::{effective_workers, morsel_bounds, scatter};
+
+/// One morsel's locally-ordered output.
+struct Part<'a> {
+    tuples: Vec<&'a Row>,
+    rids: Vec<RowId>,
+}
+
+/// Shared per-statement state the workers read: the compiled pushed
+/// conjuncts and the layout context needed to evaluate them.
+struct Kernel<'a, 'k> {
+    layout: &'a Layout,
+    exec_pos: &'k [usize],
+    compiled: &'k [Compiled],
+    needs_rids: bool,
+}
+
+impl<'a> Kernel<'a, '_> {
+    /// Run the fused filter for one fetched row and emit it into the
+    /// morsel's partial output when every conjunct holds.
+    fn emit(&self, part: &mut Part<'a>, rid: RowId, row: &'a Row) -> Result<()> {
+        let tuple = [row];
+        for c in self.compiled {
+            if !eval_compiled(self.layout, self.exec_pos, c, &tuple)? {
+                return Ok(());
+            }
+        }
+        part.tuples.push(row);
+        if self.needs_rids {
+            part.rids.push(rid);
+        }
+        Ok(())
+    }
+}
+
+/// Morsel-parallel base-table fetch with the pushed filter fused in.
+pub(super) struct Exchange<'a> {
+    cx: Rc<ExecCtx<'a>>,
+    table: &'a Table,
+    name: &'a str,
+    access: &'a AccessPath,
+    pushed: &'a [SqlExpr],
+    /// Planned degree of parallelism (≥ 2, or this node is not lowered).
+    workers: usize,
+    est: f64,
+    /// Workers the fetch actually ran with, for `EXPLAIN ANALYZE`: the
+    /// executor demotes when the actual row count yields fewer morsels
+    /// than planned workers (1 = the run was effectively serial).
+    ran_workers: Option<usize>,
+    out: Option<Batch<'a>>,
+    stats: Option<NodeStats>,
+}
+
+impl<'a> Exchange<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn new(
+        cx: Rc<ExecCtx<'a>>,
+        table: &'a Table,
+        name: &'a str,
+        access: &'a AccessPath,
+        pushed: &'a [SqlExpr],
+        workers: usize,
+        est: f64,
+    ) -> Exchange<'a> {
+        Exchange {
+            cx,
+            table,
+            name,
+            access,
+            pushed,
+            workers,
+            est,
+            ran_workers: None,
+            out: None,
+            stats: None,
+        }
+    }
+
+    fn produce(&mut self) -> Result<Batch<'a>> {
+        let cx = Rc::clone(&self.cx);
+        let table = self.table;
+        let access = self.access;
+        let morsel_rows = cx.morsel_rows;
+        // Resolve visibility once; workers share the borrowed snapshot.
+        let snap = match cx.vis(table) {
+            super::Vis::All => None,
+            super::Vis::Snap(_) => cx.snap.as_ref(),
+        };
+        let compiled: Vec<Compiled> = self
+            .pushed
+            .iter()
+            .map(|e| compile_expr(cx.layout, e))
+            .collect();
+        let kernel = Kernel {
+            layout: cx.layout,
+            exec_pos: &cx.exec_pos,
+            compiled: &compiled,
+            needs_rids: cx.needs_canonical,
+        };
+
+        let parts: Vec<Part<'a>> = match access.fetch_row_ids(table)? {
+            None => {
+                // Full scan: morsels are contiguous RowId ranges. Under
+                // a snapshot each worker merge-walks the (shared,
+                // sorted) stamped-rid list against its range, exactly
+                // like the serial `scan_visible`.
+                let ranges = table.morsel_ranges(morsel_rows);
+                let dirty = snap.map(|_| table.stamped_rids_sorted());
+                let workers = effective_workers(self.workers, ranges.len());
+                self.ran_workers = Some(workers);
+                scatter(workers, ranges.len(), |m| {
+                    let (lo, hi) = ranges[m];
+                    let mut part = Part {
+                        tuples: Vec::new(),
+                        rids: Vec::new(),
+                    };
+                    match snap {
+                        None => {
+                            for (rid, row) in table.scan_range(lo, hi) {
+                                kernel.emit(&mut part, rid, row)?;
+                            }
+                        }
+                        Some(s) => {
+                            let dirty = dirty.as_deref().expect("staged with snapshot");
+                            let mut di = dirty.partition_point(|&d| d < lo);
+                            for (rid, newest) in table.scan_range(lo, hi) {
+                                while di < dirty.len() && dirty[di] < rid {
+                                    di += 1;
+                                }
+                                let row = if di < dirty.len() && dirty[di] == rid {
+                                    match table.visible_row(rid, s) {
+                                        Some(row) => row,
+                                        None => continue,
+                                    }
+                                } else {
+                                    newest
+                                };
+                                kernel.emit(&mut part, rid, row)?;
+                            }
+                        }
+                    }
+                    Ok(part)
+                })?
+            }
+            Some(fetched) => {
+                // Index access: morsels are chunks of the ascending
+                // fetched set. Under a snapshot the set is a version
+                // superset — resolve visibility and re-verify the
+                // consumed conjuncts per rid, like the serial
+                // `IndexScan`.
+                let bounds = morsel_bounds(fetched.len(), morsel_rows);
+                let workers = effective_workers(self.workers, bounds.len());
+                self.ran_workers = Some(workers);
+                scatter(workers, bounds.len(), |m| {
+                    let (start, end) = bounds[m];
+                    let mut part = Part {
+                        tuples: Vec::new(),
+                        rids: Vec::new(),
+                    };
+                    for &rid in &fetched[start..end] {
+                        let row = match snap {
+                            None => table.get(rid).expect("index holds live ids"),
+                            Some(s) => {
+                                let Some(row) = table.visible_row(rid, s) else {
+                                    continue;
+                                };
+                                if !access.matches_row(table, row)? {
+                                    continue;
+                                }
+                                row
+                            }
+                        };
+                        kernel.emit(&mut part, rid, row)?;
+                    }
+                    Ok(part)
+                })?
+            }
+        };
+
+        // The merge rule: concatenate partials in morsel order. Morsels
+        // are contiguous slices of one ascending stream, so this *is*
+        // the serial output.
+        let mut tuples = Vec::with_capacity(parts.iter().map(|p| p.tuples.len()).sum());
+        let mut rids = Vec::new();
+        for mut part in parts {
+            tuples.append(&mut part.tuples);
+            rids.append(&mut part.rids);
+        }
+        Ok(Batch::Tuples {
+            tuples,
+            rids,
+            stride: 1,
+        })
+    }
+
+    fn describe_node(&self) -> String {
+        let mut params = match self.access {
+            AccessPath::FullScan => self.name.to_string(),
+            access => format!("{} via {}", self.name, access.describe()),
+        };
+        params.push_str(&format!(", workers={}", self.workers));
+        if let Some(ran) = self.ran_workers {
+            if ran != self.workers {
+                params.push_str(&format!(", ran_workers={ran}"));
+            }
+        }
+        if !self.pushed.is_empty() {
+            params.push_str(&format!(", pushed: {}", self.pushed.len()));
+        }
+        format!("Exchange [{params}]")
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        Some(self.est)
+    }
+}
+
+operator_impl!(Exchange, leaf);

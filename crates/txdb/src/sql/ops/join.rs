@@ -13,6 +13,7 @@
 //! anything.
 
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::ops::Bound;
 use std::rc::Rc;
 
@@ -28,6 +29,80 @@ use crate::sql::budget::{
     build_partition_count, join_build_bytes, ExecBudget, JOIN_MAP_ENTRY_BYTES, JOIN_MAP_RID_BYTES,
 };
 use crate::sql::plan::{intersect_sorted, AccessPath, IndexProbe, PlannedJoin, Slot};
+use crate::sql::pool::{effective_workers, morsel_bounds, scatter};
+
+/// Priced bytes of a build map: bucket storage plus per-entry overhead.
+fn join_map_priced_bytes(map: &HashMap<&Value, Vec<RowId>>) -> usize {
+    map.values().map(Vec::len).sum::<usize>() * JOIN_MAP_RID_BYTES
+        + map.len() * JOIN_MAP_ENTRY_BYTES
+}
+
+/// Morsel-parallel in-place hash build: workers claim contiguous chunks
+/// of the build side — RowId ranges of a full build, index-order chunks
+/// of the pushdown's fetched set — and build partial maps that merge in
+/// morsel order. Every bucket is then the concatenation of ascending
+/// sub-buckets, so the merged map is byte-identical to the serial build.
+///
+/// Budget protocol: workers charge each partial map to a
+/// [`SharedBudget`](crate::sql::budget::SharedBudget) lease as it
+/// materializes; the lease is absorbed back (even on failure, so injected
+/// exhaustion stays sticky), the merge consumes the partials, their bytes
+/// are released, and the *caller* charges the merged map through the
+/// serial account exactly like the serial path. The partials' summed
+/// footprint never exceeds the worst case the caller's `fits` probe
+/// admitted, so against a real limit the lease charges cannot fail.
+///
+/// Returns the map and the worker count actually used (demoted when the
+/// build yields fewer morsels than planned workers).
+fn parallel_build_map<'t>(
+    right: &'t Table,
+    right_col: &str,
+    build_rids: Option<&[RowId]>,
+    workers: usize,
+    morsel_rows: usize,
+    budget: &ExecBudget,
+) -> Result<(HashMap<&'t Value, Vec<RowId>>, usize)> {
+    enum Morsels<'f> {
+        Ranges(Vec<(RowId, RowId)>),
+        Chunks(&'f [RowId], Vec<(usize, usize)>),
+    }
+    let morsels = match build_rids {
+        None => Morsels::Ranges(right.morsel_ranges(morsel_rows)),
+        Some(f) => Morsels::Chunks(f, morsel_bounds(f.len(), morsel_rows)),
+    };
+    let count = match &morsels {
+        Morsels::Ranges(r) => r.len(),
+        Morsels::Chunks(_, b) => b.len(),
+    };
+    let workers = effective_workers(workers, count);
+    let lease = budget.lease();
+    let parts = scatter(workers, count, |m| {
+        let map = match &morsels {
+            Morsels::Ranges(ranges) => {
+                let (lo, hi) = ranges[m];
+                right.join_map_range(right_col, lo, hi)?
+            }
+            Morsels::Chunks(fetched, bounds) => {
+                let (start, end) = bounds[m];
+                right.join_map_filtered(right_col, &fetched[start..end])?
+            }
+        };
+        let bytes = join_map_priced_bytes(&map);
+        lease.charge(bytes)?;
+        Ok((map, bytes))
+    });
+    budget.absorb(&lease);
+    let parts = parts?;
+    let partial_bytes: usize = parts.iter().map(|(_, b)| *b).sum();
+    let mut merged: HashMap<&Value, Vec<RowId>> = HashMap::new();
+    for (part, _) in parts {
+        for (k, mut bucket) in part {
+            merged.entry(k).or_default().append(&mut bucket);
+        }
+    }
+    budget.release(partial_bytes);
+    Ok((merged, workers))
+}
 
 /// Per-outer-tuple match buckets for a merge join: walk the right side's
 /// ordered-index entries once, in tandem with the outer keys sorted by
@@ -106,6 +181,19 @@ fn merge_match_buckets<'t>(
 /// lists and hot map for the whole call, plus one resident partition map
 /// at a time — that per-partition charge is what bounds the peak and
 /// what an exhausted budget fails on, before any output is assembled.
+///
+/// With `workers > 1` the partitions — embarrassingly parallel, since
+/// every probe key routes to exactly one partition XOR the hot map —
+/// are claimed by pool workers instead of walked in sequence: each
+/// worker builds its partition's resident map, probes the shared outer
+/// keys, and returns positional `(tuple, bucket)` contributions that
+/// merge without regard to completion order (at most one bucket ever
+/// lands on a tuple, so ascending-RowId bucket order is preserved).
+/// Concurrency is clamped so the resident maps' combined worst case
+/// stays within the remaining budget: the partitioned variant exists to
+/// bound the peak, and parallelism must not undo that. Returns the
+/// matches and the worker count actually used.
+#[allow(clippy::too_many_arguments)]
 fn partitioned_join_matches(
     right: &Table,
     right_col: &str,
@@ -114,7 +202,8 @@ fn partitioned_join_matches(
     hot: &[Value],
     keys: &[Option<&Value>],
     budget: &ExecBudget,
-) -> Result<Vec<Vec<RowId>>> {
+    workers: usize,
+) -> Result<(Vec<Vec<RowId>>, usize)> {
     let (parts, hot_map) = right.partition_join_rids(right_col, build_rids, nparts, hot)?;
     let setup = (parts.iter().map(Vec::len).sum::<usize>()
         + hot_map.values().map(Vec::len).sum::<usize>())
@@ -129,28 +218,70 @@ fn partitioned_join_matches(
             matched[ti].extend_from_slice(b);
         }
     }
-    for (p, prids) in parts.iter().enumerate() {
-        if prids.is_empty() {
-            continue;
+    // Clamp parallelism to however many worst-case resident maps the
+    // remaining budget can hold at once (1 = the classic serial passes).
+    let worst_part = parts
+        .iter()
+        .map(|p| p.len() * (JOIN_MAP_RID_BYTES + JOIN_MAP_ENTRY_BYTES))
+        .max()
+        .unwrap_or(0);
+    let concurrent = match budget.limit() {
+        Some(limit) if worst_part > 0 => (limit.saturating_sub(budget.used()) / worst_part).max(1),
+        _ => workers,
+    };
+    let nonempty = parts.iter().filter(|p| !p.is_empty()).count();
+    let workers = effective_workers(workers.min(concurrent), nonempty);
+    if workers > 1 {
+        let lease = budget.lease();
+        let contribs = scatter(workers, nparts, |p| {
+            let prids = &parts[p];
+            let mut contrib: Vec<(usize, Vec<RowId>)> = Vec::new();
+            if prids.is_empty() {
+                return Ok(contrib);
+            }
+            let map = right.join_map_filtered(right_col, prids)?;
+            let bytes = prids.len() * JOIN_MAP_RID_BYTES + map.len() * JOIN_MAP_ENTRY_BYTES;
+            lease.charge(bytes)?;
+            for (ti, key) in keys.iter().enumerate() {
+                let Some(k) = key else { continue };
+                if join_key_partition(k, nparts) != p {
+                    continue;
+                }
+                if let Some(b) = map.get(k) {
+                    contrib.push((ti, b.clone()));
+                }
+            }
+            lease.release(bytes);
+            Ok(contrib)
+        });
+        budget.absorb(&lease);
+        for (ti, mut bucket) in contribs?.into_iter().flatten() {
+            matched[ti].append(&mut bucket);
         }
-        let map = right.join_map_filtered(right_col, prids)?;
-        let bytes = prids.len() * JOIN_MAP_RID_BYTES + map.len() * JOIN_MAP_ENTRY_BYTES;
-        budget.charge(bytes)?;
-        for (ti, key) in keys.iter().enumerate() {
-            let Some(k) = key else { continue };
-            // A key routes to exactly one partition; skip the probe
-            // work on every other pass.
-            if join_key_partition(k, nparts) != p {
+    } else {
+        for (p, prids) in parts.iter().enumerate() {
+            if prids.is_empty() {
                 continue;
             }
-            if let Some(b) = map.get(k) {
-                matched[ti].extend_from_slice(b);
+            let map = right.join_map_filtered(right_col, prids)?;
+            let bytes = prids.len() * JOIN_MAP_RID_BYTES + map.len() * JOIN_MAP_ENTRY_BYTES;
+            budget.charge(bytes)?;
+            for (ti, key) in keys.iter().enumerate() {
+                let Some(k) = key else { continue };
+                // A key routes to exactly one partition; skip the probe
+                // work on every other pass.
+                if join_key_partition(k, nparts) != p {
+                    continue;
+                }
+                if let Some(b) = map.get(k) {
+                    matched[ti].extend_from_slice(b);
+                }
             }
+            budget.release(bytes);
         }
-        budget.release(bytes);
     }
     budget.release(setup);
-    Ok(matched)
+    Ok((matched, workers))
 }
 
 /// Clamp bounds for a merge walk: the bounds of the pushdown probe on
@@ -424,6 +555,11 @@ pub(super) struct BuildHashJoin<'a> {
     /// Partition count the node actually ran with (for `EXPLAIN
     /// ANALYZE`: exec-time degradation is invisible in the plan).
     ran_partitions: Option<usize>,
+    /// Build workers the node actually ran with, when the plan granted
+    /// it more than one (for `EXPLAIN ANALYZE`: the executor demotes
+    /// when the build yields fewer morsels or the budget cannot hold
+    /// concurrent partition maps; 1 = the build was effectively serial).
+    ran_workers: Option<usize>,
     out: Option<Batch<'a>>,
     stats: Option<NodeStats>,
 }
@@ -439,6 +575,7 @@ impl<'a> BuildHashJoin<'a> {
             core: JoinCore { cx, right, pj },
             child,
             ran_partitions: None,
+            ran_workers: None,
             out: None,
             stats: None,
         }
@@ -493,16 +630,34 @@ impl<'a> BuildHashJoin<'a> {
         self.ran_partitions = Some(nparts);
 
         let build_map = if count > 0 && nparts == 1 {
+            // The snapshot build stays serial: `join_map_visible` keys
+            // on visible cells, which has no morsel decomposition yet.
             let map = match (vis, &build_rids) {
                 (Vis::Snap(s), _) => right.join_map_visible(&pj.right_col, s)?,
-                (Vis::All, Some(rids)) => right.join_map_filtered(&pj.right_col, rids)?,
-                (Vis::All, None) => right.join_map(&pj.right_col)?,
+                (Vis::All, rids) => {
+                    if pj.build_workers > 1 {
+                        let (map, ran) = parallel_build_map(
+                            right,
+                            &pj.right_col,
+                            rids.as_deref(),
+                            pj.build_workers,
+                            self.core.cx.morsel_rows,
+                            budget,
+                        )?;
+                        self.ran_workers = Some(ran);
+                        map
+                    } else {
+                        match rids {
+                            Some(rids) => right.join_map_filtered(&pj.right_col, rids)?,
+                            None => right.join_map(&pj.right_col)?,
+                        }
+                    }
+                }
             };
             // The actual footprint is at most the worst case `fits`
             // admitted above, so against a real limit this charge
             // cannot fail — only an injected fault trips it.
-            let bytes = map.values().map(Vec::len).sum::<usize>() * JOIN_MAP_RID_BYTES
-                + map.len() * JOIN_MAP_ENTRY_BYTES;
+            let bytes = join_map_priced_bytes(&map);
             budget.charge(bytes)?;
             step_charged += bytes;
             Some(map)
@@ -512,15 +667,24 @@ impl<'a> BuildHashJoin<'a> {
         let keys: Option<Vec<Option<&Value>>> =
             (count > 0 && nparts > 1).then(|| self.core.outer_keys(&tuples, stride, count));
         let partitioned_matches = match &keys {
-            Some(keys) => Some(partitioned_join_matches(
-                right,
-                &pj.right_col,
-                build_rids.as_deref(),
-                nparts,
-                &pj.hot_keys,
-                keys,
-                budget,
-            )?),
+            Some(keys) => {
+                // nparts > 1 implied Vis::All, so the planned workers
+                // apply directly (the clamp inside may still demote).
+                let (matched, ran) = partitioned_join_matches(
+                    right,
+                    &pj.right_col,
+                    build_rids.as_deref(),
+                    nparts,
+                    &pj.hot_keys,
+                    keys,
+                    budget,
+                    pj.build_workers,
+                )?;
+                if pj.build_workers > 1 {
+                    self.ran_workers = Some(ran);
+                }
+                Some(matched)
+            }
             None => None,
         };
 
@@ -561,6 +725,14 @@ impl<'a> BuildHashJoin<'a> {
         }
         if !pj.hot_keys.is_empty() {
             params.push_str(&format!(", hot={}", pj.hot_keys.len()));
+        }
+        if pj.build_workers > 1 {
+            params.push_str(&format!(", workers={}", pj.build_workers));
+            if let Some(ran) = self.ran_workers {
+                if ran != pj.build_workers {
+                    params.push_str(&format!(", ran_workers={ran}"));
+                }
+            }
         }
         params.push_str(&self.core.prefilter_suffix());
         format!("BuildHashJoin [{params}]")

@@ -124,6 +124,7 @@ macro_rules! operator_impl {
 
 mod aggregate;
 mod canonical;
+mod exchange;
 pub(crate) mod expr;
 mod filter;
 mod join;
@@ -138,6 +139,7 @@ pub(crate) use order::sort_aggregated_output;
 
 use aggregate::Aggregate;
 use canonical::Canonicalize;
+use exchange::Exchange;
 use filter::Filter;
 use join::{BuildHashJoin, IndexProbeJoin, MergeRangeJoin};
 use order::{Limit, Order, TopK};
@@ -278,6 +280,9 @@ pub(crate) struct ExecCtx<'a> {
     /// `None` means every touched table was MVCC-clean at lowering time
     /// — the unchecked fast path.
     pub(crate) snap: Option<Snapshot>,
+    /// Rows per morsel for the tree's parallel operators (from
+    /// [`SelectPlan::morsel_rows`]).
+    pub(crate) morsel_rows: usize,
 }
 
 impl ExecCtx<'_> {
@@ -342,26 +347,52 @@ pub fn lower<'a>(
         needs_canonical: plan.joins_reordered(),
         budget,
         snap,
+        morsel_rows: plan.morsel_rows,
     });
 
-    let mut node: Box<dyn Operator<'a> + 'a> = match &plan.access {
-        AccessPath::FullScan => Box::new(Scan::new(Rc::clone(&cx), base, &sel.table)),
-        access => Box::new(IndexScan::new(
+    // The base fetch: serial `Scan`/`IndexScan` + pushed `Filter` pair,
+    // or — when the planner granted the fetch workers — the
+    // morsel-parallel `Exchange` leaf, which fuses the pushed conjuncts
+    // into its workers (the filter work is what makes parallelism pay).
+    let mut node: Box<dyn Operator<'a> + 'a> = if plan.scan_workers > 1 {
+        let est = if plan.pushed.is_empty() {
+            match &plan.access {
+                AccessPath::FullScan => base.len() as f64,
+                _ => plan.estimated_selectivity * base.len() as f64,
+            }
+        } else {
+            plan.estimated_base_rows
+        };
+        Box::new(Exchange::new(
             Rc::clone(&cx),
             base,
             &sel.table,
-            access,
-            plan.estimated_selectivity * base.len() as f64,
-        )),
-    };
-    if !plan.pushed.is_empty() {
-        node = Box::new(Filter::pushed(
-            Rc::clone(&cx),
-            node,
+            &plan.access,
             &plan.pushed,
-            plan.estimated_base_rows,
-        ));
-    }
+            plan.scan_workers,
+            est,
+        ))
+    } else {
+        let mut node: Box<dyn Operator<'a> + 'a> = match &plan.access {
+            AccessPath::FullScan => Box::new(Scan::new(Rc::clone(&cx), base, &sel.table)),
+            access => Box::new(IndexScan::new(
+                Rc::clone(&cx),
+                base,
+                &sel.table,
+                access,
+                plan.estimated_selectivity * base.len() as f64,
+            )),
+        };
+        if !plan.pushed.is_empty() {
+            node = Box::new(Filter::pushed(
+                Rc::clone(&cx),
+                node,
+                &plan.pushed,
+                plan.estimated_base_rows,
+            ));
+        }
+        node
+    };
     for (step, pj) in plan.join_order.iter().enumerate() {
         let right = db.table(&pj.table)?;
         node = match pj.strategy {
@@ -569,6 +600,90 @@ mod tests {
             }
         }
         assert!(failures > 0, "partitioned sweep never tripped a charge");
+    }
+
+    #[test]
+    fn forced_exhaustion_under_parallel_execution_is_atomic() {
+        // The injector pointed at the worker pool: parallel scans and
+        // hash builds charge through a `SharedBudget` lease, so the
+        // worker that trips the injector must cancel its siblings and
+        // fail the statement atomically — reference-identical output or
+        // `ResourceExhausted`, never partial output. The sweep
+        // completing at all proves every scoped worker joined (a leaked
+        // worker would deadlock the scope). The deliberately panicking
+        // worker is covered at the pool layer
+        // (`pool::tests::a_panicking_worker_propagates_and_joins_all_siblings`).
+        let db = skewed_db();
+        let parallel = PlanOptions::parallel();
+        let partitioned = PlanOptions {
+            memory_budget: Some(256 * 1024),
+            ..PlanOptions::parallel()
+        };
+        for (q, opts, charges) in [
+            // Parallel scan with the filter fused into the workers: like
+            // the serial Scan + Filter pair it charges nothing (output
+            // is not auxiliary memory), so the sweep must never trip —
+            // every run must be reference-identical.
+            (
+                "SELECT b_id FROM build WHERE k > 100 AND b_id < 5000",
+                &parallel,
+                false,
+            ),
+            // Parallel scan feeding a charging consumer (top-k heap), so
+            // exhaustion fires with parallel partial output in flight.
+            (
+                "SELECT b_id FROM build WHERE k > 100 ORDER BY k DESC LIMIT 7",
+                &parallel,
+                true,
+            ),
+            // Parallel in-place hash build over the 10k-row build side:
+            // every worker's partial map charges through the lease.
+            (
+                "SELECT probe.p_id, build.b_id FROM probe JOIN build ON build.k = probe.k",
+                &parallel,
+                true,
+            ),
+            // Parallel partitioned build (the budget in `opts` makes the
+            // plan partition; the injected budget itself is unlimited).
+            (
+                "SELECT probe.p_id, build.b_id FROM probe JOIN build ON build.k = probe.k",
+                &partitioned,
+                true,
+            ),
+        ] {
+            let Statement::Select(sel) = parse_statement(q).unwrap() else {
+                unreachable!()
+            };
+            let plan = plan_select_with(&db, &sel, opts).unwrap();
+            assert!(
+                plan.parallel_count() > 0,
+                "fixture must actually plan parallel operators: {q}"
+            );
+            let reference = execute_select_reference(&db, &sel).unwrap();
+            let mut failures = 0;
+            for n in 0..64 {
+                let budget = ExecBudget::failing_after(n);
+                match run_tree(&db, &sel, opts, &budget) {
+                    Ok(rs) => assert_eq!(rs, reference, "query: {q}, n = {n}"),
+                    Err(TxdbError::ResourceExhausted { .. }) => failures += 1,
+                    Err(e) => panic!("unexpected error for {q} at n = {n}: {e}"),
+                }
+            }
+            if charges {
+                assert!(failures > 0, "parallel sweep never tripped a charge: {q}");
+            } else {
+                assert_eq!(
+                    failures, 0,
+                    "a chargeless parallel scan tripped the injector: {q}"
+                );
+            }
+            let budget = ExecBudget::failing_after(usize::MAX);
+            assert_eq!(
+                run_tree(&db, &sel, opts, &budget).unwrap(),
+                reference,
+                "an injector that never fires must not change results: {q}"
+            );
+        }
     }
 
     #[test]

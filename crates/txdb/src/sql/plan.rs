@@ -256,6 +256,18 @@ pub const HOT_KEY_LIMIT: usize = 8;
 /// against [`JoinStrategy::MergeRange`].
 pub const HASH_BUILD_COST_FACTOR: f64 = 2.0;
 
+/// Default rows per morsel of a parallel scan or hash build: large
+/// enough that claiming a morsel (one atomic increment) is noise
+/// against the per-row work, small enough that a 4-worker pool
+/// load-balances a 10k-row table.
+pub const MORSEL_ROWS: usize = 1024;
+
+/// A table must hold at least this many rows before the planner
+/// parallelizes its scan or hash build: below it, spawning scoped
+/// workers costs more than the fetch itself. Two default morsels — the
+/// smallest split where a second worker has a whole morsel to claim.
+pub const PARALLEL_ROW_THRESHOLD: usize = 2 * MORSEL_ROWS;
+
 /// Estimated fraction of rows a *secondary* probe may keep while fetching
 /// its RowId set for the intersection is still considered cheaper than
 /// filtering the primary probe's (already small) result. Fetch cost is
@@ -601,6 +613,38 @@ pub struct PlanOptions {
     /// affects results — only memory behavior and the plan's build
     /// shape.
     pub memory_budget: Option<usize>,
+    /// Degree of intra-query parallelism: base-table scans and hash-join
+    /// builds over at least [`parallel_row_threshold`](Self::parallel_row_threshold)
+    /// rows split into [`morsel_rows`](Self::morsel_rows)-sized morsels
+    /// executed on a scoped-thread pool of this many workers (see
+    /// `sql::pool`). `1` — the default — is today's exact serial code
+    /// path; the default is overridable via the `TXDB_THREADS`
+    /// environment variable (read once per process). Never affects
+    /// results: every parallel merge recombines locally-ordered partials
+    /// into the canonical ascending-RowId order, byte-identical to the
+    /// serial stream.
+    pub worker_threads: usize,
+    /// Rows per morsel of a parallel scan or build ([`MORSEL_ROWS`] by
+    /// default). Tests and the differential `parallel` shape shrink it
+    /// so tiny corpus tables still exercise the parallel operators.
+    pub morsel_rows: usize,
+    /// Minimum table rows before the planner parallelizes an operator
+    /// over it ([`PARALLEL_ROW_THRESHOLD`] by default).
+    pub parallel_row_threshold: usize,
+}
+
+/// The process-wide `TXDB_THREADS` override for
+/// [`PlanOptions::worker_threads`], read once: unset, unparsable or
+/// zero means the serial default of 1.
+fn default_worker_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("TXDB_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    })
 }
 
 impl Default for PlanOptions {
@@ -620,6 +664,9 @@ impl Default for PlanOptions {
             } else {
                 None
             },
+            worker_threads: default_worker_threads(),
+            morsel_rows: MORSEL_ROWS,
+            parallel_row_threshold: PARALLEL_ROW_THRESHOLD,
         }
     }
 }
@@ -638,6 +685,7 @@ impl PlanOptions {
             build_pushdown: false,
             correlation_aware: false,
             memory_budget: None,
+            ..PlanOptions::default()
         }
     }
 
@@ -687,6 +735,35 @@ impl PlanOptions {
         PlanOptions {
             memory_budget: Some(TIGHT_BUDGET_BYTES),
             ..PlanOptions::default()
+        }
+    }
+
+    /// The PR 9 parallel shape: the full planner with a 4-worker morsel
+    /// pool, thresholds shrunk so even the differential corpus's tiny
+    /// tables split into multiple morsels — every eligible scan and
+    /// hash build actually runs parallel. Must agree byte-for-byte with
+    /// the reference executor on every generated query; production
+    /// defaults keep the larger [`MORSEL_ROWS`] /
+    /// [`PARALLEL_ROW_THRESHOLD`] and opt in via `TXDB_THREADS`.
+    pub fn parallel() -> PlanOptions {
+        PlanOptions {
+            worker_threads: 4,
+            morsel_rows: 4,
+            parallel_row_threshold: 8,
+            ..PlanOptions::default()
+        }
+    }
+
+    /// The degree of parallelism the planner grants an operator over
+    /// `rows` input rows: the configured pool size when the row count
+    /// clears [`parallel_row_threshold`](Self::parallel_row_threshold),
+    /// serial otherwise. The executor additionally clamps to the actual
+    /// morsel count at run time.
+    pub(crate) fn parallel_degree(&self, rows: usize) -> usize {
+        if self.worker_threads > 1 && rows >= self.parallel_row_threshold.max(2) {
+            self.worker_threads
+        } else {
+            1
         }
     }
 }
@@ -768,6 +845,15 @@ pub struct PlannedJoin {
     /// mid-plan, not only at the final result. `None` when the planner
     /// generation in use never priced the join (strategies disabled).
     pub estimated_rows: Option<f64>,
+    /// Workers granted to this step's hash build
+    /// (`PlanOptions::parallel_degree` over the rows entering the
+    /// build). `1` is the serial build; `> 1` splits the in-place build
+    /// into morsel-built partial maps merged in morsel order — or, when
+    /// [`partitions`](Self::partitions) `> 1`, runs the (embarrassingly
+    /// parallel) partitions on the worker pool. Either way the merged
+    /// result is byte-identical to the serial build. Only meaningful
+    /// for [`BuildHash`](JoinStrategy::BuildHash) steps.
+    pub build_workers: usize,
 }
 
 /// The plan for one `SELECT`: access path, join order, staged filters.
@@ -797,6 +883,17 @@ pub struct SelectPlan {
     /// (q-error). Correlation-aware by default; the independence product
     /// under [`PlanOptions::independence_only`].
     pub estimated_base_rows: f64,
+    /// Workers granted to the base-table fetch
+    /// (`PlanOptions::parallel_degree` over the base table's rows).
+    /// `1` lowers to the serial `Scan`/`IndexScan` leaf — today's exact
+    /// code path; `> 1` lowers to the morsel-parallel `Exchange` leaf,
+    /// which fuses the pushed filter into its workers and merges
+    /// partials back into canonical ascending-RowId order.
+    pub scan_workers: usize,
+    /// Rows per morsel for this plan's parallel operators (from
+    /// [`PlanOptions::morsel_rows`]; the executor clamps workers to the
+    /// actual morsel count at run time).
+    pub morsel_rows: usize,
 }
 
 impl SelectPlan {
@@ -829,6 +926,19 @@ impl SelectPlan {
     /// executes.
     pub fn partitioned_count(&self) -> usize {
         self.join_order.iter().filter(|j| j.partitions > 1).count()
+    }
+
+    /// Number of operators this plan runs on the worker pool: the
+    /// parallel base fetch plus every parallel hash build. Used by the
+    /// differential tally to assert the parallel operators actually
+    /// execute under the `parallel` shape.
+    pub fn parallel_count(&self) -> usize {
+        usize::from(self.scan_workers > 1)
+            + self
+                .join_order
+                .iter()
+                .filter(|j| j.strategy == JoinStrategy::BuildHash && j.build_workers > 1)
+                .count()
     }
 
     /// One-line summary, e.g.
@@ -1499,6 +1609,7 @@ fn resolve_joins(db: &Database, layout: &Layout, sel: &SelectStmt) -> Result<Vec
             partitions: 1,
             hot_keys: Vec::new(),
             estimated_rows: None,
+            build_workers: 1,
         });
     }
     Ok(out)
@@ -1742,6 +1853,11 @@ fn assign_join_strategies(
                     pj.hot_keys = hot_join_keys(db, &pj.table, &pj.right_col, nrows)?;
                 }
             }
+            // Degree of build parallelism, from the rows actually
+            // entering the build (the pushdown estimate when one was
+            // chosen, the exact table size otherwise). The executor
+            // clamps to the actual morsel/partition count at run time.
+            pj.build_workers = opts.parallel_degree(eff_rows.max(0.0) as usize);
         }
         outer_est *= (eff_rows / distinct.max(1.0)).max(1.0);
         pj.estimated_rows = Some(outer_est);
@@ -1880,6 +1996,8 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
             estimated_selectivity: 1.0,
             table_cards,
             estimated_base_rows,
+            scan_workers: opts.parallel_degree(base.len()),
+            morsel_rows: opts.morsel_rows,
         });
     }
 
@@ -2039,6 +2157,8 @@ pub fn plan_select_with(db: &Database, sel: &SelectStmt, opts: &PlanOptions) -> 
         estimated_selectivity,
         table_cards,
         estimated_base_rows,
+        scan_workers: opts.parallel_degree(base.len()),
+        morsel_rows: opts.morsel_rows,
     })
 }
 

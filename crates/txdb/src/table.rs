@@ -655,6 +655,64 @@ impl Table {
         self.rows.iter().map(|(&rid, row)| (rid, row))
     }
 
+    /// [`Table::scan`] restricted to the inclusive RowId range
+    /// `lo..=hi` — one morsel of a parallel scan. Concatenating the
+    /// streams of [`Table::morsel_ranges`] in range order reproduces
+    /// the full scan exactly.
+    pub fn scan_range(&self, lo: RowId, hi: RowId) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.rows.range(lo..=hi).map(|(&rid, row)| (rid, row))
+    }
+
+    /// Split the table's physical slots into inclusive `(lo, hi)` RowId
+    /// ranges of at most `morsel_rows` slots each, in ascending order —
+    /// the morsel boundaries a parallel scan's workers claim. One walk
+    /// over the keys; the ranges partition the live RowId set exactly.
+    pub fn morsel_ranges(&self, morsel_rows: usize) -> Vec<(RowId, RowId)> {
+        let morsel_rows = morsel_rows.max(1);
+        let mut ranges = Vec::with_capacity(self.rows.len().div_ceil(morsel_rows));
+        let mut start: Option<RowId> = None;
+        let mut filled = 0usize;
+        let mut last = RowId(0);
+        for &rid in self.rows.keys() {
+            if start.is_none() {
+                start = Some(rid);
+            }
+            filled += 1;
+            last = rid;
+            if filled == morsel_rows {
+                ranges.push((start.take().expect("range in progress"), rid));
+                filled = 0;
+            }
+        }
+        if let Some(lo) = start {
+            ranges.push((lo, last));
+        }
+        ranges
+    }
+
+    /// [`Table::join_map`] restricted to the inclusive RowId range
+    /// `lo..=hi` — one morsel of a parallel hash build. Buckets stay
+    /// sorted (range order is ascending), and merging the partial maps
+    /// of [`Table::morsel_ranges`] in range order by appending buckets
+    /// reproduces the full build map exactly.
+    pub fn join_map_range(
+        &self,
+        column: &str,
+        lo: RowId,
+        hi: RowId,
+    ) -> Result<HashMap<&Value, Vec<RowId>>> {
+        let idx = self.schema.require_column(column)?;
+        let mut map: HashMap<&Value, Vec<RowId>> = HashMap::new();
+        for (&rid, row) in self.rows.range(lo..=hi) {
+            let Some(v) = row.get(idx) else { continue };
+            if v.is_excluded_join_key() {
+                continue;
+            }
+            map.entry(v).or_default().push(rid);
+        }
+        Ok(map)
+    }
+
     /// Rows satisfying a predicate, in ascending RowId order.
     ///
     /// Routes through the shared cost-aware planner

@@ -628,6 +628,7 @@ const SHAPES: &[&str] = &[
     "independence_only",
     "tight_budget",
     "snapshot",
+    "parallel",
 ];
 
 fn shape_options(name: &str) -> PlanOptions {
@@ -641,6 +642,10 @@ fn shape_options(name: &str) -> PlanOptions {
         // The PR 8 snapshot shape runs the default planner through an
         // explicit MVCC snapshot (special-cased at the call site).
         "snapshot" => PlanOptions::default(),
+        // The PR 9 parallel shape: 4 workers with morsels shrunk far
+        // below the production size, so the corpus's small tables still
+        // split into real parallel work.
+        "parallel" => PlanOptions::parallel(),
         other => panic!("TXDB_DIFF_SHAPE={other} names no planner shape (one of {SHAPES:?})"),
     }
 }
@@ -667,10 +672,11 @@ fn shapes_under_test() -> Vec<&'static str> {
 /// Run `sql` through the reference executor and every planner shape
 /// under test — the full planner, the PR 1 single-access-path shape,
 /// the PR 2 per-key-join shape, the PR 3 no-build-pushdown shape, the
-/// PR 4 independence-estimator shape and the PR 6 tight-budget shape
-/// (degraded, partition-where-needed execution); all must agree
-/// (results and error-ness) — estimator changes and memory degradation
-/// may flip plans, never results.
+/// PR 4 independence-estimator shape, the PR 6 tight-budget shape
+/// (degraded, partition-where-needed execution), the PR 8 snapshot
+/// shape and the PR 9 parallel shape (4 morsel workers); all must agree
+/// (results and error-ness) — estimator changes, memory degradation and
+/// intra-query parallelism may flip plans, never results.
 fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
     let stmt = parse_statement(sql)
         .unwrap_or_else(|e| panic!("generator produced unparsable SQL `{sql}`: {e}"));
@@ -762,6 +768,11 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     // Joins the tight-budget planner partitions — proves the degraded
     // build path actually executes across the byte-identical run above.
     let mut partitioned = 0usize;
+    // Operators the parallel shape actually grants workers (parallel
+    // scans plus parallel hash builds) — proves the morsel-driven path
+    // executes across the byte-identical run, rather than every query
+    // falling below the row threshold and demoting to serial.
+    let mut parallel_ops = 0usize;
     // Estimator-accuracy tally: log-sum of per-query q-errors (estimated
     // base-table cardinality vs. actual result size) for the join-free
     // queries where the two are comparable.
@@ -790,6 +801,11 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
                 {
                     partitioned += plan.partitioned_count();
                 }
+                if let Ok(plan) =
+                    cat_txdb::sql::plan_select_with(&db, &sel, &PlanOptions::parallel())
+                {
+                    parallel_ops += plan.parallel_count();
+                }
             }
             if let Some(q) = base_card_q_error(&mut db, &sql, &PlanOptions::default()) {
                 q_log_sum += q.ln();
@@ -815,7 +831,7 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     );
     println!(
         "strategy tally: probe {probes}, hash {hashes}, merge {merges}, \
-         pushdown {pushdowns}, partitioned {partitioned}"
+         pushdown {pushdowns}, partitioned {partitioned}, parallel {parallel_ops}"
     );
     assert!(
         pushdowns > 0,
@@ -824,6 +840,10 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     assert!(
         partitioned > 0,
         "the tight-budget shape never partitioned a build — degradation path uncovered"
+    );
+    assert!(
+        parallel_ops > 0,
+        "the parallel shape never granted an operator workers — morsel path uncovered"
     );
     let q_geo = (q_log_sum / q_count.max(1) as f64).exp();
     println!("estimator tally: {q_count} join-free queries, geo-mean q-error {q_geo:.2}, worst {q_worst:.1}");

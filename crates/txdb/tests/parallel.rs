@@ -1,0 +1,218 @@
+//! Parallel-determinism tests: the same query at `worker_threads` = 1,
+//! 2, 4 and 8 must produce byte-identical results — the morsel merge
+//! rule (concatenate contiguous partials in morsel order) reproduces
+//! the serial ascending-RowId stream exactly, so the thread count can
+//! never show through in query output. `EXPLAIN ANALYZE` actual-row
+//! annotations must agree across parallel degrees too, and the root's
+//! actual count must equal the result size at every degree.
+//!
+//! Budgets are left at `PlanOptions::default()` on purpose: under
+//! `--features tight-budget` the same assertions hold with the tight
+//! default budget live, covering the parallel + partitioned-degradation
+//! interaction.
+
+use cat_txdb::sql::{
+    execute_select_reference, execute_select_with, explain_select_with, parse_statement,
+    PlanOptions, Statement,
+};
+use cat_txdb::{row, Database, Value};
+
+/// A 5000-row `item` table (multi-conjunct filter fodder, no index on
+/// the filtered columns) joined by a 60-row `req` probe side — both the
+/// parallel scan and the parallel hash build clear the default
+/// 2×`MORSEL_ROWS` row threshold.
+fn fixture() -> Database {
+    let mut db = Database::new();
+    cat_txdb::sql::execute_script(
+        &mut db,
+        "CREATE TABLE item (item_id INT PRIMARY KEY, k INT, grade FLOAT, name TEXT);
+         CREATE TABLE req (req_id INT PRIMARY KEY, k INT)",
+    )
+    .unwrap();
+    for i in 0..5000i64 {
+        db.insert(
+            "item",
+            row![
+                i,
+                if i % 3 == 0 { 17 } else { i % 97 },
+                (i % 50) as f64 / 5.0,
+                format!("item-{}", i % 13)
+            ],
+        )
+        .unwrap();
+    }
+    for i in 0..60i64 {
+        db.insert("req", row![i, if i % 2 == 0 { 17 } else { i }])
+            .unwrap();
+    }
+    db
+}
+
+fn opts(workers: usize) -> PlanOptions {
+    PlanOptions {
+        worker_threads: workers,
+        ..PlanOptions::default()
+    }
+}
+
+const QUERIES: &[&str] = &[
+    // Parallel scan with the multi-conjunct filter fused into workers.
+    "SELECT item_id, name FROM item WHERE grade > 2.5 AND name LIKE '%-7%' AND k <> 17",
+    // Parallel hash build (5000-row build side, duplicate-heavy key).
+    "SELECT req.req_id, item.item_id FROM req JOIN item ON item.k = req.k",
+    // Parallel scan under aggregation + grouping.
+    "SELECT name, COUNT(*), MAX(grade) FROM item WHERE k < 40 GROUP BY name ORDER BY name",
+    // Parallel scan under ORDER BY ... LIMIT (bounded top-k).
+    "SELECT item_id FROM item WHERE grade >= 1.0 ORDER BY grade DESC LIMIT 25",
+];
+
+/// `EXPLAIN ANALYZE` actual-row annotations, top-down.
+fn analyze_row_counts(db: &Database, sql: &str, o: &PlanOptions) -> Vec<usize> {
+    let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+        unreachable!()
+    };
+    explain_select_with(db, &sel, o, true)
+        .unwrap()
+        .rows
+        .into_iter()
+        .map(|mut r| {
+            let Value::Text(line) = r.remove(0) else {
+                panic!("non-text plan line")
+            };
+            let at = line
+                .find("actual=")
+                .unwrap_or_else(|| panic!("no actual-row annotation in `{line}`"));
+            line[at + "actual=".len()..]
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn results_are_byte_identical_across_worker_counts() {
+    let db = fixture();
+    for sql in QUERIES {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            unreachable!()
+        };
+        let reference = execute_select_reference(&db, &sel).unwrap();
+        let serial = execute_select_with(&db, &sel, &opts(1)).unwrap();
+        assert_eq!(serial, reference, "serial vs reference: {sql}");
+        for workers in [2, 4, 8] {
+            let parallel = execute_select_with(&db, &sel, &opts(workers)).unwrap();
+            assert_eq!(parallel, serial, "{workers} workers vs serial: {sql}");
+        }
+    }
+}
+
+#[test]
+fn analyze_row_counts_agree_across_worker_counts() {
+    let db = fixture();
+    for sql in QUERIES {
+        let Statement::Select(sel) = parse_statement(sql).unwrap() else {
+            unreachable!()
+        };
+        let result_len = execute_select_with(&db, &sel, &opts(1)).unwrap().rows.len();
+        // Parallel degrees lower the same tree (an `Exchange` leaf), so
+        // the full actual-row column must agree node for node.
+        let two = analyze_row_counts(&db, sql, &opts(2));
+        for workers in [4, 8] {
+            assert_eq!(
+                analyze_row_counts(&db, sql, &opts(workers)),
+                two,
+                "{workers} workers vs 2: {sql}"
+            );
+        }
+        // The serial tree differs in shape (Scan + Filter instead of a
+        // fused Exchange), but the root actual count is the result size
+        // by contract at every degree.
+        for workers in [1, 2, 4, 8] {
+            let counts = analyze_row_counts(&db, sql, &opts(workers));
+            assert_eq!(
+                counts[0], result_len,
+                "root actual vs result size at {workers} workers: {sql}"
+            );
+        }
+    }
+}
+
+#[test]
+fn explain_renders_the_degree_of_parallelism() {
+    let db = fixture();
+    let Statement::Select(sel) =
+        parse_statement("SELECT item_id FROM item WHERE k <> 17 AND grade > 1.0").unwrap()
+    else {
+        unreachable!()
+    };
+    let tree: Vec<String> = explain_select_with(&db, &sel, &opts(4), false)
+        .unwrap()
+        .rows
+        .into_iter()
+        .map(|mut r| match r.remove(0) {
+            Value::Text(line) => line,
+            other => panic!("non-text plan cell: {other:?}"),
+        })
+        .collect();
+    assert!(
+        tree.iter()
+            .any(|l| l.contains("Exchange") && l.contains("workers=4")),
+        "EXPLAIN must render the parallel leaf and its degree:\n{}",
+        tree.join("\n")
+    );
+    // Join fixture: the build side's degree shows on the join node.
+    let Statement::Select(sel) =
+        parse_statement("SELECT req.req_id FROM req JOIN item ON item.k = req.k").unwrap()
+    else {
+        unreachable!()
+    };
+    let tree: Vec<String> = explain_select_with(&db, &sel, &opts(4), false)
+        .unwrap()
+        .rows
+        .into_iter()
+        .map(|mut r| match r.remove(0) {
+            Value::Text(line) => line,
+            other => panic!("non-text plan cell: {other:?}"),
+        })
+        .collect();
+    assert!(
+        tree.iter()
+            .any(|l| l.contains("BuildHashJoin") && l.contains("workers=4")),
+        "EXPLAIN must render the build's parallel degree:\n{}",
+        tree.join("\n")
+    );
+}
+
+/// `worker_threads = 1` must lower the exact pre-parallel operators —
+/// no Exchange node, no pool, today's serial code path byte for byte.
+#[test]
+fn one_worker_lowers_the_serial_tree() {
+    let db = fixture();
+    let Statement::Select(sel) =
+        parse_statement("SELECT item_id FROM item WHERE k <> 17 AND grade > 1.0").unwrap()
+    else {
+        unreachable!()
+    };
+    let tree: Vec<String> = explain_select_with(&db, &sel, &opts(1), false)
+        .unwrap()
+        .rows
+        .into_iter()
+        .map(|mut r| match r.remove(0) {
+            Value::Text(line) => line,
+            other => panic!("non-text plan cell: {other:?}"),
+        })
+        .collect();
+    assert!(
+        tree.iter().all(|l| !l.contains("Exchange")),
+        "serial plans must not contain Exchange:\n{}",
+        tree.join("\n")
+    );
+    assert!(
+        tree.iter().any(|l| l.contains("Scan [item]")),
+        "serial plan lost its Scan leaf:\n{}",
+        tree.join("\n")
+    );
+}

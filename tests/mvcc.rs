@@ -335,6 +335,57 @@ fn sql_session_round_trip() {
     assert!(session.execute(&mut db, "CREATE TABLE t (a INT)").is_err());
 }
 
+/// Folded from the old `pk_probe` binary probe: a primary-key slot is
+/// held by its version chain, not just by the newest version. Deleting
+/// a row does not free its key for re-insertion while any version of
+/// the old row is still reachable — in-transaction (the delete is not
+/// yet committed) or by a concurrent reader's snapshot — and does free
+/// it once vacuum reclaims the chain.
+#[test]
+fn pk_slot_stays_reserved_until_the_version_chain_is_reclaimed() {
+    let mut db = bank(1);
+    let rid = db.select("account", &Predicate::eq("id", 0)).unwrap()[0].0;
+
+    // In-transaction delete + re-insert of the same key: the deleted
+    // version is still the committed state, so the insert collides.
+    let txn = db.txn_begin();
+    db.txn_delete(txn, "account", rid).unwrap();
+    let err = db.txn_insert(txn, "account", row![0, 200]).unwrap_err();
+    assert!(
+        matches!(err, TxdbError::DuplicateKey { ref table, .. } if table == "account"),
+        "expected DuplicateKey, got {err:?}"
+    );
+    db.txn_rollback(txn).unwrap();
+    assert_eq!(
+        balances(&db, &db.select("account", &Predicate::True).unwrap()),
+        vec![(0, 100)]
+    );
+
+    // Committed delete while a reader's snapshot still needs the old
+    // version: the chain survives vacuum, so the key stays taken.
+    let reader = db.txn_begin();
+    let w = db.txn_begin();
+    db.txn_delete(w, "account", rid).unwrap();
+    db.txn_commit(w).unwrap();
+    let err = db.insert("account", row![0, 300]).unwrap_err();
+    assert!(
+        matches!(err, TxdbError::DuplicateKey { ref table, .. } if table == "account"),
+        "expected DuplicateKey while the snapshot pins the chain, got {err:?}"
+    );
+    // The reader still sees the deleted row through its snapshot.
+    let pinned = db.txn_select(reader, "account", &Predicate::True).unwrap();
+    assert_eq!(balances(&db, &pinned), vec![(0, 100)]);
+
+    // Reader gone → vacuum reclaims the chain → the key is free again.
+    db.txn_commit(reader).unwrap();
+    assert_eq!(db.table("account").unwrap().mvcc_versions(), 0);
+    db.insert("account", row![0, 300]).unwrap();
+    assert_eq!(
+        balances(&db, &db.select("account", &Predicate::True).unwrap()),
+        vec![(0, 300)]
+    );
+}
+
 #[test]
 fn dump_refuses_mid_transaction_state() {
     let mut db = bank(1);

@@ -1,0 +1,167 @@
+//! Concurrency stress: writer threads committing and aborting bank
+//! transfers against concurrent *parallel* snapshot readers.
+//!
+//! The engine's concurrency contract is layered: the `Database` handle
+//! itself is externally synchronized (the `RwLock` here), while *within*
+//! one query the morsel worker pool reads table state from multiple
+//! threads at once — several reader threads each fanning out to 4 morsel
+//! workers run truly concurrently against the same tables. Every
+//! observed result must equal some committed snapshot: transfers
+//! conserve the total balance, so any torn read (a row observed
+//! mid-transfer, a version resolved inconsistently across morsels)
+//! breaks the sum. Pure readers must never see a `Serialization` error —
+//! snapshot reads don't write, so the first-committer-wins rule cannot
+//! touch them — and after all threads quiesce the version chains must
+//! collapse back to zero.
+
+use std::sync::RwLock;
+
+use cat_txdb::sql::{execute_select_at, parse_statement, PlanOptions, Statement};
+use cat_txdb::{row, DataType, Database, Predicate, TableSchema, TxdbError, Value};
+
+const ACCOUNTS: i64 = 64;
+const OPENING: i64 = 100;
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+const ROUNDS: usize = 50;
+
+fn bank() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("account")
+            .column("id", DataType::Int)
+            .column("balance", DataType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for i in 0..ACCOUNTS {
+        db.insert("account", row![i, OPENING]).unwrap();
+    }
+    db
+}
+
+/// Parallel plan shape for the readers: 4 workers with morsels small
+/// enough that the 64-row table really splits.
+fn parallel_opts() -> PlanOptions {
+    PlanOptions::parallel()
+}
+
+#[test]
+fn parallel_snapshot_reads_stay_consistent_under_concurrent_writers() {
+    let db = RwLock::new(bank());
+    let sum_sql = "SELECT sum(balance) FROM account";
+    let rows_sql = "SELECT id, balance FROM account ORDER BY id";
+    let Statement::Select(sum_sel) = parse_statement(sum_sql).unwrap() else {
+        unreachable!()
+    };
+    let Statement::Select(rows_sel) = parse_statement(rows_sql).unwrap() else {
+        unreachable!()
+    };
+    // The reader plan must actually fan out, or the test stresses
+    // nothing.
+    {
+        let guard = db.read().unwrap();
+        let plan = cat_txdb::sql::plan_select_with(&guard, &rows_sel, &parallel_opts()).unwrap();
+        assert!(
+            plan.parallel_count() > 0,
+            "reader plan granted no workers: {}",
+            plan.describe()
+        );
+    }
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let db = &db;
+            s.spawn(move || {
+                for i in 0..ROUNDS {
+                    let from = ((w * 13 + i * 5) as i64) % ACCOUNTS;
+                    let to = ((w * 7 + i * 3 + 1) as i64) % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    let mut guard = db.write().unwrap();
+                    let txn = guard.txn_begin();
+                    let debit = guard
+                        .txn_select(txn, "account", &Predicate::eq("id", from))
+                        .unwrap();
+                    let credit = guard
+                        .txn_select(txn, "account", &Predicate::eq("id", to))
+                        .unwrap();
+                    let (from_rid, from_row) = &debit[0];
+                    let (to_rid, to_row) = &credit[0];
+                    let from_bal = from_row.get(1).unwrap().as_int().unwrap();
+                    let to_bal = to_row.get(1).unwrap().as_int().unwrap();
+                    guard
+                        .txn_update(
+                            txn,
+                            "account",
+                            *from_rid,
+                            "balance",
+                            Value::Int(from_bal - 5),
+                        )
+                        .unwrap();
+                    guard
+                        .txn_update(txn, "account", *to_rid, "balance", Value::Int(to_bal + 5))
+                        .unwrap();
+                    // A third of the transfers abort: rolled-back
+                    // versions must be as invisible as uncommitted ones.
+                    if i % 3 == 0 {
+                        guard.txn_rollback(txn).unwrap();
+                    } else {
+                        guard.txn_commit(txn).unwrap();
+                    }
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let db = &db;
+            let sum_sel = &sum_sel;
+            let rows_sel = &rows_sel;
+            s.spawn(move || {
+                for _ in 0..ROUNDS {
+                    let guard = db.read().unwrap();
+                    let snap = guard.snapshot();
+                    let opts = parallel_opts();
+                    // Pure snapshot readers must never observe a
+                    // Serialization error; surface anything else loudly.
+                    let check = |r: Result<cat_txdb::sql::ResultSet, TxdbError>| match r {
+                        Ok(rs) => rs,
+                        Err(TxdbError::Serialization { table, detail }) => {
+                            panic!("Serialization leaked to a pure reader: {table}: {detail}")
+                        }
+                        Err(e) => panic!("reader failed: {e}"),
+                    };
+                    let total = check(execute_select_at(&guard, sum_sel, &opts, Some(&snap)));
+                    assert_eq!(
+                        total.rows[0][0],
+                        Value::Int(ACCOUNTS * OPENING),
+                        "torn read: the observed total is not a committed snapshot"
+                    );
+                    let rows = check(execute_select_at(&guard, rows_sel, &opts, Some(&snap)));
+                    assert_eq!(rows.rows.len(), ACCOUNTS as usize);
+                    let sum: i64 = rows.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+                    assert_eq!(
+                        sum,
+                        ACCOUNTS * OPENING,
+                        "torn read: per-row balances do not sum to a committed snapshot"
+                    );
+                }
+            });
+        }
+    });
+
+    // Quiesced: no open transactions, so commit/rollback-time vacuum has
+    // collapsed every version chain and the final state is a committed
+    // snapshot too.
+    let guard = db.read().unwrap();
+    assert_eq!(
+        guard.table("account").unwrap().mvcc_versions(),
+        0,
+        "version chains survived quiesce"
+    );
+    let snap = guard.snapshot();
+    let total = execute_select_at(&guard, &sum_sel, &parallel_opts(), Some(&snap)).unwrap();
+    assert_eq!(total.rows[0][0], Value::Int(ACCOUNTS * OPENING));
+}
