@@ -34,10 +34,16 @@
 //! (`worker_threads = 4`) execution of a selective unindexed scan and a
 //! duplicate-heavy hash build, plus a first mixed read/write throughput
 //! group: snapshot readers racing two writer threads over an `RwLock`d
-//! database. Medians and speedups land in `BENCH_PR9.json`
-//! at the workspace root; CI diffs the shared group names against the
-//! committed baselines (`scripts/bench_compare.rs`) and fails on >25%
-//! regressions of the machine-normalized medians.
+//! database. The PR 10 groups price durability: `wal_commit_2k`
+//! measures single-row update commits against a write-ahead-logged
+//! database with the per-commit fsync on (the durable default) and off —
+//! a latency trade, not a code-path speedup — and `recovery_replay_10k`
+//! measures `Database::open` replaying a 10k-record log against opening
+//! the same state folded into a checkpoint snapshot, which is what
+//! `CHECKPOINT` buys at startup. Medians and speedups land in
+//! `BENCH_PR10.json` at the workspace root; CI diffs the shared group
+//! names against the committed baselines (`scripts/bench_compare.rs`)
+//! and fails on >25% regressions of the machine-normalized medians.
 //!
 //! Run with: `cargo bench -p cat-bench --bench planner`
 
@@ -51,7 +57,7 @@ use cat_txdb::sql::{
     execute, execute_select_at, execute_select_reference, execute_select_with, parse_statement,
     plan_select, JoinStrategy, PlanOptions, Statement,
 };
-use cat_txdb::{row, DataType, Database, TableSchema, Value};
+use cat_txdb::{dump_sql, row, DataType, Database, RowId, TableSchema, Value, WalOptions};
 
 /// A synthetic single-table database big enough that access paths
 /// dominate: `n` rows, hash index on the PK, range index on `price`.
@@ -1111,7 +1117,132 @@ fn bench_mixed_read_write(c: &mut Criterion) {
     g.finish();
 }
 
-/// Write `BENCH_PR9.json`: one record per benchmark group with the
+/// Durable commit latency over a 2,000-account table: each round
+/// commits 50 single-row update transactions, each an independent
+/// `[Begin, Update, Commit]` batch appended to the write-ahead log as
+/// one buffered write. *Before* syncs every commit batch to disk
+/// (`WalOptions::default()`, the durable configuration), *after* leaves
+/// flushing to the OS (`fsync: false`). The pair prices the fsync —
+/// a durability/latency trade the report quantifies rather than a
+/// speedup one would act on.
+fn bench_wal_commit(c: &mut Criterion) {
+    const ACCOUNTS: i64 = 2_000;
+    let base = std::env::temp_dir().join(format!("txdb-bench-wal-{}", std::process::id()));
+    let seed = |name: &str, fsync: bool| -> (Database, Vec<RowId>) {
+        let dir = base.join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = Database::open_with(&dir, WalOptions { fsync }).expect("open durable db");
+        db.create_table(
+            TableSchema::builder("account")
+                .column("id", DataType::Int)
+                .column("balance", DataType::Int)
+                .primary_key(&["id"])
+                .build()
+                .expect("schema"),
+        )
+        .expect("create");
+        let rids = (0..ACCOUNTS)
+            .map(|i| db.insert("account", row![i, 100i64]).expect("insert"))
+            .collect();
+        (db, rids)
+    };
+    fn round(db: &mut Database, rids: &[RowId], salt: &mut i64) {
+        for k in 0..50i64 {
+            let rid = rids[((*salt * 53 + k * 17) % rids.len() as i64) as usize];
+            let txn = db.txn_begin();
+            db.txn_update(txn, "account", rid, "balance", Value::Int(*salt + k))
+                .expect("txn update");
+            db.txn_commit(txn).expect("commit");
+        }
+        *salt += 1;
+    }
+
+    let (mut db, rids) = seed("fsync", true);
+    let mut salt = 1i64;
+    let mut g = c.benchmark_group("wal_commit_2k");
+    g.sample_size(10);
+    g.bench_function("before_fsync_commit", |b| {
+        b.iter(|| round(&mut db, &rids, &mut salt))
+    });
+    g.finish();
+    assert!(db.wal_appended_records() > 0, "commits never hit the log");
+
+    let (mut db, rids) = seed("nofsync", false);
+    let mut salt = 1i64;
+    let mut g = c.benchmark_group("wal_commit_2k");
+    g.sample_size(10);
+    g.bench_function("after_buffered_commit", |b| {
+        b.iter(|| round(&mut db, &rids, &mut salt))
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Recovery cost of a 10,000-record write-ahead log: the setup inserts
+/// 10k rows into a durable database and "crashes" (drops without
+/// closing), leaving the whole history in the log; a twin directory
+/// holds the identical state folded into a checkpoint snapshot.
+/// *Before* is `Database::open` replaying the full log; *after* opens
+/// the snapshot with an empty log — the startup-time difference is
+/// exactly what running `CHECKPOINT` buys.
+fn bench_recovery_replay(c: &mut Criterion) {
+    const ROWS: i64 = 10_000;
+    const NOFSYNC: WalOptions = WalOptions { fsync: false };
+    let base = std::env::temp_dir().join(format!("txdb-bench-recovery-{}", std::process::id()));
+    let seed = |name: &str| -> Database {
+        let dir = base.join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = Database::open_with(&dir, NOFSYNC).expect("open durable db");
+        db.create_table(
+            TableSchema::builder("item")
+                .column("id", DataType::Int)
+                .column("bucket", DataType::Int)
+                .column("label", DataType::Text)
+                .primary_key(&["id"])
+                .build()
+                .expect("schema"),
+        )
+        .expect("create");
+        for i in 0..ROWS {
+            db.insert("item", row![i, i % 97, format!("item-{i}")])
+                .expect("insert");
+        }
+        db
+    };
+    let log_dir = base.join("log");
+    drop(seed("log")); // crash: the log carries every record
+    let snap_dir = base.join("snapshot");
+    let mut db = seed("snapshot");
+    db.checkpoint().expect("checkpoint");
+    drop(db);
+
+    // Both startup paths must reconstruct the same database.
+    let replayed = Database::open_with(&log_dir, NOFSYNC).expect("replay");
+    let restored = Database::open_with(&snap_dir, NOFSYNC).expect("restore");
+    assert!(!replayed.table_names().is_empty(), "log was not replayed");
+    assert_eq!(
+        dump_sql(&replayed).expect("dump"),
+        dump_sql(&restored).expect("dump"),
+        "replay and snapshot disagree"
+    );
+    drop((replayed, restored));
+
+    let mut g = c.benchmark_group("recovery_replay_10k");
+    g.sample_size(10);
+    g.bench_function("before_replay_log", |b| {
+        b.iter(|| Database::open_with(&log_dir, NOFSYNC).expect("replay"))
+    });
+    g.finish();
+    let mut g = c.benchmark_group("recovery_replay_10k");
+    g.sample_size(10);
+    g.bench_function("after_load_snapshot", |b| {
+        b.iter(|| Database::open_with(&snap_dir, NOFSYNC).expect("restore"))
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Write `BENCH_PR10.json`: one record per benchmark group with the
 /// before/after medians (ns) and the speedup factor. Groups shared with
 /// the committed baselines feed the CI regression gate.
 fn write_report(measurements: &[Measurement]) {
@@ -1134,11 +1265,11 @@ fn write_report(measurements: &[Measurement]) {
             pairs.push((group.to_string(), before, after));
         }
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
-    let mut f = std::fs::File::create(path).expect("create BENCH_PR9.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_PR10.json");
     writeln!(
         f,
-        "{{\n  \"pr\": 9,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
+        "{{\n  \"pr\": 10,\n  \"bench\": \"planner\",\n  \"unit\": \"ns\",\n  \"results\": ["
     )
     .unwrap();
     for (i, (group, before, after)) in pairs.iter().enumerate() {
@@ -1178,6 +1309,8 @@ fn main() {
     bench_parallel_scan(&mut c);
     bench_parallel_build_hash(&mut c);
     bench_mixed_read_write(&mut c);
+    bench_wal_commit(&mut c);
+    bench_recovery_replay(&mut c);
     bench_refine(&mut c);
     write_report(c.measurements());
 }

@@ -1,7 +1,10 @@
 //! The database facade: catalog of tables, stored procedures, foreign-key
-//! enforcement and transactional execution.
+//! enforcement, transactional execution, and — when opened from a data
+//! directory — write-ahead logging, crash recovery and checkpoints.
 
 use std::collections::{BTreeMap, HashMap};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
 
 use crate::error::{Result, TxdbError};
@@ -11,8 +14,14 @@ use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
 use crate::stats::TableStats;
 use crate::table::Table;
-use crate::txn::{Snapshot, Transaction, TxnManager, WriteOp};
+use crate::txn::{Snapshot, Transaction, TxnManager};
 use crate::value::Value;
+use crate::wal::{self, ChangeRecord, Wal, WalOptions, AUTOCOMMIT_TXN};
+
+/// File name of the append-only change log inside a data directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the binary snapshot inside a data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 
 /// Number of mutations (version bumps) cached statistics may lag behind
 /// the live table before [`Database::with_stats`] recomputes them.
@@ -41,8 +50,11 @@ fn stats_usable(s: &TableStats, t: &Table) -> bool {
     drift <= (s.row_count as f64 * STATS_ROW_DRIFT).max(STATS_ROW_DRIFT_FLOOR)
 }
 
-/// An in-memory relational database with foreign keys, stored procedures
-/// and MVCC snapshot-isolated transactions.
+/// A relational database with foreign keys, stored procedures and MVCC
+/// snapshot-isolated transactions. In-memory by default
+/// ([`Database::new`]); opened from a data directory
+/// ([`Database::open`]) it additionally write-ahead-logs every mutation
+/// and recovers the last committed state after a crash.
 #[derive(Debug, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
@@ -54,6 +66,12 @@ pub struct Database {
     /// version counter. Interior mutability keeps the read-side query
     /// planner working on `&Database`.
     stats_cache: Mutex<HashMap<String, TableStats>>,
+    /// The change log, when the database is durable. `None` for
+    /// [`Database::new`]: every mutation path checks this once and the
+    /// in-memory engine pays nothing else.
+    wal: Option<Wal>,
+    /// Directory holding [`WAL_FILE`] and [`SNAPSHOT_FILE`].
+    data_dir: Option<PathBuf>,
 }
 
 impl Clone for Database {
@@ -64,6 +82,11 @@ impl Clone for Database {
             txns: self.txns.clone(),
             // Statistics are cheap to recompute lazily; start cold.
             stats_cache: Mutex::new(HashMap::new()),
+            // A clone is a detached in-memory copy: two logs appending
+            // to one file would interleave batches, so the clone gets
+            // none. Open a second data directory for a durable copy.
+            wal: None,
+            data_dir: None,
         }
     }
 }
@@ -74,6 +97,161 @@ impl Database {
         Database::default()
     }
 
+    // ----- durability: open / checkpoint / close -----
+
+    /// Open (or create) a durable database in directory `path` with
+    /// default [`WalOptions`] (fsync on every commit).
+    ///
+    /// Recovery order: load `snapshot.bin` when present, then replay the
+    /// committed batches of `wal.log` on top of it, discarding any torn
+    /// tail (a crash mid-append) and any uncommitted transaction (writes
+    /// without a `Commit` record). Row ids, index structure, version
+    /// counters and the transaction-id watermark all come back exactly
+    /// as they were at the last committed state.
+    pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(path, WalOptions::default())
+    }
+
+    /// [`Database::open`] with explicit [`WalOptions`].
+    pub fn open_with(path: impl AsRef<Path>, options: WalOptions) -> Result<Database> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| TxdbError::io("create data directory", &e))?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let wal_path = dir.join(WAL_FILE);
+        let (mut db, snap_gen) = if snapshot_path.exists() {
+            let bytes =
+                std::fs::read(&snapshot_path).map_err(|e| TxdbError::io("read snapshot", &e))?;
+            crate::dump::restore_binary(&bytes)?
+        } else {
+            (Database::new(), 0)
+        };
+        let scan = if wal_path.exists() {
+            let bytes = std::fs::read(&wal_path).map_err(|e| TxdbError::io("read wal", &e))?;
+            wal::scan_wal(&bytes)?
+        } else {
+            None
+        };
+        let wal = match scan {
+            Some(scan) if scan.generation == snap_gen => {
+                let max_txn = wal::recover::apply_records(&mut db, &scan.records)?;
+                db.txns.advance_past(max_txn);
+                Wal::open(&wal_path, snap_gen, Some(scan.valid_len), options)?
+            }
+            Some(scan) if scan.generation < snap_gen => {
+                // Crash between "snapshot renamed" and "log truncated":
+                // the snapshot already contains everything this stale
+                // log holds. Discard it rather than replay it twice.
+                Wal::open(&wal_path, snap_gen, None, options)?
+            }
+            Some(scan) => {
+                return Err(TxdbError::Corrupt(format!(
+                    "wal generation {} is newer than snapshot generation {snap_gen}",
+                    scan.generation
+                )))
+            }
+            None => Wal::open(&wal_path, snap_gen, None, options)?,
+        };
+        db.wal = Some(wal);
+        db.data_dir = Some(dir);
+        Ok(db)
+    }
+
+    /// Whether this database writes a change log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The data directory, when durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.data_dir.as_deref()
+    }
+
+    /// Records appended to the log since open or the last checkpoint
+    /// (0 for an in-memory database). Observability for tests and
+    /// checkpoint policies.
+    pub fn wal_appended_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::appended_records)
+    }
+
+    /// Inject a log-append failure after `n` more records reach the
+    /// file. Test hook for the commit-atomicity fault sweep; not part of
+    /// the stable API.
+    #[doc(hidden)]
+    pub fn wal_fail_appends_after(&mut self, n: u64) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.fail_appends_after(n);
+        }
+    }
+
+    /// Write a snapshot of the current committed state and truncate the
+    /// log, bounding recovery cost. Refuses to run with transactions in
+    /// flight ([`TxdbError::ActiveTransactions`]) — their uncommitted
+    /// versions would leak into the snapshot.
+    ///
+    /// Crash-safe protocol: the snapshot is written to a temp file,
+    /// fsynced and renamed into place carrying generation `g+1`; only
+    /// then is the log truncated and restamped to `g+1`. A crash between
+    /// the two leaves a `g` log next to a `g+1` snapshot, which
+    /// [`Database::open`] detects and discards (the snapshot already
+    /// contains those effects) instead of replaying twice.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(dir) = self.data_dir.clone() else {
+            return Err(TxdbError::Io {
+                context: "checkpoint".into(),
+                detail: "database has no data directory (opened with Database::new)".into(),
+            });
+        };
+        if self.has_active_txns() {
+            return Err(TxdbError::ActiveTransactions {
+                operation: "checkpoint".into(),
+                count: self.txns.active_count(),
+            });
+        }
+        let gen = self
+            .wal
+            .as_ref()
+            .expect("durable database has a wal")
+            .generation()
+            + 1;
+        let bytes = crate::dump::dump_binary(self, gen)?;
+        let tmp = dir.join("snapshot.bin.tmp");
+        let finished = dir.join(SNAPSHOT_FILE);
+        {
+            let mut f = std::fs::File::create(&tmp)
+                .map_err(|e| TxdbError::io("create snapshot temp file", &e))?;
+            f.write_all(&bytes)
+                .and_then(|()| f.sync_all())
+                .map_err(|e| TxdbError::io("write snapshot", &e))?;
+        }
+        std::fs::rename(&tmp, &finished).map_err(|e| TxdbError::io("publish snapshot", &e))?;
+        self.wal
+            .as_mut()
+            .expect("durable database has a wal")
+            .reset(gen)?;
+        Ok(())
+    }
+
+    /// Checkpoint (when durable) and consume the database. Purely a
+    /// convenience: every commit is already durable the moment it
+    /// returns, so dropping without `close` loses nothing — the next
+    /// open just pays log replay instead of a snapshot load.
+    pub fn close(mut self) -> Result<()> {
+        if self.data_dir.is_some() {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Append records to the change log, when one is attached. The
+    /// caller owns undo: on `Err` the in-memory effect must be unwound
+    /// so memory and disk agree (commit atomicity).
+    fn log_append(&mut self, records: &[ChangeRecord]) -> Result<()> {
+        match self.wal.as_mut() {
+            Some(wal) => wal.append_batch(records),
+            None => Ok(()),
+        }
+    }
+
     // ----- catalog -----
 
     /// Create a table from a schema.
@@ -82,18 +260,72 @@ impl Database {
             return Err(TxdbError::DuplicateTable(schema.name().to_string()));
         }
         let name = schema.name().to_string();
+        // DDL is logged as the engine's own SQL rendering and re-parsed
+        // on replay — one schema serialization, not two.
+        let ddl = self
+            .wal
+            .is_some()
+            .then(|| crate::dump::create_table_sql(&schema));
         self.evict_stats(&name);
-        self.tables.insert(name, Table::new(schema)?);
+        self.tables.insert(name.clone(), Table::new(schema)?);
+        if let Some(sql) = ddl {
+            if let Err(e) = self.log_append(&[ChangeRecord::CreateTable { sql }]) {
+                self.tables.remove(&name);
+                return Err(e);
+            }
+        }
         Ok(())
     }
 
     /// Drop a table and all of its rows.
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
         self.evict_stats(name);
-        self.tables
+        let table = self
+            .tables
             .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| TxdbError::UnknownTable(name.to_string()))
+            .ok_or_else(|| TxdbError::UnknownTable(name.to_string()))?;
+        if let Err(e) = self.log_append(&[ChangeRecord::DropTable {
+            table: name.to_string(),
+        }]) {
+            self.tables.insert(name.to_string(), table);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Create a secondary hash index on `table.column`. Unlike going
+    /// through [`Database::table_mut`], this wrapper records the DDL in
+    /// the change log, so the index comes back after a restart.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
+        self.table_mut(table)?.create_index(column)?;
+        if let Err(e) = self.log_append(&[ChangeRecord::CreateIndex {
+            table: table.to_string(),
+            column: column.to_string(),
+            range: false,
+        }]) {
+            if let Ok(t) = self.table_mut(table) {
+                t.drop_index(column);
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Create an ordered range index on `table.column`, logged like
+    /// [`Database::create_index`].
+    pub fn create_range_index(&mut self, table: &str, column: &str) -> Result<()> {
+        self.table_mut(table)?.create_range_index(column)?;
+        if let Err(e) = self.log_append(&[ChangeRecord::CreateIndex {
+            table: table.to_string(),
+            column: column.to_string(),
+            range: true,
+        }]) {
+            if let Ok(t) = self.table_mut(table) {
+                t.drop_range_index(column);
+            }
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Forget cached statistics for `name`. Version counters restart at
@@ -114,7 +346,11 @@ impl Database {
     }
 
     /// Mutable access to a table. Prefer the typed operations below; this
-    /// escape hatch bypasses foreign-key enforcement.
+    /// escape hatch bypasses foreign-key enforcement *and* the change
+    /// log — mutations made through it are invisible to crash recovery
+    /// until the next checkpoint. Fine for in-memory setup code (its
+    /// main use); on a durable database use the typed API or
+    /// [`Database::create_index`] / [`Database::create_range_index`].
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(name)
@@ -232,7 +468,25 @@ impl Database {
     pub fn insert(&mut self, table: &str, row: Row) -> Result<RowId> {
         if self.txns.active_count() == 0 {
             self.check_fk_parents(table, &row, None)?;
-            return self.table_mut(table)?.insert(row);
+            if self.wal.is_none() {
+                return self.table_mut(table)?.insert(row);
+            }
+            let logged = row.clone();
+            let rid = self.table_mut(table)?.insert(row)?;
+            if let Err(e) = self.log_append(&[ChangeRecord::Insert {
+                txn: AUTOCOMMIT_TXN,
+                table: table.to_string(),
+                rid,
+                row: logged,
+            }]) {
+                // Atomicity: the row is not durable, so it must not stay
+                // visible either.
+                if let Ok(t) = self.table_mut(table) {
+                    t.remove_physical(rid);
+                }
+                return Err(e);
+            }
+            return Ok(rid);
         }
         let txn = self.txn_begin();
         match self.txn_insert(txn, table, row) {
@@ -252,7 +506,18 @@ impl Database {
     pub fn delete(&mut self, table: &str, rid: RowId) -> Result<Row> {
         if self.txns.active_count() == 0 {
             self.check_fk_children(table, rid, None)?;
-            return self.table_mut(table)?.delete(rid);
+            let row = self.table_mut(table)?.delete(rid)?;
+            if let Err(e) = self.log_append(&[ChangeRecord::Delete {
+                txn: AUTOCOMMIT_TXN,
+                table: table.to_string(),
+                rid,
+            }]) {
+                if let Ok(t) = self.table_mut(table) {
+                    t.replay_insert(rid, row);
+                }
+                return Err(e);
+            }
+            return Ok(row);
         }
         let txn = self.txn_begin();
         match self.txn_delete(txn, table, rid) {
@@ -272,7 +537,25 @@ impl Database {
     pub fn update(&mut self, table: &str, rid: RowId, column: &str, value: Value) -> Result<Value> {
         if self.txns.active_count() == 0 {
             self.check_fk_update(table, rid, column, &value, None)?;
-            return self.table_mut(table)?.update(rid, column, value);
+            if self.wal.is_none() {
+                return self.table_mut(table)?.update(rid, column, value);
+            }
+            let logged = value.clone();
+            let old = self.table_mut(table)?.update(rid, column, value)?;
+            if let Err(e) = self.log_append(&[ChangeRecord::Update {
+                txn: AUTOCOMMIT_TXN,
+                table: table.to_string(),
+                rid,
+                column: column.to_string(),
+                value: logged,
+                pushed: true,
+            }]) {
+                if let Ok(t) = self.table_mut(table) {
+                    let _ = t.replay_update(rid, column, old);
+                }
+                return Err(e);
+            }
+            return Ok(old);
         }
         let txn = self.txn_begin();
         match self.txn_update(txn, table, rid, column, value) {
@@ -336,7 +619,7 @@ impl Database {
         let bound = proc.bind_args(args)?;
         let mut txn = self.begin();
         let outcome = txn.run_procedure(&proc, &bound)?;
-        txn.commit();
+        txn.try_commit()?;
         Ok(outcome)
     }
 
@@ -381,6 +664,18 @@ impl Database {
         self.txns.active_count() > 0
     }
 
+    /// The transaction-id watermark: the next id the allocator would
+    /// issue. Snapshots persist it so recovery never re-issues an id.
+    pub(crate) fn txn_watermark(&self) -> u64 {
+        self.txns.next_txn_id()
+    }
+
+    /// Re-seed the transaction-id allocator from a persisted watermark
+    /// (snapshot restore; only ever moves the allocator forward).
+    pub(crate) fn set_txn_watermark(&mut self, watermark: u64) {
+        self.txns.advance_past(watermark.saturating_sub(1));
+    }
+
     /// Number of writes transaction `txn` has recorded so far.
     pub fn txn_pending_ops(&self, txn: u64) -> usize {
         self.txns.writes_len(txn)
@@ -390,12 +685,15 @@ impl Database {
     pub fn txn_insert(&mut self, txn: u64, table: &str, row: Row) -> Result<RowId> {
         let snap = self.txn_snapshot(txn)?;
         self.check_fk_parents(table, &row, Some(&snap))?;
+        let logged = row.clone();
         let rid = self.table_mut(table)?.mvcc_insert(row, txn)?;
         self.txns.record(
             txn,
-            WriteOp::Insert {
+            ChangeRecord::Insert {
+                txn,
                 table: table.to_string(),
                 rid,
+                row: logged,
             },
         );
         Ok(rid)
@@ -411,7 +709,8 @@ impl Database {
         let row = self.table_mut(table)?.mvcc_delete(rid, txn)?;
         self.txns.record(
             txn,
-            WriteOp::Delete {
+            ChangeRecord::Delete {
+                txn,
                 table: table.to_string(),
                 rid,
             },
@@ -432,18 +731,25 @@ impl Database {
         let snap = self.txn_snapshot(txn)?;
         self.table(table)?.mvcc_write_check(rid, txn, &snap)?;
         self.check_fk_update(table, rid, column, &value, Some(&snap))?;
+        let logged = value.clone();
         let (old, pushed) = self
             .table_mut(table)?
             .mvcc_update(rid, column, value, txn)?;
-        if pushed {
-            self.txns.record(
+        // Every update is recorded — replay needs the final cell value
+        // even when the write landed in-place on a version this
+        // transaction already owns. `pushed` tells rollback which
+        // records actually have a version to pop.
+        self.txns.record(
+            txn,
+            ChangeRecord::Update {
                 txn,
-                WriteOp::Update {
-                    table: table.to_string(),
-                    rid,
-                },
-            );
-        }
+                table: table.to_string(),
+                rid,
+                column: column.to_string(),
+                value: logged,
+                pushed,
+            },
+        );
         Ok(old)
     }
 
@@ -466,7 +772,13 @@ impl Database {
     }
 
     /// Commit transaction `txn`: its versions become visible to every
-    /// snapshot taken afterwards. Also credits the committed-mutation
+    /// snapshot taken afterwards. On a durable database the whole batch
+    /// (`Begin`, writes, `Commit`) is framed to the log with one fsync
+    /// *before* the commit publishes — if the append fails the
+    /// transaction unwinds exactly like a rollback and the error
+    /// surfaces, so a commit is always all-durable-and-visible or
+    /// nothing (a torn batch on disk has no `Commit` record and is
+    /// discarded by recovery). Also credits the committed-mutation
     /// counters behind the statistics staleness bound and vacuums
     /// version garbage.
     pub fn txn_commit(&mut self, txn: u64) -> Result<()> {
@@ -474,15 +786,33 @@ impl Database {
             .txns
             .finish(txn)
             .ok_or_else(|| TxdbError::Aborted(format!("transaction {txn} is not active")))?;
-        let mut per_table: HashMap<&str, u64> = HashMap::new();
+        let mut per_table: HashMap<String, u64> = HashMap::new();
         for w in &writes {
-            let (WriteOp::Insert { table, .. }
-            | WriteOp::Update { table, .. }
-            | WriteOp::Delete { table, .. }) = w;
-            *per_table.entry(table.as_str()).or_insert(0) += 1;
+            if let ChangeRecord::Insert { table, .. }
+            | ChangeRecord::Update { table, .. }
+            | ChangeRecord::Delete { table, .. } = w
+            {
+                *per_table.entry(table.clone()).or_insert(0) += 1;
+            }
+        }
+        if self.wal.is_some() && !writes.is_empty() {
+            let mut batch = Vec::with_capacity(writes.len() + 2);
+            batch.push(ChangeRecord::Begin { txn });
+            batch.extend(writes);
+            batch.push(ChangeRecord::Commit { txn });
+            if let Err(e) = self.log_append(&batch) {
+                // Publish nothing: unwind like a rollback. The partial
+                // batch on disk (if any) lacks its Commit record, so
+                // recovery discards it too.
+                batch.pop();
+                batch.remove(0);
+                self.unwind_writes(batch);
+                self.vacuum();
+                return Err(e);
+            }
         }
         for (name, n) in per_table {
-            if let Some(t) = self.tables.get_mut(name) {
+            if let Some(t) = self.tables.get_mut(&name) {
                 t.bump_committed(n);
             }
         }
@@ -491,32 +821,44 @@ impl Database {
     }
 
     /// Roll back transaction `txn`, unwinding its writes in reverse.
+    /// Nothing is appended to the log: an uncommitted transaction leaves
+    /// no durable trace.
     pub fn txn_rollback(&mut self, txn: u64) -> Result<()> {
         let writes = self
             .txns
             .finish(txn)
             .ok_or_else(|| TxdbError::Aborted(format!("transaction {txn} is not active")))?;
+        self.unwind_writes(writes);
+        self.vacuum();
+        Ok(())
+    }
+
+    /// Unwind a transaction's recorded writes in reverse. Only `pushed`
+    /// updates have a version to pop; in-place updates vanish with the
+    /// version the first pushing write created.
+    fn unwind_writes(&mut self, writes: Vec<ChangeRecord>) {
         for w in writes.into_iter().rev() {
             match w {
-                WriteOp::Insert { table, rid } => {
+                ChangeRecord::Insert { table, rid, .. } => {
                     if let Some(t) = self.tables.get_mut(&table) {
                         t.mvcc_rollback_insert(rid);
                     }
                 }
-                WriteOp::Update { table, rid } => {
+                ChangeRecord::Update {
+                    table, rid, pushed, ..
+                } if pushed => {
                     if let Some(t) = self.tables.get_mut(&table) {
                         t.mvcc_rollback_update(rid);
                     }
                 }
-                WriteOp::Delete { table, rid } => {
+                ChangeRecord::Delete { table, rid, .. } => {
                     if let Some(t) = self.tables.get_mut(&table) {
                         t.mvcc_rollback_delete(rid);
                     }
                 }
+                _ => {}
             }
         }
-        self.vacuum();
-        Ok(())
     }
 
     /// Reclaim version garbage no active snapshot can still reach.

@@ -1,20 +1,30 @@
-//! SQL dump / restore: serialize a database's schema and contents to a
-//! script in the engine's own SQL subset, and load it back.
+//! Dump / restore: serialize a database's schema and contents, and load
+//! them back — as re-executable SQL text ([`dump_sql`] / [`restore_sql`])
+//! or as the binary snapshot checkpoints write ([`dump_binary`] /
+//! [`restore_binary`]).
 //!
-//! This is the persistence story of the substrate (the paper's demo keeps
-//! its state in PostgreSQL; we keep ours in re-executable SQL text).
-//! Stored procedures are code, not data — they are re-registered by the
-//! embedding application and are not part of the dump.
+//! The SQL dump is the human-facing persistence story (the paper's demo
+//! keeps its state in PostgreSQL; we keep ours in re-executable SQL
+//! text). The binary snapshot is the machine-facing one: it additionally
+//! preserves row ids, version counters, manually created indexes and the
+//! transaction-id watermark, so recovery restores *exactly* the
+//! pre-checkpoint state, not just an equivalent one. Stored procedures
+//! are code, not data — they are re-registered by the embedding
+//! application and are part of neither form.
 
 use std::fmt::Write as _;
 
 use crate::database::Database;
 use crate::error::{Result, TxdbError};
+use crate::row::RowId;
 use crate::schema::TableSchema;
-use crate::sql::execute_script;
+use crate::sql::{execute_script, parse_statement, Statement};
+use crate::wal::encode::{get_row, get_str, get_u32, get_u64, put_row, put_str, put_u32, put_u64};
 
-/// Render one table's `CREATE TABLE` statement.
-fn create_table_sql(schema: &TableSchema) -> String {
+/// Render one table's `CREATE TABLE` statement. The same rendering is
+/// what DDL change-records carry: schemas always round-trip through the
+/// one SQL parser.
+pub(crate) fn create_table_sql(schema: &TableSchema) -> String {
     let mut cols = Vec::new();
     for c in schema.columns() {
         let mut s = format!("{} {}", c.name, c.ty.keyword());
@@ -49,36 +59,13 @@ fn create_table_sql(schema: &TableSchema) -> String {
 /// plain scan below serializes exactly the latest committed state.
 pub fn dump_sql(db: &Database) -> Result<String> {
     if db.has_active_txns() {
-        return Err(TxdbError::Aborted(
-            "cannot dump mid-transaction state: commit or roll back active transactions first"
-                .into(),
-        ));
+        return Err(TxdbError::ActiveTransactions {
+            operation: "dump".into(),
+            count: db.txns().active_count(),
+        });
     }
     let mut out = String::from("-- cat-txdb SQL dump\n");
-    // Topologically order tables by FK dependencies.
-    let mut ordered: Vec<String> = Vec::new();
-    let mut remaining: Vec<String> = db.table_names().iter().map(|s| s.to_string()).collect();
-    while !remaining.is_empty() {
-        let before = ordered.len();
-        remaining.retain(|t| {
-            let schema = db.table(t).expect("known table").schema();
-            let deps_ready = schema
-                .foreign_keys()
-                .iter()
-                .all(|fk| fk.ref_table == *t || ordered.contains(&fk.ref_table));
-            if deps_ready {
-                ordered.push(t.clone());
-                false
-            } else {
-                true
-            }
-        });
-        if ordered.len() == before {
-            // FK cycle: emit the rest in name order (restore will need
-            // manual ordering; our schemas are acyclic in practice).
-            ordered.append(&mut remaining);
-        }
-    }
+    let ordered = dependency_order(db);
     for t in &ordered {
         out.push_str(&create_table_sql(db.table(t).expect("known").schema()));
         out.push('\n');
@@ -110,6 +97,155 @@ pub fn restore_sql(script: &str) -> Result<Database> {
     let mut db = Database::new();
     execute_script(&mut db, script)?;
     Ok(db)
+}
+
+/// Topologically order tables by FK dependencies (parents before
+/// children). Both dump forms need this so restore can create and fill
+/// tables without tripping FK checks.
+fn dependency_order(db: &Database) -> Vec<String> {
+    let mut ordered: Vec<String> = Vec::new();
+    let mut remaining: Vec<String> = db.table_names().iter().map(|s| s.to_string()).collect();
+    while !remaining.is_empty() {
+        let before = ordered.len();
+        remaining.retain(|t| {
+            let schema = db.table(t).expect("known table").schema();
+            let deps_ready = schema
+                .foreign_keys()
+                .iter()
+                .all(|fk| fk.ref_table == *t || ordered.contains(&fk.ref_table));
+            if deps_ready {
+                ordered.push(t.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if ordered.len() == before {
+            // FK cycle: emit the rest in name order (restore will need
+            // manual ordering; our schemas are acyclic in practice).
+            ordered.append(&mut remaining);
+        }
+    }
+    ordered
+}
+
+/// Magic prefix of a binary snapshot file.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"txdbsnp\0";
+/// Bumped whenever the snapshot layout changes incompatibly.
+const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Serialize the database as the binary snapshot a checkpoint writes.
+///
+/// Unlike [`dump_sql`] this is exact: row ids, per-table version
+/// counters, manually created secondary indexes and the transaction-id
+/// watermark all survive, so a log replayed on top of the snapshot sees
+/// the same physical state the log was written against. `generation`
+/// tags the snapshot so recovery can pair it with the right log file.
+///
+/// Same precondition as [`dump_sql`]: no active transactions, so every
+/// row is vacuumed down to its single committed version.
+pub fn dump_binary(db: &Database, generation: u64) -> Result<Vec<u8>> {
+    if db.has_active_txns() {
+        return Err(TxdbError::ActiveTransactions {
+            operation: "checkpoint".into(),
+            count: db.txns().active_count(),
+        });
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u32(&mut out, SNAPSHOT_FORMAT_VERSION);
+    put_u64(&mut out, generation);
+    put_u64(&mut out, db.txn_watermark());
+    let ordered = dependency_order(db);
+    put_u32(&mut out, ordered.len() as u32);
+    for t in &ordered {
+        let table = db.table(t).expect("known table");
+        put_str(&mut out, &create_table_sql(table.schema()));
+        let (next_row_id, version, committed_version) = table.version_counters();
+        put_u64(&mut out, next_row_id);
+        put_u64(&mut out, version);
+        put_u64(&mut out, committed_version);
+        let hash_cols = table.indexed_columns();
+        put_u32(&mut out, hash_cols.len() as u32);
+        for c in hash_cols {
+            put_str(&mut out, c);
+        }
+        let range_cols = table.range_indexed_columns();
+        put_u32(&mut out, range_cols.len() as u32);
+        for c in range_cols {
+            put_str(&mut out, c);
+        }
+        put_u64(&mut out, table.len() as u64);
+        for (rid, row) in table.scan() {
+            put_u64(&mut out, rid.0);
+            put_row(&mut out, row);
+        }
+    }
+    Ok(out)
+}
+
+fn snapshot_corrupt(detail: &str) -> TxdbError {
+    TxdbError::Corrupt(format!("snapshot: {detail}"))
+}
+
+/// Rebuild a database from a snapshot produced by [`dump_binary`].
+/// Returns the database and the snapshot's generation tag.
+pub fn restore_binary(bytes: &[u8]) -> Result<(Database, u64)> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(snapshot_corrupt("missing or foreign magic number"));
+    }
+    let mut pos = SNAPSHOT_MAGIC.len();
+    let version = get_u32(bytes, &mut pos)?;
+    if version != SNAPSHOT_FORMAT_VERSION {
+        return Err(snapshot_corrupt(&format!(
+            "format version {version} (this build reads {SNAPSHOT_FORMAT_VERSION})"
+        )));
+    }
+    let generation = get_u64(bytes, &mut pos)?;
+    let watermark = get_u64(bytes, &mut pos)?;
+    let mut db = Database::new();
+    let table_count = get_u32(bytes, &mut pos)?;
+    for _ in 0..table_count {
+        let ddl = get_str(bytes, &mut pos)?;
+        let stmt = parse_statement(&ddl)
+            .map_err(|e| snapshot_corrupt(&format!("stored DDL does not parse: {e}")))?;
+        let Statement::CreateTable(schema) = stmt else {
+            return Err(snapshot_corrupt("stored DDL is not CREATE TABLE"));
+        };
+        let name = schema.name().to_string();
+        db.create_table(schema)?;
+        let next_row_id = get_u64(bytes, &mut pos)?;
+        let version = get_u64(bytes, &mut pos)?;
+        let committed_version = get_u64(bytes, &mut pos)?;
+        let hash_count = get_u32(bytes, &mut pos)?;
+        for _ in 0..hash_count {
+            let col = get_str(bytes, &mut pos)?;
+            if !db.table(&name).expect("just created").has_index(&col) {
+                db.create_index(&name, &col)?;
+            }
+        }
+        let range_count = get_u32(bytes, &mut pos)?;
+        for _ in 0..range_count {
+            let col = get_str(bytes, &mut pos)?;
+            if !db.table(&name).expect("just created").has_range_index(&col) {
+                db.create_range_index(&name, &col)?;
+            }
+        }
+        let row_count = get_u64(bytes, &mut pos)?;
+        let table = db.table_mut(&name).expect("just created");
+        for _ in 0..row_count {
+            let rid = RowId(get_u64(bytes, &mut pos)?);
+            let row = get_row(bytes, &mut pos)?;
+            table.replay_insert(rid, row);
+        }
+        // Restore counters last: replay_insert bumps them as it goes.
+        table.set_version_counters(next_row_id, version, committed_version);
+    }
+    if pos != bytes.len() {
+        return Err(snapshot_corrupt("trailing bytes after last table"));
+    }
+    db.set_txn_watermark(watermark);
+    Ok((db, generation))
 }
 
 #[cfg(test)]

@@ -61,6 +61,40 @@ pub enum TxdbError {
         /// reached, in bytes.
         requested: usize,
     },
+    /// An operating-system I/O failure on the durability path (WAL
+    /// append, fsync, snapshot write, directory creation). Carries the
+    /// rendered `std::io::Error` rather than the error itself so the
+    /// variant stays `Clone + PartialEq` with the rest of the enum.
+    Io {
+        /// What the engine was doing (e.g. `"wal append"`).
+        context: String,
+        /// The rendered OS error.
+        detail: String,
+    },
+    /// On-disk state failed validation on open: a bad magic number, an
+    /// unsupported format version, a CRC-valid but undecodable record,
+    /// or a snapshot/log generation mismatch. Unlike a torn tail (which
+    /// recovery silently discards), corruption is never auto-repaired.
+    Corrupt(String),
+    /// A quiescent-point operation (checkpoint, dump) was refused
+    /// because transactions are still in flight — their uncommitted
+    /// versions would leak into the serialized state.
+    ActiveTransactions {
+        /// The refused operation (e.g. `"checkpoint"`).
+        operation: String,
+        /// How many transactions were active.
+        count: usize,
+    },
+}
+
+impl TxdbError {
+    /// Wrap an OS error on the durability path.
+    pub(crate) fn io(context: impl Into<String>, err: &std::io::Error) -> TxdbError {
+        TxdbError::Io {
+            context: context.into(),
+            detail: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for TxdbError {
@@ -118,6 +152,17 @@ impl fmt::Display for TxdbError {
                 write!(
                     f,
                     "memory budget exhausted: needed {requested} bytes against a budget of {budget}"
+                )
+            }
+            TxdbError::Io { context, detail } => {
+                write!(f, "I/O error during {context}: {detail}")
+            }
+            TxdbError::Corrupt(detail) => write!(f, "corrupt on-disk state: {detail}"),
+            TxdbError::ActiveTransactions { operation, count } => {
+                write!(
+                    f,
+                    "cannot {operation} with {count} active transaction(s): \
+                     commit or roll back first"
                 )
             }
         }

@@ -12,6 +12,12 @@
 //!   transactions read through stable snapshots without blocking each
 //!   other, write-write conflicts abort the later writer, and stored
 //!   procedures execute atomically when the user confirms a task.
+//! * **Durability** (opt-in): [`Database::open`] attaches a data
+//!   directory — every mutation is a logical [`wal::ChangeRecord`] in a
+//!   write-ahead log before commit reports success, reopening replays
+//!   the log to exactly the last committed state, and
+//!   [`Database::checkpoint`] folds state into a binary snapshot and
+//!   truncates the log. [`Database::new`] stays purely in memory.
 //! * **Stored procedures** declared declaratively so that the datagen layer
 //!   can extract tasks/slots automatically.
 //! * **Statistics** (distinct counts, MCVs, histograms, Shannon entropy,
@@ -52,12 +58,13 @@ pub mod stats;
 pub mod table;
 pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use catalog::{
     fk_neighbors, follow_hop, follow_path, join_path, reachable_tables, JoinDirection, JoinHop,
 };
 pub use database::Database;
-pub use dump::{dump_sql, restore_sql};
+pub use dump::{dump_binary, dump_sql, restore_binary, restore_sql};
 pub use error::{Result, TxdbError};
 pub use index::{OrdKey, RangeIndex};
 pub use predicate::{CmpOp, Predicate};
@@ -68,3 +75,4 @@ pub use stats::{entropy_of_counts, subset_entropy, ColumnStats, Histogram, Table
 pub use table::Table;
 pub use txn::{Snapshot, Transaction, TxnManager};
 pub use value::{DataType, Date, Value};
+pub use wal::{scan_wal, ChangeRecord, Wal, WalOptions, WalScan};

@@ -181,4 +181,8 @@ pub enum Statement {
     Commit,
     /// `ROLLBACK [TRANSACTION | WORK]` — discard the open transaction.
     Rollback,
+    /// `CHECKPOINT` — snapshot the committed state to disk and truncate
+    /// the change log. Only meaningful on a durable database; refused
+    /// while any transaction is active.
+    Checkpoint,
 }

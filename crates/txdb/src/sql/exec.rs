@@ -87,6 +87,8 @@ pub enum QueryResult {
     Committed,
     /// `ROLLBACK` discarded the open transaction.
     RolledBack,
+    /// `CHECKPOINT` wrote a snapshot and truncated the change log.
+    Checkpointed,
 }
 
 impl QueryResult {
@@ -182,7 +184,7 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
                 txn.insert(&table, Row::new(cells))?;
                 n += 1;
             }
-            txn.commit();
+            txn.try_commit()?;
             Ok(QueryResult::Inserted(n))
         }
         Statement::Select(sel) => execute_select(db, &sel).map(QueryResult::Rows),
@@ -210,7 +212,7 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
                     txn.update(&table, *rid, col, coerced)?;
                 }
             }
-            txn.commit();
+            txn.try_commit()?;
             Ok(QueryResult::Updated(rids.len()))
         }
         Statement::Delete {
@@ -227,12 +229,16 @@ fn execute_statement(db: &mut Database, stmt: Statement) -> Result<QueryResult> 
             for rid in &rids {
                 txn.delete(&table, *rid)?;
             }
-            txn.commit();
+            txn.try_commit()?;
             Ok(QueryResult::Deleted(rids.len()))
         }
         Statement::Begin | Statement::Commit | Statement::Rollback => Err(TxdbError::InvalidValue(
             "transaction control statements require a session — use Session::execute".into(),
         )),
+        Statement::Checkpoint => {
+            db.checkpoint()?;
+            Ok(QueryResult::Checkpointed)
+        }
     }
 }
 
@@ -419,6 +425,14 @@ fn execute_statement_in(db: &mut Database, stmt: Statement, txn: u64) -> Result<
         Statement::Begin | Statement::Commit | Statement::Rollback => {
             unreachable!("control statements handled by Session::execute")
         }
+        // The session's own transaction is active by definition here, so
+        // a checkpoint can never proceed. Refuse up front (the session
+        // aborts the transaction on any statement error, and silently
+        // rolling back the user's work over a checkpoint would be worse).
+        Statement::Checkpoint => Err(TxdbError::ActiveTransactions {
+            operation: "checkpoint".into(),
+            count: db.txns().active_count(),
+        }),
     }
 }
 

@@ -128,6 +128,9 @@ impl Parser {
             self.txn_control("commit", Statement::Commit)
         } else if first.is_kw("rollback") {
             self.txn_control("rollback", Statement::Rollback)
+        } else if first.is_kw("checkpoint") {
+            self.expect_kw("checkpoint")?;
+            Ok(Statement::Checkpoint)
         } else {
             Err(TxdbError::Parse(format!(
                 "unsupported statement start: {first:?}"

@@ -1228,8 +1228,9 @@ impl Table {
     // but keep every index consistent.
 
     /// Re-insert a row under a specific id, bypassing constraint checks
-    /// (test utility pinning next_row_id monotonicity).
-    #[cfg(test)]
+    /// (the state being restored was valid when first written). Pins
+    /// `next_row_id` monotonicity past `rid`. Used by log replay and
+    /// snapshot restore as well as tests.
     pub(crate) fn insert_physical(&mut self, rid: RowId, row: Row) {
         self.index_row(rid, &row);
         let pk = self.pk_of(&row);
@@ -1294,6 +1295,83 @@ impl Table {
         }
         self.version += 1;
         Some(old)
+    }
+
+    // ----- physical operations used by log replay / snapshot restore -----
+
+    /// [`Table::insert_physical`] plus the committed-mutation credit a
+    /// replayed (i.e. committed) insert deserves.
+    pub(crate) fn replay_insert(&mut self, rid: RowId, row: Row) {
+        self.insert_physical(rid, row);
+        self.committed_version += 1;
+    }
+
+    /// Overwrite one cell without constraint checks, keeping every index
+    /// and the committed-mutation counter consistent. Replay twin of
+    /// [`Table::update`] (the value was validated when it first committed).
+    pub(crate) fn replay_update(
+        &mut self,
+        rid: RowId,
+        column: &str,
+        value: Value,
+    ) -> Result<Value> {
+        let idx = self.schema.require_column(column)?;
+        match self.set_cell(rid, idx, value) {
+            Some(old) => {
+                self.committed_version += 1;
+                Ok(old)
+            }
+            None => Err(TxdbError::NoSuchRow {
+                table: self.schema.name().to_string(),
+            }),
+        }
+    }
+
+    /// The allocation and mutation counters `(next_row_id, version,
+    /// committed_version)` — snapshot dumps persist them so a restored
+    /// table keeps allocating and versioning where the original left off.
+    pub(crate) fn version_counters(&self) -> (u64, u64, u64) {
+        (self.next_row_id, self.version, self.committed_version)
+    }
+
+    /// Overwrite the allocation and mutation counters (snapshot restore;
+    /// replayed mutations then keep counting from these).
+    pub(crate) fn set_version_counters(
+        &mut self,
+        next_row_id: u64,
+        version: u64,
+        committed_version: u64,
+    ) {
+        self.next_row_id = self.next_row_id.max(next_row_id);
+        self.version = version;
+        self.committed_version = committed_version;
+    }
+
+    /// Columns with a secondary hash index, sorted (catalog metadata for
+    /// snapshots and rebuilt twins).
+    pub fn indexed_columns(&self) -> Vec<&str> {
+        let mut cols: Vec<&str> = self.indexes.keys().map(String::as_str).collect();
+        cols.sort_unstable();
+        cols
+    }
+
+    /// Columns with an ordered range index, sorted.
+    pub fn range_indexed_columns(&self) -> Vec<&str> {
+        let mut cols: Vec<&str> = self.range_indexes.keys().map(String::as_str).collect();
+        cols.sort_unstable();
+        cols
+    }
+
+    /// Drop a secondary hash index (undo path for an index creation whose
+    /// log append failed). Auto-created indexes are never dropped through
+    /// the public surface.
+    pub(crate) fn drop_index(&mut self, column: &str) {
+        self.indexes.remove(column);
+    }
+
+    /// Drop an ordered range index (undo path; see [`Table::drop_index`]).
+    pub(crate) fn drop_range_index(&mut self, column: &str) {
+        self.range_indexes.remove(column);
     }
 }
 

@@ -11,9 +11,11 @@
 //! what writers do concurrently. Commit publishes a transaction's
 //! versions simply by removing its id from the active set (stamps are
 //! written at write time and never rewritten); rollback unwinds the
-//! recorded write ops in reverse; superseded versions linger as
+//! recorded [`ChangeRecord`]s in reverse; superseded versions linger as
 //! garbage until vacuum reclaims everything the oldest active snapshot
-//! can no longer reach.
+//! can no longer reach. The same buffered records double as the durable
+//! commit batch: on a database opened from disk, commit frames them into
+//! the write-ahead log (see [`crate::wal`]) before publishing.
 //!
 //! Write-write conflicts use first-committer-wins: a transaction that
 //! tries to modify a row whose newest version it cannot see aborts with
@@ -28,6 +30,7 @@ use crate::predicate::Predicate;
 use crate::procedure::{ProcOp, ProcOutcome, Procedure};
 use crate::row::{Row, RowId};
 use crate::value::Value;
+use crate::wal::ChangeRecord;
 use crate::Database;
 
 /// End-stamp value of a version that has not been deleted or superseded.
@@ -85,21 +88,13 @@ impl Snapshot {
     }
 }
 
-/// One recorded write of an open transaction, unwound in reverse on
-/// rollback. `Update` is only recorded when the write pushed a new
-/// version (in-place edits of a version the transaction already owns
-/// vanish with that version).
-#[derive(Debug, Clone)]
-pub(crate) enum WriteOp {
-    Insert { table: String, rid: RowId },
-    Update { table: String, rid: RowId },
-    Delete { table: String, rid: RowId },
-}
-
 #[derive(Debug, Clone)]
 struct TxnState {
     snapshot: Snapshot,
-    writes: Vec<WriteOp>,
+    /// The transaction's change records, in write order. Rollback
+    /// unwinds them in reverse (`Update` only when it pushed a version);
+    /// commit frames them into the WAL as one batch.
+    writes: Vec<ChangeRecord>,
 }
 
 /// Allocates transaction ids and tracks the active set — the source of
@@ -167,7 +162,7 @@ impl TxnManager {
         self.active.get(&txn).map(|s| s.snapshot.clone())
     }
 
-    pub(crate) fn record(&mut self, txn: u64, op: WriteOp) {
+    pub(crate) fn record(&mut self, txn: u64, op: ChangeRecord) {
         if let Some(state) = self.active.get_mut(&txn) {
             state.writes.push(op);
         }
@@ -178,9 +173,23 @@ impl TxnManager {
     }
 
     /// Drop `txn` from the active set, returning its write log (commit
-    /// keeps the versions, rollback unwinds them).
-    pub(crate) fn finish(&mut self, txn: u64) -> Option<Vec<WriteOp>> {
+    /// keeps the versions and frames the records to the WAL, rollback
+    /// unwinds them).
+    pub(crate) fn finish(&mut self, txn: u64) -> Option<Vec<ChangeRecord>> {
         self.active.remove(&txn).map(|s| s.writes)
+    }
+
+    /// Raise the id allocator so it never re-issues ids at or below
+    /// `max_seen` (recovery re-seeds the watermark from the log).
+    pub(crate) fn advance_past(&mut self, max_seen: u64) {
+        self.next = self.next.max(max_seen + 1);
+    }
+
+    /// The next transaction id that would be allocated. Snapshot dumps
+    /// persist this so a restored database never re-issues an id that
+    /// already stamped a row version.
+    pub(crate) fn next_txn_id(&self) -> u64 {
+        self.next
     }
 
     /// Whether every active snapshot sees transaction `txn` — the
@@ -338,6 +347,14 @@ impl<'db> Transaction<'db> {
     pub fn commit(mut self) {
         let _ = self.db.txn_commit(self.id);
         self.finished = true;
+    }
+
+    /// [`Transaction::commit`], surfacing failure. On a durable database
+    /// a commit whose log append fails is rolled back — nothing was
+    /// published — and the error comes back here instead of vanishing.
+    pub fn try_commit(mut self) -> Result<()> {
+        self.finished = true;
+        self.db.txn_commit(self.id)
     }
 
     /// Explicitly roll back (equivalent to dropping the handle).

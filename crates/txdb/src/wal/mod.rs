@@ -1,0 +1,27 @@
+//! The logical change log: one abstraction behind every mutation.
+//!
+//! Before this module, the engine kept three parallel change
+//! representations — rollback `WriteOp`s in `txn`, SQL text dumps in
+//! `dump`, version-chain stamps in `table`. They are now fed from a
+//! single stream of [`ChangeRecord`]s:
+//!
+//! * [`record`] — the record type and its binary payload format;
+//! * [`encode`] — the order-preserving value encoding and primitives;
+//! * [`log`] — the append-only file: header, length + CRC framing,
+//!   group-commit fsync, generation tags;
+//! * [`recover`] — scanning a log back into records, discarding torn
+//!   tails, and replaying committed batches into a database.
+//!
+//! `Database::open` wires these together; `Database::new` keeps the log
+//! absent (`Option<Wal>` = `None`) so the in-memory engine pays nothing.
+//! See ARCHITECTURE.md § "Durability & recovery" for the protocol.
+
+pub mod encode;
+pub mod log;
+pub mod record;
+pub mod recover;
+
+pub use encode::{decode_value, encode_value};
+pub use log::{crc32, Wal, WalOptions, WAL_HEADER_LEN};
+pub use record::{ChangeRecord, AUTOCOMMIT_TXN};
+pub use recover::{scan_wal, WalScan};

@@ -1,0 +1,308 @@
+//! The logical change record — the one representation every mutation
+//! flows through.
+//!
+//! A [`ChangeRecord`] serves three masters that used to have three
+//! parallel structures:
+//!
+//! * **in-memory rollback** — an open transaction's records are
+//!   buffered in the `TxnManager` and unwound in reverse on abort
+//!   (what `txn::WriteOp` used to do);
+//! * **durability** — at commit the buffered records are framed and
+//!   appended to the on-disk log as one batch
+//!   (`Begin … writes … Commit`), followed by a single fsync;
+//! * **recovery** — `Database::open` replays committed batches in log
+//!   order to reconstruct tables, indexes and counters.
+//!
+//! Rollbacks append nothing: a transaction that never commits leaves no
+//! trace in the log (a torn commit batch has no `Commit` record and is
+//! discarded as uncommitted tail). Transaction id 0 marks auto-commit
+//! direct writes — applied immediately on replay, never rolled back.
+//! DDL records apply immediately too, mirroring the non-transactional
+//! DDL semantics of the engine.
+
+use crate::error::Result;
+use crate::row::{Row, RowId};
+use crate::value::Value;
+
+use super::encode::{
+    decode_value, encode_value, get_row, get_str, get_u64, get_u8, put_row, put_str, put_u64,
+};
+
+/// Transaction id used for auto-commit direct writes.
+pub const AUTOCOMMIT_TXN: u64 = 0;
+
+/// One logical change. See the module docs for the life cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeRecord {
+    /// A transaction's first record in a commit batch.
+    Begin { txn: u64 },
+    /// A row inserted (the full row travels for replay).
+    Insert {
+        txn: u64,
+        table: String,
+        rid: RowId,
+        row: Row,
+    },
+    /// One cell updated. `pushed` records whether the write pushed a new
+    /// MVCC version: rollback unwinds only pushing updates (an in-place
+    /// edit of a version the transaction already owns vanishes with that
+    /// version), while replay applies every update to reach the final
+    /// committed cell value.
+    Update {
+        txn: u64,
+        table: String,
+        rid: RowId,
+        column: String,
+        value: Value,
+        pushed: bool,
+    },
+    /// A row deleted.
+    Delete { txn: u64, table: String, rid: RowId },
+    /// The batch's closing record: everything since `Begin` is durable.
+    Commit { txn: u64 },
+    /// Explicit abort marker. The engine never writes these today
+    /// (rollback leaves no trace); recovery still honours them so a
+    /// future eager-logging writer stays compatible.
+    Rollback { txn: u64 },
+    /// `CREATE TABLE`, carried as the engine's own SQL text (the same
+    /// rendering `dump_sql` emits) so the schema round-trips through
+    /// one parser instead of a second binary schema format.
+    CreateTable { sql: String },
+    /// `DROP TABLE`.
+    DropTable { table: String },
+    /// Secondary index creation (`range` distinguishes ordered indexes).
+    CreateIndex {
+        table: String,
+        column: String,
+        range: bool,
+    },
+}
+
+const KIND_BEGIN: u8 = 1;
+const KIND_INSERT: u8 = 2;
+const KIND_UPDATE: u8 = 3;
+const KIND_DELETE: u8 = 4;
+const KIND_COMMIT: u8 = 5;
+const KIND_ROLLBACK: u8 = 6;
+const KIND_CREATE_TABLE: u8 = 7;
+const KIND_DROP_TABLE: u8 = 8;
+const KIND_CREATE_INDEX: u8 = 9;
+
+impl ChangeRecord {
+    /// The owning transaction id, when the record belongs to one.
+    pub fn txn(&self) -> Option<u64> {
+        match self {
+            ChangeRecord::Begin { txn }
+            | ChangeRecord::Insert { txn, .. }
+            | ChangeRecord::Update { txn, .. }
+            | ChangeRecord::Delete { txn, .. }
+            | ChangeRecord::Commit { txn }
+            | ChangeRecord::Rollback { txn } => Some(*txn),
+            ChangeRecord::CreateTable { .. }
+            | ChangeRecord::DropTable { .. }
+            | ChangeRecord::CreateIndex { .. } => None,
+        }
+    }
+
+    /// Whether this is a data write (insert/update/delete).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            ChangeRecord::Insert { .. } | ChangeRecord::Update { .. } | ChangeRecord::Delete { .. }
+        )
+    }
+
+    /// Serialize into `buf` (payload only; framing adds length + CRC).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ChangeRecord::Begin { txn } => {
+                buf.push(KIND_BEGIN);
+                put_u64(buf, *txn);
+            }
+            ChangeRecord::Insert {
+                txn,
+                table,
+                rid,
+                row,
+            } => {
+                buf.push(KIND_INSERT);
+                put_u64(buf, *txn);
+                put_str(buf, table);
+                put_u64(buf, rid.0);
+                put_row(buf, row);
+            }
+            ChangeRecord::Update {
+                txn,
+                table,
+                rid,
+                column,
+                value,
+                pushed,
+            } => {
+                buf.push(KIND_UPDATE);
+                put_u64(buf, *txn);
+                put_str(buf, table);
+                put_u64(buf, rid.0);
+                put_str(buf, column);
+                encode_value(buf, value);
+                buf.push(u8::from(*pushed));
+            }
+            ChangeRecord::Delete { txn, table, rid } => {
+                buf.push(KIND_DELETE);
+                put_u64(buf, *txn);
+                put_str(buf, table);
+                put_u64(buf, rid.0);
+            }
+            ChangeRecord::Commit { txn } => {
+                buf.push(KIND_COMMIT);
+                put_u64(buf, *txn);
+            }
+            ChangeRecord::Rollback { txn } => {
+                buf.push(KIND_ROLLBACK);
+                put_u64(buf, *txn);
+            }
+            ChangeRecord::CreateTable { sql } => {
+                buf.push(KIND_CREATE_TABLE);
+                put_str(buf, sql);
+            }
+            ChangeRecord::DropTable { table } => {
+                buf.push(KIND_DROP_TABLE);
+                put_str(buf, table);
+            }
+            ChangeRecord::CreateIndex {
+                table,
+                column,
+                range,
+            } => {
+                buf.push(KIND_CREATE_INDEX);
+                put_str(buf, table);
+                put_str(buf, column);
+                buf.push(u8::from(*range));
+            }
+        }
+    }
+
+    /// Decode one record from a full frame payload. Errors are
+    /// [`TxdbError::Corrupt`](crate::TxdbError): the frame passed its CRC,
+    /// so undecodable bytes mean a format problem, not a torn write.
+    pub fn decode(buf: &[u8]) -> Result<ChangeRecord> {
+        let mut pos = 0;
+        let kind = get_u8(buf, &mut pos)?;
+        let rec = match kind {
+            KIND_BEGIN => ChangeRecord::Begin {
+                txn: get_u64(buf, &mut pos)?,
+            },
+            KIND_INSERT => ChangeRecord::Insert {
+                txn: get_u64(buf, &mut pos)?,
+                table: get_str(buf, &mut pos)?,
+                rid: RowId(get_u64(buf, &mut pos)?),
+                row: get_row(buf, &mut pos)?,
+            },
+            KIND_UPDATE => ChangeRecord::Update {
+                txn: get_u64(buf, &mut pos)?,
+                table: get_str(buf, &mut pos)?,
+                rid: RowId(get_u64(buf, &mut pos)?),
+                column: get_str(buf, &mut pos)?,
+                value: decode_value(buf, &mut pos)?,
+                pushed: get_u8(buf, &mut pos)? != 0,
+            },
+            KIND_DELETE => ChangeRecord::Delete {
+                txn: get_u64(buf, &mut pos)?,
+                table: get_str(buf, &mut pos)?,
+                rid: RowId(get_u64(buf, &mut pos)?),
+            },
+            KIND_COMMIT => ChangeRecord::Commit {
+                txn: get_u64(buf, &mut pos)?,
+            },
+            KIND_ROLLBACK => ChangeRecord::Rollback {
+                txn: get_u64(buf, &mut pos)?,
+            },
+            KIND_CREATE_TABLE => ChangeRecord::CreateTable {
+                sql: get_str(buf, &mut pos)?,
+            },
+            KIND_DROP_TABLE => ChangeRecord::DropTable {
+                table: get_str(buf, &mut pos)?,
+            },
+            KIND_CREATE_INDEX => ChangeRecord::CreateIndex {
+                table: get_str(buf, &mut pos)?,
+                column: get_str(buf, &mut pos)?,
+                range: get_u8(buf, &mut pos)? != 0,
+            },
+            other => {
+                return Err(crate::error::TxdbError::Corrupt(format!(
+                    "unknown change-record kind {other}"
+                )))
+            }
+        };
+        if pos != buf.len() {
+            return Err(crate::error::TxdbError::Corrupt(format!(
+                "{} trailing byte(s) after change record",
+                buf.len() - pos
+            )));
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: &ChangeRecord) {
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        assert_eq!(&ChangeRecord::decode(&buf).expect("decode"), rec);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(&ChangeRecord::Begin { txn: 7 });
+        roundtrip(&ChangeRecord::Insert {
+            txn: 7,
+            table: "movie".into(),
+            rid: RowId(3),
+            row: Row::new(vec![Value::Int(3), Value::Text("Heat".into()), Value::Null]),
+        });
+        roundtrip(&ChangeRecord::Update {
+            txn: 7,
+            table: "movie".into(),
+            rid: RowId(3),
+            column: "title".into(),
+            value: Value::Text("Heat 2".into()),
+            pushed: true,
+        });
+        roundtrip(&ChangeRecord::Delete {
+            txn: 0,
+            table: "movie".into(),
+            rid: RowId(9),
+        });
+        roundtrip(&ChangeRecord::Commit { txn: 7 });
+        roundtrip(&ChangeRecord::Rollback { txn: 7 });
+        roundtrip(&ChangeRecord::CreateTable {
+            sql: "CREATE TABLE t (id INT, PRIMARY KEY (id));".into(),
+        });
+        roundtrip(&ChangeRecord::DropTable { table: "t".into() });
+        roundtrip(&ChangeRecord::CreateIndex {
+            table: "t".into(),
+            column: "x".into(),
+            range: true,
+        });
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_error() {
+        let rec = ChangeRecord::Insert {
+            txn: 1,
+            table: "t".into(),
+            rid: RowId(1),
+            row: Row::new(vec![Value::Int(1)]),
+        };
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(ChangeRecord::decode(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        buf.push(0);
+        assert!(ChangeRecord::decode(&buf).is_err(), "trailing byte");
+    }
+}

@@ -1,0 +1,226 @@
+//! Crash recovery: scan the log, discard the uncommitted tail, replay
+//! committed batches.
+//!
+//! The scan walks frames until the first one that cannot be proven
+//! whole — a truncated header, a length running past end-of-file, or a
+//! CRC mismatch. Everything from that point on is the *torn tail*: the
+//! residue of a crash mid-append, discarded and truncated away on open.
+//! A frame whose CRC verifies but whose payload does not decode is
+//! different — the bytes were written intact, so the format itself is
+//! in doubt, and recovery fails loudly with
+//! [`TxdbError::Corrupt`](crate::TxdbError) instead of guessing.
+//!
+//! Replay buffers each transaction's writes and applies them at its
+//! `Commit` record. Log order is commit order, and under snapshot
+//! isolation with first-committer-wins that is a correct serialization
+//! of the committed history — so replay applies whole transactions
+//! sequentially, with physical operations that pin the original row
+//! ids (index structure and rid allocation come out identical to the
+//! pre-crash state). A batch with writes but no `Commit` is an
+//! uncommitted transaction: dropped. DDL and auto-commit (txn 0)
+//! records apply immediately.
+
+use crate::database::Database;
+use crate::error::{Result, TxdbError};
+use crate::sql::{parse_statement, Statement};
+
+use super::log::{crc32, MAX_FRAME_LEN, WAL_HEADER_LEN, WAL_MAGIC};
+use super::record::{ChangeRecord, AUTOCOMMIT_TXN};
+
+/// The decoded, validated prefix of a log file.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Generation from the header (the snapshot this log applies on).
+    pub generation: u64,
+    /// Records of every whole frame, in log order.
+    pub records: Vec<ChangeRecord>,
+    /// Byte offset just past each whole frame (ascending); the last
+    /// entry — or the header length when empty — is where a torn tail
+    /// begins.
+    pub frame_ends: Vec<u64>,
+    /// Offset after the last valid frame; the file is truncated here.
+    pub valid_len: u64,
+}
+
+impl WalScan {
+    /// An empty scan for a log that does not exist yet.
+    pub(crate) fn empty(generation: u64) -> WalScan {
+        WalScan {
+            generation,
+            records: Vec::new(),
+            frame_ends: Vec::new(),
+            valid_len: WAL_HEADER_LEN,
+        }
+    }
+}
+
+/// Scan raw log bytes: validate the header, then walk frames until the
+/// first torn one. Returns `Ok(None)` when the file is too short to
+/// hold a header (treated as absent — a crash before the header's write
+/// completed). A wrong magic number is [`TxdbError::Corrupt`]: the file
+/// is not ours to truncate.
+pub fn scan_wal(bytes: &[u8]) -> Result<Option<WalScan>> {
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Ok(None);
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(TxdbError::Corrupt(
+            "wal file has a foreign magic number".into(),
+        ));
+    }
+    let version = u32::from_be_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != super::log::WAL_FORMAT_VERSION {
+        return Err(TxdbError::Corrupt(format!(
+            "unsupported wal format version {version}"
+        )));
+    }
+    let generation = u64::from_be_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let mut scan = WalScan::empty(generation);
+    let mut pos = WAL_HEADER_LEN as usize;
+    loop {
+        if pos + 8 > bytes.len() {
+            break; // torn frame header
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_be_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            break; // length from a torn write
+        }
+        let end = pos + 8 + len as usize;
+        if end > bytes.len() {
+            break; // payload truncated
+        }
+        let payload = &bytes[pos + 8..end];
+        if crc32(payload) != stored_crc {
+            break; // torn or flipped payload bytes
+        }
+        // CRC-whole frames must decode; failure here is real corruption.
+        scan.records.push(ChangeRecord::decode(payload)?);
+        pos = end;
+        scan.frame_ends.push(pos as u64);
+        scan.valid_len = pos as u64;
+    }
+    Ok(Some(scan))
+}
+
+/// Replay scanned records into `db` (which must not have a live log
+/// attached — replay goes through the same mutation entry points and
+/// must not re-log itself). Returns the highest transaction id seen, for
+/// re-seeding the `TxnManager` watermark.
+pub(crate) fn apply_records(db: &mut Database, records: &[ChangeRecord]) -> Result<u64> {
+    let mut max_txn = 0u64;
+    // Buffered writes of transactions whose Commit we have not reached.
+    let mut pending: Vec<(u64, Vec<&ChangeRecord>)> = Vec::new();
+    let position = |pending: &Vec<(u64, Vec<&ChangeRecord>)>, txn: u64| {
+        pending.iter().position(|(id, _)| *id == txn)
+    };
+    for rec in records {
+        if let Some(txn) = rec.txn() {
+            max_txn = max_txn.max(txn);
+        }
+        match rec {
+            ChangeRecord::Begin { txn } => {
+                if position(&pending, *txn).is_none() {
+                    pending.push((*txn, Vec::new()));
+                }
+            }
+            ChangeRecord::Insert { txn, .. }
+            | ChangeRecord::Update { txn, .. }
+            | ChangeRecord::Delete { txn, .. } => {
+                if *txn == AUTOCOMMIT_TXN {
+                    apply_write(db, rec)?;
+                } else {
+                    match position(&pending, *txn) {
+                        Some(i) => pending[i].1.push(rec),
+                        // Tolerate a missing Begin (never written today).
+                        None => pending.push((*txn, vec![rec])),
+                    }
+                }
+            }
+            ChangeRecord::Commit { txn } => {
+                if let Some(i) = position(&pending, *txn) {
+                    let (_, writes) = pending.remove(i);
+                    for w in writes {
+                        apply_write(db, w)?;
+                    }
+                }
+            }
+            ChangeRecord::Rollback { txn } => {
+                if let Some(i) = position(&pending, *txn) {
+                    pending.remove(i);
+                }
+            }
+            ChangeRecord::CreateTable { sql } => {
+                let Statement::CreateTable(schema) = parse_statement(sql)? else {
+                    return Err(TxdbError::Corrupt(format!(
+                        "CreateTable record does not parse as CREATE TABLE: {sql}"
+                    )));
+                };
+                db.create_table(schema)?;
+            }
+            ChangeRecord::DropTable { table } => {
+                db.drop_table(table)?;
+            }
+            ChangeRecord::CreateIndex {
+                table,
+                column,
+                range,
+            } => {
+                let t = db.table_mut(table)?;
+                // Auto-indexing may have created it already.
+                if *range {
+                    if !t.has_range_index(column) {
+                        t.create_range_index(column)?;
+                    }
+                } else if !t.has_index(column) {
+                    t.create_index(column)?;
+                }
+            }
+        }
+    }
+    // Whatever is left in `pending` is the uncommitted tail: transactions
+    // whose Commit record never made it to disk. Dropped by design.
+    Ok(max_txn)
+}
+
+/// Apply one committed data write with physical (constraint-bypassing)
+/// operations that pin the original row id. The state being replayed was
+/// valid when it committed; a write that no longer applies (missing
+/// table or row) means the log disagrees with the snapshot → corrupt.
+fn apply_write(db: &mut Database, rec: &ChangeRecord) -> Result<()> {
+    match rec {
+        ChangeRecord::Insert {
+            table, rid, row, ..
+        } => {
+            let t = db.table_mut(table).map_err(replay_mismatch(table))?;
+            if t.get(*rid).is_some() {
+                return Err(TxdbError::Corrupt(format!(
+                    "replayed insert targets an occupied row id in `{table}`"
+                )));
+            }
+            t.replay_insert(*rid, row.clone());
+            Ok(())
+        }
+        ChangeRecord::Update {
+            table,
+            rid,
+            column,
+            value,
+            ..
+        } => {
+            let t = db.table_mut(table).map_err(replay_mismatch(table))?;
+            t.replay_update(*rid, column, value.clone())
+                .map(|_| ())
+                .map_err(replay_mismatch(table))
+        }
+        ChangeRecord::Delete { table, rid, .. } => {
+            let t = db.table_mut(table).map_err(replay_mismatch(table))?;
+            t.delete(*rid).map(|_| ()).map_err(replay_mismatch(table))
+        }
+        _ => unreachable!("apply_write only receives data writes"),
+    }
+}
+
+fn replay_mismatch(table: &str) -> impl Fn(TxdbError) -> TxdbError + '_ {
+    move |e| TxdbError::Corrupt(format!("log replay failed on table `{table}`: {e}"))
+}

@@ -629,6 +629,7 @@ const SHAPES: &[&str] = &[
     "tight_budget",
     "snapshot",
     "parallel",
+    "durable",
 ];
 
 fn shape_options(name: &str) -> PlanOptions {
@@ -646,6 +647,10 @@ fn shape_options(name: &str) -> PlanOptions {
         // below the production size, so the corpus's small tables still
         // split into real parallel work.
         "parallel" => PlanOptions::parallel(),
+        // The PR 10 durable shape runs the default planner against a
+        // twin database whose contents went through the write-ahead log
+        // and crash recovery (special-cased at the call site).
+        "durable" => PlanOptions::default(),
         other => panic!("TXDB_DIFF_SHAPE={other} names no planner shape (one of {SHAPES:?})"),
     }
 }
@@ -669,15 +674,81 @@ fn shapes_under_test() -> Vec<&'static str> {
     }
 }
 
+/// Build the durable twin of `db` for the PR 10 `durable` shape: its
+/// whole contents flow through the SQL path of a WAL-attached database
+/// (every insert logged), the twin is dropped *without* a checkpoint,
+/// and reopening replays the log — so every query against the twin is a
+/// query against crash-recovered state. fsync stays off: the sweep
+/// reopens per seed and crash *consistency* is the property under test.
+/// Returns the twin and its scratch directory (caller removes it).
+fn durable_twin(db: &Database, tag: u64) -> (Database, std::path::PathBuf) {
+    let dir = std::env::temp_dir()
+        .join("txdb-differential")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = cat_txdb::WalOptions { fsync: false };
+    let mut twin = Database::open_with(&dir, opts).expect("open durable twin");
+    // Seed through the typed API (SQL text cannot round-trip NaN): every
+    // create_table/create_index logs a DDL record, every insert an
+    // auto-commit data record. Parents before children for the FK checks.
+    let mut ordered: Vec<&str> = Vec::new();
+    let mut remaining: Vec<&str> = db.table_names().to_vec();
+    while !remaining.is_empty() {
+        remaining.retain(|t| {
+            let ready = db
+                .table(t)
+                .unwrap()
+                .schema()
+                .foreign_keys()
+                .iter()
+                .all(|fk| fk.ref_table == *t || ordered.contains(&fk.ref_table.as_str()));
+            if ready {
+                ordered.push(t);
+            }
+            !ready
+        });
+    }
+    for t in &ordered {
+        let table = db.table(t).unwrap();
+        twin.create_table(table.schema().clone()).expect("twin DDL");
+        for col in table.indexed_columns() {
+            // PK/unique/FK columns are auto-indexed at create_table.
+            if !twin.table(t).unwrap().has_index(col) {
+                twin.create_index(t, col).expect("twin index");
+            }
+        }
+        for col in table.range_indexed_columns() {
+            if !twin.table(t).unwrap().has_range_index(col) {
+                twin.create_range_index(t, col).expect("twin range index");
+            }
+        }
+        for (_, row) in table.scan() {
+            twin.insert(t, row.clone()).expect("twin insert");
+        }
+    }
+    drop(twin); // crash, not close: reopen must replay the log
+    let twin =
+        Database::open_with(&dir, cat_txdb::WalOptions { fsync: false }).expect("reopen twin");
+    (twin, dir)
+}
+
 /// Run `sql` through the reference executor and every planner shape
 /// under test — the full planner, the PR 1 single-access-path shape,
 /// the PR 2 per-key-join shape, the PR 3 no-build-pushdown shape, the
 /// PR 4 independence-estimator shape, the PR 6 tight-budget shape
 /// (degraded, partition-where-needed execution), the PR 8 snapshot
-/// shape and the PR 9 parallel shape (4 morsel workers); all must agree
-/// (results and error-ness) — estimator changes, memory degradation and
-/// intra-query parallelism may flip plans, never results.
-fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
+/// shape, the PR 9 parallel shape (4 morsel workers) and — when a twin
+/// is supplied — the PR 10 durable shape (the same query against a
+/// database recovered from its write-ahead log); all must agree
+/// (results and error-ness) — estimator changes, memory degradation,
+/// intra-query parallelism and a trip through the log may flip plans,
+/// never results.
+fn check_all_paths_agree(
+    db: &mut Database,
+    durable: Option<&Database>,
+    sql: &str,
+    context: &str,
+) -> bool {
     let stmt = parse_statement(sql)
         .unwrap_or_else(|e| panic!("generator produced unparsable SQL `{sql}`: {e}"));
     let Statement::Select(sel) = stmt else {
@@ -687,7 +758,7 @@ fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
     let outcomes: Vec<(&str, Result<cat_txdb::sql::ResultSet, cat_txdb::TxdbError>)> =
         shapes_under_test()
             .into_iter()
-            .map(|name| {
+            .filter_map(|name| {
                 let result = if name == "default" {
                     // The default shape goes through `execute` so the
                     // statement-dispatch layer is exercised too.
@@ -698,10 +769,16 @@ fn check_all_paths_agree(db: &mut Database, sql: &str, context: &str) -> bool {
                     // snapshot must be byte-identical to the default.
                     let snap = db.snapshot();
                     execute_select_at(db, &sel, &shape_options(name), Some(&snap))
+                } else if name == "durable" {
+                    // Same planner, but the data made a round trip
+                    // through the WAL and crash recovery. Callers whose
+                    // database mutates mid-run pass no twin; the shape
+                    // is covered by the main generated sweep.
+                    execute_select_with(durable?, &sel, &shape_options(name))
                 } else {
                     execute_select_with(db, &sel, &shape_options(name))
                 };
-                (name, result)
+                Some((name, result))
             })
             .collect();
     match &reference {
@@ -777,9 +854,17 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
     // base-table cardinality vs. actual result size) for the join-free
     // queries where the two are comparable.
     let (mut q_log_sum, mut q_count, mut q_worst) = (0.0f64, 0usize, 0.0f64);
+    // Whether this run compares the durable shape at all (skip the twin
+    // setup cost when the CI matrix pinned a different shape).
+    let durable_in_run = shapes_under_test().contains(&"durable");
+    let mut durable_checked = 0usize;
     for seed in 0..40u64 {
         let mut rng = StdRng::seed_from_u64(0xD1FF + seed);
         let mut db = random_db(&mut rng);
+        // The read-only query sweep leaves `db` untouched, so one twin —
+        // seeded through the WAL, "crashed", recovered — serves the
+        // whole seed.
+        let twin = durable_in_run.then(|| durable_twin(&db, seed));
         for _ in 0..50 {
             let sql = random_select(&mut rng);
             if sql.contains("JOIN review") {
@@ -812,14 +897,30 @@ fn planned_and_reference_executors_agree_on_generated_queries() {
                 q_count += 1;
                 q_worst = q_worst.max(q);
             }
-            if check_all_paths_agree(&mut db, &sql, &format!("seed {seed}")) {
+            if check_all_paths_agree(
+                &mut db,
+                twin.as_ref().map(|(t, _)| t),
+                &sql,
+                &format!("seed {seed}"),
+            ) {
                 checked += 1;
+                if durable_in_run {
+                    durable_checked += 1;
+                }
             }
+        }
+        if let Some((twin, dir)) = twin {
+            drop(twin);
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
     assert!(
         checked > 1500,
         "only {checked} queries compared — generator degenerated"
+    );
+    assert!(
+        !durable_in_run || durable_checked > 1500,
+        "only {durable_checked} queries compared against recovered-from-WAL state"
     );
     assert!(
         three_table > 200,
@@ -940,7 +1041,9 @@ fn agreement_survives_interleaved_writes() {
             .unwrap();
         }
         let sql = random_select(&mut rng);
-        check_all_paths_agree(&mut db, &sql, "interleaved");
+        // No durable twin here: the database mutates between queries and
+        // the twin would go stale. The generated sweep covers the shape.
+        check_all_paths_agree(&mut db, None, &sql, "interleaved");
     }
 }
 

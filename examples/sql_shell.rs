@@ -3,24 +3,80 @@
 //! CREATE TABLE / INSERT / SELECT (joins, WHERE, GROUP BY + aggregates,
 //! ORDER BY, LIMIT) / UPDATE / DELETE, plus `EXPLAIN [ANALYZE] SELECT`
 //! to print the lowered operator tree (with `ANALYZE`: executed, with
-//! actual row counts and budget peaks per operator), and explicit
-//! transactions: `BEGIN` pins a snapshot for the following statements
-//! until `COMMIT` or `ROLLBACK`.
+//! actual row counts and budget peaks per operator), explicit
+//! transactions (`BEGIN` pins a snapshot for the following statements
+//! until `COMMIT` or `ROLLBACK`), and `CHECKPOINT` in durable mode.
 //!
 //! Run with: `cargo run -p cat-examples --bin sql_shell`
+//!
+//! In-memory by default. With `--data-dir DIR` the shell opens a durable
+//! database in `DIR`: every committed statement is in the write-ahead
+//! log before it reports success, and a later start with the same
+//! `--data-dir` recovers exactly the last committed state. A fresh
+//! directory is seeded with the generated cinema data and immediately
+//! checkpointed.
 
 use std::io::{self, BufRead, Write};
 
 use cat_corpus::{generate_cinema, CinemaConfig};
-use cat_txdb::sql::{QueryResult, Session};
-use cat_txdb::TxdbError;
+use cat_txdb::sql::{execute_script, QueryResult, Session};
+use cat_txdb::{dump_sql, Database, TxdbError};
+
+/// `--data-dir DIR` from the command line, if given.
+fn data_dir_arg() -> Option<String> {
+    let usage = || -> ! {
+        eprintln!("usage: sql_shell [--data-dir DIR]");
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    let arg = args.next()?;
+    let dir = if arg == "--data-dir" {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: --data-dir requires a directory argument");
+            std::process::exit(2);
+        })
+    } else if let Some(dir) = arg.strip_prefix("--data-dir=") {
+        dir.to_string()
+    } else {
+        usage()
+    };
+    if args.next().is_some() {
+        usage()
+    }
+    Some(dir)
+}
 
 fn main() {
-    let mut db = generate_cinema(&CinemaConfig::default()).expect("generate db");
+    let mut db = match data_dir_arg() {
+        None => generate_cinema(&CinemaConfig::default()).expect("generate db"),
+        Some(dir) => {
+            let mut db = Database::open(&dir).unwrap_or_else(|e| {
+                eprintln!("error: cannot open data directory `{dir}`: {e}");
+                std::process::exit(1);
+            });
+            if db.table_names().is_empty() {
+                // Fresh directory: seed it with the cinema corpus. The
+                // seed flows through the normal SQL path (and thus the
+                // log); the checkpoint folds it into the snapshot so
+                // later starts skip replaying it.
+                let cinema = generate_cinema(&CinemaConfig::default()).expect("generate db");
+                let script = dump_sql(&cinema).expect("dump seed");
+                execute_script(&mut db, &script).expect("seed durable db");
+                db.checkpoint().expect("checkpoint seed");
+                println!("seeded cinema database into {dir}");
+            } else {
+                println!("recovered database from {dir}");
+            }
+            db
+        }
+    };
     println!(
         "cinema database loaded; tables: {}",
         db.table_names().join(", ")
     );
+    if db.is_durable() {
+        println!("durable mode: commits are logged; CHECKPOINT compacts the log");
+    }
     println!("example: SELECT genre, count(*) FROM movie GROUP BY genre ORDER BY genre;");
     println!("         EXPLAIN ANALYZE SELECT title FROM movie WHERE genre = 'Drama';");
     println!("         BEGIN; UPDATE ...; SELECT ...; COMMIT;  (or ROLLBACK)");
@@ -70,6 +126,7 @@ fn main() {
             Ok(QueryResult::Begun) => println!("ok: transaction started"),
             Ok(QueryResult::Committed) => println!("ok: committed"),
             Ok(QueryResult::RolledBack) => println!("ok: rolled back"),
+            Ok(QueryResult::Checkpointed) => println!("ok: checkpoint written, log truncated"),
             Err(TxdbError::ResourceExhausted { budget, .. }) => println!(
                 "error: query exceeded memory budget ({budget} bytes); \
                  retry or raise the budget"
@@ -85,6 +142,14 @@ fn main() {
         // Drop the open transaction cleanly on exit.
         let _ = session.execute(&mut db, "ROLLBACK");
         println!("(open transaction rolled back)");
+    }
+    if db.is_durable() {
+        // Not required for durability (commits already are); it just
+        // makes the next start load a snapshot instead of replaying.
+        match db.close() {
+            Ok(()) => println!("(checkpointed on exit)"),
+            Err(e) => println!("(exit checkpoint failed: {e})"),
+        }
     }
     println!("bye!");
 }

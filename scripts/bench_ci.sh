@@ -33,14 +33,16 @@ require=(
   --require join_skew_hotkey_10k
   --require join_partitioned_budget_10k
   --require mvcc_visibility_scan_10k
+  --require parallel_scan_10k
+  --require parallel_build_hash_10k
+  --require mixed_read_write_2k
 )
 # Groups new in the current PR have no entry in the previous baseline,
 # so they are gated only on the self comparison below.
 require_self=(
   "${require[@]}"
-  --require parallel_scan_10k
-  --require parallel_build_hash_10k
-  --require mixed_read_write_2k
+  --require wal_commit_2k
+  --require recovery_replay_10k
 )
 
 cp "$cur" "$stash"
